@@ -1,0 +1,123 @@
+//! Fig. 10: 200 Montage workflows on a 25-node r3.8xlarge cluster with a
+//! distributed file system — per-node resource consumption.
+//!
+//! The paper shows three of the 25 nodes and argues the workload is evenly
+//! distributed: every node shows the same CPU/read/write pattern, "the
+//! cluster behaves in a way that is similar to a supercomputer". The
+//! reproduction measures cross-node dispersion explicitly.
+
+use dewe_core::sim::{run_ensemble, SimRunConfig};
+use dewe_metrics::TimeSeries;
+use dewe_simcloud::{ClusterConfig, SharedFsKind, StorageConfig, R3_8XLARGE};
+
+use crate::{write_csv, Scale};
+
+/// Fig. 10 outputs.
+pub struct Fig10Result {
+    /// Ensemble makespan, seconds.
+    pub makespan_secs: f64,
+    /// Per-node total CPU busy core-seconds.
+    pub per_node_cpu: Vec<f64>,
+    /// Coefficient of variation of per-node CPU work (evenness metric).
+    pub cpu_cv: f64,
+    /// Three sampled nodes' CPU series (as the paper displays).
+    pub sample_nodes_cpu: Vec<TimeSeries>,
+}
+
+/// Run the Fig. 10 reproduction.
+pub fn run_fig10(scale: Scale) -> Fig10Result {
+    let (workflows, nodes) = match scale {
+        Scale::Full => (200, 25),
+        Scale::Quick => (24, 5),
+    };
+    println!("== Fig 10: {workflows} workflows on {nodes} x r3.8xlarge (distributed FS) ==");
+    let wfs = super::ensemble(scale, workflows);
+    let cluster = ClusterConfig {
+        instance: R3_8XLARGE,
+        nodes,
+        storage: StorageConfig::Shared(SharedFsKind::DistFs),
+    };
+    let mut cfg = SimRunConfig::new(cluster);
+    cfg.sample = true;
+    let report = run_ensemble(&wfs, &cfg);
+    assert!(report.completed);
+    let sampler = report.sampler.expect("sampling");
+
+    // Per-node CPU totals from the per-node series (integral of util).
+    let per_node_cpu: Vec<f64> = sampler
+        .node_series()
+        .iter()
+        .map(|n| n.cpu_util.integrate() / 100.0 * R3_8XLARGE.vcpus as f64)
+        .collect();
+    let mean = per_node_cpu.iter().sum::<f64>() / per_node_cpu.len() as f64;
+    let var = per_node_cpu.iter().map(|c| (c - mean).powi(2)).sum::<f64>()
+        / per_node_cpu.len() as f64;
+    let cv = var.sqrt() / mean;
+
+    println!(
+        "makespan {:.0}s ({:.0} min); per-node CPU work mean {:.0} core-s, CV {:.3}",
+        report.makespan_secs,
+        report.makespan_secs / 60.0,
+        mean,
+        cv
+    );
+
+    // Export three nodes' series (first, middle, last), as the paper does.
+    let picks = [0, nodes / 2, nodes - 1];
+    let mut cols: Vec<TimeSeries> = Vec::new();
+    let mut sample_nodes_cpu = Vec::new();
+    for &n in &picks {
+        let series = &sampler.node_series()[n];
+        let label = |mut s: TimeSeries, kind: &str| {
+            s.name = format!("node{n}_{kind}");
+            s
+        };
+        let cpu = label(series.cpu_util.clone(), "cpu_pct");
+        sample_nodes_cpu.push(cpu.clone());
+        cols.push(cpu);
+        cols.push(label(series.write_mbps.clone(), "write_mbps"));
+        cols.push(label(series.read_mbps.clone(), "read_mbps"));
+    }
+    let refs: Vec<&TimeSeries> = cols.iter().collect();
+    write_csv("fig10.csv", &dewe_metrics::csv::series_to_csv(&refs));
+
+    Fig10Result {
+        makespan_secs: report.makespan_secs,
+        per_node_cpu,
+        cpu_cv: cv,
+        sample_nodes_cpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_even_distribution() {
+        std::env::set_var("DEWE_RESULTS_DIR", std::env::temp_dir().join("dewe_f10"));
+        let r = run_fig10(Scale::Quick);
+        // Pull-based FCFS spreads work evenly: CPU-work CV small.
+        assert!(r.cpu_cv < 0.05, "uneven distribution, CV={}", r.cpu_cv);
+        // All sampled nodes show the same temporal pattern: pairwise
+        // correlation of CPU series is high.
+        let a = &r.sample_nodes_cpu[0];
+        let b = &r.sample_nodes_cpu[r.sample_nodes_cpu.len() - 1];
+        let n = a.points.len().min(b.points.len());
+        let corr = correlation(
+            &a.points[..n].iter().map(|p| p.1).collect::<Vec<_>>(),
+            &b.points[..n].iter().map(|p| p.1).collect::<Vec<_>>(),
+        );
+        assert!(corr > 0.9, "node series diverge: corr={corr}");
+    }
+
+    fn correlation(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let vx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+        let vy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+    }
+}

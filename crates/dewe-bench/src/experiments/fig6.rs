@@ -1,0 +1,124 @@
+//! Fig. 6: one Montage workflow on a single c3.8xlarge — DEWE v2 versus
+//! the Pegasus-like baseline: concurrent threads, CPU utilization, disk
+//! writes over time.
+//!
+//! Shapes (paper §V.A.1): DEWE reaches more concurrent threads (25 vs 20)
+//! and higher CPU (100% vs 80%); Pegasus writes far more to disk; the
+//! baseline's makespan is roughly twice DEWE's (1240 s vs 600 s).
+
+use std::sync::Arc;
+
+use dewe_baseline::{run_ensemble as run_baseline, BaselineConfig};
+use dewe_core::sim::{run_ensemble, SimRunConfig};
+use dewe_metrics::TimeSeries;
+use dewe_simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
+
+use crate::{write_csv, Scale};
+
+/// Fig. 6 outputs for one engine.
+pub struct EngineTrace {
+    /// Makespan seconds.
+    pub makespan_secs: f64,
+    /// Peak concurrent threads.
+    pub peak_threads: f64,
+    /// Peak CPU utilization (%).
+    pub peak_cpu: f64,
+    /// Total bytes written.
+    pub bytes_written: f64,
+    /// Thread count series.
+    pub threads: TimeSeries,
+    /// CPU utilization series.
+    pub cpu: TimeSeries,
+    /// Write throughput series.
+    pub writes: TimeSeries,
+}
+
+/// Fig. 6 outputs.
+pub struct Fig6Result {
+    /// DEWE v2 trace.
+    pub dewe: EngineTrace,
+    /// Baseline trace.
+    pub pegasus: EngineTrace,
+}
+
+/// Run the Fig. 6 reproduction.
+pub fn run_fig6(scale: Scale) -> Fig6Result {
+    println!("== Fig 6: one workflow, c3.8xlarge — DEWE v2 vs Pegasus ==");
+    let wf = super::montage(scale);
+    let cluster =
+        ClusterConfig { instance: C3_8XLARGE, nodes: 1, storage: StorageConfig::LocalDisk };
+
+    let mut cfg = SimRunConfig::new(cluster);
+    cfg.sample = true;
+    let d = run_ensemble(&[Arc::clone(&wf)], &cfg);
+    assert!(d.completed);
+    let ds = d.sampler.expect("sampling");
+    let dewe = EngineTrace {
+        makespan_secs: d.makespan_secs,
+        peak_threads: ds.total_threads().max(),
+        peak_cpu: ds.mean_cpu_util().max(),
+        bytes_written: d.total_bytes_written,
+        threads: ds.total_threads(),
+        cpu: ds.mean_cpu_util(),
+        writes: ds.total_write_mbps(),
+    };
+
+    let mut bcfg = BaselineConfig::new(cluster);
+    bcfg.sample = true;
+    let p = run_baseline(&[wf], &bcfg);
+    assert!(p.completed);
+    let ps = p.sampler.expect("sampling");
+    let pegasus = EngineTrace {
+        makespan_secs: p.makespan_secs,
+        peak_threads: ps.total_threads().max(),
+        peak_cpu: ps.mean_cpu_util().max(),
+        bytes_written: p.total_bytes_written,
+        threads: ps.total_threads(),
+        cpu: ps.mean_cpu_util(),
+        writes: ps.total_write_mbps(),
+    };
+
+    for (name, t) in [("DEWE v2", &dewe), ("Pegasus", &pegasus)] {
+        println!(
+            "{name:<8} makespan {:>6.0}s  peak threads {:>4.0}  peak cpu {:>5.1}%  writes {:>6.1} GB",
+            t.makespan_secs,
+            t.peak_threads,
+            t.peak_cpu,
+            t.bytes_written / 1e9
+        );
+    }
+    let label = |mut s: TimeSeries, n: &str| {
+        s.name = n.to_string();
+        s
+    };
+    let cols = [
+        label(dewe.threads.clone(), "dewe_threads"),
+        label(dewe.cpu.clone(), "dewe_cpu_pct"),
+        label(dewe.writes.clone(), "dewe_write_mbps"),
+        label(pegasus.threads.clone(), "pegasus_threads"),
+        label(pegasus.cpu.clone(), "pegasus_cpu_pct"),
+        label(pegasus.writes.clone(), "pegasus_write_mbps"),
+    ];
+    let refs: Vec<&TimeSeries> = cols.iter().collect();
+    write_csv("fig6.csv", &dewe_metrics::csv::series_to_csv(&refs));
+    Fig6Result { dewe, pegasus }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shapes() {
+        std::env::set_var("DEWE_RESULTS_DIR", std::env::temp_dir().join("dewe_f6"));
+        let r = run_fig6(Scale::Quick);
+        // DEWE reaches higher concurrency and CPU.
+        assert!(r.dewe.peak_threads > r.pegasus.peak_threads);
+        assert!(r.pegasus.peak_threads <= 20.0);
+        assert!(r.dewe.peak_cpu > r.pegasus.peak_cpu);
+        // Pegasus writes much more.
+        assert!(r.pegasus.bytes_written > 1.8 * r.dewe.bytes_written);
+        // And takes substantially longer.
+        assert!(r.pegasus.makespan_secs > 1.5 * r.dewe.makespan_secs);
+    }
+}

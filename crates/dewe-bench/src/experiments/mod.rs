@@ -1,0 +1,42 @@
+//! One module per paper artifact.
+
+mod ablation;
+mod fig10;
+mod fig11;
+mod fig2;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod overhead;
+mod robust;
+mod tables;
+
+pub use ablation::{run_ablation, AblationResult};
+pub use fig10::{run_fig10, Fig10Result};
+pub use fig11::{run_fig11, Fig11Point, Fig11Result};
+pub use fig2::{run_fig2, Fig2Result};
+pub use fig4::{run_fig4, Fig4Result};
+pub use fig5::{run_fig5, Fig5Result};
+pub use fig6::{run_fig6, Fig6Result};
+pub use fig7::{run_fig7, Fig7Point, Fig7Result};
+pub use fig8::{run_fig8_fig9, Fig8Result};
+pub use overhead::{run_overhead, OverheadResult};
+pub use robust::{run_robust, RobustResult};
+pub use tables::{run_table1, run_table2, run_table3, Table3Row};
+
+use dewe_montage::MontageConfig;
+use dewe_dag::Workflow;
+use std::sync::Arc;
+
+/// The standard workload: a Montage workflow at the scale's degree.
+pub(crate) fn montage(scale: crate::Scale) -> Arc<Workflow> {
+    Arc::new(MontageConfig::degree(scale.degree()).build())
+}
+
+/// `n` replicas of the standard workload.
+pub(crate) fn ensemble(scale: crate::Scale, n: usize) -> Vec<Arc<Workflow>> {
+    let wf = montage(scale);
+    (0..n).map(|_| Arc::clone(&wf)).collect()
+}

@@ -1,0 +1,555 @@
+//! The sans-IO ensemble engine: the master daemon's brain.
+//!
+//! [`EnsembleEngine`] holds the DAG-management state of the DEWE v2 master
+//! daemon (paper §III.C) with no clocks, threads or queues of its own:
+//! callers feed it submissions, acknowledgments and the current time, and
+//! it emits [`Action`]s (publish this job, this workflow is done). The
+//! realtime and simulated runtimes are thin drivers around it, and tests
+//! can exercise every protocol corner deterministically.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, Workflow, WorkflowId};
+
+use crate::protocol::{AckKind, AckMsg, DispatchMsg};
+
+/// Default system-wide job timeout in seconds (paper §III.B: jobs have a
+/// user-defined or system-wide default timeout).
+pub const DEFAULT_TIMEOUT_SECS: f64 = 600.0;
+
+/// What the master must do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Publish this job to the dispatch topic.
+    Dispatch(DispatchMsg),
+    /// A workflow ran to completion (all jobs acknowledged complete).
+    WorkflowCompleted {
+        /// Which workflow.
+        workflow: WorkflowId,
+        /// Seconds from its submission to completion.
+        makespan_secs: f64,
+    },
+    /// Every submitted workflow has completed.
+    AllCompleted,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Workflows submitted.
+    pub workflows_submitted: usize,
+    /// Workflows completed.
+    pub workflows_completed: usize,
+    /// Jobs dispatched (including resubmissions).
+    pub dispatches: u64,
+    /// Timeout/failure resubmissions.
+    pub resubmissions: u64,
+    /// Completed jobs.
+    pub jobs_completed: u64,
+    /// Duplicate completions observed (timeout races; harmless by design).
+    pub duplicate_completions: u64,
+}
+
+struct WorkflowState {
+    workflow: Arc<Workflow>,
+    tracker: DependencyTracker,
+    submitted_at: f64,
+    /// Per-job (deadline, attempt) for in-flight jobs.
+    inflight: HashMap<JobId, Inflight>,
+    done: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    deadline: f64,
+    attempt: u32,
+}
+
+/// The DEWE v2 master daemon's DAG-management state machine.
+pub struct EnsembleEngine {
+    workflows: Vec<WorkflowState>,
+    default_timeout_secs: f64,
+    stats: EngineStats,
+    all_completed_emitted: bool,
+}
+
+impl EnsembleEngine {
+    /// New engine with the system-wide default job timeout.
+    pub fn new() -> Self {
+        Self::with_default_timeout(DEFAULT_TIMEOUT_SECS)
+    }
+
+    /// New engine with a custom system-wide default timeout.
+    pub fn with_default_timeout(default_timeout_secs: f64) -> Self {
+        assert!(default_timeout_secs > 0.0);
+        Self {
+            workflows: Vec::new(),
+            default_timeout_secs,
+            stats: EngineStats::default(),
+            all_completed_emitted: false,
+        }
+    }
+
+    /// Submit a workflow at time `now`; emits dispatches for its roots.
+    ///
+    /// Multiple workflows may be in flight at once — their eligible jobs
+    /// share the single dispatch topic, which is how DEWE v2 runs
+    /// ensembles in parallel on one cluster.
+    pub fn submit_workflow(
+        &mut self,
+        workflow: Arc<Workflow>,
+        now: f64,
+    ) -> (WorkflowId, Vec<Action>) {
+        let id = WorkflowId::from_index(self.workflows.len());
+        let tracker = DependencyTracker::new(&workflow);
+        let mut state = WorkflowState {
+            workflow,
+            tracker,
+            submitted_at: now,
+            inflight: HashMap::new(),
+            done: false,
+        };
+        let mut actions = Vec::new();
+        let ready = state.tracker.take_ready();
+        for job in ready {
+            actions.push(self.dispatch(&mut state, id, job, 1, now));
+        }
+        self.stats.workflows_submitted += 1;
+        self.all_completed_emitted = false;
+        // An empty workflow completes immediately.
+        if state.tracker.is_complete() {
+            state.done = true;
+            self.stats.workflows_completed += 1;
+            actions.push(Action::WorkflowCompleted { workflow: id, makespan_secs: 0.0 });
+            self.workflows.push(state);
+            self.maybe_all_completed(&mut actions);
+        } else {
+            self.workflows.push(state);
+        }
+        (id, actions)
+    }
+
+    fn dispatch(
+        &mut self,
+        state: &mut WorkflowState,
+        wf: WorkflowId,
+        job: JobId,
+        attempt: u32,
+        _now: f64,
+    ) -> Action {
+        // The timeout clock starts when the job is *checked out* (Running
+        // ack), not when it is published: a message sitting in the queue is
+        // safe — the queue redelivers unacknowledged checkouts (paper
+        // §III.B: "if a job has been checked out from the message queue for
+        // execution but the corresponding acknowledgment is not received
+        // ... within the timeout setting"). Until checkout the deadline is
+        // infinite.
+        state.inflight.insert(job, Inflight { deadline: f64::INFINITY, attempt });
+        self.stats.dispatches += 1;
+        Action::Dispatch(DispatchMsg { job: EnsembleJobId::new(wf, job), attempt })
+    }
+
+    /// Process a worker acknowledgment at time `now`.
+    pub fn on_ack(&mut self, ack: AckMsg, now: f64) -> Vec<Action> {
+        let wf = ack.job.workflow;
+        let job = ack.job.job;
+        if wf.index() >= self.workflows.len() {
+            debug_assert!(false, "ack for unknown workflow {wf:?}");
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match ack.kind {
+            AckKind::Running => {
+                // Checkout: the timeout clock starts now (the job may have
+                // sat in the queue arbitrarily long beforehand).
+                let state = &mut self.workflows[wf.index()];
+                let timeout =
+                    state.workflow.job(job).effective_timeout(self.default_timeout_secs);
+                if let Some(inf) = state.inflight.get_mut(&job) {
+                    if inf.attempt == ack.attempt {
+                        inf.deadline = now + timeout;
+                    }
+                }
+                state.tracker.mark_running(job);
+            }
+            AckKind::Completed => {
+                let state = &mut self.workflows[wf.index()];
+                if state.tracker.state(job) == dewe_dag::JobState::Completed {
+                    // Timeout race: two workers ran the job; results are
+                    // identical by workflow determinism (the paper verifies
+                    // output checksums), so drop the duplicate.
+                    self.stats.duplicate_completions += 1;
+                    return actions;
+                }
+                state.inflight.remove(&job);
+                let workflow = Arc::clone(&state.workflow);
+                state.tracker.complete_in(&workflow, job);
+                // Drain the ready queue (rather than the return value) so
+                // the tracker's queue never accumulates stale entries.
+                let newly = state.tracker.take_ready();
+                self.stats.jobs_completed += 1;
+                for next in newly {
+                    actions.push(self.dispatch_indexed(wf, next, 1, now));
+                }
+                let state = &mut self.workflows[wf.index()];
+                if state.tracker.is_complete() && !state.done {
+                    state.done = true;
+                    self.stats.workflows_completed += 1;
+                    let makespan = now - state.submitted_at;
+                    actions.push(Action::WorkflowCompleted {
+                        workflow: wf,
+                        makespan_secs: makespan,
+                    });
+                    self.maybe_all_completed(&mut actions);
+                }
+            }
+            AckKind::Failed => {
+                // Immediate resubmission (no need to wait for the timeout).
+                let state = &mut self.workflows[wf.index()];
+                if state.tracker.state(job) != dewe_dag::JobState::Completed
+                    && state.tracker.resubmit(job)
+                {
+                    state.tracker.take_ready(); // drain the requeue marker
+                    let attempt = ack.attempt + 1;
+                    self.stats.resubmissions += 1;
+                    let action = self.dispatch_indexed(wf, job, attempt, now);
+                    actions.push(action);
+                }
+            }
+        }
+        actions
+    }
+
+    fn dispatch_indexed(
+        &mut self,
+        wf: WorkflowId,
+        job: JobId,
+        attempt: u32,
+        _now: f64,
+    ) -> Action {
+        let state = &mut self.workflows[wf.index()];
+        state.inflight.insert(job, Inflight { deadline: f64::INFINITY, attempt });
+        self.stats.dispatches += 1;
+        Action::Dispatch(DispatchMsg { job: EnsembleJobId::new(wf, job), attempt })
+    }
+
+    /// Periodic timeout scan (paper §III.B): any in-flight job whose
+    /// deadline passed is republished so another worker can run it.
+    pub fn check_timeouts(&mut self, now: f64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for wfi in 0..self.workflows.len() {
+            let wf = WorkflowId::from_index(wfi);
+            let expired: Vec<(JobId, u32)> = self.workflows[wfi]
+                .inflight
+                .iter()
+                .filter(|(_, inf)| inf.deadline <= now)
+                .map(|(&j, inf)| (j, inf.attempt))
+                .collect();
+            for (job, attempt) in expired {
+                let state = &mut self.workflows[wfi];
+                if state.tracker.resubmit(job) {
+                    state.tracker.take_ready();
+                    self.stats.resubmissions += 1;
+                    let action = self.dispatch_indexed(wf, job, attempt + 1, now);
+                    actions.push(action);
+                } else {
+                    state.inflight.remove(&job);
+                }
+            }
+        }
+        actions
+    }
+
+    /// Earliest pending timeout deadline among checked-out jobs, if any
+    /// (lets drivers sleep precisely instead of polling).
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.workflows
+            .iter()
+            .flat_map(|w| w.inflight.values().map(|i| i.deadline))
+            .filter(|d| d.is_finite())
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// True once every submitted workflow has completed.
+    pub fn all_complete(&self) -> bool {
+        !self.workflows.is_empty() && self.workflows.iter().all(|w| w.done)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Access a submitted workflow.
+    pub fn workflow(&self, id: WorkflowId) -> &Arc<Workflow> {
+        &self.workflows[id.index()].workflow
+    }
+
+    /// Number of submitted workflows.
+    pub fn workflow_count(&self) -> usize {
+        self.workflows.len()
+    }
+
+    fn maybe_all_completed(&mut self, actions: &mut Vec<Action>) {
+        if self.all_complete() && !self.all_completed_emitted {
+            self.all_completed_emitted = true;
+            actions.push(Action::AllCompleted);
+        }
+    }
+}
+
+impl Default for EnsembleEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewe_dag::WorkflowBuilder;
+
+    fn chain(n: usize) -> Arc<Workflow> {
+        let mut b = WorkflowBuilder::new("chain");
+        let mut prev = None;
+        for i in 0..n {
+            let j = b.job(format!("j{i}"), "t", 1.0).build();
+            if let Some(p) = prev {
+                b.edge(p, j);
+            }
+            prev = Some(j);
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn dispatches(actions: &[Action]) -> Vec<DispatchMsg> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Dispatch(d) => Some(*d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn run_ack(job: EnsembleJobId, attempt: u32) -> AckMsg {
+        AckMsg { job, worker: 0, kind: AckKind::Running, attempt }
+    }
+
+    fn done_ack(job: EnsembleJobId, attempt: u32) -> AckMsg {
+        AckMsg { job, worker: 0, kind: AckKind::Completed, attempt }
+    }
+
+    #[test]
+    fn submission_dispatches_roots() {
+        let mut e = EnsembleEngine::new();
+        let (_, actions) = e.submit_workflow(chain(3), 0.0);
+        let d = dispatches(&actions);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].attempt, 1);
+    }
+
+    #[test]
+    fn completion_cascades_and_finishes_workflow() {
+        let mut e = EnsembleEngine::new();
+        let (wf, actions) = e.submit_workflow(chain(2), 0.0);
+        let d0 = dispatches(&actions)[0];
+        e.on_ack(run_ack(d0.job, 1), 1.0);
+        let actions = e.on_ack(done_ack(d0.job, 1), 2.0);
+        let d1 = dispatches(&actions)[0];
+        assert_eq!(d1.job.workflow, wf);
+        e.on_ack(run_ack(d1.job, 1), 2.5);
+        let actions = e.on_ack(done_ack(d1.job, 1), 4.0);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::WorkflowCompleted { makespan_secs, .. } if (*makespan_secs - 4.0).abs() < 1e-9
+        )));
+        assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
+        assert!(e.all_complete());
+    }
+
+    #[test]
+    fn timeout_resubmits_with_higher_attempt() {
+        let mut e = EnsembleEngine::with_default_timeout(10.0);
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 1.0); // deadline now 11.0
+        assert!(e.check_timeouts(10.9).is_empty());
+        let actions = e.check_timeouts(11.0);
+        let rd = dispatches(&actions);
+        assert_eq!(rd.len(), 1);
+        assert_eq!(rd[0].attempt, 2);
+        assert_eq!(e.stats().resubmissions, 1);
+    }
+
+    #[test]
+    fn queued_job_never_times_out() {
+        // A published-but-unclaimed job sits safely in the queue: the
+        // timeout clock only starts at checkout (Running ack). The queue
+        // itself redelivers lost checkouts, RabbitMQ-style.
+        let mut e = EnsembleEngine::with_default_timeout(5.0);
+        let (_, _) = e.submit_workflow(chain(1), 0.0);
+        assert!(e.check_timeouts(1e9).is_empty());
+        assert_eq!(e.next_deadline(), None);
+    }
+
+    #[test]
+    fn per_job_timeout_overrides_default() {
+        let mut b = WorkflowBuilder::new("t");
+        b.job("fast", "t", 1.0).timeout_secs(2.0).build();
+        let wf = Arc::new(b.finish().unwrap());
+        let mut e = EnsembleEngine::with_default_timeout(1000.0);
+        let (_, actions) = e.submit_workflow(wf, 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 0.0);
+        assert_eq!(dispatches(&e.check_timeouts(2.0)).len(), 1);
+    }
+
+    #[test]
+    fn late_completion_after_timeout_is_deduplicated() {
+        let mut e = EnsembleEngine::with_default_timeout(5.0);
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 0.5);
+        e.check_timeouts(6.0); // resubmitted as attempt 2
+        // Original (slow) worker completes first.
+        let actions = e.on_ack(done_ack(d.job, 1), 7.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::WorkflowCompleted { .. })));
+        // Second worker completes too: ignored.
+        let actions = e.on_ack(done_ack(d.job, 2), 8.0);
+        assert!(actions.is_empty());
+        assert_eq!(e.stats().duplicate_completions, 1);
+        assert_eq!(e.stats().workflows_completed, 1);
+    }
+
+    #[test]
+    fn failed_ack_resubmits_immediately() {
+        let mut e = EnsembleEngine::new();
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 1.0);
+        let actions = e.on_ack(
+            AckMsg { job: d.job, worker: 0, kind: AckKind::Failed, attempt: 1 },
+            2.0,
+        );
+        let rd = dispatches(&actions);
+        assert_eq!(rd.len(), 1);
+        assert_eq!(rd[0].attempt, 2);
+    }
+
+    #[test]
+    fn running_ack_refreshes_deadline() {
+        let mut e = EnsembleEngine::with_default_timeout(10.0);
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        // Job sat in the queue 8 s before a worker picked it up.
+        e.on_ack(run_ack(d.job, 1), 8.0);
+        // Dispatch-time deadline (10.0) must no longer apply.
+        assert!(e.check_timeouts(10.0).is_empty());
+        assert_eq!(dispatches(&e.check_timeouts(18.0)).len(), 1);
+    }
+
+    #[test]
+    fn multiple_workflows_share_the_dispatch_stream() {
+        let mut e = EnsembleEngine::new();
+        let (w0, a0) = e.submit_workflow(chain(1), 0.0);
+        let (w1, a1) = e.submit_workflow(chain(1), 5.0);
+        assert_ne!(w0, w1);
+        let d0 = dispatches(&a0)[0];
+        let d1 = dispatches(&a1)[0];
+        e.on_ack(done_ack(d1.job, 1), 6.0);
+        assert!(!e.all_complete(), "workflow 0 still running");
+        let actions = e.on_ack(done_ack(d0.job, 1), 7.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
+        assert_eq!(e.stats().workflows_completed, 2);
+    }
+
+    #[test]
+    fn empty_workflow_completes_on_submission() {
+        let mut e = EnsembleEngine::new();
+        let wf = Arc::new(WorkflowBuilder::new("empty").finish().unwrap());
+        let (_, actions) = e.submit_workflow(wf, 3.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::WorkflowCompleted { .. })));
+        assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest_checked_out_job() {
+        let mut e = EnsembleEngine::with_default_timeout(100.0);
+        let (_, a0) = e.submit_workflow(chain(1), 0.0);
+        assert_eq!(e.next_deadline(), None, "nothing checked out yet");
+        e.on_ack(run_ack(dispatches(&a0)[0].job, 1), 10.0);
+        assert_eq!(e.next_deadline(), Some(110.0));
+        let (_, a1) = e.submit_workflow(chain(1), 50.0);
+        e.on_ack(run_ack(dispatches(&a1)[0].job, 1), 50.0);
+        assert_eq!(e.next_deadline(), Some(110.0));
+    }
+
+    #[test]
+    fn failed_ack_after_completion_is_ignored() {
+        let mut e = EnsembleEngine::new();
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(done_ack(d.job, 1), 1.0);
+        let actions = e.on_ack(
+            AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 1 },
+            2.0,
+        );
+        assert!(actions.is_empty(), "a late failure of a completed job must not resubmit");
+        assert_eq!(e.stats().resubmissions, 0);
+    }
+
+    #[test]
+    fn stale_attempt_running_ack_does_not_refresh_deadline() {
+        let mut e = EnsembleEngine::with_default_timeout(10.0);
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 0.0); // deadline 10
+        let actions = e.check_timeouts(10.0); // resubmit as attempt 2
+        let d2 = dispatches(&actions)[0];
+        assert_eq!(d2.attempt, 2);
+        // The ORIGINAL worker's late running ack (attempt 1) must not push
+        // the attempt-2 deadline.
+        e.on_ack(run_ack(d.job, 2), 11.0); // attempt-2 checkout: deadline 21
+        e.on_ack(run_ack(d.job, 1), 20.0); // stale: ignored for the clock
+        assert!(e.check_timeouts(20.5).is_empty());
+        assert_eq!(dispatches(&e.check_timeouts(21.0)).len(), 1);
+    }
+
+    #[test]
+    fn timeouts_scan_multiple_workflows_independently() {
+        let mut e = EnsembleEngine::with_default_timeout(10.0);
+        let (_, a0) = e.submit_workflow(chain(1), 0.0);
+        let (_, a1) = e.submit_workflow(chain(1), 0.0);
+        e.on_ack(run_ack(dispatches(&a0)[0].job, 1), 0.0); // deadline 10
+        e.on_ack(run_ack(dispatches(&a1)[0].job, 1), 5.0); // deadline 15
+        assert_eq!(dispatches(&e.check_timeouts(10.0)).len(), 1);
+        assert_eq!(dispatches(&e.check_timeouts(15.0)).len(), 1);
+    }
+
+    #[test]
+    fn resubmitted_job_completion_still_releases_children() {
+        let mut e = EnsembleEngine::with_default_timeout(5.0);
+        let (_, actions) = e.submit_workflow(chain(2), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 0.0);
+        let resub = dispatches(&e.check_timeouts(5.0));
+        assert_eq!(resub.len(), 1);
+        e.on_ack(run_ack(resub[0].job, 2), 6.0);
+        let actions = e.on_ack(done_ack(resub[0].job, 2), 7.0);
+        assert_eq!(dispatches(&actions).len(), 1, "child released after retried completion");
+    }
+
+    #[test]
+    fn stats_count_dispatches_and_completions() {
+        let mut e = EnsembleEngine::new();
+        let (_, actions) = e.submit_workflow(chain(2), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(done_ack(d.job, 1), 1.0);
+        let s = e.stats();
+        assert_eq!(s.dispatches, 2); // root + released child
+        assert_eq!(s.jobs_completed, 1);
+        assert_eq!(s.workflows_submitted, 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Messages carried on the three DEWE v2 topics (paper §III.C).
+
+use dewe_dag::{EnsembleJobId, Workflow};
+use std::sync::Arc;
+
+/// Workflow submission topic payload.
+///
+/// In the paper this is "the name of the workflow, as well as the path to
+/// the related folder on the shared file system"; in-process we carry the
+/// parsed DAG directly (the shared-FS folder equivalent).
+#[derive(Clone)]
+pub struct SubmissionMsg {
+    /// Human-readable workflow name.
+    pub name: String,
+    /// The parsed workflow DAG.
+    pub workflow: Arc<Workflow>,
+}
+
+impl std::fmt::Debug for SubmissionMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmissionMsg")
+            .field("name", &self.name)
+            .field("jobs", &self.workflow.job_count())
+            .finish()
+    }
+}
+
+/// Job dispatching topic payload: "meta data about the job (the location of
+/// the binary executable with input and output parameters)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchMsg {
+    /// Which job, in which workflow of the ensemble.
+    pub job: EnsembleJobId,
+    /// Delivery attempt, starting at 1; incremented by timeout
+    /// resubmissions (diagnostic only — any attempt's completion counts).
+    pub attempt: u32,
+}
+
+/// Acknowledgment kinds (paper §III.D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckKind {
+    /// The worker checked the job out and started executing it.
+    Running,
+    /// The job finished successfully.
+    Completed,
+    /// The job's execution failed on the worker (crash, nonzero exit). The
+    /// master treats this as an immediate timeout: resubmit.
+    Failed,
+}
+
+/// Job acknowledgment topic payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckMsg {
+    /// Which job.
+    pub job: EnsembleJobId,
+    /// Worker identifier (opaque to the master; the master stays
+    /// worker-agnostic by design).
+    pub worker: u32,
+    /// What happened.
+    pub kind: AckKind,
+    /// Echo of the dispatch attempt.
+    pub attempt: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewe_dag::{JobId, WorkflowBuilder, WorkflowId};
+
+    #[test]
+    fn submission_debug_is_compact() {
+        let wf = Arc::new(WorkflowBuilder::new("w").finish().unwrap());
+        let m = SubmissionMsg { name: "w".into(), workflow: wf };
+        let s = format!("{m:?}");
+        assert!(s.contains("jobs: 0"));
+    }
+
+    #[test]
+    fn dispatch_is_small_and_copyable() {
+        // Dispatch messages flood the queue at ensemble scale (1.7M jobs);
+        // keep them trivially copyable and small.
+        assert!(std::mem::size_of::<DispatchMsg>() <= 16);
+        let d = DispatchMsg {
+            job: EnsembleJobId::new(WorkflowId(1), JobId(2)),
+            attempt: 1,
+        };
+        let d2 = d;
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn ack_kinds_are_distinct() {
+        assert_ne!(AckKind::Running, AckKind::Completed);
+        assert_ne!(AckKind::Completed, AckKind::Failed);
+    }
+}

@@ -1,0 +1,113 @@
+//! The message bus (three typed topics) and the shared workflow registry.
+
+use crate::protocol::{AckMsg, DispatchMsg, SubmissionMsg};
+use dewe_dag::{Workflow, WorkflowId};
+use dewe_mq::Topic;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The three DEWE v2 topics as typed queues (the in-process RabbitMQ).
+///
+/// Cloning shares the underlying topics, like every daemon connecting to
+/// the same broker endpoint.
+#[derive(Clone, Default)]
+pub struct MessageBus {
+    /// Workflow submission topic (submission app → master).
+    pub submission: Topic<SubmissionMsg>,
+    /// Job dispatching topic (master → workers).
+    pub dispatch: Topic<DispatchMsg>,
+    /// Job acknowledgment topic (workers → master).
+    pub ack: Topic<AckMsg>,
+}
+
+impl MessageBus {
+    /// Fresh bus with empty topics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Close every topic, releasing blocked daemons.
+    pub fn shutdown(&self) {
+        self.submission.close();
+        self.dispatch.close();
+        self.ack.close();
+    }
+}
+
+/// The stand-in for the shared file system's workflow folders: workers look
+/// up the DAG (and, conceptually, binaries and data paths) of a dispatched
+/// job by its workflow id. The master inserts each workflow *before*
+/// publishing any of its jobs, so lookups by dispatch consumers never miss.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<Vec<Arc<Workflow>>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert the workflow for `id`. Ids are assigned densely by the
+    /// master in submission order.
+    pub fn insert(&self, id: WorkflowId, workflow: Arc<Workflow>) {
+        let mut inner = self.inner.write();
+        assert_eq!(inner.len(), id.index(), "registry insertions must be dense and in order");
+        inner.push(workflow);
+    }
+
+    /// Look up a workflow.
+    pub fn get(&self, id: WorkflowId) -> Option<Arc<Workflow>> {
+        self.inner.read().get(id.index()).cloned()
+    }
+
+    /// Number of registered workflows.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewe_dag::WorkflowBuilder;
+
+    #[test]
+    fn bus_topics_are_shared_across_clones() {
+        let bus = MessageBus::new();
+        let bus2 = bus.clone();
+        bus.ack.publish(AckMsg {
+            job: dewe_dag::EnsembleJobId::new(WorkflowId(0), dewe_dag::JobId(0)),
+            worker: 1,
+            kind: crate::protocol::AckKind::Running,
+            attempt: 1,
+        });
+        assert!(bus2.ack.try_pull().is_some());
+    }
+
+    #[test]
+    fn registry_dense_insert_and_get() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        let wf = Arc::new(WorkflowBuilder::new("w").finish().unwrap());
+        r.insert(WorkflowId(0), Arc::clone(&wf));
+        r.insert(WorkflowId(1), wf);
+        assert_eq!(r.len(), 2);
+        assert!(r.get(WorkflowId(1)).is_some());
+        assert!(r.get(WorkflowId(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn registry_rejects_out_of_order_insert() {
+        let r = Registry::new();
+        let wf = Arc::new(WorkflowBuilder::new("w").finish().unwrap());
+        r.insert(WorkflowId(5), wf);
+    }
+}

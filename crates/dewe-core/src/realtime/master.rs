@@ -1,0 +1,228 @@
+//! The master daemon thread.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dewe_dag::WorkflowId;
+
+use super::bus::{MessageBus, Registry};
+use crate::engine::{Action, EngineStats, EnsembleEngine};
+
+/// Master daemon configuration.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// System-wide default job timeout, seconds (paper §III.B).
+    pub default_timeout_secs: f64,
+    /// How often the master examines running jobs for timeouts.
+    pub timeout_scan_interval: Duration,
+    /// The master exits once this many workflows have completed
+    /// (`None` = run until the bus is shut down).
+    pub expected_workflows: Option<usize>,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        Self {
+            default_timeout_secs: crate::engine::DEFAULT_TIMEOUT_SECS,
+            timeout_scan_interval: Duration::from_millis(50),
+            expected_workflows: None,
+        }
+    }
+}
+
+/// Progress notifications from the master.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MasterEvent {
+    /// A workflow completed after `makespan_secs`.
+    WorkflowCompleted {
+        /// Which workflow.
+        workflow: WorkflowId,
+        /// Submission-to-completion wall seconds.
+        makespan_secs: f64,
+    },
+    /// All expected workflows completed; the master is exiting.
+    AllCompleted {
+        /// Final engine statistics.
+        stats: EngineStats,
+    },
+}
+
+/// Handle to a running master daemon.
+pub struct MasterHandle {
+    thread: Option<std::thread::JoinHandle<EngineStats>>,
+    /// Receiver for progress events.
+    pub events: Receiver<MasterEvent>,
+}
+
+impl MasterHandle {
+    /// Wait for the master to exit, returning final engine statistics.
+    pub fn join(mut self) -> EngineStats {
+        self.thread.take().expect("join called once").join().expect("master panicked")
+    }
+}
+
+/// Spawn the master daemon.
+///
+/// It pulls the submission topic for new workflows, the ack topic for
+/// worker progress, publishes eligible jobs to the dispatch topic, and
+/// periodically resubmits timed-out jobs.
+pub fn spawn_master(bus: MessageBus, registry: Registry, config: MasterConfig) -> MasterHandle {
+    let (tx, rx): (Sender<MasterEvent>, Receiver<MasterEvent>) = unbounded();
+    let thread = std::thread::Builder::new()
+        .name("dewe-master".into())
+        .spawn(move || master_loop(bus, registry, config, tx))
+        .expect("spawn master thread");
+    MasterHandle { thread: Some(thread), events: rx }
+}
+
+fn master_loop(
+    bus: MessageBus,
+    registry: Registry,
+    config: MasterConfig,
+    events: Sender<MasterEvent>,
+) -> EngineStats {
+    let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
+    let start = Instant::now();
+    let mut last_scan = 0.0f64;
+    loop {
+        let now = start.elapsed().as_secs_f64();
+
+        // 1. Ingest any newly submitted workflows.
+        while let Some(sub) = bus.submission.try_pull() {
+            let now = start.elapsed().as_secs_f64();
+            // Insert into the registry BEFORE publishing dispatches so no
+            // worker can observe a job of an unknown workflow.
+            let expected_id = WorkflowId::from_index(engine.workflow_count());
+            registry.insert(expected_id, Arc::clone(&sub.workflow));
+            let (id, actions) = engine.submit_workflow(sub.workflow, now);
+            debug_assert_eq!(id, expected_id);
+            publish_actions(&bus, &events, actions);
+        }
+
+        // 2. Timeout scan at the configured cadence.
+        if now - last_scan >= config.timeout_scan_interval.as_secs_f64() {
+            last_scan = now;
+            let actions = engine.check_timeouts(now);
+            publish_actions(&bus, &events, actions);
+        }
+
+        // 3. Exit once the expected workload has completed. (The engine's
+        // own `AllCompleted` only covers workflows submitted *so far*; the
+        // master must keep serving when more submissions are expected.)
+        if let Some(expected) = config.expected_workflows {
+            if engine.stats().workflows_completed >= expected {
+                let _ = events.send(MasterEvent::AllCompleted { stats: engine.stats() });
+                return engine.stats();
+            }
+        }
+
+        // 4. Wait (briefly) for worker acknowledgments.
+        match bus.ack.pull_timeout(config.timeout_scan_interval) {
+            Some(ack) => {
+                let now = start.elapsed().as_secs_f64();
+                let actions = engine.on_ack(ack, now);
+                publish_actions(&bus, &events, actions);
+            }
+            None => {
+                if bus.ack.is_closed() {
+                    return engine.stats();
+                }
+            }
+        }
+    }
+}
+
+/// Publish dispatch actions and forward progress events.
+fn publish_actions(bus: &MessageBus, events: &Sender<MasterEvent>, actions: Vec<Action>) {
+    for action in actions {
+        match action {
+            Action::Dispatch(d) => bus.dispatch.publish(d),
+            Action::WorkflowCompleted { workflow, makespan_secs } => {
+                let _ = events.send(MasterEvent::WorkflowCompleted { workflow, makespan_secs });
+            }
+            Action::AllCompleted => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AckKind, AckMsg};
+    use dewe_dag::WorkflowBuilder;
+
+    /// Drive the master with a hand-rolled "worker" on the test thread.
+    #[test]
+    fn master_runs_a_chain_to_completion() {
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                timeout_scan_interval: Duration::from_millis(10),
+                expected_workflows: Some(1),
+                ..MasterConfig::default()
+            },
+        );
+
+        let mut b = WorkflowBuilder::new("chain");
+        let a = b.job("a", "t", 1.0).build();
+        let c = b.job("b", "t", 1.0).build();
+        b.edge(a, c);
+        let wf = Arc::new(b.finish().unwrap());
+        super::super::submit(&bus, "chain", wf);
+
+        // Act as the sole worker.
+        for _ in 0..2 {
+            let d = bus.dispatch.pull_timeout(Duration::from_secs(5)).expect("dispatch");
+            assert!(registry.get(d.job.workflow).is_some(), "registry populated first");
+            bus.ack.publish(AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: d.attempt });
+            bus.ack.publish(AckMsg { job: d.job, worker: 0, kind: AckKind::Completed, attempt: d.attempt });
+        }
+
+        // Completion event arrives, then shut the master down.
+        let ev = handle.events.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(ev, MasterEvent::WorkflowCompleted { .. }));
+        let ev = handle.events.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(ev, MasterEvent::AllCompleted { .. }));
+        bus.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.jobs_completed, 2);
+        assert_eq!(stats.workflows_completed, 1);
+    }
+
+    #[test]
+    fn master_resubmits_unacknowledged_job() {
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                default_timeout_secs: 0.05,
+                timeout_scan_interval: Duration::from_millis(10),
+                expected_workflows: Some(1),
+            },
+        );
+        let mut b = WorkflowBuilder::new("one");
+        b.job("a", "t", 1.0).build();
+        super::super::submit(&bus, "one", Arc::new(b.finish().unwrap()));
+
+        // First dispatch: check it out (Running ack) then crash — no
+        // completion ever arrives, so the checkout timeout must fire.
+        let d1 = bus.dispatch.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d1.attempt, 1);
+        bus.ack.publish(AckMsg { job: d1.job, worker: 0, kind: AckKind::Running, attempt: 1 });
+        // Timeout fires; a resubmission appears.
+        let d2 = bus.dispatch.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d2.attempt, 2);
+        // Complete it this time.
+        bus.ack.publish(AckMsg { job: d2.job, worker: 1, kind: AckKind::Running, attempt: 2 });
+        bus.ack.publish(AckMsg { job: d2.job, worker: 1, kind: AckKind::Completed, attempt: 2 });
+        let stats = handle.join();
+        assert_eq!(stats.resubmissions, 1);
+        assert_eq!(stats.workflows_completed, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Real-time (threaded) DEWE v2 runtime.
+//!
+//! This is a working in-process workflow engine: a master daemon thread, a
+//! configurable pool of worker daemons, and a submission application, all
+//! wired through [`dewe_mq`] topics exactly as the paper's deployment wires
+//! them through RabbitMQ (§III.C):
+//!
+//! ```text
+//!  submit()  ──▶ workflow_submission ──▶ MasterDaemon
+//!                                            │ publishes eligible jobs
+//!                                            ▼
+//!  WorkerDaemon(s) ◀────── job_dispatch ◀────┘
+//!        │ Running/Completed acks
+//!        ▼
+//!     job_ack ──▶ MasterDaemon (releases dependents, detects timeouts)
+//! ```
+//!
+//! Jobs execute through a pluggable [`JobRunner`]; the crate ships runners
+//! that sleep (deterministic scaling tests), do nothing (throughput tests),
+//! or perform real file I/O against a workspace directory (data-flow
+//! verification — a job finds its inputs on "the shared file system"
+//! because its parents really wrote them).
+//!
+//! Worker daemons can be killed (abandoning in-flight jobs without
+//! acknowledgment) and new ones started mid-run — the paper's §V.A.3
+//! robustness experiment — and the master's timeout mechanism recovers.
+
+mod bus;
+mod deployment;
+mod master;
+mod observer;
+mod runner;
+mod worker;
+
+pub use bus::{MessageBus, Registry};
+pub use deployment::{Deployment, DeploymentBuilder};
+pub use master::{spawn_master, MasterConfig, MasterEvent, MasterHandle};
+pub use observer::{spawn_observer, BusSeries, ObserverHandle};
+pub use runner::{CpuRunner, FsRunner, JobOutcome, JobRunner, NoopRunner, RunContext, SleepRunner};
+pub use worker::{spawn_worker, WorkerConfig, WorkerHandle};
+
+use crate::protocol::SubmissionMsg;
+use dewe_dag::Workflow;
+use std::sync::Arc;
+
+/// The workflow submission application (paper §III.E): publish a workflow
+/// to the submission topic, from any thread at any time.
+pub fn submit(bus: &MessageBus, name: impl Into<String>, workflow: Arc<Workflow>) {
+    bus.submission.publish(SubmissionMsg { name: name.into(), workflow });
+}

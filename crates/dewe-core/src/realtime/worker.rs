@@ -1,0 +1,241 @@
+//! The worker daemon: stateless pull-based job execution.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::bus::{MessageBus, Registry};
+use super::runner::{JobOutcome, JobRunner, RunContext};
+use crate::protocol::{AckKind, AckMsg};
+
+/// Worker daemon configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Worker identity (appears in acknowledgments).
+    pub worker_id: u32,
+    /// Concurrent job threads — the paper caps this at the node's CPU
+    /// count: "the worker daemon stops pulling the job dispatching topic
+    /// when the number of concurrent job execution threads equals the
+    /// number of CPUs" (§III.D).
+    pub slots: usize,
+    /// How long an idle slot waits on the dispatch topic per pull.
+    pub pull_timeout: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self { worker_id: 0, slots: 4, pull_timeout: Duration::from_millis(50) }
+    }
+}
+
+/// Handle to a running worker daemon.
+pub struct WorkerHandle {
+    threads: Vec<std::thread::JoinHandle<u64>>,
+    stop: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+}
+
+impl WorkerHandle {
+    /// Graceful stop: slots finish their current job (acknowledging it)
+    /// and exit. Returns total jobs executed.
+    pub fn stop(self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join()
+    }
+
+    /// Crash the worker (paper §V.A.3): in-flight jobs are abandoned
+    /// *without* a completion acknowledgment, so the master must recover
+    /// them via timeouts. Returns total jobs executed (completed ones).
+    pub fn kill(self) -> u64 {
+        self.kill.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        self.join()
+    }
+
+    fn join(self) -> u64 {
+        self.threads.into_iter().map(|t| t.join().expect("worker thread panicked")).sum()
+    }
+}
+
+/// Spawn a worker daemon with `config.slots` pulling threads.
+///
+/// The worker is stateless: its only knowledge of the system is the bus
+/// (the message-queue address) and the registry (the shared file system).
+/// It never learns the master's identity or other workers' existence.
+pub fn spawn_worker(
+    bus: MessageBus,
+    registry: Registry,
+    runner: Arc<dyn JobRunner>,
+    config: WorkerConfig,
+) -> WorkerHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let kill = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::with_capacity(config.slots);
+    for slot in 0..config.slots {
+        let bus = bus.clone();
+        let registry = registry.clone();
+        let runner = Arc::clone(&runner);
+        let stop = Arc::clone(&stop);
+        let kill = Arc::clone(&kill);
+        let cfg = config.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("dewe-worker-{}-{slot}", config.worker_id))
+                .spawn(move || slot_loop(bus, registry, runner, stop, kill, cfg))
+                .expect("spawn worker thread"),
+        );
+    }
+    WorkerHandle { threads, stop, kill }
+}
+
+fn slot_loop(
+    bus: MessageBus,
+    registry: Registry,
+    runner: Arc<dyn JobRunner>,
+    stop: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+    config: WorkerConfig,
+) -> u64 {
+    let mut executed = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let Some(dispatch) = bus.dispatch.pull_timeout(config.pull_timeout) else {
+            if bus.dispatch.is_closed() {
+                break;
+            }
+            continue;
+        };
+        // A worker killed right after the pull vanishes; the broker
+        // redelivers the unacknowledged checkout (RabbitMQ semantics) so
+        // the job is not lost while the master thinks it is still queued.
+        if kill.load(Ordering::Relaxed) {
+            bus.dispatch.publish(dispatch);
+            break;
+        }
+        let Some(workflow) = registry.get(dispatch.job.workflow) else {
+            // Unknown workflow: impossible under correct master ordering;
+            // drop the message (it will be recovered by timeout).
+            continue;
+        };
+        bus.ack.publish(AckMsg {
+            job: dispatch.job,
+            worker: config.worker_id,
+            kind: AckKind::Running,
+            attempt: dispatch.attempt,
+        });
+        let ctx = RunContext { cancelled: Arc::clone(&kill), worker: config.worker_id };
+        match runner.run(&workflow, dispatch.job.job, &ctx) {
+            JobOutcome::Success => {
+                executed += 1;
+                bus.ack.publish(AckMsg {
+                    job: dispatch.job,
+                    worker: config.worker_id,
+                    kind: AckKind::Completed,
+                    attempt: dispatch.attempt,
+                });
+            }
+            JobOutcome::Failed(_reason) => {
+                bus.ack.publish(AckMsg {
+                    job: dispatch.job,
+                    worker: config.worker_id,
+                    kind: AckKind::Failed,
+                    attempt: dispatch.attempt,
+                });
+            }
+            JobOutcome::Cancelled => {
+                // Crash semantics: no acknowledgment at all.
+                break;
+            }
+        }
+    }
+    executed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realtime::runner::NoopRunner;
+    use dewe_dag::{EnsembleJobId, JobId, WorkflowBuilder, WorkflowId};
+    use crate::protocol::DispatchMsg;
+    use std::sync::Arc;
+
+    fn one_job_registry() -> Registry {
+        let registry = Registry::new();
+        let mut b = WorkflowBuilder::new("w");
+        b.job("a", "t", 1.0).build();
+        registry.insert(WorkflowId(0), Arc::new(b.finish().unwrap()));
+        registry
+    }
+
+    #[test]
+    fn worker_executes_and_acks() {
+        let bus = MessageBus::new();
+        let registry = one_job_registry();
+        let handle = spawn_worker(
+            bus.clone(),
+            registry,
+            Arc::new(NoopRunner),
+            WorkerConfig { worker_id: 7, slots: 2, pull_timeout: Duration::from_millis(10) },
+        );
+        bus.dispatch.publish(DispatchMsg {
+            job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
+            attempt: 1,
+        });
+        let running = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(running.kind, AckKind::Running);
+        assert_eq!(running.worker, 7);
+        let completed = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(completed.kind, AckKind::Completed);
+        assert_eq!(handle.stop(), 1);
+    }
+
+    #[test]
+    fn killed_worker_abandons_job_without_ack() {
+        struct Slow;
+        impl crate::realtime::JobRunner for Slow {
+            fn run(
+                &self,
+                _w: &dewe_dag::Workflow,
+                _j: JobId,
+                ctx: &crate::realtime::RunContext,
+            ) -> JobOutcome {
+                for _ in 0..1000 {
+                    if ctx.is_cancelled() {
+                        return JobOutcome::Cancelled;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                JobOutcome::Success
+            }
+        }
+        let bus = MessageBus::new();
+        let registry = one_job_registry();
+        let handle = spawn_worker(
+            bus.clone(),
+            registry,
+            Arc::new(Slow),
+            WorkerConfig { worker_id: 1, slots: 1, pull_timeout: Duration::from_millis(10) },
+        );
+        bus.dispatch.publish(DispatchMsg {
+            job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
+            attempt: 1,
+        });
+        let running = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(running.kind, AckKind::Running);
+        assert_eq!(handle.kill(), 0, "no job completed");
+        // No completion ack must ever arrive.
+        assert!(bus.ack.pull_timeout(Duration::from_millis(100)).is_none());
+    }
+
+    #[test]
+    fn stopped_worker_drains_quickly() {
+        let bus = MessageBus::new();
+        let registry = one_job_registry();
+        let handle = spawn_worker(
+            bus.clone(),
+            registry,
+            Arc::new(NoopRunner),
+            WorkerConfig { worker_id: 0, slots: 3, pull_timeout: Duration::from_millis(5) },
+        );
+        assert_eq!(handle.stop(), 0);
+    }
+}

@@ -1,0 +1,464 @@
+//! Dynamic resource provisioning on the simulated cluster — the extension
+//! the paper sketches in §V.A.3.
+//!
+//! > "DEWE v2's capability of resuming workflow execution after
+//! > interruption of the worker daemon opens the door for dynamic resource
+//! > provisioning. ... When there are a large number of non-blocking jobs
+//! > in the queue, more worker nodes can be added to the cluster to speed
+//! > up the execution. When there are a limited number of blocking jobs in
+//! > the queue, some worker nodes can be removed from the cluster."
+//!
+//! Because workers are stateless pullers, scaling is trivial: a scaled-out
+//! node just starts pulling; a scaled-in node just stops (running jobs
+//! drain; queued work is untouched because the queue lives at the master).
+//! The autoscaler here is a reactive queue-depth policy evaluated on a
+//! fixed cadence, and the report prices the resulting rental spans under
+//! both 2015-AWS hourly billing and GCE-style per-minute billing —
+//! quantifying the paper's remark that dynamic provisioning "might not be
+//! effective" under charge-by-hour but "can be useful" under
+//! charge-by-minute.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dewe_dag::Workflow;
+use dewe_simcloud::{BillingModel, ClusterConfig, CostModel, ExecSim, JobProfile, SimEvent};
+
+use crate::engine::{Action, EngineStats, EnsembleEngine};
+use crate::protocol::{AckKind, AckMsg, DispatchMsg};
+
+use super::SlotPool;
+
+/// Reactive scaling policy.
+#[derive(Debug, Clone)]
+pub struct AutoscalePolicy {
+    /// Never scale below this many nodes.
+    pub min_nodes: usize,
+    /// Nodes active at ensemble start.
+    pub initial_nodes: usize,
+    /// Policy evaluation cadence, seconds.
+    pub evaluate_interval_secs: f64,
+    /// Scale out one node when queued jobs exceed `active slots x this`.
+    pub scale_out_queue_factor: f64,
+    /// Scale in one node when queued jobs fall below
+    /// `active slots x this` (0 = only when the queue is empty).
+    pub scale_in_queue_factor: f64,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        Self {
+            min_nodes: 1,
+            initial_nodes: 1,
+            evaluate_interval_secs: 10.0,
+            scale_out_queue_factor: 2.0,
+            scale_in_queue_factor: 0.25,
+        }
+    }
+}
+
+/// Results of an autoscaled run.
+pub struct AutoscaleReport {
+    /// Ensemble makespan, seconds.
+    pub makespan_secs: f64,
+    /// All workflows completed.
+    pub completed: bool,
+    /// Engine statistics.
+    pub engine: EngineStats,
+    /// Per-node rental spans (start, end), seconds. A node rented twice
+    /// contributes two spans.
+    pub node_spans: Vec<(f64, f64)>,
+    /// Peak simultaneously-active nodes.
+    pub peak_nodes: usize,
+    /// Node-seconds actually rented.
+    pub node_seconds: f64,
+    /// Cost under hourly billing (each span rounds up to whole hours).
+    pub cost_hourly: f64,
+    /// Cost under per-minute billing.
+    pub cost_per_minute: f64,
+    /// (time, active nodes) trace of scaling decisions.
+    pub scaling_trace: Vec<(f64, usize)>,
+}
+
+const TAG_SUBMIT: u64 = 1 << 56;
+const TAG_SCAN: u64 = 2 << 56;
+const TAG_EVAL: u64 = 6 << 56;
+const TAG_MASK: u64 = 0xff << 56;
+
+/// Run an ensemble with reactive autoscaling. `config.cluster.nodes` is
+/// the fleet ceiling (max nodes the autoscaler may rent).
+pub fn run_ensemble_autoscale(
+    workflows: &[Arc<Workflow>],
+    config: &super::SimRunConfig,
+    policy: &AutoscalePolicy,
+) -> AutoscaleReport {
+    assert!(!workflows.is_empty());
+    let max_nodes = config.cluster.nodes;
+    assert!(policy.min_nodes >= 1 && policy.min_nodes <= max_nodes);
+    assert!(policy.initial_nodes >= policy.min_nodes && policy.initial_nodes <= max_nodes);
+
+    let mut exec = ExecSim::new(ClusterConfig { ..config.cluster });
+    let slots_per_node = config.slots_per_node.unwrap_or(config.cluster.instance.vcpus);
+    let mut pool = SlotPool::new(max_nodes, slots_per_node);
+    // Start with only the initial nodes active.
+    let mut active = vec![true; max_nodes];
+    #[allow(clippy::needless_range_loop)] // index used for three arrays
+    for node in policy.initial_nodes..max_nodes {
+        pool.kill(node);
+        active[node] = false;
+        let t = exec.now();
+        exec.cluster_mut().set_active(node, false, t);
+    }
+    let mut node_running = vec![0u32; max_nodes];
+    /// Rental bookkeeping.
+    struct Rent {
+        spans: Vec<(f64, f64)>,
+        open: Vec<Option<f64>>, // rental start per node
+        draining: Vec<bool>,
+    }
+    let mut rent = Rent {
+        spans: Vec::new(),
+        open: (0..max_nodes)
+            .map(|n| if n < policy.initial_nodes { Some(0.0) } else { None })
+            .collect(),
+        draining: vec![false; max_nodes],
+    };
+
+    let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
+    let mut queue: VecDeque<DispatchMsg> = VecDeque::new();
+    let mut running: HashMap<u64, DispatchMsg> = HashMap::new();
+    let mut workflow_done = 0usize;
+    let mut all_done_at: Option<f64> = None;
+    let mut scaling_trace = vec![(0.0, policy.initial_nodes)];
+    let mut peak = policy.initial_nodes;
+
+    match config.submission {
+        super::SubmissionPlan::Batch => {
+            for (i, _) in workflows.iter().enumerate() {
+                exec.schedule_wake(0.0, TAG_SUBMIT | i as u64);
+            }
+        }
+        super::SubmissionPlan::Interval(secs) => {
+            for (i, _) in workflows.iter().enumerate() {
+                exec.schedule_wake(secs * i as f64, TAG_SUBMIT | i as u64);
+            }
+        }
+    }
+    exec.schedule_wake(config.timeout_scan_secs, TAG_SCAN);
+    exec.schedule_wake(policy.evaluate_interval_secs, TAG_EVAL);
+
+    fn token_of(job: dewe_dag::EnsembleJobId) -> u64 {
+        ((job.workflow.0 as u64) << 24) | job.job.0 as u64
+    }
+    fn file_key(wf: dewe_dag::WorkflowId, f: dewe_dag::FileId) -> u64 {
+        ((wf.0 as u64) << 32) | f.0 as u64
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_assign(
+        exec: &mut ExecSim,
+        engine: &mut EnsembleEngine,
+        pool: &mut SlotPool,
+        queue: &mut VecDeque<DispatchMsg>,
+        running: &mut HashMap<u64, DispatchMsg>,
+        node_running: &mut [u32],
+        overhead: f64,
+    ) {
+        while !queue.is_empty() {
+            let Some(node) = pool.pop_idle() else { break };
+            let d = queue.pop_front().expect("non-empty");
+            let now = exec.now().as_secs_f64();
+            engine.on_ack(
+                AckMsg { job: d.job, worker: node as u32, kind: AckKind::Running, attempt: d.attempt },
+                now,
+            );
+            let workflow = Arc::clone(engine.workflow(d.job.workflow));
+            let spec = workflow.job(d.job.job);
+            let profile = JobProfile {
+                reads: spec
+                    .inputs
+                    .iter()
+                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
+                    .collect(),
+                cpu_seconds: spec.cpu_seconds + overhead,
+                cores: spec.cores,
+                writes: spec
+                    .outputs
+                    .iter()
+                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
+                    .collect(),
+            };
+            node_running[node] += 1;
+            running.insert(token_of(d.job), d);
+            exec.submit_job(token_of(d.job), node, &profile);
+        }
+    }
+
+    while let Some(event) = exec.next() {
+        let now = exec.now().as_secs_f64();
+        match event {
+            SimEvent::JobFinished { token, node, .. } => {
+                let Some(d) = running.remove(&token) else { continue };
+                node_running[node] -= 1;
+                pool.release(node);
+                // A draining node whose last job finished ends its rental.
+                if rent.draining[node] && node_running[node] == 0 {
+                    if let Some(start) = rent.open[node].take() {
+                        rent.spans.push((start, now));
+                    }
+                    rent.draining[node] = false;
+                }
+                let actions = engine.on_ack(
+                    AckMsg {
+                        job: d.job,
+                        worker: node as u32,
+                        kind: AckKind::Completed,
+                        attempt: d.attempt,
+                    },
+                    now,
+                );
+                for action in actions {
+                    match action {
+                        Action::Dispatch(d) => queue.push_back(d),
+                        Action::WorkflowCompleted { .. } => {
+                            workflow_done += 1;
+                            if workflow_done == workflows.len() {
+                                all_done_at = Some(now);
+                            }
+                        }
+                        Action::AllCompleted => {}
+                    }
+                }
+                try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
+            }
+            SimEvent::Wake { token } => match token & TAG_MASK {
+                TAG_SUBMIT => {
+                    let idx = (token & !TAG_MASK) as usize;
+                    let (_, actions) = engine.submit_workflow(Arc::clone(&workflows[idx]), now);
+                    for action in actions {
+                        if let Action::Dispatch(d) = action {
+                            queue.push_back(d);
+                        }
+                    }
+                    try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
+                }
+                TAG_SCAN => {
+                    for action in engine.check_timeouts(now) {
+                        if let Action::Dispatch(d) = action {
+                            queue.push_back(d);
+                        }
+                    }
+                    try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
+                    if all_done_at.is_none() {
+                        exec.schedule_wake(config.timeout_scan_secs, TAG_SCAN);
+                    }
+                }
+                TAG_EVAL => {
+                    let active_count = active.iter().filter(|&&a| a).count();
+                    let active_slots = active_count as f64 * slots_per_node as f64;
+                    let qlen = queue.len() as f64;
+                    if qlen > active_slots * policy.scale_out_queue_factor
+                        && active_count < max_nodes
+                    {
+                        // Scale out: wake the lowest inactive node. A
+                        // previously-draining node can be re-engaged.
+                        let node = (0..max_nodes).find(|&n| !active[n]).expect("capacity");
+                        active[node] = true;
+                        rent.draining[node] = false;
+                        if rent.open[node].is_none() {
+                            rent.open[node] = Some(now);
+                        }
+                        // A re-engaged draining node still runs its old
+                        // jobs; only the free slots may pull.
+                        pool.restart(node, node_running[node]);
+                        let t = exec.now();
+                        exec.cluster_mut().set_active(node, true, t);
+                        scaling_trace.push((now, active_count + 1));
+                        peak = peak.max(active_count + 1);
+                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
+                    } else if qlen < active_slots * policy.scale_in_queue_factor
+                        && active_count > policy.min_nodes
+                    {
+                        // Scale in: retire the highest active node. It stops
+                        // pulling immediately; running jobs drain.
+                        let node =
+                            (0..max_nodes).rev().find(|&n| active[n]).expect("min_nodes >= 1");
+                        active[node] = false;
+                        pool.kill(node);
+                        let t = exec.now();
+                        exec.cluster_mut().set_active(node, false, t);
+                        if node_running[node] == 0 {
+                            if let Some(start) = rent.open[node].take() {
+                                rent.spans.push((start, now));
+                            }
+                        } else {
+                            rent.draining[node] = true;
+                        }
+                        scaling_trace.push((now, active_count - 1));
+                    }
+                    if all_done_at.is_none() {
+                        exec.schedule_wake(policy.evaluate_interval_secs, TAG_EVAL);
+                    }
+                }
+                _ => unreachable!(),
+            },
+        }
+        if all_done_at.is_some() && exec.running_jobs() == 0 {
+            break;
+        }
+    }
+
+    let makespan = all_done_at.unwrap_or_else(|| exec.now().as_secs_f64());
+    // Close any open rentals at makespan.
+    for node in 0..max_nodes {
+        if let Some(start) = rent.open[node].take() {
+            rent.spans.push((start, makespan));
+        }
+    }
+    let node_seconds: f64 = rent.spans.iter().map(|&(s, e)| e - s).sum();
+    let price = config.cluster.instance.price_per_hour;
+    let hourly = CostModel { billing: BillingModel::PerHour, price_per_hour: price };
+    let minute = CostModel { billing: BillingModel::PerMinute, price_per_hour: price };
+    let cost_hourly: f64 = rent.spans.iter().map(|&(s, e)| hourly.cost(1, e - s)).sum();
+    let cost_per_minute: f64 = rent.spans.iter().map(|&(s, e)| minute.cost(1, e - s)).sum();
+
+    AutoscaleReport {
+        makespan_secs: makespan,
+        completed: all_done_at.is_some(),
+        engine: engine.stats(),
+        node_spans: rent.spans,
+        peak_nodes: peak,
+        node_seconds,
+        cost_hourly,
+        cost_per_minute,
+        scaling_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimRunConfig, SubmissionPlan};
+    use dewe_dag::WorkflowBuilder;
+    use dewe_simcloud::{SharedFsKind, StorageConfig, C3_8XLARGE};
+
+    fn fleet(max_nodes: usize) -> SimRunConfig {
+        let mut cfg = SimRunConfig::new(ClusterConfig {
+            instance: C3_8XLARGE,
+            nodes: max_nodes,
+            storage: StorageConfig::Shared(SharedFsKind::DistFs),
+        });
+        cfg.per_job_overhead_secs = 0.0;
+        cfg
+    }
+
+    fn wide_then_narrow() -> Arc<Workflow> {
+        // A Montage-like silhouette: wide fan, serial waist, wide fan.
+        let mut b = WorkflowBuilder::new("wn");
+        let fan1: Vec<_> = (0..256).map(|i| b.job(format!("a{i}"), "t", 4.0).build()).collect();
+        let waist = b.job("waist", "t", 120.0).build();
+        for &j in &fan1 {
+            b.edge(j, waist);
+        }
+        for i in 0..256 {
+            let j = b.job(format!("b{i}"), "t", 4.0).build();
+            b.edge(waist, j);
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn autoscaler_scales_out_under_load_and_in_at_the_waist() {
+        let policy = AutoscalePolicy {
+            min_nodes: 1,
+            initial_nodes: 1,
+            evaluate_interval_secs: 2.0,
+            scale_out_queue_factor: 1.0,
+            scale_in_queue_factor: 0.25,
+        };
+        let report = run_ensemble_autoscale(&[wide_then_narrow()], &fleet(4), &policy);
+        assert!(report.completed);
+        assert!(report.peak_nodes > 1, "load must trigger scale-out");
+        // The waist (120 s, queue empty) must trigger scale-in: some point
+        // in the trace returns to 1 node after the peak.
+        let peak_at = report
+            .scaling_trace
+            .iter()
+            .position(|&(_, n)| n == report.peak_nodes)
+            .unwrap();
+        assert!(
+            report.scaling_trace[peak_at..].iter().any(|&(_, n)| n == 1),
+            "waist should drain the fleet: {:?}",
+            report.scaling_trace
+        );
+        assert_eq!(report.engine.jobs_completed, 513);
+    }
+
+    #[test]
+    fn autoscaled_run_rents_fewer_node_seconds_than_static_fleet() {
+        let policy = AutoscalePolicy {
+            min_nodes: 1,
+            initial_nodes: 1,
+            evaluate_interval_secs: 2.0,
+            scale_out_queue_factor: 1.0,
+            scale_in_queue_factor: 0.25,
+        };
+        let auto = run_ensemble_autoscale(&[wide_then_narrow()], &fleet(4), &policy);
+        let static_run = crate::sim::run_ensemble(&[wide_then_narrow()], &fleet(4));
+        let static_node_secs = 4.0 * static_run.makespan_secs;
+        assert!(
+            auto.node_seconds < static_node_secs,
+            "autoscaling should rent less: {} vs {}",
+            auto.node_seconds,
+            static_node_secs
+        );
+        // And it should not be catastrophically slower.
+        assert!(auto.makespan_secs < static_run.makespan_secs * 3.0);
+    }
+
+    #[test]
+    fn per_minute_billing_shows_the_savings() {
+        let policy = AutoscalePolicy {
+            min_nodes: 1,
+            initial_nodes: 1,
+            evaluate_interval_secs: 2.0,
+            scale_out_queue_factor: 1.0,
+            scale_in_queue_factor: 0.25,
+        };
+        let report = run_ensemble_autoscale(&[wide_then_narrow()], &fleet(4), &policy);
+        // Per-minute cost tracks node-seconds; hourly rounds every span up.
+        assert!(report.cost_per_minute <= report.cost_hourly + 1e-9);
+        let ideal = report.node_seconds / 3600.0 * C3_8XLARGE.price_per_hour;
+        assert!(report.cost_per_minute >= ideal - 1e-9);
+        assert!(report.cost_per_minute <= ideal * 1.5 + 0.2, "minute billing near ideal");
+    }
+
+    #[test]
+    fn min_nodes_respected() {
+        let policy = AutoscalePolicy {
+            min_nodes: 2,
+            initial_nodes: 2,
+            evaluate_interval_secs: 1.0,
+            scale_out_queue_factor: 1e9, // never scale out
+            scale_in_queue_factor: 1e9,  // always try to scale in
+        };
+        let mut b = WorkflowBuilder::new("small");
+        for i in 0..8 {
+            b.job(format!("j{i}"), "t", 30.0).build();
+        }
+        let wf = Arc::new(b.finish().unwrap());
+        let report = run_ensemble_autoscale(&[wf], &fleet(4), &policy);
+        assert!(report.completed);
+        assert!(report.scaling_trace.iter().all(|&(_, n)| n >= 2));
+    }
+
+    #[test]
+    fn incremental_submission_composes_with_autoscaling() {
+        let mut cfg = fleet(3);
+        cfg.submission = SubmissionPlan::Interval(20.0);
+        let wfs: Vec<_> = (0..3).map(|_| wide_then_narrow()).collect();
+        let report = run_ensemble_autoscale(&wfs, &cfg, &AutoscalePolicy::default());
+        assert!(report.completed);
+        assert_eq!(report.engine.workflows_completed, 3);
+    }
+}

@@ -1,0 +1,691 @@
+//! Discrete-event runtime: DEWE v2 on a simulated EC2 cluster.
+//!
+//! Drives the same [`EnsembleEngine`] as the realtime runtime, but workers
+//! are slots on simulated nodes and jobs execute through
+//! [`dewe_simcloud::ExecSim`]'s read → compute → write pipeline. This is
+//! how the repository reproduces the paper's up-to-1,280-vCPU experiments
+//! on one machine.
+//!
+//! The worker model mirrors §III.D exactly: each node exposes `vcpus`
+//! slots; an idle slot pulls the dispatch queue first-come-first-served
+//! (idle slots are served in the order they became idle); a node stops
+//! pulling when all its slots are busy. Fault injection kills a node's
+//! slots mid-run (in-flight jobs vanish without acknowledgment) and
+//! restarts them later — the paper's §V.A.3 robustness experiment.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dewe_dag::{EnsembleJobId, Workflow};
+use dewe_metrics::{ClusterSampler, Gantt, SAMPLE_INTERVAL_SECS};
+use dewe_simcloud::{ClusterConfig, ExecSim, JobProfile, NodeId, SimEvent};
+
+use crate::engine::{Action, EngineStats, EnsembleEngine};
+use crate::protocol::{AckKind, AckMsg, DispatchMsg};
+
+pub mod autoscale;
+
+/// How the ensemble's workflows are submitted (paper §V.A.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmissionPlan {
+    /// All workflows submitted at time zero in one batch.
+    Batch,
+    /// Workflow *i* submitted at `i * interval_secs` (incremental
+    /// submission; batch is the `interval = 0` special case).
+    Interval(f64),
+}
+
+/// A worker-daemon fault to inject (paper §V.A.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Node whose worker daemon dies.
+    pub node: NodeId,
+    /// When it dies (seconds).
+    pub kill_at_secs: f64,
+    /// When (if ever) a worker daemon starts again on that node.
+    pub restart_at_secs: Option<f64>,
+}
+
+/// Configuration for a simulated ensemble run.
+#[derive(Debug, Clone)]
+pub struct SimRunConfig {
+    /// The cluster to run on.
+    pub cluster: ClusterConfig,
+    /// System-wide default job timeout (paper §III.B).
+    pub default_timeout_secs: f64,
+    /// Master's timeout scan cadence.
+    pub timeout_scan_secs: f64,
+    /// Submission plan.
+    pub submission: SubmissionPlan,
+    /// Fixed per-job execution overhead in CPU-seconds: dispatch round
+    /// trip, fork/exec and library loading on the worker. The pulling
+    /// model's overhead is small but not zero.
+    pub per_job_overhead_secs: f64,
+    /// Worker slots per node (`None` = the node's vCPU count, the paper's
+    /// setting).
+    pub slots_per_node: Option<u32>,
+    /// Collect 3-second metrics samples.
+    pub sample: bool,
+    /// Record per-job spans for gantt rendering (memory-heavy at ensemble
+    /// scale; use for single-workflow runs).
+    pub record_gantt: bool,
+    /// Worker faults to inject.
+    pub faults: Vec<FaultPlan>,
+    /// Per-node CPU speed multipliers (heterogeneity ablation; `None` =
+    /// the paper's homogeneous cluster).
+    pub node_speed_factors: Option<Vec<f64>>,
+    /// Record a per-job lifecycle [`dewe_metrics::Trace`] (memory-heavy at
+    /// full ensemble scale; intended for single-workflow analyses).
+    pub record_trace: bool,
+}
+
+impl SimRunConfig {
+    /// Defaults mirroring the paper's setup on the given cluster.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        Self {
+            cluster,
+            default_timeout_secs: 600.0,
+            timeout_scan_secs: 5.0,
+            submission: SubmissionPlan::Batch,
+            per_job_overhead_secs: 0.1,
+            slots_per_node: None,
+            sample: false,
+            record_gantt: false,
+            faults: Vec::new(),
+            node_speed_factors: None,
+            record_trace: false,
+        }
+    }
+}
+
+/// Results of a simulated ensemble run.
+pub struct SimReport {
+    /// Wall-clock seconds from start to the last workflow completion.
+    pub makespan_secs: f64,
+    /// Per-workflow makespans (submission → completion), by workflow id.
+    pub workflow_makespans: Vec<f64>,
+    /// True when every workflow completed (false = simulation starved,
+    /// which indicates an engine bug).
+    pub completed: bool,
+    /// Total CPU busy core-seconds across the cluster.
+    pub total_cpu_core_secs: f64,
+    /// Total disk bytes read (cache misses).
+    pub total_bytes_read: f64,
+    /// Total logical bytes written.
+    pub total_bytes_written: f64,
+    /// Read-cache hit rate (by lookup count).
+    pub cache_hit_rate: f64,
+    /// Engine statistics (dispatches, resubmissions, ...).
+    pub engine: EngineStats,
+    /// 3-second samples, when requested.
+    pub sampler: Option<ClusterSampler>,
+    /// Per-job spans, when requested.
+    pub gantt: Option<Gantt>,
+    /// Per-job lifecycle trace, when requested.
+    pub trace: Option<dewe_metrics::Trace>,
+    /// Rental cost under hourly billing.
+    pub cost_usd: f64,
+}
+
+// Wake-token tags (high byte).
+const TAG_SUBMIT: u64 = 1 << 56;
+const TAG_SCAN: u64 = 2 << 56;
+const TAG_SAMPLE: u64 = 3 << 56;
+const TAG_KILL: u64 = 4 << 56;
+const TAG_RESTART: u64 = 5 << 56;
+const TAG_MASK: u64 = 0xff << 56;
+
+fn job_token(job: EnsembleJobId) -> u64 {
+    ((job.workflow.0 as u64) << 24) | job.job.0 as u64
+}
+
+fn file_key(workflow: dewe_dag::WorkflowId, file: dewe_dag::FileId) -> u64 {
+    ((workflow.0 as u64) << 32) | file.0 as u64
+}
+
+pub(crate) struct SlotPool {
+    /// FIFO of idle slots: (node, epoch at enqueue time).
+    idle: VecDeque<(NodeId, u32)>,
+    /// Per-node epoch, bumped on kill so stale idle entries are discarded.
+    epoch: Vec<u32>,
+    active: Vec<bool>,
+    slots_per_node: u32,
+}
+
+impl SlotPool {
+    pub(crate) fn new(nodes: usize, slots_per_node: u32) -> Self {
+        let mut idle = VecDeque::with_capacity(nodes * slots_per_node as usize);
+        // Interleave nodes so initial assignment spreads round-robin, as
+        // simultaneous pulls from idle workers would.
+        for _ in 0..slots_per_node {
+            for node in 0..nodes {
+                idle.push_back((node, 0));
+            }
+        }
+        Self { idle, epoch: vec![0; nodes], active: vec![true; nodes], slots_per_node }
+    }
+
+    pub(crate) fn pop_idle(&mut self) -> Option<NodeId> {
+        while let Some((node, epoch)) = self.idle.pop_front() {
+            if self.active[node] && self.epoch[node] == epoch {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    pub(crate) fn release(&mut self, node: NodeId) {
+        if self.active[node] {
+            self.idle.push_back((node, self.epoch[node]));
+        }
+    }
+
+    pub(crate) fn kill(&mut self, node: NodeId) {
+        self.active[node] = false;
+        self.epoch[node] = self.epoch[node].wrapping_add(1);
+    }
+
+    /// Re-engage a node. `busy_slots` is how many of its slots are still
+    /// occupied by jobs that survived the deactivation (graceful scale-in
+    /// lets running jobs drain; a crash kills them). Only the remaining
+    /// slots become idle pullers — re-adding a full set would oversubscribe
+    /// the node's cores.
+    pub(crate) fn restart(&mut self, node: NodeId, busy_slots: u32) {
+        if !self.active[node] {
+            self.active[node] = true;
+            for _ in 0..self.slots_per_node.saturating_sub(busy_slots) {
+                self.idle.push_back((node, self.epoch[node]));
+            }
+        }
+    }
+}
+
+/// Run an ensemble of workflows on a simulated cluster with DEWE v2.
+pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimReport {
+    assert!(!workflows.is_empty(), "ensemble must contain at least one workflow");
+    let mut exec = ExecSim::new(config.cluster);
+    let nodes = config.cluster.nodes;
+    if let Some(speeds) = &config.node_speed_factors {
+        assert_eq!(speeds.len(), nodes, "one speed factor per node");
+        for (n, &f) in speeds.iter().enumerate() {
+            exec.cluster_mut().set_speed_factor(n, f);
+        }
+    }
+    let slots_per_node = config.slots_per_node.unwrap_or(config.cluster.instance.vcpus);
+    let mut pool = SlotPool::new(nodes, slots_per_node);
+    let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
+    let mut queue: VecDeque<DispatchMsg> = VecDeque::new();
+    let mut running: HashMap<u64, DispatchMsg> = HashMap::new();
+    let mut sampler =
+        config.sample.then(|| ClusterSampler::new(nodes, config.cluster.instance.vcpus));
+    let mut gantt = config.record_gantt.then(Gantt::new);
+    let mut trace = config.record_trace.then(dewe_metrics::Trace::new);
+    // (dispatch time, checkout time) per running token, for tracing.
+    let mut trace_times: HashMap<u64, (f64, f64)> = HashMap::new();
+    let mut dispatch_times: HashMap<u64, f64> = HashMap::new();
+    let mut workflow_makespans = vec![0.0f64; workflows.len()];
+    let mut completed_count = 0usize;
+    let mut all_done_at: Option<f64> = None;
+
+    // Schedule submissions.
+    match config.submission {
+        SubmissionPlan::Batch => {
+            for (i, _) in workflows.iter().enumerate() {
+                exec.schedule_wake(0.0, TAG_SUBMIT | i as u64);
+            }
+        }
+        SubmissionPlan::Interval(secs) => {
+            for (i, _) in workflows.iter().enumerate() {
+                exec.schedule_wake(secs * i as f64, TAG_SUBMIT | i as u64);
+            }
+        }
+    }
+    // Master timeout scan + metrics sampling + faults.
+    exec.schedule_wake(config.timeout_scan_secs, TAG_SCAN);
+    if sampler.is_some() {
+        exec.schedule_wake(SAMPLE_INTERVAL_SECS, TAG_SAMPLE);
+    }
+    for (i, fault) in config.faults.iter().enumerate() {
+        assert!(fault.node < nodes, "fault on unknown node");
+        exec.schedule_wake(fault.kill_at_secs, TAG_KILL | i as u64);
+        if let Some(at) = fault.restart_at_secs {
+            exec.schedule_wake(at, TAG_RESTART | i as u64);
+        }
+    }
+
+    // Turn engine actions into queue entries / bookkeeping. The engine's
+    // `AllCompleted` only covers workflows submitted *so far*; under
+    // incremental submission the run ends when the expected total has
+    // completed, so we count completions ourselves.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_actions(
+        actions: Vec<Action>,
+        queue: &mut VecDeque<DispatchMsg>,
+        workflow_makespans: &mut [f64],
+        completed_count: &mut usize,
+        all_done_at: &mut Option<f64>,
+        dispatch_times: &mut HashMap<u64, f64>,
+        tracing: bool,
+        now: f64,
+    ) {
+        for action in actions {
+            match action {
+                Action::Dispatch(d) => {
+                    if tracing {
+                        dispatch_times.insert(job_token(d.job), now);
+                    }
+                    queue.push_back(d);
+                }
+                Action::WorkflowCompleted { workflow, makespan_secs } => {
+                    workflow_makespans[workflow.index()] = makespan_secs;
+                    *completed_count += 1;
+                    if *completed_count == workflow_makespans.len() {
+                        *all_done_at = Some(now);
+                    }
+                }
+                Action::AllCompleted => {}
+            }
+        }
+    }
+
+    // Assign queued jobs to idle slots (the pull loop).
+    #[allow(clippy::too_many_arguments)]
+    fn try_assign(
+        exec: &mut ExecSim,
+        engine: &mut EnsembleEngine,
+        pool: &mut SlotPool,
+        queue: &mut VecDeque<DispatchMsg>,
+        running: &mut HashMap<u64, DispatchMsg>,
+        trace_times: &mut HashMap<u64, (f64, f64)>,
+        dispatch_times: &mut HashMap<u64, f64>,
+        tracing: bool,
+        overhead_secs: f64,
+    ) {
+        while !queue.is_empty() {
+            let Some(node) = pool.pop_idle() else { break };
+            let d = queue.pop_front().expect("queue non-empty");
+            let now = exec.now().as_secs_f64();
+            // Worker checks the job out: Running acknowledgment.
+            let actions = engine.on_ack(
+                AckMsg {
+                    job: d.job,
+                    worker: node as u32,
+                    kind: AckKind::Running,
+                    attempt: d.attempt,
+                },
+                now,
+            );
+            debug_assert!(actions.is_empty());
+            let workflow = Arc::clone(engine.workflow(d.job.workflow));
+            let spec = workflow.job(d.job.job);
+            let profile = JobProfile {
+                reads: spec
+                    .inputs
+                    .iter()
+                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
+                    .collect(),
+                cpu_seconds: spec.cpu_seconds + overhead_secs,
+                cores: spec.cores,
+                writes: spec
+                    .outputs
+                    .iter()
+                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
+                    .collect(),
+            };
+            let token = job_token(d.job);
+            if tracing {
+                let dispatched = dispatch_times.remove(&token).unwrap_or(now);
+                trace_times.insert(token, (dispatched, now));
+            }
+            running.insert(token, d);
+            exec.submit_job(token, node, &profile);
+        }
+    }
+
+    try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+
+    while let Some(event) = exec.next() {
+        match event {
+            SimEvent::JobFinished { token, node, timings } => {
+                let Some(d) = running.remove(&token) else {
+                    // Defensive: kill_jobs_on suppresses completions of
+                    // killed jobs, so every finish has a running entry.
+                    continue;
+                };
+                if let Some(g) = gantt.as_mut() {
+                    g.record(node, timings);
+                }
+                if let Some(tr) = trace.as_mut() {
+                    let (dispatched, started) =
+                        trace_times.remove(&token).unwrap_or_default();
+                    let wf = engine.workflow(d.job.workflow);
+                    tr.record(dewe_metrics::JobTrace {
+                        workflow: d.job.workflow.0,
+                        job: d.job.job.0,
+                        xform: wf.job(d.job.job).xform.clone(),
+                        attempt: d.attempt,
+                        node,
+                        dispatched,
+                        started,
+                        read_done: timings.read_done.as_secs_f64(),
+                        compute_done: timings.compute_done.as_secs_f64(),
+                        finished: timings.finished.as_secs_f64(),
+                    });
+                }
+                pool.release(node);
+                let now = exec.now().as_secs_f64();
+                let actions = engine.on_ack(
+                    AckMsg {
+                        job: d.job,
+                        worker: node as u32,
+                        kind: AckKind::Completed,
+                        attempt: d.attempt,
+                    },
+                    now,
+                );
+                handle_actions(actions, &mut queue, &mut workflow_makespans, &mut completed_count, &mut all_done_at, &mut dispatch_times, trace.is_some(), now);
+                try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+            }
+            SimEvent::Wake { token } => {
+                let now = exec.now().as_secs_f64();
+                match token & TAG_MASK {
+                    TAG_SUBMIT => {
+                        let idx = (token & !TAG_MASK) as usize;
+                        let (_, actions) =
+                            engine.submit_workflow(Arc::clone(&workflows[idx]), now);
+                        handle_actions(actions, &mut queue, &mut workflow_makespans, &mut completed_count, &mut all_done_at, &mut dispatch_times, trace.is_some(), now);
+                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+                    }
+                    TAG_SCAN => {
+                        let actions = engine.check_timeouts(now);
+                        handle_actions(actions, &mut queue, &mut workflow_makespans, &mut completed_count, &mut all_done_at, &mut dispatch_times, trace.is_some(), now);
+                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+                        if all_done_at.is_none() {
+                            exec.schedule_wake(config.timeout_scan_secs, TAG_SCAN);
+                        }
+                    }
+                    TAG_SAMPLE => {
+                        if let Some(s) = sampler.as_mut() {
+                            let counters: Vec<_> =
+                                (0..nodes).map(|n| exec.node_counters(n)).collect();
+                            s.sample(now, &counters);
+                        }
+                        if all_done_at.is_none() {
+                            exec.schedule_wake(SAMPLE_INTERVAL_SECS, TAG_SAMPLE);
+                        }
+                    }
+                    TAG_KILL => {
+                        let idx = (token & !TAG_MASK) as usize;
+                        let node = config.faults[idx].node;
+                        let killed = exec.kill_jobs_on(node);
+                        for t in killed {
+                            running.remove(&t);
+                        }
+                        pool.kill(node);
+                    }
+                    TAG_RESTART => {
+                        let idx = (token & !TAG_MASK) as usize;
+                        // The kill destroyed the node's jobs, so every slot
+                        // is free on restart.
+                        pool.restart(config.faults[idx].node, 0);
+                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+                    }
+                    _ => unreachable!("unknown wake tag"),
+                }
+            }
+        }
+        // Exit when done. With sampling on, run a short tail so the series
+        // show the ramp-down.
+        match all_done_at {
+            Some(done) if sampler.is_none() => {
+                let _ = done;
+                break;
+            }
+            Some(done) if exec.now().as_secs_f64() > done + 2.0 * SAMPLE_INTERVAL_SECS => break,
+            _ => {}
+        }
+    }
+
+    let makespan = all_done_at.unwrap_or_else(|| exec.now().as_secs_f64());
+    let mut total_cpu = 0.0;
+    let mut total_rd = 0.0;
+    let mut total_wr = 0.0;
+    for n in 0..nodes {
+        let c = exec.node_counters(n);
+        total_cpu += c.cpu_busy_core_secs;
+        total_rd += c.bytes_read;
+        total_wr += c.bytes_written;
+    }
+    let cost = exec.cluster().cost_model().cost(nodes, makespan);
+    SimReport {
+        makespan_secs: makespan,
+        workflow_makespans,
+        completed: all_done_at.is_some(),
+        total_cpu_core_secs: total_cpu,
+        total_bytes_read: total_rd,
+        total_bytes_written: total_wr,
+        cache_hit_rate: exec.storage().cache_hit_rate(),
+        engine: engine.stats(),
+        sampler,
+        gantt,
+        trace,
+        cost_usd: cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewe_dag::WorkflowBuilder;
+    use dewe_simcloud::{SharedFsKind, StorageConfig, C3_8XLARGE};
+
+    fn cluster(nodes: usize) -> ClusterConfig {
+        ClusterConfig {
+            instance: C3_8XLARGE,
+            nodes,
+            storage: StorageConfig::Shared(SharedFsKind::DistFs),
+        }
+    }
+
+    /// `width` parallel jobs of `secs` CPU-seconds each, no I/O.
+    fn parallel_wf(width: usize, secs: f64) -> Arc<Workflow> {
+        let mut b = WorkflowBuilder::new("par");
+        for i in 0..width {
+            b.job(format!("j{i}"), "t", secs).build();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn chain_wf(len: usize, secs: f64) -> Arc<Workflow> {
+        let mut b = WorkflowBuilder::new("chain");
+        let mut prev = None;
+        for i in 0..len {
+            let j = b.job(format!("j{i}"), "t", secs).build();
+            if let Some(p) = prev {
+                b.edge(p, j);
+            }
+            prev = Some(j);
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn no_overhead(cluster: ClusterConfig) -> SimRunConfig {
+        SimRunConfig { per_job_overhead_secs: 0.0, ..SimRunConfig::new(cluster) }
+    }
+
+    #[test]
+    fn single_chain_makespan_is_sum() {
+        let report = run_ensemble(&[chain_wf(5, 2.0)], &no_overhead(cluster(1)));
+        assert!(report.completed);
+        assert!((report.makespan_secs - 10.0).abs() < 0.1, "{}", report.makespan_secs);
+        assert_eq!(report.engine.jobs_completed, 5);
+    }
+
+    #[test]
+    fn parallel_jobs_fill_all_slots() {
+        // 64 x 1s jobs on 32 slots -> 2 waves -> ~2 s.
+        let report = run_ensemble(&[parallel_wf(64, 1.0)], &no_overhead(cluster(1)));
+        assert!((report.makespan_secs - 2.0).abs() < 0.1, "{}", report.makespan_secs);
+        assert!((report.total_cpu_core_secs - 64.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn two_nodes_halve_parallel_makespan() {
+        let one = run_ensemble(&[parallel_wf(128, 1.0)], &no_overhead(cluster(1)));
+        let two = run_ensemble(&[parallel_wf(128, 1.0)], &no_overhead(cluster(2)));
+        assert!((one.makespan_secs - 4.0).abs() < 0.2);
+        assert!((two.makespan_secs - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn ensemble_workflows_run_in_parallel() {
+        // 4 chains of 3 x 1 s: chains from different workflows interleave
+        // across slots; makespan ~3 s, not 12 s.
+        let wfs: Vec<_> = (0..4).map(|_| chain_wf(3, 1.0)).collect();
+        let report = run_ensemble(&wfs, &no_overhead(cluster(1)));
+        assert!(report.completed);
+        assert!(report.makespan_secs < 4.0, "{}", report.makespan_secs);
+        assert_eq!(report.workflow_makespans.len(), 4);
+        assert!(report.workflow_makespans.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn incremental_submission_staggers_starts() {
+        let wfs: Vec<_> = (0..3).map(|_| parallel_wf(4, 1.0)).collect();
+        let batch = run_ensemble(&wfs, &no_overhead(cluster(1)));
+        let mut cfg = no_overhead(cluster(1));
+        cfg.submission = SubmissionPlan::Interval(10.0);
+        let staggered = run_ensemble(&wfs, &cfg);
+        // Batch: everything at once (~1 s). Staggered: last submitted at 20 s.
+        assert!(batch.makespan_secs < 2.0);
+        assert!((staggered.makespan_secs - 21.0).abs() < 0.5, "{}", staggered.makespan_secs);
+    }
+
+    #[test]
+    fn worker_kill_and_restart_recovers_via_timeout() {
+        // One long job; the only node dies mid-job and restarts. A blocking
+        // job must wait out the timeout (paper §V.A.3).
+        let wf = chain_wf(1, 100.0);
+        let mut cfg = no_overhead(cluster(1));
+        cfg.default_timeout_secs = 150.0;
+        cfg.faults =
+            vec![FaultPlan { node: 0, kill_at_secs: 50.0, restart_at_secs: Some(55.0) }];
+        let report = run_ensemble(&[wf], &cfg);
+        assert!(report.completed);
+        assert_eq!(report.engine.resubmissions, 1);
+        assert!(report.makespan_secs > 200.0, "{}", report.makespan_secs);
+        assert!(report.makespan_secs < 300.0, "{}", report.makespan_secs);
+    }
+
+    #[test]
+    fn nonblocking_kill_resumes_quickly() {
+        // Plenty of independent jobs: after restart, the worker resumes
+        // with OTHER jobs immediately; only the killed in-flight jobs wait
+        // for the timeout tail.
+        let wf = parallel_wf(320, 1.0); // 10 waves on 32 slots
+        let mut cfg = no_overhead(cluster(1));
+        cfg.default_timeout_secs = 30.0;
+        cfg.timeout_scan_secs = 1.0;
+        cfg.faults = vec![FaultPlan { node: 0, kill_at_secs: 5.0, restart_at_secs: Some(7.0) }];
+        let report = run_ensemble(&[wf], &cfg);
+        assert!(report.completed);
+        assert!(report.engine.resubmissions >= 32);
+        assert!(report.makespan_secs < 50.0, "{}", report.makespan_secs);
+    }
+
+    #[test]
+    fn sampler_collects_series() {
+        let mut cfg = no_overhead(cluster(1));
+        cfg.sample = true;
+        let report = run_ensemble(&[parallel_wf(64, 5.0)], &cfg);
+        let sampler = report.sampler.expect("sampling enabled");
+        let cpu = sampler.mean_cpu_util();
+        assert!(!cpu.is_empty());
+        // 64 jobs x 5 s on 32 cores: utilization reaches 100%.
+        assert!(cpu.max() > 99.0, "max util {}", cpu.max());
+    }
+
+    #[test]
+    fn gantt_records_every_job() {
+        let mut cfg = no_overhead(cluster(1));
+        cfg.record_gantt = true;
+        let report = run_ensemble(&[parallel_wf(10, 1.0)], &cfg);
+        assert_eq!(report.gantt.expect("gantt").len(), 10);
+    }
+
+    #[test]
+    fn per_job_overhead_slows_short_jobs() {
+        let fast = run_ensemble(&[parallel_wf(64, 1.0)], &no_overhead(cluster(1)));
+        let mut cfg = SimRunConfig::new(cluster(1));
+        cfg.per_job_overhead_secs = 1.0;
+        let slow = run_ensemble(&[parallel_wf(64, 1.0)], &cfg);
+        assert!(slow.makespan_secs > fast.makespan_secs * 1.8);
+    }
+
+    #[test]
+    fn deterministic_given_same_config() {
+        let wfs: Vec<_> = (0..3).map(|_| chain_wf(4, 0.7)).collect();
+        let a = run_ensemble(&wfs, &no_overhead(cluster(2)));
+        let b = run_ensemble(&wfs, &no_overhead(cluster(2)));
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.workflow_makespans, b.workflow_makespans);
+        assert_eq!(a.engine.dispatches, b.engine.dispatches);
+    }
+
+    #[test]
+    fn cost_uses_hourly_billing() {
+        let report = run_ensemble(&[parallel_wf(32, 1.0)], &no_overhead(cluster(2)));
+        // Under an hour on 2 c3.8xlarge -> 2 x 1.68.
+        assert!((report.cost_usd - 3.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_every_job_with_ordered_phases() {
+        let mut cfg = no_overhead(cluster(1));
+        cfg.record_trace = true;
+        let report = run_ensemble(&[chain_wf(4, 1.0)], &cfg);
+        let trace = report.trace.expect("trace requested");
+        assert_eq!(trace.len(), 4);
+        for e in trace.events() {
+            assert!(e.dispatched <= e.started);
+            assert!(e.started <= e.read_done);
+            assert!(e.finished <= report.makespan_secs + 1e-6);
+            assert_eq!(e.attempt, 1);
+        }
+        // Chain jobs queue-wait ~0 (each dispatched when its parent ends).
+        let qw = trace.queue_wait_summary().unwrap();
+        assert!(qw.max < 0.1, "chain jobs should not queue: {qw:?}");
+    }
+
+    #[test]
+    fn trace_exports_are_well_formed() {
+        let mut cfg = no_overhead(cluster(2));
+        cfg.record_trace = true;
+        let report = run_ensemble(&[parallel_wf(70, 1.0)], &cfg);
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.len(), 70);
+        let csv = trace.to_csv();
+        assert_eq!(csv.lines().count(), 71);
+        let json = trace.to_chrome_json();
+        assert_eq!(json.matches("\"cat\":\"job\"").count(), 70);
+        // 70 jobs on 64 slots: the overflow wave shows queue wait ~1 s.
+        let qw = trace.queue_wait_summary().unwrap();
+        assert!(qw.max > 0.5, "second wave must have waited: {qw:?}");
+    }
+
+    #[test]
+    fn io_jobs_move_data_through_storage() {
+        let mut b = WorkflowBuilder::new("io");
+        let f_in = b.file("in", 500_000_000, true);
+        let mid = b.file("mid", 250_000_000, false);
+        let a = b.job("a", "t", 1.0).input(f_in).output(mid).build();
+        let c = b.job("b", "t", 1.0).input(mid).build();
+        b.edge(a, c);
+        let report = run_ensemble(&[Arc::new(b.finish().unwrap())], &no_overhead(cluster(1)));
+        assert!(report.completed);
+        // The 500 MB input was a cold read; `mid` was cache-warm.
+        assert!(report.total_bytes_read >= 500_000_000.0 * 0.99);
+        assert!(report.total_bytes_read < 700_000_000.0);
+        assert!((report.total_bytes_written - 250_000_000.0).abs() < 1e6);
+    }
+}

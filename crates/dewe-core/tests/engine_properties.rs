@@ -1,0 +1,143 @@
+//! Property-based tests for the full DEWE v2 simulated runtime: random
+//! workflows, random cluster shapes, random faults — the ensemble always
+//! completes, exactly once per job, deterministically.
+
+use std::sync::Arc;
+
+use dewe_core::sim::{run_ensemble, FaultPlan, SimRunConfig, SubmissionPlan};
+use dewe_dag::{Workflow, WorkflowBuilder};
+use dewe_montage::{random_layered, RandomDagConfig};
+use dewe_simcloud::{ClusterConfig, SharedFsKind, StorageConfig, C3_8XLARGE};
+use proptest::prelude::*;
+
+fn workflow_strategy() -> impl Strategy<Value = Arc<Workflow>> {
+    (1usize..5, 1usize..8, 0.05f64..0.8, 0.1f64..5.0, any::<u64>()).prop_map(
+        |(layers, width, edge_probability, mean_cpu_seconds, seed)| {
+            Arc::new(random_layered(&RandomDagConfig {
+                layers,
+                width,
+                edge_probability,
+                mean_cpu_seconds,
+                seed,
+            }))
+        },
+    )
+}
+
+fn cluster(nodes: usize) -> ClusterConfig {
+    ClusterConfig {
+        instance: C3_8XLARGE,
+        nodes,
+        storage: StorageConfig::Shared(SharedFsKind::DistFs),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any ensemble of random DAGs on any small cluster completes with
+    /// exactly one execution per job.
+    #[test]
+    fn random_ensembles_complete(
+        wfs in prop::collection::vec(workflow_strategy(), 1..5),
+        nodes in 1usize..4,
+        interval in 0.0f64..10.0,
+    ) {
+        let total: u64 = wfs.iter().map(|w| w.job_count() as u64).sum();
+        let mut cfg = SimRunConfig::new(cluster(nodes));
+        cfg.per_job_overhead_secs = 0.0;
+        cfg.submission = if interval == 0.0 {
+            SubmissionPlan::Batch
+        } else {
+            SubmissionPlan::Interval(interval)
+        };
+        let report = run_ensemble(&wfs, &cfg);
+        prop_assert!(report.completed);
+        prop_assert_eq!(report.engine.jobs_completed, total);
+        prop_assert_eq!(report.engine.resubmissions, 0);
+        prop_assert_eq!(report.engine.duplicate_completions, 0);
+        // Makespan bounds: at least the critical path of the longest
+        // workflow; at most total serial time plus submission staggering.
+        let serial: f64 = wfs.iter().map(|w| w.total_cpu_seconds()).sum();
+        let stagger = interval * wfs.len() as f64;
+        prop_assert!(report.makespan_secs <= serial + stagger + 1.0,
+            "makespan {} > serial bound {}", report.makespan_secs, serial + stagger);
+    }
+
+    /// Faults (kill + restart) never prevent completion and never lose or
+    /// duplicate effective work.
+    #[test]
+    fn faulty_ensembles_still_complete(
+        wf in workflow_strategy(),
+        kill_frac in 0.05f64..0.9,
+        outage in 0.5f64..10.0,
+    ) {
+        // Two nodes, kill node 1 somewhere inside the fault-free makespan.
+        let mut cfg = SimRunConfig::new(cluster(2));
+        cfg.per_job_overhead_secs = 0.0;
+        let clean = run_ensemble(&[Arc::clone(&wf)], &cfg);
+        prop_assert!(clean.completed);
+
+        let mut cfg = SimRunConfig::new(cluster(2));
+        cfg.per_job_overhead_secs = 0.0;
+        cfg.default_timeout_secs = 5.0;
+        cfg.timeout_scan_secs = 0.5;
+        let kill_at = (clean.makespan_secs * kill_frac).max(0.01);
+        cfg.faults = vec![FaultPlan {
+            node: 1,
+            kill_at_secs: kill_at,
+            restart_at_secs: Some(kill_at + outage),
+        }];
+        let report = run_ensemble(&[Arc::clone(&wf)], &cfg);
+        prop_assert!(report.completed, "fault run starved");
+        prop_assert_eq!(report.engine.jobs_completed, wf.job_count() as u64);
+        // Makespan can only grow under faults (same config otherwise).
+        prop_assert!(report.makespan_secs + 1e-6 >= clean.makespan_secs * 0.999,
+            "faults should not speed things up: {} vs {}",
+            report.makespan_secs, clean.makespan_secs);
+    }
+
+    /// Determinism: the full runtime is a pure function of its inputs.
+    #[test]
+    fn runtime_is_deterministic(
+        wfs in prop::collection::vec(workflow_strategy(), 1..4),
+        nodes in 1usize..4,
+    ) {
+        let mut cfg = SimRunConfig::new(cluster(nodes));
+        cfg.per_job_overhead_secs = 0.05;
+        let a = run_ensemble(&wfs, &cfg);
+        let b = run_ensemble(&wfs, &cfg);
+        prop_assert_eq!(a.makespan_secs, b.makespan_secs);
+        prop_assert_eq!(a.workflow_makespans, b.workflow_makespans);
+        prop_assert_eq!(a.total_bytes_read, b.total_bytes_read);
+        prop_assert_eq!(a.total_bytes_written, b.total_bytes_written);
+        prop_assert_eq!(a.engine.dispatches, b.engine.dispatches);
+    }
+
+    /// More nodes never hurt: makespan is non-increasing in cluster size
+    /// for CPU-bound ensembles (no I/O efficiency penalty on DistFs at
+    /// these scales because the workloads are compute-only).
+    #[test]
+    fn monotone_in_cluster_size(
+        width in 8usize..40,
+        cpu in 0.5f64..5.0,
+    ) {
+        // Compute-only fan (no files), so shared-FS scaling effects are out
+        // of the picture.
+        let mut b = WorkflowBuilder::new("fan");
+        for i in 0..width * 4 {
+            b.job(format!("j{i}"), "t", cpu).build();
+        }
+        let wf = Arc::new(b.finish().unwrap());
+        let mut prev = f64::INFINITY;
+        for nodes in 1..=3 {
+            let mut cfg = SimRunConfig::new(cluster(nodes));
+            cfg.per_job_overhead_secs = 0.0;
+            let r = run_ensemble(&[Arc::clone(&wf)], &cfg);
+            prop_assert!(r.completed);
+            prop_assert!(r.makespan_secs <= prev + 1e-6,
+                "{nodes} nodes slower than {}: {} > {prev}", nodes - 1, r.makespan_secs);
+            prev = r.makespan_secs;
+        }
+    }
+}

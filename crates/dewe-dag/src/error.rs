@@ -1,0 +1,78 @@
+//! Error type shared by DAG construction, validation and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a workflow DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The job graph contains a cycle; the offending job names are listed in
+    /// an arbitrary order along the cycle.
+    Cycle(Vec<String>),
+    /// A job or file name was used twice within the same workflow.
+    DuplicateName(String),
+    /// A `PARENT ... CHILD ...` edge or file reference names an unknown entity.
+    UnknownName(String),
+    /// A file has more than one producing job. Scientific workflow formats
+    /// (DAX, DAGMan) require single-writer files; DEWE v2 relies on this to
+    /// make outputs immediately visible through the shared file system.
+    MultipleProducers { file: String, first: String, second: String },
+    /// A parse error with 1-based line number and message.
+    Parse { line: usize, message: String },
+    /// A numeric field failed validation (negative runtime, zero cores, ...).
+    InvalidField { entity: String, message: String },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Cycle(names) => {
+                write!(f, "workflow graph contains a cycle involving: {}", names.join(" -> "))
+            }
+            DagError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            DagError::UnknownName(n) => write!(f, "reference to unknown name `{n}`"),
+            DagError::MultipleProducers { file, first, second } => write!(
+                f,
+                "file `{file}` has multiple producers: `{first}` and `{second}`"
+            ),
+            DagError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DagError::InvalidField { entity, message } => {
+                write!(f, "invalid field on `{entity}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_cycle() {
+        let e = DagError::Cycle(vec!["a".into(), "b".into()]);
+        assert_eq!(e.to_string(), "workflow graph contains a cycle involving: a -> b");
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = DagError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn display_multiple_producers() {
+        let e = DagError::MultipleProducers {
+            file: "x".into(),
+            first: "a".into(),
+            second: "b".into(),
+        };
+        assert!(e.to_string().contains("multiple producers"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DagError::DuplicateName("x".into()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Merging independent workflows into one namespaced DAG.
+//!
+//! Some engines (including DAGMan without a higher-level ensemble manager)
+//! accept only one DAG per submission. [`merge`] turns an ensemble of
+//! independent workflows into a single workflow whose job and file names
+//! are prefixed per member (`w0/…`, `w1/…`), preserving each member's
+//! internal structure exactly. Executing the merged DAG is semantically
+//! identical to submitting the members separately in one batch — which the
+//! tests verify through the dependency tracker.
+
+use crate::workflow::{Workflow, WorkflowBuilder};
+
+/// Merge independent workflows into one DAG with per-member namespacing.
+///
+/// Member `i`'s jobs and files are renamed `"w{i}/<name>"`. No edges are
+/// added between members (ensemble members are independent by the paper's
+/// definition). Returns an empty workflow for an empty input.
+pub fn merge(name: impl Into<String>, members: &[&Workflow]) -> Workflow {
+    let mut b = WorkflowBuilder::new(name);
+    for (i, wf) in members.iter().enumerate() {
+        let prefix = format!("w{i}/");
+        // Files first; ids within this member are offset by the running
+        // count, so record the mapping explicitly.
+        let mut file_map = Vec::with_capacity(wf.file_count());
+        for f in wf.files() {
+            file_map.push(b.file(format!("{prefix}{}", f.name), f.size_bytes, f.initial));
+        }
+        let mut job_map = Vec::with_capacity(wf.job_count());
+        for j in wf.jobs() {
+            let mut jb = b
+                .job(format!("{prefix}{}", j.name), j.xform.clone(), j.cpu_seconds)
+                .cores(j.cores);
+            if let Some(t) = j.timeout_secs {
+                jb = jb.timeout_secs(t);
+            }
+            let jb = jb
+                .inputs(j.inputs.iter().map(|f| file_map[f.index()]))
+                .outputs(j.outputs.iter().map(|f| file_map[f.index()]));
+            job_map.push(jb.build());
+        }
+        for u in wf.job_ids() {
+            for &v in wf.children(u) {
+                let implied = wf.job(v).inputs.iter().any(|&f| wf.producer(f) == Some(u));
+                if !implied {
+                    b.edge(job_map[u.index()], job_map[v.index()]);
+                }
+            }
+        }
+    }
+    b.finish().expect("merging valid DAGs yields a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DependencyTracker;
+
+    fn chain(tag: &str, n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new(tag);
+        let mut prev = None;
+        for i in 0..n {
+            let j = b.job(format!("{tag}{i}"), "t", 1.0).build();
+            if let Some(p) = prev {
+                b.edge(p, j);
+            }
+            prev = Some(j);
+        }
+        b.finish().unwrap()
+    }
+
+    fn dataflow_pair() -> Workflow {
+        let mut b = WorkflowBuilder::new("df");
+        let i = b.file("in", 10, true);
+        let m = b.file("mid", 5, false);
+        b.job("a", "t", 1.0).input(i).output(m).build();
+        b.job("b", "t", 1.0).input(m).build();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn merged_counts_are_sums() {
+        let a = chain("a", 3);
+        let d = dataflow_pair();
+        let merged = merge("ens", &[&a, &d]);
+        assert_eq!(merged.job_count(), 5);
+        assert_eq!(merged.file_count(), 2);
+        assert_eq!(merged.edge_count(), a.edge_count() + d.edge_count());
+    }
+
+    #[test]
+    fn members_stay_independent() {
+        let a = chain("a", 2);
+        let b = chain("b", 2);
+        let merged = merge("ens", &[&a, &b]);
+        // Both members' roots are ready immediately.
+        let mut t = DependencyTracker::new(&merged);
+        assert_eq!(t.take_ready().len(), 2);
+        // Namespacing keeps names unique even for identical members.
+        let c = chain("x", 2);
+        let twice = merge("ens2", &[&c, &c]);
+        assert_eq!(twice.job_count(), 4);
+        assert!(twice.job_by_name("w0/x0").is_some());
+        assert!(twice.job_by_name("w1/x0").is_some());
+    }
+
+    #[test]
+    fn data_flow_survives_namespacing() {
+        let d = dataflow_pair();
+        let merged = merge("ens", &[&d]);
+        let a = merged.job_by_name("w0/a").unwrap();
+        let b = merged.job_by_name("w0/b").unwrap();
+        assert_eq!(merged.children(a), &[b]);
+        let f = merged.file_by_name("w0/mid").unwrap();
+        assert_eq!(merged.producer(f), Some(a));
+        assert!(merged.file_by_name("w0/in").map(|f| merged.file(f).initial).unwrap());
+    }
+
+    #[test]
+    fn merged_executes_like_batch_submission() {
+        let a = chain("a", 3);
+        let d = dataflow_pair();
+        let merged = merge("ens", &[&a, &d]);
+        let mut t = DependencyTracker::new(&merged);
+        let mut done = 0;
+        loop {
+            let ready = t.take_ready();
+            if ready.is_empty() {
+                break;
+            }
+            for j in ready {
+                t.mark_running(j);
+                t.complete_in(&merged, j);
+                done += 1;
+            }
+        }
+        assert_eq!(done, 5);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn empty_merge_is_empty_workflow() {
+        let merged = merge("none", &[]);
+        assert_eq!(merged.job_count(), 0);
+    }
+}

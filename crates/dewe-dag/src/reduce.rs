@@ -1,0 +1,300 @@
+//! Transitive reduction and workflow linting.
+//!
+//! Real-world DAX generators frequently emit *redundant* precedence edges
+//! (an explicit `parent -> grandchild` edge alongside the implied
+//! two-step path). Redundant edges are harmless for correctness but cost
+//! dependency-tracking work at ensemble scale and clutter visualizations;
+//! [`transitive_reduction`] rebuilds a workflow with the minimum
+//! equivalent edge set.
+//!
+//! [`lint`] reports structural oddities that usually indicate generator
+//! bugs: files nobody reads, non-initial files nobody writes, jobs with no
+//! I/O at all, and redundant edges.
+
+use std::collections::HashSet;
+
+use crate::ids::JobId;
+use crate::workflow::{Workflow, WorkflowBuilder};
+
+/// Identify redundant *control* edges: `(parent, child)` pairs where
+/// another path of length ≥ 2 from parent to child exists.
+///
+/// Edges implied by data flow (the child reads a file the parent writes)
+/// are never reported: the data dependency is real even when the ordering
+/// it imposes is transitively implied — in Montage, for example,
+/// `mProjectPP -> mBackground` is implied through the background-modeling
+/// chain, yet mBackground still physically reads the projected image.
+pub fn redundant_edges(wf: &Workflow) -> Vec<(JobId, JobId)> {
+    // For each job u (in reverse topological order), compute reachability
+    // via children-of-children; an edge u->v is redundant if v is reachable
+    // from some other child of u. For workflow-scale graphs a per-node DFS
+    // over the children works; memoized bitsets would be overkill here
+    // because fans are shallow.
+    let mut redundant = Vec::new();
+    for u in wf.job_ids() {
+        let children: &[JobId] = wf.children(u);
+        if children.len() < 2 {
+            continue;
+        }
+        let direct: HashSet<JobId> = children.iter().copied().collect();
+        // BFS from each child; any *other* direct child reached via a path
+        // of length >= 1 marks that edge redundant.
+        let mut flagged: HashSet<JobId> = HashSet::new();
+        for &c in children {
+            let mut stack: Vec<JobId> = wf.children(c).to_vec();
+            let mut seen: HashSet<JobId> = HashSet::new();
+            while let Some(x) = stack.pop() {
+                if !seen.insert(x) {
+                    continue;
+                }
+                if direct.contains(&x) {
+                    flagged.insert(x);
+                    // keep going: other children may also be reachable
+                }
+                stack.extend_from_slice(wf.children(x));
+            }
+        }
+        for v in flagged {
+            let data_implied = wf.job(v).inputs.iter().any(|&f| wf.producer(f) == Some(u));
+            if !data_implied {
+                redundant.push((u, v));
+            }
+        }
+    }
+    redundant.sort_unstable();
+    redundant
+}
+
+/// Rebuild the workflow without redundant precedence edges. Data-flow
+/// (file) relations are preserved untouched; only explicit edges that are
+/// implied by longer paths disappear. The result executes identically.
+pub fn transitive_reduction(wf: &Workflow) -> Workflow {
+    let redundant: HashSet<(JobId, JobId)> = redundant_edges(wf).into_iter().collect();
+    let mut b = WorkflowBuilder::new(wf.name().to_string());
+    for f in wf.files() {
+        b.file(f.name.clone(), f.size_bytes, f.initial);
+    }
+    for j in wf.jobs() {
+        let mut jb = b.job(j.name.clone(), j.xform.clone(), j.cpu_seconds).cores(j.cores);
+        if let Some(t) = j.timeout_secs {
+            jb = jb.timeout_secs(t);
+        }
+        jb.inputs(j.inputs.iter().copied()).outputs(j.outputs.iter().copied()).build();
+    }
+    for u in wf.job_ids() {
+        for &v in wf.children(u) {
+            if redundant.contains(&(u, v)) {
+                continue;
+            }
+            // Skip edges implied by data flow (the builder re-derives them).
+            let implied = wf.job(v).inputs.iter().any(|&f| wf.producer(f) == Some(u));
+            if !implied {
+                b.edge(u, v);
+            }
+        }
+    }
+    b.finish().expect("reduction preserves acyclicity")
+}
+
+/// A lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintFinding {
+    /// A produced file no job reads (wasted output; terminal results from
+    /// sink jobs are exempt).
+    UnreadFile(String),
+    /// A non-initial file consumed but never produced (would block forever
+    /// in a system that stages data by producer — here it parses as an
+    /// implicitly initial file, almost always a generator bug).
+    PhantomInput(String),
+    /// A job with neither inputs nor outputs (pure side effect; legal but
+    /// suspicious in a data-driven workflow).
+    NoIo(String),
+    /// A redundant precedence edge `parent -> child`.
+    RedundantEdge(String, String),
+}
+
+/// Lint a workflow for structural oddities.
+pub fn lint(wf: &Workflow) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let sink_outputs: HashSet<_> =
+        wf.sinks().iter().flat_map(|&s| wf.job(s).outputs.iter().copied()).collect();
+    let mut read: vec::BitsetLike = vec::BitsetLike::new(wf.file_count());
+    for j in wf.jobs() {
+        for &f in &j.inputs {
+            read.set(f.index());
+        }
+    }
+    for f in wf.file_ids() {
+        let spec = wf.file(f);
+        if !spec.initial && !read.get(f.index()) && !sink_outputs.contains(&f) {
+            findings.push(LintFinding::UnreadFile(spec.name.clone()));
+        }
+        if !spec.initial && wf.producer(f).is_none() {
+            findings.push(LintFinding::PhantomInput(spec.name.clone()));
+        }
+    }
+    for j in wf.jobs() {
+        if j.inputs.is_empty() && j.outputs.is_empty() {
+            findings.push(LintFinding::NoIo(j.name.clone()));
+        }
+    }
+    for (u, v) in redundant_edges(wf) {
+        findings.push(LintFinding::RedundantEdge(
+            wf.job(u).name.clone(),
+            wf.job(v).name.clone(),
+        ));
+    }
+    findings
+}
+
+/// Tiny growable bitset (avoids a HashSet per file at ensemble scale).
+mod vec {
+    pub struct BitsetLike {
+        bits: Vec<u64>,
+    }
+    impl BitsetLike {
+        pub fn new(n: usize) -> Self {
+            Self { bits: vec![0; n.div_ceil(64)] }
+        }
+        pub fn set(&mut self, i: usize) {
+            self.bits[i / 64] |= 1 << (i % 64);
+        }
+        pub fn get(&self, i: usize) -> bool {
+            self.bits[i / 64] & (1 << (i % 64)) != 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> b -> c with a redundant direct a -> c edge.
+    fn triangle() -> Workflow {
+        let mut b = WorkflowBuilder::new("tri");
+        let a = b.job("a", "t", 1.0).build();
+        let m = b.job("b", "t", 1.0).build();
+        let c = b.job("c", "t", 1.0).build();
+        b.edge(a, m);
+        b.edge(m, c);
+        b.edge(a, c); // redundant
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn detects_redundant_edge() {
+        let wf = triangle();
+        let red = redundant_edges(&wf);
+        assert_eq!(red.len(), 1);
+        assert_eq!(wf.job(red[0].0).name, "a");
+        assert_eq!(wf.job(red[0].1).name, "c");
+    }
+
+    #[test]
+    fn reduction_removes_only_redundant_edges() {
+        let wf = triangle();
+        assert_eq!(wf.edge_count(), 3);
+        let reduced = transitive_reduction(&wf);
+        assert_eq!(reduced.edge_count(), 2);
+        // Execution semantics preserved: same topological constraints.
+        let c = reduced.job_by_name("c").unwrap();
+        let m = reduced.job_by_name("b").unwrap();
+        assert_eq!(reduced.parents(c), &[m]);
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let wf = transitive_reduction(&triangle());
+        let again = transitive_reduction(&wf);
+        assert_eq!(wf.edge_count(), again.edge_count());
+    }
+
+    #[test]
+    fn clean_diamond_is_untouched() {
+        let mut b = WorkflowBuilder::new("d");
+        let a = b.job("a", "t", 1.0).build();
+        let l = b.job("l", "t", 1.0).build();
+        let r = b.job("r", "t", 1.0).build();
+        let m = b.job("m", "t", 1.0).build();
+        b.edge(a, l);
+        b.edge(a, r);
+        b.edge(l, m);
+        b.edge(r, m);
+        let wf = b.finish().unwrap();
+        assert!(redundant_edges(&wf).is_empty());
+        assert_eq!(transitive_reduction(&wf).edge_count(), 4);
+    }
+
+    #[test]
+    fn reduction_preserves_montage_execution() {
+        // Montage has no redundant edges; reduction must be a no-op that
+        // still executes fully.
+        let wf = dewe_montage_free_montage();
+        let reduced = transitive_reduction(&wf);
+        assert_eq!(reduced.edge_count(), wf.edge_count());
+        let mut t = crate::DependencyTracker::new(&reduced);
+        let mut done = 0;
+        loop {
+            let ready = t.take_ready();
+            if ready.is_empty() {
+                break;
+            }
+            for j in ready {
+                t.mark_running(j);
+                t.complete_in(&reduced, j);
+                done += 1;
+            }
+        }
+        assert_eq!(done, reduced.job_count());
+    }
+
+    /// Hand-rolled mini-Montage (this crate cannot depend on dewe-montage).
+    fn dewe_montage_free_montage() -> Workflow {
+        let mut b = WorkflowBuilder::new("mini");
+        let mut projs = Vec::new();
+        for i in 0..6 {
+            let raw = b.file(format!("raw{i}"), 10, true);
+            let p = b.file(format!("proj{i}"), 10, false);
+            b.job(format!("proj{i}"), "p", 1.0).input(raw).output(p).build();
+            projs.push(p);
+        }
+        let fit = b.file("fit", 1, false);
+        b.job("concat", "c", 5.0).inputs(projs.iter().copied()).output(fit).build();
+        for (i, &proj) in projs.iter().enumerate() {
+            b.job(format!("bg{i}"), "b", 1.0).input(proj).input(fit).build();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lint_finds_phantom_and_unread() {
+        let mut b = WorkflowBuilder::new("l");
+        let phantom = b.file("phantom.dat", 1, false); // consumed, never produced
+        let unread = b.file("unread.dat", 1, false);
+        let terminal = b.file("final.dat", 1, false);
+        b.job("x", "t", 1.0).input(phantom).output(unread).build();
+        b.job("sink", "t", 1.0).input(unread).output(terminal).build();
+        b.job("idle", "t", 1.0).build();
+        let wf = b.finish().unwrap();
+        let findings = lint(&wf);
+        assert!(findings.contains(&LintFinding::PhantomInput("phantom.dat".into())));
+        assert!(findings.contains(&LintFinding::NoIo("idle".into())));
+        // `unread.dat` IS read (by sink) and `final.dat` is a sink output:
+        // neither may be flagged as unread.
+        assert!(!findings.iter().any(|f| matches!(f, LintFinding::UnreadFile(_))));
+    }
+
+    #[test]
+    fn lint_clean_workflow_is_empty() {
+        let wf = dewe_montage_free_montage();
+        assert!(lint(&wf).is_empty(), "{:?}", lint(&wf));
+    }
+
+    #[test]
+    fn lint_reports_redundant_edges() {
+        let findings = lint(&triangle());
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::RedundantEdge(a, b) if a == "a" && b == "c")));
+    }
+}

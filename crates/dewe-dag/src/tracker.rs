@@ -1,0 +1,322 @@
+//! Runtime dependency tracking — the master daemon's view of one workflow.
+//!
+//! [`DependencyTracker`] is a pure state machine: no clocks, no queues, no
+//! I/O. The DEWE v2 master (and the Pegasus-like baseline) drive it with
+//! completion events and drain the ready frontier into whatever dispatch
+//! mechanism they use (message-queue topic, scheduler queue, ...).
+
+use crate::ids::JobId;
+use crate::workflow::Workflow;
+
+/// Lifecycle of a job as seen by the master daemon (paper §III.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Has unfinished parents; not yet eligible.
+    Pending,
+    /// All parents complete; eligible to run (published or publishable).
+    Ready,
+    /// Checked out by a worker; a "running" acknowledgment was received.
+    Running,
+    /// A "completed" acknowledgment was received.
+    Completed,
+}
+
+/// Aggregate counts maintained by the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrackerStats {
+    pub pending: usize,
+    pub ready: usize,
+    pub running: usize,
+    pub completed: usize,
+}
+
+impl TrackerStats {
+    /// Total jobs tracked.
+    pub fn total(&self) -> usize {
+        self.pending + self.ready + self.running + self.completed
+    }
+}
+
+/// Tracks dependency satisfaction and job states for one workflow instance.
+#[derive(Debug, Clone)]
+pub struct DependencyTracker {
+    /// Remaining unfinished parents per job.
+    remaining: Vec<u32>,
+    state: Vec<JobState>,
+    /// Jobs that became Ready and have not yet been taken by the engine.
+    ready_queue: Vec<JobId>,
+    stats: TrackerStats,
+}
+
+impl DependencyTracker {
+    /// Initialize from a validated workflow; all root jobs start Ready.
+    pub fn new(workflow: &Workflow) -> Self {
+        let n = workflow.job_count();
+        let mut remaining = Vec::with_capacity(n);
+        let mut state = Vec::with_capacity(n);
+        let mut ready_queue = Vec::new();
+        for j in workflow.job_ids() {
+            let deg = workflow.in_degree(j) as u32;
+            remaining.push(deg);
+            if deg == 0 {
+                state.push(JobState::Ready);
+                ready_queue.push(j);
+            } else {
+                state.push(JobState::Pending);
+            }
+        }
+        let stats = TrackerStats {
+            pending: n - ready_queue.len(),
+            ready: ready_queue.len(),
+            running: 0,
+            completed: 0,
+        };
+        Self { remaining, state, ready_queue, stats }
+    }
+
+    /// Current state of a job.
+    #[inline]
+    pub fn state(&self, id: JobId) -> JobState {
+        self.state[id.index()]
+    }
+
+    /// Drain jobs that became eligible since the last call.
+    ///
+    /// The returned jobs stay in [`JobState::Ready`] until
+    /// [`mark_running`](Self::mark_running) is called — mirroring the gap
+    /// between the master publishing a job to the dispatch topic and a
+    /// worker's "running" acknowledgment.
+    pub fn take_ready(&mut self) -> Vec<JobId> {
+        std::mem::take(&mut self.ready_queue)
+    }
+
+    /// Number of jobs waiting in the ready queue (published or not).
+    pub fn ready_len(&self) -> usize {
+        self.ready_queue.len()
+    }
+
+    /// Record a worker's "running" acknowledgment.
+    ///
+    /// Idempotent for already-running jobs; ignored for completed jobs
+    /// (a stale ack after a timeout-resubmit race, paper §III.B).
+    pub fn mark_running(&mut self, id: JobId) {
+        match self.state[id.index()] {
+            JobState::Ready => {
+                self.state[id.index()] = JobState::Running;
+                self.stats.ready -= 1;
+                self.stats.running += 1;
+            }
+            JobState::Pending => {
+                // A worker can only have gotten the job if we published it;
+                // Pending means a protocol error by the caller.
+                debug_assert!(false, "mark_running on pending job {id:?}");
+            }
+            JobState::Running | JobState::Completed => {}
+        }
+    }
+
+    /// Record a worker's "completed" acknowledgment *without* releasing
+    /// children — use [`complete_in`](Self::complete_in) in normal operation.
+    /// Duplicate completions (two workers raced on a timed-out job) are
+    /// ignored.
+    pub fn mark_completed(&mut self, id: JobId) {
+        match self.state[id.index()] {
+            JobState::Completed => return,
+            JobState::Ready => self.stats.ready -= 1,
+            JobState::Running => self.stats.running -= 1,
+            JobState::Pending => {
+                debug_assert!(false, "mark_completed on pending job {id:?}");
+                self.stats.pending -= 1;
+            }
+        }
+        self.state[id.index()] = JobState::Completed;
+        self.stats.completed += 1;
+    }
+
+    /// Convenience: mark completed and release children in one call.
+    pub fn complete_in(&mut self, workflow: &Workflow, id: JobId) -> Vec<JobId> {
+        if self.state[id.index()] == JobState::Completed {
+            return Vec::new();
+        }
+        self.mark_completed(id);
+        let mut newly = Vec::new();
+        for &c in workflow.children(id) {
+            let r = &mut self.remaining[c.index()];
+            debug_assert!(*r > 0, "child {c:?} released more times than its in-degree");
+            *r -= 1;
+            if *r == 0 {
+                debug_assert_eq!(self.state[c.index()], JobState::Pending);
+                self.state[c.index()] = JobState::Ready;
+                self.stats.pending -= 1;
+                self.stats.ready += 1;
+                self.ready_queue.push(c);
+                newly.push(c);
+            }
+        }
+        newly
+    }
+
+    /// Put a Running job back to Ready (timeout resubmission, §III.B).
+    ///
+    /// Returns `true` if the job was actually resubmitted (it was Running
+    /// and is now queued again), `false` if it had already completed.
+    pub fn resubmit(&mut self, id: JobId) -> bool {
+        match self.state[id.index()] {
+            JobState::Running => {
+                self.state[id.index()] = JobState::Ready;
+                self.stats.running -= 1;
+                self.stats.ready += 1;
+                self.ready_queue.push(id);
+                true
+            }
+            JobState::Ready => {
+                // Published but never picked up: republish.
+                if !self.ready_queue.contains(&id) {
+                    self.ready_queue.push(id);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True once every job has completed.
+    pub fn is_complete(&self) -> bool {
+        self.stats.completed == self.state.len()
+    }
+
+    /// Aggregate state counts.
+    pub fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::WorkflowBuilder;
+
+    fn chain3() -> Workflow {
+        let mut b = WorkflowBuilder::new("chain");
+        let a = b.job("a", "t", 1.0).build();
+        let c = b.job("b", "t", 1.0).build();
+        let d = b.job("c", "t", 1.0).build();
+        b.edge(a, c);
+        b.edge(c, d);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn roots_start_ready() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        assert_eq!(t.take_ready(), vec![JobId(0)]);
+        assert_eq!(t.stats().ready, 1);
+        assert_eq!(t.stats().pending, 2);
+    }
+
+    #[test]
+    fn completion_releases_children_in_order() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        let newly = t.complete_in(&wf, JobId(0));
+        assert_eq!(newly, vec![JobId(1)]);
+        assert_eq!(t.state(JobId(1)), JobState::Ready);
+        assert_eq!(t.state(JobId(2)), JobState::Pending);
+        t.mark_running(JobId(1));
+        t.complete_in(&wf, JobId(1));
+        t.mark_running(JobId(2));
+        t.complete_in(&wf, JobId(2));
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn duplicate_completion_is_ignored() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        assert_eq!(t.complete_in(&wf, JobId(0)).len(), 1);
+        assert_eq!(t.complete_in(&wf, JobId(0)).len(), 0, "second ack must be a no-op");
+        assert_eq!(t.stats().completed, 1);
+    }
+
+    #[test]
+    fn stale_running_ack_after_completion_ignored() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        t.complete_in(&wf, JobId(0));
+        t.mark_running(JobId(0)); // late duplicate-delivery ack
+        assert_eq!(t.state(JobId(0)), JobState::Completed);
+    }
+
+    #[test]
+    fn resubmit_requeues_running_job() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        assert!(t.resubmit(JobId(0)));
+        assert_eq!(t.state(JobId(0)), JobState::Ready);
+        assert_eq!(t.take_ready(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn resubmit_completed_job_is_noop() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        t.complete_in(&wf, JobId(0));
+        assert!(!t.resubmit(JobId(0)));
+    }
+
+    #[test]
+    fn resubmit_ready_job_does_not_duplicate_queue_entry() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        // job 0 is in the ready queue; resubmitting should not add it twice.
+        assert!(t.resubmit(JobId(0)));
+        assert_eq!(t.take_ready(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn stats_sum_to_total() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        assert_eq!(t.stats().total(), 3);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        assert_eq!(t.stats().total(), 3);
+        t.complete_in(&wf, JobId(0));
+        assert_eq!(t.stats().total(), 3);
+    }
+
+    #[test]
+    fn empty_workflow_is_immediately_complete() {
+        let wf = WorkflowBuilder::new("e").finish().unwrap();
+        let t = DependencyTracker::new(&wf);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn wide_fanout_releases_all_children() {
+        let mut b = WorkflowBuilder::new("fan");
+        let root = b.job("root", "t", 1.0).build();
+        for i in 0..100 {
+            let c = b.job(format!("c{i}"), "t", 1.0).build();
+            b.edge(root, c);
+        }
+        let wf = b.finish().unwrap();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(root);
+        let newly = t.complete_in(&wf, root);
+        assert_eq!(newly.len(), 100);
+        assert_eq!(t.stats().ready, 100);
+    }
+}

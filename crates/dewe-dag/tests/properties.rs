@@ -1,0 +1,207 @@
+//! Property-based tests for the DAG model.
+//!
+//! Strategy: generate random layered DAGs (edges only go from lower to
+//! higher layers, guaranteeing acyclicity by construction) and assert the
+//! structural invariants the engines rely on.
+
+use dewe_dag::{
+    parse_workflow, write_workflow, CriticalPath, DependencyTracker, JobId, JobState,
+    LevelProfile, Workflow, WorkflowBuilder,
+};
+use proptest::prelude::*;
+
+/// A random layered DAG description: layer sizes plus an edge-probability
+/// seed. Edges are derived deterministically from the seed so shrinking is
+/// well-behaved.
+#[derive(Debug, Clone)]
+struct RandomDag {
+    layer_sizes: Vec<usize>,
+    edge_seed: u64,
+    edge_density: f64,
+}
+
+fn random_dag_strategy() -> impl Strategy<Value = RandomDag> {
+    (
+        prop::collection::vec(1usize..6, 1..6),
+        any::<u64>(),
+        0.05f64..0.9,
+    )
+        .prop_map(|(layer_sizes, edge_seed, edge_density)| RandomDag {
+            layer_sizes,
+            edge_seed,
+            edge_density,
+        })
+}
+
+/// Cheap deterministic hash for edge selection (splitmix64).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn build(dag: &RandomDag) -> Workflow {
+    let mut b = WorkflowBuilder::new("random");
+    let mut layers: Vec<Vec<JobId>> = Vec::new();
+    let mut n = 0usize;
+    for (li, &size) in dag.layer_sizes.iter().enumerate() {
+        let mut layer = Vec::new();
+        for k in 0..size {
+            let cpu = (mix(dag.edge_seed ^ (n as u64)) % 100) as f64 / 10.0;
+            layer.push(b.job(format!("l{li}_{k}"), "t", cpu).build());
+            n += 1;
+        }
+        layers.push(layer);
+    }
+    // Edges between consecutive layers chosen pseudo-randomly.
+    for w in layers.windows(2) {
+        for &p in &w[0] {
+            for &c in &w[1] {
+                let h = mix(dag.edge_seed ^ ((p.0 as u64) << 32) ^ c.0 as u64);
+                if (h % 1000) as f64 / 1000.0 < dag.edge_density {
+                    b.edge(p, c);
+                }
+            }
+        }
+    }
+    b.finish().expect("layered DAGs are acyclic")
+}
+
+proptest! {
+    /// Topological order places every parent before each of its children.
+    #[test]
+    fn topo_order_is_consistent(dag in random_dag_strategy()) {
+        let wf = build(&dag);
+        let mut pos = vec![usize::MAX; wf.job_count()];
+        for (i, &j) in wf.topo_order().iter().enumerate() {
+            pos[j.index()] = i;
+        }
+        for j in wf.job_ids() {
+            for &c in wf.children(j) {
+                prop_assert!(pos[j.index()] < pos[c.index()]);
+            }
+        }
+    }
+
+    /// parents() and children() are transposes of each other.
+    #[test]
+    fn adjacency_is_symmetric(dag in random_dag_strategy()) {
+        let wf = build(&dag);
+        for j in wf.job_ids() {
+            for &c in wf.children(j) {
+                prop_assert!(wf.parents(c).contains(&j));
+            }
+            for &p in wf.parents(j) {
+                prop_assert!(wf.children(p).contains(&j));
+            }
+        }
+    }
+
+    /// Driving the tracker to completion in any topological order visits
+    /// every job exactly once and never leaves the DAG stuck.
+    #[test]
+    fn tracker_drains_fully(dag in random_dag_strategy()) {
+        let wf = build(&dag);
+        let mut tracker = DependencyTracker::new(&wf);
+        let mut executed = 0usize;
+        loop {
+            let ready = tracker.take_ready();
+            if ready.is_empty() {
+                break;
+            }
+            for j in ready {
+                prop_assert_eq!(tracker.state(j), JobState::Ready);
+                tracker.mark_running(j);
+                tracker.complete_in(&wf, j);
+                executed += 1;
+            }
+        }
+        prop_assert!(tracker.is_complete(), "tracker stuck with {} of {} done",
+            executed, wf.job_count());
+        prop_assert_eq!(executed, wf.job_count());
+    }
+
+    /// Tracker progress is immune to timeout-resubmission churn: resubmitting
+    /// every running job once before completing it changes nothing.
+    #[test]
+    fn tracker_survives_resubmission(dag in random_dag_strategy()) {
+        let wf = build(&dag);
+        let mut tracker = DependencyTracker::new(&wf);
+        let mut executed = 0usize;
+        loop {
+            let ready = tracker.take_ready();
+            if ready.is_empty() {
+                break;
+            }
+            for j in ready {
+                tracker.mark_running(j);
+                // Simulate a worker death + timeout: job goes back to Ready.
+                tracker.resubmit(j);
+                let requeued = tracker.take_ready();
+                prop_assert!(requeued.contains(&j));
+                for r in requeued {
+                    tracker.mark_running(r);
+                    tracker.complete_in(&wf, r);
+                    executed += 1;
+                }
+            }
+        }
+        prop_assert!(tracker.is_complete());
+        prop_assert_eq!(executed, wf.job_count());
+    }
+
+    /// The text format round-trips: parse(write(wf)) == wf structurally.
+    #[test]
+    fn format_roundtrip(dag in random_dag_strategy()) {
+        let wf = build(&dag);
+        let text = write_workflow(&wf);
+        let wf2 = parse_workflow(&text).unwrap();
+        prop_assert_eq!(wf.job_count(), wf2.job_count());
+        prop_assert_eq!(wf.edge_count(), wf2.edge_count());
+        for (a, b) in wf.jobs().iter().zip(wf2.jobs()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.cpu_seconds, b.cpu_seconds);
+        }
+        for j in wf.job_ids() {
+            prop_assert_eq!(wf.children(j), wf2.children(j));
+        }
+    }
+
+    /// Critical path weight is at least the heaviest single job and at most
+    /// the total CPU volume.
+    #[test]
+    fn critical_path_bounds(dag in random_dag_strategy()) {
+        let wf = build(&dag);
+        let cp = CriticalPath::of(&wf);
+        let heaviest = wf.jobs().iter().map(|j| j.cpu_seconds).fold(0.0, f64::max);
+        prop_assert!(cp.cpu_seconds >= heaviest - 1e-9);
+        prop_assert!(cp.cpu_seconds <= wf.total_cpu_seconds() + 1e-9);
+        // The path itself must be a chain.
+        for pair in cp.jobs.windows(2) {
+            prop_assert!(wf.children(pair[0]).contains(&pair[1]));
+        }
+    }
+
+    /// Level profile: every job appears exactly once; level of child > parent.
+    #[test]
+    fn level_profile_partitions_jobs(dag in random_dag_strategy()) {
+        let wf = build(&dag);
+        let lp = LevelProfile::of(&wf);
+        let mut level_of = vec![usize::MAX; wf.job_count()];
+        let mut seen = 0usize;
+        for (li, level) in lp.levels.iter().enumerate() {
+            for &j in level {
+                prop_assert_eq!(level_of[j.index()], usize::MAX, "job in two levels");
+                level_of[j.index()] = li;
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, wf.job_count());
+        for j in wf.job_ids() {
+            for &c in wf.children(j) {
+                prop_assert!(level_of[c.index()] > level_of[j.index()]);
+            }
+        }
+    }
+}

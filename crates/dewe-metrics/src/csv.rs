@@ -1,0 +1,103 @@
+//! CSV serialization for time series and generic tables.
+//!
+//! Experiments write their raw data as CSV under `results/` so that the
+//! paper's figures can be replotted with any tool.
+
+use crate::series::TimeSeries;
+use std::fmt::Write as _;
+
+/// Serialize several series sharing a time base into one CSV document with
+/// a `time_s` column. Series are step-sampled at the union of all sample
+/// times.
+pub fn series_to_csv(series: &[&TimeSeries]) -> String {
+    let mut out = String::new();
+    out.push_str("time_s");
+    for s in series {
+        let _ = write!(out, ",{}", sanitize(&s.name));
+    }
+    out.push('\n');
+
+    // Union of sample times.
+    let mut times: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    for t in times {
+        let _ = write!(out, "{t}");
+        for s in series {
+            let _ = write!(out, ",{}", s.value_at(t));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a generic table: header row + data rows.
+pub fn table_to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| sanitize(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len(), "row width must match header");
+        out.push_str(&row.iter().map(|c| sanitize(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    // Commas and newlines would corrupt the document; replace them.
+    s.replace([',', '\n', '\r'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_series_roundtrip_shape() {
+        let mut s = TimeSeries::new("cpu");
+        s.push(0.0, 1.0);
+        s.push(3.0, 2.0);
+        let csv = series_to_csv(&[&s]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,cpu");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn multiple_series_align_on_time_union() {
+        let mut a = TimeSeries::new("a");
+        a.push(0.0, 1.0);
+        a.push(2.0, 3.0);
+        let mut b = TimeSeries::new("b");
+        b.push(1.0, 10.0);
+        let csv = series_to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + t=0,1,2
+        assert_eq!(lines[2], "1,1,10"); // a holds (step), b=10
+    }
+
+    #[test]
+    fn table_layout() {
+        let csv = table_to_csv(
+            &["name", "value"],
+            &[vec!["x".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+        assert_eq!(csv, "name,value\nx,1\ny,2\n");
+    }
+
+    #[test]
+    fn sanitization_removes_separators() {
+        let csv = table_to_csv(&["a,b"], &[vec!["line\nbreak".into()]]);
+        assert!(csv.starts_with("a_b\n"));
+        assert!(csv.contains("line_break"));
+    }
+
+    #[test]
+    fn empty_series_produces_header_only() {
+        let s = TimeSeries::new("x");
+        assert_eq!(series_to_csv(&[&s]), "time_s,x\n");
+    }
+}

@@ -1,0 +1,195 @@
+//! Distribution summaries for experiment reporting.
+//!
+//! Makespans, per-job latencies and queue waits are distributions, not
+//! single numbers; [`Summary`] provides the standard descriptive
+//! statistics and [`Histogram`] fixed-width buckets for terminal
+//! rendering (used by the bench harness to report per-job latency shapes).
+
+/// Descriptive statistics over a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Percentiles: p50, p90, p99 (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as usize;
+            sorted[rank - 1]
+        };
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            stddev: var.sqrt(),
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
+        })
+    }
+
+    /// Coefficient of variation (stddev / mean; 0 when mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Fixed-width histogram over a value range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    /// Samples below `lo` / above `hi`.
+    pub underflow: u64,
+    /// Samples above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// New histogram over `[lo, hi)` with `buckets` equal-width bins.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo && buckets > 0);
+        Self { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((v - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total recorded samples (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// ASCII bar rendering, one row per bucket.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let step = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let bar = "#".repeat((n as usize * width) / max as usize);
+            let _ = writeln!(
+                out,
+                "[{:>10.2}, {:>10.2}) {:>8} |{bar}",
+                self.lo + step * i as f64,
+                self.lo + step * (i + 1) as f64,
+                n
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p90, 5.0);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!((s.min, s.max, s.mean, s.p50, s.p99), (7.0, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&values).unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 25.0] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_renders_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        h.record(0.6);
+        h.record(1.5);
+        let r = h.render(10);
+        assert!(r.lines().count() == 2);
+        assert!(r.contains("##########"), "fullest bucket gets full width");
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+}

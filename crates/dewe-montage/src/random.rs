@@ -1,0 +1,114 @@
+//! Random layered DAG generator for fuzzing and stress tests.
+
+use dewe_dag::{Workflow, WorkflowBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_layered`].
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Number of layers (DAG depth).
+    pub layers: usize,
+    /// Jobs per layer.
+    pub width: usize,
+    /// Probability of an edge between jobs in consecutive layers.
+    pub edge_probability: f64,
+    /// Mean CPU seconds per job.
+    pub mean_cpu_seconds: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        Self { layers: 4, width: 8, edge_probability: 0.3, mean_cpu_seconds: 1.0, seed: 42 }
+    }
+}
+
+/// Generate a random layered DAG: acyclic by construction (edges only go
+/// from layer *l* to layer *l+1*), every non-root job has at least one
+/// parent so the whole graph is reachable from the roots.
+pub fn random_layered(cfg: &RandomDagConfig) -> Workflow {
+    assert!(cfg.layers > 0 && cfg.width > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = WorkflowBuilder::new(format!("random_{}x{}", cfg.layers, cfg.width));
+    let mut prev: Vec<dewe_dag::JobId> = Vec::new();
+    for l in 0..cfg.layers {
+        let mut layer = Vec::with_capacity(cfg.width);
+        for k in 0..cfg.width {
+            let cpu = cfg.mean_cpu_seconds * rng.gen_range(0.5..1.5);
+            let j = b.job(format!("L{l}_{k}"), format!("xform{l}"), cpu).build();
+            if l > 0 {
+                let mut connected = false;
+                for &p in &prev {
+                    if rng.gen_bool(cfg.edge_probability) {
+                        b.edge(p, j);
+                        connected = true;
+                    }
+                }
+                if !connected {
+                    // guarantee reachability
+                    let p = prev[rng.gen_range(0..prev.len())];
+                    b.edge(p, j);
+                }
+            }
+            layer.push(j);
+        }
+        prev = layer;
+    }
+    b.finish().expect("layered DAG is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dewe_dag::{DependencyTracker, LevelProfile};
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = RandomDagConfig { layers: 5, width: 10, ..Default::default() };
+        let wf = random_layered(&cfg);
+        assert_eq!(wf.job_count(), 50);
+        let lp = LevelProfile::of(&wf);
+        assert_eq!(lp.depth(), 5);
+    }
+
+    #[test]
+    fn every_nonroot_job_has_a_parent() {
+        let wf = random_layered(&RandomDagConfig::default());
+        let lp = LevelProfile::of(&wf);
+        for level in lp.levels.iter().skip(1) {
+            for &j in level {
+                assert!(!wf.parents(j).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn fully_executable() {
+        let wf = random_layered(&RandomDagConfig { layers: 6, width: 6, ..Default::default() });
+        let mut t = DependencyTracker::new(&wf);
+        let mut done = 0;
+        loop {
+            let ready = t.take_ready();
+            if ready.is_empty() {
+                break;
+            }
+            for j in ready {
+                t.mark_running(j);
+                t.complete_in(&wf, j);
+                done += 1;
+            }
+        }
+        assert_eq!(done, wf.job_count());
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RandomDagConfig::default();
+        let a = random_layered(&cfg);
+        let b = random_layered(&cfg);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

@@ -1,0 +1,345 @@
+//! A single FIFO work-queue topic.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters exposed for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopicStats {
+    /// Messages ever published.
+    pub published: u64,
+    /// Messages ever delivered to a consumer.
+    pub delivered: u64,
+    /// Messages currently queued.
+    pub depth: usize,
+}
+
+struct Inner<T> {
+    queue: Mutex<State<T>>,
+    available: Condvar,
+}
+
+struct State<T> {
+    messages: VecDeque<T>,
+    closed: bool,
+    published: u64,
+    delivered: u64,
+}
+
+/// One FIFO topic with work-queue semantics: every message is delivered to
+/// exactly one consumer, in publish order, first-come-first-served across
+/// competing consumers.
+///
+/// Cloning a `Topic` produces another handle to the same queue.
+pub struct Topic<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Topic<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Default for Topic<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Topic<T> {
+    /// Create a new, open, empty topic.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(State {
+                    messages: VecDeque::new(),
+                    closed: false,
+                    published: 0,
+                    delivered: 0,
+                }),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Publish a message. Publishing to a closed topic is permitted and the
+    /// message remains drainable — DEWE v2 masters may flush final
+    /// acknowledgments while the system shuts down.
+    pub fn publish(&self, message: T) {
+        let mut state = self.inner.queue.lock();
+        state.messages.push_back(message);
+        state.published += 1;
+        drop(state);
+        self.inner.available.notify_one();
+    }
+
+    /// Publish a batch, waking enough consumers to drain it.
+    pub fn publish_all(&self, messages: impl IntoIterator<Item = T>) {
+        let mut state = self.inner.queue.lock();
+        let before = state.messages.len();
+        for m in messages {
+            state.messages.push_back(m);
+        }
+        let added = state.messages.len() - before;
+        state.published += added as u64;
+        drop(state);
+        for _ in 0..added {
+            self.inner.available.notify_one();
+        }
+    }
+
+    /// Non-blocking pull: `Some(message)` if one is queued, else `None`.
+    pub fn try_pull(&self) -> Option<T> {
+        let mut state = self.inner.queue.lock();
+        let msg = state.messages.pop_front();
+        if msg.is_some() {
+            state.delivered += 1;
+        }
+        msg
+    }
+
+    /// Blocking pull: waits until a message arrives or the topic is closed.
+    /// Returns `None` only when the topic is closed *and* drained.
+    pub fn pull(&self) -> Option<T> {
+        let mut state = self.inner.queue.lock();
+        loop {
+            if let Some(msg) = state.messages.pop_front() {
+                state.delivered += 1;
+                return Some(msg);
+            }
+            if state.closed {
+                return None;
+            }
+            self.inner.available.wait(&mut state);
+        }
+    }
+
+    /// Pull with a deadline: returns `None` on timeout or on closed+drained.
+    pub fn pull_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.queue.lock();
+        loop {
+            if let Some(msg) = state.messages.pop_front() {
+                state.delivered += 1;
+                return Some(msg);
+            }
+            if state.closed {
+                return None;
+            }
+            if self.inner.available.wait_until(&mut state, deadline).timed_out() {
+                // One last check: a publish may have raced the timeout.
+                let msg = state.messages.pop_front();
+                if msg.is_some() {
+                    state.delivered += 1;
+                }
+                return msg;
+            }
+        }
+    }
+
+    /// Close the topic: blocked consumers wake, remaining messages stay
+    /// drainable, and pulls return `None` once the queue is empty.
+    pub fn close(&self) {
+        let mut state = self.inner.queue.lock();
+        state.closed = true;
+        drop(state);
+        self.inner.available.notify_all();
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.queue.lock().closed
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().messages.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> TopicStats {
+        let state = self.inner.queue.lock();
+        TopicStats {
+            published: state.published,
+            delivered: state.delivered,
+            depth: state.messages.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let t: Topic<u32> = Topic::new();
+        for i in 0..100 {
+            t.publish(i);
+        }
+        for i in 0..100 {
+            assert_eq!(t.try_pull(), Some(i));
+        }
+        assert_eq!(t.try_pull(), None);
+    }
+
+    #[test]
+    fn publish_all_preserves_order() {
+        let t: Topic<u32> = Topic::new();
+        t.publish_all(0..10);
+        let got: Vec<u32> = std::iter::from_fn(|| t.try_pull()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_track_published_and_delivered() {
+        let t: Topic<u32> = Topic::new();
+        t.publish_all(0..5);
+        t.try_pull();
+        t.try_pull();
+        let s = t.stats();
+        assert_eq!(s.published, 5);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn pull_timeout_expires_on_empty() {
+        let t: Topic<u32> = Topic::new();
+        let start = std::time::Instant::now();
+        assert_eq!(t.pull_timeout(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn pull_timeout_returns_early_on_publish() {
+        let t: Topic<u32> = Topic::new();
+        let t2 = t.clone();
+        let h = thread::spawn(move || t2.pull_timeout(Duration::from_secs(10)));
+        thread::sleep(Duration::from_millis(20));
+        t.publish(99);
+        assert_eq!(h.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn close_wakes_blocked_pull() {
+        let t: Topic<u32> = Topic::new();
+        let t2 = t.clone();
+        let h = thread::spawn(move || t2.pull());
+        thread::sleep(Duration::from_millis(20));
+        t.close();
+        assert_eq!(h.join().unwrap(), None);
+        assert!(t.is_closed());
+    }
+
+    #[test]
+    fn close_allows_draining() {
+        let t: Topic<u32> = Topic::new();
+        t.publish(1);
+        t.publish(2);
+        t.close();
+        assert_eq!(t.pull(), Some(1));
+        assert_eq!(t.pull(), Some(2));
+        assert_eq!(t.pull(), None);
+    }
+
+    #[test]
+    fn publish_after_close_is_drainable() {
+        let t: Topic<u32> = Topic::new();
+        t.close();
+        t.publish(5);
+        assert_eq!(t.try_pull(), Some(5));
+    }
+
+    /// The work-queue invariant under contention: N producers publishing
+    /// disjoint ranges, M consumers pulling concurrently — every message is
+    /// delivered exactly once.
+    #[test]
+    fn concurrent_exactly_once_delivery() {
+        const PRODUCERS: u32 = 4;
+        const CONSUMERS: usize = 6;
+        const PER_PRODUCER: u32 = 500;
+        let t: Topic<u32> = Topic::new();
+
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let t = t.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    t.publish(p * PER_PRODUCER + i);
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let t = t.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = t.pull() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Let consumers drain, then close to release them.
+        while !t.is_empty() {
+            thread::yield_now();
+        }
+        t.close();
+        let mut all = HashSet::new();
+        let mut total = 0usize;
+        for c in consumers {
+            for v in c.join().unwrap() {
+                assert!(all.insert(v), "message {v} delivered twice");
+                total += 1;
+            }
+        }
+        assert_eq!(total, (PRODUCERS * PER_PRODUCER) as usize);
+        let s = t.stats();
+        assert_eq!(s.published, s.delivered);
+        assert_eq!(s.depth, 0);
+    }
+
+    /// FIFO is preserved per producer even with a competing consumer pair:
+    /// each consumer's subsequence of one producer's messages is increasing.
+    #[test]
+    fn per_producer_order_preserved() {
+        let t: Topic<u32> = Topic::new();
+        let t2 = t.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..2000 {
+                t2.publish(i);
+            }
+            t2.close();
+        });
+        let mut cons = Vec::new();
+        for _ in 0..3 {
+            let t = t.clone();
+            cons.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = t.pull() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        producer.join().unwrap();
+        for c in cons {
+            let got = c.join().unwrap();
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "per-consumer order violated");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Node performance index (paper Eq. 1) and its large-cluster asymptote.
+
+/// One measured point: a cluster of `nodes` ran `workflows` workflows in
+/// `secs`, yielding index `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexPoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Workflows executed.
+    pub workflows: usize,
+    /// Execution time, seconds.
+    pub secs: f64,
+    /// `P = W / (N · T)`.
+    pub p: f64,
+}
+
+impl IndexPoint {
+    /// Build a point from a measurement.
+    pub fn new(nodes: usize, workflows: usize, secs: f64) -> Self {
+        Self { nodes, workflows, secs, p: node_performance_index(workflows, nodes, secs) }
+    }
+}
+
+/// The paper's Eq. 1: `P = W / (N * T)` — how much of a workflow one
+/// worker node completes per second.
+pub fn node_performance_index(workflows: usize, nodes: usize, secs: f64) -> f64 {
+    assert!(nodes > 0 && secs > 0.0);
+    workflows as f64 / (nodes as f64 * secs)
+}
+
+/// Estimate the large-cluster (converged) index from multi-node profiling
+/// points (paper Fig. 5c: degradation "gradually converges when the number
+/// of worker nodes is greater than 4").
+///
+/// Fits `p(n) = p_inf + b / n` by least squares over the points and
+/// returns `p_inf`, clamped into `(0, min measured p]` — the asymptote can
+/// never exceed a measured value since degradation is monotone.
+pub fn converged_index(points: &[IndexPoint]) -> f64 {
+    assert!(!points.is_empty(), "need at least one profiling point");
+    let min_p = points.iter().map(|pt| pt.p).fold(f64::INFINITY, f64::min);
+    if points.len() == 1 {
+        return min_p;
+    }
+    // Least squares on p = a + b * x with x = 1/n.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|pt| 1.0 / pt.nodes as f64).sum();
+    let sy: f64 = points.iter().map(|pt| pt.p).sum();
+    let sxx: f64 = points.iter().map(|pt| (1.0 / pt.nodes as f64).powi(2)).sum();
+    let sxy: f64 = points.iter().map(|pt| pt.p / pt.nodes as f64).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return min_p;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    // Guard against pathological fits (non-monotone data).
+    a.clamp(min_p * 0.25, min_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper_example() {
+        // Table III design: W=200, T=3300 s, c3 index 0.0015 -> N ~ 40.4.
+        // Inverting: a 40-node c3 cluster doing 200 workflows in 3300 s has
+        // P = 200/(40*3300) = 0.001515.
+        let p = node_performance_index(200, 40, 3300.0);
+        assert!((p - 0.0015151).abs() < 1e-6);
+    }
+
+    #[test]
+    fn index_point_carries_p() {
+        let pt = IndexPoint::new(4, 20, 2500.0);
+        assert!((pt.p - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converged_index_recovers_asymptote() {
+        // Synthesize p(n) = 0.0015 + 0.004/n exactly.
+        let pts: Vec<IndexPoint> = (2..=6)
+            .map(|n| {
+                let p = 0.0015 + 0.004 / n as f64;
+                // T = W/(N*p)
+                IndexPoint::new(n, 20, 20.0 / (n as f64 * p))
+            })
+            .collect();
+        let a = converged_index(&pts);
+        assert!((a - 0.0015).abs() < 1e-5, "got {a}");
+    }
+
+    #[test]
+    fn converged_never_exceeds_minimum_measurement() {
+        // Noisy, nearly flat data: clamp to min.
+        let pts = vec![
+            IndexPoint::new(2, 20, 4000.0),
+            IndexPoint::new(3, 20, 2600.0),
+            IndexPoint::new(4, 20, 2000.0),
+        ];
+        let min_p = pts.iter().map(|p| p.p).fold(f64::INFINITY, f64::min);
+        assert!(converged_index(&pts) <= min_p + 1e-12);
+    }
+
+    #[test]
+    fn single_point_falls_back_to_it() {
+        let pts = vec![IndexPoint::new(4, 20, 2500.0)];
+        assert_eq!(converged_index(&pts), pts[0].p);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        let _ = node_performance_index(1, 0, 10.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Closing the provisioning loop: execute a plan and compare prediction
+//! against measurement.
+//!
+//! Eq. 2 is only as good as the converged index it is fed; the paper
+//! validates its designs by actually renting the clusters (Fig. 11). This
+//! module is that validation step in the simulator: run the target
+//! ensemble on the planned cluster and report predicted-vs-measured time,
+//! deadline compliance and realized cost.
+
+use std::sync::Arc;
+
+use dewe_core::sim::{run_ensemble, SimRunConfig};
+use dewe_dag::Workflow;
+use dewe_simcloud::{ClusterConfig, CostModel, InstanceType, SharedFsKind, StorageConfig};
+
+use crate::sizing::ClusterPlan;
+
+/// Outcome of executing a [`ClusterPlan`].
+#[derive(Debug, Clone)]
+pub struct PlanValidation {
+    /// The plan that was executed.
+    pub plan: ClusterPlan,
+    /// Measured makespan, seconds.
+    pub measured_secs: f64,
+    /// `measured / predicted` (1.0 = perfect prediction; < 1 conservative).
+    pub accuracy_ratio: f64,
+    /// Whether the measured run met the deadline the plan was built for.
+    pub met_deadline: bool,
+    /// Realized cost under hourly billing, USD.
+    pub measured_cost: f64,
+    /// Realized price per workflow, USD.
+    pub measured_price_per_workflow: f64,
+}
+
+/// Execute `plan` for `workflows` replicas of `template` against
+/// `deadline_secs`, on a MooseFS-like shared file system (the paper's
+/// large-scale setting).
+pub fn validate_plan(
+    plan: &ClusterPlan,
+    itype: &'static InstanceType,
+    template: &Arc<Workflow>,
+    workflows: usize,
+    deadline_secs: f64,
+) -> PlanValidation {
+    assert_eq!(plan.instance, itype.name, "plan/instance mismatch");
+    let wfs: Vec<Arc<Workflow>> = (0..workflows).map(|_| Arc::clone(template)).collect();
+    let cluster = ClusterConfig {
+        instance: *itype,
+        nodes: plan.nodes,
+        storage: StorageConfig::Shared(SharedFsKind::DistFs),
+    };
+    let report = run_ensemble(&wfs, &SimRunConfig::new(cluster));
+    assert!(report.completed, "plan validation run starved");
+    let measured_cost =
+        CostModel::hourly(itype.price_per_hour).cost(plan.nodes, report.makespan_secs);
+    PlanValidation {
+        plan: plan.clone(),
+        measured_secs: report.makespan_secs,
+        accuracy_ratio: report.makespan_secs / plan.predicted_secs,
+        met_deadline: report.makespan_secs <= deadline_secs,
+        measured_cost,
+        measured_price_per_workflow: measured_cost / workflows as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ProfileConfig, Profiler};
+    use crate::sizing::recommend;
+    use dewe_dag::WorkflowBuilder;
+    use dewe_simcloud::C3_8XLARGE;
+
+    fn template() -> Arc<Workflow> {
+        let mut b = WorkflowBuilder::new("t");
+        for i in 0..96 {
+            b.job(format!("j{i}"), "t", 2.0).build();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn profiled_plan_validates_within_margin() {
+        // Full loop: profile -> index -> Eq. 2 -> execute -> compare.
+        let template = template();
+        let profiler = Profiler::new(
+            Arc::clone(&template),
+            ProfileConfig {
+                single_node_max_workflows: 2,
+                multi_node_workflows: 12,
+                multi_node_range: (2, 4),
+                shared_fs: SharedFsKind::Nfs,
+                per_job_overhead_secs: 0.0,
+            },
+        );
+        let profile = profiler.profile(&C3_8XLARGE);
+        let deadline = 120.0;
+        let workflows = 48;
+        let plans = recommend(&[(&C3_8XLARGE, profile.converged_index)], workflows, deadline);
+        let v = validate_plan(&plans[0], &C3_8XLARGE, &template, workflows, deadline);
+        assert!(v.met_deadline, "measured {}s vs deadline {deadline}s", v.measured_secs);
+        // NFS-profiled index is conservative for a DistFs run: measured
+        // should not exceed prediction by more than ~20%.
+        assert!(
+            v.accuracy_ratio < 1.2,
+            "prediction off: measured {} vs predicted {}",
+            v.measured_secs,
+            v.plan.predicted_secs
+        );
+        assert!(v.measured_cost > 0.0);
+        assert!(
+            (v.measured_price_per_workflow * workflows as f64 - v.measured_cost).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "plan/instance mismatch")]
+    fn mismatched_instance_is_rejected() {
+        let plans = recommend(&[(&dewe_simcloud::R3_8XLARGE, 0.002)], 10, 600.0);
+        let _ = validate_plan(&plans[0], &C3_8XLARGE, &template(), 10, 600.0);
+    }
+}

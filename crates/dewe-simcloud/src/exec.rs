@@ -1,0 +1,645 @@
+//! Phased job execution on a simulated cluster.
+//!
+//! [`ExecSim`] is the contract between *coordination engines* (the DEWE v2
+//! master/worker logic in `dewe-core`, the Pegasus-like scheduler in
+//! `dewe-baseline`) and the simulated hardware. Engines decide **which job
+//! runs on which node and when** — the paper's entire argument is about
+//! that decision — and `ExecSim` simulates what the hardware does with it:
+//!
+//! 1. **Read phase**: the job's input files are looked up in the backend's
+//!    read cache; hits are serviced at memory speed, misses coalesce into
+//!    one fair-share flow on the backend's disk/FS read channel.
+//! 2. **Compute phase**: `cores` cores busy for `cpu_seconds / cores`.
+//! 3. **Write phase**: each output goes through the backend's page-cache
+//!    write bucket; the job finishes when its last write is admitted.
+//!
+//! Engines receive [`SimEvent::JobFinished`] with per-phase
+//! [`JobTimings`] (the data behind the paper's Fig. 2 gantt view) and may
+//! schedule [`SimEvent::Wake`] timers for their own protocol logic (timeout
+//! scans, submission intervals, sampling ticks).
+
+use std::collections::HashMap;
+
+use crate::cluster::{Cluster, ClusterConfig, NodeCounters, NodeId};
+use crate::fairshare::FlowId;
+use crate::kernel::{EventId, EventQueue};
+use crate::storage::Storage;
+use crate::time::SimTime;
+
+/// Resource demands of one job.
+#[derive(Debug, Clone, Default)]
+pub struct JobProfile {
+    /// Input files: (opaque file key, bytes). Keys identify files across
+    /// jobs so the cache can recognize re-reads.
+    pub reads: Vec<(u64, f64)>,
+    /// Pure compute demand in CPU-seconds.
+    pub cpu_seconds: f64,
+    /// Cores the job can exploit (≥ 1).
+    pub cores: u32,
+    /// Output files: (opaque file key, bytes).
+    pub writes: Vec<(u64, f64)>,
+}
+
+impl JobProfile {
+    /// A compute-only job.
+    pub fn compute(cpu_seconds: f64) -> Self {
+        Self { reads: Vec::new(), cpu_seconds, cores: 1, writes: Vec::new() }
+    }
+}
+
+/// Wall-clock milestones of one executed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTimings {
+    /// When the engine submitted the job to the node.
+    pub submitted: SimTime,
+    /// When all input reads were serviced.
+    pub read_done: SimTime,
+    /// When the compute phase finished.
+    pub compute_done: SimTime,
+    /// When the last output write was admitted (job completion).
+    pub finished: SimTime,
+}
+
+impl JobTimings {
+    /// Seconds spent on data staging (read + write phases) — the
+    /// "communication time" of the paper's Fig. 2.
+    pub fn staging_secs(&self) -> f64 {
+        self.read_done.secs_since(self.submitted) + self.finished.secs_since(self.compute_done)
+    }
+
+    /// Seconds spent computing.
+    pub fn compute_secs(&self) -> f64 {
+        self.compute_done.secs_since(self.read_done)
+    }
+
+    /// Total wall seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.finished.secs_since(self.submitted)
+    }
+}
+
+/// Events delivered to the engine.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// A submitted job ran to completion.
+    JobFinished {
+        /// The engine's token from [`ExecSim::submit_job`].
+        token: u64,
+        /// The node it ran on.
+        node: NodeId,
+        /// Phase milestones.
+        timings: JobTimings,
+    },
+    /// A timer scheduled with [`ExecSim::schedule_wake`] fired.
+    Wake {
+        /// The engine's token.
+        token: u64,
+    },
+}
+
+enum Ev {
+    ReadWake(usize),
+    ComputeDone(u64),
+    WriteDone(u64),
+    Wake(u64),
+}
+
+enum Phase {
+    Reading { flow: FlowId, backend: usize },
+    Computing { event: EventId, cores: u32 },
+    Writing { event: EventId },
+}
+
+struct RunningJob {
+    token: u64,
+    node: NodeId,
+    phase: Phase,
+    /// Missed input files to insert into cache when the read completes.
+    missed: Vec<(u64, f64)>,
+    miss_bytes: f64,
+    hit_secs: f64,
+    cpu_wall_secs: f64,
+    cores_used: u32,
+    writes: Vec<(u64, f64)>,
+    timings: JobTimings,
+}
+
+/// The execution simulator: a cluster, an event queue, and in-flight jobs.
+pub struct ExecSim {
+    queue: EventQueue<Ev>,
+    cluster: Cluster,
+    jobs: HashMap<u64, RunningJob>,
+    next_job: u64,
+    next_wake: u64,
+    wakes: HashMap<u64, (u64, EventId)>, // wake id -> (token, event)
+    read_events: Vec<Option<EventId>>,
+    out: std::collections::VecDeque<SimEvent>,
+    finished_jobs: u64,
+}
+
+/// Handle for cancelling a scheduled wake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WakeId(u64);
+
+impl ExecSim {
+    /// Build a simulator over a fresh cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let cluster = Cluster::new(config);
+        let read_events = vec![None; cluster.storage().backend_count()];
+        Self {
+            queue: EventQueue::new(),
+            cluster,
+            jobs: HashMap::new(),
+            next_job: 0,
+            next_wake: 0,
+            wakes: HashMap::new(),
+            read_events,
+            out: std::collections::VecDeque::new(),
+            finished_jobs: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The simulated cluster (counters, cost model, instance data).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (dynamic provisioning).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The storage substrate (cache statistics, byte totals).
+    pub fn storage(&self) -> &Storage {
+        self.cluster.storage()
+    }
+
+    /// Jobs currently in flight.
+    pub fn running_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Jobs finished so far.
+    pub fn finished_jobs(&self) -> u64 {
+        self.finished_jobs
+    }
+
+    /// Node counters integrated up to the current time.
+    pub fn node_counters(&mut self, node: NodeId) -> NodeCounters {
+        let now = self.queue.now();
+        self.cluster.counters(node, now)
+    }
+
+    /// Submit a job to a node. The engine is responsible for respecting the
+    /// node's concurrency limit (DEWE v2 workers stop pulling at one thread
+    /// per vCPU, §III.D).
+    pub fn submit_job(&mut self, token: u64, node: NodeId, profile: &JobProfile) {
+        let now = self.queue.now();
+        let jid = self.next_job;
+        self.next_job += 1;
+
+        self.cluster.thread_started(node);
+
+        // Read phase: classify hits and misses.
+        let mut hit_bytes = 0.0;
+        let mut miss_bytes = 0.0;
+        let mut missed = Vec::new();
+        for &(key, bytes) in &profile.reads {
+            if self.cluster.storage_mut().cache_lookup(node, key, bytes) {
+                hit_bytes += bytes;
+            } else {
+                miss_bytes += bytes;
+                missed.push((key, bytes));
+            }
+        }
+        let hit_secs = Storage::hit_secs(hit_bytes);
+        let cores_used = profile.cores.clamp(1, self.cluster.vcpus());
+        // Heterogeneity: a slow node stretches compute time (speed 1.0 on
+        // the paper's homogeneous clusters).
+        let cpu_wall_secs =
+            profile.cpu_seconds / cores_used as f64 / self.cluster.speed_factor(node);
+
+        let timings =
+            JobTimings { submitted: now, read_done: now, compute_done: now, finished: now };
+
+        if miss_bytes > 0.0 {
+            let backend = self.cluster.storage().backend_of(node);
+            let flow = self.cluster.storage_mut().begin_read(node, now, miss_bytes, jid);
+            self.jobs.insert(
+                jid,
+                RunningJob {
+                    token,
+                    node,
+                    phase: Phase::Reading { flow, backend },
+                    missed,
+                    miss_bytes,
+                    hit_secs,
+                    cpu_wall_secs,
+                    cores_used,
+                    writes: profile.writes.clone(),
+                    timings,
+                },
+            );
+            self.resched_backend(backend);
+        } else {
+            // Straight to compute.
+            self.cluster.start_compute(node, cores_used, now);
+            let event =
+                self.queue.schedule_in(hit_secs + cpu_wall_secs, Ev::ComputeDone(jid));
+            self.jobs.insert(
+                jid,
+                RunningJob {
+                    token,
+                    node,
+                    phase: Phase::Computing { event, cores: cores_used },
+                    missed,
+                    miss_bytes,
+                    hit_secs,
+                    cpu_wall_secs,
+                    cores_used,
+                    writes: profile.writes.clone(),
+                    timings,
+                },
+            );
+        }
+    }
+
+    /// Schedule a wake for the engine after `delay_secs`.
+    pub fn schedule_wake(&mut self, delay_secs: f64, token: u64) -> WakeId {
+        let wid = self.next_wake;
+        self.next_wake += 1;
+        let event = self.queue.schedule_in(delay_secs, Ev::Wake(wid));
+        self.wakes.insert(wid, (token, event));
+        WakeId(wid)
+    }
+
+    /// Cancel a pending wake. Idempotent.
+    pub fn cancel_wake(&mut self, id: WakeId) {
+        if let Some((_, event)) = self.wakes.remove(&id.0) {
+            self.queue.cancel(event);
+        }
+    }
+
+    /// Kill all jobs currently running on `node` (worker-daemon failure,
+    /// paper §V.A.3). Returns the engine tokens of the killed jobs. Their
+    /// partial reads/writes are charged; no completion events fire.
+    pub fn kill_jobs_on(&mut self, node: NodeId) -> Vec<u64> {
+        let now = self.queue.now();
+        let victims: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.node == node)
+            .map(|(&jid, _)| jid)
+            .collect();
+        let mut tokens = Vec::with_capacity(victims.len());
+        let mut backends_touched = Vec::new();
+        for jid in victims {
+            let job = self.jobs.remove(&jid).expect("victim exists");
+            match job.phase {
+                Phase::Reading { flow, backend } => {
+                    self.cluster.storage_mut().cancel_read(backend, now, flow);
+                    backends_touched.push(backend);
+                }
+                Phase::Computing { event, cores } => {
+                    self.queue.cancel(event);
+                    self.cluster.end_compute(job.node, cores, now);
+                }
+                Phase::Writing { event } => {
+                    self.queue.cancel(event);
+                }
+            }
+            self.cluster.thread_finished(job.node);
+            tokens.push(job.token);
+        }
+        backends_touched.sort_unstable();
+        backends_touched.dedup();
+        for b in backends_touched {
+            self.resched_backend(b);
+        }
+        tokens
+    }
+
+    /// Advance the simulation and return the next engine-visible event, or
+    /// `None` when nothing remains scheduled.
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors Iterator
+    pub fn next(&mut self) -> Option<SimEvent> {
+        loop {
+            if let Some(ev) = self.out.pop_front() {
+                return Some(ev);
+            }
+            let (_, ev) = self.queue.pop()?;
+            match ev {
+                Ev::ReadWake(backend) => self.on_read_wake(backend),
+                Ev::ComputeDone(jid) => self.on_compute_done(jid),
+                Ev::WriteDone(jid) => self.on_write_done(jid),
+                Ev::Wake(wid) => {
+                    if let Some((token, _)) = self.wakes.remove(&wid) {
+                        self.out.push_back(SimEvent::Wake { token });
+                    }
+                }
+            }
+        }
+    }
+
+    fn resched_backend(&mut self, backend: usize) {
+        let now = self.queue.now();
+        if let Some(old) = self.read_events[backend].take() {
+            self.queue.cancel(old);
+        }
+        if let Some(at) = self.cluster.storage_mut().next_read_completion(backend, now) {
+            self.read_events[backend] = Some(self.queue.schedule(at, Ev::ReadWake(backend)));
+        }
+    }
+
+    fn on_read_wake(&mut self, backend: usize) {
+        let now = self.queue.now();
+        self.read_events[backend] = None;
+        let done = self.cluster.storage_mut().pop_read_completed(backend, now);
+        for jid in done {
+            let Some(job) = self.jobs.get_mut(&jid) else { continue };
+            job.timings.read_done = now;
+            let node = job.node;
+            let miss_bytes = job.miss_bytes;
+            let cores = job.cores_used;
+            let dur = job.hit_secs + job.cpu_wall_secs;
+            let missed = std::mem::take(&mut job.missed);
+            // Read-allocate: the data just fetched is now resident.
+            for (key, bytes) in missed {
+                self.cluster.storage_mut().cache_insert(node, key, bytes);
+            }
+            self.cluster.add_read_bytes(node, miss_bytes);
+            self.cluster.start_compute(node, cores, now);
+            let event = self.queue.schedule_in(dur, Ev::ComputeDone(jid));
+            self.jobs.get_mut(&jid).expect("job still present").phase =
+                Phase::Computing { event, cores };
+        }
+        self.resched_backend(backend);
+    }
+
+    fn on_compute_done(&mut self, jid: u64) {
+        let now = self.queue.now();
+        let Some(job) = self.jobs.get_mut(&jid) else { return };
+        job.timings.compute_done = now;
+        let node = job.node;
+        let cores = job.cores_used;
+        self.cluster.end_compute(node, cores, now);
+        let job = self.jobs.get_mut(&jid).expect("job present");
+        if job.writes.is_empty() {
+            self.finish_job(jid);
+        } else {
+            let writes = job.writes.clone();
+            let mut latest = now;
+            for &(_, bytes) in &writes {
+                let done = self.cluster.storage_mut().submit_write(node, now, bytes);
+                latest = latest.max(done);
+            }
+            let event = self.queue.schedule(latest, Ev::WriteDone(jid));
+            self.jobs.get_mut(&jid).expect("job present").phase = Phase::Writing { event };
+        }
+    }
+
+    fn on_write_done(&mut self, jid: u64) {
+        let Some(job) = self.jobs.get(&jid) else { return };
+        let node = job.node;
+        let writes = job.writes.clone();
+        let total: f64 = writes.iter().map(|&(_, b)| b).sum();
+        for (key, bytes) in writes {
+            self.cluster.storage_mut().cache_insert(node, key, bytes);
+        }
+        self.cluster.add_write_bytes(node, total);
+        self.finish_job(jid);
+    }
+
+    fn finish_job(&mut self, jid: u64) {
+        let now = self.queue.now();
+        let mut job = self.jobs.remove(&jid).expect("finishing job exists");
+        job.timings.finished = now;
+        self.cluster.thread_finished(job.node);
+        self.finished_jobs += 1;
+        self.out.push_back(SimEvent::JobFinished {
+            token: job.token,
+            node: job.node,
+            timings: job.timings,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::C3_8XLARGE;
+    use crate::storage::{SharedFsKind, StorageConfig};
+
+    fn sim(nodes: usize) -> ExecSim {
+        ExecSim::new(ClusterConfig {
+            instance: C3_8XLARGE,
+            nodes,
+            storage: StorageConfig::Shared(SharedFsKind::DistFs),
+        })
+    }
+
+    fn finish(sim: &mut ExecSim) -> Vec<(u64, JobTimings)> {
+        let mut done = Vec::new();
+        while let Some(ev) = sim.next() {
+            if let SimEvent::JobFinished { token, timings, .. } = ev {
+                done.push((token, timings));
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn compute_only_job_takes_cpu_seconds() {
+        let mut s = sim(1);
+        s.submit_job(1, 0, &JobProfile::compute(10.0));
+        let done = finish(&mut s);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].1.total_secs() - 10.0).abs() < 1e-3);
+        assert_eq!(s.finished_jobs(), 1);
+    }
+
+    #[test]
+    fn multicore_job_speeds_up() {
+        let mut s = sim(1);
+        let profile = JobProfile { cores: 8, ..JobProfile::compute(80.0) };
+        s.submit_job(1, 0, &profile);
+        let done = finish(&mut s);
+        assert!((done[0].1.total_secs() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cold_read_pays_disk_bandwidth() {
+        let mut s = sim(1);
+        // c3 DistFs single node: 250 MB/s * 0.9 = 225 MB/s.
+        let profile = JobProfile {
+            reads: vec![(1, 225e6)],
+            cpu_seconds: 1.0,
+            cores: 1,
+            writes: vec![],
+        };
+        s.submit_job(1, 0, &profile);
+        let done = finish(&mut s);
+        let t = &done[0].1;
+        assert!((t.read_done.secs_since(t.submitted) - 1.0).abs() < 0.01, "{t:?}");
+        assert!((t.total_secs() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn warm_read_is_nearly_free() {
+        let mut s = sim(1);
+        // First job writes the file; second reads it (cache hit).
+        let w = JobProfile {
+            reads: vec![],
+            cpu_seconds: 1.0,
+            cores: 1,
+            writes: vec![(1, 225e6)],
+        };
+        s.submit_job(1, 0, &w);
+        let _ = finish(&mut s);
+        let r = JobProfile {
+            reads: vec![(1, 225e6)],
+            cpu_seconds: 1.0,
+            cores: 1,
+            writes: vec![],
+        };
+        s.submit_job(2, 0, &r);
+        let done = finish(&mut s);
+        let t = &done[0].1;
+        assert!(t.read_done.secs_since(t.submitted) < 0.2, "hit must be memory-speed: {t:?}");
+    }
+
+    #[test]
+    fn write_phase_finishes_after_compute() {
+        let mut s = sim(1);
+        let p = JobProfile {
+            reads: vec![],
+            cpu_seconds: 2.0,
+            cores: 1,
+            writes: vec![(9, 100e6)],
+        };
+        s.submit_job(1, 0, &p);
+        let done = finish(&mut s);
+        let t = &done[0].1;
+        assert!(t.finished >= t.compute_done);
+        assert!((t.compute_secs() - 2.0).abs() < 1e-3);
+        // Small write absorbed by page cache: staging is fast.
+        assert!(t.finished.secs_since(t.compute_done) < 0.2);
+    }
+
+    #[test]
+    fn concurrent_reads_share_bandwidth() {
+        let mut s = sim(1);
+        let cap = 250e6 * 0.9;
+        for i in 0..2 {
+            let p = JobProfile {
+                reads: vec![(100 + i, cap)],
+                cpu_seconds: 0.0,
+                cores: 1,
+                writes: vec![],
+            };
+            s.submit_job(i, 0, &p);
+        }
+        let done = finish(&mut s);
+        // Two cap-sized flows sharing capacity -> both finish at ~2 s.
+        for (_, t) in &done {
+            assert!((t.total_secs() - 2.0).abs() < 0.05, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn wake_timer_fires() {
+        let mut s = sim(1);
+        s.schedule_wake(5.0, 77);
+        match s.next() {
+            Some(SimEvent::Wake { token }) => assert_eq!(token, 77),
+            other => panic!("{other:?}"),
+        }
+        assert!((s.now().as_secs_f64() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_wake_does_not_fire() {
+        let mut s = sim(1);
+        let id = s.schedule_wake(5.0, 1);
+        s.schedule_wake(6.0, 2);
+        s.cancel_wake(id);
+        match s.next() {
+            Some(SimEvent::Wake { token }) => assert_eq!(token, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_jobs_on_node_suppresses_completions() {
+        let mut s = sim(2);
+        s.submit_job(1, 0, &JobProfile::compute(10.0));
+        s.submit_job(2, 1, &JobProfile::compute(10.0));
+        let killed = s.kill_jobs_on(0);
+        assert_eq!(killed, vec![1]);
+        let done = finish(&mut s);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 2);
+        assert_eq!(s.node_counters(0).threads_running, 0);
+    }
+
+    #[test]
+    fn kill_during_read_releases_bandwidth() {
+        let mut s = sim(2);
+        // Aggregate 2-node DistFs capacity on c3.
+        let cap = 250e6 * 2.0 * 0.9 / (1.0 + 0.015);
+        let big = JobProfile {
+            reads: vec![(1, cap * 20.0)],
+            cpu_seconds: 0.0,
+            cores: 1,
+            writes: vec![],
+        };
+        let small = JobProfile {
+            reads: vec![(2, cap * 2.0)],
+            cpu_seconds: 0.0,
+            cores: 1,
+            writes: vec![],
+        };
+        s.submit_job(1, 0, &big);
+        s.submit_job(2, 1, &small);
+        s.kill_jobs_on(0);
+        let done = finish(&mut s);
+        assert_eq!(done.len(), 1);
+        // Alone on the full capacity: 2 seconds.
+        assert!((done[0].1.total_secs() - 2.0).abs() < 0.05, "{:?}", done[0].1);
+    }
+
+    #[test]
+    fn thread_and_cpu_counters_track_jobs() {
+        let mut s = sim(1);
+        s.submit_job(1, 0, &JobProfile::compute(4.0));
+        s.submit_job(2, 0, &JobProfile::compute(4.0));
+        assert_eq!(s.node_counters(0).threads_running, 2);
+        let _ = finish(&mut s);
+        let c = s.node_counters(0);
+        assert_eq!(c.threads_running, 0);
+        assert!((c.cpu_busy_core_secs - 8.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        let run = || {
+            let mut s = sim(2);
+            for i in 0..20 {
+                let p = JobProfile {
+                    reads: vec![(i, 10e6 + 1e6 * i as f64)],
+                    cpu_seconds: 0.5 + 0.01 * i as f64,
+                    cores: 1,
+                    writes: vec![(1000 + i, 5e6)],
+                };
+                s.submit_job(i, (i % 2) as usize, &p);
+            }
+            finish(&mut s).iter().map(|(t, j)| (*t, j.finished)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,180 @@
+//! EC2 instance-type catalog (paper Tables I and II).
+//!
+//! All three large instance types have 32 vCPUs, 10 Gbps networking and
+//! RAID-0 SSD instance-store volumes; they differ chiefly in memory and in
+//! measured disk throughput — the property the paper's provisioning
+//! strategy exploits. `m3.2xlarge` (used in the paper's Fig. 2 motivation
+//! run) is included with estimated disk figures, since Table II does not
+//! list it.
+
+/// Measured RAID-0 disk throughput in MB/s (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskProfile {
+    /// Sequential read, MB/s.
+    pub seq_read: f64,
+    /// Sequential write, MB/s.
+    pub seq_write: f64,
+    /// Random read, MB/s.
+    pub rand_read: f64,
+    /// Random write, MB/s.
+    pub rand_write: f64,
+}
+
+impl DiskProfile {
+    /// Sequential read bandwidth in bytes/second.
+    pub fn read_bytes_per_sec(&self) -> f64 {
+        self.seq_read * 1e6
+    }
+
+    /// Sequential write bandwidth in bytes/second.
+    pub fn write_bytes_per_sec(&self) -> f64 {
+        self.seq_write * 1e6
+    }
+}
+
+/// An EC2 instance type (paper Table I + Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceType {
+    /// API name, e.g. `c3.8xlarge`.
+    pub name: &'static str,
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// Memory in GB.
+    pub memory_gb: f64,
+    /// Instance-store capacity in GB (all volumes combined).
+    pub storage_gb: f64,
+    /// Network bandwidth in Gbps.
+    pub network_gbps: f64,
+    /// On-demand price in USD per hour (us-east-1, 2015).
+    pub price_per_hour: f64,
+    /// RAID-0 disk throughput.
+    pub disk: DiskProfile,
+}
+
+impl InstanceType {
+    /// Page-cache dirty budget in bytes: the Linux default `dirty_ratio`
+    /// (20% of RAM).
+    pub fn dirty_limit_bytes(&self) -> f64 {
+        0.20 * self.memory_gb * 1e9
+    }
+
+    /// Read-cache budget in bytes: page-cache share of RAM usable for
+    /// caching recently written/read files (~60%, leaving room for
+    /// processes).
+    pub fn read_cache_bytes(&self) -> f64 {
+        0.60 * self.memory_gb * 1e9
+    }
+
+    /// Network bandwidth in bytes/second.
+    pub fn network_bytes_per_sec(&self) -> f64 {
+        self.network_gbps * 1e9 / 8.0
+    }
+
+    /// Look up a type by its API name.
+    pub fn by_name(name: &str) -> Option<&'static InstanceType> {
+        CATALOG.iter().find(|t| t.name == name)
+    }
+}
+
+/// c3.8xlarge: compute-optimized (paper Tables I–II).
+pub const C3_8XLARGE: InstanceType = InstanceType {
+    name: "c3.8xlarge",
+    vcpus: 32,
+    memory_gb: 60.0,
+    storage_gb: 640.0, // 2 x 320
+    network_gbps: 10.0,
+    price_per_hour: 1.68,
+    disk: DiskProfile { seq_read: 250.0, seq_write: 800.0, rand_read: 400.0, rand_write: 600.0 },
+};
+
+/// r3.8xlarge: memory-optimized (paper Tables I–II).
+pub const R3_8XLARGE: InstanceType = InstanceType {
+    name: "r3.8xlarge",
+    vcpus: 32,
+    memory_gb: 244.0,
+    storage_gb: 640.0, // 2 x 320
+    network_gbps: 10.0,
+    price_per_hour: 2.80,
+    disk: DiskProfile { seq_read: 350.0, seq_write: 1000.0, rand_read: 700.0, rand_write: 800.0 },
+};
+
+/// i2.8xlarge: storage-optimized (paper Tables I–II).
+pub const I2_8XLARGE: InstanceType = InstanceType {
+    name: "i2.8xlarge",
+    vcpus: 32,
+    memory_gb: 244.0,
+    storage_gb: 6400.0, // 8 x 800
+    network_gbps: 10.0,
+    price_per_hour: 6.82,
+    disk: DiskProfile {
+        seq_read: 2200.0,
+        seq_write: 3800.0,
+        rand_read: 1800.0,
+        rand_write: 3600.0,
+    },
+};
+
+/// m3.2xlarge: the general-purpose type of the paper's Fig. 2 motivation
+/// run. Disk figures are estimates (2 x 80 GB SSD, no Table II row).
+pub const M3_2XLARGE: InstanceType = InstanceType {
+    name: "m3.2xlarge",
+    vcpus: 8,
+    memory_gb: 30.0,
+    storage_gb: 160.0,
+    network_gbps: 1.0,
+    price_per_hour: 0.532,
+    disk: DiskProfile { seq_read: 180.0, seq_write: 300.0, rand_read: 250.0, rand_write: 280.0 },
+};
+
+/// All catalogued types.
+pub const CATALOG: [InstanceType; 4] = [C3_8XLARGE, R3_8XLARGE, I2_8XLARGE, M3_2XLARGE];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(C3_8XLARGE.vcpus, 32);
+        assert_eq!(C3_8XLARGE.memory_gb, 60.0);
+        assert_eq!(C3_8XLARGE.price_per_hour, 1.68);
+        assert_eq!(R3_8XLARGE.memory_gb, 244.0);
+        assert_eq!(R3_8XLARGE.price_per_hour, 2.80);
+        assert_eq!(I2_8XLARGE.storage_gb, 6400.0);
+        assert_eq!(I2_8XLARGE.price_per_hour, 6.82);
+    }
+
+    #[test]
+    fn table2_orders_disk_capability() {
+        // i2 > r3 > c3 on every channel (the basis of Fig. 4's stage-3
+        // finishing order). Iterate the catalog so the comparison covers
+        // whatever values the constants hold.
+        let ordered = [&C3_8XLARGE, &R3_8XLARGE, &I2_8XLARGE];
+        for pair in ordered.windows(2) {
+            assert!(pair[1].disk.seq_read > pair[0].disk.seq_read);
+            assert!(pair[1].disk.seq_write > pair[0].disk.seq_write);
+            assert!(pair[1].disk.rand_read > pair[0].disk.rand_read);
+            assert!(pair[1].disk.rand_write > pair[0].disk.rand_write);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(InstanceType::by_name("c3.8xlarge").unwrap().vcpus, 32);
+        assert_eq!(InstanceType::by_name("m3.2xlarge").unwrap().vcpus, 8);
+        assert!(InstanceType::by_name("t2.nano").is_none());
+    }
+
+    #[test]
+    fn derived_budgets() {
+        assert!((C3_8XLARGE.dirty_limit_bytes() - 12e9).abs() < 1e6);
+        assert!((C3_8XLARGE.read_cache_bytes() - 36e9).abs() < 1e6);
+        assert!((C3_8XLARGE.network_bytes_per_sec() - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(C3_8XLARGE.disk.read_bytes_per_sec(), 250e6);
+        assert_eq!(C3_8XLARGE.disk.write_bytes_per_sec(), 800e6);
+    }
+}

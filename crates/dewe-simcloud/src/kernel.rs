@@ -1,0 +1,202 @@
+//! Discrete-event kernel: a cancelable future-event list.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A deterministic future-event list.
+///
+/// Events fire in `(time, insertion sequence)` order, so simultaneous
+/// events resolve in schedule order — a fixed tie-break that keeps the
+/// whole simulation reproducible. Cancellation is O(1) via tombstones that
+/// are skipped (and freed) on pop; this supports the fair-share resources,
+/// whose predicted completion events are rescheduled whenever a flow joins
+/// or leaves.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Payloads keyed by sequence number; `None` = cancelled.
+    payloads: std::collections::HashMap<u64, E>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` (it will fire next), which
+    /// absorbs float round-off in duration computations.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let at = at.max(self.now);
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.payloads.insert(id, event);
+        EventId(id)
+    }
+
+    /// Schedule `event` after `delay_secs` seconds of simulated time.
+    pub fn schedule_in(&mut self, delay_secs: f64, event: E) -> EventId {
+        let at = self.now.plus_secs_f64(delay_secs);
+        self.schedule(at, event)
+    }
+
+    /// Cancel a scheduled event. Idempotent; cancelling an already-fired
+    /// event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.payloads.remove(&id.0);
+    }
+
+    /// Pop the next live event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse((at, id))) = self.heap.pop() {
+            if let Some(payload) = self.payloads.remove(&id) {
+                debug_assert!(at >= self.now, "time must be monotonic");
+                self.now = at;
+                return Some((at, payload));
+            }
+            // tombstone: skip
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((at, id))) = self.heap.peek() {
+            if self.payloads.contains_key(&id) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(1), "a"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(2), "b"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(3), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_secs(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "dead");
+        q.schedule(SimTime::from_secs(2), "alive");
+        q.cancel(id);
+        assert_eq!(q.pop().unwrap().1, "alive");
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_safe_after_fire() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "x");
+        q.pop();
+        q.cancel(id); // no panic
+        q.cancel(id);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "later");
+        q.pop();
+        q.schedule(SimTime::from_secs(1), "clamped");
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, "clamped");
+        assert_eq!(at, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "dead");
+        q.schedule(SimTime::from_secs(4), "alive");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_in_uses_now() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "first");
+        q.pop();
+        q.schedule_in(2.0, "second");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        let id = q.schedule(SimTime::from_secs(1), ());
+        assert!(!q.is_empty());
+        q.cancel(id);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! FIFO byte-budget read cache.
+//!
+//! Tracks which files' bytes are resident in (aggregate) page cache.
+//! Residency follows write/read recency with FIFO eviction by insertion
+//! order — a deliberately simple stand-in for the kernel page cache that
+//! captures the temporal-locality effect the paper depends on: stage-1
+//! `mDiffFit` jobs read projections written moments earlier (hits), while
+//! stage-3 `mBackground` jobs re-read stage-1 data written long before
+//! (misses), making stage 3 disk-read-bound (Fig. 4c).
+//!
+//! Hits are all-or-nothing per file: partial residency is treated as a miss
+//! (the dominant Montage files are a few MB, small against cache budgets).
+
+use std::collections::{HashMap, VecDeque};
+
+/// FIFO cache over opaque file keys.
+#[derive(Debug, Clone)]
+pub struct ReadCache {
+    capacity: f64,
+    used: f64,
+    /// Resident entries: key -> (bytes, generation).
+    entries: HashMap<u64, (f64, u64)>,
+    /// Insertion order with generations; stale generations are skipped.
+    order: VecDeque<(u64, u64)>,
+    next_gen: u64,
+    hits: u64,
+    misses: u64,
+    hit_bytes: f64,
+    miss_bytes: f64,
+}
+
+impl ReadCache {
+    /// New cache with a byte budget. A zero budget caches nothing.
+    pub fn new(capacity_bytes: f64) -> Self {
+        assert!(capacity_bytes >= 0.0);
+        Self {
+            capacity: capacity_bytes,
+            used: 0.0,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            next_gen: 0,
+            hits: 0,
+            misses: 0,
+            hit_bytes: 0.0,
+            miss_bytes: 0.0,
+        }
+    }
+
+    /// Adjust the budget (cluster membership changes), evicting if shrunk.
+    pub fn set_capacity(&mut self, capacity_bytes: f64) {
+        assert!(capacity_bytes >= 0.0);
+        self.capacity = capacity_bytes;
+        self.evict_to_fit();
+    }
+
+    /// Record that `key` (of `bytes`) is now resident (it was written, or
+    /// read from the device). Re-inserting refreshes its position.
+    pub fn insert(&mut self, key: u64, bytes: f64) {
+        debug_assert!(bytes >= 0.0);
+        if bytes > self.capacity {
+            // Cannot ever be resident; also don't thrash the cache.
+            if let Some((b, _)) = self.entries.remove(&key) {
+                self.used -= b;
+            }
+            return;
+        }
+        if let Some((old_bytes, _)) = self.entries.remove(&key) {
+            self.used -= old_bytes;
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.entries.insert(key, (bytes, gen));
+        self.order.push_back((key, gen));
+        self.used += bytes;
+        self.evict_to_fit();
+    }
+
+    /// Check residency for a read of `key` (of `bytes`), updating hit/miss
+    /// counters. A hit refreshes the entry's FIFO position ("recently read"
+    /// data survives longer, as in a real page cache under re-reference).
+    pub fn lookup(&mut self, key: u64, bytes: f64) -> bool {
+        let hit = self.entries.contains_key(&key);
+        if hit {
+            self.hits += 1;
+            self.hit_bytes += bytes;
+            // Refresh recency.
+            self.insert(key, bytes);
+        } else {
+            self.misses += 1;
+            self.miss_bytes += bytes;
+        }
+        hit
+    }
+
+    /// Drop a specific entry (file deleted / node departed with its cache).
+    pub fn invalidate(&mut self, key: u64) {
+        if let Some((bytes, _)) = self.entries.remove(&key) {
+            self.used -= bytes;
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used = 0.0;
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used > self.capacity {
+            match self.order.pop_front() {
+                Some((key, gen)) => {
+                    if let Some(&(bytes, cur_gen)) = self.entries.get(&key) {
+                        if cur_gen == gen {
+                            self.entries.remove(&key);
+                            self.used -= bytes;
+                        }
+                        // else: stale order entry for a refreshed key; skip.
+                    }
+                }
+                None => {
+                    debug_assert!(self.entries.is_empty());
+                    self.used = 0.0;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Resident bytes.
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Budget in bytes.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// (hits, misses) counts so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Byte-weighted hit rate so far (1.0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hit_bytes + self.miss_bytes;
+        if total == 0.0 {
+            1.0
+        } else {
+            self.hit_bytes / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = ReadCache::new(100.0);
+        c.insert(1, 40.0);
+        assert!(c.lookup(1, 40.0));
+        assert!(!c.lookup(2, 10.0));
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = ReadCache::new(100.0);
+        c.insert(1, 60.0);
+        c.insert(2, 60.0); // evicts 1
+        assert!(!c.lookup(1, 60.0));
+        assert!(c.lookup(2, 60.0));
+    }
+
+    #[test]
+    fn reinsert_refreshes_position() {
+        let mut c = ReadCache::new(100.0);
+        c.insert(1, 40.0);
+        c.insert(2, 40.0);
+        c.insert(1, 40.0); // refresh: now 2 is oldest
+        c.insert(3, 40.0); // evicts 2
+        assert!(c.lookup(1, 40.0));
+        assert!(!c.lookup(2, 40.0));
+        assert!(c.lookup(3, 40.0));
+    }
+
+    #[test]
+    fn lookup_hit_refreshes_position() {
+        let mut c = ReadCache::new(100.0);
+        c.insert(1, 40.0);
+        c.insert(2, 40.0);
+        assert!(c.lookup(1, 40.0)); // 1 refreshed; 2 now oldest
+        c.insert(3, 40.0); // evicts 2
+        assert!(c.lookup(1, 40.0));
+        assert!(!c.lookup(2, 40.0));
+    }
+
+    #[test]
+    fn oversized_file_never_cached() {
+        let mut c = ReadCache::new(100.0);
+        c.insert(1, 500.0);
+        assert!(!c.lookup(1, 500.0));
+        assert_eq!(c.used(), 0.0);
+    }
+
+    #[test]
+    fn used_accounting_with_updates() {
+        let mut c = ReadCache::new(1000.0);
+        c.insert(1, 100.0);
+        c.insert(1, 300.0); // replaces
+        assert_eq!(c.used(), 300.0);
+        c.invalidate(1);
+        assert_eq!(c.used(), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = ReadCache::new(0.0);
+        c.insert(1, 1.0);
+        assert!(!c.lookup(1, 1.0));
+    }
+
+    #[test]
+    fn shrink_capacity_evicts() {
+        let mut c = ReadCache::new(200.0);
+        c.insert(1, 100.0);
+        c.insert(2, 100.0);
+        c.set_capacity(100.0);
+        assert!(c.used() <= 100.0);
+        assert!(!c.lookup(1, 100.0), "oldest entry must be evicted first");
+        assert!(c.lookup(2, 100.0));
+    }
+
+    #[test]
+    fn hit_rate_is_byte_weighted() {
+        let mut c = ReadCache::new(1000.0);
+        c.insert(1, 900.0);
+        c.lookup(1, 900.0); // hit 900 bytes
+        c.lookup(2, 100.0); // miss 100 bytes
+        assert!((c.hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_residency_not_counters() {
+        let mut c = ReadCache::new(100.0);
+        c.insert(1, 10.0);
+        c.lookup(1, 10.0);
+        c.clear();
+        assert!(!c.lookup(1, 10.0));
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn stale_order_entries_are_skipped() {
+        let mut c = ReadCache::new(100.0);
+        for _ in 0..50 {
+            c.insert(1, 10.0); // many stale order entries for key 1
+        }
+        c.insert(2, 90.0); // must evict key 1 exactly once
+        assert!(c.used() <= 100.0);
+        assert!(c.lookup(2, 90.0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Property-based tests for the simulator's physical invariants.
+
+use dewe_simcloud::{
+    ClusterConfig, ExecSim, FairShare, JobProfile, ReadCache, SimEvent, SimTime, StorageConfig,
+    WriteBucket, C3_8XLARGE,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- FairShare
+
+proptest! {
+    /// Conservation: total bytes delivered equals the sum of all flow
+    /// sizes, and equals capacity x busy time, for any arrival pattern.
+    #[test]
+    fn fairshare_conserves_bytes(
+        capacity in 1e3f64..1e9,
+        flows in prop::collection::vec((1.0f64..1e7, 0u64..5_000_000), 1..40),
+    ) {
+        let mut r = FairShare::new(capacity);
+        let mut clock = SimTime::ZERO;
+        let mut expected = 0.0;
+        for (i, &(bytes, gap_us)) in flows.iter().enumerate() {
+            clock += SimTime(gap_us);
+            r.start(clock, bytes, i as u64);
+            expected += bytes;
+        }
+        let mut done = 0;
+        while let Some(at) = r.next_completion(clock) {
+            prop_assert!(at >= clock, "completions never in the past");
+            clock = at;
+            done += r.pop_completed(clock).len();
+        }
+        prop_assert_eq!(done, flows.len());
+        prop_assert!((r.completed_bytes() - expected).abs() <= 1e-6 * expected.max(1.0),
+            "delivered {} vs submitted {}", r.completed_bytes(), expected);
+    }
+
+    /// With prompt harvesting (all flows started together, completions
+    /// popped as they occur), delivered bytes equal capacity x busy time.
+    #[test]
+    fn fairshare_busy_time_identity(
+        capacity in 1e3f64..1e9,
+        flows in prop::collection::vec(1.0f64..1e7, 1..40),
+    ) {
+        let mut r = FairShare::new(capacity);
+        for (i, &bytes) in flows.iter().enumerate() {
+            r.start(SimTime::ZERO, bytes, i as u64);
+        }
+        let mut clock = SimTime::ZERO;
+        while let Some(at) = r.next_completion(clock) {
+            clock = at;
+            r.pop_completed(clock);
+        }
+        let expected: f64 = flows.iter().sum();
+        // Completion events round up to the next microsecond; allow ~5 us
+        // of busy-time slack per flow.
+        let rounding_slack = r.capacity() * 5e-6 * flows.len() as f64;
+        let via_busy = r.capacity() * r.busy_secs();
+        prop_assert!((via_busy - expected).abs() <= 1e-3 * expected.max(1.0) + rounding_slack,
+            "capacity x busy {} vs {}", via_busy, expected);
+    }
+
+    /// Completion order follows virtual finish: a strictly smaller flow
+    /// started at the same instant never finishes after a larger one.
+    #[test]
+    fn fairshare_smaller_flow_finishes_first(
+        a in 1.0f64..1e6,
+        delta in 1.0f64..1e6,
+    ) {
+        let mut r = FairShare::new(1e6);
+        r.start(SimTime::ZERO, a, 1);
+        r.start(SimTime::ZERO, a + delta, 2);
+        let t1 = r.next_completion(SimTime::ZERO).unwrap();
+        let first = r.pop_completed(t1);
+        prop_assert_eq!(first, vec![1]);
+    }
+}
+
+// --------------------------------------------------------------- WriteBucket
+
+proptest! {
+    /// Monotonicity: completion times never precede submission, dirty
+    /// never exceeds the budget, and the drained total is nondecreasing.
+    #[test]
+    fn bucket_invariants(
+        drain in 1e3f64..1e9,
+        limit in 0.0f64..1e9,
+        writes in prop::collection::vec((0.0f64..1e8, 0u64..2_000_000), 1..50),
+    ) {
+        let mut b = WriteBucket::new(drain, limit, 3e9);
+        let mut clock = SimTime::ZERO;
+        let mut last_drained = 0.0;
+        let mut submitted = 0.0;
+        for &(bytes, gap_us) in &writes {
+            clock += SimTime(gap_us);
+            let done = b.submit(clock, bytes);
+            submitted += bytes;
+            prop_assert!(done >= clock);
+            let dirty = b.dirty(clock);
+            prop_assert!(dirty <= limit + 1e-6, "dirty {dirty} > limit {limit}");
+            let drained = b.drained_total(clock);
+            prop_assert!(drained >= last_drained - 1e-6, "drained went backwards");
+            prop_assert!(drained <= submitted + 1e-6, "drained more than written");
+            last_drained = drained;
+        }
+        // Everything eventually drains.
+        let end = b.drained_at(clock);
+        let final_drained = b.drained_total(end + SimTime(1));
+        prop_assert!((final_drained - submitted).abs() < 1e-3 * submitted.max(1.0) + 1e-3);
+    }
+}
+
+// ----------------------------------------------------------------- ReadCache
+
+proptest! {
+    /// The cache never holds more than its capacity and hit/miss counts
+    /// always sum to the number of lookups.
+    #[test]
+    fn cache_respects_budget(
+        capacity in 0.0f64..1e6,
+        ops in prop::collection::vec((0u64..50, 1.0f64..2e5, prop::bool::ANY), 1..200),
+    ) {
+        let mut c = ReadCache::new(capacity);
+        let mut lookups = 0;
+        for &(key, bytes, is_insert) in &ops {
+            if is_insert {
+                c.insert(key, bytes);
+            } else {
+                c.lookup(key, bytes);
+                lookups += 1;
+            }
+            prop_assert!(c.used() <= capacity + 1e-9, "used {} > cap {}", c.used(), capacity);
+        }
+        let (h, m) = c.counters();
+        prop_assert_eq!(h + m, lookups);
+    }
+
+    /// Reading immediately after inserting (with room) always hits.
+    #[test]
+    fn cache_read_after_write_hits(key in 0u64..1000, bytes in 1.0f64..1e4) {
+        let mut c = ReadCache::new(1e6);
+        c.insert(key, bytes);
+        prop_assert!(c.lookup(key, bytes));
+    }
+}
+
+// ------------------------------------------------------------------- ExecSim
+
+proptest! {
+    /// Every submitted job finishes exactly once (no faults), regardless
+    /// of profile mix, and phase timestamps are ordered. Submission
+    /// respects the engine contract: a node's busy cores never exceed its
+    /// vCPUs (DEWE workers stop pulling at one thread per vCPU), so
+    /// submissions throttle on a per-node core budget like a real engine.
+    #[test]
+    fn execsim_completes_everything(
+        jobs in prop::collection::vec(
+            (0.0f64..20.0, 0.0f64..5e7, 0.0f64..5e7, 1u32..4), 1..60),
+    ) {
+        let mut sim = ExecSim::new(ClusterConfig {
+            instance: C3_8XLARGE,
+            nodes: 2,
+            storage: StorageConfig::LocalDisk,
+        });
+        let vcpus = C3_8XLARGE.vcpus;
+        let mut free = [vcpus, vcpus];
+        let mut node_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut cores_of: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut next = 0usize;
+        while next < jobs.len() || seen.len() < jobs.len() {
+            // Submit everything that fits right now.
+            while next < jobs.len() {
+                let (cpu, rd, wr, cores) = jobs[next];
+                let node = if free[0] >= free[1] { 0 } else { 1 };
+                if free[node] < cores {
+                    break;
+                }
+                let profile = JobProfile {
+                    reads: if rd > 0.0 { vec![(next as u64, rd)] } else { vec![] },
+                    cpu_seconds: cpu,
+                    cores,
+                    writes: if wr > 0.0 { vec![(1000 + next as u64, wr)] } else { vec![] },
+                };
+                free[node] -= cores;
+                node_of.insert(next as u64, node);
+                cores_of.insert(next as u64, cores);
+                sim.submit_job(next as u64, node, &profile);
+                next += 1;
+            }
+            match sim.next() {
+                Some(SimEvent::JobFinished { token, timings, .. }) => {
+                    prop_assert!(seen.insert(token), "token {token} finished twice");
+                    prop_assert!(timings.submitted <= timings.read_done);
+                    prop_assert!(timings.read_done <= timings.compute_done);
+                    prop_assert!(timings.compute_done <= timings.finished);
+                    free[node_of[&token]] += cores_of[&token];
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        prop_assert_eq!(seen.len(), jobs.len());
+        prop_assert_eq!(sim.running_jobs(), 0);
+        // Thread accounting returned to zero on both nodes.
+        prop_assert_eq!(sim.node_counters(0).threads_running, 0);
+        prop_assert_eq!(sim.node_counters(1).threads_running, 0);
+    }
+
+    /// CPU accounting: total busy core-seconds equals the submitted CPU
+    /// demand (jobs get exactly what they ask for, cores x wall).
+    #[test]
+    fn execsim_cpu_accounting_exact(
+        jobs in prop::collection::vec(0.1f64..30.0, 1..40),
+    ) {
+        let mut sim = ExecSim::new(ClusterConfig {
+            instance: C3_8XLARGE,
+            nodes: 1,
+            storage: StorageConfig::LocalDisk,
+        });
+        // Paper model: the engine never oversubscribes; submit in waves of
+        // at most 32.
+        let mut submitted = 0usize;
+        let mut expected_cpu = 0.0;
+        let mut inflight = 0;
+        let mut next = 0usize;
+        while submitted < jobs.len() || inflight > 0 {
+            while next < jobs.len() && inflight < 32 {
+                sim.submit_job(next as u64, 0, &JobProfile::compute(jobs[next]));
+                expected_cpu += jobs[next];
+                next += 1;
+                submitted += 1;
+                inflight += 1;
+            }
+            match sim.next() {
+                Some(SimEvent::JobFinished { .. }) => inflight -= 1,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        let measured = sim.node_counters(0).cpu_busy_core_secs;
+        prop_assert!((measured - expected_cpu).abs() < 1e-6 * expected_cpu.max(1.0) + 1e-6,
+            "cpu {measured} vs expected {expected_cpu}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Incremental submission (paper §V.A.2, Fig. 8): shape the ensemble's
+//! resource demand by staggering workflow submissions.
+//!
+//! Sweeps the submission interval for a five-workflow Montage ensemble on
+//! one simulated c3.8xlarge node and prints the makespan curve, then lets
+//! the auto-tuner refine the optimum.
+//!
+//! ```text
+//! cargo run --release --example incremental_submission
+//! ```
+
+use std::sync::Arc;
+
+use dewe::core::sim::{run_ensemble, SimRunConfig, SubmissionPlan};
+use dewe::montage::MontageConfig;
+use dewe::simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
+
+fn main() {
+    let degree = 3.0;
+    let workflows = 5;
+    let template = Arc::new(MontageConfig::degree(degree).build());
+    let cluster =
+        ClusterConfig { instance: C3_8XLARGE, nodes: 1, storage: StorageConfig::LocalDisk };
+    println!(
+        "{workflows} x {degree}-degree Montage ({} jobs each) on one c3.8xlarge\n",
+        template.job_count()
+    );
+
+    let measure = |interval: f64| -> f64 {
+        let wfs: Vec<_> = (0..workflows).map(|_| Arc::clone(&template)).collect();
+        let mut cfg = SimRunConfig::new(cluster);
+        cfg.submission = if interval == 0.0 {
+            SubmissionPlan::Batch
+        } else {
+            SubmissionPlan::Interval(interval)
+        };
+        let report = run_ensemble(&wfs, &cfg);
+        assert!(report.completed);
+        report.makespan_secs
+    };
+
+    let batch = measure(0.0);
+    println!("interval   0s (batch): {batch:>6.0}s");
+    let mut best = (0.0, batch);
+    for interval in [15.0, 30.0, 45.0, 60.0, 75.0, 90.0] {
+        let t = measure(interval);
+        let marker = if t < best.1 { " <-- best so far" } else { "" };
+        println!("interval {interval:>3.0}s        : {t:>6.0}s{marker}");
+        if t < best.1 {
+            best = (interval, t);
+        }
+    }
+    println!(
+        "\nbest interval {:.0}s is {:.1}% faster than batch submission",
+        best.0,
+        100.0 * (1.0 - best.1 / batch)
+    );
+    println!("(the paper reports 34% at a 100 s interval for 6.0-degree workflows)");
+}

@@ -1,0 +1,67 @@
+//! The canonical workflow gallery under one engine.
+//!
+//! Runs all five generator shapes (Montage, LIGO, CyberShake, Epigenomics,
+//! SIPHT) through the DEWE v2 simulated runtime on the same node and
+//! prints a structural + behavioural comparison: how homogeneity, depth
+//! and I/O character translate into makespan, queue waits and cache
+//! behaviour. Montage's profile is why the paper's pulling argument works;
+//! the others show where its premises weaken (SIPHT's low homogeneity,
+//! Epigenomics' empty queues).
+//!
+//! ```text
+//! cargo run --release --example workflow_gallery
+//! ```
+
+use std::sync::Arc;
+
+use dewe::core::sim::{run_ensemble, SimRunConfig};
+use dewe::dag::{LevelProfile, Workflow, WorkflowStats};
+use dewe::montage::{
+    CyberShakeConfig, EpigenomicsConfig, LigoConfig, MontageConfig, SiphtConfig,
+};
+use dewe::simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
+
+fn main() {
+    let gallery: Vec<(&str, Arc<Workflow>)> = vec![
+        ("montage", Arc::new(MontageConfig::degree(2.0).build())),
+        ("ligo", Arc::new(LigoConfig::new(8, 12).build())),
+        ("cybershake", Arc::new(CyberShakeConfig::new(400).build())),
+        ("epigenomics", Arc::new(EpigenomicsConfig::new(4, 24).build())),
+        ("sipht", Arc::new(SiphtConfig::new(30).build())),
+    ];
+    let cluster =
+        ClusterConfig { instance: C3_8XLARGE, nodes: 1, storage: StorageConfig::LocalDisk };
+
+    println!(
+        "{:<12} {:>6} {:>6} {:>7} {:>8} {:>9} {:>9} {:>9} {:>8}",
+        "workflow", "jobs", "depth", "width", "homog3", "makespan", "q-wait50", "q-wait99", "cachehit"
+    );
+    for (name, wf) in &gallery {
+        let stats = WorkflowStats::of(wf);
+        let lp = LevelProfile::of(wf);
+        let mut cfg = SimRunConfig::new(cluster);
+        cfg.record_trace = true;
+        let report = run_ensemble(&[Arc::clone(wf)], &cfg);
+        assert!(report.completed);
+        let trace = report.trace.expect("trace requested");
+        let qw = trace.queue_wait_summary().expect("jobs ran");
+        println!(
+            "{:<12} {:>6} {:>6} {:>7} {:>7.0}% {:>8.0}s {:>8.1}s {:>8.1}s {:>7.0}%",
+            name,
+            stats.total_jobs,
+            lp.depth(),
+            lp.max_width(),
+            100.0 * stats.homogeneity(3),
+            report.makespan_secs,
+            qw.p50,
+            qw.p99,
+            100.0 * report.cache_hit_rate,
+        );
+    }
+    println!(
+        "\nMontage/CyberShake: wide homogeneous fans queue deeply (pulling shines).\n\
+         Epigenomics: deep pipelines, near-empty queues (latency-bound).\n\
+         SIPHT: heterogeneous jobs, thin per-transformation statistics\n\
+         (the stress case for profiling-based provisioning)."
+    );
+}

@@ -1,0 +1,302 @@
+//! `dewectl` — command-line workflow tooling.
+//!
+//! ```text
+//! dewectl inspect  <file>                    structural statistics
+//! dewectl convert  <in> <out>                .dag <-> .dax by extension
+//! dewectl dot      <file> [--collapsed]      Graphviz to stdout
+//! dewectl gen      montage <degree> <out>    generate a workflow file
+//! dewectl gen      ligo <groups> <banks> <out>
+//! dewectl gen      cybershake <variations> <out>
+//! dewectl gen      epigenomics <lanes> <chunks> <out>
+//! dewectl gen      sipht <patser_jobs> <out>
+//! dewectl simulate <file> [--nodes N] [--type c3.8xlarge] [--workflows W]
+//!                         [--interval S] [--trace out.json]
+//! dewectl ensemble <manifest>                run a whole campaign manifest
+//! ```
+//!
+//! Workflow files use the DAGMan-style text format (`.dag`) or Pegasus DAX
+//! (`.dax`/`.xml`), auto-detected by extension.
+
+use std::path::Path;
+use std::process::exit;
+use std::sync::Arc;
+
+use dewe::core::sim::{run_ensemble, SimRunConfig, SubmissionPlan};
+use dewe::dag::{
+    lint, parse_dax, parse_workflow, to_dot, to_dot_collapsed, write_dax, write_workflow,
+    CriticalPath, LevelProfile, Workflow, WorkflowStats,
+};
+use dewe::montage::{CyberShakeConfig, EpigenomicsConfig, LigoConfig, MontageConfig, SiphtConfig};
+use dewe::simcloud::{ClusterConfig, InstanceType, SharedFsKind, StorageConfig, C3_8XLARGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("inspect") => inspect(&args[1..]),
+        Some("convert") => convert(&args[1..]),
+        Some("dot") => dot(&args[1..]),
+        Some("gen") => generate(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
+        Some("ensemble") => ensemble(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dewectl <inspect|convert|dot|gen|simulate|ensemble> ... (see crate docs)"
+            );
+            exit(2);
+        }
+    };
+    if let Err(msg) = result {
+        eprintln!("dewectl: {msg}");
+        exit(1);
+    }
+}
+
+fn load(path: &str) -> Result<Workflow, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "dax" | "xml" => parse_dax(&text).map_err(|e| format!("{path}: {e}")),
+        _ => parse_workflow(&text).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+fn save(wf: &Workflow, path: &str) -> Result<(), String> {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let text = match ext {
+        "dax" | "xml" => write_dax(wf),
+        _ => write_workflow(wf),
+    };
+    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect needs a file")?;
+    let wf = load(path)?;
+    let stats = WorkflowStats::of(&wf);
+    let lp = LevelProfile::of(&wf);
+    let cp = CriticalPath::of(&wf);
+    println!("workflow      : {}", wf.name());
+    println!("jobs          : {}", stats.total_jobs);
+    println!("edges         : {}", stats.edges);
+    println!("files         : {} input ({:.2} GB) + {} produced ({:.2} GB)",
+        stats.input_files,
+        stats.input_bytes as f64 / 1e9,
+        stats.intermediate_files,
+        stats.intermediate_bytes as f64 / 1e9);
+    println!("total CPU     : {:.0} core-seconds", stats.total_cpu_seconds);
+    println!("depth / width : {} levels, max width {}", lp.depth(), lp.max_width());
+    println!("critical path : {} jobs, {:.1} CPU-seconds", cp.jobs.len(), cp.cpu_seconds);
+    let blocking = lp.blocking_jobs();
+    println!("blocking jobs : {}", blocking.len());
+    for &j in blocking.iter().take(8) {
+        println!("                {} ({:.0}s)", wf.job(j).name, wf.job(j).cpu_seconds);
+    }
+    println!("by transformation:");
+    for (xform, count, cpu) in stats.by_xform.iter().take(12) {
+        println!("  {xform:<20} x{count:<7} {cpu:>10.0} cpu-s");
+    }
+    println!("top-3 homogeneity: {:.1}%", 100.0 * stats.homogeneity(3));
+    let findings = lint(&wf);
+    if findings.is_empty() {
+        println!("lint          : clean");
+    } else {
+        println!("lint          : {} findings", findings.len());
+        for f in findings.iter().take(10) {
+            println!("                {f:?}");
+        }
+    }
+    Ok(())
+}
+
+fn convert(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("convert needs <in> <out>".into());
+    };
+    let wf = load(input)?;
+    save(&wf, output)?;
+    println!("wrote {} ({} jobs)", output, wf.job_count());
+    Ok(())
+}
+
+fn dot(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("dot needs a file")?;
+    let wf = load(path)?;
+    let collapsed = args.iter().any(|a| a == "--collapsed");
+    if collapsed || wf.job_count() > 2000 {
+        if !collapsed {
+            eprintln!("(large workflow: emitting collapsed view; pass --collapsed to silence)");
+        }
+        print!("{}", to_dot_collapsed(&wf));
+    } else {
+        print!("{}", to_dot(&wf));
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("montage") => {
+            let [_, degree, out] = args else {
+                return Err("gen montage <degree> <out>".into());
+            };
+            let d: f64 = degree.parse().map_err(|_| "bad degree")?;
+            let wf = MontageConfig::degree(d).build();
+            save(&wf, out)?;
+            println!("montage {d} deg: {} jobs -> {out}", wf.job_count());
+        }
+        Some("ligo") => {
+            let [_, groups, banks, out] = args else {
+                return Err("gen ligo <groups> <banks> <out>".into());
+            };
+            let wf = LigoConfig::new(
+                groups.parse().map_err(|_| "bad groups")?,
+                banks.parse().map_err(|_| "bad banks")?,
+            )
+            .build();
+            save(&wf, out)?;
+            println!("ligo: {} jobs -> {out}", wf.job_count());
+        }
+        Some("cybershake") => {
+            let [_, vars, out] = args else {
+                return Err("gen cybershake <variations> <out>".into());
+            };
+            let wf =
+                CyberShakeConfig::new(vars.parse().map_err(|_| "bad variations")?).build();
+            save(&wf, out)?;
+            println!("cybershake: {} jobs -> {out}", wf.job_count());
+        }
+        Some("epigenomics") => {
+            let [_, lanes, chunks, out] = args else {
+                return Err("gen epigenomics <lanes> <chunks> <out>".into());
+            };
+            let wf = EpigenomicsConfig::new(
+                lanes.parse().map_err(|_| "bad lanes")?,
+                chunks.parse().map_err(|_| "bad chunks")?,
+            )
+            .build();
+            save(&wf, out)?;
+            println!("epigenomics: {} jobs -> {out}", wf.job_count());
+        }
+        Some("sipht") => {
+            let [_, patser, out] = args else {
+                return Err("gen sipht <patser_jobs> <out>".into());
+            };
+            let wf = SiphtConfig::new(patser.parse().map_err(|_| "bad patser_jobs")?).build();
+            save(&wf, out)?;
+            println!("sipht: {} jobs -> {out}", wf.job_count());
+        }
+        _ => return Err("gen <montage|ligo|cybershake|epigenomics|sipht> ...".into()),
+    }
+    Ok(())
+}
+
+fn ensemble(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("ensemble needs a manifest file")?;
+    let manifest = dewe::manifest::Manifest::load(path)?;
+    let wfs = manifest.expand()?;
+    let itype = InstanceType::by_name(&manifest.instance).expect("validated at parse");
+    let storage = if manifest.nodes == 1 {
+        StorageConfig::LocalDisk
+    } else {
+        StorageConfig::Shared(SharedFsKind::DistFs)
+    };
+    let cluster = ClusterConfig { instance: *itype, nodes: manifest.nodes, storage };
+    let mut cfg = SimRunConfig::new(cluster);
+    if manifest.interval_secs > 0.0 {
+        cfg.submission = SubmissionPlan::Interval(manifest.interval_secs);
+    }
+    if let Some(t) = manifest.timeout_secs {
+        cfg.default_timeout_secs = t;
+    }
+    println!(
+        "ensemble: {} workflow instances on {} x {}",
+        wfs.len(),
+        manifest.nodes,
+        itype.name
+    );
+    let report = run_ensemble(&wfs, &cfg);
+    println!("  makespan   : {:.1}s ({:.1} min)", report.makespan_secs, report.makespan_secs / 60.0);
+    println!("  jobs       : {}", report.engine.jobs_completed);
+    println!("  est. cost  : ${:.2} (${:.4}/workflow)",
+        report.cost_usd, report.cost_usd / wfs.len() as f64);
+    if !report.completed {
+        return Err("ensemble did not complete".into());
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("simulate needs a file")?;
+    let wf = Arc::new(load(path)?);
+    let mut nodes = 1usize;
+    let mut workflows = 1usize;
+    let mut itype: &'static InstanceType = &C3_8XLARGE;
+    let mut interval = 0.0f64;
+    let mut trace_out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                nodes = args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--nodes N")?;
+                i += 2;
+            }
+            "--workflows" => {
+                workflows =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--workflows W")?;
+                i += 2;
+            }
+            "--type" => {
+                let name = args.get(i + 1).ok_or("--type <instance>")?;
+                itype = InstanceType::by_name(name)
+                    .ok_or_else(|| format!("unknown instance type {name}"))?;
+                i += 2;
+            }
+            "--interval" => {
+                interval =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--interval S")?;
+                i += 2;
+            }
+            "--trace" => {
+                trace_out = Some(args.get(i + 1).ok_or("--trace <out.json>")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let storage = if nodes == 1 {
+        StorageConfig::LocalDisk
+    } else {
+        StorageConfig::Shared(SharedFsKind::DistFs)
+    };
+    let cluster = ClusterConfig { instance: *itype, nodes, storage };
+    let wfs: Vec<_> = (0..workflows).map(|_| Arc::clone(&wf)).collect();
+    let mut cfg = SimRunConfig::new(cluster);
+    if interval > 0.0 {
+        cfg.submission = SubmissionPlan::Interval(interval);
+    }
+    cfg.record_trace = trace_out.is_some();
+    let report = run_ensemble(&wfs, &cfg);
+    println!(
+        "simulated {workflows} x {} on {nodes} x {}: ",
+        wf.name(),
+        itype.name
+    );
+    println!("  makespan   : {:.1}s ({:.1} min)", report.makespan_secs, report.makespan_secs / 60.0);
+    println!("  jobs       : {}", report.engine.jobs_completed);
+    println!("  cpu        : {:.0} core-seconds", report.total_cpu_core_secs);
+    println!("  disk reads : {:.2} GB (cache hit rate {:.0}%)",
+        report.total_bytes_read / 1e9, 100.0 * report.cache_hit_rate);
+    println!("  disk writes: {:.2} GB", report.total_bytes_written / 1e9);
+    println!("  est. cost  : ${:.2} (hourly billing)", report.cost_usd);
+    if let (Some(path), Some(trace)) = (&trace_out, &report.trace) {
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        let qw = trace.queue_wait_summary().expect("trace non-empty");
+        println!("  trace      : {} events -> {path} (queue wait p50 {:.2}s p99 {:.2}s)",
+            trace.len(), qw.p50, qw.p99);
+    }
+    if !report.completed {
+        return Err("simulation did not complete (engine starvation?)".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Ensemble manifests: declarative descriptions of a whole campaign.
+//!
+//! A manifest names the workflows of an ensemble (files on disk, in either
+//! supported format), their multiplicities, the submission plan and the
+//! cluster to run on — everything the paper's experiments vary:
+//!
+//! ```text
+//! # 20 mosaics and 2 LIGO analyses, staggered, on 4 r3.8xlarge nodes
+//! WORKFLOW mosaics.dag   COUNT 20
+//! WORKFLOW inspiral.dax  COUNT 2
+//! INTERVAL 50
+//! NODES    4
+//! TYPE     r3.8xlarge
+//! TIMEOUT  600
+//! ```
+//!
+//! `dewectl ensemble <manifest>` executes one on the simulated cloud.
+//! Workflow paths are resolved relative to the manifest's directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dewe_dag::Workflow;
+use dewe_simcloud::InstanceType;
+
+/// A parsed ensemble manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// (workflow path, multiplicity) in declaration order.
+    pub workflows: Vec<(PathBuf, usize)>,
+    /// Submission interval in seconds (0 = batch).
+    pub interval_secs: f64,
+    /// Cluster node count.
+    pub nodes: usize,
+    /// Instance type name.
+    pub instance: String,
+    /// Job timeout override in seconds (None = engine default).
+    pub timeout_secs: Option<f64>,
+}
+
+impl Manifest {
+    /// Parse manifest text. `base` resolves relative workflow paths.
+    pub fn parse(text: &str, base: &Path) -> Result<Manifest, String> {
+        let mut workflows = Vec::new();
+        let mut interval_secs = 0.0;
+        let mut nodes = 1usize;
+        let mut instance = "c3.8xlarge".to_string();
+        let mut timeout_secs = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let err = |m: &str| format!("manifest line {}: {m}", lineno + 1);
+            match toks[0].to_ascii_uppercase().as_str() {
+                "WORKFLOW" => {
+                    let path = toks.get(1).ok_or_else(|| err("WORKFLOW <path> [COUNT n]"))?;
+                    let count = match toks.get(2) {
+                        None => 1,
+                        Some(t) if t.eq_ignore_ascii_case("COUNT") => toks
+                            .get(3)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&c| c > 0)
+                            .ok_or_else(|| err("COUNT needs a positive integer"))?,
+                        Some(t) => return Err(err(&format!("unexpected token `{t}`"))),
+                    };
+                    workflows.push((base.join(path), count));
+                }
+                "INTERVAL" => {
+                    interval_secs = toks
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| *s >= 0.0)
+                        .ok_or_else(|| err("INTERVAL needs seconds"))?;
+                }
+                "NODES" => {
+                    nodes = toks
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| err("NODES needs a positive integer"))?;
+                }
+                "TYPE" => {
+                    instance = toks.get(1).ok_or_else(|| err("TYPE <instance>"))?.to_string();
+                    if InstanceType::by_name(&instance).is_none() {
+                        return Err(err(&format!("unknown instance type `{instance}`")));
+                    }
+                }
+                "TIMEOUT" => {
+                    timeout_secs = Some(
+                        toks.get(1)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|s: &f64| *s > 0.0)
+                            .ok_or_else(|| err("TIMEOUT needs positive seconds"))?,
+                    );
+                }
+                other => return Err(err(&format!("unknown directive `{other}`"))),
+            }
+        }
+        if workflows.is_empty() {
+            return Err("manifest declares no workflows".into());
+        }
+        Ok(Manifest { workflows, interval_secs, nodes, instance, timeout_secs })
+    }
+
+    /// Load and parse a manifest file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Manifest, String> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let base = path.parent().unwrap_or(Path::new("."));
+        Self::parse(&text, base)
+    }
+
+    /// Total workflow instances the manifest expands to.
+    pub fn total_workflows(&self) -> usize {
+        self.workflows.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Load the workflow files and expand multiplicities into the
+    /// submission list (declaration order, counts inline).
+    pub fn expand(&self) -> Result<Vec<Arc<Workflow>>, String> {
+        let mut out = Vec::with_capacity(self.total_workflows());
+        for (path, count) in &self.workflows {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+            let wf = match ext {
+                "dax" | "xml" => dewe_dag::parse_dax(&text),
+                _ => dewe_dag::parse_workflow(&text),
+            }
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+            let wf = Arc::new(wf);
+            for _ in 0..*count {
+                out.push(Arc::clone(&wf));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# demo\nWORKFLOW a.dag COUNT 3\nWORKFLOW b.dax\nINTERVAL 25\nNODES 4\nTYPE r3.8xlarge\nTIMEOUT 120\n";
+
+    #[test]
+    fn parses_sample() {
+        let m = Manifest::parse(SAMPLE, Path::new("/base")).unwrap();
+        assert_eq!(m.workflows.len(), 2);
+        assert_eq!(m.workflows[0], (PathBuf::from("/base/a.dag"), 3));
+        assert_eq!(m.workflows[1].1, 1);
+        assert_eq!(m.interval_secs, 25.0);
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.instance, "r3.8xlarge");
+        assert_eq!(m.timeout_secs, Some(120.0));
+        assert_eq!(m.total_workflows(), 4);
+    }
+
+    #[test]
+    fn defaults_are_single_node_batch() {
+        let m = Manifest::parse("WORKFLOW x.dag", Path::new(".")).unwrap();
+        assert_eq!(m.nodes, 1);
+        assert_eq!(m.interval_secs, 0.0);
+        assert_eq!(m.instance, "c3.8xlarge");
+        assert_eq!(m.timeout_secs, None);
+    }
+
+    #[test]
+    fn rejects_empty_manifest() {
+        assert!(Manifest::parse("# nothing\n", Path::new(".")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_instance() {
+        let e = Manifest::parse("WORKFLOW x.dag\nTYPE t2.nano", Path::new(".")).unwrap_err();
+        assert!(e.contains("unknown instance type"));
+    }
+
+    #[test]
+    fn rejects_bad_count_and_directive() {
+        assert!(Manifest::parse("WORKFLOW x.dag COUNT 0", Path::new(".")).is_err());
+        assert!(Manifest::parse("FROBNICATE 7", Path::new(".")).is_err());
+    }
+
+    #[test]
+    fn expand_loads_and_replicates() {
+        let dir = std::env::temp_dir().join(format!("dewe_manifest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wf = dewe_montage::MontageConfig::degree(0.5).build();
+        std::fs::write(dir.join("m.dag"), dewe_dag::write_workflow(&wf)).unwrap();
+        let m = Manifest::parse("WORKFLOW m.dag COUNT 3", &dir).unwrap();
+        let wfs = m.expand().unwrap();
+        assert_eq!(wfs.len(), 3);
+        assert_eq!(wfs[0].job_count(), wf.job_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expand_reports_missing_file() {
+        let m = Manifest::parse("WORKFLOW nosuch.dag", Path::new("/nonexistent")).unwrap();
+        assert!(m.expand().unwrap_err().contains("nosuch.dag"));
+    }
+}

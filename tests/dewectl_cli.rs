@@ -1,0 +1,141 @@
+//! End-to-end tests of the `dewectl` binary (spawned as a real process).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dewectl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dewectl"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dewectl_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_inspect_roundtrip() {
+    let dir = workdir("gen");
+    let dag = dir.join("m.dag");
+    let out = dewectl()
+        .args(["gen", "montage", "1.0", dag.to_str().unwrap()])
+        .output()
+        .expect("run dewectl");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dag.exists());
+
+    let out = dewectl().args(["inspect", dag.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("jobs          : 192"), "{text}");
+    assert!(text.contains("mConcatFit"));
+    // Montage legitimately produces unread byproducts (mDiffFit's diff
+    // images feed nothing downstream; only the fit tables do) — the lint
+    // must surface them.
+    assert!(text.contains("UnreadFile"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convert_to_dax_and_simulate() {
+    let dir = workdir("convert");
+    let dag = dir.join("s.dag");
+    let dax = dir.join("s.dax");
+    assert!(dewectl()
+        .args(["gen", "sipht", "10", dag.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(dewectl()
+        .args(["convert", dag.to_str().unwrap(), dax.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let dax_text = std::fs::read_to_string(&dax).unwrap();
+    assert!(dax_text.contains("<adag"));
+
+    let out = dewectl()
+        .args(["simulate", dax.to_str().unwrap(), "--nodes", "2", "--type", "i2.8xlarge"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("makespan"), "{text}");
+    assert!(text.contains("est. cost"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let dir = workdir("dot");
+    let dag = dir.join("l.dag");
+    assert!(dewectl()
+        .args(["gen", "ligo", "2", "3", dag.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = dewectl().args(["dot", dag.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("->"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ensemble_manifest_runs() {
+    let dir = workdir("ensemble");
+    let dag = dir.join("e.dag");
+    assert!(dewectl()
+        .args(["gen", "epigenomics", "2", "3", dag.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    std::fs::write(
+        dir.join("campaign.txt"),
+        "WORKFLOW e.dag COUNT 3\nINTERVAL 10\nNODES 2\nTYPE r3.8xlarge\n",
+    )
+    .unwrap();
+    let out = dewectl()
+        .args(["ensemble", dir.join("campaign.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 workflow instances on 2 x r3.8xlarge"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_export_is_valid_chrome_json() {
+    let dir = workdir("trace");
+    let dag = dir.join("c.dag");
+    let json = dir.join("t.json");
+    assert!(dewectl()
+        .args(["gen", "cybershake", "20", dag.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(dewectl()
+        .args(["simulate", dag.to_str().unwrap(), "--trace", json.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let text = std::fs::read_to_string(&json).unwrap();
+    assert!(text.trim_start().starts_with('['));
+    assert!(text.trim_end().ends_with(']'));
+    // 44 jobs => 44 "job" category events.
+    assert_eq!(text.matches(r#""cat":"job""#).count(), 44);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = dewectl().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = dewectl().args(["inspect", "/nonexistent/file.dag"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = dewectl().args(["simulate", "/nonexistent.dag"]).output().unwrap();
+    assert!(!out.status.success());
+}
