@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` API subset used by this
+//! workspace's benches. The container this repository builds in has no
+//! crates-io access, so external dependencies are vendored as minimal
+//! shims (see the workspace `[patch.crates-io]`).
+//!
+//! Measurement model: each bench is warmed up for ~300 ms to estimate its
+//! per-iteration cost, then measured in `sample_size` samples sized to fit
+//! a ~2 s budget. The median sample is reported as ns/iteration together
+//! with throughput when configured. This is cruder than criterion's
+//! bootstrap analysis but produces honest, stable wall-clock numbers —
+//! sufficient for the before/after deltas tracked in `BENCH_hotpath.json`.
+//!
+//! CLI compatibility: a positional argument filters benchmarks by
+//! substring; `--test` (passed by `cargo test --benches`) runs each bench
+//! exactly once; other flags cargo/criterion pass (`--bench`, `--color`,
+//! ...) are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration, used to derive throughput rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine invocation regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: thousands per sample under real criterion.
+    SmallInput,
+    /// Large inputs: few per sample.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver. Collects CLI behaviour (filter / test mode) once and
+/// hands out groups.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {} // accept and ignore cargo/criterion flags
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Finalize (kept for API compatibility; reports print eagerly).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of measurement samples (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE_BUDGET: Duration = Duration::from_secs(2);
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.samples_ns = vec![0.0];
+            return;
+        }
+        // Warmup: estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = MEASURE_BUDGET.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter).floor() as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.samples_ns = vec![0.0];
+            return;
+        }
+        // Warmup: estimate routine cost alone.
+        let mut warm_spent = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while warm_spent < WARMUP {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            warm_spent += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters as f64;
+        let budget = MEASURE_BUDGET.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter).floor() as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                sample += start.elapsed();
+            }
+            self.samples_ns.push(sample.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<44} (not measured)");
+            return;
+        }
+        if self.test_mode {
+            println!("{id:<44} ok (test mode)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  thrpt: {:>12}/s", si(n as f64 / (median / 1e9))),
+            Throughput::Bytes(n) => format!("  thrpt: {:>11}B/s", si(n as f64 / (median / 1e9))),
+        });
+        println!(
+            "{id:<44} time: [{} {} {}]{}",
+            ns(lo),
+            ns(median),
+            ns(hi),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn ns(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.2} ns")
+    } else if v < 1e6 {
+        format!("{:.3} µs", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.3} ms", v / 1e6)
+    } else {
+        format!("{:.3} s", v / 1e9)
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declare a set of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut g = c.benchmark_group("t");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("zzz".into()), test_mode: true };
+        let mut g = c.benchmark_group("t");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ns(12.0), "12.00 ns");
+        assert_eq!(ns(1500.0), "1.500 µs");
+        assert!(si(2.5e6).starts_with("2.500M"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the `crossbeam` API subset used by this workspace
+//! (`channel::{unbounded, Sender, Receiver}`), backed by `std::sync::mpsc`.
+//! The container this repository builds in has no crates-io access, so
+//! external dependencies are vendored as minimal shims (see the workspace
+//! `[patch.crates-io]`).
+
+/// Multi-producer channels. `std::sync::mpsc`'s `Sender`/`Receiver` carry
+/// the exact method surface the workspace relies on (`send`,
+/// `recv_timeout`, `recv`, `try_recv`), so they are re-exported directly.
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn send_and_recv_timeout() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn senders_clone() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap()).join().unwrap();
+        tx.send(2).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}
