@@ -133,8 +133,7 @@ mod tests {
 
     #[test]
     fn fastest_first_prefers_fast_idle_node() {
-        let mut s =
-            Scheduler::new(Policy::FastestFirst, 3, 0).with_speeds(vec![0.5, 1.0, 2.0]);
+        let mut s = Scheduler::new(Policy::FastestFirst, 3, 0).with_speeds(vec![0.5, 1.0, 2.0]);
         assert_eq!(s.pick(&[0, 0, 0]), 2, "fastest node wins when all idle");
         // Fast node loaded enough that the medium node is better:
         // (6+1)/2 = 3.5 vs (2+1)/1 = 3.0.

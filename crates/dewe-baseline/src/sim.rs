@@ -122,10 +122,7 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
     assert!(!workflows.is_empty());
     let nodes = config.cluster.nodes;
     let mut exec = ExecSim::new(config.cluster);
-    let speeds = config
-        .node_speed_factors
-        .clone()
-        .unwrap_or_else(|| vec![1.0; nodes]);
+    let speeds = config.node_speed_factors.clone().unwrap_or_else(|| vec![1.0; nodes]);
     assert_eq!(speeds.len(), nodes, "one speed factor per node");
     for (n, &f) in speeds.iter().enumerate() {
         exec.cluster_mut().set_speed_factor(n, f);
@@ -146,6 +143,10 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
     let mut node_queue: Vec<VecDeque<EnsembleJobId>> = vec![VecDeque::new(); nodes];
     let mut node_running: Vec<u32> = vec![0; nodes];
     let mut running: HashMap<u64, EnsembleJobId> = HashMap::new();
+    // Matchmaking scratch: per-node load, reused across cycles.
+    let mut load: Vec<usize> = Vec::with_capacity(nodes);
+    // Scratch for jobs released by a completion, reused across events.
+    let mut ready_scratch: Vec<dewe_dag::JobId> = Vec::new();
     let mut completed_workflows = 0usize;
     let mut all_done_at: Option<f64> = None;
     let mut jobs_executed = 0u64;
@@ -166,7 +167,11 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
     }
 
     fn token_of(job: EnsembleJobId) -> u64 {
-        ((job.workflow.0 as u64) << 24) | job.job.0 as u64
+        // Workflow in bits 32..56, job in bits 0..32. The old `<< 24`
+        // packing silently collided with the wake-token tags once a
+        // workflow exceeded 2^24 jobs; a full u32 job field cannot.
+        debug_assert!(job.workflow.0 < (1 << 24), "workflow id must stay below the tag bytes");
+        ((job.workflow.0 as u64) << 32) | job.job.0 as u64
     }
 
     fn file_key(wf: WorkflowId, f: dewe_dag::FileId) -> u64 {
@@ -265,8 +270,9 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
                 let state = states[job.workflow.index()].as_mut().expect("workflow state");
                 let workflow = Arc::clone(&state.workflow);
                 state.tracker.mark_running(job.job);
-                state.tracker.complete_in(&workflow, job.job);
-                for next in state.tracker.take_ready() {
+                state.tracker.complete(&workflow, job.job);
+                state.tracker.drain_ready_into(&mut ready_scratch);
+                for next in ready_scratch.drain(..) {
                     let next_job = EnsembleJobId::new(job.workflow, next);
                     if trace.is_some() {
                         eligible_times.insert(token_of(next_job), now);
@@ -281,7 +287,17 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
                     }
                 }
                 // Freed slot: start whatever is queued locally.
-                start_ready(&mut exec, config, &states, &mut node_queue, &mut node_running, &mut running, &mut trace_times, &mut eligible_times, trace.is_some());
+                start_ready(
+                    &mut exec,
+                    config,
+                    &states,
+                    &mut node_queue,
+                    &mut node_running,
+                    &mut running,
+                    &mut trace_times,
+                    &mut eligible_times,
+                    trace.is_some(),
+                );
             }
             SimEvent::Wake { token } => match token & TAG_MASK {
                 TAG_SUBMIT => {
@@ -290,7 +306,8 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
                     let workflow = Arc::clone(&workflows[idx]);
                     let mut tracker = DependencyTracker::new(&workflow);
                     let wf_id = WorkflowId::from_index(idx);
-                    for root in tracker.take_ready() {
+                    tracker.drain_ready_into(&mut ready_scratch);
+                    for root in ready_scratch.drain(..) {
                         let root_job = EnsembleJobId::new(wf_id, root);
                         if trace.is_some() {
                             eligible_times.insert(token_of(root_job), now);
@@ -309,14 +326,31 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
                 }
                 TAG_CYCLE => {
                     // Matchmaking: drain the pending set into node queues.
-                    while let Some(job) = pending.pop_front() {
-                        let load: Vec<usize> = (0..nodes)
-                            .map(|n| node_queue[n].len() + node_running[n] as usize)
-                            .collect();
-                        let node = scheduler.pick(&load);
-                        node_queue[node].push_back(job);
+                    // Node load is computed once per cycle and updated as
+                    // placements are made (rebuilding it per pending job
+                    // made each cycle O(jobs x nodes)).
+                    if !pending.is_empty() {
+                        load.clear();
+                        load.extend(
+                            (0..nodes).map(|n| node_queue[n].len() + node_running[n] as usize),
+                        );
+                        while let Some(job) = pending.pop_front() {
+                            let node = scheduler.pick(&load);
+                            node_queue[node].push_back(job);
+                            load[node] += 1;
+                        }
                     }
-                    start_ready(&mut exec, config, &states, &mut node_queue, &mut node_running, &mut running, &mut trace_times, &mut eligible_times, trace.is_some());
+                    start_ready(
+                        &mut exec,
+                        config,
+                        &states,
+                        &mut node_queue,
+                        &mut node_running,
+                        &mut running,
+                        &mut trace_times,
+                        &mut eligible_times,
+                        trace.is_some(),
+                    );
                     if all_done_at.is_none() {
                         exec.schedule_wake(config.negotiation_interval_secs, TAG_CYCLE);
                     }
@@ -354,10 +388,7 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &BaselineConfig) -> Bas
     let cost = exec.cluster().cost_model().cost(nodes, makespan);
     BaselineReport {
         makespan_secs: makespan,
-        workflow_makespans: states
-            .iter()
-            .map(|s| s.as_ref().map_or(0.0, |s| s.makespan))
-            .collect(),
+        workflow_makespans: states.iter().map(|s| s.as_ref().map_or(0.0, |s| s.makespan)).collect(),
         completed: all_done_at.is_some(),
         total_cpu_core_secs: total_cpu,
         total_bytes_read: total_rd,

@@ -25,9 +25,7 @@ fn bench_dag(c: &mut Criterion) {
     let wf = montage(2.0);
     g.throughput(Throughput::Elements(wf.job_count() as u64));
 
-    g.bench_function("montage_generate_2deg", |b| {
-        b.iter(|| MontageConfig::degree(2.0).build())
-    });
+    g.bench_function("montage_generate_2deg", |b| b.iter(|| MontageConfig::degree(2.0).build()));
     g.bench_function("level_profile_2deg", |b| b.iter(|| LevelProfile::of(&wf)));
     g.bench_function("tracker_full_drain_2deg", |b| {
         b.iter_batched(

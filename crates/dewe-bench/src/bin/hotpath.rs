@@ -1,0 +1,153 @@
+//! `hotpath` — end-to-end master hot-path throughput.
+//!
+//! Runs a Montage ensemble through the discrete-event runtime and reports
+//! jobs simulated per second — the number that bounds how fast the paper's
+//! large-scale experiments (up to 1.7 million jobs) reproduce. The default
+//! workload is the tracked configuration: 20 × Montage 2.0° (the paper's
+//! §V.A workflow) on four c3.8xlarge nodes.
+//!
+//! ```text
+//! hotpath [--quick] [--out <path>]
+//! ```
+//!
+//! `--quick` shrinks the run (5 workflows, 3 reps) for smoke testing;
+//! tracked numbers in `BENCH_hotpath.json` come from the full mode.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dewe_core::sim::{run_ensemble, SimRunConfig};
+use dewe_dag::Workflow;
+use dewe_montage::MontageConfig;
+use dewe_simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
+
+struct Config {
+    workflows: usize,
+    degree: f64,
+    nodes: usize,
+    reps: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut quick = false;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\nusage: hotpath [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, out }
+    } else {
+        Config { workflows: 20, degree: 2.0, nodes: 4, reps: 15, quick, out }
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let workflow = Arc::new(MontageConfig::degree(cfg.degree).build());
+    let ensemble: Vec<Arc<Workflow>> = (0..cfg.workflows).map(|_| Arc::clone(&workflow)).collect();
+    let total_jobs = workflow.job_count() * cfg.workflows;
+    let cluster =
+        ClusterConfig { instance: C3_8XLARGE, nodes: cfg.nodes, storage: StorageConfig::LocalDisk };
+    let sim = SimRunConfig::new(cluster);
+
+    eprintln!(
+        "hotpath: {} x montage {:.1}deg ({} jobs) on {} x {}, {} reps{}",
+        cfg.workflows,
+        cfg.degree,
+        total_jobs,
+        cfg.nodes,
+        C3_8XLARGE.name,
+        cfg.reps,
+        if cfg.quick { " (quick)" } else { "" }
+    );
+
+    // Warm caches and page in the workload before timing.
+    let warm = run_ensemble(&ensemble, &sim);
+    assert!(warm.completed, "ensemble must complete");
+
+    let mut wall_secs = Vec::with_capacity(cfg.reps);
+    let mut last = warm;
+    for rep in 0..cfg.reps {
+        let start = Instant::now();
+        let report = run_ensemble(&ensemble, &sim);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(report.completed, "ensemble must complete");
+        assert_eq!(report.engine.jobs_completed as usize, total_jobs);
+        eprintln!("  rep {:>2}: {:.3}s  ({:.0} jobs/s)", rep + 1, secs, total_jobs as f64 / secs);
+        wall_secs.push(secs);
+        last = report;
+    }
+
+    let mut sorted = wall_secs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
+    let median = sorted[sorted.len() / 2];
+    let jobs_per_sec = total_jobs as f64 / median;
+    eprintln!("median: {median:.3}s -> {jobs_per_sec:.0} jobs simulated/sec");
+
+    let reps_json = wall_secs.iter().map(|s| format!("{s:.6}")).collect::<Vec<_>>().join(", ");
+    let json = format!(
+        r#"{{
+  "benchmark": "ensemble_hotpath",
+  "mode": "{mode}",
+  "workload": {{
+    "workflows": {workflows},
+    "montage_degree": {degree:.1},
+    "jobs_per_workflow": {per_wf},
+    "jobs_total": {total}
+  }},
+  "cluster": {{
+    "instance": "{instance}",
+    "nodes": {nodes},
+    "vcpus_total": {vcpus}
+  }},
+  "reps": {reps},
+  "wall_secs": [{reps_json}],
+  "median_wall_secs": {median:.6},
+  "jobs_per_sec": {jps:.1},
+  "sim_makespan_secs": {makespan:.1},
+  "engine": {{
+    "jobs_dispatched": {dispatched},
+    "jobs_completed": {completed},
+    "resubmissions": {resub},
+    "duplicate_completions": {dups}
+  }}
+}}
+"#,
+        mode = if cfg.quick { "quick" } else { "full" },
+        workflows = cfg.workflows,
+        degree = cfg.degree,
+        per_wf = workflow.job_count(),
+        total = total_jobs,
+        instance = C3_8XLARGE.name,
+        nodes = cfg.nodes,
+        vcpus = C3_8XLARGE.vcpus as usize * cfg.nodes,
+        reps = cfg.reps,
+        median = median,
+        jps = jobs_per_sec,
+        makespan = last.makespan_secs,
+        dispatched = last.engine.dispatches,
+        completed = last.engine.jobs_completed,
+        resub = last.engine.resubmissions,
+        dups = last.engine.duplicate_completions,
+    );
+    std::fs::write(&cfg.out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", cfg.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", cfg.out);
+}

@@ -56,9 +56,8 @@ pub fn run_ablation(scale: Scale) -> AblationResult {
     println!("== Ablation: OpenMP-style blocking jobs (cores for mConcatFit/mBgModel) ==");
     let mut blocking_cores = Vec::new();
     for cores in [1u32, 2, 4, 8, 16, 32] {
-        let wf = Arc::new(
-            MontageConfig::degree(scale.degree()).with_blocking_job_cores(cores).build(),
-        );
+        let wf =
+            Arc::new(MontageConfig::degree(scale.degree()).with_blocking_job_cores(cores).build());
         let report = run_ensemble(&[wf], &SimRunConfig::new(cluster));
         println!("  blocking cores {cores:>2}: makespan {:>6.0}s", report.makespan_secs);
         blocking_cores.push((cores, report.makespan_secs));
@@ -199,20 +198,14 @@ pub fn run_ablation(scale: Scale) -> AblationResult {
         ));
     }
 
-    let rows: Vec<Vec<String>> = blocking_cores
-        .iter()
-        .map(|(c, s)| vec![c.to_string(), format!("{s:.1}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        blocking_cores.iter().map(|(c, s)| vec![c.to_string(), format!("{s:.1}")]).collect();
     write_csv("ablation_blocking_cores.csv", &table_to_csv(&["cores", "makespan_secs"], &rows));
-    let rows: Vec<Vec<String>> = baseline_decomposition
-        .iter()
-        .map(|(l, s)| vec![l.clone(), format!("{s:.1}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        baseline_decomposition.iter().map(|(l, s)| vec![l.clone(), format!("{s:.1}")]).collect();
     write_csv("ablation_baseline.csv", &table_to_csv(&["config", "makespan_secs"], &rows));
-    let rows: Vec<Vec<String>> = heterogeneity
-        .iter()
-        .map(|(l, s)| vec![l.clone(), format!("{s:.1}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        heterogeneity.iter().map(|(l, s)| vec![l.clone(), format!("{s:.1}")]).collect();
     write_csv("ablation_heterogeneity.csv", &table_to_csv(&["engine", "makespan_secs"], &rows));
     let rows: Vec<Vec<String>> = frontier
         .iter()
@@ -269,9 +262,7 @@ mod tests {
         assert_eq!(r.policies.len(), 3);
         // Heterogeneity: the speed-aware scheduler must not lose to the
         // speed-blind one, and the frontier is populated and nonincreasing.
-        let get = |l: &str| {
-            r.heterogeneity.iter().find(|(k, _)| k == l).map(|(_, v)| *v).unwrap()
-        };
+        let get = |l: &str| r.heterogeneity.iter().find(|(k, _)| k == l).map(|(_, v)| *v).unwrap();
         assert!(get("sched_fastest-first") <= get("sched_least-loaded") * 1.02);
         assert_eq!(r.frontier.len(), 6);
         for w in r.frontier.windows(2) {

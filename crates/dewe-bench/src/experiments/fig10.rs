@@ -50,8 +50,8 @@ pub fn run_fig10(scale: Scale) -> Fig10Result {
         .map(|n| n.cpu_util.integrate() / 100.0 * R3_8XLARGE.vcpus as f64)
         .collect();
     let mean = per_node_cpu.iter().sum::<f64>() / per_node_cpu.len() as f64;
-    let var = per_node_cpu.iter().map(|c| (c - mean).powi(2)).sum::<f64>()
-        / per_node_cpu.len() as f64;
+    let var =
+        per_node_cpu.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / per_node_cpu.len() as f64;
     let cv = var.sqrt() / mean;
 
     println!(
@@ -81,12 +81,7 @@ pub fn run_fig10(scale: Scale) -> Fig10Result {
     let refs: Vec<&TimeSeries> = cols.iter().collect();
     write_csv("fig10.csv", &dewe_metrics::csv::series_to_csv(&refs));
 
-    Fig10Result {
-        makespan_secs: report.makespan_secs,
-        per_node_cpu,
-        cpu_cv: cv,
-        sample_nodes_cpu,
-    }
+    Fig10Result { makespan_secs: report.makespan_secs, per_node_cpu, cpu_cv: cv, sample_nodes_cpu }
 }
 
 #[cfg(test)]

@@ -68,33 +68,32 @@ pub fn run_fig11(scale: Scale) -> Fig11Result {
     // The paper designs for the largest ensemble within a one-hour bill;
     // quick scale shrinks both the mosaics and cluster/ensemble sizes.
     type Setup = (Vec<(&'static str, InstanceType, usize)>, Vec<usize>, f64);
-    let (clusters, workloads, deadline): Setup =
-        match scale {
-            Scale::Full => (
-                vec![
-                    ("c3.8xlarge", C3_8XLARGE, 40),
-                    ("r3.8xlarge", R3_8XLARGE, 25),
-                    ("i2.8xlarge", I2_8XLARGE, 23),
-                    ("i2.8xlarge B", I2_8XLARGE, 10),
-                ],
-                vec![25, 50, 100, 150, 200],
-                3600.0,
-            ),
-            Scale::Quick => (
-                vec![
-                    ("c3.8xlarge", C3_8XLARGE, 8),
-                    ("r3.8xlarge", R3_8XLARGE, 5),
-                    ("i2.8xlarge", I2_8XLARGE, 5),
-                    ("i2.8xlarge B", I2_8XLARGE, 2),
-                ],
-                vec![10, 20, 40],
-                // Quick mosaics are ~9x smaller; a 10-minute "deadline"
-                // separates the designed clusters (which meet it) from the
-                // undersized i2 B cluster (which does not), preserving the
-                // figure's point.
-                600.0,
-            ),
-        };
+    let (clusters, workloads, deadline): Setup = match scale {
+        Scale::Full => (
+            vec![
+                ("c3.8xlarge", C3_8XLARGE, 40),
+                ("r3.8xlarge", R3_8XLARGE, 25),
+                ("i2.8xlarge", I2_8XLARGE, 23),
+                ("i2.8xlarge B", I2_8XLARGE, 10),
+            ],
+            vec![25, 50, 100, 150, 200],
+            3600.0,
+        ),
+        Scale::Quick => (
+            vec![
+                ("c3.8xlarge", C3_8XLARGE, 8),
+                ("r3.8xlarge", R3_8XLARGE, 5),
+                ("i2.8xlarge", I2_8XLARGE, 5),
+                ("i2.8xlarge B", I2_8XLARGE, 2),
+            ],
+            vec![10, 20, 40],
+            // Quick mosaics are ~9x smaller; a 10-minute "deadline"
+            // separates the designed clusters (which meet it) from the
+            // undersized i2 B cluster (which does not), preserving the
+            // figure's point.
+            600.0,
+        ),
+    };
 
     println!("== Fig 11: large-scale provisioning evaluation ==");
     // The sweep's (cluster x workload) cells are independent simulations;
@@ -127,8 +126,11 @@ pub fn run_fig11(scale: Scale) -> Fig11Result {
                 let report = run_ensemble(&wfs, &SimRunConfig::new(cluster));
                 assert!(report.completed, "{label} W={w} starved");
                 let index = w as f64 / (*nodes as f64 * report.makespan_secs);
-                let price = CostModel::hourly(itype.price_per_hour)
-                    .price_per_workflow(*nodes, report.makespan_secs, w);
+                let price = CostModel::hourly(itype.price_per_hour).price_per_workflow(
+                    *nodes,
+                    report.makespan_secs,
+                    w,
+                );
                 let point = Fig11Point {
                     cluster: label.to_string(),
                     nodes: *nodes,

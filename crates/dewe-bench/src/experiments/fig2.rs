@@ -50,8 +50,7 @@ pub fn run_fig2(scale: Scale) -> Fig2Result {
     // samples.
     let sampler = report.sampler.expect("sampling requested");
     let threads = sampler.total_threads();
-    let serial_samples =
-        threads.points.iter().filter(|&&(_, v)| (1.0..=2.0).contains(&v)).count();
+    let serial_samples = threads.points.iter().filter(|&&(_, v)| (1.0..=2.0).contains(&v)).count();
     let active_samples = threads.points.iter().filter(|&&(_, v)| v >= 1.0).count();
     let serial_fraction = serial_samples as f64 / active_samples.max(1) as f64;
 
@@ -65,10 +64,7 @@ pub fn run_fig2(scale: Scale) -> Fig2Result {
         gantt.total_staging_secs(),
     );
     let cpu = sampler.mean_cpu_util();
-    write_csv(
-        "fig2_threads.csv",
-        &dewe_metrics::csv::series_to_csv(&[&threads, &cpu]),
-    );
+    write_csv("fig2_threads.csv", &dewe_metrics::csv::series_to_csv(&[&threads, &cpu]));
     Fig2Result {
         makespan_secs: report.makespan_secs,
         serial_fraction,

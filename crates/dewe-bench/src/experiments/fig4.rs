@@ -11,7 +11,9 @@
 
 use dewe_core::sim::{run_ensemble, SimRunConfig};
 use dewe_metrics::TimeSeries;
-use dewe_simcloud::{ClusterConfig, InstanceType, StorageConfig, C3_8XLARGE, I2_8XLARGE, R3_8XLARGE};
+use dewe_simcloud::{
+    ClusterConfig, InstanceType, StorageConfig, C3_8XLARGE, I2_8XLARGE, R3_8XLARGE,
+};
 
 use crate::{write_csv, Scale};
 

@@ -75,17 +75,16 @@ pub fn run_fig8_fig9(scale: Scale) -> Fig8Result {
     write_csv("fig8.csv", &table_to_csv(&["interval_secs", "makespan_secs"], &rows));
 
     let batch = sweep[0].1;
-    let &(best_interval, best_secs) = sweep
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .expect("non-empty sweep");
+    let &(best_interval, best_secs) =
+        sweep.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).expect("non-empty sweep");
     let gain = 1.0 - best_secs / batch;
-    println!("best interval {best_interval:.0}s: {gain:.1}% faster than batch (paper: 34% at 100 s)",
-        gain = gain * 100.0);
+    println!(
+        "best interval {best_interval:.0}s: {gain:.1}% faster than batch (paper: 34% at 100 s)",
+        gain = gain * 100.0
+    );
 
     // Extension: golden-section auto-tuner over [0, max interval].
-    let (tuned_interval, tuned_secs) =
-        golden_section(measure, 0.0, *intervals.last().unwrap(), 6);
+    let (tuned_interval, tuned_secs) = golden_section(measure, 0.0, *intervals.last().unwrap(), 6);
     println!("auto-tuned interval: {tuned_interval:.1}s -> {tuned_secs:.0}s");
 
     // Fig 9: time series at three intervals.
@@ -95,11 +94,7 @@ pub fn run_fig8_fig9(scale: Scale) -> Fig8Result {
         let wfs = super::ensemble(scale, workflows);
         let mut cfg = SimRunConfig::new(cluster);
         cfg.sample = true;
-        cfg.submission = if i == 0.0 {
-            SubmissionPlan::Batch
-        } else {
-            SubmissionPlan::Interval(i)
-        };
+        cfg.submission = if i == 0.0 { SubmissionPlan::Batch } else { SubmissionPlan::Interval(i) };
         let report = run_ensemble(&wfs, &cfg);
         let s = report.sampler.expect("sampling");
         let tag = format!("i{}", i.round() as i64);
@@ -121,18 +116,17 @@ pub fn run_fig8_fig9(scale: Scale) -> Fig8Result {
     let refs: Vec<&TimeSeries> = cols.iter().collect();
     write_csv("fig9.csv", &dewe_metrics::csv::series_to_csv(&refs));
 
-    Fig8Result {
-        sweep,
-        best_interval,
-        gain_over_batch: gain,
-        tuned_interval,
-        tuned_secs,
-    }
+    Fig8Result { sweep, best_interval, gain_over_batch: gain, tuned_interval, tuned_secs }
 }
 
 /// Golden-section search for the minimizing interval (unimodal assumption,
 /// which Fig. 8's U-shape satisfies).
-fn golden_section(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64, iters: usize) -> (f64, f64) {
+fn golden_section(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    iters: usize,
+) -> (f64, f64) {
     const PHI: f64 = 0.618_033_988_749_894_8;
     let mut x1 = hi - PHI * (hi - lo);
     let mut x2 = lo + PHI * (hi - lo);

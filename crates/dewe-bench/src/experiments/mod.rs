@@ -26,8 +26,8 @@ pub use overhead::{run_overhead, OverheadResult};
 pub use robust::{run_robust, RobustResult};
 pub use tables::{run_table1, run_table2, run_table3, Table3Row};
 
-use dewe_montage::MontageConfig;
 use dewe_dag::Workflow;
+use dewe_montage::MontageConfig;
 use std::sync::Arc;
 
 /// The standard workload: a Montage workflow at the scale's degree.

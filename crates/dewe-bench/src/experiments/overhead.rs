@@ -56,12 +56,7 @@ pub fn run_overhead(scale: Scale) -> OverheadResult {
     let dewe_xforms = d_trace.per_xform_summary();
     let mut rows = Vec::new();
     for (xform, s) in &dewe_xforms {
-        println!(
-            "  {xform:<14} n={:<6} mean {:>7.2}s  cv {:>5.2}",
-            s.count,
-            s.mean,
-            s.cv()
-        );
+        println!("  {xform:<14} n={:<6} mean {:>7.2}s  cv {:>5.2}", s.count, s.mean, s.cv());
         rows.push(vec![
             xform.clone(),
             s.count.to_string(),

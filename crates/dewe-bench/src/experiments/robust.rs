@@ -70,9 +70,8 @@ pub fn run_robust(scale: Scale) -> RobustResult {
     let wf = super::montage(scale);
     let lp = dewe_dag::LevelProfile::of(&wf);
     let slots = C3_8XLARGE.vcpus as f64;
-    let level_cpu = |l: usize| -> f64 {
-        lp.levels[l].iter().map(|&j| wf.job(j).cpu_seconds).sum::<f64>()
-    };
+    let level_cpu =
+        |l: usize| -> f64 { lp.levels[l].iter().map(|&j| wf.job(j).cpu_seconds).sum::<f64>() };
     let stage1_secs = (level_cpu(0) + level_cpu(1)) / slots;
     let concat_cpu = wf.job(lp.levels[2][0]).cpu_seconds;
     let stage1_kill = stage1_secs * 0.5;
@@ -114,7 +113,12 @@ pub fn run_robust(scale: Scale) -> RobustResult {
         &table_to_csv(
             &["case", "makespan_secs", "delta_secs", "resubmissions"],
             &[
-                vec!["baseline".into(), format!("{:.1}", base.makespan_secs), "0".into(), "0".into()],
+                vec![
+                    "baseline".into(),
+                    format!("{:.1}", base.makespan_secs),
+                    "0".into(),
+                    "0".into(),
+                ],
                 vec![
                     "nonblocking_kill".into(),
                     format!("{:.1}", nonblocking.makespan_secs),

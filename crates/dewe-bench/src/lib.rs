@@ -53,10 +53,8 @@ impl Scale {
 
 /// Where experiment CSVs are written.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("DEWE_RESULTS_DIR").map_or_else(
-        |_| Path::new("results").to_path_buf(),
-        PathBuf::from,
-    );
+    let dir = std::env::var("DEWE_RESULTS_DIR")
+        .map_or_else(|_| Path::new("results").to_path_buf(), PathBuf::from);
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -70,12 +68,7 @@ pub fn write_csv(name: &str, contents: &str) {
 
 /// Print a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 #[cfg(test)]

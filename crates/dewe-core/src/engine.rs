@@ -7,7 +7,8 @@
 //! realtime and simulated runtimes are thin drivers around it, and tests
 //! can exercise every protocol corner deterministically.
 
-use std::collections::HashMap;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, Workflow, WorkflowId};
@@ -55,15 +56,54 @@ struct WorkflowState {
     workflow: Arc<Workflow>,
     tracker: DependencyTracker,
     submitted_at: f64,
-    /// Per-job (deadline, attempt) for in-flight jobs.
-    inflight: HashMap<JobId, Inflight>,
+    /// Dense per-job (deadline, attempt) slab for in-flight jobs, indexed
+    /// by [`JobId`]; `None` = not in flight.
+    inflight: Vec<Option<Inflight>>,
     done: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Inflight {
     deadline: f64,
     attempt: u32,
+}
+
+/// A candidate timeout deadline in the engine-wide min-heap.
+///
+/// Entries are never removed eagerly: a Running re-ack, resubmission or
+/// completion simply leaves the old entry behind, and it is discarded at
+/// pop time when it no longer matches the in-flight slab (lazy
+/// invalidation). Ordering is ascending deadline with (workflow, job,
+/// attempt) tie-breaks so timeout scans emit in a deterministic order.
+#[derive(Debug, Clone, Copy)]
+struct DeadlineEntry {
+    deadline: f64,
+    job: EnsembleJobId,
+    attempt: u32,
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for DeadlineEntry {}
+
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.deadline
+            .total_cmp(&other.deadline)
+            .then_with(|| self.job.workflow.0.cmp(&other.job.workflow.0))
+            .then_with(|| self.job.job.0.cmp(&other.job.job.0))
+            .then_with(|| self.attempt.cmp(&other.attempt))
+    }
 }
 
 /// The DEWE v2 master daemon's DAG-management state machine.
@@ -72,6 +112,24 @@ pub struct EnsembleEngine {
     default_timeout_secs: f64,
     stats: EngineStats,
     all_completed_emitted: bool,
+    /// Engine-wide min-heap of candidate deadlines, validated lazily
+    /// against the in-flight slabs. Pushed only on checkout (Running ack),
+    /// so its size is bounded by the number of Running acks since the last
+    /// scan, not by total in-flight jobs.
+    deadlines: BinaryHeap<Reverse<DeadlineEntry>>,
+    /// Reusable buffer for draining tracker ready queues.
+    scratch_ready: Vec<JobId>,
+}
+
+/// True when `entry` still describes the current checkout of its job: the
+/// slab holds the same attempt with the same deadline. Any refresh,
+/// resubmission or completion invalidates older heap entries.
+fn entry_is_current(workflows: &[WorkflowState], entry: &DeadlineEntry) -> bool {
+    workflows
+        .get(entry.job.workflow.index())
+        .and_then(|w| w.inflight.get(entry.job.job.index()))
+        .and_then(|slot| slot.as_ref())
+        .is_some_and(|inf| inf.attempt == entry.attempt && inf.deadline == entry.deadline)
 }
 
 impl EnsembleEngine {
@@ -88,6 +146,8 @@ impl EnsembleEngine {
             default_timeout_secs,
             stats: EngineStats::default(),
             all_completed_emitted: false,
+            deadlines: BinaryHeap::new(),
+            scratch_ready: Vec::new(),
         }
     }
 
@@ -101,20 +161,36 @@ impl EnsembleEngine {
         workflow: Arc<Workflow>,
         now: f64,
     ) -> (WorkflowId, Vec<Action>) {
+        let mut actions = Vec::new();
+        let id = self.submit_workflow_into(workflow, now, &mut actions);
+        (id, actions)
+    }
+
+    /// Allocation-free flavor of [`submit_workflow`](Self::submit_workflow):
+    /// actions are appended to a caller-owned buffer.
+    pub fn submit_workflow_into(
+        &mut self,
+        workflow: Arc<Workflow>,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) -> WorkflowId {
         let id = WorkflowId::from_index(self.workflows.len());
         let tracker = DependencyTracker::new(&workflow);
+        let job_count = workflow.job_count();
         let mut state = WorkflowState {
             workflow,
             tracker,
             submitted_at: now,
-            inflight: HashMap::new(),
+            inflight: vec![None; job_count],
             done: false,
         };
-        let mut actions = Vec::new();
-        let ready = state.tracker.take_ready();
-        for job in ready {
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        state.tracker.drain_ready_into(&mut ready);
+        for &job in &ready {
             actions.push(self.dispatch(&mut state, id, job, 1, now));
         }
+        ready.clear();
+        self.scratch_ready = ready;
         self.stats.workflows_submitted += 1;
         self.all_completed_emitted = false;
         // An empty workflow completes immediately.
@@ -123,11 +199,11 @@ impl EnsembleEngine {
             self.stats.workflows_completed += 1;
             actions.push(Action::WorkflowCompleted { workflow: id, makespan_secs: 0.0 });
             self.workflows.push(state);
-            self.maybe_all_completed(&mut actions);
+            self.maybe_all_completed(actions);
         } else {
             self.workflows.push(state);
         }
-        (id, actions)
+        id
     }
 
     fn dispatch(
@@ -144,31 +220,46 @@ impl EnsembleEngine {
         // §III.B: "if a job has been checked out from the message queue for
         // execution but the corresponding acknowledgment is not received
         // ... within the timeout setting"). Until checkout the deadline is
-        // infinite.
-        state.inflight.insert(job, Inflight { deadline: f64::INFINITY, attempt });
+        // infinite, and the job has no deadline-heap entry.
+        state.inflight[job.index()] = Some(Inflight { deadline: f64::INFINITY, attempt });
         self.stats.dispatches += 1;
         Action::Dispatch(DispatchMsg { job: EnsembleJobId::new(wf, job), attempt })
     }
 
     /// Process a worker acknowledgment at time `now`.
     pub fn on_ack(&mut self, ack: AckMsg, now: f64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.on_ack_into(ack, now, &mut actions);
+        actions
+    }
+
+    /// Allocation-free flavor of [`on_ack`](Self::on_ack): actions are
+    /// appended to a caller-owned buffer, and in steady state (no new
+    /// frontier growth) processing an ack performs no heap allocation.
+    pub fn on_ack_into(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
         let wf = ack.job.workflow;
         let job = ack.job.job;
         if wf.index() >= self.workflows.len() {
             debug_assert!(false, "ack for unknown workflow {wf:?}");
-            return Vec::new();
+            return;
         }
-        let mut actions = Vec::new();
         match ack.kind {
             AckKind::Running => {
                 // Checkout: the timeout clock starts now (the job may have
                 // sat in the queue arbitrarily long beforehand).
                 let state = &mut self.workflows[wf.index()];
-                let timeout =
-                    state.workflow.job(job).effective_timeout(self.default_timeout_secs);
-                if let Some(inf) = state.inflight.get_mut(&job) {
+                let timeout = state.workflow.job(job).effective_timeout(self.default_timeout_secs);
+                if let Some(inf) = state.inflight[job.index()].as_mut() {
                     if inf.attempt == ack.attempt {
-                        inf.deadline = now + timeout;
+                        let deadline = now + timeout;
+                        inf.deadline = deadline;
+                        // Any earlier entry for this job is now stale and
+                        // will be discarded lazily at pop time.
+                        self.deadlines.push(Reverse(DeadlineEntry {
+                            deadline,
+                            job: ack.job,
+                            attempt: ack.attempt,
+                        }));
                     }
                 }
                 state.tracker.mark_running(job);
@@ -180,28 +271,30 @@ impl EnsembleEngine {
                     // identical by workflow determinism (the paper verifies
                     // output checksums), so drop the duplicate.
                     self.stats.duplicate_completions += 1;
-                    return actions;
+                    return;
                 }
-                state.inflight.remove(&job);
-                let workflow = Arc::clone(&state.workflow);
-                state.tracker.complete_in(&workflow, job);
-                // Drain the ready queue (rather than the return value) so
-                // the tracker's queue never accumulates stale entries.
-                let newly = state.tracker.take_ready();
+                state.inflight[job.index()] = None;
+                // Split borrow: the tracker mutates while reading the DAG.
+                let WorkflowState { workflow, tracker, .. } = state;
+                tracker.complete(workflow, job);
                 self.stats.jobs_completed += 1;
-                for next in newly {
+                // Drain the ready queue (rather than a returned list) so
+                // the tracker's queue never accumulates stale entries.
+                let mut newly = std::mem::take(&mut self.scratch_ready);
+                self.workflows[wf.index()].tracker.drain_ready_into(&mut newly);
+                for &next in &newly {
                     actions.push(self.dispatch_indexed(wf, next, 1, now));
                 }
+                newly.clear();
+                self.scratch_ready = newly;
                 let state = &mut self.workflows[wf.index()];
                 if state.tracker.is_complete() && !state.done {
                     state.done = true;
                     self.stats.workflows_completed += 1;
                     let makespan = now - state.submitted_at;
-                    actions.push(Action::WorkflowCompleted {
-                        workflow: wf,
-                        makespan_secs: makespan,
-                    });
-                    self.maybe_all_completed(&mut actions);
+                    actions
+                        .push(Action::WorkflowCompleted { workflow: wf, makespan_secs: makespan });
+                    self.maybe_all_completed(actions);
                 }
             }
             AckKind::Failed => {
@@ -210,7 +303,7 @@ impl EnsembleEngine {
                 if state.tracker.state(job) != dewe_dag::JobState::Completed
                     && state.tracker.resubmit(job)
                 {
-                    state.tracker.take_ready(); // drain the requeue marker
+                    state.tracker.clear_ready(); // drop the requeue marker
                     let attempt = ack.attempt + 1;
                     self.stats.resubmissions += 1;
                     let action = self.dispatch_indexed(wf, job, attempt, now);
@@ -218,18 +311,11 @@ impl EnsembleEngine {
                 }
             }
         }
-        actions
     }
 
-    fn dispatch_indexed(
-        &mut self,
-        wf: WorkflowId,
-        job: JobId,
-        attempt: u32,
-        _now: f64,
-    ) -> Action {
+    fn dispatch_indexed(&mut self, wf: WorkflowId, job: JobId, attempt: u32, _now: f64) -> Action {
         let state = &mut self.workflows[wf.index()];
-        state.inflight.insert(job, Inflight { deadline: f64::INFINITY, attempt });
+        state.inflight[job.index()] = Some(Inflight { deadline: f64::INFINITY, attempt });
         self.stats.dispatches += 1;
         Action::Dispatch(DispatchMsg { job: EnsembleJobId::new(wf, job), attempt })
     }
@@ -238,37 +324,49 @@ impl EnsembleEngine {
     /// deadline passed is republished so another worker can run it.
     pub fn check_timeouts(&mut self, now: f64) -> Vec<Action> {
         let mut actions = Vec::new();
-        for wfi in 0..self.workflows.len() {
-            let wf = WorkflowId::from_index(wfi);
-            let expired: Vec<(JobId, u32)> = self.workflows[wfi]
-                .inflight
-                .iter()
-                .filter(|(_, inf)| inf.deadline <= now)
-                .map(|(&j, inf)| (j, inf.attempt))
-                .collect();
-            for (job, attempt) in expired {
-                let state = &mut self.workflows[wfi];
-                if state.tracker.resubmit(job) {
-                    state.tracker.take_ready();
-                    self.stats.resubmissions += 1;
-                    let action = self.dispatch_indexed(wf, job, attempt + 1, now);
-                    actions.push(action);
-                } else {
-                    state.inflight.remove(&job);
-                }
-            }
-        }
+        self.check_timeouts_into(now, &mut actions);
         actions
     }
 
+    /// Allocation-free flavor of [`check_timeouts`](Self::check_timeouts).
+    ///
+    /// Pops the deadline heap only while the top entry has expired, so a
+    /// scan costs O(expired · log heap) — it never visits jobs whose
+    /// deadlines lie in the future, no matter how many are in flight.
+    pub fn check_timeouts_into(&mut self, now: f64, actions: &mut Vec<Action>) {
+        while let Some(&Reverse(top)) = self.deadlines.peek() {
+            if top.deadline > now {
+                break;
+            }
+            self.deadlines.pop();
+            if !entry_is_current(&self.workflows, &top) {
+                continue; // superseded checkout, resubmission or completion
+            }
+            let wf = top.job.workflow;
+            let job = top.job.job;
+            let state = &mut self.workflows[wf.index()];
+            if state.tracker.resubmit(job) {
+                state.tracker.clear_ready(); // drop the requeue marker
+                self.stats.resubmissions += 1;
+                let action = self.dispatch_indexed(wf, job, top.attempt + 1, now);
+                actions.push(action);
+            } else {
+                state.inflight[job.index()] = None;
+            }
+        }
+    }
+
     /// Earliest pending timeout deadline among checked-out jobs, if any
-    /// (lets drivers sleep precisely instead of polling).
-    pub fn next_deadline(&self) -> Option<f64> {
-        self.workflows
-            .iter()
-            .flat_map(|w| w.inflight.values().map(|i| i.deadline))
-            .filter(|d| d.is_finite())
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    /// (lets drivers sleep precisely instead of polling). Amortized O(1):
+    /// stale heap entries are pruned as they surface.
+    pub fn next_deadline(&mut self) -> Option<f64> {
+        while let Some(&Reverse(top)) = self.deadlines.peek() {
+            if entry_is_current(&self.workflows, &top) {
+                return Some(top.deadline);
+            }
+            self.deadlines.pop();
+        }
+        None
     }
 
     /// True once every submitted workflow has completed.
@@ -413,7 +511,7 @@ mod tests {
         let d = dispatches(&actions)[0];
         e.on_ack(run_ack(d.job, 1), 0.5);
         e.check_timeouts(6.0); // resubmitted as attempt 2
-        // Original (slow) worker completes first.
+                               // Original (slow) worker completes first.
         let actions = e.on_ack(done_ack(d.job, 1), 7.0);
         assert!(actions.iter().any(|a| matches!(a, Action::WorkflowCompleted { .. })));
         // Second worker completes too: ignored.
@@ -429,10 +527,8 @@ mod tests {
         let (_, actions) = e.submit_workflow(chain(1), 0.0);
         let d = dispatches(&actions)[0];
         e.on_ack(run_ack(d.job, 1), 1.0);
-        let actions = e.on_ack(
-            AckMsg { job: d.job, worker: 0, kind: AckKind::Failed, attempt: 1 },
-            2.0,
-        );
+        let actions =
+            e.on_ack(AckMsg { job: d.job, worker: 0, kind: AckKind::Failed, attempt: 1 }, 2.0);
         let rd = dispatches(&actions);
         assert_eq!(rd.len(), 1);
         assert_eq!(rd[0].attempt, 2);
@@ -492,10 +588,8 @@ mod tests {
         let (_, actions) = e.submit_workflow(chain(1), 0.0);
         let d = dispatches(&actions)[0];
         e.on_ack(done_ack(d.job, 1), 1.0);
-        let actions = e.on_ack(
-            AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 1 },
-            2.0,
-        );
+        let actions =
+            e.on_ack(AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 1 }, 2.0);
         assert!(actions.is_empty(), "a late failure of a completed job must not resubmit");
         assert_eq!(e.stats().resubmissions, 0);
     }

@@ -80,10 +80,7 @@ mod tests {
         // Dispatch messages flood the queue at ensemble scale (1.7M jobs);
         // keep them trivially copyable and small.
         assert!(std::mem::size_of::<DispatchMsg>() <= 16);
-        let d = DispatchMsg {
-            job: EnsembleJobId::new(WorkflowId(1), JobId(2)),
-            attempt: 1,
-        };
+        let d = DispatchMsg { job: EnsembleJobId::new(WorkflowId(1), JobId(2)), attempt: 1 };
         let d2 = d;
         assert_eq!(d, d2);
     }

@@ -227,12 +227,8 @@ mod tests {
 
     #[test]
     fn interval_submission_orders_submissions() {
-        let d = Deployment::builder()
-            .workers(1)
-            .expected_workflows(3)
-            .start(Arc::new(NoopRunner));
-        let wfs =
-            (0..3).map(|i| (format!("w{i}"), tiny(2))).collect::<Vec<_>>();
+        let d = Deployment::builder().workers(1).expected_workflows(3).start(Arc::new(NoopRunner));
+        let wfs = (0..3).map(|i| (format!("w{i}"), tiny(2))).collect::<Vec<_>>();
         let submitter = d.submit_with_interval(wfs, Duration::from_millis(30));
         // Completion events arrive in submission order (tiny workflows
         // finish well within the interval).

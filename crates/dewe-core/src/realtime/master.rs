@@ -85,6 +85,9 @@ fn master_loop(
     let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
     let start = Instant::now();
     let mut last_scan = 0.0f64;
+    // Reused across iterations so the serving loop does not allocate per
+    // ack/scan in steady state.
+    let mut actions: Vec<Action> = Vec::new();
     loop {
         let now = start.elapsed().as_secs_f64();
 
@@ -95,16 +98,16 @@ fn master_loop(
             // worker can observe a job of an unknown workflow.
             let expected_id = WorkflowId::from_index(engine.workflow_count());
             registry.insert(expected_id, Arc::clone(&sub.workflow));
-            let (id, actions) = engine.submit_workflow(sub.workflow, now);
+            let id = engine.submit_workflow_into(sub.workflow, now, &mut actions);
             debug_assert_eq!(id, expected_id);
-            publish_actions(&bus, &events, actions);
+            publish_actions(&bus, &events, &mut actions);
         }
 
         // 2. Timeout scan at the configured cadence.
         if now - last_scan >= config.timeout_scan_interval.as_secs_f64() {
             last_scan = now;
-            let actions = engine.check_timeouts(now);
-            publish_actions(&bus, &events, actions);
+            engine.check_timeouts_into(now, &mut actions);
+            publish_actions(&bus, &events, &mut actions);
         }
 
         // 3. Exit once the expected workload has completed. (The engine's
@@ -121,8 +124,8 @@ fn master_loop(
         match bus.ack.pull_timeout(config.timeout_scan_interval) {
             Some(ack) => {
                 let now = start.elapsed().as_secs_f64();
-                let actions = engine.on_ack(ack, now);
-                publish_actions(&bus, &events, actions);
+                engine.on_ack_into(ack, now, &mut actions);
+                publish_actions(&bus, &events, &mut actions);
             }
             None => {
                 if bus.ack.is_closed() {
@@ -133,9 +136,10 @@ fn master_loop(
     }
 }
 
-/// Publish dispatch actions and forward progress events.
-fn publish_actions(bus: &MessageBus, events: &Sender<MasterEvent>, actions: Vec<Action>) {
-    for action in actions {
+/// Publish dispatch actions and forward progress events, draining the
+/// caller's reusable buffer.
+fn publish_actions(bus: &MessageBus, events: &Sender<MasterEvent>, actions: &mut Vec<Action>) {
+    for action in actions.drain(..) {
         match action {
             Action::Dispatch(d) => bus.dispatch.publish(d),
             Action::WorkflowCompleted { workflow, makespan_secs } => {
@@ -178,8 +182,18 @@ mod tests {
         for _ in 0..2 {
             let d = bus.dispatch.pull_timeout(Duration::from_secs(5)).expect("dispatch");
             assert!(registry.get(d.job.workflow).is_some(), "registry populated first");
-            bus.ack.publish(AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: d.attempt });
-            bus.ack.publish(AckMsg { job: d.job, worker: 0, kind: AckKind::Completed, attempt: d.attempt });
+            bus.ack.publish(AckMsg {
+                job: d.job,
+                worker: 0,
+                kind: AckKind::Running,
+                attempt: d.attempt,
+            });
+            bus.ack.publish(AckMsg {
+                job: d.job,
+                worker: 0,
+                kind: AckKind::Completed,
+                attempt: d.attempt,
+            });
         }
 
         // Completion event arrives, then shut the master down.

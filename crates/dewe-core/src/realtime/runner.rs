@@ -282,7 +282,8 @@ mod tests {
     }
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("dewe_runner_test_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("dewe_runner_test_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

@@ -153,9 +153,9 @@ fn slot_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::DispatchMsg;
     use crate::realtime::runner::NoopRunner;
     use dewe_dag::{EnsembleJobId, JobId, WorkflowBuilder, WorkflowId};
-    use crate::protocol::DispatchMsg;
     use std::sync::Arc;
 
     fn one_job_registry() -> Registry {
@@ -176,10 +176,8 @@ mod tests {
             Arc::new(NoopRunner),
             WorkerConfig { worker_id: 7, slots: 2, pull_timeout: Duration::from_millis(10) },
         );
-        bus.dispatch.publish(DispatchMsg {
-            job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
-            attempt: 1,
-        });
+        bus.dispatch
+            .publish(DispatchMsg { job: EnsembleJobId::new(WorkflowId(0), JobId(0)), attempt: 1 });
         let running = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(running.kind, AckKind::Running);
         assert_eq!(running.worker, 7);
@@ -215,10 +213,8 @@ mod tests {
             Arc::new(Slow),
             WorkerConfig { worker_id: 1, slots: 1, pull_timeout: Duration::from_millis(10) },
         );
-        bus.dispatch.publish(DispatchMsg {
-            job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
-            attempt: 1,
-        });
+        bus.dispatch
+            .publish(DispatchMsg { job: EnsembleJobId::new(WorkflowId(0), JobId(0)), attempt: 1 });
         let running = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(running.kind, AckKind::Running);
         assert_eq!(handle.kill(), 0, "no job completed");

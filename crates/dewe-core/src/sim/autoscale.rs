@@ -18,16 +18,15 @@
 //! effective" under charge-by-hour but "can be useful" under
 //! charge-by-minute.
 
-use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use dewe_dag::Workflow;
-use dewe_simcloud::{BillingModel, ClusterConfig, CostModel, ExecSim, JobProfile, SimEvent};
+use dewe_simcloud::{BillingModel, ClusterConfig, CostModel, ExecSim, SimEvent};
 
-use crate::engine::{Action, EngineStats, EnsembleEngine};
-use crate::protocol::{AckKind, AckMsg, DispatchMsg};
+use crate::engine::{EngineStats, EnsembleEngine};
+use crate::protocol::{AckKind, AckMsg};
 
-use super::SlotPool;
+use super::{DriverState, SlotPool};
 
 /// Reactive scaling policy.
 #[derive(Debug, Clone)]
@@ -109,7 +108,6 @@ pub fn run_ensemble_autoscale(
         let t = exec.now();
         exec.cluster_mut().set_active(node, false, t);
     }
-    let mut node_running = vec![0u32; max_nodes];
     /// Rental bookkeeping.
     struct Rent {
         spans: Vec<(f64, f64)>,
@@ -125,10 +123,9 @@ pub fn run_ensemble_autoscale(
     };
 
     let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
-    let mut queue: VecDeque<DispatchMsg> = VecDeque::new();
-    let mut running: HashMap<u64, DispatchMsg> = HashMap::new();
-    let mut workflow_done = 0usize;
-    let mut all_done_at: Option<f64> = None;
+    let mut state = DriverState::new(workflows, pool, config);
+    // Scale-in lets running jobs drain, so per-node occupancy is tracked.
+    state.node_running = vec![0; max_nodes];
     let mut scaling_trace = vec![(0.0, policy.initial_nodes)];
     let mut peak = policy.initial_nodes;
 
@@ -147,68 +144,21 @@ pub fn run_ensemble_autoscale(
     exec.schedule_wake(config.timeout_scan_secs, TAG_SCAN);
     exec.schedule_wake(policy.evaluate_interval_secs, TAG_EVAL);
 
-    fn token_of(job: dewe_dag::EnsembleJobId) -> u64 {
-        ((job.workflow.0 as u64) << 24) | job.job.0 as u64
-    }
-    fn file_key(wf: dewe_dag::WorkflowId, f: dewe_dag::FileId) -> u64 {
-        ((wf.0 as u64) << 32) | f.0 as u64
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn try_assign(
-        exec: &mut ExecSim,
-        engine: &mut EnsembleEngine,
-        pool: &mut SlotPool,
-        queue: &mut VecDeque<DispatchMsg>,
-        running: &mut HashMap<u64, DispatchMsg>,
-        node_running: &mut [u32],
-        overhead: f64,
-    ) {
-        while !queue.is_empty() {
-            let Some(node) = pool.pop_idle() else { break };
-            let d = queue.pop_front().expect("non-empty");
-            let now = exec.now().as_secs_f64();
-            engine.on_ack(
-                AckMsg { job: d.job, worker: node as u32, kind: AckKind::Running, attempt: d.attempt },
-                now,
-            );
-            let workflow = Arc::clone(engine.workflow(d.job.workflow));
-            let spec = workflow.job(d.job.job);
-            let profile = JobProfile {
-                reads: spec
-                    .inputs
-                    .iter()
-                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
-                    .collect(),
-                cpu_seconds: spec.cpu_seconds + overhead,
-                cores: spec.cores,
-                writes: spec
-                    .outputs
-                    .iter()
-                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
-                    .collect(),
-            };
-            node_running[node] += 1;
-            running.insert(token_of(d.job), d);
-            exec.submit_job(token_of(d.job), node, &profile);
-        }
-    }
-
     while let Some(event) = exec.next() {
         let now = exec.now().as_secs_f64();
         match event {
             SimEvent::JobFinished { token, node, .. } => {
-                let Some(d) = running.remove(&token) else { continue };
-                node_running[node] -= 1;
-                pool.release(node);
+                let Some(d) = state.running[token as usize].take() else { continue };
+                state.node_running[node] -= 1;
+                state.pool.release(node);
                 // A draining node whose last job finished ends its rental.
-                if rent.draining[node] && node_running[node] == 0 {
+                if rent.draining[node] && state.node_running[node] == 0 {
                     if let Some(start) = rent.open[node].take() {
                         rent.spans.push((start, now));
                     }
                     rent.draining[node] = false;
                 }
-                let actions = engine.on_ack(
+                engine.on_ack_into(
                     AckMsg {
                         job: d.job,
                         worker: node as u32,
@@ -216,47 +166,33 @@ pub fn run_ensemble_autoscale(
                         attempt: d.attempt,
                     },
                     now,
+                    &mut state.actions,
                 );
-                for action in actions {
-                    match action {
-                        Action::Dispatch(d) => queue.push_back(d),
-                        Action::WorkflowCompleted { .. } => {
-                            workflow_done += 1;
-                            if workflow_done == workflows.len() {
-                                all_done_at = Some(now);
-                            }
-                        }
-                        Action::AllCompleted => {}
-                    }
-                }
-                try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
+                state.handle_actions(now);
+                state.try_assign(&mut exec, &mut engine);
             }
             SimEvent::Wake { token } => match token & TAG_MASK {
                 TAG_SUBMIT => {
                     let idx = (token & !TAG_MASK) as usize;
-                    let (_, actions) = engine.submit_workflow(Arc::clone(&workflows[idx]), now);
-                    for action in actions {
-                        if let Action::Dispatch(d) = action {
-                            queue.push_back(d);
-                        }
-                    }
-                    try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
+                    let workflow = Arc::clone(&workflows[idx]);
+                    let job_count = workflow.job_count();
+                    let id = engine.submit_workflow_into(workflow, now, &mut state.actions);
+                    state.register_workflow(id, job_count);
+                    state.handle_actions(now);
+                    state.try_assign(&mut exec, &mut engine);
                 }
                 TAG_SCAN => {
-                    for action in engine.check_timeouts(now) {
-                        if let Action::Dispatch(d) = action {
-                            queue.push_back(d);
-                        }
-                    }
-                    try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
-                    if all_done_at.is_none() {
+                    engine.check_timeouts_into(now, &mut state.actions);
+                    state.handle_actions(now);
+                    state.try_assign(&mut exec, &mut engine);
+                    if state.all_done_at.is_none() {
                         exec.schedule_wake(config.timeout_scan_secs, TAG_SCAN);
                     }
                 }
                 TAG_EVAL => {
                     let active_count = active.iter().filter(|&&a| a).count();
                     let active_slots = active_count as f64 * slots_per_node as f64;
-                    let qlen = queue.len() as f64;
+                    let qlen = state.queue.len() as f64;
                     if qlen > active_slots * policy.scale_out_queue_factor
                         && active_count < max_nodes
                     {
@@ -270,12 +206,12 @@ pub fn run_ensemble_autoscale(
                         }
                         // A re-engaged draining node still runs its old
                         // jobs; only the free slots may pull.
-                        pool.restart(node, node_running[node]);
+                        state.pool.restart(node, state.node_running[node]);
                         let t = exec.now();
                         exec.cluster_mut().set_active(node, true, t);
                         scaling_trace.push((now, active_count + 1));
                         peak = peak.max(active_count + 1);
-                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut node_running, config.per_job_overhead_secs);
+                        state.try_assign(&mut exec, &mut engine);
                     } else if qlen < active_slots * policy.scale_in_queue_factor
                         && active_count > policy.min_nodes
                     {
@@ -284,10 +220,10 @@ pub fn run_ensemble_autoscale(
                         let node =
                             (0..max_nodes).rev().find(|&n| active[n]).expect("min_nodes >= 1");
                         active[node] = false;
-                        pool.kill(node);
+                        state.pool.kill(node);
                         let t = exec.now();
                         exec.cluster_mut().set_active(node, false, t);
-                        if node_running[node] == 0 {
+                        if state.node_running[node] == 0 {
                             if let Some(start) = rent.open[node].take() {
                                 rent.spans.push((start, now));
                             }
@@ -296,19 +232,19 @@ pub fn run_ensemble_autoscale(
                         }
                         scaling_trace.push((now, active_count - 1));
                     }
-                    if all_done_at.is_none() {
+                    if state.all_done_at.is_none() {
                         exec.schedule_wake(policy.evaluate_interval_secs, TAG_EVAL);
                     }
                 }
                 _ => unreachable!(),
             },
         }
-        if all_done_at.is_some() && exec.running_jobs() == 0 {
+        if state.all_done_at.is_some() && exec.running_jobs() == 0 {
             break;
         }
     }
 
-    let makespan = all_done_at.unwrap_or_else(|| exec.now().as_secs_f64());
+    let makespan = state.all_done_at.unwrap_or_else(|| exec.now().as_secs_f64());
     // Close any open rentals at makespan.
     for node in 0..max_nodes {
         if let Some(start) = rent.open[node].take() {
@@ -324,7 +260,7 @@ pub fn run_ensemble_autoscale(
 
     AutoscaleReport {
         makespan_secs: makespan,
-        completed: all_done_at.is_some(),
+        completed: state.all_done_at.is_some(),
         engine: engine.stats(),
         node_spans: rent.spans,
         peak_nodes: peak,
@@ -381,11 +317,8 @@ mod tests {
         assert!(report.peak_nodes > 1, "load must trigger scale-out");
         // The waist (120 s, queue empty) must trigger scale-in: some point
         // in the trace returns to 1 node after the peak.
-        let peak_at = report
-            .scaling_trace
-            .iter()
-            .position(|&(_, n)| n == report.peak_nodes)
-            .unwrap();
+        let peak_at =
+            report.scaling_trace.iter().position(|&(_, n)| n == report.peak_nodes).unwrap();
         assert!(
             report.scaling_trace[peak_at..].iter().any(|&(_, n)| n == 1),
             "waist should drain the fleet: {:?}",

@@ -13,7 +13,7 @@
 //! slots mid-run (in-flight jobs vanish without acknowledgment) and
 //! restarts them later — the paper's §V.A.3 robustness experiment.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dewe_dag::{EnsembleJobId, Workflow};
@@ -127,7 +127,10 @@ pub struct SimReport {
     pub cost_usd: f64,
 }
 
-// Wake-token tags (high byte).
+// Wake-token tags (high byte). Job tokens are dense ensemble-wide indices
+// (see [`DriverState::token`]), so they stay strictly below every tagged
+// token as long as the ensemble has fewer than 2^56 jobs — asserted when
+// workflows register.
 const TAG_SUBMIT: u64 = 1 << 56;
 const TAG_SCAN: u64 = 2 << 56;
 const TAG_SAMPLE: u64 = 3 << 56;
@@ -135,11 +138,10 @@ const TAG_KILL: u64 = 4 << 56;
 const TAG_RESTART: u64 = 5 << 56;
 const TAG_MASK: u64 = 0xff << 56;
 
-fn job_token(job: EnsembleJobId) -> u64 {
-    ((job.workflow.0 as u64) << 24) | job.job.0 as u64
-}
-
 fn file_key(workflow: dewe_dag::WorkflowId, file: dewe_dag::FileId) -> u64 {
+    // Exact packing: u32 workflow in the high half, u32 file in the low
+    // half. File keys live in the storage layer's own namespace, never in
+    // the wake-token event space, so no tag interaction is possible.
     ((workflow.0 as u64) << 32) | file.0 as u64
 }
 
@@ -200,6 +202,164 @@ impl SlotPool {
     }
 }
 
+/// Per-run driver bookkeeping, sized once up front so the event loop's
+/// ack/dispatch path allocates nothing in steady state: in-flight jobs and
+/// trace timestamps live in dense slabs indexed by ensemble-wide job
+/// index, and the action/profile buffers are reused across events.
+struct DriverState {
+    queue: VecDeque<DispatchMsg>,
+    /// In-flight dispatch per ensemble-wide job index (`None` = not running).
+    running: Vec<Option<DispatchMsg>>,
+    /// First ensemble-wide job index of each submitted workflow
+    /// (prefix sums of job counts, in engine submission order).
+    job_base: Vec<u64>,
+    next_base: u64,
+    pool: SlotPool,
+    /// (dispatch time, checkout time) per job index, when tracing.
+    trace_times: Vec<(f64, f64)>,
+    /// Dispatch time per job index, NaN = none recorded; when tracing.
+    dispatch_times: Vec<f64>,
+    tracing: bool,
+    overhead_secs: f64,
+    /// Scratch job profile; its read/write vectors are reused per dispatch.
+    profile: JobProfile,
+    /// Scratch buffer the engine's `*_into` sinks append to.
+    actions: Vec<Action>,
+    /// Jobs running per node, when the runtime needs drain accounting
+    /// (autoscale); empty = not tracked.
+    node_running: Vec<u32>,
+    workflow_makespans: Vec<f64>,
+    completed_count: usize,
+    all_done_at: Option<f64>,
+}
+
+impl DriverState {
+    fn new(workflows: &[Arc<Workflow>], pool: SlotPool, config: &SimRunConfig) -> Self {
+        let total_jobs: usize = workflows.iter().map(|w| w.job_count()).sum();
+        let tracing = config.record_trace;
+        Self {
+            queue: VecDeque::new(),
+            running: vec![None; total_jobs],
+            job_base: Vec::with_capacity(workflows.len()),
+            next_base: 0,
+            pool,
+            trace_times: if tracing { vec![(0.0, 0.0); total_jobs] } else { Vec::new() },
+            dispatch_times: if tracing { vec![f64::NAN; total_jobs] } else { Vec::new() },
+            tracing,
+            overhead_secs: config.per_job_overhead_secs,
+            profile: JobProfile {
+                reads: Vec::new(),
+                cpu_seconds: 0.0,
+                cores: 1,
+                writes: Vec::new(),
+            },
+            actions: Vec::new(),
+            node_running: Vec::new(),
+            workflow_makespans: vec![0.0f64; workflows.len()],
+            completed_count: 0,
+            all_done_at: None,
+        }
+    }
+
+    /// Dense ensemble-wide index of a job: provably below the wake-token
+    /// tag space (unlike bit-packing workflow/job ids, which silently
+    /// collided with the tags once `job.0` reached 2^24 or `workflow.0`
+    /// reached 2^32).
+    #[inline]
+    fn token(&self, job: EnsembleJobId) -> u64 {
+        self.job_base[job.workflow.index()] + job.job.0 as u64
+    }
+
+    /// Record a workflow's token range at submission time.
+    fn register_workflow(&mut self, wf: dewe_dag::WorkflowId, job_count: usize) {
+        debug_assert_eq!(wf.index(), self.job_base.len(), "engine ids are sequential");
+        self.job_base.push(self.next_base);
+        self.next_base += job_count as u64;
+        debug_assert!(
+            self.next_base < TAG_SUBMIT,
+            "job tokens must stay below the wake-token tag space"
+        );
+    }
+
+    /// Turn engine actions into queue entries / bookkeeping, draining the
+    /// scratch action buffer. The engine's `AllCompleted` only covers
+    /// workflows submitted *so far*; under incremental submission the run
+    /// ends when the expected total has completed, so completions are
+    /// counted here.
+    fn handle_actions(&mut self, now: f64) {
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain(..) {
+            match action {
+                Action::Dispatch(d) => {
+                    if self.tracing {
+                        let t = self.token(d.job) as usize;
+                        self.dispatch_times[t] = now;
+                    }
+                    self.queue.push_back(d);
+                }
+                Action::WorkflowCompleted { workflow, makespan_secs } => {
+                    self.workflow_makespans[workflow.index()] = makespan_secs;
+                    self.completed_count += 1;
+                    if self.completed_count == self.workflow_makespans.len() {
+                        self.all_done_at = Some(now);
+                    }
+                }
+                Action::AllCompleted => {}
+            }
+        }
+        self.actions = actions;
+    }
+
+    /// Assign queued jobs to idle slots (the pull loop).
+    fn try_assign(&mut self, exec: &mut ExecSim, engine: &mut EnsembleEngine) {
+        while !self.queue.is_empty() {
+            let Some(node) = self.pool.pop_idle() else { break };
+            let d = self.queue.pop_front().expect("queue non-empty");
+            let now = exec.now().as_secs_f64();
+            // Worker checks the job out: Running acknowledgment.
+            engine.on_ack_into(
+                AckMsg {
+                    job: d.job,
+                    worker: node as u32,
+                    kind: AckKind::Running,
+                    attempt: d.attempt,
+                },
+                now,
+                &mut self.actions,
+            );
+            debug_assert!(self.actions.is_empty(), "a Running ack emits no actions");
+            let workflow = engine.workflow(d.job.workflow);
+            let spec = workflow.job(d.job.job);
+            self.profile.reads.clear();
+            self.profile.reads.extend(
+                spec.inputs
+                    .iter()
+                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64)),
+            );
+            self.profile.cpu_seconds = spec.cpu_seconds + self.overhead_secs;
+            self.profile.cores = spec.cores;
+            self.profile.writes.clear();
+            self.profile.writes.extend(
+                spec.outputs
+                    .iter()
+                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64)),
+            );
+            let token = self.token(d.job);
+            if self.tracing {
+                let recorded = self.dispatch_times[token as usize];
+                let dispatched = if recorded.is_nan() { now } else { recorded };
+                self.dispatch_times[token as usize] = f64::NAN;
+                self.trace_times[token as usize] = (dispatched, now);
+            }
+            if !self.node_running.is_empty() {
+                self.node_running[node] += 1;
+            }
+            self.running[token as usize] = Some(d);
+            exec.submit_job(token, node, &self.profile);
+        }
+    }
+}
+
 /// Run an ensemble of workflows on a simulated cluster with DEWE v2.
 pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimReport {
     assert!(!workflows.is_empty(), "ensemble must contain at least one workflow");
@@ -212,20 +372,13 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
         }
     }
     let slots_per_node = config.slots_per_node.unwrap_or(config.cluster.instance.vcpus);
-    let mut pool = SlotPool::new(nodes, slots_per_node);
+    let pool = SlotPool::new(nodes, slots_per_node);
     let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
-    let mut queue: VecDeque<DispatchMsg> = VecDeque::new();
-    let mut running: HashMap<u64, DispatchMsg> = HashMap::new();
+    let mut state = DriverState::new(workflows, pool, config);
     let mut sampler =
         config.sample.then(|| ClusterSampler::new(nodes, config.cluster.instance.vcpus));
     let mut gantt = config.record_gantt.then(Gantt::new);
     let mut trace = config.record_trace.then(dewe_metrics::Trace::new);
-    // (dispatch time, checkout time) per running token, for tracing.
-    let mut trace_times: HashMap<u64, (f64, f64)> = HashMap::new();
-    let mut dispatch_times: HashMap<u64, f64> = HashMap::new();
-    let mut workflow_makespans = vec![0.0f64; workflows.len()];
-    let mut completed_count = 0usize;
-    let mut all_done_at: Option<f64> = None;
 
     // Schedule submissions.
     match config.submission {
@@ -253,101 +406,10 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
         }
     }
 
-    // Turn engine actions into queue entries / bookkeeping. The engine's
-    // `AllCompleted` only covers workflows submitted *so far*; under
-    // incremental submission the run ends when the expected total has
-    // completed, so we count completions ourselves.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_actions(
-        actions: Vec<Action>,
-        queue: &mut VecDeque<DispatchMsg>,
-        workflow_makespans: &mut [f64],
-        completed_count: &mut usize,
-        all_done_at: &mut Option<f64>,
-        dispatch_times: &mut HashMap<u64, f64>,
-        tracing: bool,
-        now: f64,
-    ) {
-        for action in actions {
-            match action {
-                Action::Dispatch(d) => {
-                    if tracing {
-                        dispatch_times.insert(job_token(d.job), now);
-                    }
-                    queue.push_back(d);
-                }
-                Action::WorkflowCompleted { workflow, makespan_secs } => {
-                    workflow_makespans[workflow.index()] = makespan_secs;
-                    *completed_count += 1;
-                    if *completed_count == workflow_makespans.len() {
-                        *all_done_at = Some(now);
-                    }
-                }
-                Action::AllCompleted => {}
-            }
-        }
-    }
-
-    // Assign queued jobs to idle slots (the pull loop).
-    #[allow(clippy::too_many_arguments)]
-    fn try_assign(
-        exec: &mut ExecSim,
-        engine: &mut EnsembleEngine,
-        pool: &mut SlotPool,
-        queue: &mut VecDeque<DispatchMsg>,
-        running: &mut HashMap<u64, DispatchMsg>,
-        trace_times: &mut HashMap<u64, (f64, f64)>,
-        dispatch_times: &mut HashMap<u64, f64>,
-        tracing: bool,
-        overhead_secs: f64,
-    ) {
-        while !queue.is_empty() {
-            let Some(node) = pool.pop_idle() else { break };
-            let d = queue.pop_front().expect("queue non-empty");
-            let now = exec.now().as_secs_f64();
-            // Worker checks the job out: Running acknowledgment.
-            let actions = engine.on_ack(
-                AckMsg {
-                    job: d.job,
-                    worker: node as u32,
-                    kind: AckKind::Running,
-                    attempt: d.attempt,
-                },
-                now,
-            );
-            debug_assert!(actions.is_empty());
-            let workflow = Arc::clone(engine.workflow(d.job.workflow));
-            let spec = workflow.job(d.job.job);
-            let profile = JobProfile {
-                reads: spec
-                    .inputs
-                    .iter()
-                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
-                    .collect(),
-                cpu_seconds: spec.cpu_seconds + overhead_secs,
-                cores: spec.cores,
-                writes: spec
-                    .outputs
-                    .iter()
-                    .map(|&f| (file_key(d.job.workflow, f), workflow.file(f).size_bytes as f64))
-                    .collect(),
-            };
-            let token = job_token(d.job);
-            if tracing {
-                let dispatched = dispatch_times.remove(&token).unwrap_or(now);
-                trace_times.insert(token, (dispatched, now));
-            }
-            running.insert(token, d);
-            exec.submit_job(token, node, &profile);
-        }
-    }
-
-    try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
-
     while let Some(event) = exec.next() {
         match event {
             SimEvent::JobFinished { token, node, timings } => {
-                let Some(d) = running.remove(&token) else {
+                let Some(d) = state.running[token as usize].take() else {
                     // Defensive: kill_jobs_on suppresses completions of
                     // killed jobs, so every finish has a running entry.
                     continue;
@@ -356,8 +418,7 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
                     g.record(node, timings);
                 }
                 if let Some(tr) = trace.as_mut() {
-                    let (dispatched, started) =
-                        trace_times.remove(&token).unwrap_or_default();
+                    let (dispatched, started) = state.trace_times[token as usize];
                     let wf = engine.workflow(d.job.workflow);
                     tr.record(dewe_metrics::JobTrace {
                         workflow: d.job.workflow.0,
@@ -372,9 +433,9 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
                         finished: timings.finished.as_secs_f64(),
                     });
                 }
-                pool.release(node);
+                state.pool.release(node);
                 let now = exec.now().as_secs_f64();
-                let actions = engine.on_ack(
+                engine.on_ack_into(
                     AckMsg {
                         job: d.job,
                         worker: node as u32,
@@ -382,25 +443,28 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
                         attempt: d.attempt,
                     },
                     now,
+                    &mut state.actions,
                 );
-                handle_actions(actions, &mut queue, &mut workflow_makespans, &mut completed_count, &mut all_done_at, &mut dispatch_times, trace.is_some(), now);
-                try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+                state.handle_actions(now);
+                state.try_assign(&mut exec, &mut engine);
             }
             SimEvent::Wake { token } => {
                 let now = exec.now().as_secs_f64();
                 match token & TAG_MASK {
                     TAG_SUBMIT => {
                         let idx = (token & !TAG_MASK) as usize;
-                        let (_, actions) =
-                            engine.submit_workflow(Arc::clone(&workflows[idx]), now);
-                        handle_actions(actions, &mut queue, &mut workflow_makespans, &mut completed_count, &mut all_done_at, &mut dispatch_times, trace.is_some(), now);
-                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+                        let workflow = Arc::clone(&workflows[idx]);
+                        let job_count = workflow.job_count();
+                        let id = engine.submit_workflow_into(workflow, now, &mut state.actions);
+                        state.register_workflow(id, job_count);
+                        state.handle_actions(now);
+                        state.try_assign(&mut exec, &mut engine);
                     }
                     TAG_SCAN => {
-                        let actions = engine.check_timeouts(now);
-                        handle_actions(actions, &mut queue, &mut workflow_makespans, &mut completed_count, &mut all_done_at, &mut dispatch_times, trace.is_some(), now);
-                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
-                        if all_done_at.is_none() {
+                        engine.check_timeouts_into(now, &mut state.actions);
+                        state.handle_actions(now);
+                        state.try_assign(&mut exec, &mut engine);
+                        if state.all_done_at.is_none() {
                             exec.schedule_wake(config.timeout_scan_secs, TAG_SCAN);
                         }
                     }
@@ -410,7 +474,7 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
                                 (0..nodes).map(|n| exec.node_counters(n)).collect();
                             s.sample(now, &counters);
                         }
-                        if all_done_at.is_none() {
+                        if state.all_done_at.is_none() {
                             exec.schedule_wake(SAMPLE_INTERVAL_SECS, TAG_SAMPLE);
                         }
                     }
@@ -419,16 +483,16 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
                         let node = config.faults[idx].node;
                         let killed = exec.kill_jobs_on(node);
                         for t in killed {
-                            running.remove(&t);
+                            state.running[t as usize] = None;
                         }
-                        pool.kill(node);
+                        state.pool.kill(node);
                     }
                     TAG_RESTART => {
                         let idx = (token & !TAG_MASK) as usize;
                         // The kill destroyed the node's jobs, so every slot
                         // is free on restart.
-                        pool.restart(config.faults[idx].node, 0);
-                        try_assign(&mut exec, &mut engine, &mut pool, &mut queue, &mut running, &mut trace_times, &mut dispatch_times, trace.is_some(), config.per_job_overhead_secs);
+                        state.pool.restart(config.faults[idx].node, 0);
+                        state.try_assign(&mut exec, &mut engine);
                     }
                     _ => unreachable!("unknown wake tag"),
                 }
@@ -436,7 +500,7 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
         }
         // Exit when done. With sampling on, run a short tail so the series
         // show the ramp-down.
-        match all_done_at {
+        match state.all_done_at {
             Some(done) if sampler.is_none() => {
                 let _ = done;
                 break;
@@ -446,7 +510,7 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
         }
     }
 
-    let makespan = all_done_at.unwrap_or_else(|| exec.now().as_secs_f64());
+    let makespan = state.all_done_at.unwrap_or_else(|| exec.now().as_secs_f64());
     let mut total_cpu = 0.0;
     let mut total_rd = 0.0;
     let mut total_wr = 0.0;
@@ -459,8 +523,8 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
     let cost = exec.cluster().cost_model().cost(nodes, makespan);
     SimReport {
         makespan_secs: makespan,
-        workflow_makespans,
-        completed: all_done_at.is_some(),
+        completed: state.all_done_at.is_some(),
+        workflow_makespans: state.workflow_makespans,
         total_cpu_core_secs: total_cpu,
         total_bytes_read: total_rd,
         total_bytes_written: total_wr,
@@ -568,8 +632,7 @@ mod tests {
         let wf = chain_wf(1, 100.0);
         let mut cfg = no_overhead(cluster(1));
         cfg.default_timeout_secs = 150.0;
-        cfg.faults =
-            vec![FaultPlan { node: 0, kill_at_secs: 50.0, restart_at_secs: Some(55.0) }];
+        cfg.faults = vec![FaultPlan { node: 0, kill_at_secs: 50.0, restart_at_secs: Some(55.0) }];
         let report = run_ensemble(&[wf], &cfg);
         assert!(report.completed);
         assert_eq!(report.engine.resubmissions, 1);

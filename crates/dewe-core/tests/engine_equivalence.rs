@@ -1,0 +1,354 @@
+//! The deadline-heap engine must be observationally identical to the
+//! original implementation that kept per-workflow `HashMap` in-flight
+//! tables and scanned every running job on each timeout check.
+//!
+//! A reference copy of that implementation lives in this file. Both
+//! engines are driven through randomized interleavings of submissions,
+//! Running/Completed/Failed acknowledgments (including stale-attempt
+//! re-acks and duplicate completions from timeout races) and timeout
+//! scans, asserting after every step that they emit the same action
+//! sequence, the same statistics and the same next deadline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dewe_core::{AckKind, AckMsg, Action, DispatchMsg, EngineStats, EnsembleEngine};
+use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, JobState, Workflow, WorkflowId};
+use dewe_montage::{random_layered, RandomDagConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the pre-heap engine, scan-everything flavor.
+// ---------------------------------------------------------------------------
+
+struct RefWorkflow {
+    workflow: Arc<Workflow>,
+    tracker: DependencyTracker,
+    submitted_at: f64,
+    /// (deadline, attempt) per in-flight job — the old sparse table.
+    inflight: HashMap<JobId, (f64, u32)>,
+    done: bool,
+}
+
+struct ReferenceEngine {
+    workflows: Vec<RefWorkflow>,
+    default_timeout_secs: f64,
+    stats: EngineStats,
+    all_completed_emitted: bool,
+}
+
+impl ReferenceEngine {
+    fn new(default_timeout_secs: f64) -> Self {
+        Self {
+            workflows: Vec::new(),
+            default_timeout_secs,
+            stats: EngineStats::default(),
+            all_completed_emitted: false,
+        }
+    }
+
+    fn submit_workflow(&mut self, workflow: Arc<Workflow>, now: f64) -> (WorkflowId, Vec<Action>) {
+        let id = WorkflowId::from_index(self.workflows.len());
+        let mut state = RefWorkflow {
+            tracker: DependencyTracker::new(&workflow),
+            workflow,
+            submitted_at: now,
+            inflight: HashMap::new(),
+            done: false,
+        };
+        let mut actions = Vec::new();
+        for job in state.tracker.take_ready() {
+            state.inflight.insert(job, (f64::INFINITY, 1));
+            self.stats.dispatches += 1;
+            actions.push(Action::Dispatch(DispatchMsg {
+                job: EnsembleJobId::new(id, job),
+                attempt: 1,
+            }));
+        }
+        self.stats.workflows_submitted += 1;
+        self.all_completed_emitted = false;
+        if state.tracker.is_complete() {
+            state.done = true;
+            self.stats.workflows_completed += 1;
+            actions.push(Action::WorkflowCompleted { workflow: id, makespan_secs: 0.0 });
+            self.workflows.push(state);
+            self.maybe_all_completed(&mut actions);
+        } else {
+            self.workflows.push(state);
+        }
+        (id, actions)
+    }
+
+    fn on_ack(&mut self, ack: AckMsg, now: f64) -> Vec<Action> {
+        let wf = ack.job.workflow;
+        let job = ack.job.job;
+        let mut actions = Vec::new();
+        match ack.kind {
+            AckKind::Running => {
+                let state = &mut self.workflows[wf.index()];
+                let timeout = state.workflow.job(job).effective_timeout(self.default_timeout_secs);
+                if let Some((deadline, attempt)) = state.inflight.get_mut(&job) {
+                    if *attempt == ack.attempt {
+                        *deadline = now + timeout;
+                    }
+                }
+                state.tracker.mark_running(job);
+            }
+            AckKind::Completed => {
+                let state = &mut self.workflows[wf.index()];
+                if state.tracker.state(job) == JobState::Completed {
+                    self.stats.duplicate_completions += 1;
+                    return actions;
+                }
+                state.inflight.remove(&job);
+                let workflow = Arc::clone(&state.workflow);
+                state.tracker.complete(&workflow, job);
+                self.stats.jobs_completed += 1;
+                for next in state.tracker.take_ready() {
+                    state.inflight.insert(next, (f64::INFINITY, 1));
+                    self.stats.dispatches += 1;
+                    actions.push(Action::Dispatch(DispatchMsg {
+                        job: EnsembleJobId::new(wf, next),
+                        attempt: 1,
+                    }));
+                }
+                if state.tracker.is_complete() && !state.done {
+                    state.done = true;
+                    self.stats.workflows_completed += 1;
+                    actions.push(Action::WorkflowCompleted {
+                        workflow: wf,
+                        makespan_secs: now - state.submitted_at,
+                    });
+                    self.maybe_all_completed(&mut actions);
+                }
+            }
+            AckKind::Failed => {
+                let state = &mut self.workflows[wf.index()];
+                if state.tracker.state(job) != JobState::Completed && state.tracker.resubmit(job) {
+                    state.tracker.clear_ready();
+                    let attempt = ack.attempt + 1;
+                    self.stats.resubmissions += 1;
+                    state.inflight.insert(job, (f64::INFINITY, attempt));
+                    self.stats.dispatches += 1;
+                    actions.push(Action::Dispatch(DispatchMsg {
+                        job: EnsembleJobId::new(wf, job),
+                        attempt,
+                    }));
+                }
+            }
+        }
+        actions
+    }
+
+    /// The old O(total in-flight) scan: visit every running job of every
+    /// workflow, collect the expired ones, resubmit in deterministic
+    /// (deadline, workflow, job, attempt) order.
+    fn check_timeouts(&mut self, now: f64) -> Vec<Action> {
+        let mut expired: Vec<(f64, usize, JobId, u32)> = Vec::new();
+        for (wfi, state) in self.workflows.iter().enumerate() {
+            for (&job, &(deadline, attempt)) in &state.inflight {
+                if deadline <= now {
+                    expired.push((deadline, wfi, job, attempt));
+                }
+            }
+        }
+        expired.sort_by(|a, b| {
+            a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)).then_with(|| a.2 .0.cmp(&b.2 .0))
+        });
+        let mut actions = Vec::new();
+        for (_, wfi, job, attempt) in expired {
+            let state = &mut self.workflows[wfi];
+            if state.tracker.resubmit(job) {
+                state.tracker.clear_ready();
+                self.stats.resubmissions += 1;
+                state.inflight.insert(job, (f64::INFINITY, attempt + 1));
+                self.stats.dispatches += 1;
+                actions.push(Action::Dispatch(DispatchMsg {
+                    job: EnsembleJobId::new(WorkflowId::from_index(wfi), job),
+                    attempt: attempt + 1,
+                }));
+            } else {
+                state.inflight.remove(&job);
+            }
+        }
+        actions
+    }
+
+    /// Earliest finite deadline — the old flat-scan `next_deadline`.
+    fn next_deadline(&self) -> Option<f64> {
+        self.workflows
+            .iter()
+            .flat_map(|w| w.inflight.values())
+            .map(|&(deadline, _)| deadline)
+            .filter(|d| d.is_finite())
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    fn all_complete(&self) -> bool {
+        !self.workflows.is_empty() && self.workflows.iter().all(|w| w.done)
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn maybe_all_completed(&mut self, actions: &mut Vec<Action>) {
+        if self.all_complete() && !self.all_completed_emitted {
+            self.all_completed_emitted = true;
+            actions.push(Action::AllCompleted);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized driver.
+// ---------------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn workflow_strategy() -> impl Strategy<Value = Arc<Workflow>> {
+    (1usize..4, 1usize..6, 0.05f64..0.8, 0.1f64..5.0, any::<u64>()).prop_map(
+        |(layers, width, edge_probability, mean_cpu_seconds, seed)| {
+            Arc::new(random_layered(&RandomDagConfig {
+                layers,
+                width,
+                edge_probability,
+                mean_cpu_seconds,
+                seed,
+            }))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drive both engines through the same randomized interleaving of
+    /// submissions, acks (fresh, stale-attempt and duplicate) and timeout
+    /// scans: every step must produce identical actions and statistics.
+    #[test]
+    fn heap_engine_matches_scan_reference(
+        wfs in prop::collection::vec(workflow_strategy(), 1..4),
+        seed in any::<u64>(),
+        timeout in 1.0f64..20.0,
+    ) {
+        let mut rng = seed;
+        let mut real = EnsembleEngine::with_default_timeout(timeout);
+        let mut reference = ReferenceEngine::new(timeout);
+        let mut now = 0.0f64;
+        // Dispatches published but not yet consumed by a Completed/Failed
+        // delivery (may include superseded attempts — that is the race).
+        let mut outstanding: Vec<DispatchMsg> = Vec::new();
+        // Dispatches whose Completed was already delivered, replayed to
+        // exercise the duplicate-completion path.
+        let mut finished: Vec<DispatchMsg> = Vec::new();
+        let mut submitted = 0usize;
+        let mut steps = 0usize;
+
+        macro_rules! check_step {
+            ($real_actions:expr, $ref_actions:expr) => {{
+                let real_actions: Vec<Action> = $real_actions;
+                let ref_actions: Vec<Action> = $ref_actions;
+                prop_assert_eq!(&real_actions, &ref_actions);
+                prop_assert_eq!(real.stats(), reference.stats());
+                prop_assert_eq!(real.next_deadline(), reference.next_deadline());
+                for a in &real_actions {
+                    if let Action::Dispatch(d) = a {
+                        outstanding.push(*d);
+                    }
+                }
+            }};
+        }
+
+        loop {
+            steps += 1;
+            prop_assert!(steps < 50_000, "driver failed to converge");
+            if submitted == wfs.len() && real.all_complete() {
+                break;
+            }
+            now += (splitmix64(&mut rng) % 1000) as f64 / 1000.0 * timeout * 0.2;
+            let choice = splitmix64(&mut rng) % 100;
+            if submitted < wfs.len() && (choice < 15 || outstanding.is_empty()) {
+                let wf = Arc::clone(&wfs[submitted]);
+                submitted += 1;
+                let (id_a, actions_a) = real.submit_workflow(Arc::clone(&wf), now);
+                let (id_b, actions_b) = reference.submit_workflow(wf, now);
+                prop_assert_eq!(id_a, id_b);
+                check_step!(actions_a, actions_b);
+            } else if outstanding.is_empty() {
+                // Everything submitted and in some terminal/queued state;
+                // only the clock can make progress.
+                now += timeout;
+                check_step!(real.check_timeouts(now), reference.check_timeouts(now));
+            } else {
+                let pick = (splitmix64(&mut rng) as usize) % outstanding.len();
+                match choice {
+                    15..=39 => {
+                        // Running ack; sometimes with a stale attempt.
+                        let d = outstanding[pick];
+                        let attempt = if choice < 20 && d.attempt > 1 {
+                            d.attempt - 1
+                        } else {
+                            d.attempt
+                        };
+                        let ack = AckMsg {
+                            job: d.job,
+                            worker: (choice % 4) as u32,
+                            kind: AckKind::Running,
+                            attempt,
+                        };
+                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                    }
+                    40..=79 => {
+                        let d = outstanding.swap_remove(pick);
+                        finished.push(d);
+                        let ack = AckMsg {
+                            job: d.job,
+                            worker: 0,
+                            kind: AckKind::Completed,
+                            attempt: d.attempt,
+                        };
+                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                    }
+                    80..=87 => {
+                        let d = outstanding.swap_remove(pick);
+                        let ack = AckMsg {
+                            job: d.job,
+                            worker: 0,
+                            kind: AckKind::Failed,
+                            attempt: d.attempt,
+                        };
+                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                    }
+                    88..=93 if !finished.is_empty() => {
+                        // Duplicate completion (timeout-race replay).
+                        let d = finished[(splitmix64(&mut rng) as usize) % finished.len()];
+                        let ack = AckMsg {
+                            job: d.job,
+                            worker: 1,
+                            kind: AckKind::Completed,
+                            attempt: d.attempt,
+                        };
+                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                    }
+                    _ => {
+                        // Jump past some deadlines and scan.
+                        now += (splitmix64(&mut rng) % 3) as f64 * timeout;
+                        check_step!(real.check_timeouts(now), reference.check_timeouts(now));
+                    }
+                }
+            }
+        }
+
+        prop_assert!(reference.all_complete());
+        prop_assert_eq!(real.stats(), reference.stats());
+        let total: u64 = wfs.iter().map(|w| w.job_count() as u64).sum();
+        prop_assert_eq!(real.stats().jobs_completed, total);
+    }
+}

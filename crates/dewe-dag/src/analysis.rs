@@ -193,8 +193,7 @@ mod tests {
     fn blocking_jobs_are_the_waist() {
         let wf = waisted();
         let lp = LevelProfile::of(&wf);
-        let blocking: Vec<_> =
-            lp.blocking_jobs().iter().map(|&j| wf.job(j).name.clone()).collect();
+        let blocking: Vec<_> = lp.blocking_jobs().iter().map(|&j| wf.job(j).name.clone()).collect();
         assert_eq!(blocking, vec!["waist1", "waist2"]);
     }
 

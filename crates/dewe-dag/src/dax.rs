@@ -83,9 +83,8 @@ pub fn parse_dax(text: &str) -> Result<Workflow, DagError> {
                     }
                 }
                 "uses" => {
-                    let job = current_job
-                        .as_mut()
-                        .ok_or_else(|| parse_err(line, "uses outside job"))?;
+                    let job =
+                        current_job.as_mut().ok_or_else(|| parse_err(line, "uses outside job"))?;
                     let file = attrs
                         .get("file")
                         .or_else(|| attrs.get("name"))
@@ -106,10 +105,10 @@ pub fn parse_dax(text: &str) -> Result<Workflow, DagError> {
                 "profile"
                     if attrs.get("key").map(String::as_str) == Some("runtime")
                         && current_job.is_some()
-                        && !self_closing
-                    => {
-                        in_runtime_profile = true;
-                    }
+                        && !self_closing =>
+                {
+                    in_runtime_profile = true;
+                }
                 "child" => {
                     let c = attrs
                         .get("ref")
@@ -298,9 +297,7 @@ fn tokenize(text: &str) -> Result<Vec<Token>, DagError> {
                 text_start = i;
                 continue;
             }
-            let close = text[i..]
-                .find('>')
-                .ok_or_else(|| parse_err(line, "unterminated tag"))?;
+            let close = text[i..].find('>').ok_or_else(|| parse_err(line, "unterminated tag"))?;
             let inner = &text[i + 1..i + close];
             line += inner.matches('\n').count();
             if let Some(tag) = inner.strip_prefix('/') {
@@ -337,9 +334,8 @@ fn parse_tag(inner: &str, line: usize) -> Result<(String, HashMap<String, String
             continue;
         }
         // attribute name
-        let eq = rest[start..]
-            .find('=')
-            .ok_or_else(|| parse_err(line, "attribute without value"))?;
+        let eq =
+            rest[start..].find('=').ok_or_else(|| parse_err(line, "attribute without value"))?;
         let key = rest[start..start + eq].trim().rsplit(':').next().unwrap_or("").to_string();
         let after = start + eq + 1;
         let quote = rest[after..]
@@ -502,8 +498,7 @@ mod tests {
 
     #[test]
     fn self_closing_job_supported() {
-        let wf = parse_dax(r#"<adag name="x"><job id="a" name="t" runtime="2"/></adag>"#)
-            .unwrap();
+        let wf = parse_dax(r#"<adag name="x"><job id="a" name="t" runtime="2"/></adag>"#).unwrap();
         assert_eq!(wf.job_count(), 1);
         assert_eq!(wf.jobs()[0].cpu_seconds, 2.0);
     }

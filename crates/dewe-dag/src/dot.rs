@@ -98,8 +98,8 @@ pub fn to_dot_collapsed(wf: &Workflow) -> String {
 
 fn color(idx: usize) -> &'static str {
     const COLORS: [&str; 10] = [
-        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4",
-        "#33a02c", "#e31a1c", "#ff7f00",
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+        "#e31a1c", "#ff7f00",
     ];
     COLORS[idx % COLORS.len()]
 }

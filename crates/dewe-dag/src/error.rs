@@ -30,10 +30,9 @@ impl fmt::Display for DagError {
             }
             DagError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             DagError::UnknownName(n) => write!(f, "reference to unknown name `{n}`"),
-            DagError::MultipleProducers { file, first, second } => write!(
-                f,
-                "file `{file}` has multiple producers: `{first}` and `{second}`"
-            ),
+            DagError::MultipleProducers { file, first, second } => {
+                write!(f, "file `{file}` has multiple producers: `{first}` and `{second}`")
+            }
             DagError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             DagError::InvalidField { entity, message } => {
                 write!(f, "invalid field on `{entity}`: {message}")
@@ -62,11 +61,8 @@ mod tests {
 
     #[test]
     fn display_multiple_producers() {
-        let e = DagError::MultipleProducers {
-            file: "x".into(),
-            first: "a".into(),
-            second: "b".into(),
-        };
+        let e =
+            DagError::MultipleProducers { file: "x".into(), first: "a".into(), second: "b".into() };
         assert!(e.to_string().contains("multiple producers"));
     }
 

@@ -65,9 +65,8 @@ pub fn parse_workflow(text: &str) -> Result<Workflow, DagError> {
                 if toks.len() < 3 || toks.len() > 4 {
                     return Err(err(*line, "FILE <name> <size_bytes> [INITIAL]"));
                 }
-                let size: u64 = toks[2]
-                    .parse()
-                    .map_err(|_| err(*line, &format!("bad size `{}`", toks[2])))?;
+                let size: u64 =
+                    toks[2].parse().map_err(|_| err(*line, &format!("bad size `{}`", toks[2])))?;
                 let initial = match toks.get(3) {
                     None => false,
                     Some(t) if t.eq_ignore_ascii_case("INITIAL") => true,
@@ -125,14 +124,12 @@ pub fn parse_workflow(text: &str) -> Result<Workflow, DagError> {
                 if toks.len() < 3 {
                     return Err(err(*line, "INPUT/OUTPUT <job> <file>..."));
                 }
-                let job = b
-                    .job_id(toks[1])
-                    .ok_or_else(|| DagError::UnknownName(toks[1].to_string()))?;
+                let job =
+                    b.job_id(toks[1]).ok_or_else(|| DagError::UnknownName(toks[1].to_string()))?;
                 let mut files = Vec::with_capacity(toks.len() - 2);
                 for t in &toks[2..] {
-                    files.push(
-                        b.file_id(t).ok_or_else(|| DagError::UnknownName((*t).to_string()))?,
-                    );
+                    files
+                        .push(b.file_id(t).ok_or_else(|| DagError::UnknownName((*t).to_string()))?);
                 }
                 if toks[0].eq_ignore_ascii_case("INPUT") {
                     input_patches.push((job, files));
@@ -150,15 +147,11 @@ pub fn parse_workflow(text: &str) -> Result<Workflow, DagError> {
                 }
                 let parents: Result<Vec<JobId>, DagError> = toks[1..child_pos]
                     .iter()
-                    .map(|t| {
-                        b.job_id(t).ok_or_else(|| DagError::UnknownName((*t).to_string()))
-                    })
+                    .map(|t| b.job_id(t).ok_or_else(|| DagError::UnknownName((*t).to_string())))
                     .collect();
                 let children: Result<Vec<JobId>, DagError> = toks[child_pos + 1..]
                     .iter()
-                    .map(|t| {
-                        b.job_id(t).ok_or_else(|| DagError::UnknownName((*t).to_string()))
-                    })
+                    .map(|t| b.job_id(t).ok_or_else(|| DagError::UnknownName((*t).to_string())))
                     .collect();
                 for &p in &parents? {
                     for &c in &children.clone()? {
@@ -309,7 +302,8 @@ PARENT mDiffFit_0 CHILD mConcatFit
 
     #[test]
     fn bipartite_parent_child() {
-        let text = "JOB a t CPU 1\nJOB b t CPU 1\nJOB c t CPU 1\nJOB d t CPU 1\nPARENT a b CHILD c d";
+        let text =
+            "JOB a t CPU 1\nJOB b t CPU 1\nJOB c t CPU 1\nJOB d t CPU 1\nPARENT a b CHILD c d";
         let wf = parse_workflow(text).unwrap();
         assert_eq!(wf.edge_count(), 4);
     }

@@ -68,8 +68,8 @@ pub use error::DagError;
 pub use file::FileSpec;
 pub use format::{parse_workflow, write_workflow};
 pub use ids::{FileId, JobId, WorkflowId};
-pub use reduce::{lint, redundant_edges, transitive_reduction, LintFinding};
 pub use job::{JobBuilder, JobSpec, DEFAULT_TIMEOUT_SECS};
 pub use merge::merge;
+pub use reduce::{lint, redundant_edges, transitive_reduction, LintFinding};
 pub use tracker::{DependencyTracker, JobState, TrackerStats};
 pub use workflow::{Workflow, WorkflowBuilder};

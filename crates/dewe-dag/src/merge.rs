@@ -27,9 +27,8 @@ pub fn merge(name: impl Into<String>, members: &[&Workflow]) -> Workflow {
         }
         let mut job_map = Vec::with_capacity(wf.job_count());
         for j in wf.jobs() {
-            let mut jb = b
-                .job(format!("{prefix}{}", j.name), j.xform.clone(), j.cpu_seconds)
-                .cores(j.cores);
+            let mut jb =
+                b.job(format!("{prefix}{}", j.name), j.xform.clone(), j.cpu_seconds).cores(j.cores);
             if let Some(t) = j.timeout_secs {
                 jb = jb.timeout_secs(t);
             }

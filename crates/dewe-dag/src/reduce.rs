@@ -139,10 +139,7 @@ pub fn lint(wf: &Workflow) -> Vec<LintFinding> {
         }
     }
     for (u, v) in redundant_edges(wf) {
-        findings.push(LintFinding::RedundantEdge(
-            wf.job(u).name.clone(),
-            wf.job(v).name.clone(),
-        ));
+        findings.push(LintFinding::RedundantEdge(wf.job(u).name.clone(), wf.job(v).name.clone()));
     }
     findings
 }

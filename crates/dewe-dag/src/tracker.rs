@@ -45,6 +45,9 @@ pub struct DependencyTracker {
     state: Vec<JobState>,
     /// Jobs that became Ready and have not yet been taken by the engine.
     ready_queue: Vec<JobId>,
+    /// Per-job membership flag for `ready_queue`, so resubmission of a
+    /// Ready job is O(1) instead of a queue scan.
+    in_ready_queue: Vec<bool>,
     stats: TrackerStats,
 }
 
@@ -55,12 +58,14 @@ impl DependencyTracker {
         let mut remaining = Vec::with_capacity(n);
         let mut state = Vec::with_capacity(n);
         let mut ready_queue = Vec::new();
+        let mut in_ready_queue = vec![false; n];
         for j in workflow.job_ids() {
             let deg = workflow.in_degree(j) as u32;
             remaining.push(deg);
             if deg == 0 {
                 state.push(JobState::Ready);
                 ready_queue.push(j);
+                in_ready_queue[j.index()] = true;
             } else {
                 state.push(JobState::Pending);
             }
@@ -71,7 +76,7 @@ impl DependencyTracker {
             running: 0,
             completed: 0,
         };
-        Self { remaining, state, ready_queue, stats }
+        Self { remaining, state, ready_queue, in_ready_queue, stats }
     }
 
     /// Current state of a job.
@@ -87,7 +92,29 @@ impl DependencyTracker {
     /// between the master publishing a job to the dispatch topic and a
     /// worker's "running" acknowledgment.
     pub fn take_ready(&mut self) -> Vec<JobId> {
+        for &j in &self.ready_queue {
+            self.in_ready_queue[j.index()] = false;
+        }
         std::mem::take(&mut self.ready_queue)
+    }
+
+    /// Drain eligible jobs into `out` without giving up the queue's buffer
+    /// — the allocation-free flavor of [`take_ready`](Self::take_ready)
+    /// for steady-state dispatch loops.
+    pub fn drain_ready_into(&mut self, out: &mut Vec<JobId>) {
+        for &j in &self.ready_queue {
+            self.in_ready_queue[j.index()] = false;
+        }
+        out.append(&mut self.ready_queue);
+    }
+
+    /// Discard the ready queue's contents (the caller has already
+    /// dispatched or otherwise accounted for those jobs).
+    pub fn clear_ready(&mut self) {
+        for &j in &self.ready_queue {
+            self.in_ready_queue[j.index()] = false;
+        }
+        self.ready_queue.clear();
     }
 
     /// Number of jobs waiting in the ready queue (published or not).
@@ -133,13 +160,15 @@ impl DependencyTracker {
         self.stats.completed += 1;
     }
 
-    /// Convenience: mark completed and release children in one call.
-    pub fn complete_in(&mut self, workflow: &Workflow, id: JobId) -> Vec<JobId> {
+    /// Mark completed and release children onto the ready queue without
+    /// allocating — newly eligible jobs are picked up by the next
+    /// [`drain_ready_into`](Self::drain_ready_into) /
+    /// [`take_ready`](Self::take_ready). Duplicate completions are ignored.
+    pub fn complete(&mut self, workflow: &Workflow, id: JobId) {
         if self.state[id.index()] == JobState::Completed {
-            return Vec::new();
+            return;
         }
         self.mark_completed(id);
-        let mut newly = Vec::new();
         for &c in workflow.children(id) {
             let r = &mut self.remaining[c.index()];
             debug_assert!(*r > 0, "child {c:?} released more times than its in-degree");
@@ -150,10 +179,18 @@ impl DependencyTracker {
                 self.stats.pending -= 1;
                 self.stats.ready += 1;
                 self.ready_queue.push(c);
-                newly.push(c);
+                self.in_ready_queue[c.index()] = true;
             }
         }
-        newly
+    }
+
+    /// Convenience: mark completed and release children, returning the
+    /// newly eligible jobs (allocates; hot paths use
+    /// [`complete`](Self::complete) + [`drain_ready_into`](Self::drain_ready_into)).
+    pub fn complete_in(&mut self, workflow: &Workflow, id: JobId) -> Vec<JobId> {
+        let before = self.ready_queue.len();
+        self.complete(workflow, id);
+        self.ready_queue[before..].to_vec()
     }
 
     /// Put a Running job back to Ready (timeout resubmission, §III.B).
@@ -167,12 +204,14 @@ impl DependencyTracker {
                 self.stats.running -= 1;
                 self.stats.ready += 1;
                 self.ready_queue.push(id);
+                self.in_ready_queue[id.index()] = true;
                 true
             }
             JobState::Ready => {
                 // Published but never picked up: republish.
-                if !self.ready_queue.contains(&id) {
+                if !self.in_ready_queue[id.index()] {
                     self.ready_queue.push(id);
+                    self.in_ready_queue[id.index()] = true;
                 }
                 true
             }
@@ -301,6 +340,61 @@ mod tests {
         let wf = WorkflowBuilder::new("e").finish().unwrap();
         let t = DependencyTracker::new(&wf);
         assert!(t.is_complete());
+    }
+
+    #[test]
+    fn drain_ready_into_matches_take_ready_and_keeps_buffer() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        let mut buf = Vec::new();
+        t.drain_ready_into(&mut buf);
+        assert_eq!(buf, vec![JobId(0)]);
+        assert_eq!(t.ready_len(), 0);
+        buf.clear();
+        t.mark_running(JobId(0));
+        t.complete(&wf, JobId(0));
+        t.drain_ready_into(&mut buf);
+        assert_eq!(buf, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn clear_ready_resets_membership() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.clear_ready();
+        assert_eq!(t.ready_len(), 0);
+        // The cleared root is still Ready; resubmitting must requeue it
+        // exactly once (membership flag was reset by clear_ready).
+        assert!(t.resubmit(JobId(0)));
+        assert!(t.resubmit(JobId(0)));
+        assert_eq!(t.take_ready(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn resubmit_after_take_ready_requeues() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        assert_eq!(t.take_ready(), vec![JobId(0)]);
+        // Taken but never picked up by a worker: still Ready, and the
+        // membership flag must have been cleared by take_ready.
+        assert!(t.resubmit(JobId(0)));
+        assert_eq!(t.take_ready(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn complete_is_alloc_free_flavor_of_complete_in() {
+        let wf = chain3();
+        let mut a = DependencyTracker::new(&wf);
+        let mut b = DependencyTracker::new(&wf);
+        a.take_ready();
+        b.take_ready();
+        a.mark_running(JobId(0));
+        b.mark_running(JobId(0));
+        let newly = a.complete_in(&wf, JobId(0));
+        b.complete(&wf, JobId(0));
+        assert_eq!(newly, b.take_ready());
+        assert_eq!(a.take_ready(), newly);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -286,7 +286,10 @@ impl WorkflowBuilder {
             if !job.cpu_seconds.is_finite() || job.cpu_seconds < 0.0 {
                 return Err(DagError::InvalidField {
                     entity: job.name.clone(),
-                    message: format!("cpu_seconds must be finite and >= 0, got {}", job.cpu_seconds),
+                    message: format!(
+                        "cpu_seconds must be finite and >= 0, got {}",
+                        job.cpu_seconds
+                    ),
                 });
             }
             if job.cores == 0 {

@@ -5,8 +5,8 @@
 //! structural invariants the engines rely on.
 
 use dewe_dag::{
-    parse_workflow, write_workflow, CriticalPath, DependencyTracker, JobId, JobState,
-    LevelProfile, Workflow, WorkflowBuilder,
+    parse_workflow, write_workflow, CriticalPath, DependencyTracker, JobId, JobState, LevelProfile,
+    Workflow, WorkflowBuilder,
 };
 use proptest::prelude::*;
 
@@ -21,16 +21,9 @@ struct RandomDag {
 }
 
 fn random_dag_strategy() -> impl Strategy<Value = RandomDag> {
-    (
-        prop::collection::vec(1usize..6, 1..6),
-        any::<u64>(),
-        0.05f64..0.9,
+    (prop::collection::vec(1usize..6, 1..6), any::<u64>(), 0.05f64..0.9).prop_map(
+        |(layer_sizes, edge_seed, edge_density)| RandomDag { layer_sizes, edge_seed, edge_density },
     )
-        .prop_map(|(layer_sizes, edge_seed, edge_density)| RandomDag {
-            layer_sizes,
-            edge_seed,
-            edge_density,
-        })
 }
 
 /// Cheap deterministic hash for edge selection (splitmix64).

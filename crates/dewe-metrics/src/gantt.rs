@@ -46,10 +46,7 @@ impl Gantt {
 
     /// Makespan (latest finish time, seconds).
     pub fn makespan(&self) -> f64 {
-        self.spans
-            .iter()
-            .map(|s| s.timings.finished.as_secs_f64())
-            .fold(0.0, f64::max)
+        self.spans.iter().map(|s| s.timings.finished.as_secs_f64()).fold(0.0, f64::max)
     }
 
     /// Total compute seconds across all jobs.
@@ -68,11 +65,7 @@ impl Gantt {
         let nodes = self.spans.iter().map(|s| s.node).max().map_or(0, |m| m + 1);
         let mut order: Vec<usize> = (0..self.spans.len()).collect();
         order.sort_by(|&a, &b| {
-            self.spans[a]
-                .timings
-                .submitted
-                .cmp(&self.spans[b].timings.submitted)
-                .then(a.cmp(&b))
+            self.spans[a].timings.submitted.cmp(&self.spans[b].timings.submitted).then(a.cmp(&b))
         });
         let mut per_node: Vec<Vec<Vec<usize>>> = vec![Vec::new(); nodes];
         // slot_free[node][slot] = time the slot becomes free
@@ -119,24 +112,9 @@ impl Gantt {
                             }
                         }
                     };
-                    paint(
-                        &mut row,
-                        t.submitted.as_secs_f64(),
-                        t.read_done.as_secs_f64(),
-                        b'-',
-                    );
-                    paint(
-                        &mut row,
-                        t.read_done.as_secs_f64(),
-                        t.compute_done.as_secs_f64(),
-                        b'#',
-                    );
-                    paint(
-                        &mut row,
-                        t.compute_done.as_secs_f64(),
-                        t.finished.as_secs_f64(),
-                        b'-',
-                    );
+                    paint(&mut row, t.submitted.as_secs_f64(), t.read_done.as_secs_f64(), b'-');
+                    paint(&mut row, t.read_done.as_secs_f64(), t.compute_done.as_secs_f64(), b'#');
+                    paint(&mut row, t.compute_done.as_secs_f64(), t.finished.as_secs_f64(), b'-');
                 }
                 out.push_str(&format!("  s{slot:02} |{}|\n", String::from_utf8(row).unwrap()));
             }

@@ -52,10 +52,7 @@ impl TimeSeries {
     /// MB/s rate series yields total MB, the quantity behind the paper's
     /// "total disk writes" bars (Fig. 7c).
     pub fn integrate(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0))
-            .sum()
+        self.points.windows(2).map(|w| 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0)).sum()
     }
 
     /// Last sample time (0.0 when empty).

@@ -38,12 +38,7 @@ impl CyberShakeConfig {
     /// A workflow with the given fan-out width.
     pub fn new(variations: usize) -> Self {
         assert!(variations > 0);
-        Self {
-            variations,
-            name: format!("cybershake_{variations}"),
-            seed: 42,
-            jitter: 0.2,
-        }
+        Self { variations, name: format!("cybershake_{variations}"), seed: 42, jitter: 0.2 }
     }
 
     /// Override the RNG seed.

@@ -95,22 +95,38 @@ impl EpigenomicsConfig {
 
             let mut mapped = Vec::with_capacity(self.chunks_per_lane);
             for (c, &chunk) in chunk_files.iter().enumerate() {
-                let filtered = b.file(format!("l{l}_c{c}.filtered"), 900_000_000 / self.chunks_per_lane as u64, false);
+                let filtered = b.file(
+                    format!("l{l}_c{c}.filtered"),
+                    900_000_000 / self.chunks_per_lane as u64,
+                    false,
+                );
                 b.job(format!("l{l}_c{c}_filterContams"), "filterContams", jit(120.0))
                     .input(chunk)
                     .output(filtered)
                     .build();
-                let sanger = b.file(format!("l{l}_c{c}.sanger"), 900_000_000 / self.chunks_per_lane as u64, false);
+                let sanger = b.file(
+                    format!("l{l}_c{c}.sanger"),
+                    900_000_000 / self.chunks_per_lane as u64,
+                    false,
+                );
                 b.job(format!("l{l}_c{c}_sol2sanger"), "sol2sanger", jit(40.0))
                     .input(filtered)
                     .output(sanger)
                     .build();
-                let bfq = b.file(format!("l{l}_c{c}.bfq"), 400_000_000 / self.chunks_per_lane as u64, false);
+                let bfq = b.file(
+                    format!("l{l}_c{c}.bfq"),
+                    400_000_000 / self.chunks_per_lane as u64,
+                    false,
+                );
                 b.job(format!("l{l}_c{c}_fastq2bfq"), "fastq2bfq", jit(25.0))
                     .input(sanger)
                     .output(bfq)
                     .build();
-                let map = b.file(format!("l{l}_c{c}.map"), 300_000_000 / self.chunks_per_lane as u64, false);
+                let map = b.file(
+                    format!("l{l}_c{c}.map"),
+                    300_000_000 / self.chunks_per_lane as u64,
+                    false,
+                );
                 b.job(format!("l{l}_c{c}_map"), "map", jit(280.0)).input(bfq).output(map).build();
                 mapped.push(map);
             }

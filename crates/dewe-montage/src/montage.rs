@@ -456,9 +456,8 @@ mod tests {
         // L0 = mProjectPP, L1 = mDiffFit, L2 = mConcatFit, L3 = mBgModel,
         // L4 = mBackground, L5..=7 = mImgTbl, mAdd, mShrink, mJpeg
         assert_eq!(lp.depth(), 9);
-        let names_at = |l: usize| {
-            lp.levels[l].iter().map(|&j| wf.job(j).xform.clone()).collect::<Vec<_>>()
-        };
+        let names_at =
+            |l: usize| lp.levels[l].iter().map(|&j| wf.job(j).xform.clone()).collect::<Vec<_>>();
         assert!(names_at(0).iter().all(|x| x == "mProjectPP"));
         assert!(names_at(1).iter().all(|x| x == "mDiffFit"));
         assert_eq!(names_at(2), vec!["mConcatFit"]);
@@ -521,11 +520,7 @@ mod tests {
         assert_eq!(wf.job(c).cores, 8);
         assert_eq!(wf.job(m).cores, 8);
         // Regular jobs stay serial.
-        assert!(wf
-            .jobs()
-            .iter()
-            .filter(|j| j.xform == "mProjectPP")
-            .all(|j| j.cores == 1));
+        assert!(wf.jobs().iter().filter(|j| j.xform == "mProjectPP").all(|j| j.cores == 1));
     }
 
     #[test]
@@ -546,7 +541,7 @@ mod tests {
     fn overlap_pairs_grid_count() {
         let pairs = overlap_pairs(5, 0, 1);
         assert_eq!(pairs.len(), 4 * (4 * 5 - 2)); // (n-1)(4n-2)
-        // no self-pairs, all indices in range
+                                                  // no self-pairs, all indices in range
         for (a, b) in pairs {
             assert_ne!(a, b);
             assert!(a < 25 && b < 25);

@@ -14,11 +14,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..1000).prop_map(Op::Publish),
-        Just(Op::TryPull),
-        Just(Op::Len),
-    ]
+    prop_oneof![(0u32..1000).prop_map(Op::Publish), Just(Op::TryPull), Just(Op::Len),]
 }
 
 proptest! {

@@ -161,10 +161,7 @@ mod tests {
     #[should_panic(expected = "strictly ordered")]
     fn plan_steps_must_be_ordered() {
         let _ = DynamicPlan::new(
-            vec![
-                ScaleAction { at_secs: 0.0, nodes: 1 },
-                ScaleAction { at_secs: 0.0, nodes: 2 },
-            ],
+            vec![ScaleAction { at_secs: 0.0, nodes: 1 }, ScaleAction { at_secs: 0.0, nodes: 2 }],
             10.0,
         );
     }

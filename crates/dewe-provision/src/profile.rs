@@ -93,8 +93,7 @@ impl Profiler {
         workflows: usize,
         storage: StorageConfig,
     ) -> f64 {
-        let wfs: Vec<Arc<Workflow>> =
-            (0..workflows).map(|_| Arc::clone(&self.template)).collect();
+        let wfs: Vec<Arc<Workflow>> = (0..workflows).map(|_| Arc::clone(&self.template)).collect();
         let mut cfg = SimRunConfig::new(ClusterConfig { instance: *instance, nodes, storage });
         cfg.submission = SubmissionPlan::Batch;
         cfg.per_job_overhead_secs = self.config.per_job_overhead_secs;
@@ -152,6 +151,8 @@ mod tests {
             assert!(w[1].p <= w[0].p * 1.05, "{:?}", r.multi_node);
         }
         assert!(r.converged_index > 0.0);
-        assert!(r.converged_index <= r.multi_node.iter().map(|p| p.p).fold(f64::MAX, f64::min) + 1e-12);
+        assert!(
+            r.converged_index <= r.multi_node.iter().map(|p| p.p).fold(f64::MAX, f64::min) + 1e-12
+        );
     }
 }

@@ -80,10 +80,7 @@ mod tests {
                 "r3.8xlarge" => 25,
                 _ => 23,
             };
-            assert!(
-                (n as i64 - paper_n).abs() <= 1,
-                "{name}: got {n}, paper used {paper_n}"
-            );
+            assert!((n as i64 - paper_n).abs() <= 1, "{name}: got {n}, paper used {paper_n}");
         }
     }
 

@@ -108,9 +108,7 @@ mod tests {
             v.plan.predicted_secs
         );
         assert!(v.measured_cost > 0.0);
-        assert!(
-            (v.measured_price_per_workflow * workflows as f64 - v.measured_cost).abs() < 1e-9
-        );
+        assert!((v.measured_price_per_workflow * workflows as f64 - v.measured_cost).abs() < 1e-9);
     }
 
     #[test]

@@ -167,8 +167,7 @@ mod tests {
 
     #[test]
     fn single_deadline_single_candidate() {
-        let frontier =
-            cost_deadline_frontier(&[(&C3_8XLARGE, 0.0015)], 50, &[3600.0]);
+        let frontier = cost_deadline_frontier(&[(&C3_8XLARGE, 0.0015)], 50, &[3600.0]);
         assert_eq!(frontier.len(), 1);
         assert_eq!(frontier[0].plan.instance, "c3.8xlarge");
         assert_eq!(knee(&frontier, 0.1), 0);
@@ -181,8 +180,7 @@ mod tests {
         // inside one hour, and is cheaper.
         let naive_nodes = crate::sizing::required_nodes(200, 0.0015, 5400.0);
         let naive_secs = 200.0 / (0.0015 * naive_nodes as f64);
-        let naive_cost =
-            CostModel::hourly(C3_8XLARGE.price_per_hour).cost(naive_nodes, naive_secs);
+        let naive_cost = CostModel::hourly(C3_8XLARGE.price_per_hour).cost(naive_nodes, naive_secs);
         let smart = billing_aware_plan(&C3_8XLARGE, 0.0015, 200, 5400.0);
         assert!(
             smart.predicted_cost < naive_cost,

@@ -35,7 +35,14 @@ impl WriteBucket {
     /// `cache_rate` the in-memory absorption speed.
     pub fn new(drain_rate: f64, dirty_limit: f64, cache_rate: f64) -> Self {
         assert!(drain_rate > 0.0 && cache_rate > 0.0 && dirty_limit >= 0.0);
-        Self { drain_rate, cache_rate, dirty_limit, dirty: 0.0, last: SimTime::ZERO, total_logical: 0.0 }
+        Self {
+            drain_rate,
+            cache_rate,
+            dirty_limit,
+            dirty: 0.0,
+            last: SimTime::ZERO,
+            total_logical: 0.0,
+        }
     }
 
     /// Device drain rate in bytes/second.
@@ -157,7 +164,7 @@ mod tests {
     fn full_budget_stalls_writer() {
         let mut b = bucket();
         b.submit(t(0.0), 1000.0); // fills the budget
-        // Immediately write 300 more: must wait for 300 to drain (3 s).
+                                  // Immediately write 300 more: must wait for 300 to drain (3 s).
         let done = b.submit(t(0.0), 300.0);
         assert!((done.as_secs_f64() - (3.0 + 0.03)).abs() < 1e-3, "{done:?}");
     }

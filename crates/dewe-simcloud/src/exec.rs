@@ -18,10 +18,9 @@
 //! schedule [`SimEvent::Wake`] timers for their own protocol logic (timeout
 //! scans, submission intervals, sampling ticks).
 
-use std::collections::HashMap;
-
 use crate::cluster::{Cluster, ClusterConfig, NodeCounters, NodeId};
 use crate::fairshare::FlowId;
+use crate::hash::TokenMap;
 use crate::kernel::{EventId, EventQueue};
 use crate::storage::Storage;
 use crate::time::SimTime;
@@ -124,15 +123,27 @@ struct RunningJob {
     timings: JobTimings,
 }
 
+struct JobSlot {
+    gen: u32,
+    job: Option<RunningJob>,
+}
+
 /// The execution simulator: a cluster, an event queue, and in-flight jobs.
 pub struct ExecSim {
     queue: EventQueue<Ev>,
     cluster: Cluster,
-    jobs: HashMap<u64, RunningJob>,
-    next_job: u64,
+    /// In-flight jobs in a generation slab. A job id encodes
+    /// `(generation << 32) | slot`, so ids stay globally unique (required —
+    /// they double as fair-share flow tags) while every per-event job
+    /// access is a vector index instead of a hash lookup.
+    jobs: Vec<JobSlot>,
+    free_jobs: Vec<u32>,
+    running: usize,
     next_wake: u64,
-    wakes: HashMap<u64, (u64, EventId)>, // wake id -> (token, event)
+    wakes: TokenMap<(u64, EventId)>, // wake id -> (token, event)
     read_events: Vec<Option<EventId>>,
+    /// Reusable buffer for harvesting completed read flows.
+    read_done_scratch: Vec<u64>,
     out: std::collections::VecDeque<SimEvent>,
     finished_jobs: u64,
 }
@@ -149,14 +160,61 @@ impl ExecSim {
         Self {
             queue: EventQueue::new(),
             cluster,
-            jobs: HashMap::new(),
-            next_job: 0,
+            jobs: Vec::new(),
+            free_jobs: Vec::new(),
+            running: 0,
             next_wake: 0,
-            wakes: HashMap::new(),
+            wakes: TokenMap::default(),
             read_events,
+            read_done_scratch: Vec::new(),
             out: std::collections::VecDeque::new(),
             finished_jobs: 0,
         }
+    }
+
+    /// The id the next [`Self::alloc_job`] call will hand out; events and
+    /// flow tags referencing the job can be created before it is inserted.
+    fn peek_jid(&self) -> u64 {
+        let slot = self.free_jobs.last().copied().unwrap_or(self.jobs.len() as u32);
+        let gen = self.jobs.get(slot as usize).map_or(0, |s| s.gen);
+        ((gen as u64) << 32) | slot as u64
+    }
+
+    fn alloc_job(&mut self, job: RunningJob) -> u64 {
+        let slot = match self.free_jobs.pop() {
+            Some(slot) => {
+                self.jobs[slot as usize].job = Some(job);
+                slot
+            }
+            None => {
+                self.jobs.push(JobSlot { gen: 0, job: Some(job) });
+                (self.jobs.len() - 1) as u32
+            }
+        };
+        self.running += 1;
+        ((self.jobs[slot as usize].gen as u64) << 32) | slot as u64
+    }
+
+    fn job_mut(&mut self, jid: u64) -> Option<&mut RunningJob> {
+        let (gen, slot) = ((jid >> 32) as u32, jid as u32);
+        let entry = self.jobs.get_mut(slot as usize)?;
+        if entry.gen != gen {
+            return None;
+        }
+        entry.job.as_mut()
+    }
+
+    fn remove_job(&mut self, jid: u64) -> Option<RunningJob> {
+        let (gen, slot) = ((jid >> 32) as u32, jid as u32);
+        let entry = self.jobs.get_mut(slot as usize)?;
+        if entry.gen != gen {
+            return None;
+        }
+        let job = entry.job.take()?;
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free_jobs.push(slot);
+        self.running -= 1;
+        Some(job)
     }
 
     /// Current simulation time.
@@ -181,7 +239,7 @@ impl ExecSim {
 
     /// Jobs currently in flight.
     pub fn running_jobs(&self) -> usize {
-        self.jobs.len()
+        self.running
     }
 
     /// Jobs finished so far.
@@ -200,8 +258,7 @@ impl ExecSim {
     /// per vCPU, §III.D).
     pub fn submit_job(&mut self, token: u64, node: NodeId, profile: &JobProfile) {
         let now = self.queue.now();
-        let jid = self.next_job;
-        self.next_job += 1;
+        let jid = self.peek_jid();
 
         self.cluster.thread_started(node);
 
@@ -227,45 +284,33 @@ impl ExecSim {
         let timings =
             JobTimings { submitted: now, read_done: now, compute_done: now, finished: now };
 
-        if miss_bytes > 0.0 {
+        let phase = if miss_bytes > 0.0 {
             let backend = self.cluster.storage().backend_of(node);
             let flow = self.cluster.storage_mut().begin_read(node, now, miss_bytes, jid);
-            self.jobs.insert(
-                jid,
-                RunningJob {
-                    token,
-                    node,
-                    phase: Phase::Reading { flow, backend },
-                    missed,
-                    miss_bytes,
-                    hit_secs,
-                    cpu_wall_secs,
-                    cores_used,
-                    writes: profile.writes.clone(),
-                    timings,
-                },
-            );
-            self.resched_backend(backend);
+            Phase::Reading { flow, backend }
         } else {
             // Straight to compute.
             self.cluster.start_compute(node, cores_used, now);
-            let event =
-                self.queue.schedule_in(hit_secs + cpu_wall_secs, Ev::ComputeDone(jid));
-            self.jobs.insert(
-                jid,
-                RunningJob {
-                    token,
-                    node,
-                    phase: Phase::Computing { event, cores: cores_used },
-                    missed,
-                    miss_bytes,
-                    hit_secs,
-                    cpu_wall_secs,
-                    cores_used,
-                    writes: profile.writes.clone(),
-                    timings,
-                },
-            );
+            let event = self.queue.schedule_in(hit_secs + cpu_wall_secs, Ev::ComputeDone(jid));
+            Phase::Computing { event, cores: cores_used }
+        };
+        let reading = matches!(phase, Phase::Reading { .. });
+        let assigned = self.alloc_job(RunningJob {
+            token,
+            node,
+            phase,
+            missed,
+            miss_bytes,
+            hit_secs,
+            cpu_wall_secs,
+            cores_used,
+            writes: profile.writes.clone(),
+            timings,
+        });
+        debug_assert_eq!(assigned, jid, "flow tag and job id must agree");
+        if reading {
+            let backend = self.cluster.storage().backend_of(node);
+            self.resched_backend(backend);
         }
     }
 
@@ -293,13 +338,14 @@ impl ExecSim {
         let victims: Vec<u64> = self
             .jobs
             .iter()
-            .filter(|(_, j)| j.node == node)
-            .map(|(&jid, _)| jid)
+            .enumerate()
+            .filter(|(_, s)| s.job.as_ref().is_some_and(|j| j.node == node))
+            .map(|(slot, s)| ((s.gen as u64) << 32) | slot as u64)
             .collect();
         let mut tokens = Vec::with_capacity(victims.len());
         let mut backends_touched = Vec::new();
         for jid in victims {
-            let job = self.jobs.remove(&jid).expect("victim exists");
+            let job = self.remove_job(jid).expect("victim exists");
             match job.phase {
                 Phase::Reading { flow, backend } => {
                     self.cluster.storage_mut().cancel_read(backend, now, flow);
@@ -359,9 +405,11 @@ impl ExecSim {
     fn on_read_wake(&mut self, backend: usize) {
         let now = self.queue.now();
         self.read_events[backend] = None;
-        let done = self.cluster.storage_mut().pop_read_completed(backend, now);
-        for jid in done {
-            let Some(job) = self.jobs.get_mut(&jid) else { continue };
+        let mut done = std::mem::take(&mut self.read_done_scratch);
+        done.clear();
+        self.cluster.storage_mut().pop_read_completed_into(backend, now, &mut done);
+        for &jid in &done {
+            let Some(job) = self.job_mut(jid) else { continue };
             job.timings.read_done = now;
             let node = job.node;
             let miss_bytes = job.miss_bytes;
@@ -369,46 +417,50 @@ impl ExecSim {
             let dur = job.hit_secs + job.cpu_wall_secs;
             let missed = std::mem::take(&mut job.missed);
             // Read-allocate: the data just fetched is now resident.
-            for (key, bytes) in missed {
+            for &(key, bytes) in &missed {
                 self.cluster.storage_mut().cache_insert(node, key, bytes);
             }
             self.cluster.add_read_bytes(node, miss_bytes);
             self.cluster.start_compute(node, cores, now);
             let event = self.queue.schedule_in(dur, Ev::ComputeDone(jid));
-            self.jobs.get_mut(&jid).expect("job still present").phase =
-                Phase::Computing { event, cores };
+            self.job_mut(jid).expect("job still present").phase = Phase::Computing { event, cores };
         }
+        self.read_done_scratch = done;
         self.resched_backend(backend);
     }
 
     fn on_compute_done(&mut self, jid: u64) {
         let now = self.queue.now();
-        let Some(job) = self.jobs.get_mut(&jid) else { return };
+        let Some(job) = self.job_mut(jid) else { return };
         job.timings.compute_done = now;
         let node = job.node;
         let cores = job.cores_used;
+        // Borrow the write list out of the job (instead of cloning it) while
+        // the storage substrate is driven.
+        let writes = std::mem::take(&mut job.writes);
         self.cluster.end_compute(node, cores, now);
-        let job = self.jobs.get_mut(&jid).expect("job present");
-        if job.writes.is_empty() {
+        if writes.is_empty() {
             self.finish_job(jid);
         } else {
-            let writes = job.writes.clone();
             let mut latest = now;
             for &(_, bytes) in &writes {
                 let done = self.cluster.storage_mut().submit_write(node, now, bytes);
                 latest = latest.max(done);
             }
             let event = self.queue.schedule(latest, Ev::WriteDone(jid));
-            self.jobs.get_mut(&jid).expect("job present").phase = Phase::Writing { event };
+            let job = self.job_mut(jid).expect("job present");
+            job.writes = writes;
+            job.phase = Phase::Writing { event };
         }
     }
 
     fn on_write_done(&mut self, jid: u64) {
-        let Some(job) = self.jobs.get(&jid) else { return };
+        let Some(job) = self.job_mut(jid) else { return };
         let node = job.node;
-        let writes = job.writes.clone();
+        // The job is removed in `finish_job` below; no need to restore.
+        let writes = std::mem::take(&mut job.writes);
         let total: f64 = writes.iter().map(|&(_, b)| b).sum();
-        for (key, bytes) in writes {
+        for &(key, bytes) in &writes {
             self.cluster.storage_mut().cache_insert(node, key, bytes);
         }
         self.cluster.add_write_bytes(node, total);
@@ -417,7 +469,7 @@ impl ExecSim {
 
     fn finish_job(&mut self, jid: u64) {
         let now = self.queue.now();
-        let mut job = self.jobs.remove(&jid).expect("finishing job exists");
+        let mut job = self.remove_job(jid).expect("finishing job exists");
         job.timings.finished = now;
         self.cluster.thread_finished(job.node);
         self.finished_jobs += 1;
@@ -476,12 +528,8 @@ mod tests {
     fn cold_read_pays_disk_bandwidth() {
         let mut s = sim(1);
         // c3 DistFs single node: 250 MB/s * 0.9 = 225 MB/s.
-        let profile = JobProfile {
-            reads: vec![(1, 225e6)],
-            cpu_seconds: 1.0,
-            cores: 1,
-            writes: vec![],
-        };
+        let profile =
+            JobProfile { reads: vec![(1, 225e6)], cpu_seconds: 1.0, cores: 1, writes: vec![] };
         s.submit_job(1, 0, &profile);
         let done = finish(&mut s);
         let t = &done[0].1;
@@ -493,20 +541,10 @@ mod tests {
     fn warm_read_is_nearly_free() {
         let mut s = sim(1);
         // First job writes the file; second reads it (cache hit).
-        let w = JobProfile {
-            reads: vec![],
-            cpu_seconds: 1.0,
-            cores: 1,
-            writes: vec![(1, 225e6)],
-        };
+        let w = JobProfile { reads: vec![], cpu_seconds: 1.0, cores: 1, writes: vec![(1, 225e6)] };
         s.submit_job(1, 0, &w);
         let _ = finish(&mut s);
-        let r = JobProfile {
-            reads: vec![(1, 225e6)],
-            cpu_seconds: 1.0,
-            cores: 1,
-            writes: vec![],
-        };
+        let r = JobProfile { reads: vec![(1, 225e6)], cpu_seconds: 1.0, cores: 1, writes: vec![] };
         s.submit_job(2, 0, &r);
         let done = finish(&mut s);
         let t = &done[0].1;
@@ -516,12 +554,7 @@ mod tests {
     #[test]
     fn write_phase_finishes_after_compute() {
         let mut s = sim(1);
-        let p = JobProfile {
-            reads: vec![],
-            cpu_seconds: 2.0,
-            cores: 1,
-            writes: vec![(9, 100e6)],
-        };
+        let p = JobProfile { reads: vec![], cpu_seconds: 2.0, cores: 1, writes: vec![(9, 100e6)] };
         s.submit_job(1, 0, &p);
         let done = finish(&mut s);
         let t = &done[0].1;
@@ -592,18 +625,10 @@ mod tests {
         let mut s = sim(2);
         // Aggregate 2-node DistFs capacity on c3.
         let cap = 250e6 * 2.0 * 0.9 / (1.0 + 0.015);
-        let big = JobProfile {
-            reads: vec![(1, cap * 20.0)],
-            cpu_seconds: 0.0,
-            cores: 1,
-            writes: vec![],
-        };
-        let small = JobProfile {
-            reads: vec![(2, cap * 2.0)],
-            cpu_seconds: 0.0,
-            cores: 1,
-            writes: vec![],
-        };
+        let big =
+            JobProfile { reads: vec![(1, cap * 20.0)], cpu_seconds: 0.0, cores: 1, writes: vec![] };
+        let small =
+            JobProfile { reads: vec![(2, cap * 2.0)], cpu_seconds: 0.0, cores: 1, writes: vec![] };
         s.submit_job(1, 0, &big);
         s.submit_job(2, 1, &small);
         s.kill_jobs_on(0);

@@ -13,9 +13,10 @@
 //! workers (§III.A); equal-share fluid flow is the canonical model of that
 //! assumption.
 
+use crate::hash::TokenMap;
 use crate::time::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Identifies an in-flight flow on one [`FairShare`] resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,7 +48,7 @@ pub struct FairShare {
     vnow: f64,
     /// Wall-clock moment `vnow` was last advanced to.
     last: SimTime,
-    flows: HashMap<u64, Flow>,
+    flows: TokenMap<Flow>,
     heap: BinaryHeap<Reverse<(Vf, u64)>>,
     next_id: u64,
     /// Total bytes delivered to completed flows (for throughput accounting).
@@ -67,7 +68,7 @@ impl FairShare {
             capacity: capacity_bytes_per_sec,
             vnow: 0.0,
             last: SimTime::ZERO,
-            flows: HashMap::new(),
+            flows: TokenMap::default(),
             heap: BinaryHeap::new(),
             next_id: 0,
             completed_bytes: 0.0,
@@ -168,8 +169,15 @@ impl FairShare {
 
     /// Harvest all flows that have completed by `now`, returning their tags.
     pub fn pop_completed(&mut self, now: SimTime) -> Vec<u64> {
-        self.advance(now);
         let mut done = Vec::new();
+        self.pop_completed_into(now, &mut done);
+        done
+    }
+
+    /// Like [`Self::pop_completed`], appending the tags to `done` so a
+    /// caller-owned buffer can be reused across harvests.
+    pub fn pop_completed_into(&mut self, now: SimTime, done: &mut Vec<u64>) {
+        self.advance(now);
         let eps = 1e-6 * self.vnow.abs().max(1.0);
         while let Some(Reverse((Vf(vf), id))) = self.heap.peek() {
             let id = *id;
@@ -187,7 +195,6 @@ impl FairShare {
                 Some(_) => break,
             }
         }
-        done
     }
 }
 

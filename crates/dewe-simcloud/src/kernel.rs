@@ -5,8 +5,29 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Handle to a scheduled event, usable for cancellation.
+///
+/// Encodes `(generation << 32) | slot`; the generation is bumped every
+/// time a slot is vacated, so a stale handle (fired or cancelled event,
+/// possibly with the slot since reused) can never cancel a newer event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn pack(gen: u32, slot: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
+struct Slot<E> {
+    gen: u32,
+    payload: Option<E>,
+}
 
 /// A deterministic future-event list.
 ///
@@ -16,10 +37,18 @@ pub struct EventId(u64);
 /// are skipped (and freed) on pop; this supports the fair-share resources,
 /// whose predicted completion events are rescheduled whenever a flow joins
 /// or leaves.
+///
+/// Payloads live in a slab of generation-checked slots rather than a map:
+/// schedule and pop — paid by every event in the simulation — touch only a
+/// vector index and the heap, never a hash table.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
-    /// Payloads keyed by sequence number; `None` = cancelled.
-    payloads: std::collections::HashMap<u64, E>,
+    /// `Reverse<(time, schedule seq, packed slot id)>`. The sequence number
+    /// is globally monotonic and gives simultaneous events their
+    /// schedule-order tie-break; the packed id locates the payload.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    live: usize,
     seq: u64,
     now: SimTime,
 }
@@ -35,7 +64,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             seq: 0,
             now: SimTime::ZERO,
         }
@@ -52,11 +83,21 @@ impl<E> EventQueue<E> {
     /// absorbs float round-off in duration computations.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
         let at = at.max(self.now);
-        let id = self.seq;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].payload = Some(event);
+                slot
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, payload: Some(event) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = EventId::pack(self.slots[slot as usize].gen, slot);
+        self.heap.push(Reverse((at, self.seq, id.0)));
         self.seq += 1;
-        self.heap.push(Reverse((at, id)));
-        self.payloads.insert(id, event);
-        EventId(id)
+        self.live += 1;
+        id
     }
 
     /// Schedule `event` after `delay_secs` seconds of simulated time.
@@ -65,16 +106,31 @@ impl<E> EventQueue<E> {
         self.schedule(at, event)
     }
 
+    /// Take the payload if `id` still names a live event, vacating its slot.
+    #[inline]
+    fn extract(&mut self, id: EventId) -> Option<E> {
+        let (gen, slot) = id.unpack();
+        let entry = self.slots.get_mut(slot as usize)?;
+        if entry.gen != gen {
+            return None; // already fired or cancelled; slot may be reused
+        }
+        let payload = entry.payload.take()?;
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        Some(payload)
+    }
+
     /// Cancel a scheduled event. Idempotent; cancelling an already-fired
     /// event is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.payloads.remove(&id.0);
+        let _ = self.extract(id);
     }
 
     /// Pop the next live event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse((at, id))) = self.heap.pop() {
-            if let Some(payload) = self.payloads.remove(&id) {
+        while let Some(Reverse((at, _, id))) = self.heap.pop() {
+            if let Some(payload) = self.extract(EventId(id)) {
                 debug_assert!(at >= self.now, "time must be monotonic");
                 self.now = at;
                 return Some((at, payload));
@@ -86,8 +142,9 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(&Reverse((at, id))) = self.heap.peek() {
-            if self.payloads.contains_key(&id) {
+        while let Some(&Reverse((at, _, id))) = self.heap.peek() {
+            let (gen, slot) = EventId(id).unpack();
+            if self.slots[slot as usize].gen == gen {
                 return Some(at);
             }
             self.heap.pop();
@@ -97,12 +154,12 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.payloads.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.payloads.is_empty()
+        self.live == 0
     }
 }
 
@@ -157,6 +214,19 @@ mod tests {
         q.pop();
         q.cancel(id); // no panic
         q.cancel(id);
+    }
+
+    #[test]
+    fn stale_id_does_not_cancel_reused_slot() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        let dead = q.schedule(SimTime::from_secs(1), "first");
+        q.pop();
+        // The freed slot is reused by the next schedule; the stale handle
+        // must not be able to cancel the new occupant.
+        let live = q.schedule(SimTime::from_secs(2), "second");
+        assert_ne!(dead, live);
+        q.cancel(dead);
+        assert_eq!(q.pop().unwrap().1, "second");
     }
 
     #[test]

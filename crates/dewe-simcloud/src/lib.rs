@@ -67,6 +67,7 @@ mod cluster;
 mod cost;
 mod exec;
 mod fairshare;
+mod hash;
 mod instance;
 mod kernel;
 mod readcache;

@@ -11,7 +11,8 @@
 //! Hits are all-or-nothing per file: partial residency is treated as a miss
 //! (the dominant Montage files are a few MB, small against cache budgets).
 
-use std::collections::{HashMap, VecDeque};
+use crate::hash::TokenMap;
+use std::collections::VecDeque;
 
 /// FIFO cache over opaque file keys.
 #[derive(Debug, Clone)]
@@ -19,7 +20,7 @@ pub struct ReadCache {
     capacity: f64,
     used: f64,
     /// Resident entries: key -> (bytes, generation).
-    entries: HashMap<u64, (f64, u64)>,
+    entries: TokenMap<(f64, u64)>,
     /// Insertion order with generations; stale generations are skipped.
     order: VecDeque<(u64, u64)>,
     next_gen: u64,
@@ -36,7 +37,7 @@ impl ReadCache {
         Self {
             capacity: capacity_bytes,
             used: 0.0,
-            entries: HashMap::new(),
+            entries: TokenMap::default(),
             order: VecDeque::new(),
             next_gen: 0,
             hits: 0,

@@ -194,11 +194,18 @@ impl Storage {
 
     /// Harvest completed reads on a backend; returns their tags.
     pub fn pop_read_completed(&mut self, backend: usize, now: SimTime) -> Vec<u64> {
+        let mut tags = Vec::new();
+        self.pop_read_completed_into(backend, now, &mut tags);
+        tags
+    }
+
+    /// Like [`Self::pop_read_completed`], appending tags to a reusable
+    /// caller-owned buffer.
+    pub fn pop_read_completed_into(&mut self, backend: usize, now: SimTime, tags: &mut Vec<u64>) {
         let b = &mut self.backends[backend];
         let before = b.read.completed_bytes();
-        let tags = b.read.pop_completed(now);
+        b.read.pop_completed_into(now, tags);
         b.bytes_read_completed += b.read.completed_bytes() - before;
-        tags
     }
 
     /// Submit a write of `bytes` from `node`; returns its completion time.

@@ -21,15 +21,15 @@ fn main() {
     let template = Arc::new(MontageConfig::degree(degree).build());
     let cluster =
         ClusterConfig { instance: C3_8XLARGE, nodes: 1, storage: StorageConfig::LocalDisk };
-    println!(
-        "{} jobs per workflow; single c3.8xlarge (32 vCPU)\n",
-        template.job_count()
-    );
+    println!("{} jobs per workflow; single c3.8xlarge (32 vCPU)\n", template.job_count());
     println!(
         "{:>3}  {:>22}  {:>24}  {:>22}",
         "W", "makespan (s)", "total CPU (core-s)", "disk writes (GB)"
     );
-    println!("{:>3}  {:>10} {:>11}  {:>11} {:>12}  {:>10} {:>11}", "", "DEWE v2", "Pegasus-like", "DEWE v2", "Pegasus-like", "DEWE v2", "Pegasus-like");
+    println!(
+        "{:>3}  {:>10} {:>11}  {:>11} {:>12}  {:>10} {:>11}",
+        "", "DEWE v2", "Pegasus-like", "DEWE v2", "Pegasus-like", "DEWE v2", "Pegasus-like"
+    );
     for w in 1..=5 {
         let wfs: Vec<_> = (0..w).map(|_| Arc::clone(&template)).collect();
         let d = run_dewe(&wfs, &SimRunConfig::new(cluster));

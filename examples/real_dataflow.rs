@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dewe::core::realtime::{
-    spawn_master, spawn_worker, submit, FsRunner, MasterConfig, MasterEvent, MessageBus,
-    Registry, WorkerConfig,
+    spawn_master, spawn_worker, submit, FsRunner, MasterConfig, MasterEvent, MessageBus, Registry,
+    WorkerConfig,
 };
 use dewe::montage::MontageConfig;
 

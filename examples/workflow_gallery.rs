@@ -16,9 +16,7 @@ use std::sync::Arc;
 
 use dewe::core::sim::{run_ensemble, SimRunConfig};
 use dewe::dag::{LevelProfile, Workflow, WorkflowStats};
-use dewe::montage::{
-    CyberShakeConfig, EpigenomicsConfig, LigoConfig, MontageConfig, SiphtConfig,
-};
+use dewe::montage::{CyberShakeConfig, EpigenomicsConfig, LigoConfig, MontageConfig, SiphtConfig};
 use dewe::simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
 
 fn main() {
@@ -34,7 +32,15 @@ fn main() {
 
     println!(
         "{:<12} {:>6} {:>6} {:>7} {:>8} {:>9} {:>9} {:>9} {:>8}",
-        "workflow", "jobs", "depth", "width", "homog3", "makespan", "q-wait50", "q-wait99", "cachehit"
+        "workflow",
+        "jobs",
+        "depth",
+        "width",
+        "homog3",
+        "makespan",
+        "q-wait50",
+        "q-wait99",
+        "cachehit"
     );
     for (name, wf) in &gallery {
         let stats = WorkflowStats::of(wf);

@@ -78,11 +78,13 @@ fn inspect(args: &[String]) -> Result<(), String> {
     println!("workflow      : {}", wf.name());
     println!("jobs          : {}", stats.total_jobs);
     println!("edges         : {}", stats.edges);
-    println!("files         : {} input ({:.2} GB) + {} produced ({:.2} GB)",
+    println!(
+        "files         : {} input ({:.2} GB) + {} produced ({:.2} GB)",
         stats.input_files,
         stats.input_bytes as f64 / 1e9,
         stats.intermediate_files,
-        stats.intermediate_bytes as f64 / 1e9);
+        stats.intermediate_bytes as f64 / 1e9
+    );
     println!("total CPU     : {:.0} core-seconds", stats.total_cpu_seconds);
     println!("depth / width : {} levels, max width {}", lp.depth(), lp.max_width());
     println!("critical path : {} jobs, {:.1} CPU-seconds", cp.jobs.len(), cp.cpu_seconds);
@@ -160,8 +162,7 @@ fn generate(args: &[String]) -> Result<(), String> {
             let [_, vars, out] = args else {
                 return Err("gen cybershake <variations> <out>".into());
             };
-            let wf =
-                CyberShakeConfig::new(vars.parse().map_err(|_| "bad variations")?).build();
+            let wf = CyberShakeConfig::new(vars.parse().map_err(|_| "bad variations")?).build();
             save(&wf, out)?;
             println!("cybershake: {} jobs -> {out}", wf.job_count());
         }
@@ -208,17 +209,19 @@ fn ensemble(args: &[String]) -> Result<(), String> {
     if let Some(t) = manifest.timeout_secs {
         cfg.default_timeout_secs = t;
     }
-    println!(
-        "ensemble: {} workflow instances on {} x {}",
-        wfs.len(),
-        manifest.nodes,
-        itype.name
-    );
+    println!("ensemble: {} workflow instances on {} x {}", wfs.len(), manifest.nodes, itype.name);
     let report = run_ensemble(&wfs, &cfg);
-    println!("  makespan   : {:.1}s ({:.1} min)", report.makespan_secs, report.makespan_secs / 60.0);
+    println!(
+        "  makespan   : {:.1}s ({:.1} min)",
+        report.makespan_secs,
+        report.makespan_secs / 60.0
+    );
     println!("  jobs       : {}", report.engine.jobs_completed);
-    println!("  est. cost  : ${:.2} (${:.4}/workflow)",
-        report.cost_usd, report.cost_usd / wfs.len() as f64);
+    println!(
+        "  est. cost  : ${:.2} (${:.4}/workflow)",
+        report.cost_usd,
+        report.cost_usd / wfs.len() as f64
+    );
     if !report.completed {
         return Err("ensemble did not complete".into());
     }
@@ -241,8 +244,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
                 i += 2;
             }
             "--workflows" => {
-                workflows =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--workflows W")?;
+                workflows = args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--workflows W")?;
                 i += 2;
             }
             "--type" => {
@@ -252,8 +254,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
                 i += 2;
             }
             "--interval" => {
-                interval =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--interval S")?;
+                interval = args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--interval S")?;
                 i += 2;
             }
             "--trace" => {
@@ -276,24 +277,30 @@ fn simulate(args: &[String]) -> Result<(), String> {
     }
     cfg.record_trace = trace_out.is_some();
     let report = run_ensemble(&wfs, &cfg);
+    println!("simulated {workflows} x {} on {nodes} x {}: ", wf.name(), itype.name);
     println!(
-        "simulated {workflows} x {} on {nodes} x {}: ",
-        wf.name(),
-        itype.name
+        "  makespan   : {:.1}s ({:.1} min)",
+        report.makespan_secs,
+        report.makespan_secs / 60.0
     );
-    println!("  makespan   : {:.1}s ({:.1} min)", report.makespan_secs, report.makespan_secs / 60.0);
     println!("  jobs       : {}", report.engine.jobs_completed);
     println!("  cpu        : {:.0} core-seconds", report.total_cpu_core_secs);
-    println!("  disk reads : {:.2} GB (cache hit rate {:.0}%)",
-        report.total_bytes_read / 1e9, 100.0 * report.cache_hit_rate);
+    println!(
+        "  disk reads : {:.2} GB (cache hit rate {:.0}%)",
+        report.total_bytes_read / 1e9,
+        100.0 * report.cache_hit_rate
+    );
     println!("  disk writes: {:.2} GB", report.total_bytes_written / 1e9);
     println!("  est. cost  : ${:.2} (hourly billing)", report.cost_usd);
     if let (Some(path), Some(trace)) = (&trace_out, &report.trace) {
-        std::fs::write(path, trace.to_chrome_json())
-            .map_err(|e| format!("write {path}: {e}"))?;
+        std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("write {path}: {e}"))?;
         let qw = trace.queue_wait_summary().expect("trace non-empty");
-        println!("  trace      : {} events -> {path} (queue wait p50 {:.2}s p99 {:.2}s)",
-            trace.len(), qw.p50, qw.p99);
+        println!(
+            "  trace      : {} events -> {path} (queue wait p50 {:.2}s p99 {:.2}s)",
+            trace.len(),
+            qw.p50,
+            qw.p99
+        );
     }
     if !report.completed {
         return Err("simulation did not complete (engine starvation?)".into());

@@ -97,10 +97,8 @@ fn ensemble_manifest_runs() {
         "WORKFLOW e.dag COUNT 3\nINTERVAL 10\nNODES 2\nTYPE r3.8xlarge\n",
     )
     .unwrap();
-    let out = dewectl()
-        .args(["ensemble", dir.join("campaign.txt").to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out =
+        dewectl().args(["ensemble", dir.join("campaign.txt").to_str().unwrap()]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("3 workflow instances on 2 x r3.8xlarge"), "{text}");

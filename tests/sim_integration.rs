@@ -92,7 +92,8 @@ fn disk_capability_ordering() {
     let wfs: Vec<_> = (0..6).map(|_| Arc::new(MontageConfig::degree(2.0).build())).collect();
     let mut times = Vec::new();
     for itype in [C3_8XLARGE, R3_8XLARGE, I2_8XLARGE] {
-        let cluster = ClusterConfig { instance: itype, nodes: 1, storage: StorageConfig::LocalDisk };
+        let cluster =
+            ClusterConfig { instance: itype, nodes: 1, storage: StorageConfig::LocalDisk };
         let r = run_ensemble(&wfs, &SimRunConfig::new(cluster));
         times.push(r.makespan_secs);
     }

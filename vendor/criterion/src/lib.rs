@@ -154,8 +154,7 @@ impl Bencher {
             for _ in 0..iters_per_sample {
                 std::hint::black_box(routine());
             }
-            self.samples_ns
-                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+            self.samples_ns.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
         }
     }
 

@@ -401,8 +401,8 @@ impl fmt::Display for ProptestConfig {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     pub use crate::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
     pub mod prop {
@@ -512,7 +512,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }
