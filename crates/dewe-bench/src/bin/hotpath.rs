@@ -7,11 +7,17 @@
 //! §V.A workflow) on four c3.8xlarge nodes.
 //!
 //! ```text
-//! hotpath [--quick] [--out <path>]
+//! hotpath [--quick] [--out <path>] [--check <baseline.json>]
 //! ```
 //!
 //! `--quick` shrinks the run (5 workflows, 3 reps) for smoke testing;
 //! tracked numbers in `BENCH_hotpath.json` come from the full mode.
+//!
+//! `--check <baseline.json>` turns the run into a regression gate: after
+//! measuring, compare against the `jobs_per_sec` recorded in the baseline
+//! file and exit non-zero if throughput fell more than 20% below it.
+//! CI runs `hotpath --quick --check BENCH_hotpath.json` on every push so
+//! a hot-path regression fails the build instead of landing silently.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,11 +34,13 @@ struct Config {
     reps: usize,
     quick: bool,
     out: String,
+    check: Option<String>,
 }
 
 fn parse_args() -> Config {
     let mut quick = false;
     let mut out = String::from("BENCH_hotpath.json");
+    let mut check = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,18 +51,58 @@ fn parse_args() -> Config {
                     std::process::exit(2);
                 })
             }
+            "--check" => {
+                check = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--check requires a baseline json path");
+                    std::process::exit(2);
+                }))
+            }
             other => {
-                eprintln!("unknown argument `{other}`\nusage: hotpath [--quick] [--out <path>]");
+                eprintln!(
+                    "unknown argument `{other}`\n\
+                     usage: hotpath [--quick] [--out <path>] [--check <baseline.json>]"
+                );
                 std::process::exit(2);
             }
         }
     }
     if quick {
-        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, out }
+        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, out, check }
     } else {
-        Config { workflows: 20, degree: 2.0, nodes: 4, reps: 15, quick, out }
+        Config { workflows: 20, degree: 2.0, nodes: 4, reps: 15, quick, out, check }
     }
 }
+
+/// Pull `"jobs_per_sec": <number>` out of a tracked baseline file without
+/// a JSON dependency (the field is emitted by this binary, so the shape is
+/// under our control).
+fn baseline_jobs_per_sec(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let Some(pos) = text.find("\"jobs_per_sec\"") else {
+        eprintln!("baseline {path} has no jobs_per_sec field");
+        std::process::exit(2);
+    };
+    let rest = &text[pos..];
+    let value = rest
+        .split(':')
+        .nth(1)
+        .and_then(|v| v.split([',', '\n', '}']).next())
+        .map(str::trim)
+        .and_then(|v| v.parse::<f64>().ok());
+    match value {
+        Some(v) if v > 0.0 => v,
+        _ => {
+            eprintln!("baseline {path} has a malformed jobs_per_sec field");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Maximum tolerated throughput regression vs the checked-in baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
 
 fn main() {
     let cfg = parse_args();
@@ -150,4 +198,23 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("wrote {}", cfg.out);
+
+    if let Some(baseline_path) = &cfg.check {
+        let baseline = baseline_jobs_per_sec(baseline_path);
+        let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+        let ratio = jobs_per_sec / baseline;
+        eprintln!(
+            "check: {jobs_per_sec:.0} jobs/s vs baseline {baseline:.0} \
+             ({:.1}% of baseline, floor {floor:.0})",
+            ratio * 100.0
+        );
+        if jobs_per_sec < floor {
+            eprintln!(
+                "FAIL: hot-path throughput regressed more than {:.0}% below {baseline_path}",
+                REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("check passed");
+    }
 }

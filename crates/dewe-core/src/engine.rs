@@ -6,12 +6,21 @@
 //! it emits [`Action`]s (publish this job, this workflow is done). The
 //! realtime and simulated runtimes are thin drivers around it, and tests
 //! can exercise every protocol corner deterministically.
+//!
+//! Beyond the paper's unconditional timeout/resubmission loop, the engine
+//! carries a configurable [`RetryPolicy`]: a per-job attempt cap that
+//! dead-letters permanently failing jobs (abandoning their descendants so
+//! the ensemble terminates with partial completion instead of looping
+//! forever), and exponential backoff with deterministic jitter between
+//! resubmissions, implemented as deferred dispatches riding the existing
+//! deadline heap. The defaults preserve the paper's behavior exactly:
+//! unbounded immediate retries.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, Workflow, WorkflowId};
+use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, JobState, Workflow, WorkflowId};
 
 use crate::protocol::{AckKind, AckMsg, DispatchMsg};
 
@@ -19,11 +28,89 @@ use crate::protocol::{AckKind, AckMsg, DispatchMsg};
 /// user-defined or system-wide default timeout).
 pub const DEFAULT_TIMEOUT_SECS: f64 = 600.0;
 
+/// Retry budget and backoff schedule applied to failed/timed-out jobs.
+///
+/// The default is the paper's behavior: retry forever, immediately. With
+/// `max_attempts = Some(n)`, the n-th failed attempt dead-letters the job
+/// — it and (transitively) its dependents are marked
+/// [`Abandoned`](dewe_dag::JobState::Abandoned) and the workflow settles
+/// with partial completion. With `backoff_base_secs > 0`, the k-th retry
+/// is deferred `base · factor^(k-1)` seconds (capped at
+/// `backoff_max_secs`), shrunk by up to `jitter_frac` with a hash-derived
+/// deterministic jitter so retries de-synchronize reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Dead-letter a job once this many attempts have failed
+    /// (`None` = retry forever, the paper's behavior).
+    pub max_attempts: Option<u32>,
+    /// Delay before the first retry, in seconds (0 = immediate).
+    pub backoff_base_secs: f64,
+    /// Multiplier applied per additional failed attempt (≥ 1).
+    pub backoff_factor: f64,
+    /// Upper bound on any single backoff delay, in seconds.
+    pub backoff_max_secs: f64,
+    /// Fraction of the delay subject to jitter, in [0, 1): the delay is
+    /// scaled by `1 - jitter_frac · u` with `u ∈ [0, 1)` derived by
+    /// hashing (seed, workflow, job, attempt) — fully deterministic.
+    pub jitter_frac: f64,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: None,
+            backoff_base_secs: 0.0,
+            backoff_factor: 2.0,
+            backoff_max_secs: 300.0,
+            jitter_frac: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// System-wide default job timeout (overridable per job).
+    pub default_timeout_secs: f64,
+    /// Optional dispatch-to-checkout deadline: if a published job is not
+    /// checked out (no Running ack) within this many seconds it is
+    /// resubmitted. `None` (default) trusts the queue to redeliver — the
+    /// paper's assumption. Set it when the transport can *lose* messages
+    /// (chaos drop injection), otherwise a dropped dispatch hangs forever.
+    pub checkout_timeout_secs: Option<f64>,
+    /// Retry budget and backoff schedule.
+    pub retry: RetryPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            default_timeout_secs: DEFAULT_TIMEOUT_SECS,
+            checkout_timeout_secs: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
 /// What the master must do next.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
     /// Publish this job to the dispatch topic.
     Dispatch(DispatchMsg),
+    /// A job exhausted its retry budget; it and its not-yet-completed
+    /// descendants were abandoned (`abandoned_jobs` counts all of them,
+    /// including the dead-lettered job itself).
+    JobDeadLettered {
+        /// Which job, in which workflow.
+        job: EnsembleJobId,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// Jobs written off: the job itself plus abandoned descendants.
+        abandoned_jobs: usize,
+    },
     /// A workflow ran to completion (all jobs acknowledged complete).
     WorkflowCompleted {
         /// Which workflow.
@@ -31,8 +118,21 @@ pub enum Action {
         /// Seconds from its submission to completion.
         makespan_secs: f64,
     },
-    /// Every submitted workflow has completed.
+    /// A workflow settled with dead-lettered jobs: every job is terminal
+    /// (completed or abandoned) but the workflow did not fully complete.
+    WorkflowAbandoned {
+        /// Which workflow.
+        workflow: WorkflowId,
+        /// Jobs of this workflow that exhausted their retry budget.
+        dead_lettered: u64,
+        /// Total abandoned jobs (dead-lettered + written-off dependents).
+        abandoned_jobs: usize,
+    },
+    /// Every submitted workflow has completed (no abandonments).
     AllCompleted,
+    /// Every submitted workflow is settled, but at least one was
+    /// abandoned: the ensemble terminates with partial completion.
+    AllSettled,
 }
 
 /// Aggregate engine statistics.
@@ -42,14 +142,24 @@ pub struct EngineStats {
     pub workflows_submitted: usize,
     /// Workflows completed.
     pub workflows_completed: usize,
+    /// Workflows settled with at least one abandoned job.
+    pub workflows_abandoned: usize,
     /// Jobs dispatched (including resubmissions).
     pub dispatches: u64,
     /// Timeout/failure resubmissions.
     pub resubmissions: u64,
+    /// Resubmissions deferred by the backoff schedule (subset of
+    /// `resubmissions`).
+    pub deferred_retries: u64,
     /// Completed jobs.
     pub jobs_completed: u64,
     /// Duplicate completions observed (timeout races; harmless by design).
     pub duplicate_completions: u64,
+    /// Jobs that exhausted their retry budget.
+    pub dead_lettered: u64,
+    /// Jobs written off: dead-lettered jobs plus their abandoned
+    /// descendants.
+    pub jobs_abandoned: u64,
 }
 
 struct WorkflowState {
@@ -60,15 +170,21 @@ struct WorkflowState {
     /// by [`JobId`]; `None` = not in flight.
     inflight: Vec<Option<Inflight>>,
     done: bool,
+    /// Jobs of this workflow that exhausted their retry budget.
+    dead_lettered: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Inflight {
     deadline: f64,
     attempt: u32,
+    /// True while the slot holds a backoff-deferred retry: `deadline` is
+    /// the time the deferred dispatch fires, not a timeout.
+    deferred: bool,
 }
 
-/// A candidate timeout deadline in the engine-wide min-heap.
+/// A candidate deadline in the engine-wide min-heap: either a timeout for
+/// a checked-out job or the fire time of a backoff-deferred retry.
 ///
 /// Entries are never removed eagerly: a Running re-ack, resubmission or
 /// completion simply leaves the old entry behind, and it is discarded at
@@ -80,6 +196,8 @@ struct DeadlineEntry {
     deadline: f64,
     job: EnsembleJobId,
     attempt: u32,
+    /// Mirrors [`Inflight::deferred`]; part of the currency check.
+    deferred: bool,
 }
 
 impl PartialEq for DeadlineEntry {
@@ -103,33 +221,54 @@ impl Ord for DeadlineEntry {
             .then_with(|| self.job.workflow.0.cmp(&other.job.workflow.0))
             .then_with(|| self.job.job.0.cmp(&other.job.job.0))
             .then_with(|| self.attempt.cmp(&other.attempt))
+            .then_with(|| self.deferred.cmp(&other.deferred))
     }
 }
 
 /// The DEWE v2 master daemon's DAG-management state machine.
 pub struct EnsembleEngine {
     workflows: Vec<WorkflowState>,
-    default_timeout_secs: f64,
+    config: EngineConfig,
     stats: EngineStats,
-    all_completed_emitted: bool,
+    terminal_emitted: bool,
     /// Engine-wide min-heap of candidate deadlines, validated lazily
-    /// against the in-flight slabs. Pushed only on checkout (Running ack),
-    /// so its size is bounded by the number of Running acks since the last
-    /// scan, not by total in-flight jobs.
+    /// against the in-flight slabs. Pushed on checkout (Running ack),
+    /// backoff deferral, and — when a checkout timeout is configured —
+    /// dispatch, so its size is bounded by recent protocol events, not by
+    /// total in-flight jobs.
     deadlines: BinaryHeap<Reverse<DeadlineEntry>>,
     /// Reusable buffer for draining tracker ready queues.
     scratch_ready: Vec<JobId>,
 }
 
-/// True when `entry` still describes the current checkout of its job: the
-/// slab holds the same attempt with the same deadline. Any refresh,
-/// resubmission or completion invalidates older heap entries.
+/// True when `entry` still describes the current checkout (or deferral) of
+/// its job: the slab holds the same attempt with the same deadline and
+/// kind. Any refresh, resubmission or completion invalidates older heap
+/// entries.
 fn entry_is_current(workflows: &[WorkflowState], entry: &DeadlineEntry) -> bool {
     workflows
         .get(entry.job.workflow.index())
         .and_then(|w| w.inflight.get(entry.job.job.index()))
         .and_then(|slot| slot.as_ref())
-        .is_some_and(|inf| inf.attempt == entry.attempt && inf.deadline == entry.deadline)
+        .is_some_and(|inf| {
+            inf.attempt == entry.attempt
+                && inf.deadline == entry.deadline
+                && inf.deferred == entry.deferred
+        })
+}
+
+/// splitmix64-style hash of (seed, workflow, job, attempt) mapped to
+/// [0, 1): the deterministic jitter source.
+fn jitter_unit(seed: u64, job: EnsembleJobId, attempt: u32) -> f64 {
+    let key = ((job.workflow.index() as u64) << 40)
+        ^ ((job.job.index() as u64) << 8)
+        ^ u64::from(attempt);
+    let mut z = seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl EnsembleEngine {
@@ -140,15 +279,29 @@ impl EnsembleEngine {
 
     /// New engine with a custom system-wide default timeout.
     pub fn with_default_timeout(default_timeout_secs: f64) -> Self {
-        assert!(default_timeout_secs > 0.0);
+        Self::with_config(EngineConfig { default_timeout_secs, ..EngineConfig::default() })
+    }
+
+    /// New engine with full configuration (retry budget, backoff,
+    /// checkout timeout).
+    pub fn with_config(config: EngineConfig) -> Self {
+        assert!(config.default_timeout_secs > 0.0);
+        assert!(config.retry.backoff_factor >= 1.0);
+        assert!((0.0..1.0).contains(&config.retry.jitter_frac));
+        assert!(config.retry.max_attempts.is_none_or(|cap| cap >= 1));
         Self {
             workflows: Vec::new(),
-            default_timeout_secs,
+            config,
             stats: EngineStats::default(),
-            all_completed_emitted: false,
+            terminal_emitted: false,
             deadlines: BinaryHeap::new(),
             scratch_ready: Vec::new(),
         }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Submit a workflow at time `now`; emits dispatches for its roots.
@@ -183,6 +336,7 @@ impl EnsembleEngine {
             submitted_at: now,
             inflight: vec![None; job_count],
             done: false,
+            dead_lettered: 0,
         };
         let mut ready = std::mem::take(&mut self.scratch_ready);
         state.tracker.drain_ready_into(&mut ready);
@@ -192,14 +346,14 @@ impl EnsembleEngine {
         ready.clear();
         self.scratch_ready = ready;
         self.stats.workflows_submitted += 1;
-        self.all_completed_emitted = false;
+        self.terminal_emitted = false;
         // An empty workflow completes immediately.
         if state.tracker.is_complete() {
             state.done = true;
             self.stats.workflows_completed += 1;
             actions.push(Action::WorkflowCompleted { workflow: id, makespan_secs: 0.0 });
             self.workflows.push(state);
-            self.maybe_all_completed(actions);
+            self.maybe_all_done(actions);
         } else {
             self.workflows.push(state);
         }
@@ -212,18 +366,30 @@ impl EnsembleEngine {
         wf: WorkflowId,
         job: JobId,
         attempt: u32,
-        _now: f64,
+        now: f64,
     ) -> Action {
-        // The timeout clock starts when the job is *checked out* (Running
-        // ack), not when it is published: a message sitting in the queue is
-        // safe — the queue redelivers unacknowledged checkouts (paper
-        // §III.B: "if a job has been checked out from the message queue for
-        // execution but the corresponding acknowledgment is not received
-        // ... within the timeout setting"). Until checkout the deadline is
-        // infinite, and the job has no deadline-heap entry.
-        state.inflight[job.index()] = Some(Inflight { deadline: f64::INFINITY, attempt });
+        // The timeout clock normally starts when the job is *checked out*
+        // (Running ack), not when it is published: a message sitting in
+        // the queue is safe — the queue redelivers unacknowledged
+        // checkouts (paper §III.B). Until checkout the deadline is
+        // infinite and the job has no deadline-heap entry, unless a
+        // checkout timeout is configured to survive lossy transports.
+        let deadline = match self.config.checkout_timeout_secs {
+            Some(t) => now + t,
+            None => f64::INFINITY,
+        };
+        state.inflight[job.index()] = Some(Inflight { deadline, attempt, deferred: false });
+        let ens = EnsembleJobId::new(wf, job);
+        if deadline.is_finite() {
+            self.deadlines.push(Reverse(DeadlineEntry {
+                deadline,
+                job: ens,
+                attempt,
+                deferred: false,
+            }));
+        }
         self.stats.dispatches += 1;
-        Action::Dispatch(DispatchMsg { job: EnsembleJobId::new(wf, job), attempt })
+        Action::Dispatch(DispatchMsg { job: ens, attempt })
     }
 
     /// Process a worker acknowledgment at time `now`.
@@ -248,9 +414,10 @@ impl EnsembleEngine {
                 // Checkout: the timeout clock starts now (the job may have
                 // sat in the queue arbitrarily long beforehand).
                 let state = &mut self.workflows[wf.index()];
-                let timeout = state.workflow.job(job).effective_timeout(self.default_timeout_secs);
+                let timeout =
+                    state.workflow.job(job).effective_timeout(self.config.default_timeout_secs);
                 if let Some(inf) = state.inflight[job.index()].as_mut() {
-                    if inf.attempt == ack.attempt {
+                    if inf.attempt == ack.attempt && !inf.deferred {
                         let deadline = now + timeout;
                         inf.deadline = deadline;
                         // Any earlier entry for this job is now stale and
@@ -259,6 +426,7 @@ impl EnsembleEngine {
                             deadline,
                             job: ack.job,
                             attempt: ack.attempt,
+                            deferred: false,
                         }));
                     }
                 }
@@ -266,12 +434,17 @@ impl EnsembleEngine {
             }
             AckKind::Completed => {
                 let state = &mut self.workflows[wf.index()];
-                if state.tracker.state(job) == dewe_dag::JobState::Completed {
+                match state.tracker.state(job) {
                     // Timeout race: two workers ran the job; results are
                     // identical by workflow determinism (the paper verifies
-                    // output checksums), so drop the duplicate.
-                    self.stats.duplicate_completions += 1;
-                    return;
+                    // output checksums), so drop the duplicate. A straggler
+                    // completion of a dead-lettered job is likewise noise —
+                    // its descendants are already written off.
+                    JobState::Completed | JobState::Abandoned => {
+                        self.stats.duplicate_completions += 1;
+                        return;
+                    }
+                    _ => {}
                 }
                 state.inflight[job.index()] = None;
                 // Split borrow: the tracker mutates while reading the DAG.
@@ -294,34 +467,139 @@ impl EnsembleEngine {
                     let makespan = now - state.submitted_at;
                     actions
                         .push(Action::WorkflowCompleted { workflow: wf, makespan_secs: makespan });
-                    self.maybe_all_completed(actions);
+                    self.maybe_all_done(actions);
+                } else if state.tracker.is_settled() && !state.done {
+                    // This completion finished the last live branch of a
+                    // workflow that already dead-lettered elsewhere: it
+                    // settles (partially complete) rather than completes.
+                    state.done = true;
+                    self.stats.workflows_abandoned += 1;
+                    actions.push(Action::WorkflowAbandoned {
+                        workflow: wf,
+                        dead_lettered: state.dead_lettered,
+                        abandoned_jobs: state.tracker.stats().abandoned,
+                    });
+                    self.maybe_all_done(actions);
                 }
             }
             AckKind::Failed => {
-                // Immediate resubmission (no need to wait for the timeout).
-                let state = &mut self.workflows[wf.index()];
-                if state.tracker.state(job) != dewe_dag::JobState::Completed
-                    && state.tracker.resubmit(job)
-                {
-                    state.tracker.clear_ready(); // drop the requeue marker
-                    let attempt = ack.attempt + 1;
-                    self.stats.resubmissions += 1;
-                    let action = self.dispatch_indexed(wf, job, attempt, now);
-                    actions.push(action);
-                }
+                // Immediate failure report (no need to wait for the
+                // timeout): route through the retry budget.
+                self.handle_attempt_failure(wf, job, ack.attempt, now, actions);
             }
         }
     }
 
-    fn dispatch_indexed(&mut self, wf: WorkflowId, job: JobId, attempt: u32, _now: f64) -> Action {
-        let state = &mut self.workflows[wf.index()];
-        state.inflight[job.index()] = Some(Inflight { deadline: f64::INFINITY, attempt });
+    fn dispatch_indexed(&mut self, wf: WorkflowId, job: JobId, attempt: u32, now: f64) -> Action {
+        let deadline = match self.config.checkout_timeout_secs {
+            Some(t) => now + t,
+            None => f64::INFINITY,
+        };
+        self.workflows[wf.index()].inflight[job.index()] =
+            Some(Inflight { deadline, attempt, deferred: false });
+        let ens = EnsembleJobId::new(wf, job);
+        if deadline.is_finite() {
+            self.deadlines.push(Reverse(DeadlineEntry {
+                deadline,
+                job: ens,
+                attempt,
+                deferred: false,
+            }));
+        }
         self.stats.dispatches += 1;
-        Action::Dispatch(DispatchMsg { job: EnsembleJobId::new(wf, job), attempt })
+        Action::Dispatch(DispatchMsg { job: ens, attempt })
+    }
+
+    /// A job attempt failed (Failed ack or timeout): retry within budget —
+    /// immediately or deferred by the backoff schedule — or dead-letter.
+    fn handle_attempt_failure(
+        &mut self,
+        wf: WorkflowId,
+        job: JobId,
+        failed_attempt: u32,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) {
+        let state = &mut self.workflows[wf.index()];
+        match state.tracker.state(job) {
+            JobState::Completed | JobState::Abandoned => return,
+            _ => {}
+        }
+        if self.config.retry.max_attempts.is_some_and(|cap| failed_attempt >= cap) {
+            // Retry budget exhausted: dead-letter the job and write off
+            // every descendant that can no longer run.
+            state.inflight[job.index()] = None;
+            state.dead_lettered += 1;
+            let WorkflowState { workflow, tracker, .. } = state;
+            let abandoned = tracker.abandon(workflow, job);
+            self.stats.dead_lettered += 1;
+            self.stats.jobs_abandoned += abandoned as u64;
+            actions.push(Action::JobDeadLettered {
+                job: EnsembleJobId::new(wf, job),
+                attempts: failed_attempt,
+                abandoned_jobs: abandoned,
+            });
+            let state = &mut self.workflows[wf.index()];
+            if state.tracker.is_settled() && !state.done {
+                state.done = true;
+                self.stats.workflows_abandoned += 1;
+                actions.push(Action::WorkflowAbandoned {
+                    workflow: wf,
+                    dead_lettered: state.dead_lettered,
+                    abandoned_jobs: state.tracker.stats().abandoned,
+                });
+                self.maybe_all_done(actions);
+            }
+            return;
+        }
+        if state.tracker.resubmit(job) {
+            state.tracker.clear_ready(); // drop the requeue marker
+            self.stats.resubmissions += 1;
+            let next_attempt = failed_attempt + 1;
+            let ens = EnsembleJobId::new(wf, job);
+            let delay = self.backoff_delay(ens, failed_attempt);
+            if delay > 0.0 {
+                // Defer the retry: park it in the in-flight slab with the
+                // fire time as its deadline; the timeout scan emits the
+                // dispatch when it comes due.
+                let due = now + delay;
+                self.workflows[wf.index()].inflight[job.index()] =
+                    Some(Inflight { deadline: due, attempt: next_attempt, deferred: true });
+                self.deadlines.push(Reverse(DeadlineEntry {
+                    deadline: due,
+                    job: ens,
+                    attempt: next_attempt,
+                    deferred: true,
+                }));
+                self.stats.deferred_retries += 1;
+            } else {
+                let action = self.dispatch_indexed(wf, job, next_attempt, now);
+                actions.push(action);
+            }
+        }
+    }
+
+    /// Backoff delay before the retry that follows `failed_attempt`
+    /// (0 = dispatch immediately).
+    fn backoff_delay(&self, job: EnsembleJobId, failed_attempt: u32) -> f64 {
+        let r = &self.config.retry;
+        if r.backoff_base_secs <= 0.0 {
+            return 0.0;
+        }
+        let exp = failed_attempt.saturating_sub(1).min(63);
+        let mut delay = r.backoff_base_secs * r.backoff_factor.powi(exp as i32);
+        if delay > r.backoff_max_secs {
+            delay = r.backoff_max_secs;
+        }
+        if r.jitter_frac > 0.0 {
+            delay *= 1.0 - r.jitter_frac * jitter_unit(r.seed, job, failed_attempt);
+        }
+        delay
     }
 
     /// Periodic timeout scan (paper §III.B): any in-flight job whose
-    /// deadline passed is republished so another worker can run it.
+    /// deadline passed is republished so another worker can run it, and
+    /// any backoff-deferred retry that came due is dispatched.
     pub fn check_timeouts(&mut self, now: f64) -> Vec<Action> {
         let mut actions = Vec::new();
         self.check_timeouts_into(now, &mut actions);
@@ -344,21 +622,19 @@ impl EnsembleEngine {
             }
             let wf = top.job.workflow;
             let job = top.job.job;
-            let state = &mut self.workflows[wf.index()];
-            if state.tracker.resubmit(job) {
-                state.tracker.clear_ready(); // drop the requeue marker
-                self.stats.resubmissions += 1;
-                let action = self.dispatch_indexed(wf, job, top.attempt + 1, now);
+            if top.deferred {
+                // A backoff-deferred retry came due: dispatch it now.
+                let action = self.dispatch_indexed(wf, job, top.attempt, now);
                 actions.push(action);
             } else {
-                state.inflight[job.index()] = None;
+                self.handle_attempt_failure(wf, job, top.attempt, now, actions);
             }
         }
     }
 
-    /// Earliest pending timeout deadline among checked-out jobs, if any
-    /// (lets drivers sleep precisely instead of polling). Amortized O(1):
-    /// stale heap entries are pruned as they surface.
+    /// Earliest pending deadline — job timeout or deferred-retry fire
+    /// time — if any (lets drivers sleep precisely instead of polling).
+    /// Amortized O(1): stale heap entries are pruned as they surface.
     pub fn next_deadline(&mut self) -> Option<f64> {
         while let Some(&Reverse(top)) = self.deadlines.peek() {
             if entry_is_current(&self.workflows, &top) {
@@ -369,14 +645,48 @@ impl EnsembleEngine {
         None
     }
 
-    /// True once every submitted workflow has completed.
+    /// True once every submitted workflow has fully completed.
     pub fn all_complete(&self) -> bool {
+        self.all_settled() && self.stats.workflows_abandoned == 0
+    }
+
+    /// True once every submitted workflow is settled: fully completed or
+    /// terminated with abandoned jobs. The ensemble can make no further
+    /// progress past this point.
+    pub fn all_settled(&self) -> bool {
         !self.workflows.is_empty() && self.workflows.iter().all(|w| w.done)
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Current in-flight attempts: dispatched, not yet terminal, not
+    /// parked behind a backoff deferral (those re-fire from the deadline
+    /// heap on their own). A recovered master republishes these — the
+    /// pre-crash queue contents are unknown, and a duplicate dispatch is
+    /// only duplicate-completion noise while a lost one would strand the
+    /// job until its timeout.
+    pub fn inflight_dispatches(&self, out: &mut Vec<DispatchMsg>) {
+        for (wfi, state) in self.workflows.iter().enumerate() {
+            if state.done {
+                continue;
+            }
+            for (ji, slot) in state.inflight.iter().enumerate() {
+                if let Some(inf) = slot {
+                    if !inf.deferred {
+                        out.push(DispatchMsg {
+                            job: EnsembleJobId::new(
+                                WorkflowId::from_index(wfi),
+                                JobId::from_index(ji),
+                            ),
+                            attempt: inf.attempt,
+                        });
+                    }
+                }
+            }
+        }
     }
 
     /// Access a submitted workflow.
@@ -389,10 +699,14 @@ impl EnsembleEngine {
         self.workflows.len()
     }
 
-    fn maybe_all_completed(&mut self, actions: &mut Vec<Action>) {
-        if self.all_complete() && !self.all_completed_emitted {
-            self.all_completed_emitted = true;
-            actions.push(Action::AllCompleted);
+    fn maybe_all_done(&mut self, actions: &mut Vec<Action>) {
+        if self.all_settled() && !self.terminal_emitted {
+            self.terminal_emitted = true;
+            actions.push(if self.stats.workflows_abandoned == 0 {
+                Action::AllCompleted
+            } else {
+                Action::AllSettled
+            });
         }
     }
 }
@@ -437,6 +751,54 @@ mod tests {
 
     fn done_ack(job: EnsembleJobId, attempt: u32) -> AckMsg {
         AckMsg { job, worker: 0, kind: AckKind::Completed, attempt }
+    }
+
+    fn fail_ack(job: EnsembleJobId, attempt: u32) -> AckMsg {
+        AckMsg { job, worker: 0, kind: AckKind::Failed, attempt }
+    }
+
+    fn capped(max_attempts: u32) -> EnsembleEngine {
+        EnsembleEngine::with_config(EngineConfig {
+            default_timeout_secs: 10.0,
+            retry: RetryPolicy { max_attempts: Some(max_attempts), ..RetryPolicy::default() },
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Two independent roots: one dead-letters first, then the other
+    /// completes. The *completion* must settle the workflow (emit
+    /// `WorkflowAbandoned` + `AllSettled`) — regression for the path where
+    /// only the dead-letter handler checked settledness and a workflow
+    /// whose last live branch finished after a dead-letter hung forever.
+    #[test]
+    fn completion_after_dead_letter_settles_workflow() {
+        let mut e = capped(1);
+        let mut b = WorkflowBuilder::new("pair");
+        b.job("a", "t", 1.0).build();
+        b.job("b", "t", 1.0).build();
+        let (wf, actions) = e.submit_workflow(Arc::new(b.finish().unwrap()), 0.0);
+        let d = dispatches(&actions);
+        assert_eq!(d.len(), 2);
+        // Root a fails at the cap: dead-lettered, but b is still live so
+        // the workflow must not settle yet.
+        let actions = e.on_ack(fail_ack(d[0].job, 1), 1.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::JobDeadLettered { .. })));
+        assert!(!actions.iter().any(|a| matches!(a, Action::WorkflowAbandoned { .. })));
+        assert!(!e.all_settled());
+        // Root b completes: that completion settles the workflow.
+        let actions = e.on_ack(done_ack(d[1].job, 1), 2.0);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::WorkflowAbandoned { workflow, dead_lettered: 1, abandoned_jobs: 1 }
+                    if *workflow == wf
+            )),
+            "completion of the last live branch settles: {actions:?}"
+        );
+        assert!(actions.iter().any(|a| matches!(a, Action::AllSettled)));
+        assert!(e.all_settled() && !e.all_complete());
+        assert_eq!(e.stats().workflows_abandoned, 1);
+        assert_eq!(e.stats().jobs_completed, 1);
     }
 
     #[test]
@@ -645,5 +1007,210 @@ mod tests {
         assert_eq!(s.dispatches, 2); // root + released child
         assert_eq!(s.jobs_completed, 1);
         assert_eq!(s.workflows_submitted, 1);
+    }
+
+    // ---- retry budget / backoff / dead-letter ----
+
+    #[test]
+    fn always_failing_job_dead_letters_at_cap() {
+        let mut e = capped(3);
+        let (wf, actions) = e.submit_workflow(chain(2), 0.0);
+        let mut d = dispatches(&actions)[0];
+        for attempt in 1..3 {
+            let actions = e.on_ack(fail_ack(d.job, attempt), f64::from(attempt));
+            d = dispatches(&actions)[0];
+            assert_eq!(d.attempt, attempt + 1);
+        }
+        // Third (= cap) failure: no more retries.
+        let actions = e.on_ack(fail_ack(d.job, 3), 10.0);
+        assert!(dispatches(&actions).is_empty(), "no retry past the cap");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::JobDeadLettered { attempts: 3, abandoned_jobs: 2, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::WorkflowAbandoned { workflow, dead_lettered: 1, abandoned_jobs: 2 }
+                if *workflow == wf
+        )));
+        assert!(actions.iter().any(|a| matches!(a, Action::AllSettled)));
+        let s = e.stats();
+        assert_eq!(s.dead_lettered, 1);
+        assert_eq!(s.jobs_abandoned, 2);
+        assert_eq!(s.workflows_abandoned, 1);
+        assert_eq!(s.workflows_completed, 0);
+        assert!(e.all_settled());
+        assert!(!e.all_complete());
+    }
+
+    #[test]
+    fn timeout_exhaustion_dead_letters_too() {
+        let mut e = capped(2);
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 0.0);
+        let resub = dispatches(&e.check_timeouts(10.0));
+        assert_eq!(resub.len(), 1);
+        e.on_ack(run_ack(resub[0].job, 2), 10.0);
+        let actions = e.check_timeouts(20.0);
+        assert!(dispatches(&actions).is_empty());
+        assert!(actions.iter().any(|a| matches!(a, Action::JobDeadLettered { .. })));
+        assert_eq!(e.stats().dead_lettered, 1);
+    }
+
+    #[test]
+    fn unaffected_workflow_completes_alongside_dead_letter() {
+        let mut e = capped(1);
+        let (_, a0) = e.submit_workflow(chain(1), 0.0);
+        let (w1, a1) = e.submit_workflow(chain(1), 0.0);
+        let bad = dispatches(&a0)[0];
+        let good = dispatches(&a1)[0];
+        let actions = e.on_ack(fail_ack(bad.job, 1), 1.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::WorkflowAbandoned { .. })));
+        assert!(!actions.iter().any(|a| matches!(a, Action::AllSettled)), "workflow 1 still live");
+        let actions = e.on_ack(done_ack(good.job, 1), 2.0);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::WorkflowCompleted { workflow, .. } if *workflow == w1
+        )));
+        assert!(actions.iter().any(|a| matches!(a, Action::AllSettled)));
+        assert_eq!(e.stats().workflows_completed, 1);
+        assert_eq!(e.stats().workflows_abandoned, 1);
+    }
+
+    #[test]
+    fn late_completion_of_dead_lettered_job_is_noise() {
+        let mut e = capped(1);
+        let (_, actions) = e.submit_workflow(chain(2), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(run_ack(d.job, 1), 0.0);
+        let actions = e.check_timeouts(10.0); // attempt 1 times out = cap
+        assert!(actions.iter().any(|a| matches!(a, Action::WorkflowAbandoned { .. })));
+        // The straggler worker finishes anyway: must not resurrect.
+        let actions = e.on_ack(done_ack(d.job, 1), 11.0);
+        assert!(actions.is_empty());
+        assert_eq!(e.stats().duplicate_completions, 1);
+        assert_eq!(e.stats().jobs_completed, 0);
+        assert!(e.all_settled());
+    }
+
+    #[test]
+    fn backoff_defers_retry_until_due() {
+        let mut e = EnsembleEngine::with_config(EngineConfig {
+            default_timeout_secs: 100.0,
+            retry: RetryPolicy {
+                backoff_base_secs: 4.0,
+                backoff_factor: 2.0,
+                ..RetryPolicy::default()
+            },
+            ..EngineConfig::default()
+        });
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        let actions = e.on_ack(fail_ack(d.job, 1), 10.0);
+        assert!(dispatches(&actions).is_empty(), "first retry deferred 4 s");
+        assert_eq!(e.next_deadline(), Some(14.0));
+        assert!(e.check_timeouts(13.9).is_empty());
+        let rd = dispatches(&e.check_timeouts(14.0));
+        assert_eq!(rd.len(), 1);
+        assert_eq!(rd[0].attempt, 2);
+        // Second failure backs off 8 s (factor 2).
+        let actions = e.on_ack(fail_ack(d.job, 2), 20.0);
+        assert!(dispatches(&actions).is_empty());
+        assert_eq!(e.next_deadline(), Some(28.0));
+        let s = e.stats();
+        assert_eq!(s.resubmissions, 2);
+        assert_eq!(s.deferred_retries, 2);
+    }
+
+    #[test]
+    fn backoff_delay_caps_at_max() {
+        let e = EnsembleEngine::with_config(EngineConfig {
+            retry: RetryPolicy {
+                backoff_base_secs: 10.0,
+                backoff_factor: 10.0,
+                backoff_max_secs: 50.0,
+                ..RetryPolicy::default()
+            },
+            ..EngineConfig::default()
+        });
+        let job = EnsembleJobId::new(WorkflowId(0), JobId(0));
+        assert_eq!(e.backoff_delay(job, 1), 10.0);
+        assert_eq!(e.backoff_delay(job, 2), 50.0, "100 capped to 50");
+        assert_eq!(e.backoff_delay(job, 9), 50.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mk = |seed| {
+            EnsembleEngine::with_config(EngineConfig {
+                retry: RetryPolicy {
+                    backoff_base_secs: 10.0,
+                    jitter_frac: 0.5,
+                    seed,
+                    ..RetryPolicy::default()
+                },
+                ..EngineConfig::default()
+            })
+        };
+        let job = EnsembleJobId::new(WorkflowId(3), JobId(7));
+        let d1 = mk(42).backoff_delay(job, 1);
+        let d2 = mk(42).backoff_delay(job, 1);
+        assert_eq!(d1, d2, "same seed, same delay");
+        assert!(d1 > 5.0 && d1 <= 10.0, "jitter shrinks by at most jitter_frac: {d1}");
+        let d3 = mk(43).backoff_delay(job, 1);
+        assert_ne!(d1, d3, "different seed perturbs the delay");
+    }
+
+    #[test]
+    fn deferred_retry_completion_cancels_the_deferral() {
+        // The failed attempt's straggler worker completes while the retry
+        // is parked: the deferral must die with the job.
+        let mut e = EnsembleEngine::with_config(EngineConfig {
+            retry: RetryPolicy { backoff_base_secs: 5.0, ..RetryPolicy::default() },
+            ..EngineConfig::default()
+        });
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        e.on_ack(fail_ack(d.job, 1), 1.0); // retry parked until 6.0
+        let actions = e.on_ack(done_ack(d.job, 1), 2.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::WorkflowCompleted { .. })));
+        assert!(e.check_timeouts(10.0).is_empty(), "deferred dispatch cancelled");
+        assert_eq!(e.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn checkout_timeout_recovers_dropped_dispatch() {
+        // With a lossy transport the dispatch may never reach a worker: no
+        // Running ack ever arrives. The checkout timeout resubmits it.
+        let mut e = EnsembleEngine::with_config(EngineConfig {
+            checkout_timeout_secs: Some(30.0),
+            ..EngineConfig::default()
+        });
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        assert_eq!(e.next_deadline(), Some(30.0));
+        assert!(e.check_timeouts(29.0).is_empty());
+        let rd = dispatches(&e.check_timeouts(30.0));
+        assert_eq!(rd.len(), 1);
+        assert_eq!(rd[0].attempt, 2);
+        // This time the checkout lands; the deadline switches to the job
+        // timeout and the job completes normally.
+        e.on_ack(run_ack(d.job, 2), 31.0);
+        let actions = e.on_ack(done_ack(d.job, 2), 32.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
+    }
+
+    #[test]
+    fn default_config_preserves_unbounded_retries() {
+        let mut e = EnsembleEngine::with_default_timeout(10.0);
+        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut d = dispatches(&actions)[0];
+        for attempt in 1..50u32 {
+            let actions = e.on_ack(fail_ack(d.job, attempt), f64::from(attempt));
+            let rd = dispatches(&actions);
+            assert_eq!(rd.len(), 1, "attempt {attempt} must retry");
+            d = rd[0];
+        }
+        assert_eq!(e.stats().dead_lettered, 0);
     }
 }

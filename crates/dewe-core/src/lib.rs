@@ -45,5 +45,5 @@ mod protocol;
 pub mod realtime;
 pub mod sim;
 
-pub use engine::{Action, EngineStats, EnsembleEngine};
+pub use engine::{Action, EngineConfig, EngineStats, EnsembleEngine, RetryPolicy};
 pub use protocol::{AckKind, AckMsg, DispatchMsg, SubmissionMsg};

@@ -48,6 +48,28 @@ pub enum AckKind {
     Failed,
 }
 
+impl AckKind {
+    /// Compact wire code, used by the master's write-ahead journal.
+    pub fn code(self) -> u8 {
+        match self {
+            AckKind::Running => 0,
+            AckKind::Completed => 1,
+            AckKind::Failed => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown codes (a
+    /// corrupt or truncated journal record).
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(AckKind::Running),
+            1 => Some(AckKind::Completed),
+            2 => Some(AckKind::Failed),
+            _ => None,
+        }
+    }
+}
+
 /// Job acknowledgment topic payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AckMsg {

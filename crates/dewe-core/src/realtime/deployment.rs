@@ -96,6 +96,7 @@ impl DeploymentBuilder {
                 default_timeout_secs: self.default_timeout_secs,
                 timeout_scan_interval: self.timeout_scan_interval,
                 expected_workflows: self.expected_workflows,
+                ..MasterConfig::default()
             },
         );
         let workers = (0..self.workers)
@@ -237,6 +238,7 @@ mod tests {
             match d.next_event(Duration::from_secs(30)).expect("event") {
                 MasterEvent::WorkflowCompleted { workflow, .. } => seen.push(workflow.index()),
                 MasterEvent::AllCompleted { .. } => break,
+                other => panic!("unexpected event: {other:?}"),
             }
         }
         assert_eq!(seen, vec![0, 1, 2]);

@@ -1,0 +1,365 @@
+//! Write-ahead journal of master engine inputs, and recovery from it.
+//!
+//! The paper's master daemon is a single point of failure: its DAG state
+//! lives in memory, so a crash strands the whole ensemble. This module
+//! makes the master recoverable by journaling every *input* the sans-IO
+//! [`EnsembleEngine`] consumes — workflow submissions, acknowledgments,
+//! and effective timeout scans — rather than snapshotting its state. The
+//! engine is deterministic, so replaying the inputs rebuilds the tracker,
+//! in-flight slab and deadline heap exactly.
+//!
+//! ## Format
+//!
+//! Append-only ASCII lines, one record each, flushed per record:
+//!
+//! ```text
+//! S <registry_index> <time_bits>
+//! A <workflow> <job> <worker> <kind_code> <attempt> <time_bits>
+//! T <time_bits>
+//! ```
+//!
+//! Times are `f64::to_bits` in hex — exact round-trips, no decimal
+//! parsing ambiguity. Workflow DAGs are *not* serialized: a submission
+//! record stores the workflow's [`Registry`] index, and recovery
+//! re-fetches the DAG from the registry (the paper keeps workflow data on
+//! the shared file system for the same reason). A truncated final line —
+//! the crash happened mid-write — is silently discarded.
+//!
+//! ## Recovery invariants
+//!
+//! * Replay feeds records through the same engine entry points the live
+//!   master uses, so recovered state is bit-identical to pre-crash state.
+//! * The recovered clock resumes from the last journaled time; wall time
+//!   restarts but engine time never runs backwards.
+//! * Jobs in flight at the crash may exist in the (unknown) queue state;
+//!   the recovered master republishes them. Workers may therefore run a
+//!   job twice — duplicate-completion noise, the same race the timeout
+//!   mechanism already tolerates.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use dewe_dag::{EnsembleJobId, JobId, WorkflowId};
+
+use super::bus::Registry;
+use crate::engine::{Action, EngineConfig, EnsembleEngine};
+use crate::protocol::{AckKind, AckMsg, DispatchMsg};
+
+/// One journaled engine input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JournalRecord {
+    /// A workflow was submitted (stored by registry index).
+    Submit {
+        /// Registry index of the workflow (equals its engine id).
+        workflow: u32,
+        /// Engine time of the submission.
+        at: f64,
+    },
+    /// A worker acknowledgment was processed.
+    Ack {
+        /// The acknowledgment.
+        ack: AckMsg,
+        /// Engine time it was processed.
+        at: f64,
+    },
+    /// A timeout scan that changed engine state ran.
+    Scan {
+        /// Engine time of the scan.
+        at: f64,
+    },
+}
+
+impl JournalRecord {
+    /// Engine time of this record.
+    pub fn at(&self) -> f64 {
+        match *self {
+            JournalRecord::Submit { at, .. }
+            | JournalRecord::Ack { at, .. }
+            | JournalRecord::Scan { at } => at,
+        }
+    }
+}
+
+/// Append-only journal writer; every record is flushed to the OS before
+/// the corresponding input is considered durable.
+pub struct Journal {
+    out: BufWriter<File>,
+}
+
+impl Journal {
+    /// Start a fresh journal, truncating any existing file.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self { out: BufWriter::new(File::create(path)?) })
+    }
+
+    /// Open an existing journal for appending (recovery resume).
+    pub fn append(path: &Path) -> io::Result<Self> {
+        Ok(Self { out: BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?) })
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()
+    }
+
+    /// Journal a workflow submission.
+    pub fn record_submit(&mut self, workflow: WorkflowId, at: f64) -> io::Result<()> {
+        self.write_line(&format!("S {} {:x}", workflow.0, at.to_bits()))
+    }
+
+    /// Journal a worker acknowledgment.
+    pub fn record_ack(&mut self, ack: &AckMsg, at: f64) -> io::Result<()> {
+        self.write_line(&format!(
+            "A {} {} {} {} {} {:x}",
+            ack.job.workflow.0,
+            ack.job.job.0,
+            ack.worker,
+            ack.kind.code(),
+            ack.attempt,
+            at.to_bits()
+        ))
+    }
+
+    /// Journal an effective timeout scan (one that changed engine state).
+    pub fn record_scan(&mut self, at: f64) -> io::Result<()> {
+        self.write_line(&format!("T {:x}", at.to_bits()))
+    }
+}
+
+fn parse_time(tok: &str) -> Option<f64> {
+    u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+}
+
+fn parse_record(line: &str) -> Option<JournalRecord> {
+    let mut t = line.split_ascii_whitespace();
+    match t.next()? {
+        "S" => {
+            let workflow = t.next()?.parse().ok()?;
+            let at = parse_time(t.next()?)?;
+            Some(JournalRecord::Submit { workflow, at })
+        }
+        "A" => {
+            let wf: u32 = t.next()?.parse().ok()?;
+            let job: u32 = t.next()?.parse().ok()?;
+            let worker = t.next()?.parse().ok()?;
+            let kind = AckKind::from_code(t.next()?.parse().ok()?)?;
+            let attempt = t.next()?.parse().ok()?;
+            let at = parse_time(t.next()?)?;
+            Some(JournalRecord::Ack {
+                ack: AckMsg {
+                    job: EnsembleJobId::new(WorkflowId(wf), JobId(job)),
+                    worker,
+                    kind,
+                    attempt,
+                },
+                at,
+            })
+        }
+        "T" => Some(JournalRecord::Scan { at: parse_time(t.next()?)? }),
+        _ => None,
+    }
+}
+
+/// Read every intact record from a journal file. A malformed *final* line
+/// (torn write at crash time) is discarded; a malformed line in the middle
+/// is corruption and returns an error.
+pub fn read_journal(path: &Path) -> io::Result<Vec<JournalRecord>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    let mut pending_bad: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(bad) = pending_bad {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt journal record at line {}", bad + 1),
+            ));
+        }
+        match parse_record(&line) {
+            Some(r) => records.push(r),
+            None => pending_bad = Some(idx), // tolerated only as the tail
+        }
+    }
+    Ok(records)
+}
+
+/// Outcome of a journal replay: the rebuilt engine plus what the restarted
+/// master must do next.
+pub struct Recovery {
+    /// Engine with tracker / in-flight / deadline state rebuilt.
+    pub engine: EnsembleEngine,
+    /// The last journaled engine time — the recovered clock resumes here.
+    pub resume_at: f64,
+    /// In-flight attempts to republish (pre-crash queue state is unknown).
+    pub redispatch: Vec<DispatchMsg>,
+}
+
+/// Rebuild an engine by replaying journal records. Workflows are fetched
+/// from `registry` by their journaled index; replay actions are discarded
+/// (their dispatches either already happened or are covered by
+/// `redispatch`).
+pub fn recover(
+    records: &[JournalRecord],
+    registry: &Registry,
+    config: EngineConfig,
+) -> io::Result<Recovery> {
+    let mut engine = EnsembleEngine::with_config(config);
+    let mut sink: Vec<Action> = Vec::new();
+    let mut resume_at = 0.0f64;
+    for rec in records {
+        resume_at = resume_at.max(rec.at());
+        match *rec {
+            JournalRecord::Submit { workflow, at } => {
+                let wf = registry.get(WorkflowId(workflow)).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal references workflow {workflow} absent from registry"),
+                    )
+                })?;
+                let id = engine.submit_workflow_into(Arc::clone(&wf), at, &mut sink);
+                if id.0 != workflow {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal submission order mismatch: got {id:?}, want {workflow}"),
+                    ));
+                }
+                sink.clear();
+            }
+            JournalRecord::Ack { ack, at } => {
+                engine.on_ack_into(ack, at, &mut sink);
+                sink.clear();
+            }
+            JournalRecord::Scan { at } => {
+                engine.check_timeouts_into(at, &mut sink);
+                sink.clear();
+            }
+        }
+    }
+    let mut redispatch = Vec::new();
+    engine.inflight_dispatches(&mut redispatch);
+    Ok(Recovery { engine, resume_at, redispatch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::DispatchMsg;
+    use dewe_dag::WorkflowBuilder;
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dewe-journal-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn chain(n: usize) -> Arc<dewe_dag::Workflow> {
+        let mut b = WorkflowBuilder::new("chain");
+        let mut prev = None;
+        for i in 0..n {
+            let j = b.job(format!("j{i}"), "t", 1.0).build();
+            if let Some(p) = prev {
+                b.edge(p, j);
+            }
+            prev = Some(j);
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn records_round_trip_exactly() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::create(&path).unwrap();
+        let ack = AckMsg {
+            job: EnsembleJobId::new(WorkflowId(3), JobId(17)),
+            worker: 9,
+            kind: AckKind::Completed,
+            attempt: 4,
+        };
+        j.record_submit(WorkflowId(0), 0.125).unwrap();
+        j.record_ack(&ack, 1.0000000001).unwrap();
+        j.record_scan(2.5).unwrap();
+        drop(j);
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                JournalRecord::Submit { workflow: 0, at: 0.125 },
+                JournalRecord::Ack { ack, at: 1.0000000001 },
+                JournalRecord::Scan { at: 2.5 },
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_line_is_discarded() {
+        let path = tmp("torn");
+        let mut j = Journal::create(&path).unwrap();
+        j.record_scan(1.0).unwrap();
+        drop(j);
+        // Simulate a crash mid-write of the next record.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"A 0 0 1").unwrap();
+        drop(f);
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(recs, vec![JournalRecord::Scan { at: 1.0 }]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_an_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "T 3ff0000000000000\nGARBAGE\nT 4000000000000000\n").unwrap();
+        assert!(read_journal(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovery_rebuilds_engine_state() {
+        let path = tmp("recover");
+        let registry = Registry::new();
+        let wf = chain(2);
+        registry.insert(WorkflowId(0), Arc::clone(&wf));
+
+        // Live master: submit, check out the root, then "crash".
+        let config = EngineConfig { default_timeout_secs: 10.0, ..EngineConfig::default() };
+        let mut live = EnsembleEngine::with_config(config);
+        let mut j = Journal::create(&path).unwrap();
+        let mut sink = Vec::new();
+        j.record_submit(WorkflowId(0), 0.0).unwrap();
+        live.submit_workflow_into(Arc::clone(&wf), 0.0, &mut sink);
+        let Action::Dispatch(d) = sink[0].clone() else { panic!("root dispatch") };
+        sink.clear();
+        let run = AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: 1 };
+        j.record_ack(&run, 1.0).unwrap();
+        live.on_ack_into(run, 1.0, &mut sink);
+        sink.clear();
+        drop(j); // crash
+
+        let rec = recover(&read_journal(&path).unwrap(), &registry, config).unwrap();
+        let mut engine = rec.engine;
+        assert_eq!(rec.resume_at, 1.0);
+        assert_eq!(engine.stats(), live.stats(), "replayed stats match live");
+        assert_eq!(rec.redispatch, vec![DispatchMsg { job: d.job, attempt: 1 }]);
+        // The rebuilt deadline heap still times the checkout out at 11.0.
+        assert_eq!(engine.next_deadline(), Some(11.0));
+        let actions = engine.check_timeouts(11.0);
+        assert!(actions.iter().any(|a| matches!(a, Action::Dispatch(d2) if d2.attempt == 2)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovery_rejects_missing_workflow() {
+        let recs = vec![JournalRecord::Submit { workflow: 0, at: 0.0 }];
+        let err = recover(&recs, &Registry::new(), EngineConfig::default());
+        assert!(err.is_err());
+    }
+}

@@ -1,5 +1,7 @@
 //! The master daemon thread.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -7,26 +9,53 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use dewe_dag::WorkflowId;
 
 use super::bus::{MessageBus, Registry};
-use crate::engine::{Action, EngineStats, EnsembleEngine};
+use super::journal::{self, Journal};
+use crate::engine::{Action, EngineConfig, EngineStats, EnsembleEngine, RetryPolicy};
 
 /// Master daemon configuration.
 #[derive(Debug, Clone)]
 pub struct MasterConfig {
     /// System-wide default job timeout, seconds (paper §III.B).
     pub default_timeout_secs: f64,
+    /// Optional checkout deadline: resubmit a dispatch that is never
+    /// acknowledged as Running within this many seconds.
+    pub checkout_timeout_secs: Option<f64>,
+    /// Retry budget and backoff policy for failed/timed-out jobs.
+    pub retry: RetryPolicy,
     /// How often the master examines running jobs for timeouts.
     pub timeout_scan_interval: Duration,
-    /// The master exits once this many workflows have completed
-    /// (`None` = run until the bus is shut down).
+    /// The master exits once this many workflows have settled —
+    /// completed or abandoned (`None` = run until the bus is shut down).
     pub expected_workflows: Option<usize>,
+    /// Write-ahead journal path. When set, every engine input is
+    /// journaled before it takes effect, so a replacement master can
+    /// rebuild state after a crash.
+    pub journal_path: Option<PathBuf>,
+    /// When true and the journal file exists, replay it on startup
+    /// (master failover) instead of starting fresh.
+    pub recover: bool,
 }
 
 impl Default for MasterConfig {
     fn default() -> Self {
         Self {
             default_timeout_secs: crate::engine::DEFAULT_TIMEOUT_SECS,
+            checkout_timeout_secs: None,
+            retry: RetryPolicy::default(),
             timeout_scan_interval: Duration::from_millis(50),
             expected_workflows: None,
+            journal_path: None,
+            recover: false,
+        }
+    }
+}
+
+impl MasterConfig {
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            default_timeout_secs: self.default_timeout_secs,
+            checkout_timeout_secs: self.checkout_timeout_secs,
+            retry: self.retry,
         }
     }
 }
@@ -41,8 +70,22 @@ pub enum MasterEvent {
         /// Submission-to-completion wall seconds.
         makespan_secs: f64,
     },
+    /// A workflow was abandoned: one of its jobs exhausted its retry
+    /// budget, stranding `dead_lettered` job(s) and their dependents.
+    WorkflowAbandoned {
+        /// Which workflow.
+        workflow: WorkflowId,
+        /// Jobs in it that exhausted their retry budgets.
+        dead_lettered: u64,
+    },
     /// All expected workflows completed; the master is exiting.
     AllCompleted {
+        /// Final engine statistics.
+        stats: EngineStats,
+    },
+    /// All expected workflows settled but at least one was abandoned;
+    /// the master is exiting with partial completion.
+    AllSettled {
         /// Final engine statistics.
         stats: EngineStats,
     },
@@ -51,6 +94,7 @@ pub enum MasterEvent {
 /// Handle to a running master daemon.
 pub struct MasterHandle {
     thread: Option<std::thread::JoinHandle<EngineStats>>,
+    stop: Arc<AtomicBool>,
     /// Receiver for progress events.
     pub events: Receiver<MasterEvent>,
 }
@@ -60,20 +104,35 @@ impl MasterHandle {
     pub fn join(mut self) -> EngineStats {
         self.thread.take().expect("join called once").join().expect("master panicked")
     }
+
+    /// Simulate a master crash: the daemon stops serving immediately,
+    /// abandoning its in-memory state. Workers and queued messages are
+    /// untouched — exactly the failure a journaled restart recovers from.
+    pub fn kill(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread {
+            let _ = thread.join();
+        }
+    }
 }
 
 /// Spawn the master daemon.
 ///
 /// It pulls the submission topic for new workflows, the ack topic for
 /// worker progress, publishes eligible jobs to the dispatch topic, and
-/// periodically resubmits timed-out jobs.
+/// periodically resubmits timed-out jobs. With
+/// [`MasterConfig::journal_path`] set it write-ahead journals every
+/// input; with [`MasterConfig::recover`] it first replays that journal,
+/// rebuilding the pre-crash engine and republishing in-flight jobs.
 pub fn spawn_master(bus: MessageBus, registry: Registry, config: MasterConfig) -> MasterHandle {
     let (tx, rx): (Sender<MasterEvent>, Receiver<MasterEvent>) = unbounded();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
         .name("dewe-master".into())
-        .spawn(move || master_loop(bus, registry, config, tx))
+        .spawn(move || master_loop(bus, registry, config, tx, stop2))
         .expect("spawn master thread");
-    MasterHandle { thread: Some(thread), events: rx }
+    MasterHandle { thread: Some(thread), stop, events: rx }
 }
 
 fn master_loop(
@@ -81,49 +140,102 @@ fn master_loop(
     registry: Registry,
     config: MasterConfig,
     events: Sender<MasterEvent>,
+    stop: Arc<AtomicBool>,
 ) -> EngineStats {
-    let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
-    let start = Instant::now();
-    let mut last_scan = 0.0f64;
-    // Reused across iterations so the serving loop does not allocate per
-    // ack/scan in steady state.
+    let mut engine = EnsembleEngine::with_config(config.engine_config());
+    // Engine time continues across restarts: a recovered master resumes
+    // its clock from the last journaled instant so deadlines and
+    // makespans never run backwards.
+    let mut time_base = 0.0f64;
+    let mut wal: Option<Journal> = None;
     let mut actions: Vec<Action> = Vec::new();
+
+    if let Some(path) = &config.journal_path {
+        if config.recover && path.exists() {
+            let records = journal::read_journal(path).expect("read journal");
+            let rec =
+                journal::recover(&records, &registry, config.engine_config()).expect("replay");
+            engine = rec.engine;
+            time_base = rec.resume_at;
+            // Pre-crash queue state is unknown; republish everything the
+            // rebuilt engine believes is in flight. Workers that already
+            // ran these attempts produce duplicate-completion noise the
+            // engine tolerates.
+            for d in rec.redispatch {
+                bus.dispatch.publish(d);
+            }
+            wal = Some(Journal::append(path).expect("reopen journal"));
+        } else {
+            wal = Some(Journal::create(path).expect("create journal"));
+        }
+    }
+
+    let start = Instant::now();
+    let mut last_scan = time_base;
     loop {
-        let now = start.elapsed().as_secs_f64();
+        if stop.load(Ordering::Relaxed) {
+            // Simulated crash: drop everything on the floor.
+            return engine.stats();
+        }
+        let now = time_base + start.elapsed().as_secs_f64();
 
         // 1. Ingest any newly submitted workflows.
         while let Some(sub) = bus.submission.try_pull() {
-            let now = start.elapsed().as_secs_f64();
-            // Insert into the registry BEFORE publishing dispatches so no
-            // worker can observe a job of an unknown workflow.
+            let now = time_base + start.elapsed().as_secs_f64();
+            // Insert into the registry BEFORE journaling or publishing so
+            // neither a worker nor a recovering master can observe a job
+            // of an unknown workflow.
             let expected_id = WorkflowId::from_index(engine.workflow_count());
             registry.insert(expected_id, Arc::clone(&sub.workflow));
+            if let Some(w) = wal.as_mut() {
+                w.record_submit(expected_id, now).expect("journal submit");
+            }
             let id = engine.submit_workflow_into(sub.workflow, now, &mut actions);
             debug_assert_eq!(id, expected_id);
             publish_actions(&bus, &events, &mut actions);
         }
 
-        // 2. Timeout scan at the configured cadence.
+        // 2. Timeout scan at the configured cadence. Scans are journaled
+        // AFTER the fact and only when they changed engine state: if the
+        // record is lost to a crash, the rebuilt deadline heap still holds
+        // the expired entries and the recovered master's next scan redoes
+        // the work (re-publishing at worst a duplicate dispatch).
         if now - last_scan >= config.timeout_scan_interval.as_secs_f64() {
             last_scan = now;
+            let before = engine.stats();
             engine.check_timeouts_into(now, &mut actions);
+            if !actions.is_empty() || engine.stats() != before {
+                if let Some(w) = wal.as_mut() {
+                    w.record_scan(now).expect("journal scan");
+                }
+            }
             publish_actions(&bus, &events, &mut actions);
         }
 
-        // 3. Exit once the expected workload has completed. (The engine's
-        // own `AllCompleted` only covers workflows submitted *so far*; the
-        // master must keep serving when more submissions are expected.)
+        // 3. Exit once the expected workload has settled. (The engine's
+        // own `AllCompleted`/`AllSettled` only cover workflows submitted
+        // *so far*; the master must keep serving when more submissions
+        // are expected.)
         if let Some(expected) = config.expected_workflows {
-            if engine.stats().workflows_completed >= expected {
-                let _ = events.send(MasterEvent::AllCompleted { stats: engine.stats() });
-                return engine.stats();
+            let stats = engine.stats();
+            if stats.workflows_completed + stats.workflows_abandoned >= expected {
+                let ev = if stats.workflows_abandoned == 0 {
+                    MasterEvent::AllCompleted { stats }
+                } else {
+                    MasterEvent::AllSettled { stats }
+                };
+                let _ = events.send(ev);
+                return stats;
             }
         }
 
         // 4. Wait (briefly) for worker acknowledgments.
         match bus.ack.pull_timeout(config.timeout_scan_interval) {
             Some(ack) => {
-                let now = start.elapsed().as_secs_f64();
+                let now = time_base + start.elapsed().as_secs_f64();
+                if let Some(w) = wal.as_mut() {
+                    w.record_ack(&ack, now).expect("journal ack");
+                }
                 engine.on_ack_into(ack, now, &mut actions);
                 publish_actions(&bus, &events, &mut actions);
             }
@@ -145,7 +257,10 @@ fn publish_actions(bus: &MessageBus, events: &Sender<MasterEvent>, actions: &mut
             Action::WorkflowCompleted { workflow, makespan_secs } => {
                 let _ = events.send(MasterEvent::WorkflowCompleted { workflow, makespan_secs });
             }
-            Action::AllCompleted => {}
+            Action::WorkflowAbandoned { workflow, dead_lettered, .. } => {
+                let _ = events.send(MasterEvent::WorkflowAbandoned { workflow, dead_lettered });
+            }
+            Action::JobDeadLettered { .. } | Action::AllCompleted | Action::AllSettled => {}
         }
     }
 }
@@ -218,6 +333,7 @@ mod tests {
                 default_timeout_secs: 0.05,
                 timeout_scan_interval: Duration::from_millis(10),
                 expected_workflows: Some(1),
+                ..MasterConfig::default()
             },
         );
         let mut b = WorkflowBuilder::new("one");
@@ -238,5 +354,44 @@ mod tests {
         let stats = handle.join();
         assert_eq!(stats.resubmissions, 1);
         assert_eq!(stats.workflows_completed, 1);
+    }
+
+    #[test]
+    fn master_dead_letters_and_exits_settled() {
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                timeout_scan_interval: Duration::from_millis(5),
+                expected_workflows: Some(1),
+                retry: RetryPolicy { max_attempts: Some(2), ..RetryPolicy::default() },
+                ..MasterConfig::default()
+            },
+        );
+        let mut b = WorkflowBuilder::new("poison");
+        b.job("a", "t", 1.0).build();
+        super::super::submit(&bus, "poison", Arc::new(b.finish().unwrap()));
+
+        // Fail every attempt; after the cap the workflow is abandoned and
+        // the master exits with partial completion.
+        for attempt in 1..=2 {
+            let d = bus.dispatch.pull_timeout(Duration::from_secs(5)).expect("dispatch");
+            assert_eq!(d.attempt, attempt);
+            bus.ack.publish(AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt });
+            bus.ack.publish(AckMsg { job: d.job, worker: 0, kind: AckKind::Failed, attempt });
+        }
+        let ev = handle.events.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            ev,
+            MasterEvent::WorkflowAbandoned { workflow: WorkflowId(0), dead_lettered: 1 }
+        );
+        let ev = handle.events.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(ev, MasterEvent::AllSettled { .. }));
+        let stats = handle.join();
+        assert_eq!(stats.dead_lettered, 1);
+        assert_eq!(stats.workflows_abandoned, 1);
+        assert_eq!(stats.workflows_completed, 0);
     }
 }

@@ -27,6 +27,7 @@
 
 mod bus;
 mod deployment;
+mod journal;
 mod master;
 mod observer;
 mod runner;
@@ -34,6 +35,7 @@ mod worker;
 
 pub use bus::{MessageBus, Registry};
 pub use deployment::{Deployment, DeploymentBuilder};
+pub use journal::{read_journal, recover, Journal, JournalRecord, Recovery};
 pub use master::{spawn_master, MasterConfig, MasterEvent, MasterHandle};
 pub use observer::{spawn_observer, BusSeries, ObserverHandle};
 pub use runner::{CpuRunner, FsRunner, JobOutcome, JobRunner, NoopRunner, RunContext, SleepRunner};

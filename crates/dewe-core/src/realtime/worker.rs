@@ -123,7 +123,22 @@ fn slot_loop(
             attempt: dispatch.attempt,
         });
         let ctx = RunContext { cancelled: Arc::clone(&kill), worker: config.worker_id };
-        match runner.run(&workflow, dispatch.job.job, &ctx) {
+        // A panicking job executable must not take the whole slot thread
+        // (and, via `WorkerHandle::join`, the harness) down with it: treat
+        // the panic as a job failure and keep serving. The master's retry
+        // budget decides whether the job gets another chance.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.run(&workflow, dispatch.job.job, &ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            let reason = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".into());
+            JobOutcome::Failed(format!("panic: {reason}"))
+        });
+        match outcome {
             JobOutcome::Success => {
                 executed += 1;
                 bus.ack.publish(AckMsg {
@@ -220,6 +235,51 @@ mod tests {
         assert_eq!(handle.kill(), 0, "no job completed");
         // No completion ack must ever arrive.
         assert!(bus.ack.pull_timeout(Duration::from_millis(100)).is_none());
+    }
+
+    #[test]
+    fn panicking_job_acks_failed_and_slot_survives() {
+        struct Bomb;
+        impl crate::realtime::JobRunner for Bomb {
+            fn run(
+                &self,
+                _w: &dewe_dag::Workflow,
+                j: JobId,
+                _ctx: &crate::realtime::RunContext,
+            ) -> JobOutcome {
+                if j.index() == 0 {
+                    panic!("executable segfaulted");
+                }
+                JobOutcome::Success
+            }
+        }
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let mut b = WorkflowBuilder::new("w");
+        b.job("a", "t", 1.0).build();
+        b.job("b", "t", 1.0).build();
+        registry.insert(WorkflowId(0), Arc::new(b.finish().unwrap()));
+        let handle = spawn_worker(
+            bus.clone(),
+            registry,
+            Arc::new(Bomb),
+            WorkerConfig { worker_id: 2, slots: 1, pull_timeout: Duration::from_millis(10) },
+        );
+        // Job 0 panics mid-run: the slot must ack it Failed and survive.
+        bus.dispatch
+            .publish(DispatchMsg { job: EnsembleJobId::new(WorkflowId(0), JobId(0)), attempt: 1 });
+        let running = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(running.kind, AckKind::Running);
+        let failed = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(failed.kind, AckKind::Failed);
+        // Same slot still serves the next job.
+        bus.dispatch
+            .publish(DispatchMsg { job: EnsembleJobId::new(WorkflowId(0), JobId(1)), attempt: 1 });
+        let running = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(running.kind, AckKind::Running);
+        let completed = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(completed.kind, AckKind::Completed);
+        assert_eq!(handle.stop(), 1);
     }
 
     #[test]

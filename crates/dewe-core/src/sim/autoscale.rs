@@ -122,7 +122,12 @@ pub fn run_ensemble_autoscale(
         draining: vec![false; max_nodes],
     };
 
-    let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
+    assert!(config.chaos.is_none(), "chaos injection is not supported by the autoscale driver");
+    let mut engine = EnsembleEngine::with_config(crate::engine::EngineConfig {
+        default_timeout_secs: config.default_timeout_secs,
+        checkout_timeout_secs: config.checkout_timeout_secs,
+        retry: config.retry,
+    });
     let mut state = DriverState::new(workflows, pool, config);
     // Scale-in lets running jobs drain, so per-node occupancy is tracked.
     state.node_running = vec![0; max_nodes];
@@ -260,7 +265,7 @@ pub fn run_ensemble_autoscale(
 
     AutoscaleReport {
         makespan_secs: makespan,
-        completed: state.all_done_at.is_some(),
+        completed: state.all_done_at.is_some() && state.abandoned_count == 0,
         engine: engine.stats(),
         node_spans: rent.spans,
         peak_nodes: peak,

@@ -18,9 +18,10 @@ use std::sync::Arc;
 
 use dewe_dag::{EnsembleJobId, Workflow};
 use dewe_metrics::{ClusterSampler, Gantt, SAMPLE_INTERVAL_SECS};
+use dewe_mq::chaos::{self, ChaosConfig, ChaosDecider};
 use dewe_simcloud::{ClusterConfig, ExecSim, JobProfile, NodeId, SimEvent};
 
-use crate::engine::{Action, EngineStats, EnsembleEngine};
+use crate::engine::{Action, EngineConfig, EngineStats, EnsembleEngine, RetryPolicy};
 use crate::protocol::{AckKind, AckMsg, DispatchMsg};
 
 pub mod autoscale;
@@ -77,6 +78,20 @@ pub struct SimRunConfig {
     /// Record a per-job lifecycle [`dewe_metrics::Trace`] (memory-heavy at
     /// full ensemble scale; intended for single-workflow analyses).
     pub record_trace: bool,
+    /// Retry budget and backoff schedule (default: the paper's unbounded
+    /// immediate retries).
+    pub retry: RetryPolicy,
+    /// Dispatch-to-checkout deadline; see
+    /// [`EngineConfig::checkout_timeout_secs`]. When `None` but message
+    /// drop is being injected, the default job timeout is used so dropped
+    /// dispatches recover instead of hanging the run.
+    pub checkout_timeout_secs: Option<f64>,
+    /// Message-level fault injection (drop/duplication) applied to the
+    /// simulated dispatch and acknowledgment topics, keyed deterministically
+    /// by `(workflow, job, attempt)`. Delay injection is a realtime-only
+    /// feature ([`dewe_mq::ChaosTopic`]); the sim's transport has no
+    /// latency to perturb.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl SimRunConfig {
@@ -94,6 +109,9 @@ impl SimRunConfig {
             faults: Vec::new(),
             node_speed_factors: None,
             record_trace: false,
+            retry: RetryPolicy::default(),
+            checkout_timeout_secs: None,
+            chaos: None,
         }
     }
 }
@@ -104,8 +122,12 @@ pub struct SimReport {
     pub makespan_secs: f64,
     /// Per-workflow makespans (submission → completion), by workflow id.
     pub workflow_makespans: Vec<f64>,
-    /// True when every workflow completed (false = simulation starved,
-    /// which indicates an engine bug).
+    /// True when every workflow fully completed. False means partial
+    /// completion: some jobs dead-lettered (see
+    /// [`EngineStats::dead_lettered`]) or the simulation starved (an
+    /// engine bug — distinguishable because starving leaves
+    /// `engine.workflows_completed + engine.workflows_abandoned` short of
+    /// the ensemble size).
     pub completed: bool,
     /// Total CPU busy core-seconds across the cluster.
     pub total_cpu_core_secs: f64,
@@ -230,7 +252,11 @@ struct DriverState {
     node_running: Vec<u32>,
     workflow_makespans: Vec<f64>,
     completed_count: usize,
+    /// Workflows settled with dead-lettered jobs (makespan stays 0.0).
+    abandoned_count: usize,
     all_done_at: Option<f64>,
+    /// Message-level fault injector, when configured.
+    chaos: Option<ChaosDecider>,
 }
 
 impl DriverState {
@@ -257,7 +283,9 @@ impl DriverState {
             node_running: Vec::new(),
             workflow_makespans: vec![0.0f64; workflows.len()],
             completed_count: 0,
+            abandoned_count: 0,
             all_done_at: None,
+            chaos: config.chaos.map(ChaosDecider::new),
         }
     }
 
@@ -281,11 +309,39 @@ impl DriverState {
         );
     }
 
+    /// How many copies of a message survive the chaos layer: 0 (dropped),
+    /// 1, or 2 (duplicated). Keyed by (workflow, job, attempt, kind) so a
+    /// resubmitted attempt rolls fresh dice and the decision is identical
+    /// across runs regardless of event interleaving.
+    fn chaos_copies(&self, stream: u64, job: EnsembleJobId, attempt: u32, kind: u64) -> usize {
+        let Some(ch) = &self.chaos else { return 1 };
+        let key = chaos::message_key(
+            job.workflow.index() as u64,
+            job.job.index() as u64,
+            (u64::from(attempt) << 2) | kind,
+        );
+        if ch.drops(stream, key) {
+            0
+        } else if ch.duplicates(stream, key) {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Record that a workflow reached a terminal state (completed or
+    /// abandoned); the run ends when the expected total has settled.
+    fn workflow_settled(&mut self, now: f64) {
+        if self.completed_count + self.abandoned_count == self.workflow_makespans.len() {
+            self.all_done_at = Some(now);
+        }
+    }
+
     /// Turn engine actions into queue entries / bookkeeping, draining the
-    /// scratch action buffer. The engine's `AllCompleted` only covers
-    /// workflows submitted *so far*; under incremental submission the run
-    /// ends when the expected total has completed, so completions are
-    /// counted here.
+    /// scratch action buffer. The engine's `AllCompleted`/`AllSettled`
+    /// only cover workflows submitted *so far*; under incremental
+    /// submission the run ends when the expected total has settled, so
+    /// terminal transitions are counted here.
     fn handle_actions(&mut self, now: f64) {
         let mut actions = std::mem::take(&mut self.actions);
         for action in actions.drain(..) {
@@ -295,16 +351,20 @@ impl DriverState {
                         let t = self.token(d.job) as usize;
                         self.dispatch_times[t] = now;
                     }
-                    self.queue.push_back(d);
+                    for _ in 0..self.chaos_copies(chaos::streams::DISPATCH, d.job, d.attempt, 2) {
+                        self.queue.push_back(d);
+                    }
                 }
                 Action::WorkflowCompleted { workflow, makespan_secs } => {
                     self.workflow_makespans[workflow.index()] = makespan_secs;
                     self.completed_count += 1;
-                    if self.completed_count == self.workflow_makespans.len() {
-                        self.all_done_at = Some(now);
-                    }
+                    self.workflow_settled(now);
                 }
-                Action::AllCompleted => {}
+                Action::WorkflowAbandoned { .. } => {
+                    self.abandoned_count += 1;
+                    self.workflow_settled(now);
+                }
+                Action::JobDeadLettered { .. } | Action::AllCompleted | Action::AllSettled => {}
             }
         }
         self.actions = actions;
@@ -316,17 +376,22 @@ impl DriverState {
             let Some(node) = self.pool.pop_idle() else { break };
             let d = self.queue.pop_front().expect("queue non-empty");
             let now = exec.now().as_secs_f64();
-            // Worker checks the job out: Running acknowledgment.
-            engine.on_ack_into(
-                AckMsg {
-                    job: d.job,
-                    worker: node as u32,
-                    kind: AckKind::Running,
-                    attempt: d.attempt,
-                },
-                now,
-                &mut self.actions,
-            );
+            // Worker checks the job out: Running acknowledgment. Under
+            // chaos this ack may be lost (the job still runs — losing the
+            // message doesn't kill the work) or delivered twice
+            // (idempotent on the engine side).
+            for _ in 0..self.chaos_copies(chaos::streams::ACK, d.job, d.attempt, 0) {
+                engine.on_ack_into(
+                    AckMsg {
+                        job: d.job,
+                        worker: node as u32,
+                        kind: AckKind::Running,
+                        attempt: d.attempt,
+                    },
+                    now,
+                    &mut self.actions,
+                );
+            }
             debug_assert!(self.actions.is_empty(), "a Running ack emits no actions");
             let workflow = engine.workflow(d.job.workflow);
             let spec = workflow.job(d.job.job);
@@ -373,7 +438,20 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
     }
     let slots_per_node = config.slots_per_node.unwrap_or(config.cluster.instance.vcpus);
     let pool = SlotPool::new(nodes, slots_per_node);
-    let mut engine = EnsembleEngine::with_default_timeout(config.default_timeout_secs);
+    // With message drop in play a lost dispatch would otherwise hang the
+    // run (the checkout clock never starts), so default the checkout
+    // timeout to the job timeout when chaos can drop messages.
+    let checkout_timeout_secs = config.checkout_timeout_secs.or_else(|| {
+        config
+            .chaos
+            .as_ref()
+            .and_then(|c| (c.drop_prob > 0.0).then_some(config.default_timeout_secs))
+    });
+    let mut engine = EnsembleEngine::with_config(EngineConfig {
+        default_timeout_secs: config.default_timeout_secs,
+        checkout_timeout_secs,
+        retry: config.retry,
+    });
     let mut state = DriverState::new(workflows, pool, config);
     let mut sampler =
         config.sample.then(|| ClusterSampler::new(nodes, config.cluster.instance.vcpus));
@@ -410,8 +488,12 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
         match event {
             SimEvent::JobFinished { token, node, timings } => {
                 let Some(d) = state.running[token as usize].take() else {
-                    // Defensive: kill_jobs_on suppresses completions of
-                    // killed jobs, so every finish has a running entry.
+                    // A chaos-duplicated dispatch ran the job twice under
+                    // one token and the first finish consumed the entry:
+                    // free the slot, send no ack. (Killed jobs never get
+                    // here — kill_jobs_on suppresses their completions.)
+                    state.pool.release(node);
+                    state.try_assign(&mut exec, &mut engine);
                     continue;
                 };
                 if let Some(g) = gantt.as_mut() {
@@ -435,16 +517,21 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
                 }
                 state.pool.release(node);
                 let now = exec.now().as_secs_f64();
-                engine.on_ack_into(
-                    AckMsg {
-                        job: d.job,
-                        worker: node as u32,
-                        kind: AckKind::Completed,
-                        attempt: d.attempt,
-                    },
-                    now,
-                    &mut state.actions,
-                );
+                // Under chaos the completion ack may be lost (the master
+                // times the job out and resubmits — the work reruns) or
+                // duplicated (the second copy is dedup noise).
+                for _ in 0..state.chaos_copies(chaos::streams::ACK, d.job, d.attempt, 1) {
+                    engine.on_ack_into(
+                        AckMsg {
+                            job: d.job,
+                            worker: node as u32,
+                            kind: AckKind::Completed,
+                            attempt: d.attempt,
+                        },
+                        now,
+                        &mut state.actions,
+                    );
+                }
                 state.handle_actions(now);
                 state.try_assign(&mut exec, &mut engine);
             }
@@ -523,7 +610,7 @@ pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimRe
     let cost = exec.cluster().cost_model().cost(nodes, makespan);
     SimReport {
         makespan_secs: makespan,
-        completed: state.all_done_at.is_some(),
+        completed: state.all_done_at.is_some() && state.abandoned_count == 0,
         workflow_makespans: state.workflow_makespans,
         total_cpu_core_secs: total_cpu,
         total_bytes_read: total_rd,
@@ -734,6 +821,123 @@ mod tests {
         // 70 jobs on 64 slots: the overflow wave shows queue wait ~1 s.
         let qw = trace.queue_wait_summary().unwrap();
         assert!(qw.max > 0.5, "second wave must have waited: {qw:?}");
+    }
+
+    #[test]
+    fn always_failing_job_dead_letters_and_run_terminates() {
+        // Workflow 0's root takes 100 s of CPU but times out after 10 s:
+        // every attempt fails, so with a 3-attempt budget it dead-letters
+        // and its dependent is written off — while workflow 1 completes
+        // untouched. Without the cap this run would never terminate.
+        let mut b = WorkflowBuilder::new("doomed");
+        let root = b.job("hog", "t", 100.0).build();
+        let child = b.job("child", "t", 1.0).build();
+        b.edge(root, child);
+        let doomed = Arc::new(b.finish().unwrap());
+        let healthy = chain_wf(3, 1.0);
+        let mut cfg = no_overhead(cluster(1));
+        cfg.default_timeout_secs = 10.0;
+        cfg.timeout_scan_secs = 1.0;
+        cfg.retry = crate::engine::RetryPolicy {
+            max_attempts: Some(3),
+            ..crate::engine::RetryPolicy::default()
+        };
+        let report = run_ensemble(&[doomed, healthy], &cfg);
+        assert!(!report.completed, "partial completion must be reported");
+        assert_eq!(report.engine.dead_lettered, 1);
+        assert_eq!(report.engine.jobs_abandoned, 2, "root + dependent");
+        assert_eq!(report.engine.workflows_abandoned, 1);
+        assert_eq!(report.engine.workflows_completed, 1, "healthy workflow unaffected");
+        assert!(report.workflow_makespans[1] > 0.0);
+        // Terminates promptly: 3 attempts x ~10 s timeout, not 100 s+.
+        assert!(report.makespan_secs < 60.0, "{}", report.makespan_secs);
+    }
+
+    #[test]
+    fn backoff_spaces_retries_in_sim_time() {
+        // Same doomed job, but retries back off 20/40 s: the dead-letter
+        // arrives later than with immediate retries, by the backoff sum.
+        let wf = || {
+            let mut b = WorkflowBuilder::new("doomed");
+            b.job("hog", "t", 100.0).build();
+            Arc::new(b.finish().unwrap())
+        };
+        let base = |backoff: f64| {
+            let mut cfg = no_overhead(cluster(1));
+            cfg.default_timeout_secs = 10.0;
+            cfg.timeout_scan_secs = 1.0;
+            cfg.retry = crate::engine::RetryPolicy {
+                max_attempts: Some(3),
+                backoff_base_secs: backoff,
+                backoff_factor: 2.0,
+                ..crate::engine::RetryPolicy::default()
+            };
+            run_ensemble(&[wf()], &cfg)
+        };
+        let immediate = base(0.0);
+        let spaced = base(20.0);
+        assert!(!immediate.completed && !spaced.completed);
+        assert_eq!(spaced.engine.deferred_retries, 2);
+        // 20 + 40 s of backoff shows up in the terminal time.
+        assert!(
+            spaced.makespan_secs > immediate.makespan_secs + 50.0,
+            "immediate {} vs spaced {}",
+            immediate.makespan_secs,
+            spaced.makespan_secs
+        );
+    }
+
+    #[test]
+    fn chaos_drop_and_dup_still_completes() {
+        // Seeded 5% drop + 5% duplication on dispatches and acks: the
+        // ensemble must still finish, with only resubmission and
+        // duplicate-completion noise.
+        let wfs: Vec<_> = (0..4).map(|_| chain_wf(5, 1.0)).collect();
+        let mut cfg = no_overhead(cluster(1));
+        cfg.default_timeout_secs = 20.0;
+        cfg.timeout_scan_secs = 1.0;
+        cfg.chaos = Some(ChaosConfig::drop_dup(0xC4A05, 0.05, 0.05));
+        let report = run_ensemble(&wfs, &cfg);
+        assert!(report.completed, "all workflows must survive message chaos");
+        assert_eq!(report.engine.jobs_completed, 20);
+        assert_eq!(report.engine.dead_lettered, 0);
+        let noise = report.engine.resubmissions + report.engine.duplicate_completions;
+        assert!(noise > 0, "5% chaos on 20 jobs should leave traces");
+        // Lost completions rerun the job; the makespan only degrades by
+        // timeout tails, it does not hang.
+        assert!(report.makespan_secs < 200.0, "{}", report.makespan_secs);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed() {
+        let wfs: Vec<_> = (0..3).map(|_| chain_wf(4, 1.0)).collect();
+        let run = |seed| {
+            let mut cfg = no_overhead(cluster(1));
+            cfg.default_timeout_secs = 15.0;
+            cfg.timeout_scan_secs = 1.0;
+            cfg.chaos = Some(ChaosConfig::drop_dup(seed, 0.1, 0.1));
+            run_ensemble(&wfs, &cfg)
+        };
+        let (a, b, c) = (run(1), run(1), run(2));
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.engine, b.engine, "same seed, same run");
+        assert!(
+            c.engine != a.engine || c.makespan_secs != a.makespan_secs,
+            "different seed should perturb the run"
+        );
+    }
+
+    #[test]
+    fn chaos_heavy_drop_recovers_via_checkout_timeout() {
+        // 30% drop: some dispatches never reach a worker. The implied
+        // checkout timeout resubmits them, so the run still finishes.
+        let mut cfg = no_overhead(cluster(1));
+        cfg.default_timeout_secs = 10.0;
+        cfg.timeout_scan_secs = 1.0;
+        cfg.chaos = Some(ChaosConfig::drop_dup(7, 0.3, 0.0));
+        let report = run_ensemble(&[parallel_wf(40, 1.0)], &cfg);
+        assert!(report.completed);
+        assert!(report.engine.resubmissions > 0, "drops must be recovered by resubmission");
     }
 
     #[test]

@@ -2,17 +2,25 @@
 //! original implementation that kept per-workflow `HashMap` in-flight
 //! tables and scanned every running job on each timeout check.
 //!
-//! A reference copy of that implementation lives in this file. Both
-//! engines are driven through randomized interleavings of submissions,
-//! Running/Completed/Failed acknowledgments (including stale-attempt
-//! re-acks and duplicate completions from timeout races) and timeout
-//! scans, asserting after every step that they emit the same action
-//! sequence, the same statistics and the same next deadline.
+//! A reference copy of that implementation lives in this file, extended
+//! with the same retry budget / backoff / dead-letter semantics the real
+//! engine grew. Both engines are driven through randomized interleavings
+//! of submissions, Running/Completed/Failed acknowledgments (including
+//! stale-attempt re-acks and duplicate completions from timeout races)
+//! and timeout scans, asserting after every step that they emit the same
+//! action sequence, the same statistics and the same next deadline.
+//!
+//! A second property drives the real engine while journaling its inputs,
+//! recovers a twin from the journal mid-run, and asserts the twin is
+//! observationally identical from that point on.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dewe_core::{AckKind, AckMsg, Action, DispatchMsg, EngineStats, EnsembleEngine};
+use dewe_core::realtime::{recover, JournalRecord, Registry};
+use dewe_core::{
+    AckKind, AckMsg, Action, DispatchMsg, EngineConfig, EngineStats, EnsembleEngine, RetryPolicy,
+};
 use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, JobState, Workflow, WorkflowId};
 use dewe_montage::{random_layered, RandomDagConfig};
 use proptest::prelude::*;
@@ -25,25 +33,27 @@ struct RefWorkflow {
     workflow: Arc<Workflow>,
     tracker: DependencyTracker,
     submitted_at: f64,
-    /// (deadline, attempt) per in-flight job — the old sparse table.
-    inflight: HashMap<JobId, (f64, u32)>,
+    /// (deadline, attempt, deferred) per in-flight job — the old sparse
+    /// table, with `deferred` marking a parked backoff retry.
+    inflight: HashMap<JobId, (f64, u32, bool)>,
     done: bool,
+    dead_lettered: u64,
 }
 
 struct ReferenceEngine {
     workflows: Vec<RefWorkflow>,
-    default_timeout_secs: f64,
+    config: EngineConfig,
     stats: EngineStats,
-    all_completed_emitted: bool,
+    terminal_emitted: bool,
 }
 
 impl ReferenceEngine {
-    fn new(default_timeout_secs: f64) -> Self {
+    fn new(config: EngineConfig) -> Self {
         Self {
             workflows: Vec::new(),
-            default_timeout_secs,
+            config,
             stats: EngineStats::default(),
-            all_completed_emitted: false,
+            terminal_emitted: false,
         }
     }
 
@@ -55,10 +65,11 @@ impl ReferenceEngine {
             submitted_at: now,
             inflight: HashMap::new(),
             done: false,
+            dead_lettered: 0,
         };
         let mut actions = Vec::new();
         for job in state.tracker.take_ready() {
-            state.inflight.insert(job, (f64::INFINITY, 1));
+            state.inflight.insert(job, (self.dispatch_deadline(now), 1, false));
             self.stats.dispatches += 1;
             actions.push(Action::Dispatch(DispatchMsg {
                 job: EnsembleJobId::new(id, job),
@@ -66,17 +77,24 @@ impl ReferenceEngine {
             }));
         }
         self.stats.workflows_submitted += 1;
-        self.all_completed_emitted = false;
+        self.terminal_emitted = false;
         if state.tracker.is_complete() {
             state.done = true;
             self.stats.workflows_completed += 1;
             actions.push(Action::WorkflowCompleted { workflow: id, makespan_secs: 0.0 });
             self.workflows.push(state);
-            self.maybe_all_completed(&mut actions);
+            self.maybe_all_done(&mut actions);
         } else {
             self.workflows.push(state);
         }
         (id, actions)
+    }
+
+    fn dispatch_deadline(&self, now: f64) -> f64 {
+        match self.config.checkout_timeout_secs {
+            Some(t) => now + t,
+            None => f64::INFINITY,
+        }
     }
 
     fn on_ack(&mut self, ack: AckMsg, now: f64) -> Vec<Action> {
@@ -86,26 +104,31 @@ impl ReferenceEngine {
         match ack.kind {
             AckKind::Running => {
                 let state = &mut self.workflows[wf.index()];
-                let timeout = state.workflow.job(job).effective_timeout(self.default_timeout_secs);
-                if let Some((deadline, attempt)) = state.inflight.get_mut(&job) {
-                    if *attempt == ack.attempt {
+                let timeout =
+                    state.workflow.job(job).effective_timeout(self.config.default_timeout_secs);
+                if let Some((deadline, attempt, deferred)) = state.inflight.get_mut(&job) {
+                    if *attempt == ack.attempt && !*deferred {
                         *deadline = now + timeout;
                     }
                 }
                 state.tracker.mark_running(job);
             }
             AckKind::Completed => {
+                let dd = self.dispatch_deadline(now);
                 let state = &mut self.workflows[wf.index()];
-                if state.tracker.state(job) == JobState::Completed {
-                    self.stats.duplicate_completions += 1;
-                    return actions;
+                match state.tracker.state(job) {
+                    JobState::Completed | JobState::Abandoned => {
+                        self.stats.duplicate_completions += 1;
+                        return actions;
+                    }
+                    _ => {}
                 }
                 state.inflight.remove(&job);
                 let workflow = Arc::clone(&state.workflow);
                 state.tracker.complete(&workflow, job);
                 self.stats.jobs_completed += 1;
                 for next in state.tracker.take_ready() {
-                    state.inflight.insert(next, (f64::INFINITY, 1));
+                    state.inflight.insert(next, (dd, 1, false));
                     self.stats.dispatches += 1;
                     actions.push(Action::Dispatch(DispatchMsg {
                         job: EnsembleJobId::new(wf, next),
@@ -119,56 +142,119 @@ impl ReferenceEngine {
                         workflow: wf,
                         makespan_secs: now - state.submitted_at,
                     });
-                    self.maybe_all_completed(&mut actions);
+                    self.maybe_all_done(&mut actions);
+                } else if state.tracker.is_settled() && !state.done {
+                    state.done = true;
+                    self.stats.workflows_abandoned += 1;
+                    actions.push(Action::WorkflowAbandoned {
+                        workflow: wf,
+                        dead_lettered: state.dead_lettered,
+                        abandoned_jobs: state.tracker.stats().abandoned,
+                    });
+                    self.maybe_all_done(&mut actions);
                 }
             }
             AckKind::Failed => {
-                let state = &mut self.workflows[wf.index()];
-                if state.tracker.state(job) != JobState::Completed && state.tracker.resubmit(job) {
-                    state.tracker.clear_ready();
-                    let attempt = ack.attempt + 1;
-                    self.stats.resubmissions += 1;
-                    state.inflight.insert(job, (f64::INFINITY, attempt));
-                    self.stats.dispatches += 1;
-                    actions.push(Action::Dispatch(DispatchMsg {
-                        job: EnsembleJobId::new(wf, job),
-                        attempt,
-                    }));
-                }
+                self.attempt_failed(wf, job, ack.attempt, now, &mut actions);
             }
         }
         actions
     }
 
-    /// The old O(total in-flight) scan: visit every running job of every
-    /// workflow, collect the expired ones, resubmit in deterministic
-    /// (deadline, workflow, job, attempt) order.
+    fn attempt_failed(
+        &mut self,
+        wf: WorkflowId,
+        job: JobId,
+        failed_attempt: u32,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) {
+        let dd = self.dispatch_deadline(now);
+        let state = &mut self.workflows[wf.index()];
+        match state.tracker.state(job) {
+            JobState::Completed | JobState::Abandoned => return,
+            _ => {}
+        }
+        if self.config.retry.max_attempts.is_some_and(|cap| failed_attempt >= cap) {
+            state.inflight.remove(&job);
+            state.dead_lettered += 1;
+            let workflow = Arc::clone(&state.workflow);
+            let abandoned = state.tracker.abandon(&workflow, job);
+            self.stats.dead_lettered += 1;
+            self.stats.jobs_abandoned += abandoned as u64;
+            actions.push(Action::JobDeadLettered {
+                job: EnsembleJobId::new(wf, job),
+                attempts: failed_attempt,
+                abandoned_jobs: abandoned,
+            });
+            let state = &mut self.workflows[wf.index()];
+            if state.tracker.is_settled() && !state.done {
+                state.done = true;
+                self.stats.workflows_abandoned += 1;
+                actions.push(Action::WorkflowAbandoned {
+                    workflow: wf,
+                    dead_lettered: state.dead_lettered,
+                    abandoned_jobs: state.tracker.stats().abandoned,
+                });
+                self.maybe_all_done(actions);
+            }
+            return;
+        }
+        if state.tracker.resubmit(job) {
+            state.tracker.clear_ready();
+            self.stats.resubmissions += 1;
+            let next_attempt = failed_attempt + 1;
+            let delay =
+                backoff_delay(&self.config.retry, EnsembleJobId::new(wf, job), failed_attempt);
+            if delay > 0.0 {
+                state.inflight.insert(job, (now + delay, next_attempt, true));
+                self.stats.deferred_retries += 1;
+            } else {
+                state.inflight.insert(job, (dd, next_attempt, false));
+                self.stats.dispatches += 1;
+                actions.push(Action::Dispatch(DispatchMsg {
+                    job: EnsembleJobId::new(wf, job),
+                    attempt: next_attempt,
+                }));
+            }
+        }
+    }
+
+    /// The old O(total in-flight) scan: visit every in-flight job of every
+    /// workflow, collect the expired/due ones, process in deterministic
+    /// (deadline, workflow, job, attempt, deferred) order — the real
+    /// engine's heap-pop order over current entries.
     fn check_timeouts(&mut self, now: f64) -> Vec<Action> {
-        let mut expired: Vec<(f64, usize, JobId, u32)> = Vec::new();
+        let mut expired: Vec<(f64, usize, JobId, u32, bool)> = Vec::new();
         for (wfi, state) in self.workflows.iter().enumerate() {
-            for (&job, &(deadline, attempt)) in &state.inflight {
+            for (&job, &(deadline, attempt, deferred)) in &state.inflight {
                 if deadline <= now {
-                    expired.push((deadline, wfi, job, attempt));
+                    expired.push((deadline, wfi, job, attempt, deferred));
                 }
             }
         }
         expired.sort_by(|a, b| {
-            a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)).then_with(|| a.2 .0.cmp(&b.2 .0))
+            a.0.total_cmp(&b.0)
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2 .0.cmp(&b.2 .0))
+                .then_with(|| a.3.cmp(&b.3))
+                .then_with(|| a.4.cmp(&b.4))
         });
         let mut actions = Vec::new();
-        for (_, wfi, job, attempt) in expired {
-            let state = &mut self.workflows[wfi];
-            if state.tracker.resubmit(job) {
-                state.tracker.clear_ready();
-                self.stats.resubmissions += 1;
-                state.inflight.insert(job, (f64::INFINITY, attempt + 1));
+        for (_, wfi, job, attempt, deferred) in expired {
+            let wf = WorkflowId::from_index(wfi);
+            if deferred {
+                // A backoff-deferred retry came due: dispatch it.
+                let dd = self.dispatch_deadline(now);
+                let state = &mut self.workflows[wfi];
+                state.inflight.insert(job, (dd, attempt, false));
                 self.stats.dispatches += 1;
                 actions.push(Action::Dispatch(DispatchMsg {
-                    job: EnsembleJobId::new(WorkflowId::from_index(wfi), job),
-                    attempt: attempt + 1,
+                    job: EnsembleJobId::new(wf, job),
+                    attempt,
                 }));
             } else {
-                state.inflight.remove(&job);
+                self.attempt_failed(wf, job, attempt, now, &mut actions);
             }
         }
         actions
@@ -179,12 +265,12 @@ impl ReferenceEngine {
         self.workflows
             .iter()
             .flat_map(|w| w.inflight.values())
-            .map(|&(deadline, _)| deadline)
+            .map(|&(deadline, _, _)| deadline)
             .filter(|d| d.is_finite())
             .min_by(|a, b| a.total_cmp(b))
     }
 
-    fn all_complete(&self) -> bool {
+    fn all_settled(&self) -> bool {
         !self.workflows.is_empty() && self.workflows.iter().all(|w| w.done)
     }
 
@@ -192,12 +278,44 @@ impl ReferenceEngine {
         self.stats
     }
 
-    fn maybe_all_completed(&mut self, actions: &mut Vec<Action>) {
-        if self.all_complete() && !self.all_completed_emitted {
-            self.all_completed_emitted = true;
-            actions.push(Action::AllCompleted);
+    fn maybe_all_done(&mut self, actions: &mut Vec<Action>) {
+        if self.all_settled() && !self.terminal_emitted {
+            self.terminal_emitted = true;
+            actions.push(if self.stats.workflows_abandoned == 0 {
+                Action::AllCompleted
+            } else {
+                Action::AllSettled
+            });
         }
     }
+}
+
+/// Faithful copy of the engine's deterministic jitter hash.
+fn jitter_unit(seed: u64, job: EnsembleJobId, attempt: u32) -> f64 {
+    let key = ((job.workflow.index() as u64) << 40)
+        ^ ((job.job.index() as u64) << 8)
+        ^ u64::from(attempt);
+    let mut z = seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn backoff_delay(r: &RetryPolicy, job: EnsembleJobId, failed_attempt: u32) -> f64 {
+    if r.backoff_base_secs <= 0.0 {
+        return 0.0;
+    }
+    let exp = failed_attempt.saturating_sub(1).min(63);
+    let mut delay = r.backoff_base_secs * r.backoff_factor.powi(exp as i32);
+    if delay > r.backoff_max_secs {
+        delay = r.backoff_max_secs;
+    }
+    if r.jitter_frac > 0.0 {
+        delay *= 1.0 - r.jitter_frac * jitter_unit(r.seed, job, failed_attempt);
+    }
+    delay
 }
 
 // ---------------------------------------------------------------------------
@@ -226,21 +344,52 @@ fn workflow_strategy() -> impl Strategy<Value = Arc<Workflow>> {
     )
 }
 
+fn config_strategy() -> impl Strategy<Value = EngineConfig> {
+    (
+        (
+            1.0f64..20.0,                                           // default timeout
+            prop_oneof![Just(None), (1.0f64..10.0).prop_map(Some)], // checkout timeout
+            prop_oneof![Just(None), (1u32..5).prop_map(Some)],      // retry cap
+        ),
+        (
+            prop_oneof![Just(0.0f64), 0.1f64..2.0], // backoff base
+            1.0f64..3.0,                            // backoff factor
+            prop_oneof![Just(0.0f64), 0.1f64..0.9], // jitter fraction
+            any::<u64>(),                           // jitter seed
+        ),
+    )
+        .prop_map(|((timeout, checkout, cap), (base, factor, jitter, seed))| EngineConfig {
+            default_timeout_secs: timeout,
+            checkout_timeout_secs: checkout,
+            retry: RetryPolicy {
+                max_attempts: cap,
+                backoff_base_secs: base,
+                backoff_factor: factor,
+                backoff_max_secs: 8.0,
+                jitter_frac: jitter,
+                seed,
+            },
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Drive both engines through the same randomized interleaving of
     /// submissions, acks (fresh, stale-attempt and duplicate) and timeout
-    /// scans: every step must produce identical actions and statistics.
+    /// scans — under randomized retry budgets, backoff schedules and
+    /// checkout timeouts: every step must produce identical actions and
+    /// statistics.
     #[test]
     fn heap_engine_matches_scan_reference(
         wfs in prop::collection::vec(workflow_strategy(), 1..4),
+        config in config_strategy(),
         seed in any::<u64>(),
-        timeout in 1.0f64..20.0,
     ) {
+        let timeout = config.default_timeout_secs;
         let mut rng = seed;
-        let mut real = EnsembleEngine::with_default_timeout(timeout);
-        let mut reference = ReferenceEngine::new(timeout);
+        let mut real = EnsembleEngine::with_config(config);
+        let mut reference = ReferenceEngine::new(config);
         let mut now = 0.0f64;
         // Dispatches published but not yet consumed by a Completed/Failed
         // delivery (may include superseded attempts — that is the race).
@@ -268,8 +417,14 @@ proptest! {
 
         loop {
             steps += 1;
-            prop_assert!(steps < 50_000, "driver failed to converge");
-            if submitted == wfs.len() && real.all_complete() {
+            prop_assert!(
+                steps < 50_000,
+                "driver failed to converge: now={now} submitted={submitted} outstanding={} stats={:?} config={:?}",
+                outstanding.len(),
+                real.stats(),
+                config
+            );
+            if submitted == wfs.len() && real.all_settled() {
                 break;
             }
             now += (splitmix64(&mut rng) % 1000) as f64 / 1000.0 * timeout * 0.2;
@@ -282,9 +437,9 @@ proptest! {
                 prop_assert_eq!(id_a, id_b);
                 check_step!(actions_a, actions_b);
             } else if outstanding.is_empty() {
-                // Everything submitted and in some terminal/queued state;
-                // only the clock can make progress.
-                now += timeout;
+                // Everything submitted and in some queued, deferred or
+                // terminal state; only the clock can make progress.
+                now += timeout.max(8.0);
                 check_step!(real.check_timeouts(now), reference.check_timeouts(now));
             } else {
                 let pick = (splitmix64(&mut rng) as usize) % outstanding.len();
@@ -346,9 +501,133 @@ proptest! {
             }
         }
 
-        prop_assert!(reference.all_complete());
+        prop_assert!(reference.all_settled());
         prop_assert_eq!(real.stats(), reference.stats());
+        let stats = real.stats();
         let total: u64 = wfs.iter().map(|w| w.job_count() as u64).sum();
-        prop_assert_eq!(real.stats().jobs_completed, total);
+        // Every job reached exactly one terminal state.
+        prop_assert_eq!(stats.jobs_completed + stats.jobs_abandoned, total);
+        if config.retry.max_attempts.is_none() {
+            prop_assert_eq!(stats.dead_lettered, 0);
+            prop_assert_eq!(stats.workflows_abandoned, 0);
+        }
+    }
+
+    /// Journal-replay recovery: drive an engine while journaling its
+    /// inputs, recover a twin from the journal mid-run, then feed both the
+    /// identical event suffix — the twin must emit the same actions, stats
+    /// and deadlines as the engine that never crashed.
+    #[test]
+    fn recovered_engine_is_observationally_identical(
+        wfs in prop::collection::vec(workflow_strategy(), 1..3),
+        config in config_strategy(),
+        seed in any::<u64>(),
+        crash_after in 1usize..40,
+    ) {
+        let timeout = config.default_timeout_secs;
+        let mut rng = seed;
+        let mut real = EnsembleEngine::with_config(config);
+        let registry = Registry::new();
+        for (i, wf) in wfs.iter().enumerate() {
+            registry.insert(WorkflowId::from_index(i), Arc::clone(wf));
+        }
+        let mut journal: Vec<JournalRecord> = Vec::new();
+        let mut now = 0.0f64;
+        let mut outstanding: Vec<DispatchMsg> = Vec::new();
+        let mut submitted = 0usize;
+        let mut steps = 0usize;
+        // Twin appears at the crash point; until then only `real` runs.
+        let mut twin: Option<EnsembleEngine> = None;
+
+        loop {
+            steps += 1;
+            prop_assert!(steps < 50_000, "driver failed to converge");
+            if submitted == wfs.len() && real.all_settled() {
+                break;
+            }
+            if twin.is_none() && steps > crash_after {
+                // Crash: rebuild from the journal alone.
+                let rec = recover(&journal, &registry, config).unwrap();
+                let mut t = rec.engine;
+                prop_assert!(rec.resume_at <= now);
+                prop_assert_eq!(t.stats(), real.stats());
+                prop_assert_eq!(t.next_deadline(), real.next_deadline());
+                // The republish set is exactly what the live engine holds
+                // in flight (minus deferred retries).
+                let mut live_inflight = Vec::new();
+                real.inflight_dispatches(&mut live_inflight);
+                prop_assert_eq!(&rec.redispatch, &live_inflight);
+                twin = Some(t);
+            }
+            now += (splitmix64(&mut rng) % 1000) as f64 / 1000.0 * timeout * 0.2;
+            let choice = splitmix64(&mut rng) % 100;
+            if submitted < wfs.len() && (choice < 20 || outstanding.is_empty()) {
+                let wf = Arc::clone(&wfs[submitted]);
+                submitted += 1;
+                journal.push(JournalRecord::Submit { workflow: submitted as u32 - 1, at: now });
+                let (_, actions) = real.submit_workflow(Arc::clone(&wf), now);
+                if let Some(t) = twin.as_mut() {
+                    let (_, tw) = t.submit_workflow(wf, now);
+                    prop_assert_eq!(&actions, &tw);
+                }
+                for a in &actions {
+                    if let Action::Dispatch(d) = a {
+                        outstanding.push(*d);
+                    }
+                }
+            } else if outstanding.is_empty() {
+                now += timeout.max(8.0);
+                journal.push(JournalRecord::Scan { at: now });
+                let actions = real.check_timeouts(now);
+                if let Some(t) = twin.as_mut() {
+                    prop_assert_eq!(&actions, &t.check_timeouts(now));
+                }
+                for a in &actions {
+                    if let Action::Dispatch(d) = a {
+                        outstanding.push(*d);
+                    }
+                }
+            } else {
+                let pick = (splitmix64(&mut rng) as usize) % outstanding.len();
+                let actions = if choice < 70 {
+                    let terminal = choice < 55;
+                    let d = if terminal { outstanding.swap_remove(pick) } else { outstanding[pick] };
+                    let kind = if terminal {
+                        if choice < 45 { AckKind::Completed } else { AckKind::Failed }
+                    } else {
+                        AckKind::Running
+                    };
+                    let ack = AckMsg { job: d.job, worker: 0, kind, attempt: d.attempt };
+                    journal.push(JournalRecord::Ack { ack, at: now });
+                    let actions = real.on_ack(ack, now);
+                    if let Some(t) = twin.as_mut() {
+                        prop_assert_eq!(&actions, &t.on_ack(ack, now));
+                    }
+                    actions
+                } else {
+                    now += (splitmix64(&mut rng) % 3) as f64 * timeout;
+                    journal.push(JournalRecord::Scan { at: now });
+                    let actions = real.check_timeouts(now);
+                    if let Some(t) = twin.as_mut() {
+                        prop_assert_eq!(&actions, &t.check_timeouts(now));
+                    }
+                    actions
+                };
+                for a in &actions {
+                    if let Action::Dispatch(d) = a {
+                        outstanding.push(*d);
+                    }
+                }
+            }
+            if let Some(t) = twin.as_mut() {
+                prop_assert_eq!(t.stats(), real.stats());
+                prop_assert_eq!(t.next_deadline(), real.next_deadline());
+            }
+        }
+
+        // Even if the run settled before the crash point, recovery of the
+        // final journal must reproduce the final state.
+        let rec = recover(&journal, &registry, config).unwrap();
+        prop_assert_eq!(rec.engine.stats(), real.stats());
     }
 }

@@ -19,6 +19,10 @@ pub enum JobState {
     Running,
     /// A "completed" acknowledgment was received.
     Completed,
+    /// Dead-lettered: the job exhausted its retry budget (or an ancestor
+    /// did), so it will never run. Terminal, like `Completed`, but counts
+    /// against the workflow instead of toward it.
+    Abandoned,
 }
 
 /// Aggregate counts maintained by the tracker.
@@ -28,12 +32,13 @@ pub struct TrackerStats {
     pub ready: usize,
     pub running: usize,
     pub completed: usize,
+    pub abandoned: usize,
 }
 
 impl TrackerStats {
     /// Total jobs tracked.
     pub fn total(&self) -> usize {
-        self.pending + self.ready + self.running + self.completed
+        self.pending + self.ready + self.running + self.completed + self.abandoned
     }
 }
 
@@ -75,6 +80,7 @@ impl DependencyTracker {
             ready: ready_queue.len(),
             running: 0,
             completed: 0,
+            abandoned: 0,
         };
         Self { remaining, state, ready_queue, in_ready_queue, stats }
     }
@@ -138,7 +144,7 @@ impl DependencyTracker {
                 // Pending means a protocol error by the caller.
                 debug_assert!(false, "mark_running on pending job {id:?}");
             }
-            JobState::Running | JobState::Completed => {}
+            JobState::Running | JobState::Completed | JobState::Abandoned => {}
         }
     }
 
@@ -148,7 +154,10 @@ impl DependencyTracker {
     /// ignored.
     pub fn mark_completed(&mut self, id: JobId) {
         match self.state[id.index()] {
-            JobState::Completed => return,
+            // Abandoned is terminal: a late completion from a worker that
+            // raced the dead-letter decision must not resurrect the job —
+            // its dependents were already written off.
+            JobState::Completed | JobState::Abandoned => return,
             JobState::Ready => self.stats.ready -= 1,
             JobState::Running => self.stats.running -= 1,
             JobState::Pending => {
@@ -165,7 +174,7 @@ impl DependencyTracker {
     /// [`drain_ready_into`](Self::drain_ready_into) /
     /// [`take_ready`](Self::take_ready). Duplicate completions are ignored.
     pub fn complete(&mut self, workflow: &Workflow, id: JobId) {
-        if self.state[id.index()] == JobState::Completed {
+        if matches!(self.state[id.index()], JobState::Completed | JobState::Abandoned) {
             return;
         }
         self.mark_completed(id);
@@ -173,8 +182,9 @@ impl DependencyTracker {
             let r = &mut self.remaining[c.index()];
             debug_assert!(*r > 0, "child {c:?} released more times than its in-degree");
             *r -= 1;
-            if *r == 0 {
-                debug_assert_eq!(self.state[c.index()], JobState::Pending);
+            if *r == 0 && self.state[c.index()] == JobState::Pending {
+                // An Abandoned child (dead-lettered via another parent)
+                // stays abandoned even once its last parent completes.
                 self.state[c.index()] = JobState::Ready;
                 self.stats.pending -= 1;
                 self.stats.ready += 1;
@@ -219,9 +229,48 @@ impl DependencyTracker {
         }
     }
 
+    /// Dead-letter a job: mark it — and, transitively, every descendant,
+    /// which can never become eligible — [`JobState::Abandoned`].
+    ///
+    /// The job itself may be in any non-terminal state (Running after a
+    /// final timeout, Ready after a final failure ack). Returns the number
+    /// of jobs newly abandoned (the job plus its written-off descendants);
+    /// 0 if the job was already terminal.
+    pub fn abandon(&mut self, workflow: &Workflow, id: JobId) -> usize {
+        let mut stack = vec![id];
+        let mut count = 0usize;
+        while let Some(j) = stack.pop() {
+            match self.state[j.index()] {
+                JobState::Completed | JobState::Abandoned => continue,
+                JobState::Ready => {
+                    self.stats.ready -= 1;
+                    if self.in_ready_queue[j.index()] {
+                        // Lazy removal: leave the queue entry behind; drains
+                        // skip terminal jobs via the membership flag reset.
+                        self.in_ready_queue[j.index()] = false;
+                        self.ready_queue.retain(|&q| q != j);
+                    }
+                }
+                JobState::Running => self.stats.running -= 1,
+                JobState::Pending => self.stats.pending -= 1,
+            }
+            self.state[j.index()] = JobState::Abandoned;
+            self.stats.abandoned += 1;
+            count += 1;
+            stack.extend(workflow.children(j).iter().copied());
+        }
+        count
+    }
+
     /// True once every job has completed.
     pub fn is_complete(&self) -> bool {
         self.stats.completed == self.state.len()
+    }
+
+    /// True once every job reached a terminal state (completed or
+    /// abandoned): the workflow can make no further progress.
+    pub fn is_settled(&self) -> bool {
+        self.stats.completed + self.stats.abandoned == self.state.len()
     }
 
     /// Aggregate state counts.
@@ -395,6 +444,100 @@ mod tests {
         assert_eq!(newly, b.take_ready());
         assert_eq!(a.take_ready(), newly);
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn abandon_running_job_writes_off_descendants() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        assert_eq!(t.abandon(&wf, JobId(0)), 3, "job + 2 descendants");
+        assert_eq!(t.state(JobId(0)), JobState::Abandoned);
+        assert_eq!(t.state(JobId(2)), JobState::Abandoned);
+        assert!(t.is_settled());
+        assert!(!t.is_complete());
+        assert_eq!(t.stats().abandoned, 3);
+        assert_eq!(t.stats().total(), 3);
+    }
+
+    #[test]
+    fn abandon_is_idempotent_and_ignores_completed() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        t.complete_in(&wf, JobId(0));
+        t.mark_running(JobId(1));
+        assert_eq!(t.abandon(&wf, JobId(1)), 2, "completed parent untouched");
+        assert_eq!(t.abandon(&wf, JobId(1)), 0, "second abandon is a no-op");
+        assert_eq!(t.state(JobId(0)), JobState::Completed);
+        assert!(t.is_settled());
+    }
+
+    #[test]
+    fn late_completion_of_abandoned_job_is_ignored() {
+        let wf = chain3();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(JobId(0));
+        t.abandon(&wf, JobId(0));
+        t.complete(&wf, JobId(0)); // straggler worker finished anyway
+        assert_eq!(t.state(JobId(0)), JobState::Abandoned);
+        assert_eq!(t.stats().completed, 0);
+        assert_eq!(t.take_ready(), Vec::<JobId>::new(), "no children released");
+        assert!(!t.resubmit(JobId(0)), "abandoned jobs never resubmit");
+    }
+
+    #[test]
+    fn abandon_ready_job_purges_ready_queue() {
+        let mut b = WorkflowBuilder::new("fork");
+        let a = b.job("a", "t", 1.0).build();
+        let l = b.job("l", "t", 1.0).build();
+        let r = b.job("r", "t", 1.0).build();
+        b.edge(a, l);
+        b.edge(a, r);
+        let wf = b.finish().unwrap();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(a);
+        t.complete(&wf, a); // l, r now queued Ready
+        assert_eq!(t.abandon(&wf, l), 1);
+        assert_eq!(t.take_ready(), vec![r], "abandoned job left the queue");
+        assert!(!t.is_settled());
+        t.mark_running(r);
+        t.complete(&wf, r);
+        assert!(t.is_settled());
+    }
+
+    #[test]
+    fn diamond_join_survivor_parent_does_not_resurrect_abandoned_child() {
+        // a -> {l, r} -> d; l is dead-lettered, then r completes. d must
+        // stay abandoned even though its last remaining parent finished.
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.job("a", "t", 1.0).build();
+        let l = b.job("l", "t", 1.0).build();
+        let r = b.job("r", "t", 1.0).build();
+        let d = b.job("d", "t", 1.0).build();
+        b.edge(a, l);
+        b.edge(a, r);
+        b.edge(l, d);
+        b.edge(r, d);
+        let wf = b.finish().unwrap();
+        let mut t = DependencyTracker::new(&wf);
+        t.take_ready();
+        t.mark_running(a);
+        t.complete(&wf, a);
+        t.take_ready();
+        t.mark_running(l);
+        t.mark_running(r);
+        assert_eq!(t.abandon(&wf, l), 2, "l and d");
+        t.complete(&wf, r);
+        assert_eq!(t.state(d), JobState::Abandoned);
+        assert_eq!(t.take_ready(), Vec::<JobId>::new());
+        assert!(t.is_settled());
+        assert_eq!(t.stats().completed, 2);
+        assert_eq!(t.stats().abandoned, 2);
     }
 
     #[test]

@@ -28,9 +28,11 @@
 //! progress) without a network substrate. The discrete-event simulator in
 //! `dewe-simcloud` models queue transport latency separately.
 
+pub mod chaos;
 mod reliable;
 mod topic;
 
+pub use chaos::{ChaosBus, ChaosConfig, ChaosDecider, ChaosStats, ChaosTopic};
 pub use reliable::{Delivery, LeaseId, ReliableTopic};
 pub use topic::{Topic, TopicStats};
 

@@ -46,6 +46,9 @@ struct Leased<T> {
 struct State<T> {
     queue: VecDeque<(T, u32)>, // (message, prior delivery count)
     leased: Vec<Leased<T>>,
+    /// Poison messages: exhausted their delivery budget. (message, total
+    /// deliveries made.)
+    dead: VecDeque<(T, u32)>,
     next_lease: u64,
     redeliveries: u64,
 }
@@ -54,26 +57,45 @@ struct State<T> {
 pub struct ReliableTopic<T> {
     state: Arc<Mutex<State<T>>>,
     visibility: Duration,
+    /// Redelivery budget: a message already delivered this many times is
+    /// dead-lettered instead of requeued. `None` = unbounded (a poison
+    /// message that always crashes its consumer redelivers forever).
+    max_deliveries: Option<u32>,
 }
 
 impl<T> Clone for ReliableTopic<T> {
     fn clone(&self) -> Self {
-        Self { state: Arc::clone(&self.state), visibility: self.visibility }
+        Self {
+            state: Arc::clone(&self.state),
+            visibility: self.visibility,
+            max_deliveries: self.max_deliveries,
+        }
     }
 }
 
 impl<T> ReliableTopic<T> {
-    /// New queue with the given visibility timeout.
+    /// New queue with the given visibility timeout and no delivery cap.
     pub fn new(visibility: Duration) -> Self {
         Self {
             state: Arc::new(Mutex::new(State {
                 queue: VecDeque::new(),
                 leased: Vec::new(),
+                dead: VecDeque::new(),
                 next_lease: 0,
                 redeliveries: 0,
             })),
             visibility,
+            max_deliveries: None,
         }
+    }
+
+    /// New queue that dead-letters any message after `max_deliveries`
+    /// failed deliveries (expired or nacked leases) instead of requeuing
+    /// it — the poison-message guard. Drain the casualties with
+    /// [`drain_dead_letters`](Self::drain_dead_letters).
+    pub fn with_max_deliveries(visibility: Duration, max_deliveries: u32) -> Self {
+        assert!(max_deliveries >= 1, "a zero budget would dead-letter everything unseen");
+        Self { max_deliveries: Some(max_deliveries), ..Self::new(visibility) }
     }
 
     /// Publish a message.
@@ -81,15 +103,26 @@ impl<T> ReliableTopic<T> {
         self.state.lock().queue.push_back((message, 0));
     }
 
-    /// Expire overdue leases, putting their messages back at the front.
-    fn reap(state: &mut State<T>, now: Instant) {
+    /// Requeue a failed delivery — or dead-letter it once its budget is
+    /// spent.
+    fn requeue(state: &mut State<T>, max_deliveries: Option<u32>, l: Leased<T>) {
+        if max_deliveries.is_some_and(|max| l.delivery_count >= max) {
+            state.dead.push_back((l.message, l.delivery_count));
+        } else {
+            // Redeliveries jump the queue: they are older work.
+            state.queue.push_front((l.message, l.delivery_count));
+        }
+    }
+
+    /// Expire overdue leases, putting their messages back at the front
+    /// (or into the dead-letter queue when the budget is exhausted).
+    fn reap(state: &mut State<T>, max_deliveries: Option<u32>, now: Instant) {
         let mut i = 0;
         while i < state.leased.len() {
             if state.leased[i].expires <= now {
                 let l = state.leased.swap_remove(i);
                 state.redeliveries += 1;
-                // Redeliveries jump the queue: they are older work.
-                state.queue.push_front((l.message, l.delivery_count));
+                Self::requeue(state, max_deliveries, l);
             } else {
                 i += 1;
             }
@@ -104,7 +137,7 @@ impl<T> ReliableTopic<T> {
     {
         let now = Instant::now();
         let mut state = self.state.lock();
-        Self::reap(&mut state, now);
+        Self::reap(&mut state, self.max_deliveries, now);
         let (message, prior) = state.queue.pop_front()?;
         let id = state.next_lease;
         state.next_lease += 1;
@@ -131,12 +164,13 @@ impl<T> ReliableTopic<T> {
         }
     }
 
-    /// Negative-acknowledge: return the message to the queue immediately.
+    /// Negative-acknowledge: return the message to the queue immediately
+    /// (or dead-letter it when its budget is exhausted).
     pub fn nack(&self, lease: LeaseId) -> bool {
         let mut state = self.state.lock();
         if let Some(pos) = state.leased.iter().position(|l| l.id == lease.0) {
             let l = state.leased.swap_remove(pos);
-            state.queue.push_front((l.message, l.delivery_count));
+            Self::requeue(&mut state, self.max_deliveries, l);
             true
         } else {
             false
@@ -146,27 +180,43 @@ impl<T> ReliableTopic<T> {
     /// Messages currently queued (excluding leased ones), after reaping.
     pub fn len(&self) -> usize {
         let mut state = self.state.lock();
-        Self::reap(&mut state, Instant::now());
+        Self::reap(&mut state, self.max_deliveries, Instant::now());
         state.queue.len()
     }
 
-    /// True when neither queued nor leased messages remain.
+    /// True when neither queued nor leased messages remain. Dead-lettered
+    /// messages do not count: they left the delivery loop.
     pub fn is_empty(&self) -> bool {
         let mut state = self.state.lock();
-        Self::reap(&mut state, Instant::now());
+        Self::reap(&mut state, self.max_deliveries, Instant::now());
         state.queue.is_empty() && state.leased.is_empty()
     }
 
     /// Messages currently leased.
     pub fn in_flight(&self) -> usize {
         let mut state = self.state.lock();
-        Self::reap(&mut state, Instant::now());
+        Self::reap(&mut state, self.max_deliveries, Instant::now());
         state.leased.len()
     }
 
     /// Total lease expirations so far.
     pub fn redeliveries(&self) -> u64 {
         self.state.lock().redeliveries
+    }
+
+    /// Dead-lettered messages waiting to be drained.
+    pub fn dead_letter_count(&self) -> usize {
+        let mut state = self.state.lock();
+        Self::reap(&mut state, self.max_deliveries, Instant::now());
+        state.dead.len()
+    }
+
+    /// Drain the dead-letter queue: each entry is the poison message and
+    /// the total number of deliveries it consumed before being cut off.
+    pub fn drain_dead_letters(&self) -> Vec<(T, u32)> {
+        let mut state = self.state.lock();
+        Self::reap(&mut state, self.max_deliveries, Instant::now());
+        state.dead.drain(..).collect()
     }
 }
 
@@ -279,6 +329,61 @@ mod tests {
         assert_eq!(seen.lock().len(), 1000);
         assert!(t.is_empty());
         assert_eq!(t.redeliveries(), 0);
+    }
+
+    #[test]
+    fn poison_message_dead_letters_after_budget() {
+        // A message whose consumer always crashes before acking must not
+        // redeliver forever: the third expired lease retires it.
+        let t = ReliableTopic::with_max_deliveries(Duration::from_millis(5), 3);
+        t.publish(666u32);
+        t.publish(7u32);
+        let mut deliveries_of_poison = 0;
+        loop {
+            let Some(d) = t.checkout() else {
+                if t.in_flight() == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            if d.message == 666 {
+                deliveries_of_poison += 1; // crash: never ack
+            } else {
+                t.ack(d.lease); // healthy message completes
+            }
+        }
+        assert_eq!(deliveries_of_poison, 3);
+        assert!(t.is_empty(), "poison left the delivery loop");
+        assert_eq!(t.dead_letter_count(), 1);
+        let dead = t.drain_dead_letters();
+        assert_eq!(dead, vec![(666, 3)]);
+        assert_eq!(t.dead_letter_count(), 0, "drain empties the queue");
+    }
+
+    #[test]
+    fn nack_consumes_delivery_budget() {
+        let t = ReliableTopic::with_max_deliveries(Duration::from_secs(60), 2);
+        t.publish(1u32);
+        let d = t.checkout().unwrap();
+        assert!(t.nack(d.lease)); // delivery 1 burned, back in queue
+        let d = t.checkout().unwrap();
+        assert_eq!(d.delivery_count, 2);
+        assert!(t.nack(d.lease)); // budget spent: dead-lettered
+        assert!(t.checkout().is_none());
+        assert_eq!(t.drain_dead_letters(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn uncapped_topic_redelivers_forever() {
+        let t = topic(1);
+        t.publish(5u32);
+        for expected in 1..=20u32 {
+            let d = t.checkout().unwrap();
+            assert_eq!(d.delivery_count, expected);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(t.dead_letter_count(), 0);
     }
 
     #[test]

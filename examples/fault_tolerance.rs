@@ -37,6 +37,7 @@ fn main() {
             default_timeout_secs: 1.0, // aggressive, to keep the demo short
             timeout_scan_interval: Duration::from_millis(25),
             expected_workflows: Some(1),
+            ..MasterConfig::default()
         },
     );
     let runner = Arc::new(SleepRunner::new(0.001)); // 100 cpu-sec -> 100 ms
@@ -85,6 +86,7 @@ fn main() {
                 assert_eq!(stats.jobs_completed, 60);
                 break;
             }
+            Ok(other) => panic!("unexpected event: {other:?}"),
             Err(e) => panic!("master stalled: {e}"),
         }
     }

@@ -65,6 +65,7 @@ fn main() {
                 );
                 break;
             }
+            Ok(other) => panic!("unexpected event: {other:?}"),
             Err(e) => panic!("master stalled: {e}"),
         }
     }

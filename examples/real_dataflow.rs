@@ -61,6 +61,7 @@ fn main() {
                 println!("all {} jobs completed, 0 failures", stats.jobs_completed);
                 break;
             }
+            Ok(other) => panic!("unexpected event: {other:?}"),
             Err(e) => panic!("master stalled: {e}"),
         }
     }

@@ -16,6 +16,7 @@ fn drain_until_all_done(master: &dewe::core::realtime::MasterHandle) -> dewe::co
         match master.events.recv_timeout(Duration::from_secs(120)) {
             Ok(MasterEvent::AllCompleted { stats }) => return stats,
             Ok(MasterEvent::WorkflowCompleted { .. }) => continue,
+            Ok(other) => panic!("unexpected event: {other:?}"),
             Err(e) => panic!("master stalled: {e}"),
         }
     }
@@ -106,6 +107,7 @@ fn worker_crash_recovery_end_to_end() {
             default_timeout_secs: 0.3,
             timeout_scan_interval: Duration::from_millis(20),
             expected_workflows: Some(1),
+            ..MasterConfig::default()
         },
     );
     let w1 = spawn_worker(
