@@ -50,4 +50,4 @@ mod scheduler;
 mod sim;
 
 pub use scheduler::{Policy, Scheduler};
-pub use sim::{run_ensemble, BaselineConfig, BaselineReport};
+pub use sim::{run_ensemble, BaselineConfig, BaselineEvent, BaselineReport};

@@ -689,6 +689,18 @@ impl EnsembleEngine {
         }
     }
 
+    /// Tracker state of one job, or `None` for an unknown workflow/job —
+    /// the deterministic hook differential test harnesses use to read the
+    /// engine's terminal verdict (completed / abandoned / stuck) per job
+    /// without reaching into internals.
+    pub fn job_state(&self, job: EnsembleJobId) -> Option<JobState> {
+        let state = self.workflows.get(job.workflow.index())?;
+        if job.job.index() >= state.workflow.job_count() {
+            return None;
+        }
+        Some(state.tracker.state(job.job))
+    }
+
     /// Access a submitted workflow.
     pub fn workflow(&self, id: WorkflowId) -> &Arc<Workflow> {
         &self.workflows[id.index()].workflow

@@ -27,6 +27,13 @@ pub struct MasterConfig {
     /// The master exits once this many workflows have settled —
     /// completed or abandoned (`None` = run until the bus is shut down).
     pub expected_workflows: Option<usize>,
+    /// Maximum acknowledgments ingested per loop iteration: after the
+    /// first (blocking) pull, up to `ack_burst - 1` further acks are
+    /// drained non-blocking in one batch, so a burst of worker
+    /// completions costs one channel wakeup instead of one per ack. The
+    /// cap bounds how long dispatching and timeout scans can be starved
+    /// by a sustained ack flood.
+    pub ack_burst: usize,
     /// Write-ahead journal path. When set, every engine input is
     /// journaled before it takes effect, so a replacement master can
     /// rebuild state after a crash.
@@ -44,6 +51,7 @@ impl Default for MasterConfig {
             retry: RetryPolicy::default(),
             timeout_scan_interval: Duration::from_millis(50),
             expected_workflows: None,
+            ack_burst: 128,
             journal_path: None,
             recover: false,
         }
@@ -149,6 +157,7 @@ fn master_loop(
     let mut time_base = 0.0f64;
     let mut wal: Option<Journal> = None;
     let mut actions: Vec<Action> = Vec::new();
+    let mut ack_burst: Vec<crate::protocol::AckMsg> = Vec::with_capacity(config.ack_burst.max(1));
 
     if let Some(path) = &config.journal_path {
         if config.recover && path.exists() {
@@ -229,14 +238,23 @@ fn master_loop(
             }
         }
 
-        // 4. Wait (briefly) for worker acknowledgments.
+        // 4. Wait (briefly) for worker acknowledgments. The first pull
+        // blocks up to the scan interval; once one ack arrives, the rest
+        // of any burst is drained in a single batched grab so a flood of
+        // completions costs one lock + one wakeup, not one per ack.
         match bus.ack.pull_timeout(config.timeout_scan_interval) {
-            Some(ack) => {
-                let now = time_base + start.elapsed().as_secs_f64();
-                if let Some(w) = wal.as_mut() {
-                    w.record_ack(&ack, now).expect("journal ack");
+            Some(first) => {
+                ack_burst.push(first);
+                if config.ack_burst > 1 {
+                    bus.ack.try_pull_batch(&mut ack_burst, config.ack_burst - 1);
                 }
-                engine.on_ack_into(ack, now, &mut actions);
+                let now = time_base + start.elapsed().as_secs_f64();
+                for ack in ack_burst.drain(..) {
+                    if let Some(w) = wal.as_mut() {
+                        w.record_ack(&ack, now).expect("journal ack");
+                    }
+                    engine.on_ack_into(ack, now, &mut actions);
+                }
                 publish_actions(&bus, &events, &mut actions);
             }
             None => {
@@ -319,6 +337,47 @@ mod tests {
         bus.shutdown();
         let stats = handle.join();
         assert_eq!(stats.jobs_completed, 2);
+        assert_eq!(stats.workflows_completed, 1);
+    }
+
+    #[test]
+    fn master_ingests_ack_bursts_in_batches() {
+        // 32 independent jobs, all acknowledged at once: the master must
+        // drain the flood in batches (bounded by ack_burst) and still
+        // account for every completion exactly once.
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                timeout_scan_interval: Duration::from_millis(10),
+                expected_workflows: Some(1),
+                ack_burst: 5, // force several batches
+                ..MasterConfig::default()
+            },
+        );
+        let mut b = WorkflowBuilder::new("wide");
+        for i in 0..32 {
+            b.job(format!("j{i}"), "t", 1.0).build();
+        }
+        super::super::submit(&bus, "wide", Arc::new(b.finish().unwrap()));
+
+        let mut acks = Vec::new();
+        for _ in 0..32 {
+            let d = bus.dispatch.pull_timeout(Duration::from_secs(5)).expect("dispatch");
+            acks.push(AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: d.attempt });
+            acks.push(AckMsg {
+                job: d.job,
+                worker: 0,
+                kind: AckKind::Completed,
+                attempt: d.attempt,
+            });
+        }
+        bus.ack.publish_all(acks);
+        let stats = handle.join();
+        assert_eq!(stats.jobs_completed, 32);
+        assert_eq!(stats.duplicate_completions, 0);
         assert_eq!(stats.workflows_completed, 1);
     }
 

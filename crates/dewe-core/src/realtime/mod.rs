@@ -26,6 +26,7 @@
 //! robustness experiment — and the master's timeout mechanism recovers.
 
 mod bus;
+mod chaos;
 mod deployment;
 mod journal;
 mod master;
@@ -34,6 +35,7 @@ mod runner;
 mod worker;
 
 pub use bus::{MessageBus, Registry};
+pub use chaos::ChaosLink;
 pub use deployment::{Deployment, DeploymentBuilder};
 pub use journal::{read_journal, recover, Journal, JournalRecord, Recovery};
 pub use master::{spawn_master, MasterConfig, MasterEvent, MasterHandle};

@@ -1,6 +1,6 @@
 //! Pluggable job execution strategies for the realtime runtime.
 
-use dewe_dag::{JobId, Workflow};
+use dewe_dag::{JobId, Workflow, WorkflowId};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -14,6 +14,13 @@ pub struct RunContext {
     pub cancelled: Arc<AtomicBool>,
     /// Worker id, for diagnostics.
     pub worker: u32,
+    /// Which ensemble workflow the job belongs to (the `&Workflow`
+    /// argument is the DAG itself; this is its id on the bus).
+    pub workflow_id: WorkflowId,
+    /// Which dispatch attempt this execution serves (1-based) — lets
+    /// runners script per-attempt behavior and test harnesses tap the
+    /// execution trace.
+    pub attempt: u32,
 }
 
 impl RunContext {
@@ -278,7 +285,12 @@ mod tests {
     use dewe_dag::WorkflowBuilder;
 
     fn ctx() -> RunContext {
-        RunContext { cancelled: Arc::new(AtomicBool::new(false)), worker: 0 }
+        RunContext {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            worker: 0,
+            workflow_id: WorkflowId(0),
+            attempt: 1,
+        }
     }
 
     fn tempdir(tag: &str) -> PathBuf {

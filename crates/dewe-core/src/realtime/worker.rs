@@ -122,7 +122,12 @@ fn slot_loop(
             kind: AckKind::Running,
             attempt: dispatch.attempt,
         });
-        let ctx = RunContext { cancelled: Arc::clone(&kill), worker: config.worker_id };
+        let ctx = RunContext {
+            cancelled: Arc::clone(&kill),
+            worker: config.worker_id,
+            workflow_id: dispatch.job.workflow,
+            attempt: dispatch.attempt,
+        };
         // A panicking job executable must not take the whole slot thread
         // (and, via `WorkerHandle::join`, the harness) down with it: treat
         // the panic as a job failure and keep serving. The master's retry

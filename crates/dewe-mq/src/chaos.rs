@@ -82,6 +82,144 @@ pub fn message_key(a: u64, b: u64, c: u64) -> u64 {
     mix(a ^ mix(b ^ mix(c)))
 }
 
+/// The consolidated outcome of one fault decision.
+///
+/// [`ChaosDecider::decide`] resolves the individual probability draws with
+/// the documented precedence (drop > duplicate > delay) into exactly one
+/// fault per message, so a decision can be recorded to a [`ChaosTrace`]
+/// and replayed from a [`ChaosSchedule`] without re-deriving it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop the message.
+    Drop,
+    /// Deliver the message twice, back-to-back.
+    Duplicate,
+    /// Hold the message back this many seconds before delivery.
+    Delay(f64),
+}
+
+/// One recorded fault decision: what happened to message `key` of
+/// `stream`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEvent {
+    /// Stream the message was published on (see [`streams`]).
+    pub stream: u64,
+    /// Decision key (the publisher's sequence number for [`ChaosTopic`]).
+    pub key: u64,
+    /// The fault applied.
+    pub fault: Fault,
+}
+
+/// Shared, cloneable recorder of fault decisions: attach one to a
+/// [`ChaosTopic`] (or several — they may share a trace) and every publish
+/// appends the decision it applied, in publish order. The snapshot is the
+/// run's complete *chaos schedule*, replayable via
+/// [`ChaosSchedule::from_events`].
+#[derive(Clone, Default)]
+pub struct ChaosTrace {
+    events: Arc<Mutex<Vec<ChaosEvent>>>,
+}
+
+impl ChaosTrace {
+    /// Fresh, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one decision.
+    pub fn record(&self, event: ChaosEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Copy of everything recorded so far, in publish order.
+    pub fn snapshot(&self) -> Vec<ChaosEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Recorded decisions that injected a fault (everything but
+    /// [`Fault::Deliver`]).
+    pub fn faults(&self) -> Vec<ChaosEvent> {
+        self.events.lock().iter().copied().filter(|e| e.fault != Fault::Deliver).collect()
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+/// An explicit fault schedule: `(stream, key) → fault`, defaulting to
+/// [`Fault::Deliver`] for unlisted messages. Built from a captured
+/// [`ChaosTrace`] (replaying a recorded run exactly) or by hand (pinning a
+/// minimal repro found by shrinking).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSchedule {
+    faults: std::collections::HashMap<(u64, u64), Fault>,
+}
+
+impl ChaosSchedule {
+    /// Empty schedule (every message delivers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule replaying the recorded events verbatim.
+    pub fn from_events(events: &[ChaosEvent]) -> Self {
+        let mut s = Self::new();
+        for e in events {
+            s.set(e.stream, e.key, e.fault);
+        }
+        s
+    }
+
+    /// Pin the fault for one message.
+    pub fn set(&mut self, stream: u64, key: u64, fault: Fault) {
+        if fault == Fault::Deliver {
+            self.faults.remove(&(stream, key));
+        } else {
+            self.faults.insert((stream, key), fault);
+        }
+    }
+
+    /// The scheduled fault for a message (Deliver when unlisted).
+    pub fn decide(&self, stream: u64, key: u64) -> Fault {
+        self.faults.get(&(stream, key)).copied().unwrap_or(Fault::Deliver)
+    }
+
+    /// Number of scheduled (non-Deliver) faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Where a [`ChaosTopic`] draws its per-message decisions from: seeded
+/// probability draws, or a pinned schedule.
+enum FaultSource {
+    Seeded(Arc<ChaosDecider>),
+    Scripted(Arc<ChaosSchedule>),
+}
+
+impl FaultSource {
+    fn decide(&self, stream: u64, key: u64) -> Fault {
+        match self {
+            FaultSource::Seeded(d) => d.decide(stream, key),
+            FaultSource::Scripted(s) => s.decide(stream, key),
+        }
+    }
+}
+
 /// Pure, seeded fault decision function: no state, no clock.
 #[derive(Debug, Clone)]
 pub struct ChaosDecider {
@@ -123,6 +261,20 @@ impl ChaosDecider {
         (self.cfg.delay_prob > 0.0 && self.unit(stream, key, 3) < self.cfg.delay_prob)
             .then_some(self.cfg.delay_secs)
     }
+
+    /// Resolve the individual draws into exactly one [`Fault`] with the
+    /// documented precedence: drop beats duplicate beats delay.
+    pub fn decide(&self, stream: u64, key: u64) -> Fault {
+        if self.drops(stream, key) {
+            Fault::Drop
+        } else if self.duplicates(stream, key) {
+            Fault::Duplicate
+        } else if let Some(secs) = self.delay(stream, key) {
+            Fault::Delay(secs)
+        } else {
+            Fault::Deliver
+        }
+    }
 }
 
 /// Snapshot of a chaos wrapper's injection counters.
@@ -158,7 +310,8 @@ struct StatsInner {
 /// tick.
 pub struct ChaosTopic<T> {
     inner: Topic<T>,
-    decider: Arc<ChaosDecider>,
+    source: Arc<FaultSource>,
+    trace: Option<ChaosTrace>,
     stream: u64,
     seq: Arc<AtomicU64>,
     delayed: Arc<Mutex<VecDeque<(Instant, T)>>>,
@@ -169,7 +322,8 @@ impl<T> Clone for ChaosTopic<T> {
     fn clone(&self) -> Self {
         Self {
             inner: self.inner.clone(),
-            decider: Arc::clone(&self.decider),
+            source: Arc::clone(&self.source),
+            trace: self.trace.clone(),
             stream: self.stream,
             seq: Arc::clone(&self.seq),
             delayed: Arc::clone(&self.delayed),
@@ -181,9 +335,21 @@ impl<T> Clone for ChaosTopic<T> {
 impl<T: Clone> ChaosTopic<T> {
     /// Wrap `inner`, drawing fault decisions from `decider` on `stream`.
     pub fn new(inner: Topic<T>, decider: Arc<ChaosDecider>, stream: u64) -> Self {
+        Self::with_source(inner, FaultSource::Seeded(decider), stream)
+    }
+
+    /// Wrap `inner`, replaying the pinned `schedule` on `stream` instead
+    /// of drawing seeded probabilities — the replay half of chaos
+    /// capture/replay.
+    pub fn scripted(inner: Topic<T>, schedule: Arc<ChaosSchedule>, stream: u64) -> Self {
+        Self::with_source(inner, FaultSource::Scripted(schedule), stream)
+    }
+
+    fn with_source(inner: Topic<T>, source: FaultSource, stream: u64) -> Self {
         Self {
             inner,
-            decider,
+            source: Arc::new(source),
+            trace: None,
             stream,
             seq: Arc::new(AtomicU64::new(0)),
             delayed: Arc::new(Mutex::new(VecDeque::new())),
@@ -191,26 +357,38 @@ impl<T: Clone> ChaosTopic<T> {
         }
     }
 
+    /// Record every applied decision to `trace` (the capture half of
+    /// chaos capture/replay).
+    pub fn with_trace(mut self, trace: ChaosTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Publish through the fault injector.
     pub fn publish(&self, message: T) {
         self.flush_due();
         let key = self.seq.fetch_add(1, Ordering::Relaxed);
         self.stats.published.fetch_add(1, Ordering::Relaxed);
-        if self.decider.drops(self.stream, key) {
-            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
+        let fault = self.source.decide(self.stream, key);
+        if let Some(trace) = &self.trace {
+            trace.record(ChaosEvent { stream: self.stream, key, fault });
         }
-        if self.decider.duplicates(self.stream, key) {
-            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-            self.inner.publish(message.clone());
-        }
-        if let Some(secs) = self.decider.delay(self.stream, key) {
-            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
-            self.delayed
-                .lock()
-                .push_back((Instant::now() + Duration::from_secs_f64(secs), message));
-        } else {
-            self.inner.publish(message);
+        match fault {
+            Fault::Drop => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Fault::Duplicate => {
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.inner.publish(message.clone());
+                self.inner.publish(message);
+            }
+            Fault::Delay(secs) => {
+                self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                self.delayed
+                    .lock()
+                    .push_back((Instant::now() + Duration::from_secs_f64(secs), message));
+            }
+            Fault::Deliver => self.inner.publish(message),
         }
     }
 
@@ -422,6 +600,79 @@ mod tests {
         assert_ne!(sa, sb, "per-topic streams must differ");
         // The plain broker sees the surviving messages.
         assert_eq!(bus.broker().topic_names().len(), 2);
+    }
+
+    #[test]
+    fn decide_consolidates_with_drop_precedence() {
+        let d = ChaosDecider::new(ChaosConfig {
+            seed: 77,
+            drop_prob: 0.3,
+            dup_prob: 0.3,
+            delay_prob: 0.3,
+            delay_secs: 1.5,
+        });
+        let mut seen_drop = false;
+        let mut seen_dup = false;
+        let mut seen_delay = false;
+        for k in 0..1000 {
+            match d.decide(4, k) {
+                Fault::Drop => {
+                    assert!(d.drops(4, k));
+                    seen_drop = true;
+                }
+                Fault::Duplicate => {
+                    assert!(!d.drops(4, k) && d.duplicates(4, k));
+                    seen_dup = true;
+                }
+                Fault::Delay(s) => {
+                    assert_eq!(s, 1.5);
+                    assert!(!d.drops(4, k) && !d.duplicates(4, k));
+                    seen_delay = true;
+                }
+                Fault::Deliver => {}
+            }
+        }
+        assert!(seen_drop && seen_dup && seen_delay, "all fault kinds drawn");
+    }
+
+    #[test]
+    fn capture_then_replay_reproduces_the_run() {
+        let cfg = ChaosConfig { seed: 55, drop_prob: 0.3, dup_prob: 0.3, ..ChaosConfig::default() };
+        // Capture: seeded run with a trace attached.
+        let trace = ChaosTrace::new();
+        let seeded = ChaosTopic::new(Topic::new(), Arc::new(ChaosDecider::new(cfg)), 9)
+            .with_trace(trace.clone());
+        for i in 0..300u32 {
+            seeded.publish(i);
+        }
+        let captured = drain(seeded.inner());
+        assert_eq!(trace.len(), 300, "every decision recorded");
+        assert!(!trace.faults().is_empty());
+
+        // Replay: a scripted topic driven by the captured schedule, with
+        // no access to the seed, delivers the identical stream.
+        let schedule = Arc::new(ChaosSchedule::from_events(&trace.snapshot()));
+        let replay = ChaosTopic::scripted(Topic::new(), schedule, 9);
+        for i in 0..300u32 {
+            replay.publish(i);
+        }
+        assert_eq!(drain(replay.inner()), captured);
+        assert_eq!(replay.stats(), seeded.stats());
+    }
+
+    #[test]
+    fn scripted_schedule_pins_individual_messages() {
+        let mut s = ChaosSchedule::new();
+        s.set(1, 0, Fault::Drop);
+        s.set(1, 2, Fault::Duplicate);
+        s.set(1, 3, Fault::Drop);
+        s.set(1, 3, Fault::Deliver); // un-pin
+        assert_eq!(s.len(), 2);
+        let t = ChaosTopic::scripted(Topic::new(), Arc::new(s), 1);
+        for i in 0..4u32 {
+            t.publish(i);
+        }
+        assert_eq!(drain(t.inner()), vec![1, 2, 2, 3]);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod chaos;
 mod reliable;
 mod topic;
 
-pub use chaos::{ChaosBus, ChaosConfig, ChaosDecider, ChaosStats, ChaosTopic};
+pub use chaos::{
+    ChaosBus, ChaosConfig, ChaosDecider, ChaosEvent, ChaosSchedule, ChaosStats, ChaosTopic,
+    ChaosTrace, Fault,
+};
 pub use reliable::{Delivery, LeaseId, ReliableTopic};
 pub use topic::{Topic, TopicStats};
 

@@ -101,6 +101,21 @@ impl<T> Topic<T> {
         msg
     }
 
+    /// Non-blocking batch pull: move up to `max` queued messages into
+    /// `out` under a single lock acquisition, returning how many were
+    /// taken. A consumer draining a burst this way pays one lock per
+    /// burst instead of one per message.
+    pub fn try_pull_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut state = self.inner.queue.lock();
+        let take = max.min(state.messages.len());
+        out.extend(state.messages.drain(..take));
+        state.delivered += take as u64;
+        take
+    }
+
     /// Blocking pull: waits until a message arrives or the topic is closed.
     /// Returns `None` only when the topic is closed *and* drained.
     pub fn pull(&self) -> Option<T> {
@@ -199,6 +214,23 @@ mod tests {
         t.publish_all(0..10);
         let got: Vec<u32> = std::iter::from_fn(|| t.try_pull()).collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_pull_batch_drains_in_order_up_to_max() {
+        let t: Topic<u32> = Topic::new();
+        t.publish_all(0..10);
+        let mut out = Vec::new();
+        assert_eq!(t.try_pull_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(t.try_pull_batch(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "FIFO preserved");
+        assert_eq!(t.try_pull_batch(&mut out, 8), 0, "empty queue yields nothing");
+        assert_eq!(t.try_pull_batch(&mut out, 0), 0, "zero max is a no-op");
+        let s = t.stats();
+        assert_eq!(s.delivered, 10);
+        assert_eq!(s.depth, 0);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Differential oracle harness for the DEWE workflow stack.
+//!
+//! Three independent implementations of "run a workflow ensemble" live in
+//! this workspace: the sans-IO [`dewe_core::EnsembleEngine`]
+//! driven in virtual time, the modeled Pegasus/DAGMan/Condor baseline in
+//! `dewe-baseline`, and the threaded realtime master/worker stack over
+//! the in-process bus. They share semantics but almost no code — which
+//! makes them each other's best test oracle.
+//!
+//! The harness generates randomized scenarios from a seed (DAG shapes,
+//! runtimes, submission schedules, retry policies, scripted failures,
+//! chaos schedules), executes each scenario through all three paths, and
+//! checks a shared invariant suite:
+//!
+//! - completion sets match the expected-outcome model (and each other);
+//! - no lost jobs, no phantom completions;
+//! - dependency order is never violated in any path's execution log;
+//! - engine statistics obey conservation
+//!   (`dispatches == resubmissions + jobs_completed + dead_lettered`);
+//! - makespans respect the cpu-weighted critical-path lower bound.
+//!
+//! On divergence the failing scenario is shrunk (drop workflows, drop
+//! jobs, drop failure specs, disable chaos, zero scheduling knobs) to a
+//! locally minimal repro, replayable with `dewe-testkit replay <seed>`.
+
+pub mod invariant;
+pub mod oracle;
+pub mod paths;
+pub mod scenario;
+pub mod shrink;
+
+pub use invariant::{Event, PathKind, PathOutcome};
+pub use oracle::{minimize, run_scenario, run_seed, Repro, SeedRun, ALL_PATHS};
+pub use paths::EngineDriverConfig;
+pub use scenario::Scenario;

@@ -1,0 +1,118 @@
+//! `dewe-testkit` — differential oracle CLI.
+//!
+//! ```text
+//! dewe-testkit run <seed>                   run one seed through all paths
+//! dewe-testkit replay <seed>                run one seed, print the full scenario
+//! dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH]
+//! ```
+//!
+//! `sweep` runs seeds `S..S+N` (N defaults to `DEWE_DIFF_SEEDS` or 64).
+//! On the first divergence it shrinks the scenario, writes the repro
+//! report to `--repro-out` (default `target/dewe-diff-repro.txt`), and
+//! exits non-zero.
+
+use std::process::ExitCode;
+
+use dewe_testkit::{minimize, run_seed, EngineDriverConfig, Scenario};
+
+const DEFAULT_SEEDS: u64 = 64;
+const DEFAULT_REPRO_OUT: &str = "target/dewe-diff-repro.txt";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dewe-testkit run <seed>\n       dewe-testkit replay <seed>\n       \
+         dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_seed(arg: Option<&String>) -> Option<u64> {
+    arg.and_then(|s| s.parse().ok())
+}
+
+fn run_one(seed: u64, show_scenario: bool) -> ExitCode {
+    let scenario = Scenario::generate(seed);
+    if show_scenario {
+        print!("{}", scenario.describe());
+        println!();
+    }
+    let run = run_seed(seed);
+    if run.conforms() {
+        println!("seed {seed}: OK ({} jobs across 3 paths)", scenario.total_jobs());
+        ExitCode::SUCCESS
+    } else {
+        println!("seed {seed}: DIVERGED");
+        for v in &run.violations {
+            println!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let mut seeds: u64 =
+        std::env::var("DEWE_DIFF_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SEEDS);
+    let mut start: u64 = 0;
+    let mut repro_out = DEFAULT_REPRO_OUT.to_string();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match parse_seed(it.next()) {
+                Some(n) => seeds = n,
+                None => return usage(),
+            },
+            "--start" => match parse_seed(it.next()) {
+                Some(s) => start = s,
+                None => return usage(),
+            },
+            "--repro-out" => match it.next() {
+                Some(p) => repro_out = p.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    println!("differential sweep: seeds {start}..{}", start + seeds);
+    for seed in start..start + seeds {
+        let run = run_seed(seed);
+        if run.conforms() {
+            println!("seed {seed}: OK ({} jobs)", run.scenario.total_jobs());
+            continue;
+        }
+        println!("seed {seed}: DIVERGED — shrinking");
+        for v in &run.violations {
+            println!("  - {v}");
+        }
+        let repro = minimize(&run, &EngineDriverConfig::default());
+        let report = repro.report();
+        print!("{report}");
+        if let Some(dir) = std::path::Path::new(&repro_out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&repro_out, &report) {
+            Ok(()) => println!("repro written to {repro_out}"),
+            Err(e) => eprintln!("failed to write repro to {repro_out}: {e}"),
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("sweep clean: {seeds} seeds, zero divergence");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match parse_seed(args.get(1)) {
+            Some(seed) => run_one(seed, false),
+            None => usage(),
+        },
+        Some("replay") => match parse_seed(args.get(1)) {
+            Some(seed) => run_one(seed, true),
+            None => usage(),
+        },
+        Some("sweep") => sweep(&args[1..]),
+        _ => usage(),
+    }
+}

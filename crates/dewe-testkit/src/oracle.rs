@@ -1,0 +1,202 @@
+//! The differential oracle: run one scenario through all three execution
+//! paths, check the shared invariant suite, cross-compare the paths'
+//! completion sets, and — on divergence — shrink the scenario to a
+//! minimal seed-replayable repro.
+
+use std::collections::BTreeSet;
+
+use crate::invariant::{self, PathKind, PathOutcome};
+use crate::paths::{self, EngineDriverConfig};
+use crate::scenario::Scenario;
+use crate::shrink;
+
+/// All paths, in reporting order.
+pub const ALL_PATHS: [PathKind; 3] = [PathKind::Engine, PathKind::Baseline, PathKind::Realtime];
+
+/// Result of running one scenario through a set of paths.
+#[derive(Debug)]
+pub struct SeedRun {
+    /// The scenario that was executed.
+    pub scenario: Scenario,
+    /// Violations, each prefixed with the offending path's name. Empty
+    /// means all paths conformed and agreed.
+    pub violations: Vec<String>,
+    /// Which paths produced at least one violation.
+    pub diverging: Vec<PathKind>,
+}
+
+impl SeedRun {
+    /// True when every path conformed and the cross-checks agreed.
+    pub fn conforms(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A minimized, replayable divergence.
+#[derive(Debug)]
+pub struct Repro {
+    /// Seed whose generated scenario first diverged.
+    pub seed: u64,
+    /// Violations observed on the original (unshrunk) scenario.
+    pub violations: Vec<String>,
+    /// Locally minimal scenario that still diverges.
+    pub minimized: Scenario,
+    /// Violations observed on the minimized scenario.
+    pub minimized_violations: Vec<String>,
+}
+
+impl Repro {
+    /// Human-readable repro report, suitable for a CI artifact.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("differential divergence at seed {}\n", self.seed));
+        out.push_str(&format!("replay: dewe-testkit replay {}\n\n", self.seed));
+        out.push_str("violations on generated scenario:\n");
+        for v in &self.violations {
+            out.push_str(&format!("  - {v}\n"));
+        }
+        out.push_str("\nminimized scenario:\n");
+        out.push_str(&self.minimized.describe());
+        out.push_str("\nviolations on minimized scenario:\n");
+        for v in &self.minimized_violations {
+            out.push_str(&format!("  - {v}\n"));
+        }
+        out
+    }
+}
+
+fn run_path(scenario: &Scenario, kind: PathKind, cfg: &EngineDriverConfig) -> PathOutcome {
+    match kind {
+        PathKind::Engine => paths::engine::run(scenario, cfg),
+        PathKind::Baseline => paths::baseline::run(scenario),
+        PathKind::Realtime => paths::realtime::run(scenario),
+    }
+}
+
+/// Run `scenario` through `kinds`, applying the per-path invariant suite
+/// and the cross-path completion-set comparison.
+pub fn run_scenario(scenario: &Scenario, kinds: &[PathKind], cfg: &EngineDriverConfig) -> SeedRun {
+    let mut violations = Vec::new();
+    let mut diverging = Vec::new();
+    let mut settled: Vec<(PathKind, BTreeSet<(u32, u32)>)> = Vec::new();
+
+    for &kind in kinds {
+        let outcome = run_path(scenario, kind, cfg);
+        let path_violations = invariant::check(scenario, &outcome);
+        if !path_violations.is_empty() {
+            diverging.push(kind);
+        }
+        for v in path_violations {
+            violations.push(format!("[{}] {v}", kind.name()));
+        }
+        if outcome.settled {
+            settled.push((kind, outcome.completed));
+        }
+    }
+
+    // Cross-path agreement. Engine and realtime share failure semantics,
+    // so their completion sets must be identical; the baseline folds
+    // dead-letters and abandonments back into completions, so against it
+    // only the full job set is comparable.
+    let every_job: BTreeSet<(u32, u32)> = {
+        let exp = scenario.expected_outcome();
+        exp.completed
+            .iter()
+            .chain(exp.dead_lettered.iter())
+            .chain(exp.abandoned.iter())
+            .copied()
+            .collect()
+    };
+    for i in 0..settled.len() {
+        for j in (i + 1)..settled.len() {
+            let (ka, ca) = &settled[i];
+            let (kb, cb) = &settled[j];
+            let baseline_involved = *ka == PathKind::Baseline || *kb == PathKind::Baseline;
+            let agree = if baseline_involved {
+                // Baseline runs everything; the other path's terminal set
+                // (completed + dead-lettered + abandoned) must cover the
+                // same jobs, which `check` already verified per path.
+                let full = |k: PathKind, c: &BTreeSet<(u32, u32)>| {
+                    if k == PathKind::Baseline {
+                        c.clone()
+                    } else {
+                        every_job.clone()
+                    }
+                };
+                full(*ka, ca) == full(*kb, cb)
+            } else {
+                ca == cb
+            };
+            if !agree {
+                let msg = format!(
+                    "[cross] completion sets diverge: {} completed {} jobs, {} completed {} jobs",
+                    ka.name(),
+                    ca.len(),
+                    kb.name(),
+                    cb.len()
+                );
+                violations.push(msg);
+                if !diverging.contains(ka) {
+                    diverging.push(*ka);
+                }
+                if !diverging.contains(kb) {
+                    diverging.push(*kb);
+                }
+            }
+        }
+    }
+
+    SeedRun { scenario: scenario.clone(), violations, diverging }
+}
+
+/// Generate and run the scenario for `seed` through all three paths.
+pub fn run_seed(seed: u64) -> SeedRun {
+    run_scenario(&Scenario::generate(seed), &ALL_PATHS, &EngineDriverConfig::default())
+}
+
+/// Shrink a diverging run to a minimal repro.
+///
+/// Shrinking replays the scenario many times, so it sticks to the
+/// deterministic paths when they suffice: the threaded realtime path is
+/// only exercised during shrinking when it was the sole diverging path.
+pub fn minimize(run: &SeedRun, cfg: &EngineDriverConfig) -> Repro {
+    assert!(!run.conforms(), "minimize() requires a diverging run");
+    let deterministic: Vec<PathKind> =
+        run.diverging.iter().copied().filter(|&k| k != PathKind::Realtime).collect();
+    let kinds: Vec<PathKind> =
+        if deterministic.is_empty() { vec![PathKind::Realtime] } else { deterministic };
+
+    let diverges = |s: &Scenario| !run_scenario(s, &kinds, cfg).conforms();
+    let minimized = shrink::minimize(&run.scenario, &diverges);
+    let minimized_violations = run_scenario(&minimized, &kinds, cfg).violations;
+    Repro {
+        seed: run.scenario.seed,
+        violations: run.violations.clone(),
+        minimized,
+        minimized_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_seed_conforms_across_all_paths() {
+        let run = run_seed(3); // class 0: no chaos, no failures
+        assert!(run.conforms(), "{:?}", run.violations);
+    }
+
+    #[test]
+    fn deterministic_paths_agree_on_failure_seed() {
+        // Engine vs baseline only (fast, no threads): the cross-check and
+        // per-path suites must pass on a scripted-failure scenario.
+        let s = Scenario::generate(5); // class 2
+        let run = run_scenario(
+            &s,
+            &[PathKind::Engine, PathKind::Baseline],
+            &EngineDriverConfig::default(),
+        );
+        assert!(run.conforms(), "{:?}", run.violations);
+    }
+}

@@ -1,0 +1,353 @@
+//! Deterministic virtual-time driver for the sans-IO
+//! [`EnsembleEngine`] — the oracle's reference path.
+//!
+//! A discrete-event loop plays the roles of transport and worker pool:
+//! dispatch actions become delivery events, deliveries occupy worker
+//! slots, executions take their modeled `cpu_secs` of virtual time, and
+//! acknowledgments travel back as events of their own. Chaos is applied
+//! by the same pure [`ChaosDecider`] the other paths use, but keyed by
+//! *message identity* (`workflow`, `job`, `attempt`, `kind`) rather than
+//! publish order, so the fault schedule is a function of the scenario
+//! alone — independent of event interleaving and re-runs.
+//!
+//! Between transport events the driver lets the engine's own clock run:
+//! whenever the next engine deadline (job timeout or deferred retry)
+//! precedes the next transport event, the driver advances virtual time to
+//! the deadline and scans. A run with no pending events and no pending
+//! deadlines that has not settled is a **stall** — the exact class of bug
+//! (lost dispatch, stuck dependency) the oracle exists to catch.
+//!
+//! [`EnsembleEngine`]: dewe_core::EnsembleEngine
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+use dewe_core::{AckKind, AckMsg, DispatchMsg};
+use dewe_core::{Action, EngineConfig, EnsembleEngine, RetryPolicy};
+use dewe_mq::chaos::{message_key, streams};
+use dewe_mq::{ChaosConfig, ChaosDecider, Fault};
+
+use crate::invariant::{Event, PathKind, PathOutcome};
+use crate::scenario::Scenario;
+
+/// Transport latency between any publish and its delivery, virtual
+/// seconds. Small but nonzero so causality is visible in timestamps.
+const EPS: f64 = 1e-3;
+
+/// Abort threshold for runaway scenarios (a conforming 36-job scenario
+/// settles in a few hundred events).
+const STEP_CAP: usize = 200_000;
+
+/// Knobs for deliberately mis-driving the engine — the oracle's own
+/// self-test. A mutated run must produce violations, and the shrinker
+/// must reduce them to a minimal repro.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineDriverConfig {
+    /// Silently discard the n-th (0-based) dispatch action instead of
+    /// delivering it: an injected "engine lost a job" bug.
+    pub drop_nth_dispatch: Option<u64>,
+}
+
+enum Ev {
+    Submit(usize),
+    DispatchArrive(DispatchMsg),
+    JobFinish { dispatch: DispatchMsg, fail: bool },
+    AckArrive(AckMsg),
+}
+
+struct Sched {
+    at: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Sched {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Sched {}
+impl PartialOrd for Sched {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sched {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.total_cmp(&other.at).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+struct Driver<'a> {
+    scenario: &'a Scenario,
+    cfg: &'a EngineDriverConfig,
+    built: Vec<std::sync::Arc<dewe_dag::Workflow>>,
+    engine: EnsembleEngine,
+    chaos: Option<ChaosDecider>,
+    heap: BinaryHeap<Reverse<Sched>>,
+    seq: u64,
+    free_slots: usize,
+    queue: VecDeque<DispatchMsg>,
+    events: Vec<Event>,
+    dispatch_counter: u64,
+    actions: Vec<Action>,
+}
+
+fn job_key(d: &DispatchMsg) -> u64 {
+    ((d.job.workflow.0 as u64) << 32) | d.job.job.0 as u64
+}
+
+impl<'a> Driver<'a> {
+    fn push(&mut self, at: f64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Sched { at, seq: self.seq, ev }));
+    }
+
+    fn decide(&self, stream: u64, key: u64) -> Fault {
+        match &self.chaos {
+            Some(d) => d.decide(stream, key),
+            None => Fault::Deliver,
+        }
+    }
+
+    /// Route a dispatch action through chaos toward the worker pool.
+    fn send_dispatch(&mut self, d: DispatchMsg, now: f64) {
+        let n = self.dispatch_counter;
+        self.dispatch_counter += 1;
+        if self.cfg.drop_nth_dispatch == Some(n) {
+            return; // the injected bug: the job silently never ships
+        }
+        let key = message_key(job_key(&d), d.attempt as u64, 0);
+        match self.decide(streams::DISPATCH, key) {
+            Fault::Drop => {}
+            Fault::Duplicate => {
+                self.push(now + EPS, Ev::DispatchArrive(d));
+                self.push(now + 2.0 * EPS, Ev::DispatchArrive(d));
+            }
+            Fault::Delay(secs) => self.push(now + secs + EPS, Ev::DispatchArrive(d)),
+            Fault::Deliver => self.push(now + EPS, Ev::DispatchArrive(d)),
+        }
+    }
+
+    /// Route a worker acknowledgment through chaos back to the engine.
+    fn send_ack(&mut self, ack: AckMsg, now: f64) {
+        let pack = ((ack.job.workflow.0 as u64) << 32) | ack.job.job.0 as u64;
+        let key = message_key(pack, ack.attempt as u64, 1 + ack.kind.code() as u64);
+        match self.decide(streams::ACK, key) {
+            Fault::Drop => {}
+            Fault::Duplicate => {
+                self.push(now + EPS, Ev::AckArrive(ack));
+                self.push(now + 2.0 * EPS, Ev::AckArrive(ack));
+            }
+            Fault::Delay(secs) => self.push(now + secs + EPS, Ev::AckArrive(ack)),
+            Fault::Deliver => self.push(now + EPS, Ev::AckArrive(ack)),
+        }
+    }
+
+    /// A delivered dispatch begins executing on a free slot.
+    fn start_job(&mut self, d: DispatchMsg, now: f64) {
+        debug_assert!(self.free_slots > 0);
+        self.free_slots -= 1;
+        self.events.push(Event::Started { job: (d.job.workflow.0, d.job.job.0) });
+        self.send_ack(
+            AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: d.attempt },
+            now,
+        );
+        let spec = &self.scenario.workflows[d.job.workflow.index()].jobs[d.job.job.index()];
+        let fail = d.attempt <= self.scenario.failing_attempts(d.job.workflow.0, d.job.job.0);
+        self.push(now + spec.cpu_secs, Ev::JobFinish { dispatch: d, fail });
+    }
+
+    /// Drain engine actions produced at `now`.
+    fn process_actions(&mut self, now: f64) {
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain(..) {
+            if let Action::Dispatch(d) = action {
+                self.send_dispatch(d, now);
+            }
+        }
+        self.actions = actions;
+    }
+
+    fn handle(&mut self, ev: Ev, now: f64) {
+        match ev {
+            Ev::Submit(i) => {
+                let wf = std::sync::Arc::clone(&self.built[i]);
+                self.engine.submit_workflow_into(wf, now, &mut self.actions);
+                self.process_actions(now);
+            }
+            Ev::DispatchArrive(d) => {
+                if self.free_slots > 0 {
+                    self.start_job(d, now);
+                } else {
+                    self.queue.push_back(d);
+                }
+            }
+            Ev::JobFinish { dispatch, fail } => {
+                self.free_slots += 1;
+                if let Some(next) = self.queue.pop_front() {
+                    self.start_job(next, now);
+                }
+                let kind = if fail { AckKind::Failed } else { AckKind::Completed };
+                if !fail {
+                    self.events.push(Event::Finished {
+                        job: (dispatch.job.workflow.0, dispatch.job.job.0),
+                    });
+                }
+                self.send_ack(
+                    AckMsg { job: dispatch.job, worker: 0, kind, attempt: dispatch.attempt },
+                    now,
+                );
+            }
+            Ev::AckArrive(ack) => {
+                self.engine.on_ack_into(ack, now, &mut self.actions);
+                self.process_actions(now);
+            }
+        }
+    }
+}
+
+fn engine_config(scenario: &Scenario) -> EngineConfig {
+    let lossy = scenario.chaos.is_lossy();
+    EngineConfig {
+        // Generous relative to job runtimes (≤ 1 s) and chaos delays, so
+        // spurious timeouts never race the retry-budget accounting; tight
+        // enough that drop recovery converges quickly in virtual time.
+        default_timeout_secs: if lossy { 30.0 } else { 1000.0 },
+        checkout_timeout_secs: lossy.then_some(5.0),
+        retry: RetryPolicy {
+            max_attempts: scenario.max_attempts,
+            backoff_base_secs: scenario.backoff_base_secs,
+            backoff_factor: 2.0,
+            backoff_max_secs: 60.0,
+            jitter_frac: 0.0,
+            seed: scenario.seed,
+        },
+    }
+}
+
+/// Execute the scenario through the deterministic engine path.
+pub fn run(scenario: &Scenario, cfg: &EngineDriverConfig) -> PathOutcome {
+    let chaos = (!scenario.chaos.is_noop()).then(|| {
+        ChaosDecider::new(ChaosConfig {
+            seed: scenario.chaos.seed,
+            drop_prob: scenario.chaos.drop_prob,
+            dup_prob: scenario.chaos.dup_prob,
+            delay_prob: scenario.chaos.delay_prob,
+            delay_secs: scenario.chaos.delay_secs,
+        })
+    });
+    let mut driver = Driver {
+        scenario,
+        cfg,
+        built: scenario.build_workflows(),
+        engine: EnsembleEngine::with_config(engine_config(scenario)),
+        chaos,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        free_slots: scenario.workers * scenario.slots_per_worker,
+        queue: VecDeque::new(),
+        events: Vec::new(),
+        dispatch_counter: 0,
+        actions: Vec::new(),
+    };
+    for i in 0..scenario.workflows.len() {
+        let at = scenario.submission_interval_secs * i as f64;
+        driver.push(at, Ev::Submit(i));
+    }
+
+    let mut now = 0.0f64;
+    let mut steps = 0usize;
+    let mut note = None;
+    // Settled is only terminal once every scheduled submission has fired:
+    // an early workflow can settle while later ones still sit in the heap.
+    let all_submitted =
+        |d: &Driver| d.engine.stats().workflows_submitted == d.scenario.workflows.len();
+    while !(driver.engine.all_settled() && all_submitted(&driver)) {
+        steps += 1;
+        if steps > STEP_CAP {
+            note = Some(format!("step cap {STEP_CAP} exceeded at t={now:.3}"));
+            break;
+        }
+        let next_event = driver.heap.peek().map(|Reverse(s)| s.at);
+        let next_deadline = driver.engine.next_deadline();
+        match (next_event, next_deadline) {
+            (None, None) => {
+                note = Some(format!(
+                    "stall at t={now:.3}: no pending events or deadlines, \
+                     {} dispatches routed, {} queued",
+                    driver.dispatch_counter,
+                    driver.queue.len()
+                ));
+                break;
+            }
+            (event_at, Some(d)) if event_at.is_none_or(|e| d <= e) => {
+                now = now.max(d);
+                driver.engine.check_timeouts_into(now, &mut driver.actions);
+                driver.process_actions(now);
+            }
+            _ => {
+                let Reverse(sched) = driver.heap.pop().expect("peeked event");
+                now = now.max(sched.at);
+                driver.handle(sched.ev, now);
+            }
+        }
+    }
+
+    let settled = driver.engine.all_settled();
+    let mut completed = std::collections::BTreeSet::new();
+    for (w, wf) in scenario.workflows.iter().enumerate() {
+        for j in 0..wf.jobs.len() {
+            let id = dewe_dag::EnsembleJobId::new(
+                dewe_dag::WorkflowId(w as u32),
+                dewe_dag::JobId(j as u32),
+            );
+            if driver.engine.job_state(id) == Some(dewe_dag::JobState::Completed) {
+                completed.insert((w as u32, j as u32));
+            }
+        }
+    }
+    PathOutcome {
+        kind: PathKind::Engine,
+        completed,
+        events: driver.events,
+        stats: Some(driver.engine.stats()),
+        makespan_secs: Some(now),
+        settled,
+        note,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant;
+
+    #[test]
+    fn clean_scenario_settles_and_conforms() {
+        let s = Scenario::generate(0); // class 0: clean
+        let out = run(&s, &EngineDriverConfig::default());
+        assert!(out.settled);
+        let v = invariant::check(&s, &out);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn engine_path_is_deterministic() {
+        let s = Scenario::generate(7); // class 1: chaos
+        let a = run(&s, &EngineDriverConfig::default());
+        let b = run(&s, &EngineDriverConfig::default());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+    }
+
+    #[test]
+    fn dropped_dispatch_mutation_stalls() {
+        let s = Scenario::generate(0);
+        let out = run(&s, &EngineDriverConfig { drop_nth_dispatch: Some(0) });
+        assert!(!out.settled, "losing a dispatch must strand the ensemble");
+        let v = invariant::check(&s, &out);
+        assert!(v.iter().any(|m| m.contains("did not settle")), "{v:?}");
+    }
+}

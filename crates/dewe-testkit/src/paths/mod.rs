@@ -1,0 +1,7 @@
+//! The three execution paths the oracle runs every scenario through.
+
+pub mod baseline;
+pub mod engine;
+pub mod realtime;
+
+pub use engine::EngineDriverConfig;

@@ -1,0 +1,246 @@
+//! Driver for the threaded realtime master/worker stack.
+//!
+//! Runs the scenario on real daemon threads over the in-process bus: one
+//! master, `workers` worker daemons, and — when the scenario carries
+//! chaos — a [`ChaosLink`] interposed on the dispatch and ack streams.
+//! Job execution is tapped by a [`TapRunner`] that records start/finish
+//! events into one mutex-ordered log; the lock acquisition order gives
+//! the log a total order consistent with cross-thread happens-before (a
+//! parent's finish is recorded inside `run()` before its Completed ack is
+//! published, and a child's start is recorded only after the master
+//! processed that ack and a worker pulled the child's dispatch), so the
+//! shared dependency-order invariant reads directly off log positions.
+//!
+//! Virtual-time quantities are scaled to wall-clock milliseconds: jobs
+//! execute instantly (runtimes are the simulators' concern; this path
+//! checks protocol correctness), chaos delays hold messages ~20 ms, and a
+//! watchdog turns a hung run into a reported stall instead of a hung
+//! test.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dewe_core::realtime::{
+    spawn_master, spawn_worker, submit, ChaosLink, JobOutcome, JobRunner, MasterConfig,
+    MasterEvent, MessageBus, Registry, RunContext, WorkerConfig,
+};
+use dewe_core::{EngineStats, RetryPolicy};
+use dewe_dag::{JobId, Workflow};
+use dewe_mq::ChaosConfig;
+
+use crate::invariant::{Event, PathKind, PathOutcome};
+use crate::scenario::Scenario;
+
+/// Wall-clock hold applied to chaos-delayed messages.
+const DELAY_SECS_WALL: f64 = 0.02;
+
+/// Give a stuck run this long before declaring a stall.
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Records execution events and plays the scenario's failure script.
+struct TapRunner {
+    failures: HashMap<(u32, u32), u32>,
+    log: Arc<Mutex<Vec<Event>>>,
+}
+
+impl JobRunner for TapRunner {
+    fn run(&self, _workflow: &Workflow, job: JobId, ctx: &RunContext) -> JobOutcome {
+        let id = (ctx.workflow_id.0, job.0);
+        self.log.lock().expect("tap log").push(Event::Started { job: id });
+        if let Some(&failing) = self.failures.get(&id) {
+            if ctx.attempt <= failing {
+                return JobOutcome::Failed(format!("scripted failure, attempt {}", ctx.attempt));
+            }
+        }
+        self.log.lock().expect("tap log").push(Event::Finished { job: id });
+        JobOutcome::Success
+    }
+}
+
+/// Either a plain shared bus or a chaos-interposed bus pair.
+enum Fabric {
+    Plain(MessageBus),
+    Chaos(ChaosLink),
+}
+
+impl Fabric {
+    fn master_bus(&self) -> &MessageBus {
+        match self {
+            Fabric::Plain(bus) => bus,
+            Fabric::Chaos(link) => &link.master_bus,
+        }
+    }
+
+    fn worker_bus(&self) -> &MessageBus {
+        match self {
+            Fabric::Plain(bus) => bus,
+            Fabric::Chaos(link) => &link.worker_bus,
+        }
+    }
+
+    fn shutdown(self) -> Option<String> {
+        match self {
+            Fabric::Plain(bus) => {
+                bus.shutdown();
+                None
+            }
+            Fabric::Chaos(link) => {
+                let note = format!(
+                    "chaos dispatch {:?} ack {:?}",
+                    link.dispatch_stats(),
+                    link.ack_stats()
+                );
+                link.shutdown();
+                Some(note)
+            }
+        }
+    }
+}
+
+fn master_config(scenario: &Scenario) -> MasterConfig {
+    let lossy = scenario.chaos.is_lossy();
+    MasterConfig {
+        // Jobs execute instantly, so a timeout only ever fires when a
+        // message was actually lost; lossy scenarios get tight deadlines
+        // so recovery converges within the watchdog, loss-free ones get
+        // deadlines no healthy run can hit.
+        default_timeout_secs: if lossy { 0.3 } else { 30.0 },
+        checkout_timeout_secs: lossy.then_some(0.25),
+        retry: RetryPolicy {
+            max_attempts: scenario.max_attempts,
+            backoff_base_secs: if scenario.backoff_base_secs > 0.0 { 0.002 } else { 0.0 },
+            backoff_factor: 2.0,
+            backoff_max_secs: 0.05,
+            jitter_frac: 0.0,
+            seed: scenario.seed,
+        },
+        timeout_scan_interval: Duration::from_millis(5),
+        expected_workflows: Some(scenario.workflows.len()),
+        ..MasterConfig::default()
+    }
+}
+
+/// Execute the scenario through the threaded realtime stack.
+pub fn run(scenario: &Scenario) -> PathOutcome {
+    let fabric = if scenario.chaos.is_noop() {
+        Fabric::Plain(MessageBus::new())
+    } else {
+        Fabric::Chaos(ChaosLink::new(ChaosConfig {
+            seed: scenario.chaos.seed,
+            drop_prob: scenario.chaos.drop_prob,
+            dup_prob: scenario.chaos.dup_prob,
+            delay_prob: scenario.chaos.delay_prob,
+            delay_secs: DELAY_SECS_WALL,
+        }))
+    };
+
+    let registry = Registry::new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let runner = Arc::new(TapRunner {
+        failures: scenario
+            .failures
+            .iter()
+            .map(|f| ((f.workflow, f.job), f.failing_attempts))
+            .collect(),
+        log: Arc::clone(&log),
+    });
+
+    let master =
+        spawn_master(fabric.master_bus().clone(), registry.clone(), master_config(scenario));
+    let workers: Vec<_> = (0..scenario.workers)
+        .map(|w| {
+            spawn_worker(
+                fabric.worker_bus().clone(),
+                registry.clone(),
+                Arc::clone(&runner) as Arc<dyn JobRunner>,
+                WorkerConfig {
+                    worker_id: w as u32,
+                    slots: scenario.slots_per_worker,
+                    pull_timeout: Duration::from_millis(5),
+                },
+            )
+        })
+        .collect();
+
+    for (i, wf) in scenario.build_workflows().into_iter().enumerate() {
+        submit(fabric.master_bus(), format!("wf{i}"), wf);
+    }
+
+    // Watchdog: wait for the master's terminal event; a silent 30 s means
+    // the stack hung and the stall itself is the finding.
+    let deadline = Instant::now() + WATCHDOG;
+    let stats: Option<EngineStats> = loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break None;
+        }
+        match master.events.recv_timeout(remaining) {
+            Ok(MasterEvent::AllCompleted { stats }) | Ok(MasterEvent::AllSettled { stats }) => {
+                break Some(stats);
+            }
+            Ok(_) => continue,
+            Err(_) => break None, // timeout or master gone without a verdict
+        }
+    };
+
+    // Teardown order matters on a stall: closing the fabric unblocks the
+    // master loop so the join below cannot hang.
+    let settled = stats.is_some();
+    for worker in workers {
+        worker.stop();
+    }
+    let mut note = fabric.shutdown();
+    let final_stats = master.join();
+    if !settled {
+        let n = format!("watchdog expired after {WATCHDOG:?}; stats {final_stats:?}");
+        note = Some(match note {
+            Some(existing) => format!("{n}; {existing}"),
+            None => n,
+        });
+    }
+
+    let events = log.lock().expect("tap log").clone();
+    let completed: BTreeSet<(u32, u32)> = events
+        .iter()
+        .filter_map(|ev| match *ev {
+            Event::Finished { job } => Some(job),
+            Event::Started { .. } => None,
+        })
+        .collect();
+    PathOutcome {
+        kind: PathKind::Realtime,
+        completed,
+        events,
+        stats: Some(if settled { stats.unwrap() } else { final_stats }),
+        makespan_secs: None,
+        settled,
+        note,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant;
+
+    #[test]
+    fn clean_scenario_conforms() {
+        let s = Scenario::generate(0);
+        let out = run(&s);
+        assert!(out.settled, "{:?}", out.note);
+        let v = invariant::check(&s, &out);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn failure_scenario_dead_letters_as_expected() {
+        let s = Scenario::generate(2); // class 2: scripted failures
+        let out = run(&s);
+        assert!(out.settled, "{:?}", out.note);
+        let v = invariant::check(&s, &out);
+        assert!(v.is_empty(), "{v:?}");
+        let expected = s.expected_outcome();
+        assert_eq!(out.completed, expected.completed);
+    }
+}

@@ -1,0 +1,452 @@
+//! Seeded scenario generation and the analytic expected-outcome model.
+//!
+//! A [`Scenario`] is everything a differential run needs: DAG shapes,
+//! per-job runtimes, a submission schedule, worker-pool geometry, the
+//! retry policy, a chaos profile and a script of per-job failures. All of
+//! it derives deterministically from one `u64` seed, so any run —
+//! including a failing one — is reproducible from the seed alone
+//! (`dewe-testkit replay <seed>`).
+//!
+//! Seeds fall into three classes (`seed % 3`), chosen so the engine's
+//! terminal verdict stays analytically predictable:
+//!
+//! * **0 — clean**: no chaos, no failures, unbounded retries. Every job
+//!   must complete, exactly once.
+//! * **1 — chaos**: drop / duplicate / delay injection with *unbounded*
+//!   retries and checkout timeouts. Every job must still complete
+//!   (possibly after resubmissions); nothing may be lost.
+//! * **2 — scripted failures**: a retry cap plus per-job scripts of
+//!   failing attempts, with at most *delay* chaos. Which jobs dead-letter
+//!   and which descendants are abandoned is computed analytically by
+//!   [`Scenario::expected_outcome`]. Drop/duplicate chaos is excluded here
+//!   by construction: the engine deliberately does not deduplicate Failed
+//!   acknowledgments (a worker crash-report is authoritative), so a
+//!   duplicated Failed ack would burn the retry budget twice and the
+//!   analytic model would no longer match.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use dewe_dag::{Workflow, WorkflowBuilder};
+
+/// Splitmix64 — the same tiny deterministic generator the chaos decider
+/// uses; good enough to decorrelate scenario dimensions from one seed.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// One job of a generated workflow. Parents always have smaller indices
+/// (the generator emits jobs in topological order), which is what makes
+/// the expected-outcome model computable in a single forward pass.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Modeled runtime in (virtual) seconds.
+    pub cpu_secs: f64,
+    /// Indices of parent jobs within the same workflow, all `<` this
+    /// job's own index.
+    pub parents: Vec<u32>,
+}
+
+/// One generated workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowSpec {
+    /// Jobs in topological (index) order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Scripted failure: attempts `1..=failing_attempts` of this job return a
+/// Failed acknowledgment; attempt `failing_attempts + 1` succeeds.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSpec {
+    /// Workflow index.
+    pub workflow: u32,
+    /// Job index within the workflow.
+    pub job: u32,
+    /// How many leading attempts fail.
+    pub failing_attempts: u32,
+}
+
+/// Chaos profile applied to the dispatch and ack streams.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Decider seed.
+    pub seed: u64,
+    /// Per-message drop probability.
+    pub drop_prob: f64,
+    /// Per-message duplication probability.
+    pub dup_prob: f64,
+    /// Per-message delay probability.
+    pub delay_prob: f64,
+    /// Virtual-time delay applied by the engine-path driver; the realtime
+    /// path scales this down to wall-clock milliseconds.
+    pub delay_secs: f64,
+}
+
+impl ChaosSpec {
+    /// No chaos at all.
+    pub fn none() -> Self {
+        Self { seed: 0, drop_prob: 0.0, dup_prob: 0.0, delay_prob: 0.0, delay_secs: 0.0 }
+    }
+
+    /// True when every probability is zero.
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob == 0.0 && self.dup_prob == 0.0 && self.delay_prob == 0.0
+    }
+
+    /// True when messages can be lost or duplicated (not merely delayed).
+    pub fn is_lossy(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0
+    }
+}
+
+/// A complete differential-test scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generating seed (0 for hand-built scenarios).
+    pub seed: u64,
+    /// The ensemble.
+    pub workflows: Vec<WorkflowSpec>,
+    /// Stagger between successive workflow submissions, virtual seconds.
+    pub submission_interval_secs: f64,
+    /// Worker daemons.
+    pub workers: usize,
+    /// Slots per worker daemon.
+    pub slots_per_worker: usize,
+    /// Retry cap (`None` = the paper's retry-forever).
+    pub max_attempts: Option<u32>,
+    /// Backoff before retries, virtual seconds.
+    pub backoff_base_secs: f64,
+    /// Chaos profile.
+    pub chaos: ChaosSpec,
+    /// Scripted per-job failures.
+    pub failures: Vec<FailureSpec>,
+}
+
+/// The analytically computed terminal verdict of a scenario: which jobs
+/// must complete, dead-letter, or be abandoned once the ensemble settles.
+/// Jobs are identified as `(workflow_index, job_index)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expected {
+    /// Jobs that must reach `Completed`.
+    pub completed: BTreeSet<(u32, u32)>,
+    /// Jobs that must exhaust their retry budget.
+    pub dead_lettered: BTreeSet<(u32, u32)>,
+    /// Jobs written off because an ancestor dead-lettered (excludes the
+    /// dead-lettered jobs themselves).
+    pub abandoned: BTreeSet<(u32, u32)>,
+}
+
+impl Scenario {
+    /// Generate the scenario for `seed`.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = Rng::new(seed ^ SCENARIO_SALT);
+        let class = seed % 3;
+
+        let n_wf = 1 + rng.below(3);
+        let mut workflows = Vec::with_capacity(n_wf);
+        for _ in 0..n_wf {
+            let n_jobs = 1 + rng.below(12);
+            let mut jobs = Vec::with_capacity(n_jobs);
+            for j in 0..n_jobs {
+                let cpu_secs = 0.05 + rng.unit() * 0.95;
+                let mut parents = Vec::new();
+                for p in 0..j {
+                    if rng.unit() < 0.35 {
+                        parents.push(p as u32);
+                    }
+                }
+                jobs.push(JobSpec { cpu_secs, parents });
+            }
+            workflows.push(WorkflowSpec { jobs });
+        }
+
+        let submission_interval_secs = rng.unit() * 0.5;
+        let workers = 1 + rng.below(3);
+        let slots_per_worker = 1 + rng.below(4);
+
+        let (chaos, max_attempts, backoff_base_secs, failures) = match class {
+            0 => (ChaosSpec::none(), None, 0.0, Vec::new()),
+            1 => {
+                let chaos = ChaosSpec {
+                    seed: seed ^ 0xC4A5_11FE,
+                    drop_prob: rng.unit() * 0.15,
+                    dup_prob: rng.unit() * 0.15,
+                    delay_prob: rng.unit() * 0.3,
+                    delay_secs: 0.5,
+                };
+                (chaos, None, 0.0, Vec::new())
+            }
+            _ => {
+                // Delay-only chaos: a lost or duplicated Failed ack would
+                // desynchronize the retry-budget accounting (see module
+                // docs), but a late one cannot.
+                let chaos = ChaosSpec {
+                    seed: seed ^ 0xC4A5_11FE,
+                    drop_prob: 0.0,
+                    dup_prob: 0.0,
+                    delay_prob: rng.unit() * 0.3,
+                    delay_secs: 0.05,
+                };
+                let cap = 1 + rng.below(3) as u32;
+                let backoff = rng.unit() * 0.1;
+                let total: usize = workflows.iter().map(|w| w.jobs.len()).sum();
+                let n_failures = 1 + rng.below(3.min(total));
+                let mut failures = Vec::new();
+                let mut taken = BTreeSet::new();
+                for _ in 0..n_failures {
+                    let wf = rng.below(workflows.len()) as u32;
+                    let job = rng.below(workflows[wf as usize].jobs.len()) as u32;
+                    if taken.insert((wf, job)) {
+                        failures.push(FailureSpec {
+                            workflow: wf,
+                            job,
+                            failing_attempts: 1 + rng.below(4) as u32,
+                        });
+                    }
+                }
+                (chaos, Some(cap), backoff, failures)
+            }
+        };
+
+        Self {
+            seed,
+            workflows,
+            submission_interval_secs,
+            workers,
+            slots_per_worker,
+            max_attempts,
+            backoff_base_secs,
+            chaos,
+            failures,
+        }
+    }
+
+    /// Total job count across the ensemble.
+    pub fn total_jobs(&self) -> usize {
+        self.workflows.iter().map(|w| w.jobs.len()).sum()
+    }
+
+    /// Scripted failing-attempt count for a job (0 = never fails).
+    pub fn failing_attempts(&self, workflow: u32, job: u32) -> u32 {
+        self.failures
+            .iter()
+            .find(|f| f.workflow == workflow && f.job == job)
+            .map_or(0, |f| f.failing_attempts)
+    }
+
+    /// The terminal verdict every conforming execution path must reach.
+    ///
+    /// Computed in one forward pass per workflow: parents always precede
+    /// children in index order, so each job's fate depends only on
+    /// already-decided jobs. A job dead-letters iff its failure script
+    /// outlasts the retry cap; it is abandoned iff any parent failed to
+    /// complete; otherwise it completes.
+    pub fn expected_outcome(&self) -> Expected {
+        let mut completed = BTreeSet::new();
+        let mut dead_lettered = BTreeSet::new();
+        let mut abandoned = BTreeSet::new();
+        for (w, wf) in self.workflows.iter().enumerate() {
+            for (j, job) in wf.jobs.iter().enumerate() {
+                let id = (w as u32, j as u32);
+                if job.parents.iter().any(|&p| !completed.contains(&(w as u32, p))) {
+                    abandoned.insert(id);
+                    continue;
+                }
+                let fails = self.failing_attempts(id.0, id.1);
+                if self.max_attempts.is_some_and(|cap| fails >= cap) {
+                    dead_lettered.insert(id);
+                } else {
+                    completed.insert(id);
+                }
+            }
+        }
+        Expected { completed, dead_lettered, abandoned }
+    }
+
+    /// Longest cpu-weighted path through any single workflow — a lower
+    /// bound on every path's makespan when all jobs run (no failures).
+    pub fn critical_path_secs(&self) -> f64 {
+        let mut best = 0.0f64;
+        for wf in &self.workflows {
+            let mut dist = vec![0.0f64; wf.jobs.len()];
+            for (j, job) in wf.jobs.iter().enumerate() {
+                let longest_parent =
+                    job.parents.iter().map(|&p| dist[p as usize]).fold(0.0f64, f64::max);
+                dist[j] = longest_parent + job.cpu_secs;
+                best = best.max(dist[j]);
+            }
+        }
+        best
+    }
+
+    /// Materialize the ensemble as real workflow DAGs.
+    pub fn build_workflows(&self) -> Vec<Arc<Workflow>> {
+        self.workflows
+            .iter()
+            .enumerate()
+            .map(|(w, wf)| {
+                let mut b = WorkflowBuilder::new(format!("wf{w}"));
+                let mut ids = Vec::with_capacity(wf.jobs.len());
+                for (j, job) in wf.jobs.iter().enumerate() {
+                    let id = b.job(format!("j{j}"), "t", job.cpu_secs).build();
+                    for &p in &job.parents {
+                        b.edge(ids[p as usize], id);
+                    }
+                    ids.push(id);
+                }
+                Arc::new(b.finish().expect("generated DAG is topological by construction"))
+            })
+            .collect()
+    }
+
+    /// Compact human-readable dump, used by repro reports.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "seed {} | {} workflow(s), {} job(s) | workers {}x{} | interval {:.3}s | \
+             max_attempts {:?} | backoff {:.3}s",
+            self.seed,
+            self.workflows.len(),
+            self.total_jobs(),
+            self.workers,
+            self.slots_per_worker,
+            self.submission_interval_secs,
+            self.max_attempts,
+            self.backoff_base_secs,
+        );
+        let _ = writeln!(
+            s,
+            "chaos: seed {} drop {:.3} dup {:.3} delay {:.3} ({:.3}s)",
+            self.chaos.seed,
+            self.chaos.drop_prob,
+            self.chaos.dup_prob,
+            self.chaos.delay_prob,
+            self.chaos.delay_secs,
+        );
+        for (w, wf) in self.workflows.iter().enumerate() {
+            for (j, job) in wf.jobs.iter().enumerate() {
+                let _ =
+                    writeln!(s, "  wf{w} j{j}: cpu {:.3}s parents {:?}", job.cpu_secs, job.parents);
+            }
+        }
+        for f in &self.failures {
+            let _ = writeln!(
+                s,
+                "  fail: wf{} j{} first {} attempt(s)",
+                f.workflow, f.job, f.failing_attempts
+            );
+        }
+        s
+    }
+}
+
+/// Decorrelates scenario-shape draws from the raw seed (which also feeds
+/// the chaos decider and backoff jitter).
+const SCENARIO_SALT: u64 = 0xD1FF_E7E4_7E57_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::generate(17);
+        let b = Scenario::generate(17);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn classes_partition_by_seed() {
+        let clean = Scenario::generate(0);
+        assert!(clean.chaos.is_noop() && clean.failures.is_empty());
+        let chaotic = Scenario::generate(1);
+        assert!(chaotic.max_attempts.is_none());
+        let failing = Scenario::generate(2);
+        assert!(failing.max_attempts.is_some() && !failing.failures.is_empty());
+        assert!(!failing.chaos.is_lossy(), "retry-cap scenarios must not lose Failed acks");
+    }
+
+    #[test]
+    fn expected_outcome_partitions_all_jobs() {
+        for seed in 0..60 {
+            let s = Scenario::generate(seed);
+            let e = s.expected_outcome();
+            let total = e.completed.len() + e.dead_lettered.len() + e.abandoned.len();
+            assert_eq!(total, s.total_jobs(), "seed {seed}");
+            assert!(e.completed.is_disjoint(&e.dead_lettered));
+            assert!(e.completed.is_disjoint(&e.abandoned));
+        }
+    }
+
+    #[test]
+    fn abandonment_follows_dead_parents_transitively() {
+        // j0 -> j1 -> j2 chain; j0 dead-letters, so j1 and j2 abandon.
+        let s = Scenario {
+            seed: 0,
+            workflows: vec![WorkflowSpec {
+                jobs: vec![
+                    JobSpec { cpu_secs: 0.1, parents: vec![] },
+                    JobSpec { cpu_secs: 0.1, parents: vec![0] },
+                    JobSpec { cpu_secs: 0.1, parents: vec![1] },
+                ],
+            }],
+            submission_interval_secs: 0.0,
+            workers: 1,
+            slots_per_worker: 1,
+            max_attempts: Some(2),
+            backoff_base_secs: 0.0,
+            chaos: ChaosSpec::none(),
+            failures: vec![FailureSpec { workflow: 0, job: 0, failing_attempts: 2 }],
+        };
+        let e = s.expected_outcome();
+        assert_eq!(e.dead_lettered.iter().collect::<Vec<_>>(), vec![&(0, 0)]);
+        assert_eq!(e.abandoned.len(), 2);
+        assert!(e.completed.is_empty());
+    }
+
+    #[test]
+    fn built_workflows_match_specs() {
+        let s = Scenario::generate(5);
+        let wfs = s.build_workflows();
+        assert_eq!(wfs.len(), s.workflows.len());
+        for (spec, wf) in s.workflows.iter().zip(&wfs) {
+            assert_eq!(spec.jobs.len(), wf.job_count());
+            let edges: usize = spec.jobs.iter().map(|j| j.parents.len()).sum();
+            assert_eq!(edges, wf.edge_count());
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds_hold() {
+        let s = Scenario::generate(3);
+        let cp = s.critical_path_secs();
+        let serial: f64 = s.workflows.iter().flat_map(|w| &w.jobs).map(|j| j.cpu_secs).sum();
+        assert!(cp > 0.0 && cp <= serial + 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Differential smoke suite: seeded scenarios through all three
+//! execution paths, plus the oracle's own mutation self-test.
+
+use dewe_testkit::{minimize, run_scenario, run_seed, EngineDriverConfig, PathKind, Scenario};
+
+/// Every seed in the smoke set must conform across engine, baseline, and
+/// realtime. `DEWE_DIFF_SEEDS` widens the sweep (CI runs the release
+/// binary for the big sweeps; this keeps the in-tree floor).
+#[test]
+fn differential_smoke_zero_divergence() {
+    let seeds: u64 =
+        std::env::var("DEWE_DIFF_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    let mut diverged = Vec::new();
+    for seed in 0..seeds {
+        let run = run_seed(seed);
+        if !run.conforms() {
+            diverged.push((seed, run.violations));
+        }
+    }
+    assert!(diverged.is_empty(), "diverging seeds: {diverged:#?}");
+}
+
+/// Oracle self-test: inject an engine-side bug (the driver silently
+/// discards the first dispatch), confirm the invariant suite catches it,
+/// and confirm the shrinker reduces the repro to at most three jobs.
+#[test]
+fn injected_engine_bug_is_caught_and_shrunk() {
+    let cfg = EngineDriverConfig { drop_nth_dispatch: Some(0) };
+    let scenario = Scenario::generate(0); // class 0: no chaos, no failures
+    let run = run_scenario(&scenario, &[PathKind::Engine], &cfg);
+    assert!(
+        !run.conforms(),
+        "mutated engine run must diverge, got a clean pass on {} jobs",
+        scenario.total_jobs()
+    );
+
+    let repro = minimize(&run, &cfg);
+    assert!(!repro.minimized_violations.is_empty(), "minimized scenario must still diverge");
+    assert!(
+        repro.minimized.total_jobs() <= 3,
+        "repro not minimal ({} jobs):\n{}",
+        repro.minimized.total_jobs(),
+        repro.minimized.describe()
+    );
+    // The report must carry the replay handle.
+    let report = repro.report();
+    assert!(report.contains("replay"), "{report}");
+}
+
+/// The mutation must also be visible differentially (not just via the
+/// per-path suite): a clean second engine run disagrees with the mutated
+/// one, so cross-path comparison alone flags it.
+#[test]
+fn mutation_diverges_from_clean_run() {
+    let scenario = Scenario::generate(0);
+    let clean = run_scenario(&scenario, &[PathKind::Engine], &EngineDriverConfig::default());
+    let mutated = run_scenario(
+        &scenario,
+        &[PathKind::Engine],
+        &EngineDriverConfig { drop_nth_dispatch: Some(0) },
+    );
+    assert!(clean.conforms(), "{:?}", clean.violations);
+    assert!(!mutated.conforms());
+}
