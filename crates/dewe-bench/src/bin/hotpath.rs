@@ -7,11 +7,16 @@
 //! §V.A workflow) on four c3.8xlarge nodes.
 //!
 //! ```text
-//! hotpath [--quick] [--out <path>] [--check <baseline.json>]
+//! hotpath [--quick] [--shards <n>] [--out <path>] [--check <baseline.json>]
 //! ```
 //!
 //! `--quick` shrinks the run (5 workflows, 3 reps) for smoke testing;
 //! tracked numbers in `BENCH_hotpath.json` come from the full mode.
+//!
+//! `--shards <n>` runs the measured reps through the threaded sharded
+//! runner (`run_ensemble_sharded`) instead of the single engine. Full
+//! (non-quick) runs additionally sweep shards = 1/2/4/8 and record the
+//! per-shard-count throughput in the report's `shard_sweep` array.
 //!
 //! `--check <baseline.json>` turns the run into a regression gate: after
 //! measuring, compare against the `jobs_per_sec` recorded in the baseline
@@ -22,7 +27,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dewe_core::sim::{run_ensemble, SimRunConfig};
+use dewe_core::sim::{run_ensemble, run_ensemble_sharded, SimRunConfig};
 use dewe_dag::Workflow;
 use dewe_montage::MontageConfig;
 use dewe_simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
@@ -33,18 +38,29 @@ struct Config {
     nodes: usize,
     reps: usize,
     quick: bool,
+    shards: usize,
     out: String,
     check: Option<String>,
 }
 
 fn parse_args() -> Config {
     let mut quick = false;
+    let mut shards = 1usize;
     let mut out = String::from("BENCH_hotpath.json");
     let mut check = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--shards" => {
+                shards =
+                    args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--shards requires a positive integer");
+                            std::process::exit(2);
+                        },
+                    )
+            }
             "--out" => {
                 out = args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
@@ -60,16 +76,23 @@ fn parse_args() -> Config {
             other => {
                 eprintln!(
                     "unknown argument `{other}`\n\
-                     usage: hotpath [--quick] [--out <path>] [--check <baseline.json>]"
+                     usage: hotpath [--quick] [--shards <n>] [--out <path>] \
+                     [--check <baseline.json>]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if check.is_some() && shards != 1 {
+        // The tracked baseline is a shards=1 number; gating a sharded run
+        // against it would compare different machines.
+        eprintln!("--check gates the shards=1 hot path; drop --shards");
+        std::process::exit(2);
+    }
     if quick {
-        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, out, check }
+        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, shards, out, check }
     } else {
-        Config { workflows: 20, degree: 2.0, nodes: 4, reps: 15, quick, out, check }
+        Config { workflows: 20, degree: 2.0, nodes: 4, reps: 15, quick, shards, out, check }
     }
 }
 
@@ -111,28 +134,37 @@ fn main() {
     let total_jobs = workflow.job_count() * cfg.workflows;
     let cluster =
         ClusterConfig { instance: C3_8XLARGE, nodes: cfg.nodes, storage: StorageConfig::LocalDisk };
-    let sim = SimRunConfig::new(cluster);
+    let mut sim = SimRunConfig::new(cluster);
+    sim.shards = cfg.shards;
+    let measure = |sim: &SimRunConfig| {
+        if sim.shards > 1 {
+            run_ensemble_sharded(&ensemble, sim)
+        } else {
+            run_ensemble(&ensemble, sim)
+        }
+    };
 
     eprintln!(
-        "hotpath: {} x montage {:.1}deg ({} jobs) on {} x {}, {} reps{}",
+        "hotpath: {} x montage {:.1}deg ({} jobs) on {} x {}, {} reps, {} shard(s){}",
         cfg.workflows,
         cfg.degree,
         total_jobs,
         cfg.nodes,
         C3_8XLARGE.name,
         cfg.reps,
+        cfg.shards,
         if cfg.quick { " (quick)" } else { "" }
     );
 
     // Warm caches and page in the workload before timing.
-    let warm = run_ensemble(&ensemble, &sim);
+    let warm = measure(&sim);
     assert!(warm.completed, "ensemble must complete");
 
     let mut wall_secs = Vec::with_capacity(cfg.reps);
     let mut last = warm;
     for rep in 0..cfg.reps {
         let start = Instant::now();
-        let report = run_ensemble(&ensemble, &sim);
+        let report = measure(&sim);
         let secs = start.elapsed().as_secs_f64();
         assert!(report.completed, "ensemble must complete");
         assert_eq!(report.engine.jobs_completed as usize, total_jobs);
@@ -147,11 +179,44 @@ fn main() {
     let jobs_per_sec = total_jobs as f64 / median;
     eprintln!("median: {median:.3}s -> {jobs_per_sec:.0} jobs simulated/sec");
 
+    // Full runs sweep the shard-count knob so the tracked report shows
+    // how throughput scales with per-shard engine partitioning.
+    let mut sweep_json = String::new();
+    if !cfg.quick {
+        let mut entries = Vec::new();
+        for n in [1usize, 2, 4, 8] {
+            let mut s = sim.clone();
+            s.shards = n;
+            const SWEEP_REPS: usize = 5;
+            let mut walls = Vec::with_capacity(SWEEP_REPS);
+            for _ in 0..SWEEP_REPS {
+                let start = Instant::now();
+                let report = measure(&s);
+                let secs = start.elapsed().as_secs_f64();
+                assert!(report.completed, "ensemble must complete");
+                walls.push(secs);
+            }
+            walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
+            let med = walls[walls.len() / 2];
+            let jps = total_jobs as f64 / med;
+            // The threaded runner clamps shards to the node count: each
+            // shard needs at least one simulated node.
+            let effective = n.min(cfg.nodes).min(cfg.workflows);
+            eprintln!("sweep shards={n} (effective {effective}): {med:.3}s -> {jps:.0} jobs/s");
+            entries.push(format!(
+                "    {{\"shards\": {n}, \"effective_shards\": {effective}, \
+                 \"median_wall_secs\": {med:.6}, \"jobs_per_sec\": {jps:.1}}}"
+            ));
+        }
+        sweep_json = format!(",\n  \"shard_sweep\": [\n{}\n  ]", entries.join(",\n"));
+    }
+
     let reps_json = wall_secs.iter().map(|s| format!("{s:.6}")).collect::<Vec<_>>().join(", ");
     let json = format!(
         r#"{{
   "benchmark": "ensemble_hotpath",
   "mode": "{mode}",
+  "shards": {shards},
   "workload": {{
     "workflows": {workflows},
     "montage_degree": {degree:.1},
@@ -173,10 +238,12 @@ fn main() {
     "jobs_completed": {completed},
     "resubmissions": {resub},
     "duplicate_completions": {dups}
-  }}
+  }}{sweep}
 }}
 "#,
         mode = if cfg.quick { "quick" } else { "full" },
+        shards = cfg.shards,
+        sweep = sweep_json,
         workflows = cfg.workflows,
         degree = cfg.degree,
         per_wf = workflow.job_count(),

@@ -7,6 +7,12 @@
 //! realtime and simulated runtimes are thin drivers around it, and tests
 //! can exercise every protocol corner deterministically.
 //!
+//! Every driver codes against the [`EngineCore`] trait — the sink-based
+//! driving surface (submit / ack / timeouts / stats / settle queries) —
+//! so the single-threaded [`EnsembleEngine`] and the partitioned
+//! [`ShardedEngine`](crate::ShardedEngine) are interchangeable behind a
+//! shard-count config knob.
+//!
 //! Beyond the paper's unconditional timeout/resubmission loop, the engine
 //! carries a configurable [`RetryPolicy`]: a per-job attempt cap that
 //! dead-letters permanently failing jobs (abandoning their descendants so
@@ -70,7 +76,21 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Engine-wide configuration.
+/// Engine-wide configuration and the one way to construct engines.
+///
+/// `EngineConfig` doubles as a builder: chain setters off
+/// [`EngineConfig::default()`] and finish with [`build`](Self::build)
+/// (single engine) or [`build_sharded`](Self::build_sharded)
+/// (partitioned engine).
+///
+/// ```
+/// use dewe_core::{EngineConfig, RetryPolicy};
+/// let engine = EngineConfig::default()
+///     .timeout(30.0)
+///     .retry(RetryPolicy { max_attempts: Some(3), ..RetryPolicy::default() })
+///     .build();
+/// assert_eq!(engine.config().default_timeout_secs, 30.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// System-wide default job timeout (overridable per job).
@@ -92,6 +112,65 @@ impl Default for EngineConfig {
             checkout_timeout_secs: None,
             retry: RetryPolicy::default(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// Set the system-wide default job timeout, in seconds.
+    #[must_use]
+    pub fn timeout(mut self, secs: f64) -> Self {
+        self.default_timeout_secs = secs;
+        self
+    }
+
+    /// Set the dispatch-to-checkout deadline for lossy transports.
+    #[must_use]
+    pub fn checkout_timeout(mut self, secs: f64) -> Self {
+        self.checkout_timeout_secs = Some(secs);
+        self
+    }
+
+    /// Set the retry budget and backoff schedule.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Validate the configuration and construct a single-threaded engine.
+    ///
+    /// # Panics
+    /// On nonsensical settings: non-positive timeout, backoff factor < 1,
+    /// jitter outside [0, 1), or a zero attempt cap.
+    pub fn build(self) -> EnsembleEngine {
+        assert!(self.default_timeout_secs > 0.0);
+        assert!(self.retry.backoff_factor >= 1.0);
+        assert!((0.0..1.0).contains(&self.retry.jitter_frac));
+        assert!(self.retry.max_attempts.is_none_or(|cap| cap >= 1));
+        EnsembleEngine {
+            workflows: Vec::new(),
+            config: self,
+            stats: EngineStats::default(),
+            terminal_emitted: false,
+            deadlines: BinaryHeap::new(),
+            scratch_ready: Vec::new(),
+        }
+    }
+
+    /// Construct a [`ShardedEngine`](crate::ShardedEngine) of `shards`
+    /// independent engines with the default hash router.
+    pub fn build_sharded(self, shards: usize) -> crate::ShardedEngine {
+        crate::ShardedEngine::new(self, shards)
+    }
+
+    /// Construct a [`ShardedEngine`](crate::ShardedEngine) with a custom
+    /// [`ShardRouter`](crate::ShardRouter).
+    pub fn build_sharded_with(
+        self,
+        shards: usize,
+        router: Box<dyn crate::ShardRouter>,
+    ) -> crate::ShardedEngine {
+        crate::ShardedEngine::with_router(self, shards, router)
     }
 }
 
@@ -162,6 +241,123 @@ pub struct EngineStats {
     pub jobs_abandoned: u64,
 }
 
+impl EngineStats {
+    /// Fold another stats block into this one, counter by counter — how a
+    /// sharded engine merges its per-shard statistics.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.workflows_submitted += other.workflows_submitted;
+        self.workflows_completed += other.workflows_completed;
+        self.workflows_abandoned += other.workflows_abandoned;
+        self.dispatches += other.dispatches;
+        self.resubmissions += other.resubmissions;
+        self.deferred_retries += other.deferred_retries;
+        self.jobs_completed += other.jobs_completed;
+        self.duplicate_completions += other.duplicate_completions;
+        self.dead_lettered += other.dead_lettered;
+        self.jobs_abandoned += other.jobs_abandoned;
+    }
+}
+
+/// The sink-based driving surface every engine flavor exposes.
+///
+/// Drivers (the simulated runtime, the realtime master, the autoscaler,
+/// test harnesses, benches) are generic over this trait, so swapping the
+/// single-threaded [`EnsembleEngine`] for a partitioned
+/// [`ShardedEngine`](crate::ShardedEngine) is a configuration change, not
+/// a code change. All mutating methods append [`Action`]s to a
+/// caller-owned sink (`&mut Vec<Action>`) — in steady state no engine
+/// allocation is needed to process an event.
+///
+/// Workflow ids are **global**: dense, in submission order, identical
+/// regardless of shard count. Sharded implementations translate to and
+/// from per-shard local ids internally and report the placement through
+/// [`shard_of`](Self::shard_of), so drivers can fan dispatches out to
+/// per-shard worker pools.
+pub trait EngineCore {
+    /// Submit a workflow at time `now`, appending dispatches for its
+    /// roots; returns the assigned (global) workflow id.
+    ///
+    /// Multiple workflows may be in flight at once — their eligible jobs
+    /// share the dispatch stream, which is how DEWE v2 runs ensembles in
+    /// parallel on one cluster.
+    fn submit_workflow(
+        &mut self,
+        workflow: Arc<Workflow>,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) -> WorkflowId;
+
+    /// Submit into a specific shard, bypassing the router — the journal
+    /// replay path, which must reproduce the recorded placement exactly.
+    /// Single-engine implementations only accept shard 0.
+    fn submit_workflow_to(
+        &mut self,
+        shard: usize,
+        workflow: Arc<Workflow>,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) -> WorkflowId {
+        assert_eq!(shard, 0, "single engine has exactly one shard");
+        self.submit_workflow(workflow, now, actions)
+    }
+
+    /// The shard the *next* [`submit_workflow`](Self::submit_workflow)
+    /// call would place `workflow` on. Pure: does not advance any router
+    /// state. A write-ahead journal records this before submitting so
+    /// recovery replays into the same placement.
+    fn route_next(&self, workflow: &Workflow) -> usize {
+        let _ = workflow;
+        0
+    }
+
+    /// Process a worker acknowledgment at time `now`, appending any
+    /// resulting actions.
+    fn on_ack(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>);
+
+    /// Periodic timeout scan (paper §III.B): republish in-flight jobs
+    /// whose deadline passed and fire backoff-deferred retries that came
+    /// due.
+    fn check_timeouts(&mut self, now: f64, actions: &mut Vec<Action>);
+
+    /// Earliest pending deadline across every shard, if any (lets drivers
+    /// sleep precisely instead of polling).
+    fn next_deadline(&mut self) -> Option<f64>;
+
+    /// True once every submitted workflow has fully completed.
+    fn all_complete(&self) -> bool;
+
+    /// True once every submitted workflow is settled: fully completed or
+    /// terminated with abandoned jobs.
+    fn all_settled(&self) -> bool;
+
+    /// Aggregate statistics, merged across shards.
+    fn stats(&self) -> EngineStats;
+
+    /// Tracker state of one job (by global workflow id), or `None` for an
+    /// unknown workflow/job.
+    fn job_state(&self, job: EnsembleJobId) -> Option<JobState>;
+
+    /// Access a submitted workflow by global id.
+    fn workflow(&self, id: WorkflowId) -> &Arc<Workflow>;
+
+    /// Number of submitted workflows.
+    fn workflow_count(&self) -> usize;
+
+    /// Append the current in-flight attempts (for recovery republishing).
+    fn inflight_dispatches(&self, out: &mut Vec<DispatchMsg>);
+
+    /// Number of shards (1 for a single engine).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// The shard a submitted workflow was placed on.
+    fn shard_of(&self, id: WorkflowId) -> usize {
+        let _ = id;
+        0
+    }
+}
+
 struct WorkflowState {
     workflow: Arc<Workflow>,
     tracker: DependencyTracker,
@@ -226,6 +422,9 @@ impl Ord for DeadlineEntry {
 }
 
 /// The DEWE v2 master daemon's DAG-management state machine.
+///
+/// Constructed through the [`EngineConfig`] builder:
+/// `EngineConfig::default().timeout(..).build()`.
 pub struct EnsembleEngine {
     workflows: Vec<WorkflowState>,
     config: EngineConfig,
@@ -272,31 +471,11 @@ fn jitter_unit(seed: u64, job: EnsembleJobId, attempt: u32) -> f64 {
 }
 
 impl EnsembleEngine {
-    /// New engine with the system-wide default job timeout.
-    pub fn new() -> Self {
-        Self::with_default_timeout(DEFAULT_TIMEOUT_SECS)
-    }
-
-    /// New engine with a custom system-wide default timeout.
-    pub fn with_default_timeout(default_timeout_secs: f64) -> Self {
-        Self::with_config(EngineConfig { default_timeout_secs, ..EngineConfig::default() })
-    }
-
-    /// New engine with full configuration (retry budget, backoff,
-    /// checkout timeout).
+    /// Deprecated constructor alias: use
+    /// `EngineConfig::default()…build()` instead.
+    #[deprecated(since = "0.5.0", note = "use the EngineConfig builder: `config.build()`")]
     pub fn with_config(config: EngineConfig) -> Self {
-        assert!(config.default_timeout_secs > 0.0);
-        assert!(config.retry.backoff_factor >= 1.0);
-        assert!((0.0..1.0).contains(&config.retry.jitter_frac));
-        assert!(config.retry.max_attempts.is_none_or(|cap| cap >= 1));
-        Self {
-            workflows: Vec::new(),
-            config,
-            stats: EngineStats::default(),
-            terminal_emitted: false,
-            deadlines: BinaryHeap::new(),
-            scratch_ready: Vec::new(),
-        }
+        config.build()
     }
 
     /// The engine's configuration.
@@ -304,24 +483,13 @@ impl EnsembleEngine {
         &self.config
     }
 
-    /// Submit a workflow at time `now`; emits dispatches for its roots.
+    /// Submit a workflow at time `now`; appends dispatches for its roots
+    /// to `actions` and returns the assigned workflow id.
     ///
     /// Multiple workflows may be in flight at once — their eligible jobs
     /// share the single dispatch topic, which is how DEWE v2 runs
     /// ensembles in parallel on one cluster.
     pub fn submit_workflow(
-        &mut self,
-        workflow: Arc<Workflow>,
-        now: f64,
-    ) -> (WorkflowId, Vec<Action>) {
-        let mut actions = Vec::new();
-        let id = self.submit_workflow_into(workflow, now, &mut actions);
-        (id, actions)
-    }
-
-    /// Allocation-free flavor of [`submit_workflow`](Self::submit_workflow):
-    /// actions are appended to a caller-owned buffer.
-    pub fn submit_workflow_into(
         &mut self,
         workflow: Arc<Workflow>,
         now: f64,
@@ -360,6 +528,18 @@ impl EnsembleEngine {
         id
     }
 
+    /// Deprecated alias for the sink-based
+    /// [`submit_workflow`](Self::submit_workflow).
+    #[deprecated(since = "0.5.0", note = "renamed: submit_workflow is sink-based now")]
+    pub fn submit_workflow_into(
+        &mut self,
+        workflow: Arc<Workflow>,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) -> WorkflowId {
+        self.submit_workflow(workflow, now, actions)
+    }
+
     fn dispatch(
         &mut self,
         state: &mut WorkflowState,
@@ -392,17 +572,10 @@ impl EnsembleEngine {
         Action::Dispatch(DispatchMsg { job: ens, attempt })
     }
 
-    /// Process a worker acknowledgment at time `now`.
-    pub fn on_ack(&mut self, ack: AckMsg, now: f64) -> Vec<Action> {
-        let mut actions = Vec::new();
-        self.on_ack_into(ack, now, &mut actions);
-        actions
-    }
-
-    /// Allocation-free flavor of [`on_ack`](Self::on_ack): actions are
+    /// Process a worker acknowledgment at time `now`: actions are
     /// appended to a caller-owned buffer, and in steady state (no new
     /// frontier growth) processing an ack performs no heap allocation.
-    pub fn on_ack_into(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
+    pub fn on_ack(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
         let wf = ack.job.workflow;
         let job = ack.job.job;
         if wf.index() >= self.workflows.len() {
@@ -488,6 +661,12 @@ impl EnsembleEngine {
                 self.handle_attempt_failure(wf, job, ack.attempt, now, actions);
             }
         }
+    }
+
+    /// Deprecated alias for the sink-based [`on_ack`](Self::on_ack).
+    #[deprecated(since = "0.5.0", note = "renamed: on_ack is sink-based now")]
+    pub fn on_ack_into(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
+        self.on_ack(ack, now, actions);
     }
 
     fn dispatch_indexed(&mut self, wf: WorkflowId, job: JobId, attempt: u32, now: f64) -> Action {
@@ -600,18 +779,11 @@ impl EnsembleEngine {
     /// Periodic timeout scan (paper §III.B): any in-flight job whose
     /// deadline passed is republished so another worker can run it, and
     /// any backoff-deferred retry that came due is dispatched.
-    pub fn check_timeouts(&mut self, now: f64) -> Vec<Action> {
-        let mut actions = Vec::new();
-        self.check_timeouts_into(now, &mut actions);
-        actions
-    }
-
-    /// Allocation-free flavor of [`check_timeouts`](Self::check_timeouts).
     ///
     /// Pops the deadline heap only while the top entry has expired, so a
     /// scan costs O(expired · log heap) — it never visits jobs whose
     /// deadlines lie in the future, no matter how many are in flight.
-    pub fn check_timeouts_into(&mut self, now: f64, actions: &mut Vec<Action>) {
+    pub fn check_timeouts(&mut self, now: f64, actions: &mut Vec<Action>) {
         while let Some(&Reverse(top)) = self.deadlines.peek() {
             if top.deadline > now {
                 break;
@@ -630,6 +802,13 @@ impl EnsembleEngine {
                 self.handle_attempt_failure(wf, job, top.attempt, now, actions);
             }
         }
+    }
+
+    /// Deprecated alias for the sink-based
+    /// [`check_timeouts`](Self::check_timeouts).
+    #[deprecated(since = "0.5.0", note = "renamed: check_timeouts is sink-based now")]
+    pub fn check_timeouts_into(&mut self, now: f64, actions: &mut Vec<Action>) {
+        self.check_timeouts(now, actions);
     }
 
     /// Earliest pending deadline — job timeout or deferred-retry fire
@@ -723,9 +902,60 @@ impl EnsembleEngine {
     }
 }
 
+impl EngineCore for EnsembleEngine {
+    fn submit_workflow(
+        &mut self,
+        workflow: Arc<Workflow>,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) -> WorkflowId {
+        EnsembleEngine::submit_workflow(self, workflow, now, actions)
+    }
+
+    fn on_ack(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
+        EnsembleEngine::on_ack(self, ack, now, actions);
+    }
+
+    fn check_timeouts(&mut self, now: f64, actions: &mut Vec<Action>) {
+        EnsembleEngine::check_timeouts(self, now, actions);
+    }
+
+    fn next_deadline(&mut self) -> Option<f64> {
+        EnsembleEngine::next_deadline(self)
+    }
+
+    fn all_complete(&self) -> bool {
+        EnsembleEngine::all_complete(self)
+    }
+
+    fn all_settled(&self) -> bool {
+        EnsembleEngine::all_settled(self)
+    }
+
+    fn stats(&self) -> EngineStats {
+        EnsembleEngine::stats(self)
+    }
+
+    fn job_state(&self, job: EnsembleJobId) -> Option<JobState> {
+        EnsembleEngine::job_state(self, job)
+    }
+
+    fn workflow(&self, id: WorkflowId) -> &Arc<Workflow> {
+        EnsembleEngine::workflow(self, id)
+    }
+
+    fn workflow_count(&self) -> usize {
+        EnsembleEngine::workflow_count(self)
+    }
+
+    fn inflight_dispatches(&self, out: &mut Vec<DispatchMsg>) {
+        EnsembleEngine::inflight_dispatches(self, out);
+    }
+}
+
 impl Default for EnsembleEngine {
     fn default() -> Self {
-        Self::new()
+        EngineConfig::default().build()
     }
 }
 
@@ -757,6 +987,26 @@ mod tests {
             .collect()
     }
 
+    /// Allocating test shims over the sink-based API: unit tests here read
+    /// better with returned action lists.
+    fn submit(e: &mut EnsembleEngine, wf: Arc<Workflow>, now: f64) -> (WorkflowId, Vec<Action>) {
+        let mut actions = Vec::new();
+        let id = e.submit_workflow(wf, now, &mut actions);
+        (id, actions)
+    }
+
+    fn ack(e: &mut EnsembleEngine, msg: AckMsg, now: f64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        e.on_ack(msg, now, &mut actions);
+        actions
+    }
+
+    fn scan(e: &mut EnsembleEngine, now: f64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        e.check_timeouts(now, &mut actions);
+        actions
+    }
+
     fn run_ack(job: EnsembleJobId, attempt: u32) -> AckMsg {
         AckMsg { job, worker: 0, kind: AckKind::Running, attempt }
     }
@@ -770,11 +1020,33 @@ mod tests {
     }
 
     fn capped(max_attempts: u32) -> EnsembleEngine {
-        EnsembleEngine::with_config(EngineConfig {
-            default_timeout_secs: 10.0,
-            retry: RetryPolicy { max_attempts: Some(max_attempts), ..RetryPolicy::default() },
-            ..EngineConfig::default()
-        })
+        EngineConfig::default()
+            .timeout(10.0)
+            .retry(RetryPolicy { max_attempts: Some(max_attempts), ..RetryPolicy::default() })
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let retry = RetryPolicy { max_attempts: Some(7), ..RetryPolicy::default() };
+        let e = EngineConfig::default().timeout(42.0).checkout_timeout(5.0).retry(retry).build();
+        assert_eq!(e.config().default_timeout_secs, 42.0);
+        assert_eq!(e.config().checkout_timeout_secs, Some(5.0));
+        assert_eq!(e.config().retry.max_attempts, Some(7));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_work() {
+        // One release of grace for with_config and the *_into names.
+        let mut e = EnsembleEngine::with_config(EngineConfig::default().timeout(10.0));
+        let mut actions = Vec::new();
+        let _ = e.submit_workflow_into(chain(1), 0.0, &mut actions);
+        let d = dispatches(&actions)[0];
+        actions.clear();
+        e.on_ack_into(run_ack(d.job, 1), 1.0, &mut actions);
+        e.check_timeouts_into(11.0, &mut actions);
+        assert_eq!(dispatches(&actions).len(), 1, "timeout resubmitted via aliases");
     }
 
     /// Two independent roots: one dead-letters first, then the other
@@ -788,17 +1060,17 @@ mod tests {
         let mut b = WorkflowBuilder::new("pair");
         b.job("a", "t", 1.0).build();
         b.job("b", "t", 1.0).build();
-        let (wf, actions) = e.submit_workflow(Arc::new(b.finish().unwrap()), 0.0);
+        let (wf, actions) = submit(&mut e, Arc::new(b.finish().unwrap()), 0.0);
         let d = dispatches(&actions);
         assert_eq!(d.len(), 2);
         // Root a fails at the cap: dead-lettered, but b is still live so
         // the workflow must not settle yet.
-        let actions = e.on_ack(fail_ack(d[0].job, 1), 1.0);
+        let actions = ack(&mut e, fail_ack(d[0].job, 1), 1.0);
         assert!(actions.iter().any(|a| matches!(a, Action::JobDeadLettered { .. })));
         assert!(!actions.iter().any(|a| matches!(a, Action::WorkflowAbandoned { .. })));
         assert!(!e.all_settled());
         // Root b completes: that completion settles the workflow.
-        let actions = e.on_ack(done_ack(d[1].job, 1), 2.0);
+        let actions = ack(&mut e, done_ack(d[1].job, 1), 2.0);
         assert!(
             actions.iter().any(|a| matches!(
                 a,
@@ -815,8 +1087,8 @@ mod tests {
 
     #[test]
     fn submission_dispatches_roots() {
-        let mut e = EnsembleEngine::new();
-        let (_, actions) = e.submit_workflow(chain(3), 0.0);
+        let mut e = EnsembleEngine::default();
+        let (_, actions) = submit(&mut e, chain(3), 0.0);
         let d = dispatches(&actions);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].attempt, 1);
@@ -824,15 +1096,15 @@ mod tests {
 
     #[test]
     fn completion_cascades_and_finishes_workflow() {
-        let mut e = EnsembleEngine::new();
-        let (wf, actions) = e.submit_workflow(chain(2), 0.0);
+        let mut e = EnsembleEngine::default();
+        let (wf, actions) = submit(&mut e, chain(2), 0.0);
         let d0 = dispatches(&actions)[0];
-        e.on_ack(run_ack(d0.job, 1), 1.0);
-        let actions = e.on_ack(done_ack(d0.job, 1), 2.0);
+        ack(&mut e, run_ack(d0.job, 1), 1.0);
+        let actions = ack(&mut e, done_ack(d0.job, 1), 2.0);
         let d1 = dispatches(&actions)[0];
         assert_eq!(d1.job.workflow, wf);
-        e.on_ack(run_ack(d1.job, 1), 2.5);
-        let actions = e.on_ack(done_ack(d1.job, 1), 4.0);
+        ack(&mut e, run_ack(d1.job, 1), 2.5);
+        let actions = ack(&mut e, done_ack(d1.job, 1), 4.0);
         assert!(actions.iter().any(|a| matches!(
             a,
             Action::WorkflowCompleted { makespan_secs, .. } if (*makespan_secs - 4.0).abs() < 1e-9
@@ -843,12 +1115,12 @@ mod tests {
 
     #[test]
     fn timeout_resubmits_with_higher_attempt() {
-        let mut e = EnsembleEngine::with_default_timeout(10.0);
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default().timeout(10.0).build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 1.0); // deadline now 11.0
-        assert!(e.check_timeouts(10.9).is_empty());
-        let actions = e.check_timeouts(11.0);
+        ack(&mut e, run_ack(d.job, 1), 1.0); // deadline now 11.0
+        assert!(scan(&mut e, 10.9).is_empty());
+        let actions = scan(&mut e, 11.0);
         let rd = dispatches(&actions);
         assert_eq!(rd.len(), 1);
         assert_eq!(rd[0].attempt, 2);
@@ -860,9 +1132,9 @@ mod tests {
         // A published-but-unclaimed job sits safely in the queue: the
         // timeout clock only starts at checkout (Running ack). The queue
         // itself redelivers lost checkouts, RabbitMQ-style.
-        let mut e = EnsembleEngine::with_default_timeout(5.0);
-        let (_, _) = e.submit_workflow(chain(1), 0.0);
-        assert!(e.check_timeouts(1e9).is_empty());
+        let mut e = EngineConfig::default().timeout(5.0).build();
+        let _ = submit(&mut e, chain(1), 0.0);
+        assert!(scan(&mut e, 1e9).is_empty());
         assert_eq!(e.next_deadline(), None);
     }
 
@@ -871,25 +1143,25 @@ mod tests {
         let mut b = WorkflowBuilder::new("t");
         b.job("fast", "t", 1.0).timeout_secs(2.0).build();
         let wf = Arc::new(b.finish().unwrap());
-        let mut e = EnsembleEngine::with_default_timeout(1000.0);
-        let (_, actions) = e.submit_workflow(wf, 0.0);
+        let mut e = EngineConfig::default().timeout(1000.0).build();
+        let (_, actions) = submit(&mut e, wf, 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 0.0);
-        assert_eq!(dispatches(&e.check_timeouts(2.0)).len(), 1);
+        ack(&mut e, run_ack(d.job, 1), 0.0);
+        assert_eq!(dispatches(&scan(&mut e, 2.0)).len(), 1);
     }
 
     #[test]
     fn late_completion_after_timeout_is_deduplicated() {
-        let mut e = EnsembleEngine::with_default_timeout(5.0);
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default().timeout(5.0).build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 0.5);
-        e.check_timeouts(6.0); // resubmitted as attempt 2
-                               // Original (slow) worker completes first.
-        let actions = e.on_ack(done_ack(d.job, 1), 7.0);
+        ack(&mut e, run_ack(d.job, 1), 0.5);
+        scan(&mut e, 6.0); // resubmitted as attempt 2
+                           // Original (slow) worker completes first.
+        let actions = ack(&mut e, done_ack(d.job, 1), 7.0);
         assert!(actions.iter().any(|a| matches!(a, Action::WorkflowCompleted { .. })));
         // Second worker completes too: ignored.
-        let actions = e.on_ack(done_ack(d.job, 2), 8.0);
+        let actions = ack(&mut e, done_ack(d.job, 2), 8.0);
         assert!(actions.is_empty());
         assert_eq!(e.stats().duplicate_completions, 1);
         assert_eq!(e.stats().workflows_completed, 1);
@@ -897,12 +1169,12 @@ mod tests {
 
     #[test]
     fn failed_ack_resubmits_immediately() {
-        let mut e = EnsembleEngine::new();
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EnsembleEngine::default();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 1.0);
+        ack(&mut e, run_ack(d.job, 1), 1.0);
         let actions =
-            e.on_ack(AckMsg { job: d.job, worker: 0, kind: AckKind::Failed, attempt: 1 }, 2.0);
+            ack(&mut e, AckMsg { job: d.job, worker: 0, kind: AckKind::Failed, attempt: 1 }, 2.0);
         let rd = dispatches(&actions);
         assert_eq!(rd.len(), 1);
         assert_eq!(rd[0].attempt, 2);
@@ -910,111 +1182,111 @@ mod tests {
 
     #[test]
     fn running_ack_refreshes_deadline() {
-        let mut e = EnsembleEngine::with_default_timeout(10.0);
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default().timeout(10.0).build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
         // Job sat in the queue 8 s before a worker picked it up.
-        e.on_ack(run_ack(d.job, 1), 8.0);
+        ack(&mut e, run_ack(d.job, 1), 8.0);
         // Dispatch-time deadline (10.0) must no longer apply.
-        assert!(e.check_timeouts(10.0).is_empty());
-        assert_eq!(dispatches(&e.check_timeouts(18.0)).len(), 1);
+        assert!(scan(&mut e, 10.0).is_empty());
+        assert_eq!(dispatches(&scan(&mut e, 18.0)).len(), 1);
     }
 
     #[test]
     fn multiple_workflows_share_the_dispatch_stream() {
-        let mut e = EnsembleEngine::new();
-        let (w0, a0) = e.submit_workflow(chain(1), 0.0);
-        let (w1, a1) = e.submit_workflow(chain(1), 5.0);
+        let mut e = EnsembleEngine::default();
+        let (w0, a0) = submit(&mut e, chain(1), 0.0);
+        let (w1, a1) = submit(&mut e, chain(1), 5.0);
         assert_ne!(w0, w1);
         let d0 = dispatches(&a0)[0];
         let d1 = dispatches(&a1)[0];
-        e.on_ack(done_ack(d1.job, 1), 6.0);
+        ack(&mut e, done_ack(d1.job, 1), 6.0);
         assert!(!e.all_complete(), "workflow 0 still running");
-        let actions = e.on_ack(done_ack(d0.job, 1), 7.0);
+        let actions = ack(&mut e, done_ack(d0.job, 1), 7.0);
         assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
         assert_eq!(e.stats().workflows_completed, 2);
     }
 
     #[test]
     fn empty_workflow_completes_on_submission() {
-        let mut e = EnsembleEngine::new();
+        let mut e = EnsembleEngine::default();
         let wf = Arc::new(WorkflowBuilder::new("empty").finish().unwrap());
-        let (_, actions) = e.submit_workflow(wf, 3.0);
+        let (_, actions) = submit(&mut e, wf, 3.0);
         assert!(actions.iter().any(|a| matches!(a, Action::WorkflowCompleted { .. })));
         assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
     }
 
     #[test]
     fn next_deadline_tracks_earliest_checked_out_job() {
-        let mut e = EnsembleEngine::with_default_timeout(100.0);
-        let (_, a0) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default().timeout(100.0).build();
+        let (_, a0) = submit(&mut e, chain(1), 0.0);
         assert_eq!(e.next_deadline(), None, "nothing checked out yet");
-        e.on_ack(run_ack(dispatches(&a0)[0].job, 1), 10.0);
+        ack(&mut e, run_ack(dispatches(&a0)[0].job, 1), 10.0);
         assert_eq!(e.next_deadline(), Some(110.0));
-        let (_, a1) = e.submit_workflow(chain(1), 50.0);
-        e.on_ack(run_ack(dispatches(&a1)[0].job, 1), 50.0);
+        let (_, a1) = submit(&mut e, chain(1), 50.0);
+        ack(&mut e, run_ack(dispatches(&a1)[0].job, 1), 50.0);
         assert_eq!(e.next_deadline(), Some(110.0));
     }
 
     #[test]
     fn failed_ack_after_completion_is_ignored() {
-        let mut e = EnsembleEngine::new();
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EnsembleEngine::default();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(done_ack(d.job, 1), 1.0);
+        ack(&mut e, done_ack(d.job, 1), 1.0);
         let actions =
-            e.on_ack(AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 1 }, 2.0);
+            ack(&mut e, AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 1 }, 2.0);
         assert!(actions.is_empty(), "a late failure of a completed job must not resubmit");
         assert_eq!(e.stats().resubmissions, 0);
     }
 
     #[test]
     fn stale_attempt_running_ack_does_not_refresh_deadline() {
-        let mut e = EnsembleEngine::with_default_timeout(10.0);
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default().timeout(10.0).build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 0.0); // deadline 10
-        let actions = e.check_timeouts(10.0); // resubmit as attempt 2
+        ack(&mut e, run_ack(d.job, 1), 0.0); // deadline 10
+        let actions = scan(&mut e, 10.0); // resubmit as attempt 2
         let d2 = dispatches(&actions)[0];
         assert_eq!(d2.attempt, 2);
         // The ORIGINAL worker's late running ack (attempt 1) must not push
         // the attempt-2 deadline.
-        e.on_ack(run_ack(d.job, 2), 11.0); // attempt-2 checkout: deadline 21
-        e.on_ack(run_ack(d.job, 1), 20.0); // stale: ignored for the clock
-        assert!(e.check_timeouts(20.5).is_empty());
-        assert_eq!(dispatches(&e.check_timeouts(21.0)).len(), 1);
+        ack(&mut e, run_ack(d.job, 2), 11.0); // attempt-2 checkout: deadline 21
+        ack(&mut e, run_ack(d.job, 1), 20.0); // stale: ignored for the clock
+        assert!(scan(&mut e, 20.5).is_empty());
+        assert_eq!(dispatches(&scan(&mut e, 21.0)).len(), 1);
     }
 
     #[test]
     fn timeouts_scan_multiple_workflows_independently() {
-        let mut e = EnsembleEngine::with_default_timeout(10.0);
-        let (_, a0) = e.submit_workflow(chain(1), 0.0);
-        let (_, a1) = e.submit_workflow(chain(1), 0.0);
-        e.on_ack(run_ack(dispatches(&a0)[0].job, 1), 0.0); // deadline 10
-        e.on_ack(run_ack(dispatches(&a1)[0].job, 1), 5.0); // deadline 15
-        assert_eq!(dispatches(&e.check_timeouts(10.0)).len(), 1);
-        assert_eq!(dispatches(&e.check_timeouts(15.0)).len(), 1);
+        let mut e = EngineConfig::default().timeout(10.0).build();
+        let (_, a0) = submit(&mut e, chain(1), 0.0);
+        let (_, a1) = submit(&mut e, chain(1), 0.0);
+        ack(&mut e, run_ack(dispatches(&a0)[0].job, 1), 0.0); // deadline 10
+        ack(&mut e, run_ack(dispatches(&a1)[0].job, 1), 5.0); // deadline 15
+        assert_eq!(dispatches(&scan(&mut e, 10.0)).len(), 1);
+        assert_eq!(dispatches(&scan(&mut e, 15.0)).len(), 1);
     }
 
     #[test]
     fn resubmitted_job_completion_still_releases_children() {
-        let mut e = EnsembleEngine::with_default_timeout(5.0);
-        let (_, actions) = e.submit_workflow(chain(2), 0.0);
+        let mut e = EngineConfig::default().timeout(5.0).build();
+        let (_, actions) = submit(&mut e, chain(2), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 0.0);
-        let resub = dispatches(&e.check_timeouts(5.0));
+        ack(&mut e, run_ack(d.job, 1), 0.0);
+        let resub = dispatches(&scan(&mut e, 5.0));
         assert_eq!(resub.len(), 1);
-        e.on_ack(run_ack(resub[0].job, 2), 6.0);
-        let actions = e.on_ack(done_ack(resub[0].job, 2), 7.0);
+        ack(&mut e, run_ack(resub[0].job, 2), 6.0);
+        let actions = ack(&mut e, done_ack(resub[0].job, 2), 7.0);
         assert_eq!(dispatches(&actions).len(), 1, "child released after retried completion");
     }
 
     #[test]
     fn stats_count_dispatches_and_completions() {
-        let mut e = EnsembleEngine::new();
-        let (_, actions) = e.submit_workflow(chain(2), 0.0);
+        let mut e = EnsembleEngine::default();
+        let (_, actions) = submit(&mut e, chain(2), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(done_ack(d.job, 1), 1.0);
+        ack(&mut e, done_ack(d.job, 1), 1.0);
         let s = e.stats();
         assert_eq!(s.dispatches, 2); // root + released child
         assert_eq!(s.jobs_completed, 1);
@@ -1026,15 +1298,15 @@ mod tests {
     #[test]
     fn always_failing_job_dead_letters_at_cap() {
         let mut e = capped(3);
-        let (wf, actions) = e.submit_workflow(chain(2), 0.0);
+        let (wf, actions) = submit(&mut e, chain(2), 0.0);
         let mut d = dispatches(&actions)[0];
         for attempt in 1..3 {
-            let actions = e.on_ack(fail_ack(d.job, attempt), f64::from(attempt));
+            let actions = ack(&mut e, fail_ack(d.job, attempt), f64::from(attempt));
             d = dispatches(&actions)[0];
             assert_eq!(d.attempt, attempt + 1);
         }
         // Third (= cap) failure: no more retries.
-        let actions = e.on_ack(fail_ack(d.job, 3), 10.0);
+        let actions = ack(&mut e, fail_ack(d.job, 3), 10.0);
         assert!(dispatches(&actions).is_empty(), "no retry past the cap");
         assert!(actions
             .iter()
@@ -1057,13 +1329,13 @@ mod tests {
     #[test]
     fn timeout_exhaustion_dead_letters_too() {
         let mut e = capped(2);
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 0.0);
-        let resub = dispatches(&e.check_timeouts(10.0));
+        ack(&mut e, run_ack(d.job, 1), 0.0);
+        let resub = dispatches(&scan(&mut e, 10.0));
         assert_eq!(resub.len(), 1);
-        e.on_ack(run_ack(resub[0].job, 2), 10.0);
-        let actions = e.check_timeouts(20.0);
+        ack(&mut e, run_ack(resub[0].job, 2), 10.0);
+        let actions = scan(&mut e, 20.0);
         assert!(dispatches(&actions).is_empty());
         assert!(actions.iter().any(|a| matches!(a, Action::JobDeadLettered { .. })));
         assert_eq!(e.stats().dead_lettered, 1);
@@ -1072,14 +1344,14 @@ mod tests {
     #[test]
     fn unaffected_workflow_completes_alongside_dead_letter() {
         let mut e = capped(1);
-        let (_, a0) = e.submit_workflow(chain(1), 0.0);
-        let (w1, a1) = e.submit_workflow(chain(1), 0.0);
+        let (_, a0) = submit(&mut e, chain(1), 0.0);
+        let (w1, a1) = submit(&mut e, chain(1), 0.0);
         let bad = dispatches(&a0)[0];
         let good = dispatches(&a1)[0];
-        let actions = e.on_ack(fail_ack(bad.job, 1), 1.0);
+        let actions = ack(&mut e, fail_ack(bad.job, 1), 1.0);
         assert!(actions.iter().any(|a| matches!(a, Action::WorkflowAbandoned { .. })));
         assert!(!actions.iter().any(|a| matches!(a, Action::AllSettled)), "workflow 1 still live");
-        let actions = e.on_ack(done_ack(good.job, 1), 2.0);
+        let actions = ack(&mut e, done_ack(good.job, 1), 2.0);
         assert!(actions.iter().any(|a| matches!(
             a,
             Action::WorkflowCompleted { workflow, .. } if *workflow == w1
@@ -1092,13 +1364,13 @@ mod tests {
     #[test]
     fn late_completion_of_dead_lettered_job_is_noise() {
         let mut e = capped(1);
-        let (_, actions) = e.submit_workflow(chain(2), 0.0);
+        let (_, actions) = submit(&mut e, chain(2), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(run_ack(d.job, 1), 0.0);
-        let actions = e.check_timeouts(10.0); // attempt 1 times out = cap
+        ack(&mut e, run_ack(d.job, 1), 0.0);
+        let actions = scan(&mut e, 10.0); // attempt 1 times out = cap
         assert!(actions.iter().any(|a| matches!(a, Action::WorkflowAbandoned { .. })));
         // The straggler worker finishes anyway: must not resurrect.
-        let actions = e.on_ack(done_ack(d.job, 1), 11.0);
+        let actions = ack(&mut e, done_ack(d.job, 1), 11.0);
         assert!(actions.is_empty());
         assert_eq!(e.stats().duplicate_completions, 1);
         assert_eq!(e.stats().jobs_completed, 0);
@@ -1107,26 +1379,25 @@ mod tests {
 
     #[test]
     fn backoff_defers_retry_until_due() {
-        let mut e = EnsembleEngine::with_config(EngineConfig {
-            default_timeout_secs: 100.0,
-            retry: RetryPolicy {
+        let mut e = EngineConfig::default()
+            .timeout(100.0)
+            .retry(RetryPolicy {
                 backoff_base_secs: 4.0,
                 backoff_factor: 2.0,
                 ..RetryPolicy::default()
-            },
-            ..EngineConfig::default()
-        });
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+            })
+            .build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        let actions = e.on_ack(fail_ack(d.job, 1), 10.0);
+        let actions = ack(&mut e, fail_ack(d.job, 1), 10.0);
         assert!(dispatches(&actions).is_empty(), "first retry deferred 4 s");
         assert_eq!(e.next_deadline(), Some(14.0));
-        assert!(e.check_timeouts(13.9).is_empty());
-        let rd = dispatches(&e.check_timeouts(14.0));
+        assert!(scan(&mut e, 13.9).is_empty());
+        let rd = dispatches(&scan(&mut e, 14.0));
         assert_eq!(rd.len(), 1);
         assert_eq!(rd[0].attempt, 2);
         // Second failure backs off 8 s (factor 2).
-        let actions = e.on_ack(fail_ack(d.job, 2), 20.0);
+        let actions = ack(&mut e, fail_ack(d.job, 2), 20.0);
         assert!(dispatches(&actions).is_empty());
         assert_eq!(e.next_deadline(), Some(28.0));
         let s = e.stats();
@@ -1136,15 +1407,14 @@ mod tests {
 
     #[test]
     fn backoff_delay_caps_at_max() {
-        let e = EnsembleEngine::with_config(EngineConfig {
-            retry: RetryPolicy {
+        let e = EngineConfig::default()
+            .retry(RetryPolicy {
                 backoff_base_secs: 10.0,
                 backoff_factor: 10.0,
                 backoff_max_secs: 50.0,
                 ..RetryPolicy::default()
-            },
-            ..EngineConfig::default()
-        });
+            })
+            .build();
         let job = EnsembleJobId::new(WorkflowId(0), JobId(0));
         assert_eq!(e.backoff_delay(job, 1), 10.0);
         assert_eq!(e.backoff_delay(job, 2), 50.0, "100 capped to 50");
@@ -1154,15 +1424,14 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_and_bounded() {
         let mk = |seed| {
-            EnsembleEngine::with_config(EngineConfig {
-                retry: RetryPolicy {
+            EngineConfig::default()
+                .retry(RetryPolicy {
                     backoff_base_secs: 10.0,
                     jitter_frac: 0.5,
                     seed,
                     ..RetryPolicy::default()
-                },
-                ..EngineConfig::default()
-            })
+                })
+                .build()
         };
         let job = EnsembleJobId::new(WorkflowId(3), JobId(7));
         let d1 = mk(42).backoff_delay(job, 1);
@@ -1177,16 +1446,15 @@ mod tests {
     fn deferred_retry_completion_cancels_the_deferral() {
         // The failed attempt's straggler worker completes while the retry
         // is parked: the deferral must die with the job.
-        let mut e = EnsembleEngine::with_config(EngineConfig {
-            retry: RetryPolicy { backoff_base_secs: 5.0, ..RetryPolicy::default() },
-            ..EngineConfig::default()
-        });
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default()
+            .retry(RetryPolicy { backoff_base_secs: 5.0, ..RetryPolicy::default() })
+            .build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
-        e.on_ack(fail_ack(d.job, 1), 1.0); // retry parked until 6.0
-        let actions = e.on_ack(done_ack(d.job, 1), 2.0);
+        ack(&mut e, fail_ack(d.job, 1), 1.0); // retry parked until 6.0
+        let actions = ack(&mut e, done_ack(d.job, 1), 2.0);
         assert!(actions.iter().any(|a| matches!(a, Action::WorkflowCompleted { .. })));
-        assert!(e.check_timeouts(10.0).is_empty(), "deferred dispatch cancelled");
+        assert!(scan(&mut e, 10.0).is_empty(), "deferred dispatch cancelled");
         assert_eq!(e.stats().dispatches, 1);
     }
 
@@ -1194,31 +1462,28 @@ mod tests {
     fn checkout_timeout_recovers_dropped_dispatch() {
         // With a lossy transport the dispatch may never reach a worker: no
         // Running ack ever arrives. The checkout timeout resubmits it.
-        let mut e = EnsembleEngine::with_config(EngineConfig {
-            checkout_timeout_secs: Some(30.0),
-            ..EngineConfig::default()
-        });
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default().checkout_timeout(30.0).build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let d = dispatches(&actions)[0];
         assert_eq!(e.next_deadline(), Some(30.0));
-        assert!(e.check_timeouts(29.0).is_empty());
-        let rd = dispatches(&e.check_timeouts(30.0));
+        assert!(scan(&mut e, 29.0).is_empty());
+        let rd = dispatches(&scan(&mut e, 30.0));
         assert_eq!(rd.len(), 1);
         assert_eq!(rd[0].attempt, 2);
         // This time the checkout lands; the deadline switches to the job
         // timeout and the job completes normally.
-        e.on_ack(run_ack(d.job, 2), 31.0);
-        let actions = e.on_ack(done_ack(d.job, 2), 32.0);
+        ack(&mut e, run_ack(d.job, 2), 31.0);
+        let actions = ack(&mut e, done_ack(d.job, 2), 32.0);
         assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
     }
 
     #[test]
     fn default_config_preserves_unbounded_retries() {
-        let mut e = EnsembleEngine::with_default_timeout(10.0);
-        let (_, actions) = e.submit_workflow(chain(1), 0.0);
+        let mut e = EngineConfig::default().timeout(10.0).build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
         let mut d = dispatches(&actions)[0];
         for attempt in 1..50u32 {
-            let actions = e.on_ack(fail_ack(d.job, attempt), f64::from(attempt));
+            let actions = ack(&mut e, fail_ack(d.job, attempt), f64::from(attempt));
             let rd = dispatches(&actions);
             assert_eq!(rd.len(), 1, "attempt {attempt} must retry");
             d = rd[0];

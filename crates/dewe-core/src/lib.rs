@@ -38,12 +38,19 @@
 //!
 //! Both runtimes share every line of coordination logic, which is the
 //! point: the paper's claims are about coordination, not hardware.
+//!
+//! Drivers code against the [`EngineCore`] trait, so the single-threaded
+//! [`EnsembleEngine`] and the partitioned [`ShardedEngine`] (N shards
+//! routed by a [`ShardRouter`]) are interchangeable behind a shard-count
+//! config knob.
 
 mod engine;
 mod protocol;
+mod sharded;
 
 pub mod realtime;
 pub mod sim;
 
-pub use engine::{Action, EngineConfig, EngineStats, EnsembleEngine, RetryPolicy};
+pub use engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
 pub use protocol::{AckKind, AckMsg, DispatchMsg, SubmissionMsg};
+pub use sharded::{HashRouter, LeastLoadedRouter, ShardLoad, ShardRouter, ShardedEngine};

@@ -14,8 +14,12 @@ use std::sync::Arc;
 pub struct MessageBus {
     /// Workflow submission topic (submission app → master).
     pub submission: Topic<SubmissionMsg>,
-    /// Job dispatching topic (master → workers).
+    /// Job dispatching topic (master → workers). With a sharded master
+    /// this is the fallback for workers not pinned to a shard.
     pub dispatch: Topic<DispatchMsg>,
+    /// Per-shard dispatch topics (sharded master → per-shard worker
+    /// pools). Empty on an un-sharded bus.
+    pub dispatch_shards: Vec<Topic<DispatchMsg>>,
     /// Job acknowledgment topic (workers → master).
     pub ack: Topic<AckMsg>,
 }
@@ -26,10 +30,26 @@ impl MessageBus {
         Self::default()
     }
 
+    /// Fresh bus with `shards` per-shard dispatch topics, for fanning a
+    /// sharded master's work out to dedicated worker pools.
+    pub fn sharded(shards: usize) -> Self {
+        Self { dispatch_shards: (0..shards).map(|_| Topic::default()).collect(), ..Self::default() }
+    }
+
+    /// The dispatch topic serving `shard`: its dedicated topic when the
+    /// bus has one, otherwise the shared fallback topic (so un-sharded
+    /// buses and out-of-range shards keep working through `dispatch`).
+    pub fn dispatch_topic(&self, shard: usize) -> &Topic<DispatchMsg> {
+        self.dispatch_shards.get(shard).unwrap_or(&self.dispatch)
+    }
+
     /// Close every topic, releasing blocked daemons.
     pub fn shutdown(&self) {
         self.submission.close();
         self.dispatch.close();
+        for t in &self.dispatch_shards {
+            t.close();
+        }
         self.ack.close();
     }
 }
@@ -89,6 +109,17 @@ mod tests {
             attempt: 1,
         });
         assert!(bus2.ack.try_pull().is_some());
+    }
+
+    #[test]
+    fn dispatch_topic_falls_back_to_shared() {
+        let flat = MessageBus::new();
+        assert!(std::ptr::eq(flat.dispatch_topic(3), &flat.dispatch));
+        let sharded = MessageBus::sharded(2);
+        assert!(std::ptr::eq(sharded.dispatch_topic(0), &sharded.dispatch_shards[0]));
+        assert!(std::ptr::eq(sharded.dispatch_topic(1), &sharded.dispatch_shards[1]));
+        // Out of range → the shared fallback, never a panic.
+        assert!(std::ptr::eq(sharded.dispatch_topic(2), &sharded.dispatch));
     }
 
     #[test]

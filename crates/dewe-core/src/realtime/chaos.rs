@@ -67,6 +67,7 @@ impl ChaosLink {
         let worker_bus = MessageBus {
             submission: master_bus.submission.clone(),
             dispatch: Topic::new(),
+            dispatch_shards: Vec::new(),
             ack: Topic::new(),
         };
         let decider = Arc::new(ChaosDecider::new(cfg));
@@ -254,7 +255,12 @@ mod tests {
             link.worker_bus.clone(),
             registry.clone(),
             Arc::new(NoopRunner),
-            WorkerConfig { worker_id: 0, slots: 2, pull_timeout: Duration::from_millis(5) },
+            WorkerConfig {
+                worker_id: 0,
+                slots: 2,
+                pull_timeout: Duration::from_millis(5),
+                ..WorkerConfig::default()
+            },
         );
 
         let mut b = WorkflowBuilder::new("diamond");

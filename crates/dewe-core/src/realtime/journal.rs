@@ -13,7 +13,7 @@
 //! Append-only ASCII lines, one record each, flushed per record:
 //!
 //! ```text
-//! S <registry_index> <time_bits>
+//! S <registry_index> <time_bits> <shard>
 //! A <workflow> <job> <worker> <kind_code> <attempt> <time_bits>
 //! T <time_bits>
 //! ```
@@ -24,6 +24,18 @@
 //! re-fetches the DAG from the registry (the paper keeps workflow data on
 //! the shared file system for the same reason). A truncated final line —
 //! the crash happened mid-write — is silently discarded.
+//!
+//! The submission record's trailing `<shard>` is the routing decision a
+//! sharded master made (always `0` for a single engine). It is journaled
+//! *before* the submission takes effect so [`recover_sharded`] can force
+//! the identical placement via [`EngineCore::submit_workflow_to`] —
+//! required because routers like
+//! [`LeastLoadedRouter`](crate::LeastLoadedRouter) depend on completion
+//! timing and cannot be re-derived from submission order. Journals
+//! written before sharding existed lack the field; it parses as shard 0.
+//! Workflow ids are global and dense in submission order in both engine
+//! shapes, so a sharded journal also replays into a single engine (the
+//! shard field is then ignored).
 //!
 //! ## Recovery invariants
 //!
@@ -44,18 +56,21 @@ use std::sync::Arc;
 use dewe_dag::{EnsembleJobId, JobId, WorkflowId};
 
 use super::bus::Registry;
-use crate::engine::{Action, EngineConfig, EnsembleEngine};
+use crate::engine::{Action, EngineConfig, EngineCore, EnsembleEngine};
 use crate::protocol::{AckKind, AckMsg, DispatchMsg};
+use crate::sharded::ShardedEngine;
 
 /// One journaled engine input.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JournalRecord {
     /// A workflow was submitted (stored by registry index).
     Submit {
-        /// Registry index of the workflow (equals its engine id).
+        /// Registry index of the workflow (equals its global engine id).
         workflow: u32,
         /// Engine time of the submission.
         at: f64,
+        /// Shard the master routed it to (0 for a single engine).
+        shard: u32,
     },
     /// A worker acknowledgment was processed.
     Ack {
@@ -105,9 +120,10 @@ impl Journal {
         self.out.flush()
     }
 
-    /// Journal a workflow submission.
-    pub fn record_submit(&mut self, workflow: WorkflowId, at: f64) -> io::Result<()> {
-        self.write_line(&format!("S {} {:x}", workflow.0, at.to_bits()))
+    /// Journal a workflow submission, including the shard it was routed
+    /// to (0 for a single engine).
+    pub fn record_submit(&mut self, workflow: WorkflowId, shard: usize, at: f64) -> io::Result<()> {
+        self.write_line(&format!("S {} {:x} {shard}", workflow.0, at.to_bits()))
     }
 
     /// Journal a worker acknowledgment.
@@ -139,7 +155,12 @@ fn parse_record(line: &str) -> Option<JournalRecord> {
         "S" => {
             let workflow = t.next()?.parse().ok()?;
             let at = parse_time(t.next()?)?;
-            Some(JournalRecord::Submit { workflow, at })
+            // Pre-sharding journals end the record here; missing = shard 0.
+            let shard = match t.next() {
+                Some(tok) => tok.parse().ok()?,
+                None => 0,
+            };
+            Some(JournalRecord::Submit { workflow, at, shard })
         }
         "A" => {
             let wf: u32 = t.next()?.parse().ok()?;
@@ -191,38 +212,52 @@ pub fn read_journal(path: &Path) -> io::Result<Vec<JournalRecord>> {
 
 /// Outcome of a journal replay: the rebuilt engine plus what the restarted
 /// master must do next.
-pub struct Recovery {
+pub struct Recovery<E = EnsembleEngine> {
     /// Engine with tracker / in-flight / deadline state rebuilt.
-    pub engine: EnsembleEngine,
+    pub engine: E,
     /// The last journaled engine time — the recovered clock resumes here.
     pub resume_at: f64,
     /// In-flight attempts to republish (pre-crash queue state is unknown).
     pub redispatch: Vec<DispatchMsg>,
 }
 
-/// Rebuild an engine by replaying journal records. Workflows are fetched
-/// from `registry` by their journaled index; replay actions are discarded
-/// (their dispatches either already happened or are covered by
-/// `redispatch`).
-pub fn recover(
+/// Replay records into any engine. With `forced_placement` submissions go
+/// through [`EngineCore::submit_workflow_to`] using the journaled shard;
+/// otherwise the shard field is ignored (a single engine has no
+/// placement, and global ids are dense either way).
+fn replay_records<E: EngineCore>(
     records: &[JournalRecord],
     registry: &Registry,
-    config: EngineConfig,
-) -> io::Result<Recovery> {
-    let mut engine = EnsembleEngine::with_config(config);
+    mut engine: E,
+    forced_placement: bool,
+) -> io::Result<Recovery<E>> {
     let mut sink: Vec<Action> = Vec::new();
     let mut resume_at = 0.0f64;
     for rec in records {
         resume_at = resume_at.max(rec.at());
         match *rec {
-            JournalRecord::Submit { workflow, at } => {
+            JournalRecord::Submit { workflow, at, shard } => {
                 let wf = registry.get(WorkflowId(workflow)).ok_or_else(|| {
                     io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("journal references workflow {workflow} absent from registry"),
                     )
                 })?;
-                let id = engine.submit_workflow_into(Arc::clone(&wf), at, &mut sink);
+                let id = if forced_placement {
+                    if shard as usize >= engine.shard_count() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "journal places workflow {workflow} on shard {shard}, \
+                                 but the engine has {} shards",
+                                engine.shard_count()
+                            ),
+                        ));
+                    }
+                    engine.submit_workflow_to(shard as usize, Arc::clone(&wf), at, &mut sink)
+                } else {
+                    engine.submit_workflow(Arc::clone(&wf), at, &mut sink)
+                };
                 if id.0 != workflow {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -232,11 +267,11 @@ pub fn recover(
                 sink.clear();
             }
             JournalRecord::Ack { ack, at } => {
-                engine.on_ack_into(ack, at, &mut sink);
+                engine.on_ack(ack, at, &mut sink);
                 sink.clear();
             }
             JournalRecord::Scan { at } => {
-                engine.check_timeouts_into(at, &mut sink);
+                engine.check_timeouts(at, &mut sink);
                 sink.clear();
             }
         }
@@ -244,6 +279,31 @@ pub fn recover(
     let mut redispatch = Vec::new();
     engine.inflight_dispatches(&mut redispatch);
     Ok(Recovery { engine, resume_at, redispatch })
+}
+
+/// Rebuild a single engine by replaying journal records. Workflows are
+/// fetched from `registry` by their journaled index; replay actions are
+/// discarded (their dispatches either already happened or are covered by
+/// `redispatch`).
+pub fn recover(
+    records: &[JournalRecord],
+    registry: &Registry,
+    config: EngineConfig,
+) -> io::Result<Recovery> {
+    replay_records(records, registry, config.build(), false)
+}
+
+/// Rebuild a [`ShardedEngine`] by replaying journal records, forcing each
+/// workflow onto its journaled shard so post-recovery placement (and
+/// therefore per-shard worker fan-out) matches the pre-crash master
+/// regardless of the router.
+pub fn recover_sharded(
+    records: &[JournalRecord],
+    registry: &Registry,
+    config: EngineConfig,
+    shards: usize,
+) -> io::Result<Recovery<ShardedEngine>> {
+    replay_records(records, registry, config.build_sharded(shards), true)
 }
 
 #[cfg(test)]
@@ -282,7 +342,7 @@ mod tests {
             kind: AckKind::Completed,
             attempt: 4,
         };
-        j.record_submit(WorkflowId(0), 0.125).unwrap();
+        j.record_submit(WorkflowId(0), 3, 0.125).unwrap();
         j.record_ack(&ack, 1.0000000001).unwrap();
         j.record_scan(2.5).unwrap();
         drop(j);
@@ -290,11 +350,20 @@ mod tests {
         assert_eq!(
             recs,
             vec![
-                JournalRecord::Submit { workflow: 0, at: 0.125 },
+                JournalRecord::Submit { workflow: 0, at: 0.125, shard: 3 },
                 JournalRecord::Ack { ack, at: 1.0000000001 },
                 JournalRecord::Scan { at: 2.5 },
             ]
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_sharding_submit_record_parses_as_shard_zero() {
+        let path = tmp("legacy");
+        std::fs::write(&path, "S 4 3ff0000000000000\n").unwrap();
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(recs, vec![JournalRecord::Submit { workflow: 4, at: 1.0, shard: 0 }]);
         std::fs::remove_file(&path).ok();
     }
 
@@ -331,16 +400,16 @@ mod tests {
 
         // Live master: submit, check out the root, then "crash".
         let config = EngineConfig { default_timeout_secs: 10.0, ..EngineConfig::default() };
-        let mut live = EnsembleEngine::with_config(config);
+        let mut live = config.build();
         let mut j = Journal::create(&path).unwrap();
         let mut sink = Vec::new();
-        j.record_submit(WorkflowId(0), 0.0).unwrap();
-        live.submit_workflow_into(Arc::clone(&wf), 0.0, &mut sink);
+        j.record_submit(WorkflowId(0), 0, 0.0).unwrap();
+        live.submit_workflow(Arc::clone(&wf), 0.0, &mut sink);
         let Action::Dispatch(d) = sink[0].clone() else { panic!("root dispatch") };
         sink.clear();
         let run = AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: 1 };
         j.record_ack(&run, 1.0).unwrap();
-        live.on_ack_into(run, 1.0, &mut sink);
+        live.on_ack(run, 1.0, &mut sink);
         sink.clear();
         drop(j); // crash
 
@@ -351,15 +420,62 @@ mod tests {
         assert_eq!(rec.redispatch, vec![DispatchMsg { job: d.job, attempt: 1 }]);
         // The rebuilt deadline heap still times the checkout out at 11.0.
         assert_eq!(engine.next_deadline(), Some(11.0));
-        let actions = engine.check_timeouts(11.0);
+        let mut actions = Vec::new();
+        engine.check_timeouts(11.0, &mut actions);
         assert!(actions.iter().any(|a| matches!(a, Action::Dispatch(d2) if d2.attempt == 2)));
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn recovery_rejects_missing_workflow() {
-        let recs = vec![JournalRecord::Submit { workflow: 0, at: 0.0 }];
+        let recs = vec![JournalRecord::Submit { workflow: 0, at: 0.0, shard: 0 }];
         let err = recover(&recs, &Registry::new(), EngineConfig::default());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn sharded_recovery_restores_journaled_placement() {
+        // A least-loaded-style placement (not derivable from submission
+        // order) must come back exactly as journaled.
+        let registry = Registry::new();
+        let mut recs = Vec::new();
+        for (i, shard) in [2u32, 2, 0, 1].into_iter().enumerate() {
+            registry.insert(WorkflowId(i as u32), chain(1));
+            recs.push(JournalRecord::Submit { workflow: i as u32, at: i as f64, shard });
+        }
+        let rec = recover_sharded(&recs, &registry, EngineConfig::default(), 3).unwrap();
+        for (i, &shard) in [2usize, 2, 0, 1].iter().enumerate() {
+            assert_eq!(rec.engine.shard_of(WorkflowId(i as u32)), shard);
+        }
+        // All four roots were in flight at the crash; every redispatch
+        // carries its global workflow id.
+        let mut wfs: Vec<u32> = rec.redispatch.iter().map(|d| d.job.workflow.0).collect();
+        wfs.sort_unstable();
+        assert_eq!(wfs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_recovery_rejects_out_of_range_shard() {
+        let registry = Registry::new();
+        registry.insert(WorkflowId(0), chain(1));
+        let recs = vec![JournalRecord::Submit { workflow: 0, at: 0.0, shard: 5 }];
+        assert!(recover_sharded(&recs, &registry, EngineConfig::default(), 2).is_err());
+    }
+
+    #[test]
+    fn sharded_journal_replays_into_a_single_engine() {
+        // Global ids are dense in submission order in both shapes, so a
+        // journal written by a sharded master still rebuilds a single
+        // engine (the shard field is ignored).
+        let registry = Registry::new();
+        for i in 0..3u32 {
+            registry.insert(WorkflowId(i), chain(1));
+        }
+        let recs: Vec<_> = (0..3u32)
+            .map(|i| JournalRecord::Submit { workflow: i, at: f64::from(i), shard: 2 - i })
+            .collect();
+        let rec = recover(&recs, &registry, EngineConfig::default()).unwrap();
+        assert_eq!(rec.engine.stats().workflows_submitted, 3);
+        assert_eq!(rec.redispatch.len(), 3);
     }
 }

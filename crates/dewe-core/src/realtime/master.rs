@@ -10,7 +10,8 @@ use dewe_dag::WorkflowId;
 
 use super::bus::{MessageBus, Registry};
 use super::journal::{self, Journal};
-use crate::engine::{Action, EngineConfig, EngineStats, EnsembleEngine, RetryPolicy};
+use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
+use crate::sharded::ShardedEngine;
 
 /// Master daemon configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +42,14 @@ pub struct MasterConfig {
     /// When true and the journal file exists, replay it on startup
     /// (master failover) instead of starting fresh.
     pub recover: bool,
+    /// Engine shard count. With more than one shard the master drives a
+    /// [`ShardedEngine`] and publishes each dispatch to the workflow's
+    /// shard topic ([`MessageBus::dispatch_topic`]); pair it with
+    /// [`MessageBus::sharded`] and shard-pinned workers
+    /// ([`super::WorkerConfig::shard`]) to fan work out to per-shard
+    /// worker pools. Routing decisions are journaled, so recovery
+    /// replays into the identical placement.
+    pub shards: usize,
 }
 
 impl Default for MasterConfig {
@@ -54,6 +63,7 @@ impl Default for MasterConfig {
             ack_burst: 128,
             journal_path: None,
             recover: false,
+            shards: 1,
         }
     }
 }
@@ -143,6 +153,37 @@ pub fn spawn_master(bus: MessageBus, registry: Registry, config: MasterConfig) -
     MasterHandle { thread: Some(thread), stop, events: rx }
 }
 
+/// Ties an engine shape to its journal-recovery entry point, so the
+/// serving loop stays generic while recovery rebuilds the right shape
+/// (forced shard placement for [`ShardedEngine`]).
+trait RecoverableEngine: EngineCore + Sized {
+    fn recover_from(
+        records: &[journal::JournalRecord],
+        registry: &Registry,
+        config: &MasterConfig,
+    ) -> std::io::Result<journal::Recovery<Self>>;
+}
+
+impl RecoverableEngine for EnsembleEngine {
+    fn recover_from(
+        records: &[journal::JournalRecord],
+        registry: &Registry,
+        config: &MasterConfig,
+    ) -> std::io::Result<journal::Recovery<Self>> {
+        journal::recover(records, registry, config.engine_config())
+    }
+}
+
+impl RecoverableEngine for ShardedEngine {
+    fn recover_from(
+        records: &[journal::JournalRecord],
+        registry: &Registry,
+        config: &MasterConfig,
+    ) -> std::io::Result<journal::Recovery<Self>> {
+        journal::recover_sharded(records, registry, config.engine_config(), config.shards)
+    }
+}
+
 fn master_loop(
     bus: MessageBus,
     registry: Registry,
@@ -150,7 +191,24 @@ fn master_loop(
     events: Sender<MasterEvent>,
     stop: Arc<AtomicBool>,
 ) -> EngineStats {
-    let mut engine = EnsembleEngine::with_config(config.engine_config());
+    assert!(config.shards >= 1, "shard count must be at least 1");
+    if config.shards > 1 {
+        let engine = config.engine_config().build_sharded(config.shards);
+        serve(bus, registry, config, events, stop, engine)
+    } else {
+        let engine = config.engine_config().build();
+        serve(bus, registry, config, events, stop, engine)
+    }
+}
+
+fn serve<E: RecoverableEngine>(
+    bus: MessageBus,
+    registry: Registry,
+    config: MasterConfig,
+    events: Sender<MasterEvent>,
+    stop: Arc<AtomicBool>,
+    mut engine: E,
+) -> EngineStats {
     // Engine time continues across restarts: a recovered master resumes
     // its clock from the last journaled instant so deadlines and
     // makespans never run backwards.
@@ -162,8 +220,7 @@ fn master_loop(
     if let Some(path) = &config.journal_path {
         if config.recover && path.exists() {
             let records = journal::read_journal(path).expect("read journal");
-            let rec =
-                journal::recover(&records, &registry, config.engine_config()).expect("replay");
+            let rec = E::recover_from(&records, &registry, &config).expect("replay");
             engine = rec.engine;
             time_base = rec.resume_at;
             // Pre-crash queue state is unknown; republish everything the
@@ -171,7 +228,7 @@ fn master_loop(
             // ran these attempts produce duplicate-completion noise the
             // engine tolerates.
             for d in rec.redispatch {
-                bus.dispatch.publish(d);
+                bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
             }
             wal = Some(Journal::append(path).expect("reopen journal"));
         } else {
@@ -193,15 +250,18 @@ fn master_loop(
             let now = time_base + start.elapsed().as_secs_f64();
             // Insert into the registry BEFORE journaling or publishing so
             // neither a worker nor a recovering master can observe a job
-            // of an unknown workflow.
+            // of an unknown workflow. The routing decision is previewed
+            // and journaled before the submission takes effect, so a
+            // recovering master can force the identical placement.
             let expected_id = WorkflowId::from_index(engine.workflow_count());
+            let shard = engine.route_next(&sub.workflow);
             registry.insert(expected_id, Arc::clone(&sub.workflow));
             if let Some(w) = wal.as_mut() {
-                w.record_submit(expected_id, now).expect("journal submit");
+                w.record_submit(expected_id, shard, now).expect("journal submit");
             }
-            let id = engine.submit_workflow_into(sub.workflow, now, &mut actions);
+            let id = engine.submit_workflow_to(shard, sub.workflow, now, &mut actions);
             debug_assert_eq!(id, expected_id);
-            publish_actions(&bus, &events, &mut actions);
+            publish_actions(&bus, &engine, &events, &mut actions);
         }
 
         // 2. Timeout scan at the configured cadence. Scans are journaled
@@ -212,13 +272,13 @@ fn master_loop(
         if now - last_scan >= config.timeout_scan_interval.as_secs_f64() {
             last_scan = now;
             let before = engine.stats();
-            engine.check_timeouts_into(now, &mut actions);
+            engine.check_timeouts(now, &mut actions);
             if !actions.is_empty() || engine.stats() != before {
                 if let Some(w) = wal.as_mut() {
                     w.record_scan(now).expect("journal scan");
                 }
             }
-            publish_actions(&bus, &events, &mut actions);
+            publish_actions(&bus, &engine, &events, &mut actions);
         }
 
         // 3. Exit once the expected workload has settled. (The engine's
@@ -253,9 +313,9 @@ fn master_loop(
                     if let Some(w) = wal.as_mut() {
                         w.record_ack(&ack, now).expect("journal ack");
                     }
-                    engine.on_ack_into(ack, now, &mut actions);
+                    engine.on_ack(ack, now, &mut actions);
                 }
-                publish_actions(&bus, &events, &mut actions);
+                publish_actions(&bus, &engine, &events, &mut actions);
             }
             None => {
                 if bus.ack.is_closed() {
@@ -267,11 +327,19 @@ fn master_loop(
 }
 
 /// Publish dispatch actions and forward progress events, draining the
-/// caller's reusable buffer.
-fn publish_actions(bus: &MessageBus, events: &Sender<MasterEvent>, actions: &mut Vec<Action>) {
+/// caller's reusable buffer. Dispatches go to the owning workflow's shard
+/// topic; on an un-sharded bus that is the shared dispatch topic.
+fn publish_actions<E: EngineCore>(
+    bus: &MessageBus,
+    engine: &E,
+    events: &Sender<MasterEvent>,
+    actions: &mut Vec<Action>,
+) {
     for action in actions.drain(..) {
         match action {
-            Action::Dispatch(d) => bus.dispatch.publish(d),
+            Action::Dispatch(d) => {
+                bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
+            }
             Action::WorkflowCompleted { workflow, makespan_secs } => {
                 let _ = events.send(MasterEvent::WorkflowCompleted { workflow, makespan_secs });
             }
@@ -413,6 +481,55 @@ mod tests {
         let stats = handle.join();
         assert_eq!(stats.resubmissions, 1);
         assert_eq!(stats.workflows_completed, 1);
+    }
+
+    #[test]
+    fn sharded_master_fans_out_to_pinned_worker_pools() {
+        use crate::realtime::runner::NoopRunner;
+        use crate::realtime::worker::{spawn_worker, WorkerConfig};
+
+        let bus = MessageBus::sharded(2);
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                shards: 2,
+                timeout_scan_interval: Duration::from_millis(10),
+                expected_workflows: Some(6),
+                ..MasterConfig::default()
+            },
+        );
+        // One worker pool per shard, each pinned to its shard topic.
+        let workers: Vec<_> = (0..2)
+            .map(|shard| {
+                spawn_worker(
+                    bus.clone(),
+                    registry.clone(),
+                    Arc::new(NoopRunner),
+                    WorkerConfig {
+                        worker_id: shard as u32,
+                        slots: 2,
+                        shard: Some(shard),
+                        ..WorkerConfig::default()
+                    },
+                )
+            })
+            .collect();
+        for i in 0..6 {
+            let mut b = WorkflowBuilder::new("wf");
+            let a = b.job("a", "t", 1.0).build();
+            let c = b.job("b", "t", 1.0).build();
+            b.edge(a, c);
+            super::super::submit(&bus, format!("wf{i}"), Arc::new(b.finish().unwrap()));
+        }
+        let stats = handle.join();
+        assert_eq!(stats.workflows_completed, 6);
+        assert_eq!(stats.jobs_completed, 12);
+        let executed: u64 = workers.into_iter().map(|w| w.stop()).sum();
+        assert_eq!(executed, 12, "pinned pools executed everything");
+        // Nothing ever landed on the shared fallback topic.
+        assert!(bus.dispatch.try_pull().is_none());
     }
 
     #[test]

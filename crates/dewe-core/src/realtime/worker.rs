@@ -20,11 +20,16 @@ pub struct WorkerConfig {
     pub slots: usize,
     /// How long an idle slot waits on the dispatch topic per pull.
     pub pull_timeout: Duration,
+    /// Pin this worker to one engine shard: its slots pull that shard's
+    /// dispatch topic (see [`MessageBus::dispatch_topic`]). `None` pulls
+    /// the shared topic — the only dispatch source of an un-sharded
+    /// master.
+    pub shard: Option<usize>,
 }
 
 impl Default for WorkerConfig {
     fn default() -> Self {
-        Self { worker_id: 0, slots: 4, pull_timeout: Duration::from_millis(50) }
+        Self { worker_id: 0, slots: 4, pull_timeout: Duration::from_millis(50), shard: None }
     }
 }
 
@@ -97,9 +102,13 @@ fn slot_loop(
     config: WorkerConfig,
 ) -> u64 {
     let mut executed = 0u64;
+    let dispatch_topic = match config.shard {
+        Some(shard) => bus.dispatch_topic(shard),
+        None => &bus.dispatch,
+    };
     while !stop.load(Ordering::Relaxed) {
-        let Some(dispatch) = bus.dispatch.pull_timeout(config.pull_timeout) else {
-            if bus.dispatch.is_closed() {
+        let Some(dispatch) = dispatch_topic.pull_timeout(config.pull_timeout) else {
+            if dispatch_topic.is_closed() {
                 break;
             }
             continue;
@@ -108,7 +117,7 @@ fn slot_loop(
         // redelivers the unacknowledged checkout (RabbitMQ semantics) so
         // the job is not lost while the master thinks it is still queued.
         if kill.load(Ordering::Relaxed) {
-            bus.dispatch.publish(dispatch);
+            dispatch_topic.publish(dispatch);
             break;
         }
         let Some(workflow) = registry.get(dispatch.job.workflow) else {
@@ -194,7 +203,12 @@ mod tests {
             bus.clone(),
             registry,
             Arc::new(NoopRunner),
-            WorkerConfig { worker_id: 7, slots: 2, pull_timeout: Duration::from_millis(10) },
+            WorkerConfig {
+                worker_id: 7,
+                slots: 2,
+                pull_timeout: Duration::from_millis(10),
+                ..WorkerConfig::default()
+            },
         );
         bus.dispatch
             .publish(DispatchMsg { job: EnsembleJobId::new(WorkflowId(0), JobId(0)), attempt: 1 });
@@ -231,7 +245,12 @@ mod tests {
             bus.clone(),
             registry,
             Arc::new(Slow),
-            WorkerConfig { worker_id: 1, slots: 1, pull_timeout: Duration::from_millis(10) },
+            WorkerConfig {
+                worker_id: 1,
+                slots: 1,
+                pull_timeout: Duration::from_millis(10),
+                ..WorkerConfig::default()
+            },
         );
         bus.dispatch
             .publish(DispatchMsg { job: EnsembleJobId::new(WorkflowId(0), JobId(0)), attempt: 1 });
@@ -268,7 +287,12 @@ mod tests {
             bus.clone(),
             registry,
             Arc::new(Bomb),
-            WorkerConfig { worker_id: 2, slots: 1, pull_timeout: Duration::from_millis(10) },
+            WorkerConfig {
+                worker_id: 2,
+                slots: 1,
+                pull_timeout: Duration::from_millis(10),
+                ..WorkerConfig::default()
+            },
         );
         // Job 0 panics mid-run: the slot must ack it Failed and survive.
         bus.dispatch
@@ -295,7 +319,12 @@ mod tests {
             bus.clone(),
             registry,
             Arc::new(NoopRunner),
-            WorkerConfig { worker_id: 0, slots: 3, pull_timeout: Duration::from_millis(5) },
+            WorkerConfig {
+                worker_id: 0,
+                slots: 3,
+                pull_timeout: Duration::from_millis(5),
+                ..WorkerConfig::default()
+            },
         );
         assert_eq!(handle.stop(), 0);
     }

@@ -1,0 +1,570 @@
+//! The sharded ensemble engine: N independent [`EnsembleEngine`]s behind
+//! the single [`EngineCore`] surface.
+//!
+//! The paper's DEWE v2 master is one daemon; at ensemble scale (hundreds
+//! of Montage workflows, millions of jobs) its single deadline heap and
+//! ack stream become the bottleneck. [`ShardedEngine`] partitions
+//! workflows across shards, each a full `EnsembleEngine` with its own
+//! deadline heap and in-flight slabs, so dispatch/ack/timeout work is
+//! independent per shard — no locks, no shared structures — and a
+//! multi-core master (or a partitioned simulator) can drive shards in
+//! parallel.
+//!
+//! Workflow ids stay **global**: dense, in submission order, identical to
+//! what a single engine would assign. The facade translates to per-shard
+//! local ids on the way in and back to global ids in every emitted
+//! [`Action`], so drivers never see shard-local state. Placement is
+//! decided by a pluggable [`ShardRouter`] and reported via
+//! [`EngineCore::shard_of`], which is how the realtime master fans
+//! dispatches out to per-shard worker pools and how the write-ahead
+//! journal records placement for recovery
+//! ([`EngineCore::submit_workflow_to`] replays it).
+//!
+//! Per-shard `AllCompleted`/`AllSettled` terminals are suppressed; the
+//! facade emits exactly one merged terminal action when the whole
+//! ensemble settles, mirroring single-engine semantics.
+
+use std::sync::Arc;
+
+use dewe_dag::{EnsembleJobId, JobState, Workflow, WorkflowId};
+
+use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine};
+use crate::protocol::{AckMsg, DispatchMsg};
+
+/// Per-shard load snapshot handed to routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Workflows ever placed on the shard.
+    pub total_workflows: usize,
+    /// Workflows placed on the shard that have not yet settled.
+    pub live_workflows: usize,
+}
+
+/// Placement policy: which shard gets the next submitted workflow.
+///
+/// Contract: `route` must be **pure** with respect to the engine — the
+/// same (workflow, next_global, loads) inputs must yield the same shard,
+/// and the router must not assume it is called exactly once per
+/// submission. [`EngineCore::route_next`] previews the decision so the
+/// master can journal it *before* submitting; the subsequent
+/// [`EngineCore::submit_workflow`] call re-routes and must land on the
+/// same shard. The returned index must be `< loads.len()`.
+pub trait ShardRouter: Send {
+    /// Pick a shard for `workflow`, which will become global workflow
+    /// `next_global`, given the current per-shard loads.
+    fn route(&self, workflow: &Workflow, next_global: usize, loads: &[ShardLoad]) -> usize;
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The default router: hash of the (global) workflow id. Stateless and
+/// oblivious to load, so placement depends only on submission order —
+/// a recovered master re-deriving routes gets identical answers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashRouter {
+    /// Perturbs the hash so distinct ensembles spread differently.
+    pub seed: u64,
+}
+
+impl ShardRouter for HashRouter {
+    fn route(&self, _workflow: &Workflow, next_global: usize, loads: &[ShardLoad]) -> usize {
+        (splitmix64(self.seed ^ next_global as u64) % loads.len() as u64) as usize
+    }
+}
+
+/// Route each workflow to the shard with the fewest unsettled workflows
+/// (ties broken toward the lowest shard index). Placement depends on
+/// completion timing, so unlike [`HashRouter`] it is *not* reproducible
+/// from submission order alone — exactly why the journal records the
+/// decision instead of re-deriving it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoadedRouter;
+
+impl ShardRouter for LeastLoadedRouter {
+    fn route(&self, _workflow: &Workflow, _next_global: usize, loads: &[ShardLoad]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.live_workflows)
+            .map(|(i, _)| i)
+            .expect("at least one shard")
+    }
+}
+
+/// N independent [`EnsembleEngine`] shards behind the [`EngineCore`]
+/// facade. Construct via [`EngineConfig::build_sharded`].
+pub struct ShardedEngine {
+    shards: Vec<EnsembleEngine>,
+    router: Box<dyn ShardRouter>,
+    /// Global workflow index → (shard, shard-local id).
+    assignment: Vec<(u32, WorkflowId)>,
+    /// Per shard: shard-local workflow index → global id.
+    globals: Vec<Vec<WorkflowId>>,
+    /// Set once the merged AllCompleted/AllSettled has been emitted;
+    /// cleared by new submissions, like the single engine's flag.
+    terminal_emitted: bool,
+    /// Reusable buffer for shard-local actions awaiting translation.
+    scratch: Vec<Action>,
+}
+
+impl ShardedEngine {
+    /// `shards` engines sharing `config`, routed by [`HashRouter`].
+    pub fn new(config: EngineConfig, shards: usize) -> Self {
+        Self::with_router(config, shards, Box::new(HashRouter::default()))
+    }
+
+    /// `shards` engines sharing `config` with a custom router.
+    pub fn with_router(config: EngineConfig, shards: usize, router: Box<dyn ShardRouter>) -> Self {
+        assert!(shards >= 1, "a sharded engine needs at least one shard");
+        Self {
+            shards: (0..shards).map(|_| config.build()).collect(),
+            router,
+            assignment: Vec::new(),
+            globals: vec![Vec::new(); shards],
+            terminal_emitted: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The shared per-shard configuration.
+    pub fn config(&self) -> &EngineConfig {
+        self.shards[0].config()
+    }
+
+    /// Read-only access to one shard (diagnostics, per-shard stats).
+    pub fn shard(&self, shard: usize) -> &EnsembleEngine {
+        &self.shards[shard]
+    }
+
+    fn loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let stats = s.stats();
+                let total = s.workflow_count();
+                ShardLoad {
+                    total_workflows: total,
+                    live_workflows: total - stats.workflows_completed - stats.workflows_abandoned,
+                }
+            })
+            .collect()
+    }
+
+    /// Rewrite a shard-local action to global workflow ids; per-shard
+    /// terminal actions are swallowed (the facade emits the merged one).
+    fn globalize(&self, shard: usize, action: Action) -> Option<Action> {
+        let map = |local: WorkflowId| self.globals[shard][local.index()];
+        Some(match action {
+            Action::Dispatch(d) => Action::Dispatch(DispatchMsg {
+                job: EnsembleJobId::new(map(d.job.workflow), d.job.job),
+                attempt: d.attempt,
+            }),
+            Action::JobDeadLettered { job, attempts, abandoned_jobs } => Action::JobDeadLettered {
+                job: EnsembleJobId::new(map(job.workflow), job.job),
+                attempts,
+                abandoned_jobs,
+            },
+            Action::WorkflowCompleted { workflow, makespan_secs } => {
+                Action::WorkflowCompleted { workflow: map(workflow), makespan_secs }
+            }
+            Action::WorkflowAbandoned { workflow, dead_lettered, abandoned_jobs } => {
+                Action::WorkflowAbandoned { workflow: map(workflow), dead_lettered, abandoned_jobs }
+            }
+            Action::AllCompleted | Action::AllSettled => return None,
+        })
+    }
+
+    /// Translate everything in `scratch` (local ids, shard `shard`) into
+    /// `actions` (global ids), then emit the merged terminal if due.
+    fn flush_scratch(&mut self, shard: usize, actions: &mut Vec<Action>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for a in scratch.drain(..) {
+            if let Some(g) = self.globalize(shard, a) {
+                actions.push(g);
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    fn maybe_all_done(&mut self, actions: &mut Vec<Action>) {
+        if !self.terminal_emitted && self.all_settled() {
+            self.terminal_emitted = true;
+            actions.push(if self.stats().workflows_abandoned == 0 {
+                Action::AllCompleted
+            } else {
+                Action::AllSettled
+            });
+        }
+    }
+}
+
+impl EngineCore for ShardedEngine {
+    fn submit_workflow(
+        &mut self,
+        workflow: Arc<Workflow>,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) -> WorkflowId {
+        let shard = EngineCore::route_next(self, &workflow);
+        self.submit_workflow_to(shard, workflow, now, actions)
+    }
+
+    fn submit_workflow_to(
+        &mut self,
+        shard: usize,
+        workflow: Arc<Workflow>,
+        now: f64,
+        actions: &mut Vec<Action>,
+    ) -> WorkflowId {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        let global = WorkflowId::from_index(self.assignment.len());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let local = self.shards[shard].submit_workflow(workflow, now, &mut scratch);
+        self.scratch = scratch;
+        // Record the placement before translating: the new workflow's own
+        // actions (root dispatches, empty-workflow completion) need it.
+        self.assignment.push((shard as u32, local));
+        self.globals[shard].push(global);
+        debug_assert_eq!(self.globals[shard].len(), local.index() + 1);
+        self.terminal_emitted = false;
+        self.flush_scratch(shard, actions);
+        self.maybe_all_done(actions);
+        global
+    }
+
+    fn route_next(&self, workflow: &Workflow) -> usize {
+        let loads = self.loads();
+        let shard = self.router.route(workflow, self.assignment.len(), &loads);
+        assert!(shard < self.shards.len(), "router returned shard {shard} out of range");
+        shard
+    }
+
+    fn on_ack(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
+        let gidx = ack.job.workflow.index();
+        if gidx >= self.assignment.len() {
+            debug_assert!(false, "ack for unknown workflow {:?}", ack.job.workflow);
+            return;
+        }
+        let (shard, local) = self.assignment[gidx];
+        let shard = shard as usize;
+        let local_ack = AckMsg { job: EnsembleJobId::new(local, ack.job.job), ..ack };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.shards[shard].on_ack(local_ack, now, &mut scratch);
+        self.scratch = scratch;
+        self.flush_scratch(shard, actions);
+        self.maybe_all_done(actions);
+    }
+
+    fn check_timeouts(&mut self, now: f64, actions: &mut Vec<Action>) {
+        for shard in 0..self.shards.len() {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.shards[shard].check_timeouts(now, &mut scratch);
+            self.scratch = scratch;
+            self.flush_scratch(shard, actions);
+        }
+        self.maybe_all_done(actions);
+    }
+
+    fn next_deadline(&mut self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for s in &mut self.shards {
+            if let Some(d) = s.next_deadline() {
+                best = Some(match best {
+                    Some(b) => b.min(d),
+                    None => d,
+                });
+            }
+        }
+        best
+    }
+
+    fn all_complete(&self) -> bool {
+        self.all_settled() && self.stats().workflows_abandoned == 0
+    }
+
+    fn all_settled(&self) -> bool {
+        // Empty shards don't block settlement; an engine with no
+        // submissions at all is not settled (matches the single engine).
+        !self.assignment.is_empty()
+            && self.shards.iter().all(|s| s.workflow_count() == 0 || s.all_settled())
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut merged = EngineStats::default();
+        for s in &self.shards {
+            merged.merge(&s.stats());
+        }
+        merged
+    }
+
+    fn job_state(&self, job: EnsembleJobId) -> Option<JobState> {
+        let &(shard, local) = self.assignment.get(job.workflow.index())?;
+        self.shards[shard as usize].job_state(EnsembleJobId::new(local, job.job))
+    }
+
+    fn workflow(&self, id: WorkflowId) -> &Arc<Workflow> {
+        let (shard, local) = self.assignment[id.index()];
+        self.shards[shard as usize].workflow(local)
+    }
+
+    fn workflow_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    fn inflight_dispatches(&self, out: &mut Vec<DispatchMsg>) {
+        let mut local = Vec::new();
+        for (shard, s) in self.shards.iter().enumerate() {
+            local.clear();
+            s.inflight_dispatches(&mut local);
+            for d in &local {
+                out.push(DispatchMsg {
+                    job: EnsembleJobId::new(self.globals[shard][d.job.workflow.index()], d.job.job),
+                    attempt: d.attempt,
+                });
+            }
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: WorkflowId) -> usize {
+        self.assignment[id.index()].0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::AckKind;
+    use dewe_dag::WorkflowBuilder;
+
+    fn chain(n: usize) -> Arc<Workflow> {
+        let mut b = WorkflowBuilder::new("chain");
+        let mut prev = None;
+        for i in 0..n {
+            let j = b.job(format!("j{i}"), "t", 1.0).build();
+            if let Some(p) = prev {
+                b.edge(p, j);
+            }
+            prev = Some(j);
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn dispatches(actions: &[Action]) -> Vec<DispatchMsg> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Dispatch(d) => Some(*d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn done_ack(job: EnsembleJobId, attempt: u32) -> AckMsg {
+        AckMsg { job, worker: 0, kind: AckKind::Completed, attempt }
+    }
+
+    #[test]
+    fn global_ids_are_dense_and_actions_translated() {
+        let mut e = EngineConfig::default().build_sharded(4);
+        let mut actions = Vec::new();
+        for i in 0..8 {
+            let id = e.submit_workflow(chain(1), f64::from(i), &mut actions);
+            assert_eq!(id.index(), i as usize, "global ids dense in submission order");
+        }
+        let d = dispatches(&actions);
+        assert_eq!(d.len(), 8);
+        // Every dispatch carries the global workflow id of its submission.
+        let mut seen: Vec<usize> = d.iter().map(|m| m.job.workflow.index()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        // Placement is consistent between shard_of and the assignment.
+        for m in &d {
+            assert!(e.shard_of(m.job.workflow) < 4);
+        }
+        assert_eq!(e.workflow_count(), 8);
+        assert_eq!(e.stats().workflows_submitted, 8);
+    }
+
+    #[test]
+    fn completing_every_job_emits_one_merged_terminal() {
+        let mut e = EngineConfig::default().build_sharded(3);
+        let mut actions = Vec::new();
+        for i in 0..6 {
+            e.submit_workflow(chain(1), f64::from(i), &mut actions);
+        }
+        let d = dispatches(&actions);
+        let mut terminals = 0;
+        for m in &d {
+            let mut out = Vec::new();
+            e.on_ack(done_ack(m.job, m.attempt), 10.0, &mut out);
+            terminals += out
+                .iter()
+                .filter(|a| matches!(a, Action::AllCompleted | Action::AllSettled))
+                .count();
+        }
+        assert_eq!(terminals, 1, "exactly one merged terminal");
+        assert!(e.all_complete());
+        let s = e.stats();
+        assert_eq!(s.workflows_completed, 6);
+        assert_eq!(s.jobs_completed, 6);
+        assert_eq!(s.dispatches, 6);
+    }
+
+    #[test]
+    fn route_next_matches_subsequent_submission() {
+        let mut e = EngineConfig::default().build_sharded(4);
+        let mut actions = Vec::new();
+        for i in 0..16 {
+            let wf = chain(1);
+            let predicted = e.route_next(&wf);
+            let id = e.submit_workflow(wf, f64::from(i), &mut actions);
+            assert_eq!(e.shard_of(id), predicted, "route preview is binding");
+        }
+    }
+
+    #[test]
+    fn forced_placement_overrides_the_router() {
+        let mut e = EngineConfig::default().build_sharded(4);
+        let mut actions = Vec::new();
+        for i in 0..8 {
+            let id = e.submit_workflow_to(2, chain(1), f64::from(i), &mut actions);
+            assert_eq!(e.shard_of(id), 2);
+        }
+        assert_eq!(e.shard(2).workflow_count(), 8);
+        assert_eq!(e.shard(0).workflow_count(), 0);
+    }
+
+    #[test]
+    fn least_loaded_router_balances() {
+        let mut e = EngineConfig::default().build_sharded_with(4, Box::new(LeastLoadedRouter));
+        let mut actions = Vec::new();
+        for i in 0..8 {
+            e.submit_workflow(chain(2), f64::from(i), &mut actions);
+        }
+        // Nothing completes, so least-loaded degenerates to round-robin.
+        for shard in 0..4 {
+            assert_eq!(e.shard(shard).workflow_count(), 2, "shard {shard} balanced");
+        }
+    }
+
+    #[test]
+    fn merged_next_deadline_is_min_over_shards() {
+        let mut e = EngineConfig::default().timeout(100.0).build_sharded(2);
+        let mut actions = Vec::new();
+        let a = e.submit_workflow_to(0, chain(1), 0.0, &mut actions);
+        let b = e.submit_workflow_to(1, chain(1), 0.0, &mut actions);
+        assert_eq!(e.next_deadline(), None);
+        let run = |wf: WorkflowId| AckMsg {
+            job: EnsembleJobId::new(wf, dewe_dag::JobId(0)),
+            worker: 0,
+            kind: AckKind::Running,
+            attempt: 1,
+        };
+        let mut out = Vec::new();
+        e.on_ack(run(a), 30.0, &mut out); // shard 0 deadline 130
+        e.on_ack(run(b), 10.0, &mut out); // shard 1 deadline 110
+        assert_eq!(e.next_deadline(), Some(110.0));
+    }
+
+    #[test]
+    fn timeout_scan_covers_every_shard() {
+        let mut e = EngineConfig::default().timeout(10.0).build_sharded(2);
+        let mut actions = Vec::new();
+        let a = e.submit_workflow_to(0, chain(1), 0.0, &mut actions);
+        let b = e.submit_workflow_to(1, chain(1), 0.0, &mut actions);
+        let mut out = Vec::new();
+        for wf in [a, b] {
+            e.on_ack(
+                AckMsg {
+                    job: EnsembleJobId::new(wf, dewe_dag::JobId(0)),
+                    worker: 0,
+                    kind: AckKind::Running,
+                    attempt: 1,
+                },
+                0.0,
+                &mut out,
+            );
+        }
+        out.clear();
+        e.check_timeouts(10.0, &mut out);
+        let rd = dispatches(&out);
+        assert_eq!(rd.len(), 2, "both shards resubmitted");
+        assert_eq!(e.stats().resubmissions, 2);
+        // Resubmissions carry global ids.
+        let mut wfs: Vec<usize> = rd.iter().map(|m| m.job.workflow.index()).collect();
+        wfs.sort_unstable();
+        assert_eq!(wfs, vec![0, 1]);
+    }
+
+    #[test]
+    fn abandoned_shard_yields_merged_all_settled() {
+        let retry = crate::RetryPolicy { max_attempts: Some(1), ..crate::RetryPolicy::default() };
+        let mut e = EngineConfig::default().retry(retry).build_sharded(2);
+        let mut actions = Vec::new();
+        let bad = e.submit_workflow_to(0, chain(1), 0.0, &mut actions);
+        let good = e.submit_workflow_to(1, chain(1), 0.0, &mut actions);
+        let mut out = Vec::new();
+        e.on_ack(
+            AckMsg {
+                job: EnsembleJobId::new(bad, dewe_dag::JobId(0)),
+                worker: 0,
+                kind: AckKind::Failed,
+                attempt: 1,
+            },
+            1.0,
+            &mut out,
+        );
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::JobDeadLettered { job, .. } if job.workflow == bad
+        )));
+        assert!(!out.iter().any(|a| matches!(a, Action::AllSettled)), "other shard still live");
+        out.clear();
+        e.on_ack(done_ack(EnsembleJobId::new(good, dewe_dag::JobId(0)), 1), 2.0, &mut out);
+        assert!(out.iter().any(|a| matches!(a, Action::AllSettled)));
+        assert!(e.all_settled() && !e.all_complete());
+        let s = e.stats();
+        assert_eq!(s.workflows_abandoned, 1);
+        assert_eq!(s.workflows_completed, 1);
+        assert_eq!(s.dead_lettered, 1);
+    }
+
+    #[test]
+    fn empty_shards_do_not_block_settlement() {
+        // 8 shards, 1 workflow: seven shards stay empty forever.
+        let mut e = EngineConfig::default().build_sharded(8);
+        let mut actions = Vec::new();
+        let id = e.submit_workflow(chain(1), 0.0, &mut actions);
+        let mut out = Vec::new();
+        e.on_ack(done_ack(EnsembleJobId::new(id, dewe_dag::JobId(0)), 1), 1.0, &mut out);
+        assert!(out.iter().any(|a| matches!(a, Action::AllCompleted)));
+        assert!(e.all_complete());
+    }
+
+    #[test]
+    fn new_submission_rearms_the_terminal() {
+        let mut e = EngineConfig::default().build_sharded(2);
+        let mut actions = Vec::new();
+        let a = e.submit_workflow(chain(1), 0.0, &mut actions);
+        let mut out = Vec::new();
+        e.on_ack(done_ack(EnsembleJobId::new(a, dewe_dag::JobId(0)), 1), 1.0, &mut out);
+        assert!(out.iter().any(|a| matches!(a, Action::AllCompleted)));
+        // A second wave must emit its own terminal when it finishes.
+        actions.clear();
+        let b = e.submit_workflow(chain(1), 2.0, &mut actions);
+        assert!(!e.all_settled());
+        out.clear();
+        e.on_ack(done_ack(EnsembleJobId::new(b, dewe_dag::JobId(0)), 1), 3.0, &mut out);
+        assert!(out.iter().any(|a| matches!(a, Action::AllCompleted)));
+        assert_eq!(e.stats().workflows_completed, 2);
+    }
+}

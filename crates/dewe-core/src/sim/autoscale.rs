@@ -23,7 +23,7 @@ use std::sync::Arc;
 use dewe_dag::Workflow;
 use dewe_simcloud::{BillingModel, ClusterConfig, CostModel, ExecSim, SimEvent};
 
-use crate::engine::{EngineStats, EnsembleEngine};
+use crate::engine::{EngineCore, EngineStats};
 use crate::protocol::{AckKind, AckMsg};
 
 use super::{DriverState, SlotPool};
@@ -85,11 +85,30 @@ const TAG_EVAL: u64 = 6 << 56;
 const TAG_MASK: u64 = 0xff << 56;
 
 /// Run an ensemble with reactive autoscaling. `config.cluster.nodes` is
-/// the fleet ceiling (max nodes the autoscaler may rent).
+/// the fleet ceiling (max nodes the autoscaler may rent). With
+/// `config.shards > 1` the driver runs a
+/// [`ShardedEngine`](crate::ShardedEngine) facade, like
+/// [`run_ensemble`](super::run_ensemble).
 pub fn run_ensemble_autoscale(
     workflows: &[Arc<Workflow>],
     config: &super::SimRunConfig,
     policy: &AutoscalePolicy,
+) -> AutoscaleReport {
+    assert!(config.shards >= 1, "shard count must be at least 1");
+    if config.shards > 1 {
+        let engine = super::engine_config_for(config).build_sharded(config.shards);
+        autoscale_loop(workflows, config, policy, engine)
+    } else {
+        let engine = super::engine_config_for(config).build();
+        autoscale_loop(workflows, config, policy, engine)
+    }
+}
+
+fn autoscale_loop<E: EngineCore>(
+    workflows: &[Arc<Workflow>],
+    config: &super::SimRunConfig,
+    policy: &AutoscalePolicy,
+    mut engine: E,
 ) -> AutoscaleReport {
     assert!(!workflows.is_empty());
     let max_nodes = config.cluster.nodes;
@@ -123,11 +142,6 @@ pub fn run_ensemble_autoscale(
     };
 
     assert!(config.chaos.is_none(), "chaos injection is not supported by the autoscale driver");
-    let mut engine = EnsembleEngine::with_config(crate::engine::EngineConfig {
-        default_timeout_secs: config.default_timeout_secs,
-        checkout_timeout_secs: config.checkout_timeout_secs,
-        retry: config.retry,
-    });
     let mut state = DriverState::new(workflows, pool, config);
     // Scale-in lets running jobs drain, so per-node occupancy is tracked.
     state.node_running = vec![0; max_nodes];
@@ -163,7 +177,7 @@ pub fn run_ensemble_autoscale(
                     }
                     rent.draining[node] = false;
                 }
-                engine.on_ack_into(
+                engine.on_ack(
                     AckMsg {
                         job: d.job,
                         worker: node as u32,
@@ -181,13 +195,13 @@ pub fn run_ensemble_autoscale(
                     let idx = (token & !TAG_MASK) as usize;
                     let workflow = Arc::clone(&workflows[idx]);
                     let job_count = workflow.job_count();
-                    let id = engine.submit_workflow_into(workflow, now, &mut state.actions);
+                    let id = engine.submit_workflow(workflow, now, &mut state.actions);
                     state.register_workflow(id, job_count);
                     state.handle_actions(now);
                     state.try_assign(&mut exec, &mut engine);
                 }
                 TAG_SCAN => {
-                    engine.check_timeouts_into(now, &mut state.actions);
+                    engine.check_timeouts(now, &mut state.actions);
                     state.handle_actions(now);
                     state.try_assign(&mut exec, &mut engine);
                     if state.all_done_at.is_none() {
@@ -388,6 +402,22 @@ mod tests {
         let report = run_ensemble_autoscale(&[wf], &fleet(4), &policy);
         assert!(report.completed);
         assert!(report.scaling_trace.iter().all(|&(_, n)| n >= 2));
+    }
+
+    #[test]
+    fn sharded_engine_composes_with_autoscaling() {
+        let mut cfg = fleet(4);
+        cfg.shards = 4;
+        let single =
+            run_ensemble_autoscale(&[wide_then_narrow()], &fleet(4), &AutoscalePolicy::default());
+        let sharded =
+            run_ensemble_autoscale(&[wide_then_narrow()], &cfg, &AutoscalePolicy::default());
+        assert!(sharded.completed);
+        assert_eq!(sharded.engine.jobs_completed, 513);
+        // Same driver decisions either way: sharding the engine does not
+        // change scaling behavior.
+        assert_eq!(single.makespan_secs, sharded.makespan_secs);
+        assert_eq!(single.scaling_trace, sharded.scaling_trace);
     }
 
     #[test]

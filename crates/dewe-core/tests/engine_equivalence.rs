@@ -19,11 +19,33 @@ use std::sync::Arc;
 
 use dewe_core::realtime::{recover, JournalRecord, Registry};
 use dewe_core::{
-    AckKind, AckMsg, Action, DispatchMsg, EngineConfig, EngineStats, EnsembleEngine, RetryPolicy,
+    AckKind, AckMsg, Action, DispatchMsg, EngineConfig, EngineCore, EngineStats, EnsembleEngine,
+    RetryPolicy,
 };
 use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, JobState, Workflow, WorkflowId};
 use dewe_montage::{random_layered, RandomDagConfig};
 use proptest::prelude::*;
+
+// Allocating shims over the sink-based [`EngineCore`] surface: the driver
+// below compares whole per-step action vectors, so collect them.
+
+fn submit_step<E: EngineCore>(e: &mut E, wf: Arc<Workflow>, now: f64) -> (WorkflowId, Vec<Action>) {
+    let mut actions = Vec::new();
+    let id = e.submit_workflow(wf, now, &mut actions);
+    (id, actions)
+}
+
+fn ack_step<E: EngineCore>(e: &mut E, ack: AckMsg, now: f64) -> Vec<Action> {
+    let mut actions = Vec::new();
+    e.on_ack(ack, now, &mut actions);
+    actions
+}
+
+fn scan_step<E: EngineCore>(e: &mut E, now: f64) -> Vec<Action> {
+    let mut actions = Vec::new();
+    e.check_timeouts(now, &mut actions);
+    actions
+}
 
 // ---------------------------------------------------------------------------
 // Reference implementation: the pre-heap engine, scan-everything flavor.
@@ -388,7 +410,7 @@ proptest! {
     ) {
         let timeout = config.default_timeout_secs;
         let mut rng = seed;
-        let mut real = EnsembleEngine::with_config(config);
+        let mut real = config.build();
         let mut reference = ReferenceEngine::new(config);
         let mut now = 0.0f64;
         // Dispatches published but not yet consumed by a Completed/Failed
@@ -432,7 +454,7 @@ proptest! {
             if submitted < wfs.len() && (choice < 15 || outstanding.is_empty()) {
                 let wf = Arc::clone(&wfs[submitted]);
                 submitted += 1;
-                let (id_a, actions_a) = real.submit_workflow(Arc::clone(&wf), now);
+                let (id_a, actions_a) = submit_step(&mut real, Arc::clone(&wf), now);
                 let (id_b, actions_b) = reference.submit_workflow(wf, now);
                 prop_assert_eq!(id_a, id_b);
                 check_step!(actions_a, actions_b);
@@ -440,7 +462,7 @@ proptest! {
                 // Everything submitted and in some queued, deferred or
                 // terminal state; only the clock can make progress.
                 now += timeout.max(8.0);
-                check_step!(real.check_timeouts(now), reference.check_timeouts(now));
+                check_step!(scan_step(&mut real, now), reference.check_timeouts(now));
             } else {
                 let pick = (splitmix64(&mut rng) as usize) % outstanding.len();
                 match choice {
@@ -458,7 +480,7 @@ proptest! {
                             kind: AckKind::Running,
                             attempt,
                         };
-                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                        check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     40..=79 => {
                         let d = outstanding.swap_remove(pick);
@@ -469,7 +491,7 @@ proptest! {
                             kind: AckKind::Completed,
                             attempt: d.attempt,
                         };
-                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                        check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     80..=87 => {
                         let d = outstanding.swap_remove(pick);
@@ -479,7 +501,7 @@ proptest! {
                             kind: AckKind::Failed,
                             attempt: d.attempt,
                         };
-                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                        check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     88..=93 if !finished.is_empty() => {
                         // Duplicate completion (timeout-race replay).
@@ -490,12 +512,12 @@ proptest! {
                             kind: AckKind::Completed,
                             attempt: d.attempt,
                         };
-                        check_step!(real.on_ack(ack, now), reference.on_ack(ack, now));
+                        check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     _ => {
                         // Jump past some deadlines and scan.
                         now += (splitmix64(&mut rng) % 3) as f64 * timeout;
-                        check_step!(real.check_timeouts(now), reference.check_timeouts(now));
+                        check_step!(scan_step(&mut real, now), reference.check_timeouts(now));
                     }
                 }
             }
@@ -526,7 +548,7 @@ proptest! {
     ) {
         let timeout = config.default_timeout_secs;
         let mut rng = seed;
-        let mut real = EnsembleEngine::with_config(config);
+        let mut real = config.build();
         let registry = Registry::new();
         for (i, wf) in wfs.iter().enumerate() {
             registry.insert(WorkflowId::from_index(i), Arc::clone(wf));
@@ -564,10 +586,14 @@ proptest! {
             if submitted < wfs.len() && (choice < 20 || outstanding.is_empty()) {
                 let wf = Arc::clone(&wfs[submitted]);
                 submitted += 1;
-                journal.push(JournalRecord::Submit { workflow: submitted as u32 - 1, at: now });
-                let (_, actions) = real.submit_workflow(Arc::clone(&wf), now);
+                journal.push(JournalRecord::Submit {
+                    workflow: submitted as u32 - 1,
+                    at: now,
+                    shard: 0,
+                });
+                let (_, actions) = submit_step(&mut real, Arc::clone(&wf), now);
                 if let Some(t) = twin.as_mut() {
-                    let (_, tw) = t.submit_workflow(wf, now);
+                    let (_, tw) = submit_step(t, wf, now);
                     prop_assert_eq!(&actions, &tw);
                 }
                 for a in &actions {
@@ -578,9 +604,9 @@ proptest! {
             } else if outstanding.is_empty() {
                 now += timeout.max(8.0);
                 journal.push(JournalRecord::Scan { at: now });
-                let actions = real.check_timeouts(now);
+                let actions = scan_step(&mut real, now);
                 if let Some(t) = twin.as_mut() {
-                    prop_assert_eq!(&actions, &t.check_timeouts(now));
+                    prop_assert_eq!(&actions, &scan_step(t, now));
                 }
                 for a in &actions {
                     if let Action::Dispatch(d) = a {
@@ -599,17 +625,17 @@ proptest! {
                     };
                     let ack = AckMsg { job: d.job, worker: 0, kind, attempt: d.attempt };
                     journal.push(JournalRecord::Ack { ack, at: now });
-                    let actions = real.on_ack(ack, now);
+                    let actions = ack_step(&mut real, ack, now);
                     if let Some(t) = twin.as_mut() {
-                        prop_assert_eq!(&actions, &t.on_ack(ack, now));
+                        prop_assert_eq!(&actions, &ack_step(t, ack, now));
                     }
                     actions
                 } else {
                     now += (splitmix64(&mut rng) % 3) as f64 * timeout;
                     journal.push(JournalRecord::Scan { at: now });
-                    let actions = real.check_timeouts(now);
+                    let actions = scan_step(&mut real, now);
                     if let Some(t) = twin.as_mut() {
-                        prop_assert_eq!(&actions, &t.check_timeouts(now));
+                        prop_assert_eq!(&actions, &scan_step(t, now));
                     }
                     actions
                 };

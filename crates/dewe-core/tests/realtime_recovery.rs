@@ -53,7 +53,12 @@ fn ensemble_finishes_after_master_failover() {
         bus.clone(),
         registry.clone(),
         Arc::new(SleepRunner::new(0.02)),
-        WorkerConfig { worker_id: 0, slots: 2, pull_timeout: Duration::from_millis(10) },
+        WorkerConfig {
+            worker_id: 0,
+            slots: 2,
+            pull_timeout: Duration::from_millis(10),
+            ..WorkerConfig::default()
+        },
     );
 
     for i in 0..3 {
@@ -120,7 +125,12 @@ fn recovery_restarts_from_empty_journal_when_absent() {
         bus.clone(),
         registry,
         Arc::new(SleepRunner::new(0.001)),
-        WorkerConfig { worker_id: 0, slots: 1, pull_timeout: Duration::from_millis(10) },
+        WorkerConfig {
+            worker_id: 0,
+            slots: 1,
+            pull_timeout: Duration::from_millis(10),
+            ..WorkerConfig::default()
+        },
     );
     submit(&bus, "w", chain("w", 2, 1.0));
     let stats = master.join();

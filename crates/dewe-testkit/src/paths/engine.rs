@@ -1,5 +1,8 @@
-//! Deterministic virtual-time driver for the sans-IO
-//! [`EnsembleEngine`] — the oracle's reference path.
+//! Deterministic virtual-time driver for the sans-IO engines — the
+//! oracle's reference path. Generic over [`EngineCore`], it drives the
+//! plain [`EnsembleEngine`] or, when the scenario asks for
+//! `shards > 1`, a [`ShardedEngine`] — so every differential sweep also
+//! checks shard-count invariance for free.
 //!
 //! A discrete-event loop plays the roles of transport and worker pool:
 //! dispatch actions become delivery events, deliveries occupy worker
@@ -18,12 +21,13 @@
 //! (lost dispatch, stuck dependency) the oracle exists to catch.
 //!
 //! [`EnsembleEngine`]: dewe_core::EnsembleEngine
+//! [`ShardedEngine`]: dewe_core::ShardedEngine
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
 use dewe_core::{AckKind, AckMsg, DispatchMsg};
-use dewe_core::{Action, EngineConfig, EnsembleEngine, RetryPolicy};
+use dewe_core::{Action, EngineConfig, EngineCore, RetryPolicy};
 use dewe_mq::chaos::{message_key, streams};
 use dewe_mq::{ChaosConfig, ChaosDecider, Fault};
 
@@ -78,11 +82,11 @@ impl Ord for Sched {
     }
 }
 
-struct Driver<'a> {
+struct Driver<'a, E: EngineCore> {
     scenario: &'a Scenario,
     cfg: &'a EngineDriverConfig,
     built: Vec<std::sync::Arc<dewe_dag::Workflow>>,
-    engine: EnsembleEngine,
+    engine: E,
     chaos: Option<ChaosDecider>,
     heap: BinaryHeap<Reverse<Sched>>,
     seq: u64,
@@ -97,7 +101,7 @@ fn job_key(d: &DispatchMsg) -> u64 {
     ((d.job.workflow.0 as u64) << 32) | d.job.job.0 as u64
 }
 
-impl<'a> Driver<'a> {
+impl<E: EngineCore> Driver<'_, E> {
     fn push(&mut self, at: f64, ev: Ev) {
         self.seq += 1;
         self.heap.push(Reverse(Sched { at, seq: self.seq, ev }));
@@ -173,7 +177,7 @@ impl<'a> Driver<'a> {
         match ev {
             Ev::Submit(i) => {
                 let wf = std::sync::Arc::clone(&self.built[i]);
-                self.engine.submit_workflow_into(wf, now, &mut self.actions);
+                self.engine.submit_workflow(wf, now, &mut self.actions);
                 self.process_actions(now);
             }
             Ev::DispatchArrive(d) => {
@@ -200,7 +204,7 @@ impl<'a> Driver<'a> {
                 );
             }
             Ev::AckArrive(ack) => {
-                self.engine.on_ack_into(ack, now, &mut self.actions);
+                self.engine.on_ack(ack, now, &mut self.actions);
                 self.process_actions(now);
             }
         }
@@ -226,8 +230,22 @@ fn engine_config(scenario: &Scenario) -> EngineConfig {
     }
 }
 
-/// Execute the scenario through the deterministic engine path.
+/// Execute the scenario through the deterministic engine path, picking
+/// the engine shape from `scenario.shards`.
 pub fn run(scenario: &Scenario, cfg: &EngineDriverConfig) -> PathOutcome {
+    let config = engine_config(scenario);
+    if scenario.shards > 1 {
+        run_with(scenario, cfg, config.build_sharded(scenario.shards))
+    } else {
+        run_with(scenario, cfg, config.build())
+    }
+}
+
+fn run_with<E: EngineCore>(
+    scenario: &Scenario,
+    cfg: &EngineDriverConfig,
+    engine: E,
+) -> PathOutcome {
     let chaos = (!scenario.chaos.is_noop()).then(|| {
         ChaosDecider::new(ChaosConfig {
             seed: scenario.chaos.seed,
@@ -241,7 +259,7 @@ pub fn run(scenario: &Scenario, cfg: &EngineDriverConfig) -> PathOutcome {
         scenario,
         cfg,
         built: scenario.build_workflows(),
-        engine: EnsembleEngine::with_config(engine_config(scenario)),
+        engine,
         chaos,
         heap: BinaryHeap::new(),
         seq: 0,
@@ -262,7 +280,7 @@ pub fn run(scenario: &Scenario, cfg: &EngineDriverConfig) -> PathOutcome {
     // Settled is only terminal once every scheduled submission has fired:
     // an early workflow can settle while later ones still sit in the heap.
     let all_submitted =
-        |d: &Driver| d.engine.stats().workflows_submitted == d.scenario.workflows.len();
+        |d: &Driver<E>| d.engine.stats().workflows_submitted == d.scenario.workflows.len();
     while !(driver.engine.all_settled() && all_submitted(&driver)) {
         steps += 1;
         if steps > STEP_CAP {
@@ -283,7 +301,7 @@ pub fn run(scenario: &Scenario, cfg: &EngineDriverConfig) -> PathOutcome {
             }
             (event_at, Some(d)) if event_at.is_none_or(|e| d <= e) => {
                 now = now.max(d);
-                driver.engine.check_timeouts_into(now, &mut driver.actions);
+                driver.engine.check_timeouts(now, &mut driver.actions);
                 driver.process_actions(now);
             }
             _ => {
@@ -340,6 +358,19 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.makespan_secs, b.makespan_secs);
+    }
+
+    #[test]
+    fn sharded_scenarios_settle_and_conform() {
+        let sharded: Vec<_> =
+            (0..32).map(Scenario::generate).filter(|s| s.shards > 1).take(4).collect();
+        assert!(!sharded.is_empty(), "generator must produce sharded scenarios");
+        for s in sharded {
+            let out = run(&s, &EngineDriverConfig::default());
+            assert!(out.settled, "seed {}: {:?}", s.seed, out.note);
+            let v = invariant::check(&s, &out);
+            assert!(v.is_empty(), "seed {}: {v:?}", s.seed);
+        }
     }
 
     #[test]

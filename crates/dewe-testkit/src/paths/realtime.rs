@@ -117,6 +117,11 @@ fn master_config(scenario: &Scenario) -> MasterConfig {
         },
         timeout_scan_interval: Duration::from_millis(5),
         expected_workflows: Some(scenario.workflows.len()),
+        // Sharded scenarios run a sharded master over the *un-sharded*
+        // bus: every shard's dispatches fall back to the shared topic, so
+        // the same worker pool serves all shards (see
+        // `MessageBus::dispatch_topic`).
+        shards: scenario.shards,
         ..MasterConfig::default()
     }
 }
@@ -158,6 +163,7 @@ pub fn run(scenario: &Scenario) -> PathOutcome {
                     worker_id: w as u32,
                     slots: scenario.slots_per_worker,
                     pull_timeout: Duration::from_millis(5),
+                    ..WorkerConfig::default()
                 },
             )
         })

@@ -137,6 +137,10 @@ pub struct Scenario {
     pub workers: usize,
     /// Slots per worker daemon.
     pub slots_per_worker: usize,
+    /// Engine shards (1 = the plain single engine). The differential
+    /// paths drive a [`dewe_core::ShardedEngine`] when this exceeds 1, so
+    /// the oracle continuously checks shard-count invariance.
+    pub shards: usize,
     /// Retry cap (`None` = the paper's retry-forever).
     pub max_attempts: Option<u32>,
     /// Backoff before retries, virtual seconds.
@@ -188,6 +192,8 @@ impl Scenario {
         let submission_interval_secs = rng.unit() * 0.5;
         let workers = 1 + rng.below(3);
         let slots_per_worker = 1 + rng.below(4);
+        // Half the seeds exercise the plain engine, half a sharded one.
+        let shards = [1, 1, 2, 4][rng.below(4)];
 
         let (chaos, max_attempts, backoff_base_secs, failures) = match class {
             0 => (ChaosSpec::none(), None, 0.0, Vec::new()),
@@ -239,6 +245,7 @@ impl Scenario {
             submission_interval_secs,
             workers,
             slots_per_worker,
+            shards,
             max_attempts,
             backoff_base_secs,
             chaos,
@@ -329,13 +336,14 @@ impl Scenario {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "seed {} | {} workflow(s), {} job(s) | workers {}x{} | interval {:.3}s | \
-             max_attempts {:?} | backoff {:.3}s",
+            "seed {} | {} workflow(s), {} job(s) | workers {}x{} | shards {} | \
+             interval {:.3}s | max_attempts {:?} | backoff {:.3}s",
             self.seed,
             self.workflows.len(),
             self.total_jobs(),
             self.workers,
             self.slots_per_worker,
+            self.shards,
             self.submission_interval_secs,
             self.max_attempts,
             self.backoff_base_secs,
@@ -419,6 +427,7 @@ mod tests {
             submission_interval_secs: 0.0,
             workers: 1,
             slots_per_worker: 1,
+            shards: 1,
             max_attempts: Some(2),
             backoff_base_secs: 0.0,
             chaos: ChaosSpec::none(),
