@@ -7,20 +7,27 @@
 //! §V.A workflow) on four c3.8xlarge nodes.
 //!
 //! ```text
-//! hotpath [--quick] [--shards <n>] [--out <path>] [--check <baseline.json>]
+//! hotpath [--quick] [--shards <n>] [--threads <n>] [--out <path>]
+//!         [--check <baseline.json>]
 //! ```
 //!
 //! `--quick` shrinks the run (5 workflows, 3 reps) for smoke testing;
 //! tracked numbers in `BENCH_hotpath.json` come from the full mode.
 //!
 //! `--shards <n>` runs the measured reps through the threaded sharded
-//! runner (`run_ensemble_sharded`) instead of the single engine. Full
-//! (non-quick) runs additionally sweep shards = 1/2/4/8 and record the
-//! per-shard-count throughput in the report's `shard_sweep` array.
+//! runner (`run_ensemble_sharded`) instead of the single engine, and
+//! `--threads <n>` caps its worker threads (0 = one per shard). Full
+//! (non-quick) runs additionally sweep shards = 1/2/4/8, measuring each
+//! count both sequentially (single-threaded sharded facade) and in
+//! parallel (one shard sub-sim per thread), and record both throughputs
+//! in the report's `shard_sweep` array plus the shards=4 parallel/
+//! sequential ratio as `parallel_speedup_shards_4`.
 //!
 //! `--check <baseline.json>` turns the run into a regression gate: after
 //! measuring, compare against the `jobs_per_sec` recorded in the baseline
-//! file and exit non-zero if throughput fell more than 20% below it.
+//! file and exit non-zero if throughput fell more than 20% below it. The
+//! gate is always a like-for-like sequential shards=1 comparison, so
+//! `--shards`/`--threads` are rejected alongside it.
 //! CI runs `hotpath --quick --check BENCH_hotpath.json` on every push so
 //! a hot-path regression fails the build instead of landing silently.
 
@@ -39,6 +46,7 @@ struct Config {
     reps: usize,
     quick: bool,
     shards: usize,
+    threads: usize,
     out: String,
     check: Option<String>,
 }
@@ -46,6 +54,7 @@ struct Config {
 fn parse_args() -> Config {
     let mut quick = false;
     let mut shards = 1usize;
+    let mut threads = 0usize;
     let mut out = String::from("BENCH_hotpath.json");
     let mut check = None;
     let mut args = std::env::args().skip(1);
@@ -60,6 +69,12 @@ fn parse_args() -> Config {
                             std::process::exit(2);
                         },
                     )
+            }
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads requires a non-negative integer (0 = one per shard)");
+                    std::process::exit(2);
+                })
             }
             "--out" => {
                 out = args.next().unwrap_or_else(|| {
@@ -76,23 +91,34 @@ fn parse_args() -> Config {
             other => {
                 eprintln!(
                     "unknown argument `{other}`\n\
-                     usage: hotpath [--quick] [--shards <n>] [--out <path>] \
+                     usage: hotpath [--quick] [--shards <n>] [--threads <n>] [--out <path>] \
                      [--check <baseline.json>]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if check.is_some() && shards != 1 {
-        // The tracked baseline is a shards=1 number; gating a sharded run
-        // against it would compare different machines.
-        eprintln!("--check gates the shards=1 hot path; drop --shards");
+    if check.is_some() && (shards != 1 || threads != 0) {
+        // The tracked baseline is a sequential shards=1 number; gating a
+        // sharded or threaded run against it would compare different
+        // machines.
+        eprintln!("--check gates the sequential shards=1 hot path; drop --shards/--threads");
         std::process::exit(2);
     }
     if quick {
-        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, shards, out, check }
+        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, shards, threads, out, check }
     } else {
-        Config { workflows: 20, degree: 2.0, nodes: 4, reps: 15, quick, shards, out, check }
+        Config {
+            workflows: 20,
+            degree: 2.0,
+            nodes: 4,
+            reps: 15,
+            quick,
+            shards,
+            threads,
+            out,
+            check,
+        }
     }
 }
 
@@ -136,6 +162,7 @@ fn main() {
         ClusterConfig { instance: C3_8XLARGE, nodes: cfg.nodes, storage: StorageConfig::LocalDisk };
     let mut sim = SimRunConfig::new(cluster);
     sim.shards = cfg.shards;
+    sim.threads = cfg.threads;
     let measure = |sim: &SimRunConfig| {
         if sim.shards > 1 {
             run_ensemble_sharded(&ensemble, sim)
@@ -143,9 +170,11 @@ fn main() {
             run_ensemble(&ensemble, sim)
         }
     };
+    let effective_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     eprintln!(
-        "hotpath: {} x montage {:.1}deg ({} jobs) on {} x {}, {} reps, {} shard(s){}",
+        "hotpath: {} x montage {:.1}deg ({} jobs) on {} x {}, {} reps, {} shard(s), \
+         {} thread(s), {} core(s){}",
         cfg.workflows,
         cfg.degree,
         total_jobs,
@@ -153,6 +182,8 @@ fn main() {
         C3_8XLARGE.name,
         cfg.reps,
         cfg.shards,
+        cfg.threads,
+        effective_cores,
         if cfg.quick { " (quick)" } else { "" }
     );
 
@@ -180,35 +211,68 @@ fn main() {
     eprintln!("median: {median:.3}s -> {jobs_per_sec:.0} jobs simulated/sec");
 
     // Full runs sweep the shard-count knob so the tracked report shows
-    // how throughput scales with per-shard engine partitioning.
+    // how throughput scales with per-shard engine partitioning — both
+    // sequentially (sharded facade, one OS thread) and in parallel (one
+    // shard sub-sim per worker thread).
     let mut sweep_json = String::new();
     if !cfg.quick {
-        let mut entries = Vec::new();
-        for n in [1usize, 2, 4, 8] {
-            let mut s = sim.clone();
-            s.shards = n;
-            const SWEEP_REPS: usize = 5;
+        const SWEEP_REPS: usize = 5;
+        let median_jps = |s: &SimRunConfig, sharded: bool| {
             let mut walls = Vec::with_capacity(SWEEP_REPS);
             for _ in 0..SWEEP_REPS {
                 let start = Instant::now();
-                let report = measure(&s);
+                let report = if sharded {
+                    run_ensemble_sharded(&ensemble, s)
+                } else {
+                    run_ensemble(&ensemble, s)
+                };
                 let secs = start.elapsed().as_secs_f64();
                 assert!(report.completed, "ensemble must complete");
                 walls.push(secs);
             }
             walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
             let med = walls[walls.len() / 2];
-            let jps = total_jobs as f64 / med;
+            (med, total_jobs as f64 / med)
+        };
+        let mut entries = Vec::new();
+        let mut speedup_4 = None;
+        for n in [1usize, 2, 4, 8] {
             // The threaded runner clamps shards to the node count: each
-            // shard needs at least one simulated node.
+            // shard needs at least one simulated node (and one workflow).
             let effective = n.min(cfg.nodes).min(cfg.workflows);
-            eprintln!("sweep shards={n} (effective {effective}): {med:.3}s -> {jps:.0} jobs/s");
+            if effective != n {
+                eprintln!(
+                    "sweep: shards={n} capped to {effective} \
+                     ({} nodes, {} workflows)",
+                    cfg.nodes, cfg.workflows
+                );
+            }
+            let mut s = sim.clone();
+            s.shards = n;
+            s.threads = 1; // sequential: sharded facade on one thread
+            let (seq_med, seq_jps) = median_jps(&s, false);
+            s.threads = 0; // parallel: one sub-sim thread per shard
+            let (par_med, par_jps) = median_jps(&s, true);
+            if n == 4 {
+                speedup_4 = Some(par_jps / seq_jps);
+            }
+            eprintln!(
+                "sweep shards={n} (effective {effective}): sequential {seq_med:.3}s \
+                 ({seq_jps:.0} jobs/s), parallel {par_med:.3}s ({par_jps:.0} jobs/s)"
+            );
             entries.push(format!(
                 "    {{\"shards\": {n}, \"effective_shards\": {effective}, \
-                 \"median_wall_secs\": {med:.6}, \"jobs_per_sec\": {jps:.1}}}"
+                 \"sequential_median_wall_secs\": {seq_med:.6}, \
+                 \"sequential_jobs_per_sec\": {seq_jps:.1}, \
+                 \"parallel_median_wall_secs\": {par_med:.6}, \
+                 \"parallel_jobs_per_sec\": {par_jps:.1}}}"
             ));
         }
-        sweep_json = format!(",\n  \"shard_sweep\": [\n{}\n  ]", entries.join(",\n"));
+        sweep_json = format!(
+            ",\n  \"parallel_speedup_shards_4\": {:.3},\n  \"shard_sweep\": [\n{}\n  ]",
+            speedup_4.expect("sweep covers shards=4"),
+            entries.join(",\n")
+        );
     }
 
     let reps_json = wall_secs.iter().map(|s| format!("{s:.6}")).collect::<Vec<_>>().join(", ");
@@ -217,6 +281,8 @@ fn main() {
   "benchmark": "ensemble_hotpath",
   "mode": "{mode}",
   "shards": {shards},
+  "threads": {threads},
+  "effective_cores": {cores},
   "workload": {{
     "workflows": {workflows},
     "montage_degree": {degree:.1},
@@ -243,6 +309,8 @@ fn main() {
 "#,
         mode = if cfg.quick { "quick" } else { "full" },
         shards = cfg.shards,
+        threads = cfg.threads,
+        cores = effective_cores,
         sweep = sweep_json,
         workflows = cfg.workflows,
         degree = cfg.degree,

@@ -172,6 +172,22 @@ impl EngineConfig {
     ) -> crate::ShardedEngine {
         crate::ShardedEngine::with_router(self, shards, router)
     }
+
+    /// Construct a thread-parallel
+    /// [`ParallelShardedEngine`](crate::ParallelShardedEngine): `shards`
+    /// independent engines, each owned by a dedicated worker thread
+    /// (`threads` caps the thread count; 0 means one per shard), with the
+    /// default hash router. The [`EngineCore`] surface runs in
+    /// deterministic barrier mode — outcomes are bit-identical to
+    /// [`build_sharded`](Self::build_sharded).
+    pub fn build_parallel(self, shards: usize, threads: usize) -> crate::ParallelShardedEngine {
+        crate::ParallelShardedEngine::with_options(
+            self,
+            shards,
+            Box::new(crate::HashRouter::default()),
+            crate::ParallelOptions { threads, ..crate::ParallelOptions::default() },
+        )
+    }
 }
 
 /// What the master must do next.

@@ -40,9 +40,11 @@
 //! point: the paper's claims are about coordination, not hardware.
 //!
 //! Drivers code against the [`EngineCore`] trait, so the single-threaded
-//! [`EnsembleEngine`] and the partitioned [`ShardedEngine`] (N shards
-//! routed by a [`ShardRouter`]) are interchangeable behind a shard-count
-//! config knob.
+//! [`EnsembleEngine`], the partitioned [`ShardedEngine`] (N shards routed
+//! by a [`ShardRouter`]) and the thread-parallel
+//! [`ParallelShardedEngine`] (one worker thread per shard, batched
+//! cross-shard routing) are interchangeable behind shard/thread config
+//! knobs.
 
 mod engine;
 mod protocol;
@@ -53,4 +55,5 @@ pub mod sim;
 
 pub use engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
 pub use protocol::{AckKind, AckMsg, DispatchMsg, SubmissionMsg};
+pub use sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
 pub use sharded::{HashRouter, LeastLoadedRouter, ShardLoad, ShardRouter, ShardedEngine};

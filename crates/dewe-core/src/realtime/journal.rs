@@ -48,12 +48,13 @@
 //!   job twice — duplicate-completion noise, the same race the timeout
 //!   mechanism already tolerates.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use dewe_dag::{EnsembleJobId, JobId, WorkflowId};
+use dewe_dag::{EnsembleJobId, JobId, JobState, WorkflowId};
 
 use super::bus::Registry;
 use crate::engine::{Action, EngineConfig, EngineCore, EnsembleEngine};
@@ -101,22 +102,73 @@ impl JournalRecord {
 /// the corresponding input is considered durable.
 pub struct Journal {
     out: BufWriter<File>,
+    path: PathBuf,
+    /// Records in the file (written by us plus any noted pre-existing
+    /// ones), used to trigger compaction.
+    records: usize,
+    /// Record count right after the last compaction (0 = never) — the
+    /// WAL must double past this before compacting again, so a journal
+    /// full of live workflows doesn't re-compact on every record.
+    floor: usize,
+}
+
+fn format_record(rec: &JournalRecord) -> String {
+    match *rec {
+        JournalRecord::Submit { workflow, at, shard } => {
+            format!("S {workflow} {:x} {shard}", at.to_bits())
+        }
+        JournalRecord::Ack { ack, at } => format!(
+            "A {} {} {} {} {} {:x}",
+            ack.job.workflow.0,
+            ack.job.job.0,
+            ack.worker,
+            ack.kind.code(),
+            ack.attempt,
+            at.to_bits()
+        ),
+        JournalRecord::Scan { at } => format!("T {:x}", at.to_bits()),
+    }
 }
 
 impl Journal {
     /// Start a fresh journal, truncating any existing file.
     pub fn create(path: &Path) -> io::Result<Self> {
-        Ok(Self { out: BufWriter::new(File::create(path)?) })
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            path: path.to_path_buf(),
+            records: 0,
+            floor: 0,
+        })
     }
 
-    /// Open an existing journal for appending (recovery resume).
+    /// Open an existing journal for appending (recovery resume). The
+    /// record count starts at zero; a recovering master that has already
+    /// read the file should call [`Self::note_existing`] so compaction
+    /// triggers account for the replayed prefix.
     pub fn append(path: &Path) -> io::Result<Self> {
-        Ok(Self { out: BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?) })
+        Ok(Self {
+            out: BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?),
+            path: path.to_path_buf(),
+            records: 0,
+            floor: 0,
+        })
+    }
+
+    /// Inform the writer of records already present in the file (after
+    /// [`Self::append`] on recovery).
+    pub fn note_existing(&mut self, records: usize) {
+        self.records += records;
+    }
+
+    /// Records known to be in the file.
+    pub fn record_count(&self) -> usize {
+        self.records
     }
 
     fn write_line(&mut self, line: &str) -> io::Result<()> {
         self.out.write_all(line.as_bytes())?;
         self.out.write_all(b"\n")?;
+        self.records += 1;
         self.out.flush()
     }
 
@@ -128,21 +180,171 @@ impl Journal {
 
     /// Journal a worker acknowledgment.
     pub fn record_ack(&mut self, ack: &AckMsg, at: f64) -> io::Result<()> {
-        self.write_line(&format!(
-            "A {} {} {} {} {} {:x}",
-            ack.job.workflow.0,
-            ack.job.job.0,
-            ack.worker,
-            ack.kind.code(),
-            ack.attempt,
-            at.to_bits()
-        ))
+        self.write_line(&format_record(&JournalRecord::Ack { ack: *ack, at }))
     }
 
     /// Journal an effective timeout scan (one that changed engine state).
     pub fn record_scan(&mut self, at: f64) -> io::Result<()> {
         self.write_line(&format!("T {:x}", at.to_bits()))
     }
+
+    /// Compact the journal in place once it holds at least `threshold`
+    /// records (and has doubled since the last compaction): the file is
+    /// rewritten as the synthetic prefix produced by [`compact_records`]
+    /// and the writer reopened on it. Returns `true` if a rewrite
+    /// happened.
+    ///
+    /// The rewrite goes through a temp file + rename, so a crash during
+    /// compaction leaves either the old or the new journal intact.
+    pub fn maybe_compact(
+        &mut self,
+        registry: &Registry,
+        config: EngineConfig,
+        threshold: usize,
+    ) -> io::Result<bool> {
+        if self.records < threshold.max(2 * self.floor) {
+            return Ok(false);
+        }
+        let records = read_journal(&self.path)?;
+        let compacted = compact_records(&records, registry, config)?;
+        let tmp = self.path.with_extension("compact-tmp");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            for rec in &compacted {
+                out.write_all(format_record(rec).as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+            out.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.out = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        self.records = compacted.len();
+        self.floor = compacted.len();
+        Ok(true)
+    }
+}
+
+/// Rewrite a journal's records as a **synthetic prefix** in which every
+/// completed workflow is elided down to its submission plus one
+/// `Completed` ack per job (its *effective* completion, in the original
+/// completion order, re-timed to the submission instant), while live and
+/// abandoned workflows keep their full input history. Timeout scans that
+/// no longer change any state in the compacted stream are dropped.
+///
+/// Replaying the result rebuilds **identical live state**: tracker,
+/// in-flight attempts, and armed deadlines of every non-completed
+/// workflow match a replay of the original records, as do
+/// `workflows_submitted` / `workflows_completed` / `workflows_abandoned`
+/// / `jobs_completed`. Two things are knowingly given up for completed
+/// workflows — they are gone, so nothing downstream reads them:
+///
+/// * diagnostics counters (`dispatches`, `resubmissions`,
+///   `duplicate_completions`, `deferred_retries`) reflect the synthetic
+///   one-attempt history rather than the real one, and
+/// * the resume clock rewinds to the newest *kept* record, which is safe
+///   because every kept input is at or before it.
+///
+/// All submission records are kept (in order, with their journaled
+/// shard), so global workflow ids stay dense and sharded placement
+/// survives.
+pub fn compact_records(
+    records: &[JournalRecord],
+    registry: &Registry,
+    config: EngineConfig,
+) -> io::Result<Vec<JournalRecord>> {
+    let fetch = |workflow: u32| {
+        registry.get(WorkflowId(workflow)).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal references workflow {workflow} absent from registry"),
+            )
+        })
+    };
+
+    // Pass 1: replay everything (a single engine accepts sharded journals
+    // — ids are global either way) to learn which workflows completed and
+    // which ack actually completed each of their jobs.
+    let mut engine = config.build();
+    let mut sink: Vec<Action> = Vec::new();
+    let mut completed: BTreeSet<u32> = BTreeSet::new();
+    let mut completions: BTreeMap<u32, Vec<AckMsg>> = BTreeMap::new();
+    for rec in records {
+        match *rec {
+            JournalRecord::Submit { workflow, at, .. } => {
+                engine.submit_workflow(fetch(workflow)?, at, &mut sink);
+            }
+            JournalRecord::Ack { ack, at } => {
+                let before = engine.job_state(ack.job);
+                engine.on_ack(ack, at, &mut sink);
+                if ack.kind == AckKind::Completed
+                    && before != Some(JobState::Completed)
+                    && engine.job_state(ack.job) == Some(JobState::Completed)
+                {
+                    completions.entry(ack.job.workflow.0).or_default().push(ack);
+                }
+            }
+            JournalRecord::Scan { at } => engine.check_timeouts(at, &mut sink),
+        }
+        for action in &sink {
+            if let Action::WorkflowCompleted { workflow, .. } = action {
+                completed.insert(workflow.0);
+            }
+        }
+        sink.clear();
+    }
+
+    // Pass 2: candidate stream — submissions keep their place; a
+    // completed workflow's effective completions follow its submission
+    // immediately, re-timed to the submission instant (the whole workflow
+    // replays in one step, leaving no deadline armed for a later scan to
+    // misfire on); everything else of a completed workflow is dropped.
+    let mut candidate: Vec<JournalRecord> = Vec::with_capacity(records.len());
+    for rec in records {
+        match *rec {
+            JournalRecord::Submit { workflow, at, .. } => {
+                candidate.push(*rec);
+                if completed.contains(&workflow) {
+                    for &ack in completions.get(&workflow).into_iter().flatten() {
+                        candidate.push(JournalRecord::Ack { ack, at });
+                    }
+                }
+            }
+            JournalRecord::Ack { ack, .. } => {
+                if !completed.contains(&ack.job.workflow.0) {
+                    candidate.push(*rec);
+                }
+            }
+            JournalRecord::Scan { .. } => candidate.push(*rec),
+        }
+    }
+
+    // Pass 3: replay the candidate, keeping only scans that still change
+    // state (any state change emits at least one action). Live-workflow
+    // deadline state is untouched by the elisions, so a scan's effect on
+    // live workflows is the same here as in the original stream.
+    let mut engine = config.build();
+    let mut out: Vec<JournalRecord> = Vec::with_capacity(candidate.len());
+    for rec in candidate {
+        match rec {
+            JournalRecord::Submit { workflow, at, .. } => {
+                engine.submit_workflow(fetch(workflow)?, at, &mut sink);
+                out.push(rec);
+            }
+            JournalRecord::Ack { ack, at } => {
+                engine.on_ack(ack, at, &mut sink);
+                out.push(rec);
+            }
+            JournalRecord::Scan { at } => {
+                engine.check_timeouts(at, &mut sink);
+                if !sink.is_empty() {
+                    out.push(rec);
+                }
+            }
+        }
+        sink.clear();
+    }
+    Ok(out)
 }
 
 fn parse_time(tok: &str) -> Option<f64> {
@@ -460,6 +662,173 @@ mod tests {
         registry.insert(WorkflowId(0), chain(1));
         let recs = vec![JournalRecord::Submit { workflow: 0, at: 0.0, shard: 5 }];
         assert!(recover_sharded(&recs, &registry, EngineConfig::default(), 2).is_err());
+    }
+
+    /// A retry-heavy history: wf0 completes after a failed first attempt
+    /// (9 records of noise), wf1 is still live with a timed-out root.
+    fn noisy_history() -> (Registry, EngineConfig, Vec<JournalRecord>) {
+        let registry = Registry::new();
+        registry.insert(WorkflowId(0), chain(2));
+        registry.insert(WorkflowId(1), chain(2));
+        let config = EngineConfig {
+            default_timeout_secs: 10.0,
+            retry: crate::RetryPolicy { max_attempts: Some(3), ..Default::default() },
+            ..EngineConfig::default()
+        };
+        let ack = |wf: u32, job: u32, kind: AckKind, attempt: u32, at: f64| JournalRecord::Ack {
+            ack: AckMsg {
+                job: EnsembleJobId::new(WorkflowId(wf), JobId(job)),
+                worker: 0,
+                kind,
+                attempt,
+            },
+            at,
+        };
+        let records = vec![
+            JournalRecord::Submit { workflow: 0, at: 0.0, shard: 0 },
+            ack(0, 0, AckKind::Running, 1, 0.1),
+            ack(0, 0, AckKind::Failed, 1, 1.0), // immediate resubmit (attempt 2)
+            ack(0, 0, AckKind::Running, 2, 1.2),
+            JournalRecord::Submit { workflow: 1, at: 2.0, shard: 0 },
+            ack(1, 0, AckKind::Running, 1, 2.5), // times out at 12.5
+            ack(0, 0, AckKind::Completed, 2, 3.0),
+            ack(0, 1, AckKind::Running, 1, 3.5),
+            ack(0, 1, AckKind::Completed, 1, 4.0), // wf0 done
+            JournalRecord::Scan { at: 12.6 },      // resubmits wf1's root
+        ];
+        (registry, config, records)
+    }
+
+    #[test]
+    fn compaction_elides_completed_workflows_and_preserves_live_state() {
+        let (registry, config, records) = noisy_history();
+        let compacted = compact_records(&records, &registry, config).unwrap();
+        // wf0 shrinks to its submission + one Completed ack per job; wf1
+        // keeps its full history, including the still-effective scan.
+        assert_eq!(compacted.len(), 6, "{compacted:?}");
+        assert!(compacted.iter().all(|r| !matches!(
+            r,
+            JournalRecord::Ack { ack, .. }
+                if ack.job.workflow.0 == 0 && ack.kind != AckKind::Completed
+        )));
+
+        let full = recover(&records, &registry, config).unwrap();
+        let lean = recover(&compacted, &registry, config).unwrap();
+        let (fs, ls) = (full.engine.stats(), lean.engine.stats());
+        assert_eq!(fs.workflows_submitted, ls.workflows_submitted);
+        assert_eq!(fs.workflows_completed, ls.workflows_completed);
+        assert_eq!(fs.workflows_abandoned, ls.workflows_abandoned);
+        assert_eq!(fs.jobs_completed, ls.jobs_completed);
+        assert_eq!(full.redispatch, lean.redispatch, "in-flight attempts survive");
+        let mut f = full.engine;
+        let mut l = lean.engine;
+        assert_eq!(f.next_deadline(), l.next_deadline());
+        for j in 0..2u32 {
+            let id = EnsembleJobId::new(WorkflowId(1), JobId(j));
+            assert_eq!(f.job_state(id), l.job_state(id), "live job {j}");
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_abandoned_workflow_history() {
+        let registry = Registry::new();
+        registry.insert(WorkflowId(0), chain(2));
+        let config = EngineConfig {
+            retry: crate::RetryPolicy { max_attempts: Some(1), ..Default::default() },
+            ..EngineConfig::default()
+        };
+        let records = vec![
+            JournalRecord::Submit { workflow: 0, at: 0.0, shard: 0 },
+            JournalRecord::Ack {
+                ack: AckMsg {
+                    job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
+                    worker: 0,
+                    kind: AckKind::Failed,
+                    attempt: 1,
+                },
+                at: 1.0,
+            },
+        ];
+        let compacted = compact_records(&records, &registry, config).unwrap();
+        assert_eq!(compacted, records, "abandonment history is not elided");
+        let rec = recover(&compacted, &registry, config).unwrap();
+        assert_eq!(rec.engine.stats().workflows_abandoned, 1);
+        assert_eq!(rec.engine.stats().dead_lettered, 1);
+    }
+
+    #[test]
+    fn compact_then_recover_through_the_file() {
+        let path = tmp("compact");
+        let (registry, config, records) = noisy_history();
+        let mut j = Journal::create(&path).unwrap();
+        for rec in &records {
+            match *rec {
+                JournalRecord::Submit { workflow, at, shard } => {
+                    j.record_submit(WorkflowId(workflow), shard as usize, at).unwrap()
+                }
+                JournalRecord::Ack { ack, at } => j.record_ack(&ack, at).unwrap(),
+                JournalRecord::Scan { at } => j.record_scan(at).unwrap(),
+            }
+        }
+        assert_eq!(j.record_count(), records.len());
+        assert!(j.maybe_compact(&registry, config, 8).unwrap());
+        assert_eq!(j.record_count(), 6);
+
+        // The reopened writer appends to the compacted file.
+        let late = AckMsg {
+            job: EnsembleJobId::new(WorkflowId(1), JobId(0)),
+            worker: 0,
+            kind: AckKind::Completed,
+            attempt: 2,
+        };
+        j.record_ack(&late, 13.0).unwrap();
+        drop(j);
+
+        let rec = recover(&read_journal(&path).unwrap(), &registry, config).unwrap();
+        let mut engine = rec.engine;
+        assert_eq!(engine.stats().workflows_completed, 1);
+        assert_eq!(engine.stats().jobs_completed, 3);
+        // The recovered master can finish wf1 normally.
+        let mut sink = Vec::new();
+        engine.on_ack(
+            AckMsg {
+                job: EnsembleJobId::new(WorkflowId(1), JobId(1)),
+                worker: 0,
+                kind: AckKind::Completed,
+                attempt: 1,
+            },
+            14.0,
+            &mut sink,
+        );
+        assert_eq!(engine.stats().workflows_completed, 2);
+        assert!(engine.all_complete());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn maybe_compact_waits_for_the_wal_to_double() {
+        let path = tmp("floor");
+        let registry = Registry::new();
+        registry.insert(WorkflowId(0), chain(3));
+        let config = EngineConfig::default();
+        let mut j = Journal::create(&path).unwrap();
+        // A live-only journal: nothing can be elided.
+        j.record_submit(WorkflowId(0), 0, 0.0).unwrap();
+        let run = AckMsg {
+            job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
+            worker: 0,
+            kind: AckKind::Running,
+            attempt: 1,
+        };
+        j.record_ack(&run, 0.5).unwrap();
+        assert!(j.maybe_compact(&registry, config, 2).unwrap());
+        assert_eq!(j.record_count(), 2, "nothing elided");
+        // Below 2x the post-compaction size: no rewrite despite threshold.
+        j.record_ack(&run, 0.6).unwrap();
+        assert!(!j.maybe_compact(&registry, config, 2).unwrap());
+        j.record_ack(&run, 0.7).unwrap();
+        assert!(j.maybe_compact(&registry, config, 2).unwrap());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

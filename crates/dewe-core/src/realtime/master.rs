@@ -11,7 +11,8 @@ use dewe_dag::WorkflowId;
 use super::bus::{MessageBus, Registry};
 use super::journal::{self, Journal};
 use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
-use crate::sharded::ShardedEngine;
+use crate::sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
+use crate::sharded::{HashRouter, ShardedEngine};
 
 /// Master daemon configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +51,21 @@ pub struct MasterConfig {
     /// worker pools. Routing decisions are journaled, so recovery
     /// replays into the identical placement.
     pub shards: usize,
+    /// Worker threads for the free-running parallel master. `0`
+    /// (default) serves every shard on the master thread. With
+    /// `threads ≥ 1` and `shards > 1`, each shard is owned by a
+    /// dedicated worker thread (capped at `threads`, striped beyond it):
+    /// the master thread only routes — submissions and ack bursts are
+    /// batched per shard onto bounded queues — while shard threads
+    /// ack-and-dispatch independently, publishing straight onto their
+    /// per-shard dispatch topics.
+    pub threads: usize,
+    /// Journal compaction threshold: once more than this many records
+    /// have been appended to the WAL since startup (or the previous
+    /// compaction), the journal is rewritten as a synthetic prefix with
+    /// completed workflows elided, keeping recovery replay O(live
+    /// state). `None` (default) never compacts.
+    pub journal_compact_threshold: Option<usize>,
 }
 
 impl Default for MasterConfig {
@@ -64,6 +80,8 @@ impl Default for MasterConfig {
             journal_path: None,
             recover: false,
             shards: 1,
+            threads: 0,
+            journal_compact_threshold: None,
         }
     }
 }
@@ -192,12 +210,164 @@ fn master_loop(
     stop: Arc<AtomicBool>,
 ) -> EngineStats {
     assert!(config.shards >= 1, "shard count must be at least 1");
-    if config.shards > 1 {
+    if config.shards > 1 && config.threads >= 1 {
+        serve_parallel(bus, registry, config, events, stop)
+    } else if config.shards > 1 {
         let engine = config.engine_config().build_sharded(config.shards);
         serve(bus, registry, config, events, stop, engine)
     } else {
         let engine = config.engine_config().build();
         serve(bus, registry, config, events, stop, engine)
+    }
+}
+
+/// The free-running threaded master: shard worker threads own the
+/// engines and publish dispatches straight onto their per-shard topics;
+/// this loop only routes. Inputs are journaled *before* they are
+/// enqueued — cross-shard inputs commute (shards share no state), so the
+/// single-writer WAL order replays into the same state the shard threads
+/// reach, and `recover_sharded` + promotion rebuilds a threaded master.
+fn serve_parallel(
+    bus: MessageBus,
+    registry: Registry,
+    config: MasterConfig,
+    events: Sender<MasterEvent>,
+    stop: Arc<AtomicBool>,
+) -> EngineStats {
+    let mut time_base = 0.0f64;
+    let mut wal: Option<Journal> = None;
+    let mut actions: Vec<Action> = Vec::new();
+    let mut ack_burst: Vec<crate::protocol::AckMsg> = Vec::with_capacity(config.ack_burst.max(1));
+
+    // Dispatches leave from the worker threads themselves: each shard
+    // thread publishes onto its own dispatch topic without crossing back
+    // through this loop.
+    let sink_bus = bus.clone();
+    let sink: Arc<DispatchSink> =
+        Arc::new(move |shard, d| sink_bus.dispatch_topic(shard).publish(d));
+    let opts = ParallelOptions { threads: config.threads, dispatch_sink: Some(sink) };
+
+    let mut engine = if let Some(path) = &config.journal_path {
+        if config.recover && path.exists() {
+            let records = journal::read_journal(path).expect("read journal");
+            let rec = ShardedEngine::recover_from(&records, &registry, &config).expect("replay");
+            time_base = rec.resume_at;
+            let recovered = rec.engine;
+            for d in rec.redispatch {
+                bus.dispatch_topic(recovered.shard_of(d.job.workflow)).publish(d);
+            }
+            let mut j = Journal::append(path).expect("reopen journal");
+            j.note_existing(records.len());
+            wal = Some(j);
+            ParallelShardedEngine::from_sharded(recovered, opts)
+        } else {
+            wal = Some(Journal::create(path).expect("create journal"));
+            ParallelShardedEngine::with_options(
+                config.engine_config(),
+                config.shards,
+                Box::new(HashRouter::default()),
+                opts,
+            )
+        }
+    } else {
+        ParallelShardedEngine::with_options(
+            config.engine_config(),
+            config.shards,
+            Box::new(HashRouter::default()),
+            opts,
+        )
+    };
+
+    let start = Instant::now();
+    let mut last_scan = time_base;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            // Simulated crash: drop everything on the floor.
+            return engine.stats();
+        }
+        let now = time_base + start.elapsed().as_secs_f64();
+
+        // 1. Ingest new submissions: route, journal, enqueue to the
+        // owning shard thread. Same registry-before-journal discipline
+        // as the sequential loop.
+        while let Some(sub) = bus.submission.try_pull() {
+            let now = time_base + start.elapsed().as_secs_f64();
+            let expected_id = WorkflowId::from_index(engine.workflow_count());
+            let shard = engine.route_next(&sub.workflow);
+            registry.insert(expected_id, Arc::clone(&sub.workflow));
+            if let Some(w) = wal.as_mut() {
+                w.record_submit(expected_id, shard, now).expect("journal submit");
+            }
+            let id = engine.enqueue_submit_to(shard, sub.workflow, now);
+            debug_assert_eq!(id, expected_id);
+        }
+
+        // 2. Timeout scans fan out to every shard thread. Unlike the
+        // sequential loop there is no synchronous before/after state
+        // comparison, so scans are journaled unconditionally; replaying
+        // a no-op scan is itself a no-op, and compaction keeps the WAL
+        // from accumulating them.
+        if now - last_scan >= config.timeout_scan_interval.as_secs_f64() {
+            last_scan = now;
+            if let Some(w) = wal.as_mut() {
+                w.record_scan(now).expect("journal scan");
+            }
+            engine.enqueue_scan(now);
+        }
+
+        engine.flush();
+        engine.poll_actions(&mut actions);
+        publish_actions(&bus, &engine, &events, &mut actions);
+
+        // 3. Exit once the expected workload has settled. Stats cells
+        // are only advanced by shard threads after the settling input is
+        // fully processed, so this check never fires early; quiesce to
+        // drain any progress events still in flight.
+        if let Some(expected) = config.expected_workflows {
+            let stats = engine.stats();
+            if stats.workflows_completed + stats.workflows_abandoned >= expected {
+                engine.quiesce(&mut actions);
+                publish_actions(&bus, &engine, &events, &mut actions);
+                let stats = engine.stats();
+                let ev = if stats.workflows_abandoned == 0 {
+                    MasterEvent::AllCompleted { stats }
+                } else {
+                    MasterEvent::AllSettled { stats }
+                };
+                let _ = events.send(ev);
+                return stats;
+            }
+        }
+
+        // 4. Pull worker acknowledgments, journal them in arrival order,
+        // and batch them per shard onto the bounded queues — the
+        // ack_burst pattern, applied cross-shard.
+        match bus.ack.pull_timeout(config.timeout_scan_interval) {
+            Some(first) => {
+                ack_burst.push(first);
+                if config.ack_burst > 1 {
+                    bus.ack.try_pull_batch(&mut ack_burst, config.ack_burst - 1);
+                }
+                let now = time_base + start.elapsed().as_secs_f64();
+                for ack in ack_burst.drain(..) {
+                    if let Some(w) = wal.as_mut() {
+                        w.record_ack(&ack, now).expect("journal ack");
+                    }
+                    engine.enqueue_ack(ack, now);
+                }
+                maybe_compact(&mut wal, &registry, &config);
+                engine.flush();
+                engine.poll_actions(&mut actions);
+                publish_actions(&bus, &engine, &events, &mut actions);
+            }
+            None => {
+                if bus.ack.is_closed() {
+                    engine.quiesce(&mut actions);
+                    publish_actions(&bus, &engine, &events, &mut actions);
+                    return engine.stats();
+                }
+            }
+        }
     }
 }
 
@@ -230,7 +400,9 @@ fn serve<E: RecoverableEngine>(
             for d in rec.redispatch {
                 bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
             }
-            wal = Some(Journal::append(path).expect("reopen journal"));
+            let mut j = Journal::append(path).expect("reopen journal");
+            j.note_existing(records.len());
+            wal = Some(j);
         } else {
             wal = Some(Journal::create(path).expect("create journal"));
         }
@@ -315,6 +487,7 @@ fn serve<E: RecoverableEngine>(
                     }
                     engine.on_ack(ack, now, &mut actions);
                 }
+                maybe_compact(&mut wal, &registry, &config);
                 publish_actions(&bus, &engine, &events, &mut actions);
             }
             None => {
@@ -323,6 +496,20 @@ fn serve<E: RecoverableEngine>(
                 }
             }
         }
+    }
+}
+
+/// Compact the WAL once it crosses the configured record threshold —
+/// completed workflows collapse to a synthetic prefix so recovery replay
+/// stays proportional to live state, not ensemble lifetime. Compaction
+/// failure is non-fatal: the journal keeps growing and recovery still
+/// works, so log-and-continue beats taking the master down.
+fn maybe_compact(wal: &mut Option<Journal>, registry: &Registry, config: &MasterConfig) {
+    let (Some(w), Some(threshold)) = (wal.as_mut(), config.journal_compact_threshold) else {
+        return;
+    };
+    if let Err(e) = w.maybe_compact(registry, config.engine_config(), threshold) {
+        eprintln!("dewe-master: journal compaction failed (will retry): {e}");
     }
 }
 
@@ -530,6 +717,120 @@ mod tests {
         assert_eq!(executed, 12, "pinned pools executed everything");
         // Nothing ever landed on the shared fallback topic.
         assert!(bus.dispatch.try_pull().is_none());
+    }
+
+    #[test]
+    fn parallel_master_fans_out_from_shard_threads() {
+        use crate::realtime::runner::NoopRunner;
+        use crate::realtime::worker::{spawn_worker, WorkerConfig};
+
+        // Free-running mode: two shard worker threads own the engines
+        // and publish dispatches onto their pinned topics themselves.
+        let bus = MessageBus::sharded(2);
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                shards: 2,
+                threads: 2,
+                timeout_scan_interval: Duration::from_millis(10),
+                expected_workflows: Some(6),
+                ..MasterConfig::default()
+            },
+        );
+        let workers: Vec<_> = (0..2)
+            .map(|shard| {
+                spawn_worker(
+                    bus.clone(),
+                    registry.clone(),
+                    Arc::new(NoopRunner),
+                    WorkerConfig {
+                        worker_id: shard as u32,
+                        slots: 2,
+                        shard: Some(shard),
+                        ..WorkerConfig::default()
+                    },
+                )
+            })
+            .collect();
+        for i in 0..6 {
+            let mut b = WorkflowBuilder::new("wf");
+            let a = b.job("a", "t", 1.0).build();
+            let c = b.job("b", "t", 1.0).build();
+            b.edge(a, c);
+            super::super::submit(&bus, format!("wf{i}"), Arc::new(b.finish().unwrap()));
+        }
+        let mut completions = 0;
+        while let Ok(ev) = handle.events.recv_timeout(Duration::from_secs(10)) {
+            match ev {
+                MasterEvent::WorkflowCompleted { .. } => completions += 1,
+                MasterEvent::AllCompleted { .. } => break,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(completions, 6, "every completion event forwarded");
+        let stats = handle.join();
+        assert_eq!(stats.workflows_completed, 6);
+        assert_eq!(stats.jobs_completed, 12);
+        let executed: u64 = workers.into_iter().map(|w| w.stop()).sum();
+        assert_eq!(executed, 12, "pinned pools executed everything");
+        assert!(bus.dispatch.try_pull().is_none(), "nothing on the fallback topic");
+    }
+
+    #[test]
+    fn parallel_master_dead_letters_and_exits_settled() {
+        let bus = MessageBus::sharded(2);
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                shards: 2,
+                threads: 1, // one worker thread owning both shards
+                timeout_scan_interval: Duration::from_millis(5),
+                expected_workflows: Some(1),
+                retry: RetryPolicy { max_attempts: Some(2), ..RetryPolicy::default() },
+                ..MasterConfig::default()
+            },
+        );
+        let mut b = WorkflowBuilder::new("poison");
+        b.job("a", "t", 1.0).build();
+        super::super::submit(&bus, "poison", Arc::new(b.finish().unwrap()));
+
+        let pull = |shard: usize| {
+            bus.dispatch_topic(shard).pull_timeout(Duration::from_secs(5)).expect("dispatch")
+        };
+        // The lone workflow lands on some shard; fail it to the cap.
+        let d1 = pull_any(&bus, 2).expect("first dispatch");
+        let shard = d1.0;
+        assert_eq!(d1.1.attempt, 1);
+        bus.ack.publish(AckMsg { job: d1.1.job, worker: 0, kind: AckKind::Failed, attempt: 1 });
+        let d2 = pull(shard);
+        assert_eq!(d2.attempt, 2);
+        bus.ack.publish(AckMsg { job: d2.job, worker: 0, kind: AckKind::Failed, attempt: 2 });
+
+        let ev = handle.events.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(ev, MasterEvent::WorkflowAbandoned { .. }), "got {ev:?}");
+        let ev = handle.events.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(ev, MasterEvent::AllSettled { .. }));
+        let stats = handle.join();
+        assert_eq!(stats.dead_lettered, 1);
+        assert_eq!(stats.workflows_abandoned, 1);
+    }
+
+    /// Pull the next dispatch from whichever shard topic produces one.
+    fn pull_any(bus: &MessageBus, shards: usize) -> Option<(usize, crate::DispatchMsg)> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            for shard in 0..shards {
+                if let Some(d) = bus.dispatch_topic(shard).try_pull() {
+                    return Some((shard, d));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        None
     }
 
     #[test]

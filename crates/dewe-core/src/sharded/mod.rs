@@ -31,6 +31,34 @@ use dewe_dag::{EnsembleJobId, JobState, Workflow, WorkflowId};
 use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine};
 use crate::protocol::{AckMsg, DispatchMsg};
 
+pub mod parallel;
+
+/// Rewrite a shard-local action to global workflow ids using the shard's
+/// local→global map; per-shard terminal actions are swallowed (the facade
+/// emits the merged one). Shared by the sequential facade and the
+/// per-shard worker threads of the parallel driver.
+fn globalize_action(globals: &[WorkflowId], action: Action) -> Option<Action> {
+    let map = |local: WorkflowId| globals[local.index()];
+    Some(match action {
+        Action::Dispatch(d) => Action::Dispatch(DispatchMsg {
+            job: EnsembleJobId::new(map(d.job.workflow), d.job.job),
+            attempt: d.attempt,
+        }),
+        Action::JobDeadLettered { job, attempts, abandoned_jobs } => Action::JobDeadLettered {
+            job: EnsembleJobId::new(map(job.workflow), job.job),
+            attempts,
+            abandoned_jobs,
+        },
+        Action::WorkflowCompleted { workflow, makespan_secs } => {
+            Action::WorkflowCompleted { workflow: map(workflow), makespan_secs }
+        }
+        Action::WorkflowAbandoned { workflow, dead_lettered, abandoned_jobs } => {
+            Action::WorkflowAbandoned { workflow: map(workflow), dead_lettered, abandoned_jobs }
+        }
+        Action::AllCompleted | Action::AllSettled => return None,
+    })
+}
+
 /// Per-shard load snapshot handed to routers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardLoad {
@@ -155,40 +183,29 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Rewrite a shard-local action to global workflow ids; per-shard
-    /// terminal actions are swallowed (the facade emits the merged one).
-    fn globalize(&self, shard: usize, action: Action) -> Option<Action> {
-        let map = |local: WorkflowId| self.globals[shard][local.index()];
-        Some(match action {
-            Action::Dispatch(d) => Action::Dispatch(DispatchMsg {
-                job: EnsembleJobId::new(map(d.job.workflow), d.job.job),
-                attempt: d.attempt,
-            }),
-            Action::JobDeadLettered { job, attempts, abandoned_jobs } => Action::JobDeadLettered {
-                job: EnsembleJobId::new(map(job.workflow), job.job),
-                attempts,
-                abandoned_jobs,
-            },
-            Action::WorkflowCompleted { workflow, makespan_secs } => {
-                Action::WorkflowCompleted { workflow: map(workflow), makespan_secs }
-            }
-            Action::WorkflowAbandoned { workflow, dead_lettered, abandoned_jobs } => {
-                Action::WorkflowAbandoned { workflow: map(workflow), dead_lettered, abandoned_jobs }
-            }
-            Action::AllCompleted | Action::AllSettled => return None,
-        })
-    }
-
     /// Translate everything in `scratch` (local ids, shard `shard`) into
     /// `actions` (global ids), then emit the merged terminal if due.
     fn flush_scratch(&mut self, shard: usize, actions: &mut Vec<Action>) {
         let mut scratch = std::mem::take(&mut self.scratch);
         for a in scratch.drain(..) {
-            if let Some(g) = self.globalize(shard, a) {
+            if let Some(g) = globalize_action(&self.globals[shard], a) {
                 actions.push(g);
             }
         }
         self.scratch = scratch;
+    }
+
+    /// Decompose into per-shard engines, router, and the id maps — the
+    /// promotion path onto worker threads
+    /// ([`parallel::ParallelShardedEngine::from_sharded`]): journal
+    /// recovery rebuilds this sequential facade, then the threaded master
+    /// takes the shards apart and hands each to its owning thread.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (Vec<EnsembleEngine>, Box<dyn ShardRouter>, Vec<(u32, WorkflowId)>, Vec<Vec<WorkflowId>>)
+    {
+        (self.shards, self.router, self.assignment, self.globals)
     }
 
     fn maybe_all_done(&mut self, actions: &mut Vec<Action>) {

@@ -99,6 +99,16 @@ pub struct SimRunConfig {
     /// single-threaded — while [`run_ensemble_sharded`] partitions the
     /// cluster and runs one sub-simulation thread per shard.
     pub shards: usize,
+    /// Worker threads driving the shards. `0` (default) keeps the
+    /// historical behavior of each entry point: [`run_ensemble`] stays
+    /// single-threaded and [`run_ensemble_sharded`] runs one thread per
+    /// shard. With `threads > 1` and `shards > 1`, [`run_ensemble`]
+    /// drives a [`ParallelShardedEngine`](crate::ParallelShardedEngine)
+    /// in deterministic barrier mode — same results, engine work on
+    /// worker cores — and [`run_ensemble_sharded`] caps its simulation
+    /// thread pool at this many OS threads (shards are striped across
+    /// them), for machines with fewer cores than shards.
+    pub threads: usize,
 }
 
 impl SimRunConfig {
@@ -120,6 +130,7 @@ impl SimRunConfig {
             checkout_timeout_secs: None,
             chaos: None,
             shards: 1,
+            threads: 0,
         }
     }
 }
@@ -459,7 +470,14 @@ fn engine_config_for(config: &SimRunConfig) -> EngineConfig {
 /// simulation see [`run_ensemble_sharded`].
 pub fn run_ensemble(workflows: &[Arc<Workflow>], config: &SimRunConfig) -> SimReport {
     assert!(config.shards >= 1, "shard count must be at least 1");
-    if config.shards > 1 {
+    if config.shards > 1 && config.threads > 1 {
+        // Thread-parallel driver in deterministic barrier mode: the
+        // event loop below feeds it one event at a time, so outcomes are
+        // bit-identical to the sequential facade while per-shard engine
+        // work runs on the worker threads.
+        let engine = engine_config_for(config).build_parallel(config.shards, config.threads);
+        drive_ensemble(workflows, config, engine, None)
+    } else if config.shards > 1 {
         let engine = engine_config_for(config).build_sharded(config.shards);
         drive_ensemble(workflows, config, engine, None)
     } else {
@@ -740,22 +758,43 @@ pub fn run_ensemble_sharded(workflows: &[Arc<Workflow>], config: &SimRunConfig) 
         plans.push((part, sub, sub_times));
     }
 
+    // `config.threads` caps the OS thread pool (0 = one thread per
+    // shard); worker `w` runs plans `w, w + workers, …` sequentially, so
+    // the per-shard sub-simulations — and their results — are identical
+    // no matter how many threads carry them.
+    let workers = match config.threads {
+        0 => plans.len(),
+        t => t.clamp(1, plans.len()),
+    };
     let reports: Vec<(&Vec<usize>, SimReport)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = plans
-            .iter()
-            .map(|(part, sub, sub_times)| {
+        let plans = &plans;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
                 scope.spawn(move || {
-                    let wfs: Vec<Arc<Workflow>> =
-                        part.iter().map(|&i| Arc::clone(&workflows[i])).collect();
-                    let engine = engine_config_for(sub).build();
-                    drive_ensemble(&wfs, sub, engine, Some(sub_times))
+                    let mut out = Vec::new();
+                    let mut idx = w;
+                    while idx < plans.len() {
+                        let (part, sub, sub_times) = &plans[idx];
+                        let wfs: Vec<Arc<Workflow>> =
+                            part.iter().map(|&i| Arc::clone(&workflows[i])).collect();
+                        let engine = engine_config_for(sub).build();
+                        out.push((idx, drive_ensemble(&wfs, sub, engine, Some(sub_times))));
+                        idx += workers;
+                    }
+                    out
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .zip(plans.iter())
-            .map(|(h, (part, _, _))| (part, h.join().expect("shard thread panicked")))
+        let mut slots: Vec<Option<SimReport>> = (0..plans.len()).map(|_| None).collect();
+        for h in handles {
+            for (idx, report) in h.join().expect("shard thread panicked") {
+                slots[idx] = Some(report);
+            }
+        }
+        plans
+            .iter()
+            .zip(slots)
+            .map(|((part, _, _), r)| (part, r.expect("every shard plan ran")))
             .collect()
     });
 
@@ -1119,6 +1158,58 @@ mod tests {
         assert_eq!(single.makespan_secs, sharded.makespan_secs);
         assert_eq!(single.workflow_makespans, sharded.workflow_makespans);
         assert_eq!(single.engine, sharded.engine);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_facade_in_sim() {
+        // The thread-parallel driver in deterministic barrier mode is
+        // observationally the sequential facade: identical makespans,
+        // identical stats, down to the bit.
+        let wfs: Vec<_> = (0..6).map(|_| chain_wf(3, 1.0)).collect();
+        let mut seq = no_overhead(cluster(2));
+        seq.shards = 4;
+        let sequential = run_ensemble(&wfs, &seq);
+        let mut par = no_overhead(cluster(2));
+        par.shards = 4;
+        par.threads = 4;
+        let parallel = run_ensemble(&wfs, &par);
+        assert!(parallel.completed);
+        assert_eq!(sequential.makespan_secs, parallel.makespan_secs);
+        assert_eq!(sequential.workflow_makespans, parallel.workflow_makespans);
+        assert_eq!(sequential.engine, parallel.engine);
+    }
+
+    #[test]
+    fn parallel_engine_survives_chaos_and_faults() {
+        // Full feature set through the barrier-mode parallel driver:
+        // chaos + a worker kill must still settle every workflow.
+        let wfs: Vec<_> = (0..4).map(|_| chain_wf(4, 1.0)).collect();
+        let mut cfg = no_overhead(cluster(1));
+        cfg.shards = 4;
+        cfg.threads = 2;
+        cfg.default_timeout_secs = 20.0;
+        cfg.timeout_scan_secs = 1.0;
+        cfg.chaos = Some(ChaosConfig::drop_dup(11, 0.05, 0.05));
+        cfg.faults = vec![FaultPlan { node: 0, kill_at_secs: 2.0, restart_at_secs: Some(3.0) }];
+        let report = run_ensemble(&wfs, &cfg);
+        assert!(report.completed);
+        assert_eq!(report.engine.jobs_completed, 16);
+    }
+
+    #[test]
+    fn sharded_runner_thread_cap_is_observationally_inert() {
+        // Striping shard sub-simulations over fewer OS threads must not
+        // change any result.
+        let wfs: Vec<_> = (0..8).map(|_| chain_wf(3, 1.0)).collect();
+        let mut cfg = no_overhead(cluster(4));
+        cfg.shards = 4;
+        let uncapped = run_ensemble_sharded(&wfs, &cfg);
+        cfg.threads = 2;
+        let capped = run_ensemble_sharded(&wfs, &cfg);
+        assert!(capped.completed);
+        assert_eq!(uncapped.makespan_secs, capped.makespan_secs);
+        assert_eq!(uncapped.workflow_makespans, capped.workflow_makespans);
+        assert_eq!(uncapped.engine, capped.engine);
     }
 
     #[test]

@@ -102,6 +102,83 @@ fn ensemble_finishes_after_master_failover() {
 }
 
 #[test]
+fn compacted_journal_still_recovers_the_ensemble() {
+    // Same failover shape as above, but with WAL compaction active at an
+    // aggressive threshold: by the time the master is killed the journal
+    // has been rewritten as a synthetic prefix at least once, and the
+    // replacement must recover from that compacted file.
+    let mut journal_path = std::env::temp_dir();
+    journal_path.push(format!("dewe-recovery-compact-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+
+    let bus = MessageBus::new();
+    let registry = Registry::new();
+    let config = MasterConfig {
+        timeout_scan_interval: Duration::from_millis(10),
+        expected_workflows: Some(4),
+        journal_path: Some(journal_path.clone()),
+        journal_compact_threshold: Some(8),
+        ..MasterConfig::default()
+    };
+
+    let master = spawn_master(bus.clone(), registry.clone(), config.clone());
+    let worker = spawn_worker(
+        bus.clone(),
+        registry.clone(),
+        Arc::new(SleepRunner::new(0.02)),
+        WorkerConfig {
+            worker_id: 0,
+            slots: 2,
+            pull_timeout: Duration::from_millis(10),
+            ..WorkerConfig::default()
+        },
+    );
+
+    for i in 0..4 {
+        submit(&bus, format!("c{i}"), chain(&format!("c{i}"), 4, 1.0));
+    }
+
+    // Let two workflows complete so compaction has material to elide,
+    // then crash.
+    let mut completions = 0;
+    while completions < 2 {
+        let ev = master.events.recv_timeout(Duration::from_secs(30)).expect("completion");
+        if matches!(ev, MasterEvent::WorkflowCompleted { .. }) {
+            completions += 1;
+        }
+    }
+    master.kill();
+
+    // The compacted journal replays to the full pre-crash completion
+    // count — and stays lean: 2 completed workflows are at most S + 4
+    // effective completions each, plus the live workflows' history.
+    let records = read_journal(&journal_path).expect("journal readable");
+    let replay = recover(
+        &records,
+        &registry,
+        EngineConfig { default_timeout_secs: config.default_timeout_secs, ..Default::default() },
+    )
+    .expect("compacted journal replays");
+    assert!(
+        replay.engine.stats().workflows_completed >= 2,
+        "pre-crash progress survives compaction: {:?}",
+        replay.engine.stats()
+    );
+
+    let master2 =
+        spawn_master(bus.clone(), registry.clone(), MasterConfig { recover: true, ..config });
+    let stats = master2.join();
+    worker.stop();
+    bus.shutdown();
+
+    assert_eq!(stats.workflows_completed, 4, "ensemble finished after failover");
+    assert_eq!(stats.workflows_abandoned, 0);
+    assert_eq!(stats.jobs_completed, 16);
+
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
 fn recovery_restarts_from_empty_journal_when_absent() {
     // recover=true with no journal on disk must behave like a cold start.
     let mut journal_path = std::env::temp_dir();

@@ -3,7 +3,9 @@
 //! generic [`EngineCore`] surface with 1, 2 and 4 shards — and through the
 //! plain single engine — must settle on the identical completion set, the
 //! identical per-workflow makespans and abandonments, and conserved merged
-//! statistics.
+//! statistics. The thread-parallel driver in deterministic barrier mode is
+//! held to the same bar: identical completion sets, stats, and terminal
+//! events as the sequential facade at every shard count.
 //!
 //! The driver is deliberately order-insensitive so routing cannot leak
 //! into the outcome: every job attempt's fate is a pure function of its
@@ -30,6 +32,8 @@ struct Outcome {
     completed: BTreeMap<usize, f64>,
     /// Abandoned workflows by global index.
     abandoned: BTreeSet<usize>,
+    /// Terminal events in emission order (`AllCompleted` / `AllSettled`).
+    terminals: Vec<&'static str>,
     stats: EngineStats,
 }
 
@@ -55,6 +59,8 @@ fn drain(actions: &[Action], queue: &mut VecDeque<DispatchMsg>, out: &mut Outcom
             Action::WorkflowAbandoned { workflow, .. } => {
                 out.abandoned.insert(workflow.index());
             }
+            Action::AllCompleted => out.terminals.push("AllCompleted"),
+            Action::AllSettled => out.terminals.push("AllSettled"),
             _ => {}
         }
     }
@@ -65,6 +71,7 @@ fn settle<E: EngineCore>(mut engine: E, wfs: &[Arc<Workflow>], seed: u64) -> Out
     let mut out = Outcome {
         completed: BTreeMap::new(),
         abandoned: BTreeSet::new(),
+        terminals: Vec::new(),
         stats: EngineStats::default(),
     };
     let mut actions: Vec<Action> = Vec::new();
@@ -161,6 +168,14 @@ proptest! {
             prop_assert_eq!(
                 &sharded, &single,
                 "shards={} diverged from the single engine", shards
+            );
+            // The thread-parallel driver in deterministic barrier mode is
+            // indistinguishable from the sequential facade: same
+            // completions, same stats, same terminal events.
+            let parallel = settle(config.build_parallel(shards, 2), &wfs, seed);
+            prop_assert_eq!(
+                &parallel, &single,
+                "parallel shards={} diverged from the single engine", shards
             );
         }
         let total: u64 = wfs.iter().map(|w| w.job_count() as u64).sum();

@@ -77,9 +77,21 @@ impl WriteBucket {
     /// While the dirty budget has room the write completes at memory speed;
     /// otherwise it stalls until the backlog has drained enough to admit it.
     /// Oversized writes (`bytes > dirty_limit`) degrade gracefully to device
-    /// speed.
+    /// speed. Thin wrapper over [`Self::submit_batch`].
     pub fn submit(&mut self, now: SimTime, bytes: f64) -> SimTime {
-        debug_assert!(bytes >= 0.0);
+        self.submit_batch(now, std::iter::once(bytes))
+    }
+
+    /// Submit a set of writes (a job's output files) as **one** bucket
+    /// update; returns the completion time of the whole batch.
+    ///
+    /// The files are summed and charged together: one `advance` and one
+    /// budget decision per job instead of one per file, and the returned
+    /// completion covers the total byte count (a job that emits ten files
+    /// is done when all ten have landed, not when the largest one has).
+    /// Negative sizes are clamped to zero.
+    pub fn submit_batch(&mut self, now: SimTime, files: impl IntoIterator<Item = f64>) -> SimTime {
+        let bytes: f64 = files.into_iter().map(|b| b.max(0.0)).sum();
         self.advance(now);
         self.total_logical += bytes;
         let copy_secs = bytes / self.cache_rate;
@@ -227,6 +239,34 @@ mod tests {
         let late = completions[29].secs_since(completions[28]);
         assert!(early < 0.05);
         assert!((late - 2.0).abs() < 0.1, "late gap {late}");
+    }
+
+    #[test]
+    fn batch_charges_the_total_in_one_update() {
+        let mut a = bucket();
+        let mut b = bucket();
+        let batched = a.submit_batch(t(0.0), [300.0, 500.0, 200.0]);
+        let single = b.submit(t(0.0), 1000.0);
+        assert_eq!(batched, single);
+        assert_eq!(a.dirty(t(0.0)), b.dirty(t(0.0)));
+        assert_eq!(a.total_logical(), b.total_logical());
+    }
+
+    #[test]
+    fn saturating_batch_stalls_on_the_sum_not_the_largest_file() {
+        let mut b = bucket();
+        b.submit(t(0.0), 1000.0); // fill the budget
+                                  // Three 200-byte files: 600 bytes must drain (6 s), not 200 (2 s).
+        let done = b.submit_batch(t(0.0), [200.0, 200.0, 200.0]);
+        assert!((done.as_secs_f64() - (6.0 + 0.06)).abs() < 1e-3, "{done:?}");
+    }
+
+    #[test]
+    fn batch_clamps_negative_sizes_and_tolerates_empty() {
+        let mut b = bucket();
+        assert_eq!(b.submit_batch(t(1.0), [-5.0]), t(1.0));
+        assert_eq!(b.submit_batch(t(1.0), std::iter::empty()), t(1.0));
+        assert_eq!(b.total_logical(), 0.0);
     }
 
     #[test]

@@ -442,12 +442,8 @@ impl ExecSim {
         if writes.is_empty() {
             self.finish_job(jid);
         } else {
-            let mut latest = now;
-            for &(_, bytes) in &writes {
-                let done = self.cluster.storage_mut().submit_write(node, now, bytes);
-                latest = latest.max(done);
-            }
-            let event = self.queue.schedule(latest, Ev::WriteDone(jid));
+            let done = self.cluster.storage_mut().submit_write_batch(node, now, &writes);
+            let event = self.queue.schedule(done, Ev::WriteDone(jid));
             let job = self.job_mut(jid).expect("job present");
             job.writes = writes;
             job.phase = Phase::Writing { event };

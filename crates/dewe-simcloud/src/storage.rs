@@ -213,6 +213,22 @@ impl Storage {
         self.backends[self.node_backend[node]].write.submit(now, bytes.max(0.0))
     }
 
+    /// Submit a job's output files (`(key, bytes)` pairs) from `node` as
+    /// one batched bucket update; returns the completion time of the
+    /// whole batch. Cheaper and more faithful than per-file submission:
+    /// the job's total output is charged against the dirty budget in a
+    /// single indexed update.
+    pub fn submit_write_batch(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        files: &[(u64, f64)],
+    ) -> SimTime {
+        self.backends[self.node_backend[node]]
+            .write
+            .submit_batch(now, files.iter().map(|&(_, b)| b))
+    }
+
     /// Total disk bytes read across all backends (completed flows).
     pub fn total_bytes_read(&self) -> f64 {
         self.backends.iter().map(|b| b.bytes_read_completed).sum()

@@ -302,6 +302,7 @@ mod tests {
             workers: 1,
             slots_per_worker: 1,
             shards: 1,
+            parallel: false,
             max_attempts: None,
             backoff_base_secs: 0.0,
             chaos: ChaosSpec::none(),

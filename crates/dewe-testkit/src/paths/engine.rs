@@ -231,10 +231,13 @@ fn engine_config(scenario: &Scenario) -> EngineConfig {
 }
 
 /// Execute the scenario through the deterministic engine path, picking
-/// the engine shape from `scenario.shards`.
+/// the engine shape from `scenario.shards` (and, for sharded scenarios
+/// with `parallel` set, the thread-parallel driver in barrier mode).
 pub fn run(scenario: &Scenario, cfg: &EngineDriverConfig) -> PathOutcome {
     let config = engine_config(scenario);
-    if scenario.shards > 1 {
+    if scenario.shards > 1 && scenario.parallel {
+        run_with(scenario, cfg, config.build_parallel(scenario.shards, scenario.shards))
+    } else if scenario.shards > 1 {
         run_with(scenario, cfg, config.build_sharded(scenario.shards))
     } else {
         run_with(scenario, cfg, config.build())
@@ -370,6 +373,24 @@ mod tests {
             assert!(out.settled, "seed {}: {:?}", s.seed, out.note);
             let v = invariant::check(&s, &out);
             assert!(v.is_empty(), "seed {}: {v:?}", s.seed);
+        }
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_facade() {
+        let sharded: Vec<_> =
+            (0..32).map(Scenario::generate).filter(|s| s.shards > 1).take(4).collect();
+        assert!(!sharded.is_empty(), "generator must produce sharded scenarios");
+        for mut s in sharded {
+            s.parallel = false;
+            let seq = run(&s, &EngineDriverConfig::default());
+            s.parallel = true;
+            let par = run(&s, &EngineDriverConfig::default());
+            assert_eq!(seq.completed, par.completed, "seed {}", s.seed);
+            assert_eq!(seq.events, par.events, "seed {}", s.seed);
+            assert_eq!(seq.stats, par.stats, "seed {}", s.seed);
+            assert_eq!(seq.makespan_secs, par.makespan_secs, "seed {}", s.seed);
+            assert_eq!(seq.settled, par.settled, "seed {}", s.seed);
         }
     }
 

@@ -141,6 +141,13 @@ pub struct Scenario {
     /// paths drive a [`dewe_core::ShardedEngine`] when this exceeds 1, so
     /// the oracle continuously checks shard-count invariance.
     pub shards: usize,
+    /// Drive the engine path through the thread-parallel
+    /// [`dewe_core::ParallelShardedEngine`] in deterministic barrier
+    /// mode instead of the sequential facade (only meaningful with
+    /// `shards > 1`). Generated for half the sharded seeds, so the
+    /// differential sweep continuously checks that the parallel driver
+    /// is bit-identical to the baselines.
+    pub parallel: bool,
     /// Retry cap (`None` = the paper's retry-forever).
     pub max_attempts: Option<u32>,
     /// Backoff before retries, virtual seconds.
@@ -192,8 +199,10 @@ impl Scenario {
         let submission_interval_secs = rng.unit() * 0.5;
         let workers = 1 + rng.below(3);
         let slots_per_worker = 1 + rng.below(4);
-        // Half the seeds exercise the plain engine, half a sharded one.
+        // Half the seeds exercise the plain engine, half a sharded one;
+        // of the sharded ones, half run the thread-parallel driver.
         let shards = [1, 1, 2, 4][rng.below(4)];
+        let parallel = shards > 1 && rng.below(2) == 1;
 
         let (chaos, max_attempts, backoff_base_secs, failures) = match class {
             0 => (ChaosSpec::none(), None, 0.0, Vec::new()),
@@ -246,6 +255,7 @@ impl Scenario {
             workers,
             slots_per_worker,
             shards,
+            parallel,
             max_attempts,
             backoff_base_secs,
             chaos,
@@ -336,7 +346,7 @@ impl Scenario {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "seed {} | {} workflow(s), {} job(s) | workers {}x{} | shards {} | \
+            "seed {} | {} workflow(s), {} job(s) | workers {}x{} | shards {}{} | \
              interval {:.3}s | max_attempts {:?} | backoff {:.3}s",
             self.seed,
             self.workflows.len(),
@@ -344,6 +354,7 @@ impl Scenario {
             self.workers,
             self.slots_per_worker,
             self.shards,
+            if self.parallel { " (parallel)" } else { "" },
             self.submission_interval_secs,
             self.max_attempts,
             self.backoff_base_secs,
@@ -428,6 +439,7 @@ mod tests {
             workers: 1,
             slots_per_worker: 1,
             shards: 1,
+            parallel: false,
             max_attempts: Some(2),
             backoff_base_secs: 0.0,
             chaos: ChaosSpec::none(),

@@ -148,6 +148,7 @@ mod tests {
             workers: 2,
             slots_per_worker: 2,
             shards: 2,
+            parallel: false,
             max_attempts: Some(2),
             backoff_base_secs: 0.05,
             chaos: ChaosSpec {
