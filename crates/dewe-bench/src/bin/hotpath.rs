@@ -8,11 +8,21 @@
 //!
 //! ```text
 //! hotpath [--quick] [--shards <n>] [--threads <n>] [--out <path>]
-//!         [--check <baseline.json>]
+//!         [--check <baseline.json>] [--paper-ensemble]
+//!         [--paper-workflows <n>] [--max-paper-rss-mb <mb>]
 //! ```
 //!
 //! `--quick` shrinks the run (5 workflows, 3 reps) for smoke testing;
 //! tracked numbers in `BENCH_hotpath.json` come from the full mode.
+//!
+//! `--paper-ensemble` additionally runs the paper's headline workload —
+//! 200 × Montage 6.0° (1,717,200 jobs, §V.B scale) on forty c3.8xlarge
+//! nodes (1,280 vCPUs) — through the sequential shards=1 path and the
+//! parallel shards=4 runner, and records throughput plus the process's
+//! peak RSS in a `paper_ensemble` section of the report.
+//! `--paper-workflows <n>` shrinks the ensemble (CI smoke uses 10), and
+//! `--max-paper-rss-mb <mb>` turns peak RSS into a hard gate: exceed it
+//! and the run exits non-zero.
 //!
 //! `--shards <n>` runs the measured reps through the threaded sharded
 //! runner (`run_ensemble_sharded`) instead of the single engine, and
@@ -49,6 +59,9 @@ struct Config {
     threads: usize,
     out: String,
     check: Option<String>,
+    paper: bool,
+    paper_workflows: usize,
+    max_paper_rss_mb: Option<f64>,
 }
 
 fn parse_args() -> Config {
@@ -57,6 +70,9 @@ fn parse_args() -> Config {
     let mut threads = 0usize;
     let mut out = String::from("BENCH_hotpath.json");
     let mut check = None;
+    let mut paper = false;
+    let mut paper_workflows = 200usize;
+    let mut max_paper_rss_mb = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -88,15 +104,41 @@ fn parse_args() -> Config {
                     std::process::exit(2);
                 }))
             }
+            "--paper-ensemble" => paper = true,
+            "--paper-workflows" => {
+                paper_workflows =
+                    args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--paper-workflows requires a positive integer");
+                            std::process::exit(2);
+                        },
+                    )
+            }
+            "--max-paper-rss-mb" => {
+                max_paper_rss_mb = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|&v| v > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--max-paper-rss-mb requires a positive number");
+                            std::process::exit(2);
+                        }),
+                )
+            }
             other => {
                 eprintln!(
                     "unknown argument `{other}`\n\
                      usage: hotpath [--quick] [--shards <n>] [--threads <n>] [--out <path>] \
-                     [--check <baseline.json>]"
+                     [--check <baseline.json>] [--paper-ensemble] [--paper-workflows <n>] \
+                     [--max-paper-rss-mb <mb>]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if !paper && (paper_workflows != 200 || max_paper_rss_mb.is_some()) {
+        eprintln!("--paper-workflows/--max-paper-rss-mb only apply with --paper-ensemble");
+        std::process::exit(2);
     }
     if check.is_some() && (shards != 1 || threads != 0) {
         // The tracked baseline is a sequential shards=1 number; gating a
@@ -105,20 +147,20 @@ fn parse_args() -> Config {
         eprintln!("--check gates the sequential shards=1 hot path; drop --shards/--threads");
         std::process::exit(2);
     }
-    if quick {
-        Config { workflows: 5, degree: 2.0, nodes: 4, reps: 3, quick, shards, threads, out, check }
-    } else {
-        Config {
-            workflows: 20,
-            degree: 2.0,
-            nodes: 4,
-            reps: 15,
-            quick,
-            shards,
-            threads,
-            out,
-            check,
-        }
+    let (workflows, reps) = if quick { (5, 3) } else { (20, 15) };
+    Config {
+        workflows,
+        degree: 2.0,
+        nodes: 4,
+        reps,
+        quick,
+        shards,
+        threads,
+        out,
+        check,
+        paper,
+        paper_workflows,
+        max_paper_rss_mb,
     }
 }
 
@@ -152,6 +194,44 @@ fn baseline_jobs_per_sec(path: &str) -> f64 {
 
 /// Maximum tolerated throughput regression vs the checked-in baseline.
 const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Process peak resident set size in MiB, from `VmHWM` in
+/// `/proc/self/status`. `None` where procfs is unavailable (non-Linux);
+/// the report then records `null` instead of a guess.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Fastest wall-clock and its jobs/s over `reps` runs of `ensemble`,
+/// asserting every rep completes all `total_jobs` jobs.
+///
+/// The estimator is the *minimum*, not the median: the workload is fully
+/// deterministic, so every rep does identical work and the only variance
+/// is additive interference from the (shared) runner — the fastest rep is
+/// therefore the lowest-noise estimate of true cost. The full rep list
+/// and the median still land in the report for transparency.
+fn best_jobs_per_sec(
+    ensemble: &[Arc<Workflow>],
+    total_jobs: usize,
+    sim: &SimRunConfig,
+    sharded: bool,
+    reps: usize,
+) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report =
+            if sharded { run_ensemble_sharded(ensemble, sim) } else { run_ensemble(ensemble, sim) };
+        let secs = start.elapsed().as_secs_f64();
+        assert!(report.completed, "ensemble must complete");
+        assert_eq!(report.engine.jobs_completed as usize, total_jobs);
+        best = best.min(secs);
+    }
+    (best, total_jobs as f64 / best)
+}
 
 fn main() {
     let cfg = parse_args();
@@ -207,8 +287,15 @@ fn main() {
     let mut sorted = wall_secs.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
     let median = sorted[sorted.len() / 2];
-    let jobs_per_sec = total_jobs as f64 / median;
-    eprintln!("median: {median:.3}s -> {jobs_per_sec:.0} jobs simulated/sec");
+    // Headline throughput uses the fastest rep (see best_jobs_per_sec for
+    // the rationale); the median is recorded alongside.
+    let min_wall = sorted[0];
+    let jobs_per_sec = total_jobs as f64 / min_wall;
+    eprintln!(
+        "best: {min_wall:.3}s -> {jobs_per_sec:.0} jobs simulated/sec \
+         (median {median:.3}s, {:.0} jobs/s)",
+        total_jobs as f64 / median
+    );
 
     // Full runs sweep the shard-count knob so the tracked report shows
     // how throughput scales with per-shard engine partitioning — both
@@ -217,22 +304,8 @@ fn main() {
     let mut sweep_json = String::new();
     if !cfg.quick {
         const SWEEP_REPS: usize = 5;
-        let median_jps = |s: &SimRunConfig, sharded: bool| {
-            let mut walls = Vec::with_capacity(SWEEP_REPS);
-            for _ in 0..SWEEP_REPS {
-                let start = Instant::now();
-                let report = if sharded {
-                    run_ensemble_sharded(&ensemble, s)
-                } else {
-                    run_ensemble(&ensemble, s)
-                };
-                let secs = start.elapsed().as_secs_f64();
-                assert!(report.completed, "ensemble must complete");
-                walls.push(secs);
-            }
-            walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
-            let med = walls[walls.len() / 2];
-            (med, total_jobs as f64 / med)
+        let best_jps = |s: &SimRunConfig, sharded| {
+            best_jobs_per_sec(&ensemble, total_jobs, s, sharded, SWEEP_REPS)
         };
         let mut entries = Vec::new();
         let mut speedup_4 = None;
@@ -250,21 +323,21 @@ fn main() {
             let mut s = sim.clone();
             s.shards = n;
             s.threads = 1; // sequential: sharded facade on one thread
-            let (seq_med, seq_jps) = median_jps(&s, false);
+            let (seq_wall, seq_jps) = best_jps(&s, false);
             s.threads = 0; // parallel: one sub-sim thread per shard
-            let (par_med, par_jps) = median_jps(&s, true);
+            let (par_wall, par_jps) = best_jps(&s, true);
             if n == 4 {
                 speedup_4 = Some(par_jps / seq_jps);
             }
             eprintln!(
-                "sweep shards={n} (effective {effective}): sequential {seq_med:.3}s \
-                 ({seq_jps:.0} jobs/s), parallel {par_med:.3}s ({par_jps:.0} jobs/s)"
+                "sweep shards={n} (effective {effective}): sequential {seq_wall:.3}s \
+                 ({seq_jps:.0} jobs/s), parallel {par_wall:.3}s ({par_jps:.0} jobs/s)"
             );
             entries.push(format!(
                 "    {{\"shards\": {n}, \"effective_shards\": {effective}, \
-                 \"sequential_median_wall_secs\": {seq_med:.6}, \
+                 \"sequential_best_wall_secs\": {seq_wall:.6}, \
                  \"sequential_jobs_per_sec\": {seq_jps:.1}, \
-                 \"parallel_median_wall_secs\": {par_med:.6}, \
+                 \"parallel_best_wall_secs\": {par_wall:.6}, \
                  \"parallel_jobs_per_sec\": {par_jps:.1}}}"
             ));
         }
@@ -275,12 +348,82 @@ fn main() {
         );
     }
 
+    // The paper's headline scale: 200 x Montage 6.0deg = 1,717,200 jobs on
+    // forty c3.8xlarge nodes (1,280 vCPUs), measured sequentially and
+    // through the parallel shards=4 runner, with the process's peak RSS
+    // recorded so memory growth at ensemble scale is tracked, not assumed.
+    let mut paper_json = String::new();
+    let mut rss_failure = None;
+    if cfg.paper {
+        const PAPER_REPS: usize = 3;
+        const PAPER_NODES: usize = 40;
+        let paper_wf = Arc::new(MontageConfig::degree(6.0).build());
+        let paper_ensemble: Vec<Arc<Workflow>> =
+            (0..cfg.paper_workflows).map(|_| Arc::clone(&paper_wf)).collect();
+        let paper_jobs = paper_wf.job_count() * cfg.paper_workflows;
+        let paper_cluster = ClusterConfig {
+            instance: C3_8XLARGE,
+            nodes: PAPER_NODES,
+            storage: StorageConfig::LocalDisk,
+        };
+        eprintln!(
+            "paper ensemble: {} x montage 6.0deg ({} jobs) on {} x {} ({} vCPUs), {} reps",
+            cfg.paper_workflows,
+            paper_jobs,
+            PAPER_NODES,
+            C3_8XLARGE.name,
+            C3_8XLARGE.vcpus as usize * PAPER_NODES,
+            PAPER_REPS,
+        );
+        let mut s = SimRunConfig::new(paper_cluster);
+        s.shards = 1;
+        s.threads = 1;
+        let (seq_wall, seq_jps) =
+            best_jobs_per_sec(&paper_ensemble, paper_jobs, &s, false, PAPER_REPS);
+        eprintln!("  sequential shards=1: {seq_wall:.3}s ({seq_jps:.0} jobs/s)");
+        s.shards = 4;
+        s.threads = 0;
+        let (par_wall, par_jps) =
+            best_jobs_per_sec(&paper_ensemble, paper_jobs, &s, true, PAPER_REPS);
+        eprintln!("  parallel shards=4:   {par_wall:.3}s ({par_jps:.0} jobs/s)");
+        let rss = peak_rss_mb();
+        match rss {
+            Some(mb) => eprintln!("  peak RSS: {mb:.1} MiB"),
+            None => eprintln!("  peak RSS: unavailable (no /proc/self/status)"),
+        }
+        paper_json = format!(
+            ",\n  \"paper_ensemble\": {{\n    \"workflows\": {workflows},\n    \
+             \"montage_degree\": 6.0,\n    \"jobs_per_workflow\": {per_wf},\n    \
+             \"jobs_total\": {total},\n    \"nodes\": {PAPER_NODES},\n    \
+             \"vcpus_total\": {vcpus},\n    \"reps\": {PAPER_REPS},\n    \
+             \"sequential_best_wall_secs\": {seq_wall:.6},\n    \
+             \"jobs_per_sec\": {seq_jps:.1},\n    \
+             \"parallel_shards_4_jobs_per_sec\": {par_jps:.1},\n    \
+             \"peak_rss_mb\": {rss_str}\n  }}",
+            workflows = cfg.paper_workflows,
+            per_wf = paper_wf.job_count(),
+            total = paper_jobs,
+            vcpus = C3_8XLARGE.vcpus as usize * PAPER_NODES,
+            rss_str = rss.map_or_else(|| String::from("null"), |mb| format!("{mb:.1}")),
+        );
+        // The ceiling verdict is deferred until after the report is
+        // written so a failing run still leaves its numbers on disk.
+        if let Some(ceiling) = cfg.max_paper_rss_mb {
+            match rss {
+                Some(mb) if mb > ceiling => rss_failure = Some((mb, ceiling)),
+                Some(_) => eprintln!("  peak RSS within {ceiling:.1} MiB ceiling"),
+                None => eprintln!("  peak RSS ceiling skipped: measurement unavailable"),
+            }
+        }
+    }
+
     let reps_json = wall_secs.iter().map(|s| format!("{s:.6}")).collect::<Vec<_>>().join(", ");
     let json = format!(
         r#"{{
   "benchmark": "ensemble_hotpath",
   "mode": "{mode}",
   "shards": {shards},
+  "effective_shards": {eff_shards},
   "threads": {threads},
   "effective_cores": {cores},
   "workload": {{
@@ -297,6 +440,7 @@ fn main() {
   "reps": {reps},
   "wall_secs": [{reps_json}],
   "median_wall_secs": {median:.6},
+  "best_wall_secs": {min_wall:.6},
   "jobs_per_sec": {jps:.1},
   "sim_makespan_secs": {makespan:.1},
   "engine": {{
@@ -304,14 +448,16 @@ fn main() {
     "jobs_completed": {completed},
     "resubmissions": {resub},
     "duplicate_completions": {dups}
-  }}{sweep}
+  }}{sweep}{paper}
 }}
 "#,
         mode = if cfg.quick { "quick" } else { "full" },
         shards = cfg.shards,
+        eff_shards = last.effective_shards,
         threads = cfg.threads,
         cores = effective_cores,
         sweep = sweep_json,
+        paper = paper_json,
         workflows = cfg.workflows,
         degree = cfg.degree,
         per_wf = workflow.job_count(),
@@ -321,6 +467,7 @@ fn main() {
         vcpus = C3_8XLARGE.vcpus as usize * cfg.nodes,
         reps = cfg.reps,
         median = median,
+        min_wall = min_wall,
         jps = jobs_per_sec,
         makespan = last.makespan_secs,
         dispatched = last.engine.dispatches,
@@ -333,6 +480,11 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("wrote {}", cfg.out);
+
+    if let Some((mb, ceiling)) = rss_failure {
+        eprintln!("FAIL: peak RSS {mb:.1} MiB exceeds ceiling {ceiling:.1} MiB");
+        std::process::exit(1);
+    }
 
     if let Some(baseline_path) = &cfg.check {
         let baseline = baseline_jobs_per_sec(baseline_path);

@@ -149,6 +149,7 @@ impl EngineConfig {
         assert!(self.retry.max_attempts.is_none_or(|cap| cap >= 1));
         EnsembleEngine {
             workflows: Vec::new(),
+            lanes: InflightLanes::default(),
             config: self,
             stats: EngineStats::default(),
             terminal_emitted: false,
@@ -378,21 +379,100 @@ struct WorkflowState {
     workflow: Arc<Workflow>,
     tracker: DependencyTracker,
     submitted_at: f64,
-    /// Dense per-job (deadline, attempt) slab for in-flight jobs, indexed
-    /// by [`JobId`]; `None` = not in flight.
-    inflight: Vec<Option<Inflight>>,
     done: bool,
     /// Jobs of this workflow that exhausted their retry budget.
     dead_lettered: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Inflight {
-    deadline: f64,
-    attempt: u32,
-    /// True while the slot holds a backoff-deferred retry: `deadline` is
-    /// the time the deferred dispatch fires, not a timeout.
-    deferred: bool,
+/// A slot is not in flight.
+const SLOT_EMPTY: u8 = 0;
+/// A dispatched attempt; `deadline` is its timeout (possibly infinite).
+const SLOT_INFLIGHT: u8 = 1;
+/// A backoff-deferred retry parked in the slab; `deadline` is the time
+/// the deferred dispatch fires, not a timeout.
+const SLOT_DEFERRED: u8 = 2;
+
+/// Engine-wide in-flight slab, laid out struct-of-arrays.
+///
+/// Every submitted workflow contributes a contiguous region of
+/// `job_count` slots at `base[wf]`; a job's slot is `base[wf] + job`.
+/// Splitting the former `Vec<Option<Inflight>>` into parallel lanes means
+/// each hot loop touches only the bytes it needs: the recovery scan reads
+/// the one-byte `tag` lane (plus `attempt` on a hit), the heap currency
+/// check reads `tag`/`attempt`/`deadline` without pulling workflow state
+/// into cache, and an ack clears a slot by writing a single byte.
+///
+/// The `owner` lane records which workflow each slot belongs to and is
+/// part of the currency check: a heap entry whose job index runs past its
+/// workflow's region would otherwise alias a neighbor's slot.
+#[derive(Default)]
+struct InflightLanes {
+    /// Per-workflow offset of its region in the lanes below.
+    base: Vec<usize>,
+    /// Timeout deadline or deferred-retry fire time (see `tag`).
+    deadline: Vec<f64>,
+    /// Attempt number occupying the slot.
+    attempt: Vec<u32>,
+    /// Owning workflow index, fixed at submission.
+    owner: Vec<u32>,
+    /// `SLOT_EMPTY` / `SLOT_INFLIGHT` / `SLOT_DEFERRED`.
+    tag: Vec<u8>,
+}
+
+impl InflightLanes {
+    /// Append a region of `jobs` empty slots for the next workflow.
+    fn push_workflow(&mut self, jobs: usize) {
+        let wf = u32::try_from(self.base.len()).expect("workflow count fits u32");
+        let start = self.tag.len();
+        self.base.push(start);
+        self.deadline.resize(start + jobs, f64::INFINITY);
+        self.attempt.resize(start + jobs, 0);
+        self.owner.resize(start + jobs, wf);
+        self.tag.resize(start + jobs, SLOT_EMPTY);
+    }
+
+    /// Slot index of `job` in workflow `wf`.
+    #[inline]
+    fn slot(&self, wf: usize, job: usize) -> usize {
+        self.base[wf] + job
+    }
+
+    /// Occupy a slot with an attempt (in flight, or parked if `deferred`).
+    #[inline]
+    fn set(&mut self, wf: usize, job: usize, deadline: f64, attempt: u32, deferred: bool) {
+        let i = self.slot(wf, job);
+        self.deadline[i] = deadline;
+        self.attempt[i] = attempt;
+        self.tag[i] = if deferred { SLOT_DEFERRED } else { SLOT_INFLIGHT };
+    }
+
+    /// Vacate a slot (completion or dead-letter).
+    #[inline]
+    fn clear(&mut self, wf: usize, job: usize) {
+        let i = self.slot(wf, job);
+        self.tag[i] = SLOT_EMPTY;
+    }
+
+    /// True when `entry` still describes the current checkout (or
+    /// deferral) of its job: the slab holds the same attempt with the
+    /// same deadline and kind. Any refresh, resubmission or completion
+    /// invalidates older heap entries.
+    fn entry_is_current(&self, entry: &DeadlineEntry) -> bool {
+        let wf = entry.job.workflow.index();
+        let Some(&base) = self.base.get(wf) else {
+            return false;
+        };
+        let i = base + entry.job.job.index();
+        match self.tag.get(i) {
+            None | Some(&SLOT_EMPTY) => false,
+            Some(&tag) => {
+                self.owner[i] as usize == wf
+                    && self.attempt[i] == entry.attempt
+                    && self.deadline[i] == entry.deadline
+                    && (tag == SLOT_DEFERRED) == entry.deferred
+            }
+        }
+    }
 }
 
 /// A candidate deadline in the engine-wide min-heap: either a timeout for
@@ -443,33 +523,19 @@ impl Ord for DeadlineEntry {
 /// `EngineConfig::default().timeout(..).build()`.
 pub struct EnsembleEngine {
     workflows: Vec<WorkflowState>,
+    /// Struct-of-arrays in-flight slab shared by every workflow.
+    lanes: InflightLanes,
     config: EngineConfig,
     stats: EngineStats,
     terminal_emitted: bool,
     /// Engine-wide min-heap of candidate deadlines, validated lazily
-    /// against the in-flight slabs. Pushed on checkout (Running ack),
+    /// against the in-flight slab. Pushed on checkout (Running ack),
     /// backoff deferral, and — when a checkout timeout is configured —
     /// dispatch, so its size is bounded by recent protocol events, not by
     /// total in-flight jobs.
     deadlines: BinaryHeap<Reverse<DeadlineEntry>>,
     /// Reusable buffer for draining tracker ready queues.
     scratch_ready: Vec<JobId>,
-}
-
-/// True when `entry` still describes the current checkout (or deferral) of
-/// its job: the slab holds the same attempt with the same deadline and
-/// kind. Any refresh, resubmission or completion invalidates older heap
-/// entries.
-fn entry_is_current(workflows: &[WorkflowState], entry: &DeadlineEntry) -> bool {
-    workflows
-        .get(entry.job.workflow.index())
-        .and_then(|w| w.inflight.get(entry.job.job.index()))
-        .and_then(|slot| slot.as_ref())
-        .is_some_and(|inf| {
-            inf.attempt == entry.attempt
-                && inf.deadline == entry.deadline
-                && inf.deferred == entry.deferred
-        })
 }
 
 /// splitmix64-style hash of (seed, workflow, job, attempt) mapped to
@@ -487,13 +553,6 @@ fn jitter_unit(seed: u64, job: EnsembleJobId, attempt: u32) -> f64 {
 }
 
 impl EnsembleEngine {
-    /// Deprecated constructor alias: use
-    /// `EngineConfig::default()…build()` instead.
-    #[deprecated(since = "0.5.0", note = "use the EngineConfig builder: `config.build()`")]
-    pub fn with_config(config: EngineConfig) -> Self {
-        config.build()
-    }
-
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -514,18 +573,16 @@ impl EnsembleEngine {
         let id = WorkflowId::from_index(self.workflows.len());
         let tracker = DependencyTracker::new(&workflow);
         let job_count = workflow.job_count();
-        let mut state = WorkflowState {
-            workflow,
-            tracker,
-            submitted_at: now,
-            inflight: vec![None; job_count],
-            done: false,
-            dead_lettered: 0,
-        };
+        // The lanes region must exist before the roots dispatch into it.
+        debug_assert_eq!(self.lanes.base.len(), id.index());
+        self.lanes.push_workflow(job_count);
+        let mut state =
+            WorkflowState { workflow, tracker, submitted_at: now, done: false, dead_lettered: 0 };
         let mut ready = std::mem::take(&mut self.scratch_ready);
         state.tracker.drain_ready_into(&mut ready);
         for &job in &ready {
-            actions.push(self.dispatch(&mut state, id, job, 1, now));
+            let action = self.dispatch_indexed(id, job, 1, now);
+            actions.push(action);
         }
         ready.clear();
         self.scratch_ready = ready;
@@ -544,58 +601,19 @@ impl EnsembleEngine {
         id
     }
 
-    /// Deprecated alias for the sink-based
-    /// [`submit_workflow`](Self::submit_workflow).
-    #[deprecated(since = "0.5.0", note = "renamed: submit_workflow is sink-based now")]
-    pub fn submit_workflow_into(
-        &mut self,
-        workflow: Arc<Workflow>,
-        now: f64,
-        actions: &mut Vec<Action>,
-    ) -> WorkflowId {
-        self.submit_workflow(workflow, now, actions)
-    }
-
-    fn dispatch(
-        &mut self,
-        state: &mut WorkflowState,
-        wf: WorkflowId,
-        job: JobId,
-        attempt: u32,
-        now: f64,
-    ) -> Action {
-        // The timeout clock normally starts when the job is *checked out*
-        // (Running ack), not when it is published: a message sitting in
-        // the queue is safe — the queue redelivers unacknowledged
-        // checkouts (paper §III.B). Until checkout the deadline is
-        // infinite and the job has no deadline-heap entry, unless a
-        // checkout timeout is configured to survive lossy transports.
-        let deadline = match self.config.checkout_timeout_secs {
-            Some(t) => now + t,
-            None => f64::INFINITY,
-        };
-        state.inflight[job.index()] = Some(Inflight { deadline, attempt, deferred: false });
-        let ens = EnsembleJobId::new(wf, job);
-        if deadline.is_finite() {
-            self.deadlines.push(Reverse(DeadlineEntry {
-                deadline,
-                job: ens,
-                attempt,
-                deferred: false,
-            }));
-        }
-        self.stats.dispatches += 1;
-        Action::Dispatch(DispatchMsg { job: ens, attempt })
-    }
-
     /// Process a worker acknowledgment at time `now`: actions are
     /// appended to a caller-owned buffer, and in steady state (no new
     /// frontier growth) processing an ack performs no heap allocation.
     pub fn on_ack(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
         let wf = ack.job.workflow;
         let job = ack.job.job;
-        if wf.index() >= self.workflows.len() {
-            debug_assert!(false, "ack for unknown workflow {wf:?}");
+        if wf.index() >= self.workflows.len()
+            || job.index() >= self.workflows[wf.index()].workflow.job_count()
+        {
+            // With the shared slab an out-of-range job index would land in
+            // a neighbor workflow's region, so reject it here rather than
+            // trusting per-workflow bounds checks downstream.
+            debug_assert!(false, "ack for unknown job {:?}", ack.job);
             return;
         }
         match ack.kind {
@@ -605,19 +623,18 @@ impl EnsembleEngine {
                 let state = &mut self.workflows[wf.index()];
                 let timeout =
                     state.workflow.job(job).effective_timeout(self.config.default_timeout_secs);
-                if let Some(inf) = state.inflight[job.index()].as_mut() {
-                    if inf.attempt == ack.attempt && !inf.deferred {
-                        let deadline = now + timeout;
-                        inf.deadline = deadline;
-                        // Any earlier entry for this job is now stale and
-                        // will be discarded lazily at pop time.
-                        self.deadlines.push(Reverse(DeadlineEntry {
-                            deadline,
-                            job: ack.job,
-                            attempt: ack.attempt,
-                            deferred: false,
-                        }));
-                    }
+                let i = self.lanes.slot(wf.index(), job.index());
+                if self.lanes.tag[i] == SLOT_INFLIGHT && self.lanes.attempt[i] == ack.attempt {
+                    let deadline = now + timeout;
+                    self.lanes.deadline[i] = deadline;
+                    // Any earlier entry for this job is now stale and
+                    // will be discarded lazily at pop time.
+                    self.deadlines.push(Reverse(DeadlineEntry {
+                        deadline,
+                        job: ack.job,
+                        attempt: ack.attempt,
+                        deferred: false,
+                    }));
                 }
                 state.tracker.mark_running(job);
             }
@@ -635,7 +652,7 @@ impl EnsembleEngine {
                     }
                     _ => {}
                 }
-                state.inflight[job.index()] = None;
+                self.lanes.clear(wf.index(), job.index());
                 // Split borrow: the tracker mutates while reading the DAG.
                 let WorkflowState { workflow, tracker, .. } = state;
                 tracker.complete(workflow, job);
@@ -679,19 +696,18 @@ impl EnsembleEngine {
         }
     }
 
-    /// Deprecated alias for the sink-based [`on_ack`](Self::on_ack).
-    #[deprecated(since = "0.5.0", note = "renamed: on_ack is sink-based now")]
-    pub fn on_ack_into(&mut self, ack: AckMsg, now: f64, actions: &mut Vec<Action>) {
-        self.on_ack(ack, now, actions);
-    }
-
     fn dispatch_indexed(&mut self, wf: WorkflowId, job: JobId, attempt: u32, now: f64) -> Action {
+        // The timeout clock normally starts when the job is *checked out*
+        // (Running ack), not when it is published: a message sitting in
+        // the queue is safe — the queue redelivers unacknowledged
+        // checkouts (paper §III.B). Until checkout the deadline is
+        // infinite and the job has no deadline-heap entry, unless a
+        // checkout timeout is configured to survive lossy transports.
         let deadline = match self.config.checkout_timeout_secs {
             Some(t) => now + t,
             None => f64::INFINITY,
         };
-        self.workflows[wf.index()].inflight[job.index()] =
-            Some(Inflight { deadline, attempt, deferred: false });
+        self.lanes.set(wf.index(), job.index(), deadline, attempt, false);
         let ens = EnsembleJobId::new(wf, job);
         if deadline.is_finite() {
             self.deadlines.push(Reverse(DeadlineEntry {
@@ -723,7 +739,7 @@ impl EnsembleEngine {
         if self.config.retry.max_attempts.is_some_and(|cap| failed_attempt >= cap) {
             // Retry budget exhausted: dead-letter the job and write off
             // every descendant that can no longer run.
-            state.inflight[job.index()] = None;
+            self.lanes.clear(wf.index(), job.index());
             state.dead_lettered += 1;
             let WorkflowState { workflow, tracker, .. } = state;
             let abandoned = tracker.abandon(workflow, job);
@@ -758,8 +774,7 @@ impl EnsembleEngine {
                 // fire time as its deadline; the timeout scan emits the
                 // dispatch when it comes due.
                 let due = now + delay;
-                self.workflows[wf.index()].inflight[job.index()] =
-                    Some(Inflight { deadline: due, attempt: next_attempt, deferred: true });
+                self.lanes.set(wf.index(), job.index(), due, next_attempt, true);
                 self.deadlines.push(Reverse(DeadlineEntry {
                     deadline: due,
                     job: ens,
@@ -805,7 +820,7 @@ impl EnsembleEngine {
                 break;
             }
             self.deadlines.pop();
-            if !entry_is_current(&self.workflows, &top) {
+            if !self.lanes.entry_is_current(&top) {
                 continue; // superseded checkout, resubmission or completion
             }
             let wf = top.job.workflow;
@@ -820,19 +835,12 @@ impl EnsembleEngine {
         }
     }
 
-    /// Deprecated alias for the sink-based
-    /// [`check_timeouts`](Self::check_timeouts).
-    #[deprecated(since = "0.5.0", note = "renamed: check_timeouts is sink-based now")]
-    pub fn check_timeouts_into(&mut self, now: f64, actions: &mut Vec<Action>) {
-        self.check_timeouts(now, actions);
-    }
-
     /// Earliest pending deadline — job timeout or deferred-retry fire
     /// time — if any (lets drivers sleep precisely instead of polling).
     /// Amortized O(1): stale heap entries are pruned as they surface.
     pub fn next_deadline(&mut self) -> Option<f64> {
         while let Some(&Reverse(top)) = self.deadlines.peek() {
-            if entry_is_current(&self.workflows, &top) {
+            if self.lanes.entry_is_current(&top) {
                 return Some(top.deadline);
             }
             self.deadlines.pop();
@@ -868,17 +876,16 @@ impl EnsembleEngine {
             if state.done {
                 continue;
             }
-            for (ji, slot) in state.inflight.iter().enumerate() {
-                if let Some(inf) = slot {
-                    if !inf.deferred {
-                        out.push(DispatchMsg {
-                            job: EnsembleJobId::new(
-                                WorkflowId::from_index(wfi),
-                                JobId::from_index(ji),
-                            ),
-                            attempt: inf.attempt,
-                        });
-                    }
+            // Scan the one-byte tag lane; the other lanes are only read
+            // on a hit.
+            let base = self.lanes.base[wfi];
+            for ji in 0..state.workflow.job_count() {
+                let i = base + ji;
+                if self.lanes.tag[i] == SLOT_INFLIGHT {
+                    out.push(DispatchMsg {
+                        job: EnsembleJobId::new(WorkflowId::from_index(wfi), JobId::from_index(ji)),
+                        attempt: self.lanes.attempt[i],
+                    });
                 }
             }
         }
@@ -1049,20 +1056,6 @@ mod tests {
         assert_eq!(e.config().default_timeout_secs, 42.0);
         assert_eq!(e.config().checkout_timeout_secs, Some(5.0));
         assert_eq!(e.config().retry.max_attempts, Some(7));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_work() {
-        // One release of grace for with_config and the *_into names.
-        let mut e = EnsembleEngine::with_config(EngineConfig::default().timeout(10.0));
-        let mut actions = Vec::new();
-        let _ = e.submit_workflow_into(chain(1), 0.0, &mut actions);
-        let d = dispatches(&actions)[0];
-        actions.clear();
-        e.on_ack_into(run_ack(d.job, 1), 1.0, &mut actions);
-        e.check_timeouts_into(11.0, &mut actions);
-        assert_eq!(dispatches(&actions).len(), 1, "timeout resubmitted via aliases");
     }
 
     /// Two independent roots: one dead-letters first, then the other

@@ -10,7 +10,8 @@
 //!
 //! ## Format
 //!
-//! Append-only ASCII lines, one record each, flushed per record:
+//! Append-only ASCII lines, one record each, made durable per record or
+//! in batches depending on the writer's [`JournalCommitPolicy`]:
 //!
 //! ```text
 //! S <registry_index> <time_bits> <shard>
@@ -98,8 +99,38 @@ impl JournalRecord {
     }
 }
 
-/// Append-only journal writer; every record is flushed to the OS before
-/// the corresponding input is considered durable.
+/// When journal records become durable (reach the OS).
+///
+/// * [`PerRecord`](Self::PerRecord) — every record is flushed before the
+///   write call returns; a crash loses at most the record being written.
+///   The default, and the only behavior before 0.7.0.
+/// * [`GroupCommit`](Self::GroupCommit) — records accumulate in the
+///   writer's buffer and are flushed once `max_records` have piled up or
+///   the master calls [`Journal::commit`] (once per poll cycle). A crash
+///   can lose up to the last uncommitted window of **ack and scan**
+///   records; recovery stays correct because any journaled prefix is a
+///   valid engine history — a lost Completed ack replays as a job still
+///   in flight, which the recovered master republishes and the timeout
+///   machinery finishes, at worst as duplicate-completion noise the
+///   engine already tolerates. **Submissions are exempt**: they commit
+///   immediately under either policy, because replay validates dense
+///   submission order — an ack referencing a never-journaled workflow
+///   would corrupt recovery rather than merely repeat work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JournalCommitPolicy {
+    /// Flush every record before its write returns.
+    #[default]
+    PerRecord,
+    /// Flush after `max_records` buffered records or an explicit
+    /// [`Journal::commit`], whichever comes first.
+    GroupCommit {
+        /// Buffered-record ceiling that forces a flush.
+        max_records: usize,
+    },
+}
+
+/// Append-only journal writer; records become durable according to the
+/// writer's [`JournalCommitPolicy`] (default: flushed per record).
 pub struct Journal {
     out: BufWriter<File>,
     path: PathBuf,
@@ -110,6 +141,9 @@ pub struct Journal {
     /// WAL must double past this before compacting again, so a journal
     /// full of live workflows doesn't re-compact on every record.
     floor: usize,
+    policy: JournalCommitPolicy,
+    /// Records written since the last flush.
+    pending: usize,
 }
 
 fn format_record(rec: &JournalRecord) -> String {
@@ -138,6 +172,8 @@ impl Journal {
             path: path.to_path_buf(),
             records: 0,
             floor: 0,
+            policy: JournalCommitPolicy::default(),
+            pending: 0,
         })
     }
 
@@ -151,7 +187,21 @@ impl Journal {
             path: path.to_path_buf(),
             records: 0,
             floor: 0,
+            policy: JournalCommitPolicy::default(),
+            pending: 0,
         })
+    }
+
+    /// Set the commit policy (builder style, on a fresh writer).
+    #[must_use]
+    pub fn with_policy(mut self, policy: JournalCommitPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The writer's commit policy.
+    pub fn policy(&self) -> JournalCommitPolicy {
+        self.policy
     }
 
     /// Inform the writer of records already present in the file (after
@@ -169,13 +219,36 @@ impl Journal {
         self.out.write_all(line.as_bytes())?;
         self.out.write_all(b"\n")?;
         self.records += 1;
-        self.out.flush()
+        self.pending += 1;
+        match self.policy {
+            JournalCommitPolicy::PerRecord => self.commit(),
+            JournalCommitPolicy::GroupCommit { max_records } if self.pending >= max_records => {
+                self.commit()
+            }
+            JournalCommitPolicy::GroupCommit { .. } => Ok(()),
+        }
+    }
+
+    /// Flush any buffered records to the OS. The group-commit point: the
+    /// master calls this once per poll cycle; under
+    /// [`JournalCommitPolicy::PerRecord`] it is a no-op because nothing is
+    /// ever left buffered.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if self.pending > 0 {
+            self.pending = 0;
+            self.out.flush()?;
+        }
+        Ok(())
     }
 
     /// Journal a workflow submission, including the shard it was routed
-    /// to (0 for a single engine).
+    /// to (0 for a single engine). Submissions commit immediately
+    /// regardless of policy — replay validates dense submission order, so
+    /// a lost submit record would invalidate everything after it (see
+    /// [`JournalCommitPolicy`]).
     pub fn record_submit(&mut self, workflow: WorkflowId, shard: usize, at: f64) -> io::Result<()> {
-        self.write_line(&format!("S {} {:x} {shard}", workflow.0, at.to_bits()))
+        self.write_line(&format!("S {} {:x} {shard}", workflow.0, at.to_bits()))?;
+        self.commit()
     }
 
     /// Journal a worker acknowledgment.
@@ -205,6 +278,9 @@ impl Journal {
         if self.records < threshold.max(2 * self.floor) {
             return Ok(false);
         }
+        // Compaction reads the file from disk: anything still sitting in
+        // the group-commit buffer must land first or the rewrite loses it.
+        self.commit()?;
         let records = read_journal(&self.path)?;
         let compacted = compact_records(&records, registry, config)?;
         let tmp = self.path.with_extension("compact-tmp");
@@ -557,6 +633,89 @@ mod tests {
                 JournalRecord::Scan { at: 2.5 },
             ]
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_buffers_until_commit_or_max_records() {
+        let path = tmp("group-commit");
+        let mut j = Journal::create(&path)
+            .unwrap()
+            .with_policy(JournalCommitPolicy::GroupCommit { max_records: 3 });
+        let ack = |attempt| AckMsg {
+            job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
+            worker: 0,
+            kind: AckKind::Running,
+            attempt,
+        };
+        j.record_ack(&ack(1), 1.0).unwrap();
+        j.record_ack(&ack(2), 2.0).unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), 0, "two acks still buffered");
+        j.commit().unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), 2, "commit flushes the window");
+        // Hitting max_records flushes without an explicit commit.
+        j.record_ack(&ack(3), 3.0).unwrap();
+        j.record_ack(&ack(4), 4.0).unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), 2);
+        j.record_ack(&ack(5), 5.0).unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), 5, "3rd buffered record forces a flush");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn submissions_commit_immediately_under_group_commit() {
+        let path = tmp("group-commit-submit");
+        let mut j = Journal::create(&path)
+            .unwrap()
+            .with_policy(JournalCommitPolicy::GroupCommit { max_records: 1000 });
+        j.record_submit(WorkflowId(0), 0, 0.0).unwrap();
+        assert_eq!(
+            read_journal(&path).unwrap(),
+            vec![JournalRecord::Submit { workflow: 0, at: 0.0, shard: 0 }],
+            "a submit record must never sit in the group-commit buffer"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dropping_the_writer_flushes_buffered_records() {
+        // A clean shutdown (as opposed to a crash) loses nothing: the
+        // BufWriter flushes on drop under either policy.
+        let path = tmp("group-commit-drop");
+        let mut j = Journal::create(&path)
+            .unwrap()
+            .with_policy(JournalCommitPolicy::GroupCommit { max_records: 1000 });
+        j.record_scan(1.0).unwrap();
+        j.record_scan(2.0).unwrap();
+        drop(j);
+        assert_eq!(read_journal(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_commits_buffered_records_first() {
+        let path = tmp("group-commit-compact");
+        let (registry, config, records) = noisy_history();
+        let mut j = Journal::create(&path)
+            .unwrap()
+            .with_policy(JournalCommitPolicy::GroupCommit { max_records: 1000 });
+        for rec in &records {
+            match *rec {
+                JournalRecord::Submit { workflow, at, shard } => {
+                    j.record_submit(WorkflowId(workflow), shard as usize, at).unwrap()
+                }
+                JournalRecord::Ack { ack, at } => j.record_ack(&ack, at).unwrap(),
+                JournalRecord::Scan { at } => j.record_scan(at).unwrap(),
+            }
+        }
+        // The tail of the history (acks + scan after the last submit) is
+        // still buffered; compaction must not lose it.
+        assert!(j.maybe_compact(&registry, config, 8).unwrap());
+        drop(j);
+        let lean = recover(&read_journal(&path).unwrap(), &registry, config).unwrap();
+        let full = recover(&records, &registry, config).unwrap();
+        assert_eq!(lean.engine.stats().workflows_completed, 1);
+        assert_eq!(full.redispatch, lean.redispatch, "buffered tail survived compaction");
         std::fs::remove_file(&path).ok();
     }
 

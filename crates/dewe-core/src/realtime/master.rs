@@ -9,7 +9,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use dewe_dag::WorkflowId;
 
 use super::bus::{MessageBus, Registry};
-use super::journal::{self, Journal};
+use super::journal::{self, Journal, JournalCommitPolicy};
 use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
 use crate::sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
 use crate::sharded::{HashRouter, ShardedEngine};
@@ -66,6 +66,11 @@ pub struct MasterConfig {
     /// completed workflows elided, keeping recovery replay O(live
     /// state). `None` (default) never compacts.
     pub journal_compact_threshold: Option<usize>,
+    /// Journal durability policy. The default flushes per record; group
+    /// commit batches ack/scan records and the master flushes the window
+    /// once per poll cycle (submissions always commit immediately). See
+    /// [`JournalCommitPolicy`] for what a crash can lose under each.
+    pub journal_commit: JournalCommitPolicy,
 }
 
 impl Default for MasterConfig {
@@ -82,6 +87,7 @@ impl Default for MasterConfig {
             shards: 1,
             threads: 0,
             journal_compact_threshold: None,
+            journal_commit: JournalCommitPolicy::default(),
         }
     }
 }
@@ -245,7 +251,11 @@ fn serve_parallel(
     let sink_bus = bus.clone();
     let sink: Arc<DispatchSink> =
         Arc::new(move |shard, d| sink_bus.dispatch_topic(shard).publish(d));
-    let opts = ParallelOptions { threads: config.threads, dispatch_sink: Some(sink) };
+    let opts = ParallelOptions {
+        threads: config.threads,
+        dispatch_sink: Some(sink),
+        ..ParallelOptions::default()
+    };
 
     let mut engine = if let Some(path) = &config.journal_path {
         if config.recover && path.exists() {
@@ -256,12 +266,15 @@ fn serve_parallel(
             for d in rec.redispatch {
                 bus.dispatch_topic(recovered.shard_of(d.job.workflow)).publish(d);
             }
-            let mut j = Journal::append(path).expect("reopen journal");
+            let mut j =
+                Journal::append(path).expect("reopen journal").with_policy(config.journal_commit);
             j.note_existing(records.len());
             wal = Some(j);
             ParallelShardedEngine::from_sharded(recovered, opts)
         } else {
-            wal = Some(Journal::create(path).expect("create journal"));
+            wal = Some(
+                Journal::create(path).expect("create journal").with_policy(config.journal_commit),
+            );
             ParallelShardedEngine::with_options(
                 config.engine_config(),
                 config.shards,
@@ -284,6 +297,11 @@ fn serve_parallel(
         if stop.load(Ordering::Relaxed) {
             // Simulated crash: drop everything on the floor.
             return engine.stats();
+        }
+        // Group-commit point: whatever the previous poll cycle buffered
+        // becomes durable before this cycle ingests more input.
+        if let Some(w) = wal.as_mut() {
+            w.commit().expect("journal commit");
         }
         let now = time_base + start.elapsed().as_secs_f64();
 
@@ -400,11 +418,14 @@ fn serve<E: RecoverableEngine>(
             for d in rec.redispatch {
                 bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
             }
-            let mut j = Journal::append(path).expect("reopen journal");
+            let mut j =
+                Journal::append(path).expect("reopen journal").with_policy(config.journal_commit);
             j.note_existing(records.len());
             wal = Some(j);
         } else {
-            wal = Some(Journal::create(path).expect("create journal"));
+            wal = Some(
+                Journal::create(path).expect("create journal").with_policy(config.journal_commit),
+            );
         }
     }
 
@@ -414,6 +435,11 @@ fn serve<E: RecoverableEngine>(
         if stop.load(Ordering::Relaxed) {
             // Simulated crash: drop everything on the floor.
             return engine.stats();
+        }
+        // Group-commit point: whatever the previous poll cycle buffered
+        // becomes durable before this cycle ingests more input.
+        if let Some(w) = wal.as_mut() {
+            w.commit().expect("journal commit");
         }
         let now = time_base + start.elapsed().as_secs_f64();
 

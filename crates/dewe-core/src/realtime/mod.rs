@@ -37,7 +37,7 @@ mod worker;
 pub use bus::{MessageBus, Registry};
 pub use chaos::ChaosLink;
 pub use deployment::{Deployment, DeploymentBuilder};
-pub use journal::{read_journal, recover, Journal, JournalRecord, Recovery};
+pub use journal::{read_journal, recover, Journal, JournalCommitPolicy, JournalRecord, Recovery};
 pub use master::{spawn_master, MasterConfig, MasterEvent, MasterHandle};
 pub use observer::{spawn_observer, BusSeries, ObserverHandle};
 pub use runner::{CpuRunner, FsRunner, JobOutcome, JobRunner, NoopRunner, RunContext, SleepRunner};

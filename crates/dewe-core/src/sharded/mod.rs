@@ -31,6 +31,7 @@ use dewe_dag::{EnsembleJobId, JobState, Workflow, WorkflowId};
 use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine};
 use crate::protocol::{AckMsg, DispatchMsg};
 
+pub mod affinity;
 pub mod parallel;
 
 /// Rewrite a shard-local action to global workflow ids using the shard's

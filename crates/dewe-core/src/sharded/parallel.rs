@@ -34,7 +34,7 @@
 //!   [`DispatchSink`] installed, workers publish dispatches straight onto
 //!   their shard's topic without ever crossing back through the facade.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -62,7 +62,7 @@ const NO_DEADLINE: u64 = u64::MAX;
 pub type DispatchSink = dyn Fn(usize, DispatchMsg) + Send + Sync;
 
 /// Construction knobs for [`ParallelShardedEngine`].
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ParallelOptions {
     /// Worker threads to spawn; clamped to `[1, shards]`. `0` means one
     /// thread per shard. When `threads < shards`, thread `t` owns shards
@@ -71,6 +71,18 @@ pub struct ParallelOptions {
     /// Optional per-dispatch callback run on the worker thread; when set,
     /// `Action::Dispatch` never appears in collected replies.
     pub dispatch_sink: Option<Arc<DispatchSink>>,
+    /// Pin worker thread `t` to core `t mod available_parallelism` via the
+    /// [`affinity`](super::affinity) shim (default `true`). Best-effort:
+    /// when the platform has no shim or the kernel refuses, threads run
+    /// unpinned and [`ParallelShardedEngine::pinned_threads`] reports how
+    /// many actually stuck.
+    pub pin_threads: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        Self { threads: 0, dispatch_sink: None, pin_threads: true }
+    }
 }
 
 /// One shard-local input, already translated by the facade.
@@ -282,15 +294,31 @@ pub struct ParallelShardedEngine {
     locals: Vec<usize>,
     /// Per-shard input buffers awaiting a flush.
     pending: Vec<Vec<ShardInput>>,
-    /// Recycled buffers: steady state sends and receives without
-    /// allocating.
-    spare_inputs: Vec<Vec<ShardInput>>,
-    spare_sinks: Vec<Vec<Action>>,
+    /// Per-shard recycled buffers: a reply's input and sink vectors go
+    /// back to the shard that grew them, so each pool converges on that
+    /// shard's own batch sizes and the steady state allocates nothing.
+    /// (A shared pool lets a busy shard's big buffers drain to idle
+    /// shards and forces the busy one to regrow from scratch.)
+    pools: Vec<ShardPool>,
+    /// Fresh-buffer allocations taken because a shard's pool ran dry.
+    /// Grows during warm-up, then stops: the steady-state reuse
+    /// invariant the recycling test pins down.
+    buffer_misses: u64,
     /// Per-shard reply slots for in-shard-order collection.
     collect: Vec<Option<Vec<Action>>>,
     /// Batches sent but not yet replied.
     outstanding: usize,
     terminal_emitted: bool,
+    /// Worker threads that successfully pinned to a core.
+    pinned: Arc<AtomicUsize>,
+}
+
+/// Recycled batch buffers owned by one shard (see
+/// [`ParallelShardedEngine::pools`]).
+#[derive(Default)]
+struct ShardPool {
+    inputs: Vec<Vec<ShardInput>>,
+    sinks: Vec<Vec<Action>>,
 }
 
 impl ParallelShardedEngine {
@@ -359,14 +387,23 @@ impl ParallelShardedEngine {
             seat_rows[shard % threads][shard] =
                 Some(ShardSeat { engine, globals, cell, scratch: Vec::new() });
         }
-        for seats in seat_rows {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let pinned = Arc::new(AtomicUsize::new(0));
+        for (t, seats) in seat_rows.into_iter().enumerate() {
             let (tx, rx) = sync_channel::<ThreadMsg>(INPUT_QUEUE_DEPTH);
             let reply_tx = reply_tx.clone();
             let sink = opts.dispatch_sink.clone();
+            let pin = opts.pin_threads;
+            let pinned = Arc::clone(&pinned);
             handles.push(
                 std::thread::Builder::new()
                     .name("dewe-shard".into())
-                    .spawn(move || worker_loop(rx, seats, reply_tx, sink))
+                    .spawn(move || {
+                        if pin && super::affinity::pin_current_thread(t % cores) {
+                            pinned.fetch_add(1, Ordering::Relaxed);
+                        }
+                        worker_loop(rx, seats, reply_tx, sink)
+                    })
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -382,17 +419,32 @@ impl ParallelShardedEngine {
             workflows,
             locals,
             pending: (0..shards).map(|_| Vec::new()).collect(),
-            spare_inputs: Vec::new(),
-            spare_sinks: Vec::new(),
+            pools: (0..shards).map(|_| ShardPool::default()).collect(),
+            buffer_misses: 0,
             collect: (0..shards).map(|_| None).collect(),
             outstanding: 0,
             terminal_emitted: false,
+            pinned,
         }
     }
 
     /// Number of worker threads backing the engine.
     pub fn thread_count(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Worker threads whose core pin actually stuck (0 when
+    /// [`ParallelOptions::pin_threads`] is off or the platform refused) —
+    /// report this rather than assuming the pin request succeeded.
+    pub fn pinned_threads(&self) -> usize {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    /// Fresh batch-buffer allocations taken because the owning shard's
+    /// recycling pool was empty. Grows during warm-up, then plateaus:
+    /// steady-state batches reuse the buffers their shard grew earlier.
+    pub fn buffer_misses(&self) -> u64 {
+        self.buffer_misses
     }
 
     fn sender_for(&self, shard: usize) -> &SyncSender<ThreadMsg> {
@@ -483,11 +535,21 @@ impl ParallelShardedEngine {
             if self.pending[shard].is_empty() {
                 continue;
             }
-            let inputs = std::mem::replace(
-                &mut self.pending[shard],
-                self.spare_inputs.pop().unwrap_or_default(),
-            );
-            let sink = self.spare_sinks.pop().unwrap_or_default();
+            let spare = match self.pools[shard].inputs.pop() {
+                Some(buf) => buf,
+                None => {
+                    self.buffer_misses += 1;
+                    Vec::new()
+                }
+            };
+            let inputs = std::mem::replace(&mut self.pending[shard], spare);
+            let sink = match self.pools[shard].sinks.pop() {
+                Some(buf) => buf,
+                None => {
+                    self.buffer_misses += 1;
+                    Vec::new()
+                }
+            };
             self.sender_for(shard)
                 .send(ThreadMsg::Batch(Batch { shard, inputs, sink }))
                 .expect("shard worker alive");
@@ -498,10 +560,10 @@ impl ParallelShardedEngine {
 
     fn absorb_reply(&mut self, reply: Reply, actions: &mut Vec<Action>) {
         self.outstanding -= 1;
-        self.spare_inputs.push(reply.recycled);
+        self.pools[reply.shard].inputs.push(reply.recycled);
         let mut batch_actions = reply.actions;
         actions.append(&mut batch_actions);
-        self.spare_sinks.push(batch_actions);
+        self.pools[reply.shard].sinks.push(batch_actions);
     }
 
     /// Drain any completed batches without blocking (free-running mode);
@@ -543,13 +605,13 @@ impl ParallelShardedEngine {
         while self.outstanding > 0 {
             let reply = self.reply_rx.recv().expect("shard worker alive");
             self.outstanding -= 1;
-            self.spare_inputs.push(reply.recycled);
+            self.pools[reply.shard].inputs.push(reply.recycled);
             self.collect[reply.shard] = Some(reply.actions);
         }
         for shard in 0..self.shards {
             if let Some(mut batch_actions) = self.collect[shard].take() {
                 actions.append(&mut batch_actions);
-                self.spare_sinks.push(batch_actions);
+                self.pools[shard].sinks.push(batch_actions);
             }
         }
         self.maybe_all_done(actions);
@@ -758,7 +820,7 @@ mod tests {
     #[test]
     fn striped_threads_cover_all_shards() {
         // 4 shards on 2 threads: placement still works for every shard.
-        let opts = ParallelOptions { threads: 2, dispatch_sink: None };
+        let opts = ParallelOptions { threads: 2, ..ParallelOptions::default() };
         let mut e = ParallelShardedEngine::with_options(
             EngineConfig::default(),
             4,
@@ -791,7 +853,7 @@ mod tests {
                 seen.lock().unwrap().push((shard, d));
             }) as Arc<DispatchSink>
         };
-        let opts = ParallelOptions { threads: 0, dispatch_sink: Some(sink) };
+        let opts = ParallelOptions { dispatch_sink: Some(sink), ..ParallelOptions::default() };
         let mut e = ParallelShardedEngine::with_options(
             EngineConfig::default(),
             2,
@@ -820,6 +882,59 @@ mod tests {
         assert!(actions.iter().any(|a| matches!(a, Action::AllCompleted)));
         assert!(e.all_complete());
         assert_eq!(e.stats().workflows_completed, 4);
+    }
+
+    #[test]
+    fn reply_buffers_recycle_at_steady_state() {
+        // Two shards, one long chain each, driven one ack at a time in
+        // barrier mode: every round sends exactly one single-input batch,
+        // so after a short warm-up each shard's pool always has a buffer
+        // at the right capacity and the miss counter must plateau.
+        let mut e = ParallelShardedEngine::new(EngineConfig::default(), 2);
+        let mut actions = Vec::new();
+        for shard in 0..2 {
+            e.submit_workflow_to(shard, chain(40), 0.0, &mut actions);
+        }
+        let mut pending: Vec<DispatchMsg> = dispatches(&actions);
+        let mut processed = 0usize;
+        let mut after_warmup = 0u64;
+        while let Some(d) = pending.pop() {
+            actions.clear();
+            e.on_ack(done_ack(d.job, d.attempt), 1.0, &mut actions);
+            pending.extend(dispatches(&actions));
+            processed += 1;
+            // Warm-up = the first ack per shard plus the submissions
+            // above; 4 rounds covers both shards comfortably.
+            if processed == 4 {
+                after_warmup = e.buffer_misses();
+            }
+        }
+        assert!(e.all_complete());
+        assert_eq!(processed, 80);
+        assert!(after_warmup > 0, "warm-up must have allocated something");
+        assert_eq!(
+            e.buffer_misses(),
+            after_warmup,
+            "steady-state batches must reuse recycled buffers, not allocate"
+        );
+    }
+
+    #[test]
+    fn pinning_is_reported_honestly() {
+        let e = ParallelShardedEngine::new(EngineConfig::default(), 4);
+        assert!(
+            e.pinned_threads() <= e.thread_count(),
+            "cannot pin more threads than exist: {} > {}",
+            e.pinned_threads(),
+            e.thread_count()
+        );
+        let unpinned = ParallelShardedEngine::with_options(
+            EngineConfig::default(),
+            2,
+            Box::new(HashRouter::default()),
+            ParallelOptions { pin_threads: false, ..ParallelOptions::default() },
+        );
+        assert_eq!(unpinned.pinned_threads(), 0, "pin_threads=false must not pin");
     }
 
     #[test]

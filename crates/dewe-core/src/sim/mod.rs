@@ -166,6 +166,11 @@ pub struct SimReport {
     pub trace: Option<dewe_metrics::Trace>,
     /// Rental cost under hourly billing.
     pub cost_usd: f64,
+    /// Shards the run actually used. [`run_ensemble_sharded`] clamps the
+    /// requested count to the node count, so this can be lower than
+    /// `SimRunConfig::shards` — a structured record of the clamp rather
+    /// than a warning on stderr.
+    pub effective_shards: usize,
 }
 
 // Wake-token tags (high byte). Job tokens are dense ensemble-wide indices
@@ -684,6 +689,7 @@ fn drive_ensemble<E: EngineCore>(
         gantt,
         trace,
         cost_usd: cost,
+        effective_shards: engine.shard_count(),
     }
 }
 
@@ -812,6 +818,7 @@ pub fn run_ensemble_sharded(workflows: &[Arc<Workflow>], config: &SimRunConfig) 
         gantt: None,
         trace: None,
         cost_usd: 0.0,
+        effective_shards: shards,
     };
     for (part, r) in reports {
         merged.makespan_secs = merged.makespan_secs.max(r.makespan_secs);

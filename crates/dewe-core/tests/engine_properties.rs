@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use dewe_core::sim::{run_ensemble, FaultPlan, SimRunConfig, SubmissionPlan};
+use dewe_core::{AckKind, AckMsg, Action, DispatchMsg, EngineConfig, RetryPolicy};
 use dewe_dag::{Workflow, WorkflowBuilder};
 use dewe_montage::{random_layered, RandomDagConfig};
 use dewe_simcloud::{ClusterConfig, SharedFsKind, StorageConfig, C3_8XLARGE};
@@ -112,6 +113,144 @@ proptest! {
         prop_assert_eq!(a.total_bytes_read, b.total_bytes_read);
         prop_assert_eq!(a.total_bytes_written, b.total_bytes_written);
         prop_assert_eq!(a.engine.dispatches, b.engine.dispatches);
+    }
+
+    /// Generation-index safety under churn: a random storm of acks —
+    /// completions, failures, duplicate and *stale* acks replayed from
+    /// superseded attempts — interleaved with timeout resubmissions and
+    /// dead-lettering must never corrupt the engine's in-flight slab.
+    /// The slab is a struct-of-arrays keyed by (workflow, job) with the
+    /// attempt number as the generation check, so a stale ack landing on
+    /// a recycled slot is the exact aliasing hazard this hunts.
+    #[test]
+    fn generation_churn_never_corrupts_inflight_state(
+        wfs in prop::collection::vec(workflow_strategy(), 1..4),
+        seed in any::<u64>(),
+        storm_steps in 20usize..120,
+    ) {
+        let mut engine = EngineConfig::default()
+            .timeout(10.0)
+            .checkout_timeout(5.0)
+            .retry(RetryPolicy {
+                max_attempts: Some(3),
+                backoff_base_secs: 1.0,
+                ..RetryPolicy::default()
+            })
+            .build();
+
+        let mut rng = seed | 1;
+        let mut next = move || {
+            // xorshift64: cheap, deterministic, seeded by proptest.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+
+        let mut actions = Vec::new();
+        let mut outstanding: Vec<DispatchMsg> = Vec::new();
+        let mut history: Vec<DispatchMsg> = Vec::new();
+        let mut now = 0.0;
+        for wf in &wfs {
+            engine.submit_workflow(Arc::clone(wf), now, &mut actions);
+        }
+        let drain = |actions: &mut Vec<Action>,
+                         outstanding: &mut Vec<DispatchMsg>,
+                         history: &mut Vec<DispatchMsg>| {
+            for a in actions.drain(..) {
+                if let Action::Dispatch(d) = a {
+                    outstanding.push(d);
+                    history.push(d);
+                }
+            }
+        };
+        drain(&mut actions, &mut outstanding, &mut history);
+
+        // Storm phase: random ack/fail/stale-replay/timeout events.
+        for _ in 0..storm_steps {
+            if engine.all_settled() {
+                break;
+            }
+            now += (next() % 100) as f64 / 50.0;
+            match next() % 8 {
+                0..=2 if !outstanding.is_empty() => {
+                    let d = outstanding.swap_remove(next() as usize % outstanding.len());
+                    let kind =
+                        if next() % 4 == 0 { AckKind::Failed } else { AckKind::Completed };
+                    engine.on_ack(
+                        AckMsg { job: d.job, worker: 0, kind, attempt: d.attempt },
+                        now,
+                        &mut actions,
+                    );
+                }
+                3 if !outstanding.is_empty() => {
+                    // Checkout without completion: arms the job timeout.
+                    let d = outstanding[next() as usize % outstanding.len()];
+                    engine.on_ack(
+                        AckMsg { job: d.job, worker: 1, kind: AckKind::Running, attempt: d.attempt },
+                        now,
+                        &mut actions,
+                    );
+                }
+                4..=5 if !history.is_empty() => {
+                    // Stale/duplicate replay: an attempt that may have been
+                    // superseded, completed, or dead-lettered long ago.
+                    let d = history[next() as usize % history.len()];
+                    let kind = match next() % 3 {
+                        0 => AckKind::Running,
+                        1 => AckKind::Completed,
+                        _ => AckKind::Failed,
+                    };
+                    engine.on_ack(
+                        AckMsg { job: d.job, worker: 2, kind, attempt: d.attempt },
+                        now,
+                        &mut actions,
+                    );
+                }
+                _ => {
+                    if let Some(due) = engine.next_deadline() {
+                        now = now.max(due + 1e-9);
+                    }
+                    engine.check_timeouts(now, &mut actions);
+                }
+            }
+            drain(&mut actions, &mut outstanding, &mut history);
+        }
+
+        // Cleanup phase: drive the survivors to settlement. Every path is
+        // bounded — attempts cap at 3, so each job either completes here
+        // or dead-letters through the timeout machinery.
+        let mut guard = 0;
+        while !engine.all_settled() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "engine failed to settle under churn");
+            if let Some(due) = engine.next_deadline() {
+                now = now.max(due + 1e-9);
+                engine.check_timeouts(now, &mut actions);
+            } else {
+                let Some(d) = outstanding.pop() else {
+                    prop_assert!(false, "no deadline and nothing outstanding, yet unsettled");
+                    unreachable!()
+                };
+                engine.on_ack(
+                    AckMsg { job: d.job, worker: 0, kind: AckKind::Completed, attempt: d.attempt },
+                    now,
+                    &mut actions,
+                );
+            }
+            drain(&mut actions, &mut outstanding, &mut history);
+        }
+
+        // Settled: the slab must be fully drained — a live or phantom
+        // entry here means a stale generation survived the churn.
+        prop_assert_eq!(engine.next_deadline(), None);
+        let mut inflight = Vec::new();
+        engine.inflight_dispatches(&mut inflight);
+        prop_assert!(inflight.is_empty(), "settled engine still reports in-flight attempts");
+        let stats = engine.stats();
+        let total: u64 = wfs.iter().map(|w| w.job_count() as u64).sum();
+        prop_assert_eq!(stats.jobs_completed + stats.jobs_abandoned, total);
+        prop_assert_eq!(stats.workflows_completed + stats.workflows_abandoned, wfs.len());
     }
 
     /// More nodes never hurt: makespan is non-increasing in cluster size

@@ -1,11 +1,13 @@
 //! Property-based tests for the master's write-ahead journal: arbitrary
 //! record sequences round-trip exactly, a crash-torn tail of *any* byte
 //! length never poisons the intact prefix, and mid-file corruption is
-//! always detected rather than silently skipped.
+//! always detected rather than silently skipped. Every property runs
+//! under both commit policies — per-record and group commit — since the
+//! on-disk format must be identical once buffered lines reach the file.
 
 use std::path::{Path, PathBuf};
 
-use dewe_core::realtime::{read_journal, Journal, JournalRecord};
+use dewe_core::realtime::{read_journal, Journal, JournalCommitPolicy, JournalRecord};
 use dewe_core::{AckKind, AckMsg};
 use dewe_dag::{EnsembleJobId, JobId, WorkflowId};
 use proptest::prelude::*;
@@ -45,8 +47,17 @@ fn record() -> impl Strategy<Value = JournalRecord> {
     ]
 }
 
-fn write_all(path: &Path, records: &[JournalRecord]) {
-    let mut j = Journal::create(path).expect("create journal");
+fn commit_policy() -> impl Strategy<Value = JournalCommitPolicy> {
+    prop_oneof![
+        Just(JournalCommitPolicy::PerRecord),
+        (1usize..16).prop_map(|max_records| JournalCommitPolicy::GroupCommit { max_records }),
+    ]
+}
+
+fn write_all(path: &Path, records: &[JournalRecord], policy: JournalCommitPolicy) {
+    // Dropping the journal flushes any group-commit window still
+    // buffered, so both policies leave identical bytes on disk.
+    let mut j = Journal::create(path).expect("create journal").with_policy(policy);
     for rec in records {
         match *rec {
             JournalRecord::Submit { workflow, at, shard } => {
@@ -63,9 +74,13 @@ proptest! {
 
     /// Whatever the master journals, recovery reads back verbatim.
     #[test]
-    fn records_round_trip(records in prop::collection::vec(record(), 0..40), case in any::<u64>()) {
+    fn records_round_trip(
+        records in prop::collection::vec(record(), 0..40),
+        policy in commit_policy(),
+        case in any::<u64>(),
+    ) {
         let path = tmp("roundtrip", case);
-        write_all(&path, &records);
+        write_all(&path, &records, policy);
         let read = read_journal(&path);
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(read.unwrap(), records);
@@ -80,10 +95,11 @@ proptest! {
     fn truncation_at_any_byte_keeps_the_intact_prefix(
         records in prop::collection::vec(record(), 1..30),
         cut_frac in 0.0f64..1.0,
+        policy in commit_policy(),
         case in any::<u64>(),
     ) {
         let path = tmp("truncate", case);
-        write_all(&path, &records);
+        write_all(&path, &records, policy);
         let bytes = std::fs::read(&path).unwrap();
         let cut = (bytes.len() as f64 * cut_frac) as usize;
         std::fs::write(&path, &bytes[..cut]).unwrap();
@@ -103,10 +119,11 @@ proptest! {
     fn garbage_before_valid_records_is_an_error(
         records in prop::collection::vec(record(), 2..20),
         pos_frac in 0.0f64..1.0,
+        policy in commit_policy(),
         case in any::<u64>(),
     ) {
         let path = tmp("garbage", case);
-        write_all(&path, &records);
+        write_all(&path, &records, policy);
         let text = std::fs::read_to_string(&path).unwrap();
         let mut lines: Vec<&str> = text.lines().collect();
         // Insert strictly before the last line so a valid record follows.
@@ -123,10 +140,11 @@ proptest! {
     fn blank_lines_are_ignored(
         records in prop::collection::vec(record(), 1..20),
         pos_frac in 0.0f64..1.0,
+        policy in commit_policy(),
         case in any::<u64>(),
     ) {
         let path = tmp("blank", case);
-        write_all(&path, &records);
+        write_all(&path, &records, policy);
         let text = std::fs::read_to_string(&path).unwrap();
         let mut lines: Vec<&str> = text.lines().collect();
         let pos = (lines.len() as f64 * pos_frac) as usize;

@@ -12,8 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dewe_core::realtime::{
-    read_journal, recover, spawn_master, spawn_worker, submit, MasterConfig, MasterEvent,
-    MessageBus, Registry, SleepRunner, WorkerConfig,
+    read_journal, recover, spawn_master, spawn_worker, submit, JournalCommitPolicy, MasterConfig,
+    MasterEvent, MessageBus, Registry, SleepRunner, WorkerConfig,
 };
 use dewe_core::EngineConfig;
 use dewe_dag::{Workflow, WorkflowBuilder};
@@ -43,6 +43,12 @@ fn ensemble_finishes_after_master_failover() {
         timeout_scan_interval: Duration::from_millis(10),
         expected_workflows: Some(3),
         journal_path: Some(journal_path.clone()),
+        // Group commit exercises the batched durability path: records
+        // buffer across a poll cycle and must still survive the kill
+        // (the simulated crash drops the master loop, and the journal's
+        // drop flushes the open window — a torn tail would only appear
+        // on a hard power loss, which journal_properties covers).
+        journal_commit: JournalCommitPolicy::GroupCommit { max_records: 8 },
         ..MasterConfig::default()
     };
 
