@@ -44,8 +44,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use dewe_core::realtime::{LivenessTable, MasterStats};
 use dewe_core::sim::{run_ensemble, run_ensemble_sharded, SimRunConfig};
-use dewe_dag::Workflow;
+use dewe_core::{AckKind, AckMsg, LifecycleKind, LifecycleMsg};
+use dewe_dag::{EnsembleJobId, JobId, Workflow, WorkflowId};
 use dewe_montage::MontageConfig;
 use dewe_simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
 
@@ -233,6 +235,81 @@ fn best_jobs_per_sec(
     (best, total_jobs as f64 / best)
 }
 
+/// Exercise the master's fault plane at volume: the [`LivenessTable`]
+/// admission fence sits on the ack hot path whenever leases are enabled,
+/// so its per-op cost is tracked alongside engine throughput. The churn
+/// loop cycles every lifecycle edge — register, Running/Completed acks,
+/// lease expiry with requeue, zombie-ack fencing, revival, and a
+/// graceful drain — and returns the op rate plus the resulting
+/// [`MasterStats`] counters for the report's `fault_plane` section.
+fn fault_plane_exercise(rounds: usize) -> (u64, f64, MasterStats) {
+    const WORKERS: u32 = 8;
+    const JOBS_PER_WORKER: u32 = 16;
+    let mut table = LivenessTable::new(1.0);
+    let (mut tr, mut rq) = (Vec::new(), Vec::new());
+    let mut ops = 0u64;
+    let job = |r: usize, w: u32, j: u32| {
+        EnsembleJobId::new(WorkflowId(r as u32), JobId(w * JOBS_PER_WORKER + j))
+    };
+    let start = Instant::now();
+    for r in 0..rounds {
+        let t0 = r as f64 * 10.0;
+        for w in 0..WORKERS {
+            table.on_lifecycle(
+                &LifecycleMsg { worker: w, generation: r as u32, kind: LifecycleKind::Heartbeat },
+                t0,
+                &mut tr,
+                &mut rq,
+            );
+            ops += 1;
+        }
+        rq.clear();
+        // Every worker checks out a batch; the even ones complete it.
+        for w in 0..WORKERS {
+            for j in 0..JOBS_PER_WORKER {
+                let running =
+                    AckMsg { job: job(r, w, j), worker: w, kind: AckKind::Running, attempt: 1 };
+                table.admit_ack(&running, t0 + 0.1, &mut tr);
+                ops += 1;
+                if w % 2 == 0 {
+                    let done = AckMsg { kind: AckKind::Completed, ..running };
+                    table.admit_ack(&done, t0 + 0.2, &mut tr);
+                    ops += 1;
+                }
+            }
+        }
+        // Worker 7 announces a drain and finishes its batch gracefully.
+        table.on_lifecycle(
+            &LifecycleMsg { worker: 7, generation: r as u32, kind: LifecycleKind::Drain },
+            t0 + 0.3,
+            &mut tr,
+            &mut rq,
+        );
+        for j in 0..JOBS_PER_WORKER {
+            let done =
+                AckMsg { job: job(r, 7, j), worker: 7, kind: AckKind::Completed, attempt: 1 };
+            table.admit_ack(&done, t0 + 0.4, &mut tr);
+            ops += 1;
+        }
+        // The odd workers go silent past the lease: expiry requeues
+        // their in-flight jobs; their late acks are fenced as stale.
+        table.expire_due(t0 + 2.0, &mut tr, &mut rq);
+        for entry in rq.drain(..) {
+            table.admit_ack(&entry.as_failed_ack(), t0 + 2.0, &mut tr);
+            ops += 1;
+        }
+        for w in (1..WORKERS).step_by(2) {
+            let late =
+                AckMsg { job: job(r, w, 0), worker: w, kind: AckKind::Completed, attempt: 1 };
+            table.admit_ack(&late, t0 + 2.1, &mut tr);
+            ops += 1;
+        }
+        tr.clear();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (ops, ops as f64 / secs, table.stats())
+}
+
 fn main() {
     let cfg = parse_args();
     let workflow = Arc::new(MontageConfig::degree(cfg.degree).build());
@@ -417,6 +494,33 @@ fn main() {
         }
     }
 
+    // Fault-plane microbenchmark: the lease table's admission fence is
+    // on the ack hot path, so its op rate and counters are tracked in
+    // every report (quick runs use a lighter churn).
+    let fault_rounds = if cfg.quick { 200 } else { 2000 };
+    let (lease_ops, lease_ops_per_sec, fault_stats) = fault_plane_exercise(fault_rounds);
+    eprintln!(
+        "fault plane: {lease_ops} lease ops in {fault_rounds} rounds ({lease_ops_per_sec:.0} ops/s), \
+         {} expired, {} requeued, {} fenced, {} drains",
+        fault_stats.workers_expired,
+        fault_stats.jobs_requeued_on_expiry,
+        fault_stats.stale_acks_rejected,
+        fault_stats.drains_completed,
+    );
+    let fault_json = format!(
+        ",\n  \"fault_plane\": {{\n    \"rounds\": {fault_rounds},\n    \
+         \"lease_ops\": {lease_ops},\n    \
+         \"lease_ops_per_sec\": {lease_ops_per_sec:.1},\n    \
+         \"workers_expired\": {},\n    \
+         \"jobs_requeued_on_expiry\": {},\n    \
+         \"stale_acks_rejected\": {},\n    \
+         \"drains_completed\": {}\n  }}",
+        fault_stats.workers_expired,
+        fault_stats.jobs_requeued_on_expiry,
+        fault_stats.stale_acks_rejected,
+        fault_stats.drains_completed,
+    );
+
     let reps_json = wall_secs.iter().map(|s| format!("{s:.6}")).collect::<Vec<_>>().join(", ");
     let json = format!(
         r#"{{
@@ -448,9 +552,10 @@ fn main() {
     "jobs_completed": {completed},
     "resubmissions": {resub},
     "duplicate_completions": {dups}
-  }}{sweep}{paper}
+  }}{fault}{sweep}{paper}
 }}
 "#,
+        fault = fault_json,
         mode = if cfg.quick { "quick" } else { "full" },
         shards = cfg.shards,
         eff_shards = last.effective_shards,

@@ -9,7 +9,7 @@
 //!   by roughly the timeout of the interrupted job — nothing else can run
 //!   until the resubmitted blocking job completes.
 
-use dewe_core::sim::{run_ensemble, FaultPlan, SimRunConfig};
+use dewe_core::sim::{run_ensemble, NodeFault, SimRunConfig};
 use dewe_metrics::csv::table_to_csv;
 use dewe_mq::ChaosConfig;
 use dewe_simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
@@ -99,7 +99,7 @@ pub fn run_robust(scale: Scale) -> RobustResult {
         let mut cfg = SimRunConfig::new(cluster);
         cfg.default_timeout_secs = timeout;
         cfg.timeout_scan_secs = 1.0;
-        cfg.faults = vec![FaultPlan {
+        cfg.faults = vec![NodeFault {
             node: 0,
             kill_at_secs: kill_at,
             restart_at_secs: Some(kill_at + outage),

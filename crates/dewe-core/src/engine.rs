@@ -251,6 +251,10 @@ pub struct EngineStats {
     pub jobs_completed: u64,
     /// Duplicate completions observed (timeout races; harmless by design).
     pub duplicate_completions: u64,
+    /// Failure reports discarded as stale: a newer attempt already owned
+    /// the job's slot, or the job had already reached a terminal state
+    /// (zombie-worker and requeue noise; see the liveness plane).
+    pub stale_failures_ignored: u64,
     /// Jobs that exhausted their retry budget.
     pub dead_lettered: u64,
     /// Jobs written off: dead-lettered jobs plus their abandoned
@@ -270,6 +274,7 @@ impl EngineStats {
         self.deferred_retries += other.deferred_retries;
         self.jobs_completed += other.jobs_completed;
         self.duplicate_completions += other.duplicate_completions;
+        self.stale_failures_ignored += other.stale_failures_ignored;
         self.dead_lettered += other.dead_lettered;
         self.jobs_abandoned += other.jobs_abandoned;
     }
@@ -689,6 +694,17 @@ impl EnsembleEngine {
                 }
             }
             AckKind::Failed => {
+                // Generation check: a failure report for an attempt older
+                // than the one the slab currently tracks is a zombie's —
+                // the attempt already timed out (or its worker's lease
+                // expired) and a newer attempt owns the slot. Acting on it
+                // would burn retry budget against an attempt that was
+                // already written off.
+                let i = self.lanes.slot(wf.index(), job.index());
+                if self.lanes.tag[i] != SLOT_EMPTY && self.lanes.attempt[i] > ack.attempt {
+                    self.stats.stale_failures_ignored += 1;
+                    return;
+                }
                 // Immediate failure report (no need to wait for the
                 // timeout): route through the retry budget.
                 self.handle_attempt_failure(wf, job, ack.attempt, now, actions);
@@ -733,7 +749,17 @@ impl EnsembleEngine {
     ) {
         let state = &mut self.workflows[wf.index()];
         match state.tracker.state(job) {
-            JobState::Completed | JobState::Abandoned => return,
+            // Failure evidence for a job that already reached a terminal
+            // state is stale by definition — e.g. a lease-expiry requeue
+            // of a phantom assignment left by a Running ack that was
+            // delayed past its own Completed. Counting it (rather than
+            // dropping it silently) keeps the fault plane's requeue
+            // conservation auditable: every requeued job is either
+            // resubmitted or visibly fenced.
+            JobState::Completed | JobState::Abandoned => {
+                self.stats.stale_failures_ignored += 1;
+                return;
+            }
             _ => {}
         }
         if self.config.retry.max_attempts.is_some_and(|cap| failed_attempt >= cap) {
@@ -1247,6 +1273,29 @@ mod tests {
             ack(&mut e, AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 1 }, 2.0);
         assert!(actions.is_empty(), "a late failure of a completed job must not resubmit");
         assert_eq!(e.stats().resubmissions, 0);
+    }
+
+    #[test]
+    fn stale_attempt_failed_ack_does_not_burn_retry_budget() {
+        let mut e = EngineConfig::default().timeout(10.0).build();
+        let (_, actions) = submit(&mut e, chain(1), 0.0);
+        let d = dispatches(&actions)[0];
+        ack(&mut e, run_ack(d.job, 1), 0.0); // deadline 10
+        let actions = scan(&mut e, 10.0); // resubmit as attempt 2
+        assert_eq!(dispatches(&actions)[0].attempt, 2);
+        // The zombie's late failure report for attempt 1 must not touch
+        // attempt 2 (which would resubmit it as attempt 3 while it is
+        // still queued).
+        let actions =
+            ack(&mut e, AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 1 }, 11.0);
+        assert!(actions.is_empty());
+        assert_eq!(e.stats().resubmissions, 1);
+        assert_eq!(e.stats().stale_failures_ignored, 1);
+        // A current-attempt failure still routes through the retry budget.
+        let actions =
+            ack(&mut e, AckMsg { job: d.job, worker: 9, kind: AckKind::Failed, attempt: 2 }, 12.0);
+        assert_eq!(dispatches(&actions)[0].attempt, 3);
+        assert_eq!(e.stats().resubmissions, 2);
     }
 
     #[test]

@@ -50,10 +50,11 @@ mod engine;
 mod protocol;
 mod sharded;
 
+pub mod fault;
 pub mod realtime;
 pub mod sim;
 
 pub use engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
-pub use protocol::{AckKind, AckMsg, DispatchMsg, SubmissionMsg};
+pub use protocol::{AckKind, AckMsg, DispatchMsg, LifecycleKind, LifecycleMsg, SubmissionMsg};
 pub use sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
 pub use sharded::{HashRouter, LeastLoadedRouter, ShardLoad, ShardRouter, ShardedEngine};

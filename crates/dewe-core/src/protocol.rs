@@ -70,6 +70,54 @@ impl AckKind {
     }
 }
 
+/// Worker lifecycle announcement kinds (liveness plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleKind {
+    /// The worker came up (or back up) and wants a lease.
+    Register,
+    /// Periodic proof of life; renews the lease.
+    Heartbeat,
+    /// Graceful shutdown announcement: the worker will finish its current
+    /// jobs and exit; the master must stop counting on it for new work.
+    Drain,
+}
+
+impl LifecycleKind {
+    /// Compact wire code, used by the master's write-ahead journal.
+    pub fn code(self) -> u8 {
+        match self {
+            LifecycleKind::Register => 0,
+            LifecycleKind::Heartbeat => 1,
+            LifecycleKind::Drain => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(LifecycleKind::Register),
+            1 => Some(LifecycleKind::Heartbeat),
+            2 => Some(LifecycleKind::Drain),
+            _ => None,
+        }
+    }
+}
+
+/// Worker lifecycle topic payload (worker → master).
+///
+/// `generation` distinguishes incarnations of the same worker id: a
+/// restarted worker registers with a higher generation, and the master
+/// treats messages from older generations as coming from a zombie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleMsg {
+    /// Worker identity (same id space as [`AckMsg::worker`]).
+    pub worker: u32,
+    /// Incarnation of this worker id, starting at 0.
+    pub generation: u32,
+    /// What the worker announces.
+    pub kind: LifecycleKind,
+}
+
 /// Job acknowledgment topic payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AckMsg {
@@ -111,5 +159,13 @@ mod tests {
     fn ack_kinds_are_distinct() {
         assert_ne!(AckKind::Running, AckKind::Completed);
         assert_ne!(AckKind::Completed, AckKind::Failed);
+    }
+
+    #[test]
+    fn lifecycle_codes_round_trip() {
+        for kind in [LifecycleKind::Register, LifecycleKind::Heartbeat, LifecycleKind::Drain] {
+            assert_eq!(LifecycleKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(LifecycleKind::from_code(9), None);
     }
 }

@@ -1,12 +1,14 @@
-//! The message bus (three typed topics) and the shared workflow registry.
+//! The message bus (typed topics) and the shared workflow registry.
 
-use crate::protocol::{AckMsg, DispatchMsg, SubmissionMsg};
+use crate::protocol::{AckMsg, DispatchMsg, LifecycleMsg, SubmissionMsg};
 use dewe_dag::{Workflow, WorkflowId};
 use dewe_mq::Topic;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
-/// The three DEWE v2 topics as typed queues (the in-process RabbitMQ).
+/// The DEWE v2 topics as typed queues (the in-process RabbitMQ): the
+/// paper's three (submission/dispatch/ack) plus the worker lifecycle
+/// topic added by the liveness plane.
 ///
 /// Cloning shares the underlying topics, like every daemon connecting to
 /// the same broker endpoint.
@@ -22,6 +24,9 @@ pub struct MessageBus {
     pub dispatch_shards: Vec<Topic<DispatchMsg>>,
     /// Job acknowledgment topic (workers → master).
     pub ack: Topic<AckMsg>,
+    /// Worker lifecycle topic (workers → master): registration,
+    /// heartbeats, and drain announcements for the liveness plane.
+    pub lifecycle: Topic<LifecycleMsg>,
 }
 
 impl MessageBus {
@@ -51,6 +56,7 @@ impl MessageBus {
             t.close();
         }
         self.ack.close();
+        self.lifecycle.close();
     }
 }
 

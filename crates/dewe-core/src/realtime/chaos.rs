@@ -63,12 +63,16 @@ impl ChaosLink {
     fn build(cfg: ChaosConfig, trace: Option<ChaosTrace>) -> Self {
         let master_bus = MessageBus::new();
         // Workers get their own dispatch/ack topics; submission passes
-        // through untouched (it is the harness's own input channel).
+        // through untouched (it is the harness's own input channel), as
+        // does the lifecycle topic — heartbeat loss is injected by the
+        // fault plane (worker stalls), not by message chaos, so lease
+        // expiries stay deterministic per scenario.
         let worker_bus = MessageBus {
             submission: master_bus.submission.clone(),
             dispatch: Topic::new(),
             dispatch_shards: Vec::new(),
             ack: Topic::new(),
+            lifecycle: master_bus.lifecycle.clone(),
         };
         let decider = Arc::new(ChaosDecider::new(cfg));
         let mut dispatch_chaos =

@@ -17,6 +17,7 @@
 //! S <registry_index> <time_bits> <shard>
 //! A <workflow> <job> <worker> <kind_code> <attempt> <time_bits>
 //! T <time_bits>
+//! W <worker> <generation> <phase_code> <time_bits>
 //! ```
 //!
 //! Times are `f64::to_bits` in hex — exact round-trips, no decimal
@@ -58,6 +59,7 @@ use std::sync::Arc;
 use dewe_dag::{EnsembleJobId, JobId, JobState, WorkflowId};
 
 use super::bus::Registry;
+use super::liveness::{LivenessTable, WorkerPhase};
 use crate::engine::{Action, EngineConfig, EngineCore, EnsembleEngine};
 use crate::protocol::{AckKind, AckMsg, DispatchMsg};
 use crate::sharded::ShardedEngine;
@@ -86,6 +88,20 @@ pub enum JournalRecord {
         /// Engine time of the scan.
         at: f64,
     },
+    /// A worker lifecycle transition (liveness plane). Commits
+    /// immediately under either policy, like submissions: the liveness
+    /// table rebuilt on recovery must match the pre-crash one exactly,
+    /// and lifecycle transitions are far too rare to batch.
+    Worker {
+        /// Worker id.
+        worker: u32,
+        /// Incarnation of the worker.
+        generation: u32,
+        /// Phase the worker entered.
+        phase: WorkerPhase,
+        /// Engine time of the transition.
+        at: f64,
+    },
 }
 
 impl JournalRecord {
@@ -94,7 +110,8 @@ impl JournalRecord {
         match *self {
             JournalRecord::Submit { at, .. }
             | JournalRecord::Ack { at, .. }
-            | JournalRecord::Scan { at } => at,
+            | JournalRecord::Scan { at }
+            | JournalRecord::Worker { at, .. } => at,
         }
     }
 }
@@ -161,6 +178,9 @@ fn format_record(rec: &JournalRecord) -> String {
             at.to_bits()
         ),
         JournalRecord::Scan { at } => format!("T {:x}", at.to_bits()),
+        JournalRecord::Worker { worker, generation, phase, at } => {
+            format!("W {worker} {generation} {} {:x}", phase.code(), at.to_bits())
+        }
     }
 }
 
@@ -261,6 +281,20 @@ impl Journal {
         self.write_line(&format!("T {:x}", at.to_bits()))
     }
 
+    /// Journal a worker lifecycle transition. Commits immediately
+    /// regardless of policy — recovery must rebuild the liveness table
+    /// exactly, and transitions are rare (see [`JournalRecord::Worker`]).
+    pub fn record_worker(
+        &mut self,
+        worker: u32,
+        generation: u32,
+        phase: WorkerPhase,
+        at: f64,
+    ) -> io::Result<()> {
+        self.write_line(&format_record(&JournalRecord::Worker { worker, generation, phase, at }))?;
+        self.commit()
+    }
+
     /// Compact the journal in place once it holds at least `threshold`
     /// records (and has doubled since the last compaction): the file is
     /// rewritten as the synthetic prefix produced by [`compact_records`]
@@ -298,6 +332,18 @@ impl Journal {
         self.records = compacted.len();
         self.floor = compacted.len();
         Ok(true)
+    }
+}
+
+impl Drop for Journal {
+    /// A clean shutdown (as opposed to a crash) must not lose the
+    /// group-commit window: flush explicitly rather than relying on
+    /// `BufWriter`'s silent best-effort drop flush, so the `pending`
+    /// accounting stays truthful for any code observing the writer
+    /// mid-teardown. Errors are swallowed — there is no one to report
+    /// them to in drop, and the records were already at crash-loss risk.
+    fn drop(&mut self) {
+        let _ = self.commit();
     }
 }
 
@@ -361,6 +407,7 @@ pub fn compact_records(
                 }
             }
             JournalRecord::Scan { at } => engine.check_timeouts(at, &mut sink),
+            JournalRecord::Worker { .. } => {}
         }
         for action in &sink {
             if let Action::WorkflowCompleted { workflow, .. } = action {
@@ -392,6 +439,10 @@ pub fn compact_records(
                 }
             }
             JournalRecord::Scan { .. } => candidate.push(*rec),
+            // Lifecycle history is kept verbatim: transitions are rare,
+            // and the replayed liveness table (generations, phases,
+            // expiry counters) must survive compaction unchanged.
+            JournalRecord::Worker { .. } => candidate.push(*rec),
         }
     }
 
@@ -417,6 +468,7 @@ pub fn compact_records(
                     out.push(rec);
                 }
             }
+            JournalRecord::Worker { .. } => out.push(rec),
         }
         sink.clear();
     }
@@ -458,6 +510,13 @@ fn parse_record(line: &str) -> Option<JournalRecord> {
             })
         }
         "T" => Some(JournalRecord::Scan { at: parse_time(t.next()?)? }),
+        "W" => {
+            let worker = t.next()?.parse().ok()?;
+            let generation = t.next()?.parse().ok()?;
+            let phase = WorkerPhase::from_code(t.next()?.parse().ok()?)?;
+            let at = parse_time(t.next()?)?;
+            Some(JournalRecord::Worker { worker, generation, phase, at })
+        }
         _ => None,
     }
 }
@@ -552,11 +611,45 @@ fn replay_records<E: EngineCore>(
                 engine.check_timeouts(at, &mut sink);
                 sink.clear();
             }
+            // Lifecycle records are liveness-table inputs, not engine
+            // inputs: [`replay_liveness`] consumes them.
+            JournalRecord::Worker { .. } => {}
         }
     }
     let mut redispatch = Vec::new();
     engine.inflight_dispatches(&mut redispatch);
     Ok(Recovery { engine, resume_at, redispatch })
+}
+
+/// Rebuild the master's [`LivenessTable`] by replaying journal records:
+/// `W` records apply their journaled transitions, ack records replay the
+/// same assignment/lease bookkeeping the live master performed. The
+/// result matches the pre-crash table exactly — `W` records commit
+/// immediately, rejected acks were never journaled, and the master
+/// applies transitions within the same poll cycle that journals them
+/// (the `stale_acks_rejected` counter alone does not survive, since its
+/// inputs were dropped before journaling by design).
+///
+/// The recovering master should follow up with
+/// [`LivenessTable::grant_grace`] at the resume clock so surviving
+/// workers get a fresh lease — and workers that never come back are
+/// expired with a structured warning instead of being waited on forever.
+pub fn replay_liveness(records: &[JournalRecord], lease_secs: f64) -> LivenessTable {
+    let mut table = LivenessTable::new(lease_secs);
+    let mut transitions = Vec::new();
+    for rec in records {
+        match *rec {
+            JournalRecord::Worker { worker, generation, phase, at } => {
+                table.apply_transition(worker, generation, phase, at);
+            }
+            JournalRecord::Ack { ack, at } => {
+                table.admit_ack(&ack, at, &mut transitions);
+                transitions.clear();
+            }
+            JournalRecord::Submit { .. } | JournalRecord::Scan { .. } => {}
+        }
+    }
+    table
 }
 
 /// Rebuild a single engine by replaying journal records. Workflows are
@@ -706,6 +799,9 @@ mod tests {
                 }
                 JournalRecord::Ack { ack, at } => j.record_ack(&ack, at).unwrap(),
                 JournalRecord::Scan { at } => j.record_scan(at).unwrap(),
+                JournalRecord::Worker { worker, generation, phase, at } => {
+                    j.record_worker(worker, generation, phase, at).unwrap()
+                }
             }
         }
         // The tail of the history (acks + scan after the last submit) is
@@ -717,6 +813,132 @@ mod tests {
         assert_eq!(lean.engine.stats().workflows_completed, 1);
         assert_eq!(full.redispatch, lean.redispatch, "buffered tail survived compaction");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn worker_records_round_trip_exactly() {
+        let path = tmp("worker-rec");
+        let mut j = Journal::create(&path).unwrap();
+        j.record_worker(3, 1, WorkerPhase::Live, 0.5).unwrap();
+        j.record_worker(3, 1, WorkerPhase::Expired, 2.5).unwrap();
+        drop(j);
+        assert_eq!(
+            read_journal(&path).unwrap(),
+            vec![
+                JournalRecord::Worker {
+                    worker: 3,
+                    generation: 1,
+                    phase: WorkerPhase::Live,
+                    at: 0.5
+                },
+                JournalRecord::Worker {
+                    worker: 3,
+                    generation: 1,
+                    phase: WorkerPhase::Expired,
+                    at: 2.5
+                },
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn worker_records_commit_immediately_under_group_commit() {
+        let path = tmp("worker-rec-commit");
+        let mut j = Journal::create(&path)
+            .unwrap()
+            .with_policy(JournalCommitPolicy::GroupCommit { max_records: 1000 });
+        j.record_worker(1, 0, WorkerPhase::Live, 0.0).unwrap();
+        assert_eq!(
+            read_journal(&path).unwrap().len(),
+            1,
+            "a lifecycle record must never sit in the group-commit buffer"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_mid_window_then_reopen_loses_nothing() {
+        // A clean shutdown mid-group-commit-window must flush the tail
+        // explicitly (Journal's Drop impl), and a writer reopened on the
+        // file must append after it without gaps.
+        let path = tmp("drop-reopen");
+        let mut j = Journal::create(&path)
+            .unwrap()
+            .with_policy(JournalCommitPolicy::GroupCommit { max_records: 1000 });
+        let ack = |attempt| AckMsg {
+            job: EnsembleJobId::new(WorkflowId(0), JobId(0)),
+            worker: 0,
+            kind: AckKind::Running,
+            attempt,
+        };
+        j.record_submit(WorkflowId(0), 0, 0.0).unwrap();
+        j.record_ack(&ack(1), 1.0).unwrap();
+        j.record_ack(&ack(2), 2.0).unwrap(); // both acks still buffered
+        drop(j); // clean shutdown mid-window
+        assert_eq!(read_journal(&path).unwrap().len(), 3, "drop flushed the window");
+
+        let mut j = Journal::append(&path)
+            .unwrap()
+            .with_policy(JournalCommitPolicy::GroupCommit { max_records: 1000 });
+        j.note_existing(3);
+        j.record_ack(&ack(3), 3.0).unwrap();
+        drop(j);
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[3], JournalRecord::Ack { ack: ack(3), at: 3.0 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_liveness_rebuilds_the_pre_crash_table() {
+        use crate::realtime::liveness::REQUEUE_WORKER;
+        // The journaled history of a worker that registered, checked a
+        // job out, expired, and had the job requeued.
+        let job = EnsembleJobId::new(WorkflowId(0), JobId(0));
+        let records = vec![
+            JournalRecord::Worker { worker: 4, generation: 0, phase: WorkerPhase::Live, at: 0.0 },
+            JournalRecord::Ack {
+                ack: AckMsg { job, worker: 4, kind: AckKind::Running, attempt: 1 },
+                at: 0.5,
+            },
+            JournalRecord::Worker {
+                worker: 4,
+                generation: 0,
+                phase: WorkerPhase::Expired,
+                at: 2.0,
+            },
+            JournalRecord::Ack {
+                ack: AckMsg { job, worker: REQUEUE_WORKER, kind: AckKind::Failed, attempt: 1 },
+                at: 2.0,
+            },
+        ];
+        let table = replay_liveness(&records, 1.0);
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!((snap[0].worker, snap[0].phase), (4, WorkerPhase::Expired));
+        assert_eq!(table.stats().workers_expired, 1);
+        assert_eq!(table.stats().jobs_requeued_on_expiry, 1);
+        assert_eq!(table.assignment_count(), 0);
+    }
+
+    #[test]
+    fn compaction_keeps_lifecycle_records() {
+        let (registry, config, mut records) = noisy_history();
+        records.insert(
+            0,
+            JournalRecord::Worker { worker: 0, generation: 0, phase: WorkerPhase::Live, at: 0.0 },
+        );
+        records.push(JournalRecord::Worker {
+            worker: 0,
+            generation: 0,
+            phase: WorkerPhase::Expired,
+            at: 13.0,
+        });
+        let compacted = compact_records(&records, &registry, config).unwrap();
+        let kept: Vec<_> =
+            compacted.iter().filter(|r| matches!(r, JournalRecord::Worker { .. })).collect();
+        assert_eq!(kept.len(), 2, "lifecycle history survives compaction verbatim");
     }
 
     #[test]
@@ -927,6 +1149,9 @@ mod tests {
                 }
                 JournalRecord::Ack { ack, at } => j.record_ack(&ack, at).unwrap(),
                 JournalRecord::Scan { at } => j.record_scan(at).unwrap(),
+                JournalRecord::Worker { worker, generation, phase, at } => {
+                    j.record_worker(worker, generation, phase, at).unwrap()
+                }
             }
         }
         assert_eq!(j.record_count(), records.len());

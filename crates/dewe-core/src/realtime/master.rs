@@ -10,7 +10,9 @@ use dewe_dag::WorkflowId;
 
 use super::bus::{MessageBus, Registry};
 use super::journal::{self, Journal, JournalCommitPolicy};
+use super::liveness::{LivenessTable, LivenessTransition, MasterStats, RequeueEntry, WorkerView};
 use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
+use crate::protocol::AckMsg;
 use crate::sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
 use crate::sharded::{HashRouter, ShardedEngine};
 
@@ -71,6 +73,14 @@ pub struct MasterConfig {
     /// once per poll cycle (submissions always commit immediately). See
     /// [`JournalCommitPolicy`] for what a crash can lose under each.
     pub journal_commit: JournalCommitPolicy,
+    /// Worker lease duration, seconds. When set, the master runs the
+    /// liveness plane: it pulls the lifecycle topic into a
+    /// [`LivenessTable`], expires workers silent past the lease
+    /// (requeueing their in-flight jobs through the retry machinery),
+    /// and fences acks from expired workers. `None` (default) disables
+    /// all liveness tracking — the pre-lease behaviour, where only job
+    /// timeouts recover from worker loss.
+    pub lease_secs: Option<f64>,
 }
 
 impl Default for MasterConfig {
@@ -88,6 +98,7 @@ impl Default for MasterConfig {
             threads: 0,
             journal_compact_threshold: None,
             journal_commit: JournalCommitPolicy::default(),
+            lease_secs: None,
         }
     }
 }
@@ -133,10 +144,20 @@ pub enum MasterEvent {
     },
 }
 
+/// Liveness state the master mirrors out for observers (tests, the
+/// bench harness, operators): fault-plane counters and the current
+/// worker table. Updated by the serve loop as liveness events land.
+#[derive(Default)]
+struct FaultPlaneShared {
+    stats: parking_lot::Mutex<MasterStats>,
+    snapshot: parking_lot::Mutex<Vec<WorkerView>>,
+}
+
 /// Handle to a running master daemon.
 pub struct MasterHandle {
     thread: Option<std::thread::JoinHandle<EngineStats>>,
     stop: Arc<AtomicBool>,
+    shared: Arc<FaultPlaneShared>,
     /// Receiver for progress events.
     pub events: Receiver<MasterEvent>,
 }
@@ -145,6 +166,20 @@ impl MasterHandle {
     /// Wait for the master to exit, returning final engine statistics.
     pub fn join(mut self) -> EngineStats {
         self.thread.take().expect("join called once").join().expect("master panicked")
+    }
+
+    /// Fault-plane counters ([`MasterConfig::lease_secs`] enabled;
+    /// all-zero otherwise). Readable while the master runs and after it
+    /// exits (read before [`join`](Self::join)/[`kill`](Self::kill),
+    /// which consume the handle).
+    pub fn master_stats(&self) -> MasterStats {
+        *self.shared.stats.lock()
+    }
+
+    /// Current liveness table rows, ordered by worker id. Empty when
+    /// leases are disabled.
+    pub fn liveness_snapshot(&self) -> Vec<WorkerView> {
+        self.shared.snapshot.lock().clone()
     }
 
     /// Simulate a master crash: the daemon stops serving immediately,
@@ -170,11 +205,13 @@ pub fn spawn_master(bus: MessageBus, registry: Registry, config: MasterConfig) -
     let (tx, rx): (Sender<MasterEvent>, Receiver<MasterEvent>) = unbounded();
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let shared = Arc::new(FaultPlaneShared::default());
+    let shared2 = Arc::clone(&shared);
     let thread = std::thread::Builder::new()
         .name("dewe-master".into())
-        .spawn(move || master_loop(bus, registry, config, tx, stop2))
+        .spawn(move || master_loop(bus, registry, config, tx, stop2, shared2))
         .expect("spawn master thread");
-    MasterHandle { thread: Some(thread), stop, events: rx }
+    MasterHandle { thread: Some(thread), stop, shared, events: rx }
 }
 
 /// Ties an engine shape to its journal-recovery entry point, so the
@@ -214,17 +251,118 @@ fn master_loop(
     config: MasterConfig,
     events: Sender<MasterEvent>,
     stop: Arc<AtomicBool>,
+    shared: Arc<FaultPlaneShared>,
 ) -> EngineStats {
     assert!(config.shards >= 1, "shard count must be at least 1");
     if config.shards > 1 && config.threads >= 1 {
-        serve_parallel(bus, registry, config, events, stop)
+        serve_parallel(bus, registry, config, events, stop, shared)
     } else if config.shards > 1 {
         let engine = config.engine_config().build_sharded(config.shards);
-        serve(bus, registry, config, events, stop, engine)
+        serve(bus, registry, config, events, stop, shared, engine)
     } else {
         let engine = config.engine_config().build();
-        serve(bus, registry, config, events, stop, engine)
+        serve(bus, registry, config, events, stop, shared, engine)
     }
+}
+
+/// The liveness plane as driven from a serve loop: owns the
+/// [`LivenessTable`], journals every transition as a `W` record, warns
+/// when an expiry hits a worker the recovered journal referenced but
+/// that never re-registered (the silent-fallback fix), and mirrors
+/// counters/snapshot into the shared handle state.
+struct LivenessPlane {
+    table: LivenessTable,
+    shared: Arc<FaultPlaneShared>,
+    transitions: Vec<LivenessTransition>,
+    requeues: Vec<RequeueEntry>,
+}
+
+impl LivenessPlane {
+    fn new(table: LivenessTable, shared: Arc<FaultPlaneShared>) -> Self {
+        let plane = Self { table, shared, transitions: Vec::new(), requeues: Vec::new() };
+        plane.publish();
+        plane
+    }
+
+    /// Pull every queued lifecycle message and expire lapsed leases.
+    /// Freed in-flight jobs are appended to `requeue_acks` as synthetic
+    /// `Failed` acks for the caller to journal and feed to the engine.
+    fn poll(
+        &mut self,
+        bus: &MessageBus,
+        wal: &mut Option<Journal>,
+        now: f64,
+        requeue_acks: &mut Vec<AckMsg>,
+    ) {
+        while let Some(msg) = bus.lifecycle.try_pull() {
+            self.table.on_lifecycle(&msg, now, &mut self.transitions, &mut self.requeues);
+        }
+        self.table.expire_due(now, &mut self.transitions, &mut self.requeues);
+        let changed = !self.transitions.is_empty() || !self.requeues.is_empty();
+        self.flush_transitions(wal);
+        for r in self.requeues.drain(..) {
+            requeue_acks.push(r.as_failed_ack());
+        }
+        if changed {
+            self.publish();
+        }
+    }
+
+    /// Ack fence: returns `false` for an ack from an expired worker —
+    /// the caller must drop it (not journal it, not feed the engine).
+    fn admit(&mut self, ack: &AckMsg, wal: &mut Option<Journal>, now: f64) -> bool {
+        let before = self.table.stats();
+        let ok = self.table.admit_ack(ack, now, &mut self.transitions);
+        // Implicit registrations and rejections move counters without
+        // emitting a transition, so publish on any stats change.
+        let changed = !self.transitions.is_empty() || self.table.stats() != before;
+        self.flush_transitions(wal);
+        if changed {
+            self.publish();
+        }
+        ok
+    }
+
+    fn flush_transitions(&mut self, wal: &mut Option<Journal>) {
+        for t in self.transitions.drain(..) {
+            if t.lost_in_recovery {
+                eprintln!(
+                    "dewe-master: WARN worker_lost_in_recovery worker={} generation={}: \
+                     journal references a worker that never re-registered; requeueing its jobs",
+                    t.worker, t.generation
+                );
+            }
+            if let Some(w) = wal.as_mut() {
+                w.record_worker(t.worker, t.generation, t.phase, t.at).expect("journal worker");
+            }
+        }
+    }
+
+    fn publish(&self) {
+        *self.shared.stats.lock() = self.table.stats();
+        *self.shared.snapshot.lock() = self.table.snapshot();
+    }
+}
+
+/// Build the liveness plane for a (possibly recovering) master. On
+/// recovery the journal's lifecycle history is replayed and every
+/// still-live worker gets a grace lease from `resume_at` — workers that
+/// never make contact again are expired (and flagged) when it lapses.
+fn build_plane(
+    config: &MasterConfig,
+    shared: &Arc<FaultPlaneShared>,
+    recovered: Option<(&[journal::JournalRecord], f64)>,
+) -> Option<LivenessPlane> {
+    let lease = config.lease_secs?;
+    let table = match recovered {
+        Some((records, resume_at)) => {
+            let mut t = journal::replay_liveness(records, lease);
+            t.grant_grace(resume_at);
+            t
+        }
+        None => LivenessTable::new(lease),
+    };
+    Some(LivenessPlane::new(table, Arc::clone(shared)))
 }
 
 /// The free-running threaded master: shard worker threads own the
@@ -239,11 +377,14 @@ fn serve_parallel(
     config: MasterConfig,
     events: Sender<MasterEvent>,
     stop: Arc<AtomicBool>,
+    shared: Arc<FaultPlaneShared>,
 ) -> EngineStats {
     let mut time_base = 0.0f64;
     let mut wal: Option<Journal> = None;
     let mut actions: Vec<Action> = Vec::new();
     let mut ack_burst: Vec<crate::protocol::AckMsg> = Vec::with_capacity(config.ack_burst.max(1));
+    let mut requeue_acks: Vec<AckMsg> = Vec::new();
+    let mut liveness: Option<LivenessPlane> = None;
 
     // Dispatches leave from the worker threads themselves: each shard
     // thread publishes onto its own dispatch topic without crossing back
@@ -262,9 +403,23 @@ fn serve_parallel(
             let records = journal::read_journal(path).expect("read journal");
             let rec = ShardedEngine::recover_from(&records, &registry, &config).expect("replay");
             time_base = rec.resume_at;
+            liveness = build_plane(&config, &shared, Some((&records, rec.resume_at)));
+            if liveness.is_some() {
+                // Discard the pre-takeover lifecycle backlog (see the
+                // sequential loop's recovery path for why).
+                while bus.lifecycle.try_pull().is_some() {}
+            }
             let recovered = rec.engine;
+            // Same lease-aware republishing rule as the sequential loop:
+            // attempts a grace-leased worker still holds are not
+            // republished — lease lapse requeues them if it is gone.
             for d in rec.redispatch {
-                bus.dispatch_topic(recovered.shard_of(d.job.workflow)).publish(d);
+                let held = liveness.as_ref().is_some_and(
+                    |p| matches!(p.table.assignment(d.job), Some((_, a)) if a == d.attempt),
+                );
+                if !held {
+                    bus.dispatch_topic(recovered.shard_of(d.job.workflow)).publish(d);
+                }
             }
             let mut j =
                 Journal::append(path).expect("reopen journal").with_policy(config.journal_commit);
@@ -290,6 +445,9 @@ fn serve_parallel(
             opts,
         )
     };
+    if liveness.is_none() {
+        liveness = build_plane(&config, &shared, None);
+    }
 
     let start = Instant::now();
     let mut last_scan = time_base;
@@ -333,6 +491,19 @@ fn serve_parallel(
             engine.enqueue_scan(now);
         }
 
+        // 2b. Liveness plane (see the sequential loop): lifecycle
+        // traffic, lease expiry, and synthetic requeue acks, journaled
+        // before they are enqueued like every other input.
+        if let Some(plane) = liveness.as_mut() {
+            plane.poll(&bus, &mut wal, now, &mut requeue_acks);
+            for ack in requeue_acks.drain(..) {
+                if let Some(w) = wal.as_mut() {
+                    w.record_ack(&ack, now).expect("journal ack");
+                }
+                engine.enqueue_ack(ack, now);
+            }
+        }
+
         engine.flush();
         engine.poll_actions(&mut actions);
         publish_actions(&bus, &engine, &events, &mut actions);
@@ -368,6 +539,12 @@ fn serve_parallel(
                 }
                 let now = time_base + start.elapsed().as_secs_f64();
                 for ack in ack_burst.drain(..) {
+                    // Zombie fence, as in the sequential loop.
+                    if let Some(plane) = liveness.as_mut() {
+                        if !plane.admit(&ack, &mut wal, now) {
+                            continue;
+                        }
+                    }
                     if let Some(w) = wal.as_mut() {
                         w.record_ack(&ack, now).expect("journal ack");
                     }
@@ -395,6 +572,7 @@ fn serve<E: RecoverableEngine>(
     config: MasterConfig,
     events: Sender<MasterEvent>,
     stop: Arc<AtomicBool>,
+    shared: Arc<FaultPlaneShared>,
     mut engine: E,
 ) -> EngineStats {
     // Engine time continues across restarts: a recovered master resumes
@@ -404,6 +582,8 @@ fn serve<E: RecoverableEngine>(
     let mut wal: Option<Journal> = None;
     let mut actions: Vec<Action> = Vec::new();
     let mut ack_burst: Vec<crate::protocol::AckMsg> = Vec::with_capacity(config.ack_burst.max(1));
+    let mut requeue_acks: Vec<AckMsg> = Vec::new();
+    let mut liveness: Option<LivenessPlane> = None;
 
     if let Some(path) = &config.journal_path {
         if config.recover && path.exists() {
@@ -411,12 +591,33 @@ fn serve<E: RecoverableEngine>(
             let rec = E::recover_from(&records, &registry, &config).expect("replay");
             engine = rec.engine;
             time_base = rec.resume_at;
+            liveness = build_plane(&config, &shared, Some((&records, rec.resume_at)));
+            if liveness.is_some() {
+                // The lifecycle backlog predates the takeover (heartbeats
+                // of unknown age, possibly from workers that died during
+                // the outage): discard it so stale traffic cannot pass
+                // for post-recovery contact. Live workers re-prove
+                // themselves within one heartbeat interval — well inside
+                // the grace lease — and even a discarded one-shot
+                // Register heals, since any later heartbeat or ack
+                // grants an implicit lease.
+                while bus.lifecycle.try_pull().is_some() {}
+            }
             // Pre-crash queue state is unknown; republish everything the
             // rebuilt engine believes is in flight. Workers that already
             // ran these attempts produce duplicate-completion noise the
-            // engine tolerates.
+            // engine tolerates. With leases enabled, attempts the replayed
+            // table knows are checked out by a (grace-leased) worker are
+            // NOT republished: a live worker is still running them, and a
+            // dead one's lease lapse requeues them through the retry
+            // machinery.
             for d in rec.redispatch {
-                bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
+                let held = liveness.as_ref().is_some_and(
+                    |p| matches!(p.table.assignment(d.job), Some((_, a)) if a == d.attempt),
+                );
+                if !held {
+                    bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
+                }
             }
             let mut j =
                 Journal::append(path).expect("reopen journal").with_policy(config.journal_commit);
@@ -427,6 +628,9 @@ fn serve<E: RecoverableEngine>(
                 Journal::create(path).expect("create journal").with_policy(config.journal_commit),
             );
         }
+    }
+    if liveness.is_none() {
+        liveness = build_plane(&config, &shared, None);
     }
 
     let start = Instant::now();
@@ -479,6 +683,21 @@ fn serve<E: RecoverableEngine>(
             publish_actions(&bus, &engine, &events, &mut actions);
         }
 
+        // 2b. Liveness plane: ingest lifecycle traffic, expire lapsed
+        // leases, and push the freed jobs back through the retry
+        // machinery as synthetic Failed acks — journaled like any other
+        // engine input, so replay reconstructs the identical requeues.
+        if let Some(plane) = liveness.as_mut() {
+            plane.poll(&bus, &mut wal, now, &mut requeue_acks);
+            for ack in requeue_acks.drain(..) {
+                if let Some(w) = wal.as_mut() {
+                    w.record_ack(&ack, now).expect("journal ack");
+                }
+                engine.on_ack(ack, now, &mut actions);
+            }
+            publish_actions(&bus, &engine, &events, &mut actions);
+        }
+
         // 3. Exit once the expected workload has settled. (The engine's
         // own `AllCompleted`/`AllSettled` only cover workflows submitted
         // *so far*; the master must keep serving when more submissions
@@ -508,6 +727,14 @@ fn serve<E: RecoverableEngine>(
                 }
                 let now = time_base + start.elapsed().as_secs_f64();
                 for ack in ack_burst.drain(..) {
+                    // Zombie fence: acks from an expired worker are
+                    // dropped before journaling — rejected input is not
+                    // engine input.
+                    if let Some(plane) = liveness.as_mut() {
+                        if !plane.admit(&ack, &mut wal, now) {
+                            continue;
+                        }
+                    }
                     if let Some(w) = wal.as_mut() {
                         w.record_ack(&ack, now).expect("journal ack");
                     }
@@ -857,6 +1084,140 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         None
+    }
+
+    #[test]
+    fn lease_expiry_requeues_a_dead_workers_job_and_fences_its_acks() {
+        use crate::protocol::{LifecycleKind, LifecycleMsg};
+        use crate::realtime::WorkerPhase;
+
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                // Job timeout is deliberately long: recovery must come
+                // from the lease, not the timeout scan.
+                default_timeout_secs: 30.0,
+                timeout_scan_interval: Duration::from_millis(10),
+                expected_workflows: Some(1),
+                lease_secs: Some(0.15),
+                ..MasterConfig::default()
+            },
+        );
+        let mut b = WorkflowBuilder::new("one");
+        b.job("a", "t", 1.0).build();
+        super::super::submit(&bus, "one", Arc::new(b.finish().unwrap()));
+
+        // Worker 5 registers, checks the job out, then dies silently.
+        let d1 = bus.dispatch.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d1.attempt, 1);
+        bus.lifecycle.publish(LifecycleMsg {
+            worker: 5,
+            generation: 0,
+            kind: LifecycleKind::Register,
+        });
+        bus.ack.publish(AckMsg { job: d1.job, worker: 5, kind: AckKind::Running, attempt: 1 });
+
+        // The lease lapses and the job is requeued as attempt 2.
+        let d2 = bus.dispatch.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d2.attempt, 2);
+        // A zombie completion for the dead attempt is fenced out; a live
+        // worker finishes the requeued attempt.
+        bus.ack.publish(AckMsg { job: d1.job, worker: 5, kind: AckKind::Completed, attempt: 1 });
+        bus.ack.publish(AckMsg { job: d2.job, worker: 6, kind: AckKind::Running, attempt: 2 });
+        bus.ack.publish(AckMsg { job: d2.job, worker: 6, kind: AckKind::Completed, attempt: 2 });
+
+        loop {
+            match handle.events.recv_timeout(Duration::from_secs(5)).unwrap() {
+                MasterEvent::AllCompleted { .. } => break,
+                MasterEvent::WorkflowCompleted { .. } => {}
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let ms = handle.master_stats();
+        assert_eq!(ms.workers_expired, 1);
+        assert_eq!(ms.jobs_requeued_on_expiry, 1);
+        assert_eq!(ms.stale_acks_rejected, 1);
+        assert_eq!(ms.workers_registered, 2, "worker 6 got an implicit lease");
+        let rows = handle.liveness_snapshot();
+        assert_eq!(rows.iter().filter(|r| r.phase == WorkerPhase::Expired).count(), 1);
+        let stats = handle.join();
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.duplicate_completions, 0, "fenced before the engine");
+    }
+
+    #[test]
+    fn drained_worker_completes_gracefully_under_leases() {
+        use crate::realtime::runner::NoopRunner;
+        use crate::realtime::worker::{spawn_worker, WorkerConfig};
+
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig {
+                timeout_scan_interval: Duration::from_millis(10),
+                expected_workflows: Some(4),
+                lease_secs: Some(2.0),
+                ..MasterConfig::default()
+            },
+        );
+        let mk_worker = |id: u32| {
+            spawn_worker(
+                bus.clone(),
+                registry.clone(),
+                Arc::new(NoopRunner),
+                WorkerConfig {
+                    worker_id: id,
+                    slots: 2,
+                    pull_timeout: Duration::from_millis(5),
+                    heartbeat_interval: Some(Duration::from_millis(20)),
+                    ..WorkerConfig::default()
+                },
+            )
+        };
+        let w0 = mk_worker(0);
+        let w1 = mk_worker(1);
+        for i in 0..2 {
+            let mut b = WorkflowBuilder::new("wf");
+            b.job("a", "t", 1.0).build();
+            b.job("b", "t", 1.0).build();
+            super::super::submit(&bus, format!("wf{i}"), Arc::new(b.finish().unwrap()));
+        }
+        // Wait for the first batch to finish, then drain worker 1 and
+        // submit more work — only worker 0 serves it.
+        let mut settled = 0;
+        while settled < 2 {
+            if let MasterEvent::WorkflowCompleted { .. } =
+                handle.events.recv_timeout(Duration::from_secs(10)).unwrap()
+            {
+                settled += 1;
+            }
+        }
+        w1.drain();
+        for i in 2..4 {
+            let mut b = WorkflowBuilder::new("wf");
+            b.job("a", "t", 1.0).build();
+            b.job("b", "t", 1.0).build();
+            super::super::submit(&bus, format!("wf{i}"), Arc::new(b.finish().unwrap()));
+        }
+        loop {
+            match handle.events.recv_timeout(Duration::from_secs(10)).unwrap() {
+                MasterEvent::AllCompleted { .. } => break,
+                MasterEvent::WorkflowCompleted { .. } => {}
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let ms = handle.master_stats();
+        assert_eq!(ms.drains_completed, 1);
+        assert_eq!(ms.workers_expired, 0, "heartbeats kept every lease alive");
+        assert_eq!(ms.jobs_requeued_on_expiry, 0);
+        let stats = handle.join();
+        assert_eq!(stats.workflows_completed, 4);
+        w0.stop();
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod bus;
 mod chaos;
 mod deployment;
 mod journal;
+mod liveness;
 mod master;
 mod observer;
 mod runner;
@@ -37,7 +38,13 @@ mod worker;
 pub use bus::{MessageBus, Registry};
 pub use chaos::ChaosLink;
 pub use deployment::{Deployment, DeploymentBuilder};
-pub use journal::{read_journal, recover, Journal, JournalCommitPolicy, JournalRecord, Recovery};
+pub use journal::{
+    read_journal, recover, replay_liveness, Journal, JournalCommitPolicy, JournalRecord, Recovery,
+};
+pub use liveness::{
+    LivenessTable, LivenessTransition, MasterStats, RequeueEntry, WorkerPhase, WorkerView,
+    REQUEUE_WORKER,
+};
 pub use master::{spawn_master, MasterConfig, MasterEvent, MasterHandle};
 pub use observer::{spawn_observer, BusSeries, ObserverHandle};
 pub use runner::{CpuRunner, FsRunner, JobOutcome, JobRunner, NoopRunner, RunContext, SleepRunner};

@@ -6,13 +6,18 @@ use std::time::Duration;
 
 use super::bus::{MessageBus, Registry};
 use super::runner::{JobOutcome, JobRunner, RunContext};
-use crate::protocol::{AckKind, AckMsg};
+use crate::protocol::{AckKind, AckMsg, LifecycleKind, LifecycleMsg};
 
 /// Worker daemon configuration.
 #[derive(Debug, Clone)]
 pub struct WorkerConfig {
     /// Worker identity (appears in acknowledgments).
     pub worker_id: u32,
+    /// Worker incarnation. A replacement worker reusing a crashed
+    /// worker's id registers with a higher generation; the master's
+    /// liveness table supersedes the old incarnation and requeues
+    /// whatever it still held.
+    pub generation: u32,
     /// Concurrent job threads — the paper caps this at the node's CPU
     /// count: "the worker daemon stops pulling the job dispatching topic
     /// when the number of concurrent job execution threads equals the
@@ -25,19 +30,36 @@ pub struct WorkerConfig {
     /// the shared topic — the only dispatch source of an un-sharded
     /// master.
     pub shard: Option<usize>,
+    /// When set, a dedicated thread registers the worker on the
+    /// lifecycle topic and then heartbeats at this cadence, letting a
+    /// lease-enabled master detect silence. `None` (default) sends no
+    /// lifecycle traffic at all — the pre-lease wire behaviour.
+    pub heartbeat_interval: Option<Duration>,
 }
 
 impl Default for WorkerConfig {
     fn default() -> Self {
-        Self { worker_id: 0, slots: 4, pull_timeout: Duration::from_millis(50), shard: None }
+        Self {
+            worker_id: 0,
+            generation: 0,
+            slots: 4,
+            pull_timeout: Duration::from_millis(50),
+            shard: None,
+            heartbeat_interval: None,
+        }
     }
 }
 
 /// Handle to a running worker daemon.
 pub struct WorkerHandle {
     threads: Vec<std::thread::JoinHandle<u64>>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
+    hb_pause: Arc<AtomicBool>,
+    lifecycle: dewe_mq::Topic<LifecycleMsg>,
+    worker_id: u32,
+    generation: u32,
 }
 
 impl WorkerHandle {
@@ -49,16 +71,58 @@ impl WorkerHandle {
     }
 
     /// Crash the worker (paper §V.A.3): in-flight jobs are abandoned
-    /// *without* a completion acknowledgment, so the master must recover
-    /// them via timeouts. Returns total jobs executed (completed ones).
+    /// *without* a completion acknowledgment, and heartbeats cease
+    /// abruptly, so the master must recover them via timeouts or — with
+    /// leases enabled — lease expiry. Returns total jobs executed
+    /// (completed ones).
     pub fn kill(self) -> u64 {
         self.kill.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
         self.join()
     }
 
+    /// Announce a graceful drain on the lifecycle topic *without*
+    /// stopping: the master marks the worker Draining (no new dispatch
+    /// credit) while running jobs finish and ack. Models a spot
+    /// revocation notice — call this at the notice, [`kill`](Self::kill)
+    /// at the revocation.
+    pub fn announce_drain(&self) {
+        self.lifecycle.publish(LifecycleMsg {
+            worker: self.worker_id,
+            generation: self.generation,
+            kind: LifecycleKind::Drain,
+        });
+    }
+
+    /// Full graceful drain: announce on the lifecycle topic, then stop —
+    /// slots finish their current job, acknowledging it, and exit.
+    /// Returns total jobs executed.
+    pub fn drain(self) -> u64 {
+        self.announce_drain();
+        self.stop()
+    }
+
+    /// Suspend heartbeats without stopping the worker: jobs keep
+    /// running, but a lease-enabled master sees silence. This is the
+    /// stall/straggler fault — resume with
+    /// [`resume_heartbeats`](Self::resume_heartbeats) to model a GC
+    /// pause or network partition that heals.
+    pub fn pause_heartbeats(&self) {
+        self.hb_pause.store(true, Ordering::Relaxed);
+    }
+
+    /// Resume heartbeats after [`pause_heartbeats`](Self::pause_heartbeats).
+    pub fn resume_heartbeats(&self) {
+        self.hb_pause.store(false, Ordering::Relaxed);
+    }
+
     fn join(self) -> u64 {
-        self.threads.into_iter().map(|t| t.join().expect("worker thread panicked")).sum()
+        let total =
+            self.threads.into_iter().map(|t| t.join().expect("worker thread panicked")).sum();
+        if let Some(hb) = self.heartbeat {
+            hb.join().expect("heartbeat thread panicked");
+        }
+        total
     }
 }
 
@@ -75,6 +139,7 @@ pub fn spawn_worker(
 ) -> WorkerHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let kill = Arc::new(AtomicBool::new(false));
+    let hb_pause = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::with_capacity(config.slots);
     for slot in 0..config.slots {
         let bus = bus.clone();
@@ -90,7 +155,57 @@ pub fn spawn_worker(
                 .expect("spawn worker thread"),
         );
     }
-    WorkerHandle { threads, stop, kill }
+    let heartbeat = config.heartbeat_interval.map(|interval| {
+        let lifecycle = bus.lifecycle.clone();
+        let stop = Arc::clone(&stop);
+        let pause = Arc::clone(&hb_pause);
+        let (worker, generation) = (config.worker_id, config.generation);
+        std::thread::Builder::new()
+            .name(format!("dewe-worker-{worker}-hb"))
+            .spawn(move || heartbeat_loop(lifecycle, stop, pause, worker, generation, interval))
+            .expect("spawn heartbeat thread")
+    });
+    WorkerHandle {
+        threads,
+        heartbeat,
+        stop,
+        kill,
+        hb_pause,
+        lifecycle: bus.lifecycle.clone(),
+        worker_id: config.worker_id,
+        generation: config.generation,
+    }
+}
+
+/// Register once, then heartbeat every `interval` until stopped. The
+/// loop ticks well under the interval so stop and pause requests take
+/// effect promptly; a paused thread keeps ticking silently, which is
+/// exactly what a stalled-but-alive worker looks like on the wire.
+fn heartbeat_loop(
+    lifecycle: dewe_mq::Topic<LifecycleMsg>,
+    stop: Arc<AtomicBool>,
+    pause: Arc<AtomicBool>,
+    worker: u32,
+    generation: u32,
+    interval: Duration,
+) {
+    lifecycle.publish(LifecycleMsg { worker, generation, kind: LifecycleKind::Register });
+    let tick = (interval / 4).clamp(Duration::from_millis(1), Duration::from_millis(25));
+    let mut since_beat = Duration::ZERO;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        since_beat += tick;
+        if since_beat >= interval {
+            since_beat = Duration::ZERO;
+            if !pause.load(Ordering::Relaxed) {
+                lifecycle.publish(LifecycleMsg {
+                    worker,
+                    generation,
+                    kind: LifecycleKind::Heartbeat,
+                });
+            }
+        }
+    }
 }
 
 fn slot_loop(
@@ -309,6 +424,52 @@ mod tests {
         let completed = bus.ack.pull_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(completed.kind, AckKind::Completed);
         assert_eq!(handle.stop(), 1);
+    }
+
+    #[test]
+    fn worker_registers_heartbeats_pauses_and_drains() {
+        let bus = MessageBus::new();
+        let registry = one_job_registry();
+        let handle = spawn_worker(
+            bus.clone(),
+            registry,
+            Arc::new(NoopRunner),
+            WorkerConfig {
+                worker_id: 3,
+                generation: 2,
+                slots: 1,
+                pull_timeout: Duration::from_millis(5),
+                heartbeat_interval: Some(Duration::from_millis(10)),
+                ..WorkerConfig::default()
+            },
+        );
+        // Registration arrives first, then a steady heartbeat.
+        let reg = bus.lifecycle.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reg, LifecycleMsg { worker: 3, generation: 2, kind: LifecycleKind::Register });
+        let hb = bus.lifecycle.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(hb.kind, LifecycleKind::Heartbeat);
+        assert_eq!(hb.generation, 2);
+        // The stall fault: paused heartbeats go silent without stopping
+        // the worker. Drain any already-published backlog first.
+        handle.pause_heartbeats();
+        std::thread::sleep(Duration::from_millis(15));
+        while bus.lifecycle.try_pull().is_some() {}
+        assert!(
+            bus.lifecycle.pull_timeout(Duration::from_millis(60)).is_none(),
+            "paused worker is silent on the lifecycle topic"
+        );
+        handle.resume_heartbeats();
+        let hb = bus.lifecycle.pull_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(hb.kind, LifecycleKind::Heartbeat);
+        // Graceful drain announces itself before stopping.
+        assert_eq!(handle.drain(), 0);
+        let mut saw_drain = false;
+        while let Some(msg) = bus.lifecycle.try_pull() {
+            if msg.kind == LifecycleKind::Drain {
+                saw_drain = true;
+            }
+        }
+        assert!(saw_drain, "drain announcement published");
     }
 
     #[test]

@@ -125,7 +125,7 @@ struct Reply {
 /// read in free-running mode only ever *under*-reports progress.
 struct ShardCell {
     /// [`EngineStats`] fields, in declaration order.
-    stats: [AtomicU64; 10],
+    stats: [AtomicU64; 11],
     /// `f64::to_bits` of the shard's earliest deadline, [`NO_DEADLINE`]
     /// when none. Non-negative finite deadlines order identically as bits.
     deadline_bits: AtomicU64,
@@ -156,6 +156,7 @@ impl ShardCell {
             s.deferred_retries,
             s.jobs_completed,
             s.duplicate_completions,
+            s.stale_failures_ignored,
             s.dead_lettered,
             s.jobs_abandoned,
         ];
@@ -179,8 +180,9 @@ impl ShardCell {
             deferred_retries: w(5),
             jobs_completed: w(6),
             duplicate_completions: w(7),
-            dead_lettered: w(8),
-            jobs_abandoned: w(9),
+            stale_failures_ignored: w(8),
+            dead_lettered: w(9),
+            jobs_abandoned: w(10),
         }
     }
 }

@@ -39,7 +39,7 @@ pub enum SubmissionPlan {
 
 /// A worker-daemon fault to inject (paper §V.A.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultPlan {
+pub struct NodeFault {
     /// Node whose worker daemon dies.
     pub node: NodeId,
     /// When it dies (seconds).
@@ -72,7 +72,7 @@ pub struct SimRunConfig {
     /// scale; use for single-workflow runs).
     pub record_gantt: bool,
     /// Worker faults to inject.
-    pub faults: Vec<FaultPlan>,
+    pub faults: Vec<NodeFault>,
     /// Per-node CPU speed multipliers (heterogeneity ablation; `None` =
     /// the paper's homogeneous cluster).
     pub node_speed_factors: Option<Vec<f64>>,
@@ -931,7 +931,7 @@ mod tests {
         let wf = chain_wf(1, 100.0);
         let mut cfg = no_overhead(cluster(1));
         cfg.default_timeout_secs = 150.0;
-        cfg.faults = vec![FaultPlan { node: 0, kill_at_secs: 50.0, restart_at_secs: Some(55.0) }];
+        cfg.faults = vec![NodeFault { node: 0, kill_at_secs: 50.0, restart_at_secs: Some(55.0) }];
         let report = run_ensemble(&[wf], &cfg);
         assert!(report.completed);
         assert_eq!(report.engine.resubmissions, 1);
@@ -948,7 +948,7 @@ mod tests {
         let mut cfg = no_overhead(cluster(1));
         cfg.default_timeout_secs = 30.0;
         cfg.timeout_scan_secs = 1.0;
-        cfg.faults = vec![FaultPlan { node: 0, kill_at_secs: 5.0, restart_at_secs: Some(7.0) }];
+        cfg.faults = vec![NodeFault { node: 0, kill_at_secs: 5.0, restart_at_secs: Some(7.0) }];
         let report = run_ensemble(&[wf], &cfg);
         assert!(report.completed);
         assert!(report.engine.resubmissions >= 32);
@@ -1197,7 +1197,7 @@ mod tests {
         cfg.default_timeout_secs = 20.0;
         cfg.timeout_scan_secs = 1.0;
         cfg.chaos = Some(ChaosConfig::drop_dup(11, 0.05, 0.05));
-        cfg.faults = vec![FaultPlan { node: 0, kill_at_secs: 2.0, restart_at_secs: Some(3.0) }];
+        cfg.faults = vec![NodeFault { node: 0, kill_at_secs: 2.0, restart_at_secs: Some(3.0) }];
         let report = run_ensemble(&wfs, &cfg);
         assert!(report.completed);
         assert_eq!(report.engine.jobs_completed, 16);
@@ -1229,7 +1229,7 @@ mod tests {
         cfg.default_timeout_secs = 20.0;
         cfg.timeout_scan_secs = 1.0;
         cfg.chaos = Some(ChaosConfig::drop_dup(11, 0.05, 0.05));
-        cfg.faults = vec![FaultPlan { node: 0, kill_at_secs: 2.0, restart_at_secs: Some(3.0) }];
+        cfg.faults = vec![NodeFault { node: 0, kill_at_secs: 2.0, restart_at_secs: Some(3.0) }];
         let report = run_ensemble(&wfs, &cfg);
         assert!(report.completed);
         assert_eq!(report.engine.jobs_completed, 16);

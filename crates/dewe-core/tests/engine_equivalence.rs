@@ -177,7 +177,17 @@ impl ReferenceEngine {
                 }
             }
             AckKind::Failed => {
-                self.attempt_failed(wf, job, ack.attempt, now, &mut actions);
+                // Mirror the engine's stale-failure fence: a Failed ack
+                // for a superseded attempt must not burn retry budget.
+                let stale = self.workflows[wf.index()]
+                    .inflight
+                    .get(&job)
+                    .is_some_and(|&(_, attempt, _)| attempt > ack.attempt);
+                if stale {
+                    self.stats.stale_failures_ignored += 1;
+                } else {
+                    self.attempt_failed(wf, job, ack.attempt, now, &mut actions);
+                }
             }
         }
         actions
@@ -194,7 +204,12 @@ impl ReferenceEngine {
         let dd = self.dispatch_deadline(now);
         let state = &mut self.workflows[wf.index()];
         match state.tracker.state(job) {
-            JobState::Completed | JobState::Abandoned => return,
+            // Mirrors the engine: failure evidence for a terminal job is
+            // counted as stale, not dropped silently.
+            JobState::Completed | JobState::Abandoned => {
+                self.stats.stale_failures_ignored += 1;
+                return;
+            }
             _ => {}
         }
         if self.config.retry.max_attempts.is_some_and(|cap| failed_attempt >= cap) {

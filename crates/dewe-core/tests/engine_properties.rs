@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use dewe_core::sim::{run_ensemble, FaultPlan, SimRunConfig, SubmissionPlan};
+use dewe_core::sim::{run_ensemble, NodeFault, SimRunConfig, SubmissionPlan};
 use dewe_core::{AckKind, AckMsg, Action, DispatchMsg, EngineConfig, RetryPolicy};
 use dewe_dag::{Workflow, WorkflowBuilder};
 use dewe_montage::{random_layered, RandomDagConfig};
@@ -84,7 +84,7 @@ proptest! {
         cfg.default_timeout_secs = 5.0;
         cfg.timeout_scan_secs = 0.5;
         let kill_at = (clean.makespan_secs * kill_frac).max(0.01);
-        cfg.faults = vec![FaultPlan {
+        cfg.faults = vec![NodeFault {
             node: 1,
             kill_at_secs: kill_at,
             restart_at_secs: Some(kill_at + outage),

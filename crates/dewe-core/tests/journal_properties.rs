@@ -7,7 +7,7 @@
 
 use std::path::{Path, PathBuf};
 
-use dewe_core::realtime::{read_journal, Journal, JournalCommitPolicy, JournalRecord};
+use dewe_core::realtime::{read_journal, Journal, JournalCommitPolicy, JournalRecord, WorkerPhase};
 use dewe_core::{AckKind, AckMsg};
 use dewe_dag::{EnsembleJobId, JobId, WorkflowId};
 use proptest::prelude::*;
@@ -43,7 +43,15 @@ fn record() -> impl Strategy<Value = JournalRecord> {
                 at,
             }
         ),
-        at.prop_map(|at| JournalRecord::Scan { at }),
+        at.clone().prop_map(|at| JournalRecord::Scan { at }),
+        (0u32..16, 0u32..4, 0u8..4, at).prop_map(|(worker, generation, code, at)| {
+            JournalRecord::Worker {
+                worker,
+                generation,
+                phase: WorkerPhase::from_code(code).unwrap(),
+                at,
+            }
+        }),
     ]
 }
 
@@ -65,6 +73,9 @@ fn write_all(path: &Path, records: &[JournalRecord], policy: JournalCommitPolicy
             }
             JournalRecord::Ack { ref ack, at } => j.record_ack(ack, at).unwrap(),
             JournalRecord::Scan { at } => j.record_scan(at).unwrap(),
+            JournalRecord::Worker { worker, generation, phase, at } => {
+                j.record_worker(worker, generation, phase, at).unwrap()
+            }
         }
     }
 }

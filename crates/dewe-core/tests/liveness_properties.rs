@@ -1,0 +1,177 @@
+//! Property tests for the lease/requeue plane composed with the engine:
+//! **requeue idempotence**. After a worker's lease expires and its jobs
+//! are requeued and completed elsewhere, no storm of late acks from the
+//! dead worker — Running, Completed, Failed, repeated, in any order,
+//! even after the worker revives — may double-complete a job, trigger a
+//! spurious redispatch, or corrupt the attempt accounting. Duplicate
+//! deliveries of the synthetic requeue acks themselves must be fenced by
+//! the engine's attempt check (the `InflightLanes` generation), not
+//! burned as extra resubmissions.
+
+use std::sync::Arc;
+
+use dewe_core::realtime::LivenessTable;
+use dewe_core::{AckKind, AckMsg, Action, DispatchMsg, EngineConfig, LifecycleKind, LifecycleMsg};
+use dewe_dag::{Workflow, WorkflowBuilder};
+use proptest::prelude::*;
+
+const WORKER_A: u32 = 0;
+const WORKER_B: u32 = 1;
+const LEASE_SECS: f64 = 1.0;
+
+/// `n` independent jobs — every dispatch is immediate, so worker A can
+/// hold the whole ensemble in flight when its lease lapses.
+fn independent_jobs(n: usize) -> Arc<Workflow> {
+    let mut b = WorkflowBuilder::new("storm");
+    for j in 0..n {
+        b.job(format!("j{j}"), "t", 1.0).build();
+    }
+    Arc::new(b.finish().expect("edge-free DAG is trivially topological"))
+}
+
+fn hb(worker: u32) -> LifecycleMsg {
+    LifecycleMsg { worker, generation: 0, kind: LifecycleKind::Heartbeat }
+}
+
+/// Route one ack the way the master does: the liveness fence first, the
+/// engine only if admitted.
+fn feed(
+    table: &mut LivenessTable,
+    engine: &mut dewe_core::EnsembleEngine,
+    ack: AckMsg,
+    now: f64,
+    actions: &mut Vec<Action>,
+) -> bool {
+    let mut transitions = Vec::new();
+    if !table.admit_ack(&ack, now, &mut transitions) {
+        return false;
+    }
+    engine.on_ack(ack, now, actions);
+    true
+}
+
+fn dispatches(actions: &[Action]) -> Vec<DispatchMsg> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Dispatch(d) => Some(*d),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Worker A checks out every job, goes silent past its lease, the
+    /// jobs are requeued (with a duplicated requeue delivery) and
+    /// completed by worker B — then A unleashes a shuffled late-ack
+    /// storm, optionally after reviving. The ensemble must stay
+    /// completed exactly once per job with exactly one resubmission per
+    /// job, and a final expiry pass over whatever the storm re-asserted
+    /// must requeue nothing the engine accepts.
+    #[test]
+    fn late_ack_storm_never_double_completes(
+        n_jobs in 2usize..10,
+        storm in prop::collection::vec((any::<usize>(), 0u8..3, 1usize..3), 0..40),
+        revive in any::<bool>(),
+    ) {
+        let n = n_jobs as u64;
+        let mut engine = EngineConfig::default().timeout(1000.0).build();
+        let mut table = LivenessTable::new(LEASE_SECS);
+        let mut actions = Vec::new();
+        let (mut tr, mut rq) = (Vec::new(), Vec::new());
+
+        // A registers and checks out the whole ensemble.
+        table.on_lifecycle(&hb(WORKER_A), 0.0, &mut tr, &mut rq);
+        engine.submit_workflow(independent_jobs(n_jobs), 0.0, &mut actions);
+        let first_wave = dispatches(&actions);
+        prop_assert_eq!(first_wave.len(), n_jobs);
+        actions.clear();
+        for d in &first_wave {
+            let ack =
+                AckMsg { job: d.job, worker: WORKER_A, kind: AckKind::Running, attempt: d.attempt };
+            prop_assert!(feed(&mut table, &mut engine, ack, 0.1, &mut actions));
+        }
+        prop_assert_eq!(table.assignment_count(), n_jobs);
+
+        // Lease lapses: every in-flight job is requeued through the
+        // retry machinery; a duplicated delivery of each synthetic ack
+        // must be fenced as stale, not resubmitted again.
+        table.expire_due(2.0, &mut tr, &mut rq);
+        prop_assert_eq!(rq.len(), n_jobs);
+        prop_assert_eq!(table.stats().workers_expired, 1);
+        prop_assert_eq!(table.stats().jobs_requeued_on_expiry, n);
+        for entry in &rq {
+            prop_assert!(feed(&mut table, &mut engine, entry.as_failed_ack(), 2.0, &mut actions));
+            prop_assert!(feed(&mut table, &mut engine, entry.as_failed_ack(), 2.0, &mut actions));
+        }
+        let second_wave = dispatches(&actions);
+        actions.clear();
+        prop_assert_eq!(second_wave.len(), n_jobs, "one resubmission per requeued job");
+        prop_assert_eq!(engine.stats().resubmissions, n);
+        prop_assert_eq!(engine.stats().stale_failures_ignored, n,
+            "duplicate requeue deliveries must be fenced");
+
+        // B completes the second attempts.
+        table.on_lifecycle(&hb(WORKER_B), 2.1, &mut tr, &mut rq);
+        for d in &second_wave {
+            let run =
+                AckMsg { job: d.job, worker: WORKER_B, kind: AckKind::Running, attempt: d.attempt };
+            let done = AckMsg { kind: AckKind::Completed, ..run };
+            prop_assert!(feed(&mut table, &mut engine, run, 2.2, &mut actions));
+            prop_assert!(feed(&mut table, &mut engine, done, 2.3, &mut actions));
+        }
+        prop_assert!(engine.all_complete());
+        prop_assert_eq!(engine.stats().jobs_completed, n);
+        prop_assert_eq!(table.assignment_count(), 0);
+
+        // The late-ack storm from A, all echoing first attempts.
+        if revive {
+            table.on_lifecycle(&hb(WORKER_A), 3.0, &mut tr, &mut rq);
+        }
+        let before = engine.stats();
+        let fenced_before = table.stats().stale_acks_rejected;
+        let mut sent = 0u64;
+        for (idx, kind, repeat) in &storm {
+            let d = &first_wave[idx % first_wave.len()];
+            let kind = match kind {
+                0 => AckKind::Running,
+                1 => AckKind::Completed,
+                _ => AckKind::Failed,
+            };
+            for _ in 0..*repeat {
+                let ack = AckMsg { job: d.job, worker: WORKER_A, kind, attempt: d.attempt };
+                let admitted = feed(&mut table, &mut engine, ack, 3.1, &mut actions);
+                prop_assert_eq!(admitted, revive, "expired workers are fenced; revived flow");
+                sent += 1;
+            }
+        }
+        let after = engine.stats();
+        prop_assert!(dispatches(&actions).is_empty(), "storm must not redispatch anything");
+        prop_assert_eq!(after.jobs_completed, n, "storm double-completed a job");
+        prop_assert_eq!(after.resubmissions, n, "storm burned a retry");
+        prop_assert_eq!(after.dispatches, before.dispatches);
+        if !revive {
+            // Fenced at the door: the engine never even saw the storm.
+            prop_assert_eq!(after, before);
+            prop_assert_eq!(table.stats().stale_acks_rejected, fenced_before + sent);
+        }
+
+        // Whatever assignments the storm re-asserted (revived A's late
+        // Running acks) die with A's next silence — and the resulting
+        // requeues are all stale to the engine: still no extra work.
+        table.expire_due(10.0, &mut tr, &mut rq);
+        rq.drain(..).for_each(|entry| {
+            let mut t = Vec::new();
+            if table.admit_ack(&entry.as_failed_ack(), 10.0, &mut t) {
+                engine.on_ack(entry.as_failed_ack(), 10.0, &mut actions);
+            }
+        });
+        prop_assert!(dispatches(&actions).is_empty());
+        prop_assert_eq!(engine.stats().resubmissions, n);
+        prop_assert_eq!(engine.stats().jobs_completed, n);
+        prop_assert!(engine.all_complete());
+        prop_assert_eq!(table.assignment_count(), 0);
+    }
+}

@@ -185,6 +185,81 @@ fn compacted_journal_still_recovers_the_ensemble() {
 }
 
 #[test]
+fn restart_with_a_dead_worker_flags_it_and_still_finishes() {
+    // Master kill + restart where one of two workers dies during the
+    // outage and never re-registers. The replayed journal references it,
+    // so the recovered liveness table carries it on a grace lease; when
+    // that lapses the master must emit the structured
+    // worker_lost_in_recovery warning, requeue whatever the journal says
+    // it held, and finish the ensemble on the surviving worker — no
+    // silent fallback, no lost jobs.
+    let mut journal_path = std::env::temp_dir();
+    journal_path.push(format!("dewe-recovery-deadworker-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+
+    let bus = MessageBus::new();
+    let registry = Registry::new();
+    let config = MasterConfig {
+        timeout_scan_interval: Duration::from_millis(10),
+        expected_workflows: Some(2),
+        journal_path: Some(journal_path.clone()),
+        lease_secs: Some(0.15),
+        ..MasterConfig::default()
+    };
+    let master = spawn_master(bus.clone(), registry.clone(), config.clone());
+    let mk_worker = |id: u32| {
+        spawn_worker(
+            bus.clone(),
+            registry.clone(),
+            Arc::new(SleepRunner::new(0.02)),
+            WorkerConfig {
+                worker_id: id,
+                slots: 1,
+                pull_timeout: Duration::from_millis(10),
+                heartbeat_interval: Some(Duration::from_millis(30)),
+                ..WorkerConfig::default()
+            },
+        )
+    };
+    let w0 = mk_worker(0);
+    let w1 = mk_worker(1);
+    for i in 0..2 {
+        submit(&bus, format!("c{i}"), chain(&format!("c{i}"), 12, 1.0));
+    }
+
+    // Let both registrations and a stretch of real progress hit the
+    // journal, then crash the master mid-ensemble — well before either
+    // chain completes (12 serial jobs × 20 ms each ≈ 240 ms) — and lose
+    // worker 1 while it is down. The surviving work takes long enough
+    // that worker 1's grace lease demonstrably lapses before the end.
+    std::thread::sleep(Duration::from_millis(120));
+    master.kill();
+    w1.kill();
+
+    let master2 =
+        spawn_master(bus.clone(), registry.clone(), MasterConfig { recover: true, ..config });
+    loop {
+        match master2.events.recv_timeout(Duration::from_secs(30)).expect("event") {
+            MasterEvent::AllCompleted { .. } => break,
+            MasterEvent::WorkflowCompleted { .. } => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    let ms = master2.master_stats();
+    let stats = master2.join();
+    w0.stop();
+    bus.shutdown();
+
+    assert_eq!(stats.workflows_completed, 2, "ensemble finished on the survivor");
+    assert_eq!(stats.workflows_abandoned, 0);
+    assert_eq!(stats.jobs_completed, 24);
+    assert_eq!(ms.workers_lost_in_recovery, 1, "dead worker flagged, not silently dropped: {ms:?}");
+    assert!(ms.workers_expired >= 1, "the grace lease lapsed: {ms:?}");
+
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
 fn recovery_restarts_from_empty_journal_when_absent() {
     // recover=true with no journal on disk must behave like a cold start.
     let mut journal_path = std::env::temp_dir();

@@ -19,9 +19,14 @@
 //! 5. **Makespan sanity** — simulated makespans are bounded below by the
 //!    cpu-weighted critical path (only checked for failure-free
 //!    scenarios, where every job runs).
+//! 6. **Fault plane** — for fault-class scenarios: lease-expiry requeues
+//!    are conserved into engine resubmissions (or fenced as stale),
+//!    fenced acks imply an expiry happened, and a master kill/restart
+//!    resumed from state equivalent to the pre-kill master.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use dewe_core::realtime::MasterStats;
 use dewe_core::EngineStats;
 
 use crate::scenario::Scenario;
@@ -86,6 +91,16 @@ pub struct PathOutcome {
     pub makespan_secs: Option<f64>,
     /// The run reached a terminal verdict (false = stall / watchdog).
     pub settled: bool,
+    /// Fault-plane counters from the master's liveness table, for the
+    /// realtime path when leases are enabled (`None` elsewhere).
+    pub master_stats: Option<MasterStats>,
+    /// Master kill/restart verdict: `Some(true)` when the path verified
+    /// that recovery resumed from state equivalent to the pre-kill
+    /// master (engine path: replayed engine is bit-identical; realtime
+    /// path: every pre-kill liveness row survives into the final
+    /// table), `Some(false)` on mismatch, `None` when no master kill
+    /// fired.
+    pub liveness_recovery: Option<bool>,
     /// Free-form diagnostics (stall context, chaos counters).
     pub note: Option<String>,
 }
@@ -203,11 +218,13 @@ pub fn check(scenario: &Scenario, outcome: &PathOutcome) -> Vec<String> {
 
     // Exactly-once execution wherever nothing can force a re-run: the
     // baseline always (it has no retry path at all), the engine path when
-    // neither chaos nor scripted failures exist.
+    // neither chaos, scripted failures, nor injected faults exist (a
+    // crashed worker's jobs legitimately execute twice).
     let exactly_once = outcome.kind == PathKind::Baseline
         || (outcome.kind == PathKind::Engine
             && scenario.chaos.is_noop()
-            && scenario.failures.is_empty());
+            && scenario.failures.is_empty()
+            && scenario.faults.is_empty());
     if exactly_once {
         for (job, &n) in &finish_count {
             if n != 1 {
@@ -269,6 +286,41 @@ pub fn check(scenario: &Scenario, outcome: &PathOutcome) -> Vec<String> {
         }
     }
 
+    // 6. Fault plane. Requeue conservation: every job the liveness
+    // plane requeued on lease expiry either became an engine
+    // resubmission or was already superseded (a stale Failed the engine
+    // fenced). A requeue that is neither would be a silently dropped
+    // recovery — exactly the lost-job class the lease plane exists to
+    // prevent.
+    if let (Some(ms), Some(stats)) = (outcome.master_stats, outcome.stats) {
+        let absorbed = stats.resubmissions + stats.stale_failures_ignored;
+        if ms.jobs_requeued_on_expiry > absorbed {
+            v.push(format!(
+                "{path}: requeue conservation broken — {} requeued on expiry, only {} absorbed \
+                 (resubmissions {} + stale-failures {})",
+                ms.jobs_requeued_on_expiry,
+                absorbed,
+                stats.resubmissions,
+                stats.stale_failures_ignored
+            ));
+        }
+        if ms.stale_acks_rejected > 0 && ms.workers_expired == 0 {
+            v.push(format!(
+                "{path}: {} acks fenced as stale but no worker ever expired",
+                ms.stale_acks_rejected
+            ));
+        }
+    }
+    // Master kill/restart: the path verified recovery equivalence itself
+    // (replayed engine state, surviving liveness rows); it reports the
+    // verdict here.
+    if outcome.liveness_recovery == Some(false) {
+        v.push(format!(
+            "{path}: master restart diverged from pre-kill state{}",
+            outcome.note.as_deref().map(|n| format!(" ({n})")).unwrap_or_default()
+        ));
+    }
+
     // 5. Makespan sanity (virtual-time paths, failure-free scenarios).
     if scenario.failures.is_empty() {
         if let Some(makespan) = outcome.makespan_secs {
@@ -307,6 +359,7 @@ mod tests {
             backoff_base_secs: 0.0,
             chaos: ChaosSpec::none(),
             failures: vec![],
+            faults: dewe_core::fault::FaultPlan::none(),
         }
     }
 
@@ -323,6 +376,8 @@ mod tests {
             stats: None,
             makespan_secs: Some(2.5),
             settled: true,
+            master_stats: None,
+            liveness_recovery: None,
             note: None,
         }
     }
@@ -370,6 +425,34 @@ mod tests {
         o.makespan_secs = Some(0.5); // floor is 2.0
         let v = check(&s, &o);
         assert!(v.iter().any(|m| m.contains("critical-path floor")), "{v:?}");
+    }
+
+    #[test]
+    fn broken_requeue_conservation_is_flagged() {
+        let s = chain_scenario();
+        let mut o = conforming_outcome(PathKind::Realtime);
+        o.stats = Some(EngineStats {
+            workflows_submitted: 1,
+            workflows_completed: 1,
+            jobs_completed: 2,
+            dispatches: 2,
+            ..Default::default()
+        });
+        // Three requeues but zero resubmissions absorbed them.
+        o.master_stats = Some(MasterStats { jobs_requeued_on_expiry: 3, ..Default::default() });
+        let v = check(&s, &o);
+        assert!(v.iter().any(|m| m.contains("requeue conservation")), "{v:?}");
+    }
+
+    #[test]
+    fn failed_recovery_equivalence_is_flagged() {
+        let s = chain_scenario();
+        let mut o = conforming_outcome(PathKind::Realtime);
+        o.liveness_recovery = Some(false);
+        let v = check(&s, &o);
+        assert!(v.iter().any(|m| m.contains("master restart diverged")), "{v:?}");
+        o.liveness_recovery = Some(true);
+        assert!(check(&s, &o).is_empty());
     }
 
     #[test]

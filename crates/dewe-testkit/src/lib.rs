@@ -30,6 +30,6 @@ pub mod scenario;
 pub mod shrink;
 
 pub use invariant::{Event, PathKind, PathOutcome};
-pub use oracle::{minimize, run_scenario, run_seed, Repro, SeedRun, ALL_PATHS};
+pub use oracle::{minimize, run_fault_seed, run_scenario, run_seed, Repro, SeedRun, ALL_PATHS};
 pub use paths::EngineDriverConfig;
 pub use scenario::Scenario;

@@ -1,27 +1,53 @@
 //! `dewe-testkit` — differential oracle CLI.
 //!
 //! ```text
-//! dewe-testkit run <seed>                   run one seed through all paths
-//! dewe-testkit replay <seed>                run one seed, print the full scenario
-//! dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH]
+//! dewe-testkit run <seed> [--class fault]       run one seed through all paths
+//! dewe-testkit replay <seed> [--class fault]    run one seed, print the full scenario
+//! dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH] [--class fault]
 //! ```
 //!
 //! `sweep` runs seeds `S..S+N` (N defaults to `DEWE_DIFF_SEEDS` or 64).
 //! On the first divergence it shrinks the scenario, writes the repro
 //! report to `--repro-out` (default `target/dewe-diff-repro.txt`), and
-//! exits non-zero.
+//! exits non-zero. `--class fault` switches from the three classic seed
+//! classes to fault-plane scenarios (worker crashes, spot revocations,
+//! heartbeat stalls, master kill+restart).
 
 use std::process::ExitCode;
 
-use dewe_testkit::{minimize, run_seed, EngineDriverConfig, Scenario};
+use dewe_testkit::{minimize, run_fault_seed, run_seed, EngineDriverConfig, Scenario, SeedRun};
 
 const DEFAULT_SEEDS: u64 = 64;
 const DEFAULT_REPRO_OUT: &str = "target/dewe-diff-repro.txt";
 
+/// Which scenario generator a command drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    Classic,
+    Fault,
+}
+
+impl Class {
+    fn generate(self, seed: u64) -> Scenario {
+        match self {
+            Class::Classic => Scenario::generate(seed),
+            Class::Fault => Scenario::generate_fault(seed),
+        }
+    }
+
+    fn run(self, seed: u64) -> SeedRun {
+        match self {
+            Class::Classic => run_seed(seed),
+            Class::Fault => run_fault_seed(seed),
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dewe-testkit run <seed>\n       dewe-testkit replay <seed>\n       \
-         dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH]"
+        "usage: dewe-testkit run <seed> [--class fault]\n       \
+         dewe-testkit replay <seed> [--class fault]\n       \
+         dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH] [--class fault]"
     );
     ExitCode::from(2)
 }
@@ -30,13 +56,29 @@ fn parse_seed(arg: Option<&String>) -> Option<u64> {
     arg.and_then(|s| s.parse().ok())
 }
 
-fn run_one(seed: u64, show_scenario: bool) -> ExitCode {
-    let scenario = Scenario::generate(seed);
+/// Strip a `--class <name>` pair out of `args`, returning the class.
+fn extract_class(args: &mut Vec<String>) -> Option<Class> {
+    match args.iter().position(|a| a == "--class") {
+        None => Some(Class::Classic),
+        Some(i) => {
+            let class = match args.get(i + 1).map(String::as_str) {
+                Some("fault") => Class::Fault,
+                Some("classic") => Class::Classic,
+                _ => return None,
+            };
+            args.drain(i..i + 2);
+            Some(class)
+        }
+    }
+}
+
+fn run_one(seed: u64, class: Class, show_scenario: bool) -> ExitCode {
+    let scenario = class.generate(seed);
     if show_scenario {
         print!("{}", scenario.describe());
         println!();
     }
-    let run = run_seed(seed);
+    let run = class.run(seed);
     if run.conforms() {
         println!("seed {seed}: OK ({} jobs across 3 paths)", scenario.total_jobs());
         ExitCode::SUCCESS
@@ -49,7 +91,7 @@ fn run_one(seed: u64, show_scenario: bool) -> ExitCode {
     }
 }
 
-fn sweep(args: &[String]) -> ExitCode {
+fn sweep(args: &[String], class: Class) -> ExitCode {
     let mut seeds: u64 =
         std::env::var("DEWE_DIFF_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SEEDS);
     let mut start: u64 = 0;
@@ -74,9 +116,10 @@ fn sweep(args: &[String]) -> ExitCode {
         }
     }
 
-    println!("differential sweep: seeds {start}..{}", start + seeds);
+    let label = if class == Class::Fault { " (fault class)" } else { "" };
+    println!("differential sweep{label}: seeds {start}..{}", start + seeds);
     for seed in start..start + seeds {
-        let run = run_seed(seed);
+        let run = class.run(seed);
         if run.conforms() {
             println!("seed {seed}: OK ({} jobs)", run.scenario.total_jobs());
             continue;
@@ -102,17 +145,20 @@ fn sweep(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(class) = extract_class(&mut args) else {
+        return usage();
+    };
     match args.first().map(String::as_str) {
         Some("run") => match parse_seed(args.get(1)) {
-            Some(seed) => run_one(seed, false),
+            Some(seed) => run_one(seed, class, false),
             None => usage(),
         },
         Some("replay") => match parse_seed(args.get(1)) {
-            Some(seed) => run_one(seed, true),
+            Some(seed) => run_one(seed, class, true),
             None => usage(),
         },
-        Some("sweep") => sweep(&args[1..]),
+        Some("sweep") => sweep(&args[1..], class),
         _ => usage(),
     }
 }

@@ -154,6 +154,14 @@ pub fn run_seed(seed: u64) -> SeedRun {
     run_scenario(&Scenario::generate(seed), &ALL_PATHS, &EngineDriverConfig::default())
 }
 
+/// Generate and run the **fault-class** scenario for `seed` through all
+/// three paths: seeded worker crashes / revocations / stalls / master
+/// kill+restart injected into the engine and realtime paths (the
+/// baseline has no failure model and runs the plan inert).
+pub fn run_fault_seed(seed: u64) -> SeedRun {
+    run_scenario(&Scenario::generate_fault(seed), &ALL_PATHS, &EngineDriverConfig::default())
+}
+
 /// Shrink a diverging run to a minimal repro.
 ///
 /// Shrinking replays the scenario many times, so it sticks to the

@@ -58,6 +58,10 @@ pub fn run(scenario: &Scenario) -> PathOutcome {
         stats: None,
         makespan_secs: Some(report.makespan_secs),
         settled: report.completed,
+        // The baseline models no workers to kill and no master to
+        // restart: fault plans are structurally inert here.
+        master_stats: None,
+        liveness_recovery: None,
         note: None,
     }
 }

@@ -26,6 +26,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
+use dewe_core::fault::FaultEvent;
 use dewe_core::{AckKind, AckMsg, DispatchMsg};
 use dewe_core::{Action, EngineConfig, EngineCore, RetryPolicy};
 use dewe_mq::chaos::{message_key, streams};
@@ -55,8 +56,32 @@ pub struct EngineDriverConfig {
 enum Ev {
     Submit(usize),
     DispatchArrive(DispatchMsg),
-    JobFinish { dispatch: DispatchMsg, fail: bool },
+    JobFinish { dispatch: DispatchMsg, fail: bool, worker: usize, epoch: u32 },
     AckArrive(AckMsg),
+    Fault(FaultEvent),
+    MasterRestart,
+}
+
+/// One simulated worker daemon: a pool of slots that can crash (jobs
+/// evaporate unacked), drain (stops accepting), or stall (running jobs
+/// freeze for the window).
+struct SimWorker {
+    slots_free: usize,
+    alive: bool,
+    draining: bool,
+    /// Bumped on crash: a `JobFinish` carrying a stale epoch belongs to
+    /// a job that died with the worker and is dropped silently.
+    epoch: u32,
+}
+
+/// Engine inputs in processing order — the virtual-time analogue of the
+/// master's write-ahead journal. On a master kill the driver rebuilds a
+/// fresh engine by replaying this log and checks it reproduces the
+/// killed engine's state exactly.
+enum LoggedInput {
+    Submit { idx: usize, at: f64 },
+    Ack { ack: AckMsg, at: f64 },
+    Scan { at: f64 },
 }
 
 struct Sched {
@@ -82,26 +107,38 @@ impl Ord for Sched {
     }
 }
 
-struct Driver<'a, E: EngineCore> {
+struct Driver<'a, E: EngineCore, F: Fn() -> E> {
     scenario: &'a Scenario,
     cfg: &'a EngineDriverConfig,
     built: Vec<std::sync::Arc<dewe_dag::Workflow>>,
     engine: E,
+    /// Rebuilds an identically configured blank engine — the replacement
+    /// master a `MasterKill` fault swaps in after replay.
+    make: F,
     chaos: Option<ChaosDecider>,
     heap: BinaryHeap<Reverse<Sched>>,
     seq: u64,
-    free_slots: usize,
+    workers: Vec<SimWorker>,
     queue: VecDeque<DispatchMsg>,
     events: Vec<Event>,
     dispatch_counter: u64,
     actions: Vec<Action>,
+    /// Every input the engine processed, for master-kill replay.
+    input_log: Vec<LoggedInput>,
+    /// True between a `MasterKill` fault and its `MasterRestart`.
+    master_down: bool,
+    /// Submissions and acks that arrived while the master was down; the
+    /// replacement consumes them (bus-queued backlog) at restart.
+    outage_backlog: Vec<LoggedInput>,
+    restarts: u32,
+    recovery_ok: bool,
 }
 
 fn job_key(d: &DispatchMsg) -> u64 {
     ((d.job.workflow.0 as u64) << 32) | d.job.job.0 as u64
 }
 
-impl<E: EngineCore> Driver<'_, E> {
+impl<E: EngineCore, F: Fn() -> E> Driver<'_, E, F> {
     fn push(&mut self, at: f64, ev: Ev) {
         self.seq += 1;
         self.heap.push(Reverse(Sched { at, seq: self.seq, ev }));
@@ -148,18 +185,57 @@ impl<E: EngineCore> Driver<'_, E> {
         }
     }
 
-    /// A delivered dispatch begins executing on a free slot.
-    fn start_job(&mut self, d: DispatchMsg, now: f64) {
-        debug_assert!(self.free_slots > 0);
-        self.free_slots -= 1;
+    /// First worker daemon that can accept a job right now.
+    fn pick_worker(&self) -> Option<usize> {
+        self.workers.iter().position(|w| w.alive && !w.draining && w.slots_free > 0)
+    }
+
+    /// A delivered dispatch begins executing on worker `w`.
+    fn start_job(&mut self, d: DispatchMsg, w: usize, now: f64) {
+        debug_assert!(self.workers[w].slots_free > 0);
+        self.workers[w].slots_free -= 1;
         self.events.push(Event::Started { job: (d.job.workflow.0, d.job.job.0) });
         self.send_ack(
-            AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: d.attempt },
+            AckMsg { job: d.job, worker: w as u32, kind: AckKind::Running, attempt: d.attempt },
             now,
         );
         let spec = &self.scenario.workflows[d.job.workflow.index()].jobs[d.job.job.index()];
+        // A stall freezes the worker: any job overlapping the window
+        // finishes the whole stall later.
+        let mut finish = now + spec.cpu_secs;
+        for f in &self.scenario.faults.events {
+            if let FaultEvent::WorkerStall { worker, stall_secs } = f.event {
+                if worker as usize == w && now < f.at_secs + stall_secs && finish > f.at_secs {
+                    finish += stall_secs;
+                }
+            }
+        }
         let fail = d.attempt <= self.scenario.failing_attempts(d.job.workflow.0, d.job.job.0);
-        self.push(now + spec.cpu_secs, Ev::JobFinish { dispatch: d, fail });
+        let epoch = self.workers[w].epoch;
+        self.push(finish, Ev::JobFinish { dispatch: d, fail, worker: w, epoch });
+    }
+
+    /// Start queued dispatches while any worker has capacity.
+    fn drain_queue(&mut self, now: f64) {
+        while !self.queue.is_empty() {
+            let Some(w) = self.pick_worker() else { return };
+            let d = self.queue.pop_front().expect("checked non-empty");
+            self.start_job(d, w, now);
+        }
+    }
+
+    /// Worker `w` dies: capacity vanishes and every running job's finish
+    /// event is orphaned (stale epoch) — no ack is ever sent, so the
+    /// engine's job timeout is the only way those attempts recover.
+    fn crash_worker(&mut self, w: usize) {
+        let worker = &mut self.workers[w];
+        if !worker.alive {
+            return;
+        }
+        worker.alive = false;
+        worker.draining = false;
+        worker.slots_free = 0;
+        worker.epoch += 1;
     }
 
     /// Drain engine actions produced at `now`.
@@ -173,25 +249,98 @@ impl<E: EngineCore> Driver<'_, E> {
         self.actions = actions;
     }
 
+    /// Feed one submission to the (live) engine, logging it for replay.
+    fn ingest_submit(&mut self, idx: usize, now: f64) {
+        let wf = std::sync::Arc::clone(&self.built[idx]);
+        self.input_log.push(LoggedInput::Submit { idx, at: now });
+        self.engine.submit_workflow(wf, now, &mut self.actions);
+        self.process_actions(now);
+    }
+
+    /// Feed one acknowledgment to the (live) engine, logging it.
+    fn ingest_ack(&mut self, ack: AckMsg, now: f64) {
+        self.input_log.push(LoggedInput::Ack { ack, at: now });
+        self.engine.on_ack(ack, now, &mut self.actions);
+        self.process_actions(now);
+    }
+
+    /// Run a timeout scan on the (live) engine, logging it — scans
+    /// mutate engine state (resubmissions, attempt bumps), so replay
+    /// must reproduce them like any other input.
+    fn ingest_scan(&mut self, now: f64) {
+        self.input_log.push(LoggedInput::Scan { at: now });
+        self.engine.check_timeouts(now, &mut self.actions);
+        self.process_actions(now);
+    }
+
+    /// The `MasterKill` recovery: build a blank engine, replay the input
+    /// log with original timestamps (discarding regenerated actions —
+    /// every dispatch it re-derives already shipped before the kill, the
+    /// virtual-time analogue of the realtime master's lease-held
+    /// redispatch skip), and verify the replayed state is identical to
+    /// the engine that died. Then drain the outage backlog into it.
+    fn restart_master(&mut self, now: f64) {
+        let mut fresh = (self.make)();
+        let mut scratch = Vec::new();
+        for input in &self.input_log {
+            match *input {
+                LoggedInput::Submit { idx, at } => {
+                    fresh.submit_workflow(
+                        std::sync::Arc::clone(&self.built[idx]),
+                        at,
+                        &mut scratch,
+                    );
+                }
+                LoggedInput::Ack { ack, at } => fresh.on_ack(ack, at, &mut scratch),
+                LoggedInput::Scan { at } => fresh.check_timeouts(at, &mut scratch),
+            }
+            scratch.clear();
+        }
+        let mut identical = fresh.stats() == self.engine.stats();
+        for (w, wf) in self.scenario.workflows.iter().enumerate() {
+            for j in 0..wf.jobs.len() {
+                let id = dewe_dag::EnsembleJobId::new(
+                    dewe_dag::WorkflowId(w as u32),
+                    dewe_dag::JobId(j as u32),
+                );
+                identical &= fresh.job_state(id) == self.engine.job_state(id);
+            }
+        }
+        self.restarts += 1;
+        self.recovery_ok &= identical;
+        self.engine = fresh;
+        self.master_down = false;
+        for input in std::mem::take(&mut self.outage_backlog) {
+            match input {
+                LoggedInput::Submit { idx, .. } => self.ingest_submit(idx, now),
+                LoggedInput::Ack { ack, .. } => self.ingest_ack(ack, now),
+                LoggedInput::Scan { .. } => unreachable!("scans are never buffered"),
+            }
+        }
+    }
+
     fn handle(&mut self, ev: Ev, now: f64) {
         match ev {
             Ev::Submit(i) => {
-                let wf = std::sync::Arc::clone(&self.built[i]);
-                self.engine.submit_workflow(wf, now, &mut self.actions);
-                self.process_actions(now);
+                if self.master_down {
+                    self.outage_backlog.push(LoggedInput::Submit { idx: i, at: now });
+                } else {
+                    self.ingest_submit(i, now);
+                }
             }
             Ev::DispatchArrive(d) => {
-                if self.free_slots > 0 {
-                    self.start_job(d, now);
+                if let Some(w) = self.pick_worker() {
+                    self.start_job(d, w, now);
                 } else {
                     self.queue.push_back(d);
                 }
             }
-            Ev::JobFinish { dispatch, fail } => {
-                self.free_slots += 1;
-                if let Some(next) = self.queue.pop_front() {
-                    self.start_job(next, now);
+            Ev::JobFinish { dispatch, fail, worker, epoch } => {
+                if !self.workers[worker].alive || self.workers[worker].epoch != epoch {
+                    return; // the job died with its worker — no ack, ever
                 }
+                self.workers[worker].slots_free += 1;
+                self.drain_queue(now);
                 let kind = if fail { AckKind::Failed } else { AckKind::Completed };
                 if !fail {
                     self.events.push(Event::Finished {
@@ -199,25 +348,62 @@ impl<E: EngineCore> Driver<'_, E> {
                     });
                 }
                 self.send_ack(
-                    AckMsg { job: dispatch.job, worker: 0, kind, attempt: dispatch.attempt },
+                    AckMsg {
+                        job: dispatch.job,
+                        worker: worker as u32,
+                        kind,
+                        attempt: dispatch.attempt,
+                    },
                     now,
                 );
             }
             Ev::AckArrive(ack) => {
-                self.engine.on_ack(ack, now, &mut self.actions);
-                self.process_actions(now);
+                if self.master_down {
+                    self.outage_backlog.push(LoggedInput::Ack { ack, at: now });
+                } else {
+                    self.ingest_ack(ack, now);
+                }
             }
+            Ev::Fault(event) => match event {
+                FaultEvent::WorkerCrash { worker } => self.crash_worker(worker as usize),
+                FaultEvent::SpotRevocation { worker, notice_secs } => {
+                    if self.workers[worker as usize].alive {
+                        self.workers[worker as usize].draining = true;
+                        self.push(now + notice_secs, Ev::Fault(FaultEvent::WorkerCrash { worker }));
+                    }
+                }
+                // Stalls are applied as finish-time freezes in
+                // `start_job` (the schedule is known upfront).
+                FaultEvent::WorkerStall { .. } => {}
+                FaultEvent::MasterKill { restart_delay_secs } => {
+                    if !self.master_down {
+                        self.master_down = true;
+                        self.push(now + restart_delay_secs, Ev::MasterRestart);
+                    }
+                }
+            },
+            Ev::MasterRestart => self.restart_master(now),
         }
     }
 }
 
 fn engine_config(scenario: &Scenario) -> EngineConfig {
     let lossy = scenario.chaos.is_lossy();
+    let faulty = !scenario.faults.is_empty();
     EngineConfig {
         // Generous relative to job runtimes (≤ 1 s) and chaos delays, so
         // spurious timeouts never race the retry-budget accounting; tight
         // enough that drop recovery converges quickly in virtual time.
-        default_timeout_secs: if lossy { 30.0 } else { 1000.0 },
+        // Fault scenarios need the middle ground: a crashed worker's
+        // jobs recover only via this timeout, so it must clear the worst
+        // stall-stretched runtime yet stay small against the horizon.
+        default_timeout_secs: if lossy {
+            30.0
+        } else if faulty {
+            8.0
+        } else {
+            1000.0
+        },
         checkout_timeout_secs: lossy.then_some(5.0),
         retry: RetryPolicy {
             max_attempts: scenario.max_attempts,
@@ -236,18 +422,18 @@ fn engine_config(scenario: &Scenario) -> EngineConfig {
 pub fn run(scenario: &Scenario, cfg: &EngineDriverConfig) -> PathOutcome {
     let config = engine_config(scenario);
     if scenario.shards > 1 && scenario.parallel {
-        run_with(scenario, cfg, config.build_parallel(scenario.shards, scenario.shards))
+        run_with(scenario, cfg, || config.build_parallel(scenario.shards, scenario.shards))
     } else if scenario.shards > 1 {
-        run_with(scenario, cfg, config.build_sharded(scenario.shards))
+        run_with(scenario, cfg, || config.build_sharded(scenario.shards))
     } else {
-        run_with(scenario, cfg, config.build())
+        run_with(scenario, cfg, || config.build())
     }
 }
 
-fn run_with<E: EngineCore>(
+fn run_with<E: EngineCore, F: Fn() -> E>(
     scenario: &Scenario,
     cfg: &EngineDriverConfig,
-    engine: E,
+    make: F,
 ) -> PathOutcome {
     let chaos = (!scenario.chaos.is_noop()).then(|| {
         ChaosDecider::new(ChaosConfig {
@@ -258,23 +444,40 @@ fn run_with<E: EngineCore>(
             delay_secs: scenario.chaos.delay_secs,
         })
     });
+    let engine = make();
     let mut driver = Driver {
         scenario,
         cfg,
         built: scenario.build_workflows(),
         engine,
+        make,
         chaos,
         heap: BinaryHeap::new(),
         seq: 0,
-        free_slots: scenario.workers * scenario.slots_per_worker,
+        workers: (0..scenario.workers)
+            .map(|_| SimWorker {
+                slots_free: scenario.slots_per_worker,
+                alive: true,
+                draining: false,
+                epoch: 0,
+            })
+            .collect(),
         queue: VecDeque::new(),
         events: Vec::new(),
         dispatch_counter: 0,
         actions: Vec::new(),
+        input_log: Vec::new(),
+        master_down: false,
+        outage_backlog: Vec::new(),
+        restarts: 0,
+        recovery_ok: true,
     };
     for i in 0..scenario.workflows.len() {
         let at = scenario.submission_interval_secs * i as f64;
         driver.push(at, Ev::Submit(i));
+    }
+    for f in &scenario.faults.events {
+        driver.push(f.at_secs, Ev::Fault(f.event));
     }
 
     let mut now = 0.0f64;
@@ -283,15 +486,17 @@ fn run_with<E: EngineCore>(
     // Settled is only terminal once every scheduled submission has fired:
     // an early workflow can settle while later ones still sit in the heap.
     let all_submitted =
-        |d: &Driver<E>| d.engine.stats().workflows_submitted == d.scenario.workflows.len();
-    while !(driver.engine.all_settled() && all_submitted(&driver)) {
+        |d: &Driver<E, F>| d.engine.stats().workflows_submitted == d.scenario.workflows.len();
+    while !(driver.engine.all_settled() && all_submitted(&driver) && !driver.master_down) {
         steps += 1;
         if steps > STEP_CAP {
             note = Some(format!("step cap {STEP_CAP} exceeded at t={now:.3}"));
             break;
         }
         let next_event = driver.heap.peek().map(|Reverse(s)| s.at);
-        let next_deadline = driver.engine.next_deadline();
+        // A dead master scans nothing: its deadlines resume only after
+        // the replacement replays the log.
+        let next_deadline = if driver.master_down { None } else { driver.engine.next_deadline() };
         match (next_event, next_deadline) {
             (None, None) => {
                 note = Some(format!(
@@ -304,8 +509,7 @@ fn run_with<E: EngineCore>(
             }
             (event_at, Some(d)) if event_at.is_none_or(|e| d <= e) => {
                 now = now.max(d);
-                driver.engine.check_timeouts(now, &mut driver.actions);
-                driver.process_actions(now);
+                driver.ingest_scan(now);
             }
             _ => {
                 let Reverse(sched) = driver.heap.pop().expect("peeked event");
@@ -335,6 +539,8 @@ fn run_with<E: EngineCore>(
         stats: Some(driver.engine.stats()),
         makespan_secs: Some(now),
         settled,
+        master_stats: None,
+        liveness_recovery: (driver.restarts > 0).then_some(driver.recovery_ok),
         note,
     }
 }

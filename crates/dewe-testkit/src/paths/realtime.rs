@@ -18,19 +18,21 @@
 //! test.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dewe_core::fault::FaultEvent;
 use dewe_core::realtime::{
     spawn_master, spawn_worker, submit, ChaosLink, JobOutcome, JobRunner, MasterConfig,
-    MasterEvent, MessageBus, Registry, RunContext, WorkerConfig,
+    MasterEvent, MasterHandle, MessageBus, Registry, RunContext, WorkerConfig, WorkerHandle,
 };
 use dewe_core::{EngineStats, RetryPolicy};
 use dewe_dag::{JobId, Workflow};
 use dewe_mq::ChaosConfig;
 
 use crate::invariant::{Event, PathKind, PathOutcome};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, FAULT_HORIZON_SECS};
 
 /// Wall-clock hold applied to chaos-delayed messages.
 const DELAY_SECS_WALL: f64 = 0.02;
@@ -38,9 +40,30 @@ const DELAY_SECS_WALL: f64 = 0.02;
 /// Give a stuck run this long before declaring a stall.
 const WATCHDOG: Duration = Duration::from_secs(30);
 
+/// Scenario seconds → wall seconds for fault *times* (a 5 s fault axis
+/// compresses to 250 ms of wall clock).
+const FAULT_WALL_SCALE: f64 = 0.05;
+
+/// Heartbeat-stall windows scale less aggressively so a decent fraction
+/// of stalls outlast the lease and exercise the expiry → zombie-fence →
+/// revival path rather than just renewing late.
+const STALL_WALL_SCALE: f64 = 0.1;
+
+/// Scenario cpu-seconds → wall sleep per job in fault runs, so faults
+/// land mid-execution instead of after the last ack.
+const JOB_SLEEP_SCALE: f64 = 0.08;
+
+/// Worker lease in fault runs; heartbeats tick every 15 ms, so a live
+/// worker has ~8 chances to renew before expiry.
+const FAULT_LEASE_SECS: f64 = 0.12;
+const FAULT_HEARTBEAT: Duration = Duration::from_millis(15);
+
 /// Records execution events and plays the scenario's failure script.
 struct TapRunner {
     failures: HashMap<(u32, u32), u32>,
+    /// Per-job wall sleeps (empty outside fault runs: protocol checks
+    /// want instant jobs).
+    sleeps: HashMap<(u32, u32), Duration>,
     log: Arc<Mutex<Vec<Event>>>,
 }
 
@@ -52,6 +75,9 @@ impl JobRunner for TapRunner {
             if ctx.attempt <= failing {
                 return JobOutcome::Failed(format!("scripted failure, attempt {}", ctx.attempt));
             }
+        }
+        if let Some(&sleep) = self.sleeps.get(&id) {
+            std::thread::sleep(sleep);
         }
         self.log.lock().expect("tap log").push(Event::Finished { job: id });
         JobOutcome::Success
@@ -128,6 +154,9 @@ fn master_config(scenario: &Scenario) -> MasterConfig {
 
 /// Execute the scenario through the threaded realtime stack.
 pub fn run(scenario: &Scenario) -> PathOutcome {
+    if !scenario.faults.is_empty() {
+        return run_faulted(scenario);
+    }
     let fabric = if scenario.chaos.is_noop() {
         Fabric::Plain(MessageBus::new())
     } else {
@@ -148,6 +177,7 @@ pub fn run(scenario: &Scenario) -> PathOutcome {
             .iter()
             .map(|f| ((f.workflow, f.job), f.failing_attempts))
             .collect(),
+        sleeps: HashMap::new(),
         log: Arc::clone(&log),
     });
 
@@ -221,6 +251,269 @@ pub fn run(scenario: &Scenario) -> PathOutcome {
         stats: Some(if settled { stats.unwrap() } else { final_stats }),
         makespan_secs: None,
         settled,
+        master_stats: None,
+        liveness_recovery: None,
+        note,
+    }
+}
+
+/// Wall-clock fault action, compiled from a [`FaultEvent`].
+enum RtFault {
+    KillWorker(usize),
+    AnnounceDrain(usize),
+    PauseHeartbeats(usize),
+    ResumeHeartbeats(usize),
+    KillMaster,
+    RestartMaster,
+}
+
+/// Compile the scenario's fault plan into a sorted wall-clock schedule.
+fn compile_faults(scenario: &Scenario) -> Vec<(f64, RtFault)> {
+    let mut schedule = Vec::new();
+    for f in &scenario.faults.events {
+        let t = f.at_secs * FAULT_WALL_SCALE;
+        match f.event {
+            FaultEvent::WorkerCrash { worker } => {
+                schedule.push((t, RtFault::KillWorker(worker as usize)));
+            }
+            FaultEvent::SpotRevocation { worker, notice_secs } => {
+                schedule.push((t, RtFault::AnnounceDrain(worker as usize)));
+                schedule.push((
+                    t + notice_secs * FAULT_WALL_SCALE,
+                    RtFault::KillWorker(worker as usize),
+                ));
+            }
+            FaultEvent::WorkerStall { worker, stall_secs } => {
+                schedule.push((t, RtFault::PauseHeartbeats(worker as usize)));
+                schedule.push((
+                    t + stall_secs * STALL_WALL_SCALE,
+                    RtFault::ResumeHeartbeats(worker as usize),
+                ));
+            }
+            FaultEvent::MasterKill { restart_delay_secs } => {
+                schedule.push((t, RtFault::KillMaster));
+                schedule.push((t + restart_delay_secs * FAULT_WALL_SCALE, RtFault::RestartMaster));
+            }
+        }
+    }
+    schedule.sort_by(|a, b| a.0.total_cmp(&b.0));
+    schedule
+}
+
+/// Unique journal paths across concurrent fault runs in one process.
+static FAULT_RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Execute a fault-class scenario: leases + heartbeats on, jobs slowed
+/// to wall-clock so the compiled fault schedule lands mid-run, workers
+/// killed/drained/stalled and the master killed and recovered from its
+/// journal on cue.
+fn run_faulted(scenario: &Scenario) -> PathOutcome {
+    debug_assert_eq!(FAULT_HORIZON_SECS, 5.0, "wall scales are tuned to this axis");
+    let fabric = if scenario.chaos.is_noop() {
+        Fabric::Plain(MessageBus::new())
+    } else {
+        Fabric::Chaos(ChaosLink::new(ChaosConfig {
+            seed: scenario.chaos.seed,
+            drop_prob: scenario.chaos.drop_prob,
+            dup_prob: scenario.chaos.dup_prob,
+            delay_prob: scenario.chaos.delay_prob,
+            delay_secs: DELAY_SECS_WALL,
+        }))
+    };
+
+    let registry = Registry::new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut sleeps = HashMap::new();
+    for (w, wf) in scenario.workflows.iter().enumerate() {
+        for (j, job) in wf.jobs.iter().enumerate() {
+            sleeps.insert(
+                (w as u32, j as u32),
+                Duration::from_secs_f64(job.cpu_secs * JOB_SLEEP_SCALE),
+            );
+        }
+    }
+    let runner = Arc::new(TapRunner { failures: HashMap::new(), sleeps, log: Arc::clone(&log) });
+
+    // The journal is only needed when the plan kills the master; give
+    // each run its own file so concurrent tests never collide.
+    let journal_path = scenario.faults.has_master_kill().then(|| {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "dewe-testkit-rt-fault-{}-{}-{}.wal",
+            std::process::id(),
+            scenario.seed,
+            FAULT_RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        p
+    });
+    let master_config = MasterConfig {
+        // Non-lossy fabric: recovery credit belongs to the lease plane
+        // (worker death) and the checkout deadline (death between pull
+        // and Running ack), with the job timeout as a distant backstop.
+        default_timeout_secs: 5.0,
+        checkout_timeout_secs: Some(1.0),
+        retry: RetryPolicy {
+            max_attempts: None,
+            backoff_base_secs: 0.0,
+            backoff_factor: 2.0,
+            backoff_max_secs: 0.05,
+            jitter_frac: 0.0,
+            seed: scenario.seed,
+        },
+        timeout_scan_interval: Duration::from_millis(5),
+        expected_workflows: Some(scenario.workflows.len()),
+        shards: scenario.shards,
+        journal_path: journal_path.clone(),
+        lease_secs: Some(FAULT_LEASE_SECS),
+        ..MasterConfig::default()
+    };
+
+    let mut master: Option<MasterHandle> =
+        Some(spawn_master(fabric.master_bus().clone(), registry.clone(), master_config.clone()));
+    let mut workers: Vec<Option<WorkerHandle>> = (0..scenario.workers)
+        .map(|w| {
+            Some(spawn_worker(
+                fabric.worker_bus().clone(),
+                registry.clone(),
+                Arc::clone(&runner) as Arc<dyn JobRunner>,
+                WorkerConfig {
+                    worker_id: w as u32,
+                    slots: scenario.slots_per_worker,
+                    pull_timeout: Duration::from_millis(5),
+                    heartbeat_interval: Some(FAULT_HEARTBEAT),
+                    ..WorkerConfig::default()
+                },
+            ))
+        })
+        .collect();
+
+    for (i, wf) in scenario.build_workflows().into_iter().enumerate() {
+        submit(fabric.master_bus(), format!("wf{i}"), wf);
+    }
+
+    let schedule = compile_faults(scenario);
+    let start = Instant::now();
+    let deadline = start + WATCHDOG;
+    let mut next_fault = 0;
+    let mut master_killed = false;
+    let mut pre_kill_rows: BTreeSet<u32> = BTreeSet::new();
+    let mut stats: Option<EngineStats> = None;
+
+    while Instant::now() < deadline {
+        if next_fault < schedule.len() && start.elapsed().as_secs_f64() >= schedule[next_fault].0 {
+            match schedule[next_fault].1 {
+                RtFault::KillWorker(w) => {
+                    if let Some(h) = workers[w].take() {
+                        h.kill();
+                    }
+                }
+                RtFault::AnnounceDrain(w) => {
+                    if let Some(h) = workers[w].as_ref() {
+                        h.announce_drain();
+                    }
+                }
+                RtFault::PauseHeartbeats(w) => {
+                    if let Some(h) = workers[w].as_ref() {
+                        h.pause_heartbeats();
+                    }
+                }
+                RtFault::ResumeHeartbeats(w) => {
+                    if let Some(h) = workers[w].as_ref() {
+                        h.resume_heartbeats();
+                    }
+                }
+                RtFault::KillMaster => {
+                    if let Some(m) = master.take() {
+                        pre_kill_rows = m.liveness_snapshot().iter().map(|r| r.worker).collect();
+                        m.kill();
+                        master_killed = true;
+                    }
+                }
+                RtFault::RestartMaster => {
+                    if master.is_none() {
+                        master = Some(spawn_master(
+                            fabric.master_bus().clone(),
+                            registry.clone(),
+                            MasterConfig { recover: true, ..master_config.clone() },
+                        ));
+                    }
+                }
+            }
+            next_fault += 1;
+            continue;
+        }
+        let Some(m) = master.as_ref() else {
+            // Master-less window: workers keep executing, acks queue on
+            // the bus; just wait for the scheduled restart.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        match m.events.recv_timeout(Duration::from_millis(2)) {
+            Ok(MasterEvent::AllCompleted { stats: s })
+            | Ok(MasterEvent::AllSettled { stats: s }) => {
+                stats = Some(s);
+                break;
+            }
+            Ok(_) => {}
+            // Timeout: re-check faults and the watchdog. Disconnected
+            // (master died without a verdict): pace the spin; the
+            // watchdog turns it into a reported stall.
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    // Read fault-plane state before teardown consumes the handle.
+    let settled = stats.is_some();
+    let (master_stats, final_rows) = match master.as_ref() {
+        Some(m) => (Some(m.master_stats()), m.liveness_snapshot()),
+        None => (None, Vec::new()),
+    };
+    for worker in workers.iter_mut() {
+        if let Some(h) = worker.take() {
+            h.stop();
+        }
+    }
+    let mut note = fabric.shutdown();
+    let final_stats = master.map(MasterHandle::join);
+    if !settled {
+        let n = format!("watchdog expired after {WATCHDOG:?}; stats {final_stats:?}");
+        note = Some(match note {
+            Some(existing) => format!("{n}; {existing}"),
+            None => n,
+        });
+    }
+    if let Some(p) = &journal_path {
+        let _ = std::fs::remove_file(p);
+    }
+
+    // Recovery equivalence, realtime flavour: every worker the killed
+    // master knew about must reappear in the replacement's final table —
+    // the journaled lifecycle records survived the crash.
+    let liveness_recovery = master_killed.then(|| {
+        let final_ids: BTreeSet<u32> = final_rows.iter().map(|r| r.worker).collect();
+        pre_kill_rows.is_subset(&final_ids)
+    });
+
+    let events = log.lock().expect("tap log").clone();
+    let completed: BTreeSet<(u32, u32)> = events
+        .iter()
+        .filter_map(|ev| match *ev {
+            Event::Finished { job } => Some(job),
+            Event::Started { .. } => None,
+        })
+        .collect();
+    PathOutcome {
+        kind: PathKind::Realtime,
+        completed,
+        events,
+        stats: stats.or(final_stats),
+        makespan_secs: None,
+        settled,
+        master_stats,
+        liveness_recovery,
         note,
     }
 }

@@ -28,6 +28,7 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use dewe_core::fault::FaultPlan;
 use dewe_dag::{Workflow, WorkflowBuilder};
 
 /// Splitmix64 — the same tiny deterministic generator the chaos decider
@@ -156,6 +157,13 @@ pub struct Scenario {
     pub chaos: ChaosSpec,
     /// Scripted per-job failures.
     pub failures: Vec<FailureSpec>,
+    /// Timed fault schedule (worker crashes, spot revocations, heartbeat
+    /// stalls, master kill/restart). Empty for the three classic seed
+    /// classes; populated by [`Scenario::generate_fault`]. Fault times
+    /// are scenario seconds on the `FAULT_HORIZON_SECS` axis — the
+    /// engine path injects them in virtual time, the realtime path
+    /// scales them to wall-clock milliseconds.
+    pub faults: FaultPlan,
 }
 
 /// The analytically computed terminal verdict of a scenario: which jobs
@@ -260,6 +268,74 @@ impl Scenario {
             backoff_base_secs,
             chaos,
             failures,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Generate a **fault-plane** scenario for `seed`: a fixed four-worker
+    /// pool, unbounded retries, at most delay-only chaos, and a seeded
+    /// [`FaultPlan`] of worker crashes / spot revocations / heartbeat
+    /// stalls / master kill+restart. With unbounded retries every job
+    /// must still complete on every path — lease expiry (or the job
+    /// timeout backstop) requeues whatever dies with a worker, and the
+    /// journal brings a replacement master back to the identical state.
+    pub fn generate_fault(seed: u64) -> Self {
+        let mut rng = Rng::new(seed ^ FAULT_SCENARIO_SALT);
+
+        // Larger ensembles than the classic classes, so faults land
+        // mid-run instead of after the last ack.
+        let n_wf = 1 + rng.below(2);
+        let mut workflows = Vec::with_capacity(n_wf);
+        for _ in 0..n_wf {
+            let n_jobs = 8 + rng.below(12);
+            let mut jobs = Vec::with_capacity(n_jobs);
+            for j in 0..n_jobs {
+                let cpu_secs = 0.05 + rng.unit() * 0.55;
+                let mut parents = Vec::new();
+                for p in 0..j {
+                    if rng.unit() < 0.25 {
+                        parents.push(p as u32);
+                    }
+                }
+                jobs.push(JobSpec { cpu_secs, parents });
+            }
+            workflows.push(WorkflowSpec { jobs });
+        }
+
+        // Delay-only chaos for half the seeds: lost or duplicated
+        // messages would make fault attribution ambiguous (a job could
+        // be recovered by the ack-loss timeout instead of the lease
+        // plane), but late messages compose cleanly with every fault.
+        let chaos = if rng.below(2) == 1 {
+            ChaosSpec {
+                seed: seed ^ 0xC4A5_11FE,
+                drop_prob: 0.0,
+                dup_prob: 0.0,
+                delay_prob: rng.unit() * 0.3,
+                delay_secs: 0.2,
+            }
+        } else {
+            ChaosSpec::none()
+        };
+
+        let workers = FAULT_WORKERS as usize;
+        Self {
+            seed,
+            workflows,
+            submission_interval_secs: rng.unit() * 0.3,
+            workers,
+            slots_per_worker: 1 + rng.below(2),
+            shards: [1, 2][rng.below(2)],
+            parallel: false,
+            max_attempts: None,
+            backoff_base_secs: 0.0,
+            chaos,
+            failures: Vec::new(),
+            faults: FaultPlan::generate(
+                seed ^ FAULT_SCENARIO_SALT,
+                FAULT_WORKERS,
+                FAULT_HORIZON_SECS,
+            ),
         }
     }
 
@@ -381,6 +457,9 @@ impl Scenario {
                 f.workflow, f.job, f.failing_attempts
             );
         }
+        if !self.faults.is_empty() {
+            let _ = writeln!(s, "faults: {}", self.faults.describe());
+        }
         s
     }
 }
@@ -388,6 +467,20 @@ impl Scenario {
 /// Decorrelates scenario-shape draws from the raw seed (which also feeds
 /// the chaos decider and backoff jitter).
 const SCENARIO_SALT: u64 = 0xD1FF_E7E4_7E57_0001;
+
+/// Separate salt for the fault class, so `generate(n)` and
+/// `generate_fault(n)` are unrelated scenarios.
+const FAULT_SCENARIO_SALT: u64 = 0xFA17_7000_7E57_0002;
+
+/// Worker pool size for fault scenarios: big enough that the generated
+/// plan can kill several workers and still leave a survivor.
+pub const FAULT_WORKERS: u32 = 4;
+
+/// The scenario-time axis fault schedules are generated on. Paths map it
+/// onto their own clocks: virtual seconds for the engine driver,
+/// wall-clock milliseconds (see `paths::realtime`) for the threaded
+/// stack.
+pub const FAULT_HORIZON_SECS: f64 = 5.0;
 
 #[cfg(test)]
 mod tests {
@@ -444,6 +537,7 @@ mod tests {
             backoff_base_secs: 0.0,
             chaos: ChaosSpec::none(),
             failures: vec![FailureSpec { workflow: 0, job: 0, failing_attempts: 2 }],
+            faults: FaultPlan::none(),
         };
         let e = s.expected_outcome();
         assert_eq!(e.dead_lettered.iter().collect::<Vec<_>>(), vec![&(0, 0)]);
@@ -460,6 +554,34 @@ mod tests {
             assert_eq!(spec.jobs.len(), wf.job_count());
             let edges: usize = spec.jobs.iter().map(|j| j.parents.len()).sum();
             assert_eq!(edges, wf.edge_count());
+        }
+    }
+
+    #[test]
+    fn fault_class_is_deterministic_and_recoverable() {
+        for seed in 0..32 {
+            let a = Scenario::generate_fault(seed);
+            let b = Scenario::generate_fault(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            // Unbounded retries + no failure scripts: the analytic
+            // expectation is "everything completes", faults or not.
+            assert!(a.max_attempts.is_none() && a.failures.is_empty(), "seed {seed}");
+            assert!(!a.chaos.is_lossy(), "seed {seed}: fault class must not lose messages");
+            let e = a.expected_outcome();
+            assert_eq!(e.completed.len(), a.total_jobs(), "seed {seed}");
+            assert_eq!(a.workers, FAULT_WORKERS as usize);
+            // Every targeted worker exists in the pool, and at least one
+            // worker survives the lethal events.
+            for f in &a.faults.events {
+                if let Some(w) = f.event.worker() {
+                    assert!((w as usize) < a.workers, "seed {seed}");
+                }
+            }
+            assert!(
+                a.faults.lethal_workers().len() < a.workers,
+                "seed {seed}: no survivor in {}",
+                a.faults.describe()
+            );
         }
     }
 

@@ -7,7 +7,8 @@
 //! 2. drop individual jobs (children lose the edge, later parents and
 //!    failure specs are re-indexed);
 //! 3. drop failure specs;
-//! 4. switch chaos off entirely, then zero the scheduling knobs
+//! 4. drop injected fault events;
+//! 5. switch chaos off entirely, then zero the scheduling knobs
 //!    (submission stagger, backoff).
 //!
 //! `diverges` is the caller's oracle: it must return `true` while the
@@ -96,6 +97,21 @@ pub fn minimize(initial: &Scenario, diverges: &dyn Fn(&Scenario) -> bool) -> Sce
             }
         }
 
+        // Drop injected faults one at a time. Removing an event only
+        // ever makes the plan less lethal, so the generator's survivor
+        // guarantee is preserved by construction.
+        let mut fe = 0;
+        while fe < cur.faults.events.len() {
+            let mut cand = cur.clone();
+            cand.faults.events.remove(fe);
+            if diverges(&cand) {
+                cur = cand;
+                changed = true;
+            } else {
+                fe += 1;
+            }
+        }
+
         if !cur.chaos.is_noop() {
             let mut cand = cur.clone();
             cand.chaos = crate::scenario::ChaosSpec::none();
@@ -131,6 +147,7 @@ pub fn minimize(initial: &Scenario, diverges: &dyn Fn(&Scenario) -> bool) -> Sce
 mod tests {
     use super::*;
     use crate::scenario::{ChaosSpec, FailureSpec, JobSpec, WorkflowSpec};
+    use dewe_core::fault::{FaultEvent, FaultPlan, TimedFault};
 
     fn big_scenario() -> Scenario {
         let wf = |n: usize| WorkflowSpec {
@@ -159,6 +176,15 @@ mod tests {
                 delay_secs: 0.05,
             },
             failures: vec![FailureSpec { workflow: 1, job: 2, failing_attempts: 3 }],
+            faults: FaultPlan {
+                events: vec![
+                    TimedFault { at_secs: 0.5, event: FaultEvent::WorkerCrash { worker: 0 } },
+                    TimedFault {
+                        at_secs: 1.0,
+                        event: FaultEvent::MasterKill { restart_delay_secs: 0.2 },
+                    },
+                ],
+            },
         }
     }
 
@@ -170,8 +196,19 @@ mod tests {
         assert_eq!(min.workflows.len(), 1);
         assert_eq!(min.workflows[0].jobs.len(), 1);
         assert!(min.failures.is_empty());
+        assert!(min.faults.is_empty());
         assert!(min.chaos.is_noop());
         assert_eq!(min.submission_interval_secs, 0.0);
+    }
+
+    #[test]
+    fn preserves_the_fault_the_divergence_needs() {
+        // Divergence requires the master kill to survive shrinking; the
+        // worker crash must be dropped.
+        let diverges = |s: &Scenario| s.faults.has_master_kill();
+        let min = minimize(&big_scenario(), &diverges);
+        assert_eq!(min.faults.events.len(), 1);
+        assert!(min.faults.has_master_kill());
     }
 
     #[test]

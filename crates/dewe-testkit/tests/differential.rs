@@ -1,7 +1,11 @@
 //! Differential smoke suite: seeded scenarios through all three
 //! execution paths, plus the oracle's own mutation self-test.
 
-use dewe_testkit::{minimize, run_scenario, run_seed, EngineDriverConfig, PathKind, Scenario};
+use dewe_core::fault::{FaultEvent, FaultPlan, TimedFault};
+use dewe_testkit::scenario::{ChaosSpec, JobSpec, WorkflowSpec};
+use dewe_testkit::{
+    minimize, run_fault_seed, run_scenario, run_seed, EngineDriverConfig, PathKind, Scenario,
+};
 
 /// Every seed in the smoke set must conform across engine, baseline, and
 /// realtime. `DEWE_DIFF_SEEDS` widens the sweep (CI runs the release
@@ -45,6 +49,91 @@ fn injected_engine_bug_is_caught_and_shrunk() {
     // The report must carry the replay handle.
     let report = repro.report();
     assert!(report.contains("replay"), "{report}");
+}
+
+/// Fault-class smoke: seeded worker crashes, spot revocations, heartbeat
+/// stalls and master kill/restart must leave every path conforming —
+/// lease expiry (realtime) or the timeout backstop (engine sim) requeues
+/// whatever dies, and with unbounded retries everything completes.
+/// `DEWE_FAULT_SEEDS` widens the sweep (CI runs 32+ via the binary).
+#[test]
+fn fault_class_smoke_zero_divergence() {
+    let seeds: u64 =
+        std::env::var("DEWE_FAULT_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let mut diverged = Vec::new();
+    for seed in 0..seeds {
+        let run = run_fault_seed(seed);
+        if !run.conforms() {
+            diverged.push((seed, run.violations));
+        }
+    }
+    assert!(diverged.is_empty(), "diverging fault seeds: {diverged:#?}");
+}
+
+/// A chain with enough width to keep four workers busy for a while:
+/// four independent 4-job chains (cpu 0.4s each), so the ensemble spans
+/// ~1.6 virtual seconds and the faults below land mid-run.
+fn two_worker_loss_scenario() -> Scenario {
+    let chain = |_: usize| WorkflowSpec {
+        jobs: vec![
+            JobSpec { cpu_secs: 0.4, parents: vec![] },
+            JobSpec { cpu_secs: 0.4, parents: vec![0] },
+            JobSpec { cpu_secs: 0.4, parents: vec![1] },
+            JobSpec { cpu_secs: 0.4, parents: vec![2] },
+        ],
+    };
+    Scenario {
+        seed: 0,
+        workflows: (0..4).map(chain).collect(),
+        submission_interval_secs: 0.0,
+        workers: 4,
+        slots_per_worker: 1,
+        shards: 1,
+        parallel: false,
+        max_attempts: None,
+        backoff_base_secs: 0.0,
+        chaos: ChaosSpec::none(),
+        failures: Vec::new(),
+        faults: FaultPlan {
+            events: vec![
+                TimedFault { at_secs: 0.6, event: FaultEvent::WorkerCrash { worker: 0 } },
+                TimedFault {
+                    at_secs: 1.0,
+                    event: FaultEvent::SpotRevocation { worker: 1, notice_secs: 0.3 },
+                },
+                TimedFault {
+                    at_secs: 1.4,
+                    event: FaultEvent::MasterKill { restart_delay_secs: 0.3 },
+                },
+            ],
+        },
+    }
+}
+
+/// ISSUE acceptance: a scenario that kills 2 of 4 workers (one hard
+/// crash, one spot revocation) and kills+restarts the master
+/// mid-ensemble must complete with the invariant suite green on every
+/// path — and deterministically so on the virtual-time paths.
+#[test]
+fn two_worker_loss_with_master_restart_completes_on_all_paths() {
+    let scenario = two_worker_loss_scenario();
+    let run = run_scenario(
+        &scenario,
+        &[PathKind::Engine, PathKind::Baseline, PathKind::Realtime],
+        &EngineDriverConfig::default(),
+    );
+    assert!(run.conforms(), "{:#?}", run.violations);
+
+    // Determinism: the engine-path driver (faults, crash epochs, replay
+    // recovery and all) is a pure function of the scenario.
+    let cfg = EngineDriverConfig::default();
+    let a = dewe_testkit::paths::engine::run(&scenario, &cfg);
+    let b = dewe_testkit::paths::engine::run(&scenario, &cfg);
+    assert_eq!(a.events, b.events, "engine fault run is not deterministic");
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.completed, b.completed);
+    // The master kill fired, and the replayed engine matched bit-for-bit.
+    assert_eq!(a.liveness_recovery, Some(true), "note: {:?}", a.note);
 }
 
 /// The mutation must also be visible differentially (not just via the

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use dewe::baseline::{run_ensemble as run_baseline, BaselineConfig};
-use dewe::core::sim::{run_ensemble, FaultPlan, SimRunConfig, SubmissionPlan};
+use dewe::core::sim::{run_ensemble, NodeFault, SimRunConfig, SubmissionPlan};
 use dewe::montage::MontageConfig;
 use dewe::simcloud::{
     ClusterConfig, SharedFsKind, StorageConfig, C3_8XLARGE, I2_8XLARGE, R3_8XLARGE,
@@ -110,8 +110,8 @@ fn fault_injection_preserves_completion() {
     cfg.default_timeout_secs = 30.0;
     cfg.timeout_scan_secs = 1.0;
     cfg.faults = vec![
-        FaultPlan { node: 0, kill_at_secs: 3.0, restart_at_secs: Some(6.0) },
-        FaultPlan { node: 1, kill_at_secs: 40.0, restart_at_secs: Some(45.0) },
+        NodeFault { node: 0, kill_at_secs: 3.0, restart_at_secs: Some(6.0) },
+        NodeFault { node: 1, kill_at_secs: 40.0, restart_at_secs: Some(45.0) },
     ];
     let r = run_ensemble(&[Arc::clone(&wf)], &cfg);
     assert!(r.completed);
@@ -127,7 +127,7 @@ fn permanent_node_loss_is_survivable() {
     let mut cfg = SimRunConfig::new(local(2));
     cfg.default_timeout_secs = 20.0;
     cfg.timeout_scan_secs = 1.0;
-    cfg.faults = vec![FaultPlan { node: 1, kill_at_secs: 5.0, restart_at_secs: None }];
+    cfg.faults = vec![NodeFault { node: 1, kill_at_secs: 5.0, restart_at_secs: None }];
     let r = run_ensemble(&[wf], &cfg);
     assert!(r.completed, "surviving node must finish the ensemble");
 }
