@@ -312,7 +312,19 @@ fn fault_plane_exercise(rounds: usize) -> (u64, f64, MasterStats) {
 
 fn main() {
     let cfg = parse_args();
-    let workflow = Arc::new(MontageConfig::degree(cfg.degree).build());
+    let montage = MontageConfig::degree(cfg.degree);
+    let workflow = Arc::new(montage.build());
+    // Shape-drift fence: every job count this bench reports is derived
+    // from the generated workflow, and the generated workflow must agree
+    // with the closed-form `MontageShape` the oracle's scenario generator
+    // reasons about. If the generator and the shape model ever diverge,
+    // the bench fails instead of silently timing a different workload.
+    assert_eq!(
+        workflow.job_count(),
+        montage.shape().total_jobs,
+        "generated Montage {:.1}deg workflow disagrees with MontageShape",
+        cfg.degree
+    );
     let ensemble: Vec<Arc<Workflow>> = (0..cfg.workflows).map(|_| Arc::clone(&workflow)).collect();
     let total_jobs = workflow.job_count() * cfg.workflows;
     let cluster =
@@ -435,6 +447,14 @@ fn main() {
         const PAPER_REPS: usize = 3;
         const PAPER_NODES: usize = 40;
         let paper_wf = Arc::new(MontageConfig::degree(6.0).build());
+        // The headline "1,717,200 jobs" claim is 200 x the paper's 8,586-job
+        // 6.0deg workflow; pin the generated workflow to the paper constant
+        // so the tracked report can never drift from dewe-montage.
+        assert_eq!(
+            paper_wf.job_count(),
+            MontageConfig::PAPER_6DEG_JOBS,
+            "Montage 6.0deg workflow drifted from the paper's job count"
+        );
         let paper_ensemble: Vec<Arc<Workflow>> =
             (0..cfg.paper_workflows).map(|_| Arc::clone(&paper_wf)).collect();
         let paper_jobs = paper_wf.job_count() * cfg.paper_workflows;
@@ -608,5 +628,39 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("check passed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dewe_montage::{MontageConfig, MontageShape};
+
+    /// The default (tracked) workload: generated job count must match the
+    /// closed-form shape the testkit's scenario generator reasons about.
+    #[test]
+    fn tracked_workload_matches_montage_shape() {
+        for degree in [2.0, 6.0] {
+            let cfg = MontageConfig::degree(degree);
+            let shape = MontageShape::for_degree(degree);
+            assert_eq!(cfg.shape(), shape);
+            assert_eq!(
+                cfg.build().job_count(),
+                shape.total_jobs,
+                "Montage {degree:.1}deg generator drifted from MontageShape"
+            );
+        }
+    }
+
+    /// The paper-ensemble section reports "200 x 8,586 = 1,717,200 jobs";
+    /// both factors come from dewe-montage, never from bench-local
+    /// constants, so the headline scale can't silently change.
+    #[test]
+    fn paper_ensemble_scale_derives_from_paper_constants() {
+        assert_eq!(
+            MontageShape::for_degree(6.0).total_jobs,
+            MontageConfig::PAPER_6DEG_JOBS,
+            "6.0deg shape drifted from the paper's reference job count"
+        );
+        assert_eq!(200 * MontageConfig::PAPER_6DEG_JOBS, 1_717_200);
     }
 }

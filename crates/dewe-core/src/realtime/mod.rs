@@ -39,7 +39,8 @@ pub use bus::{MessageBus, Registry};
 pub use chaos::ChaosLink;
 pub use deployment::{Deployment, DeploymentBuilder};
 pub use journal::{
-    read_journal, recover, replay_liveness, Journal, JournalCommitPolicy, JournalRecord, Recovery,
+    compact_records, read_journal, recover, replay_liveness, Journal, JournalCommitPolicy,
+    JournalRecord, Recovery,
 };
 pub use liveness::{
     LivenessTable, LivenessTransition, MasterStats, RequeueEntry, WorkerPhase, WorkerView,

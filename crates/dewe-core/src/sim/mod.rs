@@ -37,6 +37,21 @@ pub enum SubmissionPlan {
     Interval(f64),
 }
 
+/// A scripted per-job failure: attempts `1..=failing_attempts` of the
+/// job report `Failed` instead of `Completed`, attempt
+/// `failing_attempts + 1` succeeds. This is how the differential
+/// oracle's scripted-failure class reaches the simulated worker pool —
+/// the sim equivalent of the realtime `TapRunner`'s failure taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFailure {
+    /// Workflow index in ensemble submission order.
+    pub workflow: u32,
+    /// Job index within the workflow.
+    pub job: u32,
+    /// How many leading attempts fail.
+    pub failing_attempts: u32,
+}
+
 /// A worker-daemon fault to inject (paper §V.A.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeFault {
@@ -73,6 +88,11 @@ pub struct SimRunConfig {
     pub record_gantt: bool,
     /// Worker faults to inject.
     pub faults: Vec<NodeFault>,
+    /// Scripted per-job failures (see [`ScriptedFailure`]). Failed
+    /// acknowledgments are authoritative and bypass the chaos layer —
+    /// the engine deliberately does not deduplicate them, so dropping
+    /// or duplicating one would desynchronize the retry budget.
+    pub failure_script: Vec<ScriptedFailure>,
     /// Per-node CPU speed multipliers (heterogeneity ablation; `None` =
     /// the paper's homogeneous cluster).
     pub node_speed_factors: Option<Vec<f64>>,
@@ -99,6 +119,12 @@ pub struct SimRunConfig {
     /// single-threaded — while [`run_ensemble_sharded`] partitions the
     /// cluster and runs one sub-simulation thread per shard.
     pub shards: usize,
+    /// Virtual-time cap: abort the run (reported as not completed) once
+    /// the clock passes this point without every workflow settling.
+    /// `None` (default) runs to settlement. The differential oracle sets
+    /// this so an engine bug that strands a job surfaces as a bounded,
+    /// reportable stall instead of an endless timeout-scan spin.
+    pub horizon_secs: Option<f64>,
     /// Worker threads driving the shards. `0` (default) keeps the
     /// historical behavior of each entry point: [`run_ensemble`] stays
     /// single-threaded and [`run_ensemble_sharded`] runs one thread per
@@ -124,11 +150,13 @@ impl SimRunConfig {
             sample: false,
             record_gantt: false,
             faults: Vec::new(),
+            failure_script: Vec::new(),
             node_speed_factors: None,
             record_trace: false,
             retry: RetryPolicy::default(),
             checkout_timeout_secs: None,
             chaos: None,
+            horizon_secs: None,
             shards: 1,
             threads: 0,
         }
@@ -281,6 +309,8 @@ struct DriverState {
     all_done_at: Option<f64>,
     /// Message-level fault injector, when configured.
     chaos: Option<ChaosDecider>,
+    /// Scripted per-job failures, when configured.
+    failure_script: Vec<ScriptedFailure>,
 }
 
 impl DriverState {
@@ -310,7 +340,16 @@ impl DriverState {
             abandoned_count: 0,
             all_done_at: None,
             chaos: config.chaos.map(ChaosDecider::new),
+            failure_script: config.failure_script.clone(),
         }
+    }
+
+    /// Scripted failing-attempt count for a job (0 = never fails).
+    fn failing_attempts(&self, job: EnsembleJobId) -> u32 {
+        self.failure_script
+            .iter()
+            .find(|f| f.workflow == job.workflow.0 && f.job == job.job.0)
+            .map_or(0, |f| f.failing_attempts)
     }
 
     /// Dense ensemble-wide index of a job: provably below the wake-token
@@ -564,41 +603,73 @@ fn drive_ensemble<E: EngineCore>(
                     state.try_assign(&mut exec, &mut engine);
                     continue;
                 };
-                if let Some(g) = gantt.as_mut() {
-                    g.record(node, timings);
-                }
-                if let Some(tr) = trace.as_mut() {
-                    let (dispatched, started) = state.trace_times[token as usize];
-                    let wf = engine.workflow(d.job.workflow);
-                    tr.record(dewe_metrics::JobTrace {
-                        workflow: d.job.workflow.0,
-                        job: d.job.job.0,
-                        xform: wf.job(d.job.job).xform.clone(),
-                        attempt: d.attempt,
-                        node,
-                        dispatched,
-                        started,
-                        read_done: timings.read_done.as_secs_f64(),
-                        compute_done: timings.compute_done.as_secs_f64(),
-                        finished: timings.finished.as_secs_f64(),
-                    });
+                // Scripted failure: the worker ran the attempt but
+                // reports Failed instead of Completed.
+                let scripted_fail = d.attempt <= state.failing_attempts(d.job);
+                if !scripted_fail {
+                    if let Some(g) = gantt.as_mut() {
+                        g.record(node, timings);
+                    }
+                    if let Some(tr) = trace.as_mut() {
+                        // The start time comes from this finish event's own
+                        // timings: under message chaos a duplicated or
+                        // resubmitted copy of the job can overwrite the
+                        // per-token `trace_times` slot while an earlier copy
+                        // is still executing, so the slot's times may belong
+                        // to a later attempt. Clamp `dispatched` for the
+                        // same reason.
+                        let started = timings.submitted.as_secs_f64();
+                        let (dispatched, _) = state.trace_times[token as usize];
+                        let dispatched = dispatched.min(started);
+                        let wf = engine.workflow(d.job.workflow);
+                        tr.record(dewe_metrics::JobTrace {
+                            workflow: d.job.workflow.0,
+                            job: d.job.job.0,
+                            xform: wf.job(d.job.job).xform.clone(),
+                            attempt: d.attempt,
+                            node,
+                            dispatched,
+                            started,
+                            read_done: timings.read_done.as_secs_f64(),
+                            compute_done: timings.compute_done.as_secs_f64(),
+                            finished: timings.finished.as_secs_f64(),
+                        });
+                    }
                 }
                 state.pool.release(node);
                 let now = exec.now().as_secs_f64();
-                // Under chaos the completion ack may be lost (the master
-                // times the job out and resubmits — the work reruns) or
-                // duplicated (the second copy is dedup noise).
-                for _ in 0..state.chaos_copies(chaos::streams::ACK, d.job, d.attempt, 1) {
+                if scripted_fail {
+                    // A failure report is authoritative and exactly-once:
+                    // it bypasses the chaos layer because the engine does
+                    // not deduplicate Failed acks (a dropped or doubled
+                    // one would desynchronize the retry budget).
                     engine.on_ack(
                         AckMsg {
                             job: d.job,
                             worker: node as u32,
-                            kind: AckKind::Completed,
+                            kind: AckKind::Failed,
                             attempt: d.attempt,
                         },
                         now,
                         &mut state.actions,
                     );
+                } else {
+                    // Under chaos the completion ack may be lost (the
+                    // master times the job out and resubmits — the work
+                    // reruns) or duplicated (the second copy is dedup
+                    // noise).
+                    for _ in 0..state.chaos_copies(chaos::streams::ACK, d.job, d.attempt, 1) {
+                        engine.on_ack(
+                            AckMsg {
+                                job: d.job,
+                                worker: node as u32,
+                                kind: AckKind::Completed,
+                                attempt: d.attempt,
+                            },
+                            now,
+                            &mut state.actions,
+                        );
+                    }
                 }
                 state.handle_actions(now);
                 state.try_assign(&mut exec, &mut engine);
@@ -661,6 +732,7 @@ fn drive_ensemble<E: EngineCore>(
                 break;
             }
             Some(done) if exec.now().as_secs_f64() > done + 2.0 * SAMPLE_INTERVAL_SECS => break,
+            None if config.horizon_secs.is_some_and(|h| exec.now().as_secs_f64() > h) => break,
             _ => {}
         }
     }
@@ -716,6 +788,10 @@ pub fn run_ensemble_sharded(workflows: &[Arc<Workflow>], config: &SimRunConfig) 
     assert!(config.shards >= 1, "shard count must be at least 1");
     assert!(config.faults.is_empty(), "fault plans are cluster-global; use run_ensemble");
     assert!(config.chaos.is_none(), "message chaos is stream-global; use run_ensemble");
+    assert!(
+        config.failure_script.is_empty(),
+        "failure scripts index global workflows; use run_ensemble"
+    );
     assert!(
         !config.sample && !config.record_gantt && !config.record_trace,
         "metrics recording is cluster-global; use run_ensemble"
@@ -1278,5 +1354,54 @@ mod tests {
         assert!(report.total_bytes_read >= 500_000_000.0 * 0.99);
         assert!(report.total_bytes_read < 700_000_000.0);
         assert!((report.total_bytes_written - 250_000_000.0).abs() < 1e6);
+    }
+
+    #[test]
+    fn scripted_failure_retries_until_success() {
+        // Middle chain job fails its first two attempts; unbounded
+        // immediate retries rerun it until the third attempt lands.
+        let mut cfg = no_overhead(cluster(1));
+        cfg.record_gantt = true;
+        cfg.failure_script = vec![ScriptedFailure { workflow: 0, job: 1, failing_attempts: 2 }];
+        let report = run_ensemble(&[chain_wf(3, 1.0)], &cfg);
+        assert!(report.completed);
+        assert_eq!(report.engine.jobs_completed, 3);
+        assert_eq!(report.engine.resubmissions, 2);
+        // j0 (1s) + j1 three attempts (3s) + j2 (1s): failed attempts
+        // consume real slot time.
+        assert!((report.makespan_secs - 5.0).abs() < 0.2, "{}", report.makespan_secs);
+        // Failed attempts are not real completions: the gantt records
+        // exactly one span per job that actually finished.
+        assert_eq!(report.gantt.expect("gantt").len(), 3);
+    }
+
+    #[test]
+    fn scripted_failure_dead_letters_under_retry_cap() {
+        // The middle job always fails and the retry budget allows two
+        // attempts: it dead-letters and its descendant is written off.
+        let mut cfg = no_overhead(cluster(1));
+        cfg.retry = RetryPolicy { max_attempts: Some(2), ..RetryPolicy::default() };
+        cfg.failure_script = vec![ScriptedFailure { workflow: 0, job: 1, failing_attempts: 99 }];
+        let report = run_ensemble(&[chain_wf(3, 1.0)], &cfg);
+        assert!(!report.completed);
+        assert_eq!(report.engine.dead_lettered, 1);
+        assert_eq!(report.engine.jobs_abandoned, 2);
+        assert_eq!(report.engine.workflows_abandoned, 1);
+        assert_eq!(report.engine.jobs_completed, 1);
+    }
+
+    #[test]
+    fn scripted_failure_composes_with_message_chaos() {
+        // Failed acks bypass the chaos layer, so a lossy run with a
+        // scripted failure still converges: the failure is retried the
+        // scripted number of times and every workflow completes.
+        let mut cfg = no_overhead(cluster(1));
+        cfg.failure_script = vec![ScriptedFailure { workflow: 0, job: 0, failing_attempts: 1 }];
+        cfg.chaos =
+            Some(ChaosConfig { seed: 7, drop_prob: 0.2, dup_prob: 0.2, ..ChaosConfig::default() });
+        let report = run_ensemble(&[parallel_wf(6, 1.0)], &cfg);
+        assert!(report.completed);
+        assert_eq!(report.engine.jobs_completed, 6);
+        assert!(report.engine.resubmissions >= 1);
     }
 }

@@ -24,8 +24,12 @@
 //! [`CyberShakeConfig`] (seismic hazard, read-dominated),
 //! [`EpigenomicsConfig`] (genome mapping, deep data-parallel pipelines)
 //! and [`SiphtConfig`] (sRNA search, heterogeneous diamond). A
-//! [`random_layered`] generator supports fuzzing.
+//! [`random_layered`] generator supports fuzzing, and
+//! [`AdversarialConfig`] builds deliberately pathological shapes (wide
+//! fan-out, deep chains, diamond storms, fan-in cliffs) for the
+//! differential oracle.
 
+mod adversarial;
 mod cybershake;
 mod epigenomics;
 mod ligo;
@@ -33,6 +37,7 @@ mod montage;
 mod random;
 mod sipht;
 
+pub use adversarial::{AdversarialConfig, AdversarialShape};
 pub use cybershake::CyberShakeConfig;
 pub use epigenomics::EpigenomicsConfig;
 pub use ligo::LigoConfig;

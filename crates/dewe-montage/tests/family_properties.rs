@@ -1,0 +1,179 @@
+//! Property tests for every DAG-family generator.
+//!
+//! Each family must hold, for any seed and any in-range size:
+//!
+//! * **seeded determinism** — the same config builds the same workflow,
+//!   job for job and edge for edge;
+//! * **acyclicity / executability** — a dependency-tracker sweep
+//!   completes every job (a cycle or dangling parent would stall it);
+//! * **connectivity** — every non-root job has at least one parent, so
+//!   the whole graph is reachable from the roots;
+//! * **shape stats** — job counts match the closed-form `total_jobs`,
+//!   and depth / level widths match the family's documented structure.
+
+use dewe_montage::{
+    random_layered, AdversarialConfig, AdversarialShape, CyberShakeConfig, EpigenomicsConfig,
+    LigoConfig, MontageConfig, RandomDagConfig, SiphtConfig,
+};
+
+use dewe_dag::{DependencyTracker, LevelProfile, Workflow};
+use proptest::prelude::*;
+
+/// Run the workflow to completion through a dependency tracker: proves
+/// acyclicity and that every job is reachable from the roots.
+fn executes_fully(wf: &Workflow) {
+    let mut t = DependencyTracker::new(wf);
+    let mut done = 0usize;
+    loop {
+        let ready = t.take_ready();
+        if ready.is_empty() {
+            break;
+        }
+        for j in ready {
+            t.mark_running(j);
+            t.complete_in(wf, j);
+            done += 1;
+        }
+    }
+    assert_eq!(done, wf.job_count(), "{}: unreachable or cyclic jobs", wf.name());
+    assert!(t.is_complete());
+}
+
+/// Every non-root job has a parent (no disconnected islands past the
+/// root level).
+fn connected_from_roots(wf: &Workflow) {
+    let lp = LevelProfile::of(wf);
+    for level in lp.levels.iter().skip(1) {
+        for &j in level {
+            assert!(!wf.parents(j).is_empty(), "{}: job {j:?} floats", wf.name());
+        }
+    }
+}
+
+fn same_workflow(a: &Workflow, b: &Workflow) {
+    assert_eq!(a.job_count(), b.job_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    for (x, y) in a.jobs().iter().zip(b.jobs()) {
+        assert_eq!(x, y);
+    }
+    for j in 0..a.job_count() {
+        let id = dewe_dag::JobId::from_index(j);
+        assert_eq!(a.parents(id), b.parents(id));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn montage_properties(seed in 0u64..1024, tenths in 2u32..40) {
+        let degree = f64::from(tenths) / 10.0;
+        let cfg = MontageConfig::degree(degree).with_seed(seed);
+        let wf = cfg.build();
+        prop_assert_eq!(wf.job_count(), cfg.shape().total_jobs);
+        same_workflow(&wf, &MontageConfig::degree(degree).with_seed(seed).build());
+        executes_fully(&wf);
+        connected_from_roots(&wf);
+        // Montage has a global blocking waist (mConcatFit/mBgModel tail).
+        let lp = LevelProfile::of(&wf);
+        prop_assert!(lp.depth() >= 6, "montage depth {}", lp.depth());
+    }
+
+    #[test]
+    fn cybershake_properties(seed in 0u64..1024, variations in 1usize..40) {
+        let cfg = CyberShakeConfig::new(variations).with_seed(seed);
+        let wf = cfg.build();
+        prop_assert_eq!(wf.job_count(), cfg.total_jobs());
+        same_workflow(&wf, &CyberShakeConfig::new(variations).with_seed(seed).build());
+        executes_fully(&wf);
+        connected_from_roots(&wf);
+        let lp = LevelProfile::of(&wf);
+        prop_assert_eq!(lp.depth(), 4);
+        prop_assert_eq!(lp.levels[0].len(), 2);
+        prop_assert_eq!(lp.levels[1].len(), variations);
+    }
+
+    #[test]
+    fn epigenomics_properties(seed in 0u64..1024, lanes in 1usize..4, chunks in 1usize..6) {
+        let cfg = EpigenomicsConfig::new(lanes, chunks).with_seed(seed);
+        let wf = cfg.build();
+        prop_assert_eq!(wf.job_count(), cfg.total_jobs());
+        same_workflow(&wf, &EpigenomicsConfig::new(lanes, chunks).with_seed(seed).build());
+        executes_fully(&wf);
+        connected_from_roots(&wf);
+        // split -> 4 chunk stages -> lane merge -> global merge -> index -> pileup
+        let lp = LevelProfile::of(&wf);
+        prop_assert_eq!(lp.depth(), 9);
+        prop_assert_eq!(lp.levels[lp.depth() - 1].len(), 1);
+    }
+
+    #[test]
+    fn ligo_properties(seed in 0u64..1024, groups in 1usize..4, banks in 1usize..6) {
+        let cfg = LigoConfig::new(groups, banks).with_seed(seed);
+        let wf = cfg.build();
+        prop_assert_eq!(wf.job_count(), cfg.total_jobs());
+        same_workflow(&wf, &LigoConfig::new(groups, banks).with_seed(seed).build());
+        executes_fully(&wf);
+        connected_from_roots(&wf);
+        let lp = LevelProfile::of(&wf);
+        prop_assert_eq!(lp.depth(), 6);
+        // Per-group Thinca waists: the coincidence levels hold exactly
+        // one job per group.
+        prop_assert_eq!(lp.levels[2].len(), groups);
+        prop_assert_eq!(lp.levels[5].len(), groups);
+    }
+
+    #[test]
+    fn sipht_properties(seed in 0u64..1024, patser in 1usize..30) {
+        let cfg = SiphtConfig::new(patser).with_seed(seed);
+        let wf = cfg.build();
+        prop_assert_eq!(wf.job_count(), cfg.total_jobs());
+        same_workflow(&wf, &SiphtConfig::new(patser).with_seed(seed).build());
+        executes_fully(&wf);
+        connected_from_roots(&wf);
+        let lp = LevelProfile::of(&wf);
+        prop_assert_eq!(lp.depth(), 6);
+        prop_assert_eq!(lp.levels[5].len(), 1, "annotate is the sole sink");
+    }
+
+    #[test]
+    fn random_properties(seed in 0u64..1024, layers in 1usize..6, width in 1usize..10) {
+        let cfg = RandomDagConfig { layers, width, seed, ..RandomDagConfig::default() };
+        let wf = random_layered(&cfg);
+        prop_assert_eq!(wf.job_count(), layers * width);
+        same_workflow(&wf, &random_layered(&cfg));
+        executes_fully(&wf);
+        connected_from_roots(&wf);
+        prop_assert_eq!(LevelProfile::of(&wf).depth(), layers);
+    }
+
+    #[test]
+    fn adversarial_properties(seed in 0u64..1024, scale in 2usize..24) {
+        let cfg = AdversarialConfig::from_seed(seed, scale);
+        let wf = cfg.build();
+        prop_assert_eq!(wf.job_count(), cfg.total_jobs());
+        same_workflow(&wf, &AdversarialConfig::from_seed(seed, scale).build());
+        executes_fully(&wf);
+        connected_from_roots(&wf);
+        let lp = LevelProfile::of(&wf);
+        match cfg.shape {
+            AdversarialShape::WideFanOut { width } => {
+                prop_assert_eq!(lp.depth(), 3);
+                prop_assert_eq!(lp.levels[1].len(), width);
+            }
+            AdversarialShape::DeepChain { depth } => {
+                prop_assert_eq!(lp.depth(), depth);
+                prop_assert!(lp.levels.iter().all(|l| l.len() == 1));
+            }
+            AdversarialShape::DiamondStorm { storms, width } => {
+                prop_assert_eq!(lp.depth(), 3 * storms);
+                prop_assert_eq!(lp.levels[1].len(), width);
+            }
+            AdversarialShape::FanInCliff { width } => {
+                prop_assert_eq!(lp.depth(), 2);
+                prop_assert_eq!(lp.levels[0].len(), width);
+                prop_assert_eq!(lp.levels[1].len(), 1);
+            }
+        }
+    }
+}

@@ -44,6 +44,9 @@ pub enum PathKind {
     Baseline,
     /// The threaded master/worker stack over the in-process bus.
     Realtime,
+    /// The discrete-event simulation runtime over the `dewe-simcloud`
+    /// cluster model.
+    Sim,
 }
 
 impl PathKind {
@@ -53,6 +56,7 @@ impl PathKind {
             PathKind::Engine => "engine",
             PathKind::Baseline => "baseline",
             PathKind::Realtime => "realtime",
+            PathKind::Sim => "sim",
         }
     }
 }
@@ -134,7 +138,7 @@ pub fn check(scenario: &Scenario, outcome: &PathOutcome) -> Vec<String> {
             all.abandoned.clear();
             all
         }
-        PathKind::Engine | PathKind::Realtime => scenario.expected_outcome(),
+        PathKind::Engine | PathKind::Realtime | PathKind::Sim => scenario.expected_outcome(),
     };
 
     // 2. Terminal partition: no lost jobs, no phantom jobs.
@@ -217,11 +221,11 @@ pub fn check(scenario: &Scenario, outcome: &PathOutcome) -> Vec<String> {
     }
 
     // Exactly-once execution wherever nothing can force a re-run: the
-    // baseline always (it has no retry path at all), the engine path when
-    // neither chaos, scripted failures, nor injected faults exist (a
-    // crashed worker's jobs legitimately execute twice).
+    // baseline always (it has no retry path at all), the engine and sim
+    // paths when neither chaos, scripted failures, nor injected faults
+    // exist (a crashed worker's jobs legitimately execute twice).
     let exactly_once = outcome.kind == PathKind::Baseline
-        || (outcome.kind == PathKind::Engine
+        || (matches!(outcome.kind, PathKind::Engine | PathKind::Sim)
             && scenario.chaos.is_noop()
             && scenario.failures.is_empty()
             && scenario.faults.is_empty());
@@ -325,7 +329,11 @@ pub fn check(scenario: &Scenario, outcome: &PathOutcome) -> Vec<String> {
     if scenario.failures.is_empty() {
         if let Some(makespan) = outcome.makespan_secs {
             let floor = scenario.critical_path_secs();
-            if makespan + 1e-9 < floor {
+            // Slack covers clock quantization: the sim path's clock is
+            // `Duration`-backed, so a long dependency chain can land a
+            // few microseconds under the f64-summed floor. A real
+            // violation is off by the order of a job runtime (≥ 50 ms).
+            if makespan + 1e-4 < floor {
                 v.push(format!(
                     "{path}: makespan {makespan:.6}s below critical-path floor {floor:.6}s"
                 ));
@@ -339,12 +347,13 @@ pub fn check(scenario: &Scenario, outcome: &PathOutcome) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{ChaosSpec, JobSpec, WorkflowSpec};
+    use crate::scenario::{ChaosSpec, DagFamily, JobSpec, WorkflowSpec};
 
     fn chain_scenario() -> Scenario {
         Scenario {
             seed: 0,
             workflows: vec![WorkflowSpec {
+                family: DagFamily::Random,
                 jobs: vec![
                     JobSpec { cpu_secs: 1.0, parents: vec![] },
                     JobSpec { cpu_secs: 1.0, parents: vec![0] },

@@ -1,16 +1,18 @@
 //! Differential oracle harness for the DEWE workflow stack.
 //!
-//! Three independent implementations of "run a workflow ensemble" live in
+//! Four independent implementations of "run a workflow ensemble" live in
 //! this workspace: the sans-IO [`dewe_core::EnsembleEngine`]
 //! driven in virtual time, the modeled Pegasus/DAGMan/Condor baseline in
-//! `dewe-baseline`, and the threaded realtime master/worker stack over
-//! the in-process bus. They share semantics but almost no code — which
-//! makes them each other's best test oracle.
+//! `dewe-baseline`, the threaded realtime master/worker stack over the
+//! in-process bus, and the discrete-event simulation runtime over the
+//! `dewe-simcloud` cluster model. They share semantics but almost no
+//! code — which makes them each other's best test oracle.
 //!
-//! The harness generates randomized scenarios from a seed (DAG shapes,
-//! runtimes, submission schedules, retry policies, scripted failures,
-//! chaos schedules), executes each scenario through all three paths, and
-//! checks a shared invariant suite:
+//! The harness generates randomized scenarios from a seed (DAG families —
+//! Montage, CyberShake, Epigenomics, LIGO, SIPHT, seeded-random, and
+//! adversarial shapes — runtimes, submission schedules, retry policies,
+//! scripted failures, chaos schedules, fault plans), executes each
+//! scenario through all four paths, and checks a shared invariant suite:
 //!
 //! - completion sets match the expected-outcome model (and each other);
 //! - no lost jobs, no phantom completions;
@@ -30,6 +32,9 @@ pub mod scenario;
 pub mod shrink;
 
 pub use invariant::{Event, PathKind, PathOutcome};
-pub use oracle::{minimize, run_fault_seed, run_scenario, run_seed, Repro, SeedRun, ALL_PATHS};
+pub use oracle::{
+    minimize, run_fault_chaos_seed, run_fault_seed, run_scenario, run_seed, Repro, SeedRun,
+    ALL_PATHS,
+};
 pub use paths::EngineDriverConfig;
 pub use scenario::Scenario;

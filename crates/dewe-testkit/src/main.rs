@@ -1,9 +1,9 @@
 //! `dewe-testkit` — differential oracle CLI.
 //!
 //! ```text
-//! dewe-testkit run <seed> [--class fault]       run one seed through all paths
-//! dewe-testkit replay <seed> [--class fault]    run one seed, print the full scenario
-//! dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH] [--class fault]
+//! dewe-testkit run <seed> [--class C]       run one seed through all 4 paths
+//! dewe-testkit replay <seed> [--class C]    run one seed, print the full scenario
+//! dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH] [--class C]
 //! ```
 //!
 //! `sweep` runs seeds `S..S+N` (N defaults to `DEWE_DIFF_SEEDS` or 64).
@@ -11,11 +11,14 @@
 //! report to `--repro-out` (default `target/dewe-diff-repro.txt`), and
 //! exits non-zero. `--class fault` switches from the three classic seed
 //! classes to fault-plane scenarios (worker crashes, spot revocations,
-//! heartbeat stalls, master kill+restart).
+//! heartbeat stalls, master kill+restart); `--class fault-chaos` overlays
+//! lossy message chaos on the identical fault scenarios.
 
 use std::process::ExitCode;
 
-use dewe_testkit::{minimize, run_fault_seed, run_seed, EngineDriverConfig, Scenario, SeedRun};
+use dewe_testkit::{
+    minimize, run_fault_chaos_seed, run_fault_seed, run_seed, EngineDriverConfig, Scenario, SeedRun,
+};
 
 const DEFAULT_SEEDS: u64 = 64;
 const DEFAULT_REPRO_OUT: &str = "target/dewe-diff-repro.txt";
@@ -25,6 +28,7 @@ const DEFAULT_REPRO_OUT: &str = "target/dewe-diff-repro.txt";
 enum Class {
     Classic,
     Fault,
+    FaultChaos,
 }
 
 impl Class {
@@ -32,6 +36,7 @@ impl Class {
         match self {
             Class::Classic => Scenario::generate(seed),
             Class::Fault => Scenario::generate_fault(seed),
+            Class::FaultChaos => Scenario::generate_fault_chaos(seed),
         }
     }
 
@@ -39,6 +44,15 @@ impl Class {
         match self {
             Class::Classic => run_seed(seed),
             Class::Fault => run_fault_seed(seed),
+            Class::FaultChaos => run_fault_chaos_seed(seed),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Class::Classic => "",
+            Class::Fault => " (fault class)",
+            Class::FaultChaos => " (fault+chaos class)",
         }
     }
 }
@@ -47,7 +61,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: dewe-testkit run <seed> [--class fault]\n       \
          dewe-testkit replay <seed> [--class fault]\n       \
-         dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH] [--class fault]"
+         dewe-testkit sweep [--seeds N] [--start S] [--repro-out PATH] [--class fault|fault-chaos]"
     );
     ExitCode::from(2)
 }
@@ -63,6 +77,7 @@ fn extract_class(args: &mut Vec<String>) -> Option<Class> {
         Some(i) => {
             let class = match args.get(i + 1).map(String::as_str) {
                 Some("fault") => Class::Fault,
+                Some("fault-chaos") => Class::FaultChaos,
                 Some("classic") => Class::Classic,
                 _ => return None,
             };
@@ -80,7 +95,7 @@ fn run_one(seed: u64, class: Class, show_scenario: bool) -> ExitCode {
     }
     let run = class.run(seed);
     if run.conforms() {
-        println!("seed {seed}: OK ({} jobs across 3 paths)", scenario.total_jobs());
+        println!("seed {seed}: OK ({} jobs across 4 paths)", scenario.total_jobs());
         ExitCode::SUCCESS
     } else {
         println!("seed {seed}: DIVERGED");
@@ -116,7 +131,7 @@ fn sweep(args: &[String], class: Class) -> ExitCode {
         }
     }
 
-    let label = if class == Class::Fault { " (fault class)" } else { "" };
+    let label = class.label();
     println!("differential sweep{label}: seeds {start}..{}", start + seeds);
     for seed in start..start + seeds {
         let run = class.run(seed);

@@ -1,4 +1,4 @@
-//! The differential oracle: run one scenario through all three execution
+//! The differential oracle: run one scenario through all four execution
 //! paths, check the shared invariant suite, cross-compare the paths'
 //! completion sets, and — on divergence — shrink the scenario to a
 //! minimal seed-replayable repro.
@@ -11,7 +11,8 @@ use crate::scenario::Scenario;
 use crate::shrink;
 
 /// All paths, in reporting order.
-pub const ALL_PATHS: [PathKind; 3] = [PathKind::Engine, PathKind::Baseline, PathKind::Realtime];
+pub const ALL_PATHS: [PathKind; 4] =
+    [PathKind::Engine, PathKind::Baseline, PathKind::Realtime, PathKind::Sim];
 
 /// Result of running one scenario through a set of paths.
 #[derive(Debug)]
@@ -70,6 +71,7 @@ fn run_path(scenario: &Scenario, kind: PathKind, cfg: &EngineDriverConfig) -> Pa
         PathKind::Engine => paths::engine::run(scenario, cfg),
         PathKind::Baseline => paths::baseline::run(scenario),
         PathKind::Realtime => paths::realtime::run(scenario),
+        PathKind::Sim => paths::sim::run(scenario, cfg),
     }
 }
 
@@ -149,17 +151,25 @@ pub fn run_scenario(scenario: &Scenario, kinds: &[PathKind], cfg: &EngineDriverC
     SeedRun { scenario: scenario.clone(), violations, diverging }
 }
 
-/// Generate and run the scenario for `seed` through all three paths.
+/// Generate and run the scenario for `seed` through all four paths.
 pub fn run_seed(seed: u64) -> SeedRun {
     run_scenario(&Scenario::generate(seed), &ALL_PATHS, &EngineDriverConfig::default())
 }
 
 /// Generate and run the **fault-class** scenario for `seed` through all
-/// three paths: seeded worker crashes / revocations / stalls / master
-/// kill+restart injected into the engine and realtime paths (the
+/// four paths: seeded worker crashes / revocations / stalls / master
+/// kill+restart injected into the engine, realtime, and sim paths (the
 /// baseline has no failure model and runs the plan inert).
 pub fn run_fault_seed(seed: u64) -> SeedRun {
     run_scenario(&Scenario::generate_fault(seed), &ALL_PATHS, &EngineDriverConfig::default())
+}
+
+/// Generate and run the **fault+chaos** scenario for `seed` through all
+/// four paths: the same ensemble and fault plan as [`run_fault_seed`]
+/// with lossy message chaos overlaid, so dispatches and acks go missing
+/// *while* workers crash and the master restarts.
+pub fn run_fault_chaos_seed(seed: u64) -> SeedRun {
+    run_scenario(&Scenario::generate_fault_chaos(seed), &ALL_PATHS, &EngineDriverConfig::default())
 }
 
 /// Shrink a diverging run to a minimal repro.

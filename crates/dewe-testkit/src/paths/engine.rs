@@ -51,6 +51,10 @@ pub struct EngineDriverConfig {
     /// Silently discard the n-th (0-based) dispatch action instead of
     /// delivering it: an injected "engine lost a job" bug.
     pub drop_nth_dispatch: Option<u64>,
+    /// Silently discard the n-th (0-based) completion event observed on
+    /// the **sim** path: an injected "sim lost a finish record" bug the
+    /// oracle must flag and shrink (see `paths::sim`).
+    pub sim_drop_nth_completion: Option<u64>,
 }
 
 enum Ev {
@@ -397,6 +401,9 @@ fn engine_config(scenario: &Scenario) -> EngineConfig {
         // Fault scenarios need the middle ground: a crashed worker's
         // jobs recover only via this timeout, so it must clear the worst
         // stall-stretched runtime yet stay small against the horizon.
+        // Fault+chaos takes the lossy arm — a dropped ack and a crashed
+        // worker recover through the same deadline, and 30 s covers both
+        // in virtual time.
         default_timeout_secs: if lossy {
             30.0
         } else if faulty {
@@ -603,7 +610,7 @@ mod tests {
     #[test]
     fn dropped_dispatch_mutation_stalls() {
         let s = Scenario::generate(0);
-        let out = run(&s, &EngineDriverConfig { drop_nth_dispatch: Some(0) });
+        let out = run(&s, &EngineDriverConfig { drop_nth_dispatch: Some(0), ..Default::default() });
         assert!(!out.settled, "losing a dispatch must strand the ensemble");
         let v = invariant::check(&s, &out);
         assert!(v.iter().any(|m| m.contains("did not settle")), "{v:?}");

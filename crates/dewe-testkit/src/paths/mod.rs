@@ -1,7 +1,8 @@
-//! The three execution paths the oracle runs every scenario through.
+//! The four execution paths the oracle runs every scenario through.
 
 pub mod baseline;
 pub mod engine;
 pub mod realtime;
+pub mod sim;
 
 pub use engine::EngineDriverConfig;

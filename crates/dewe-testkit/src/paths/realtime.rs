@@ -24,8 +24,9 @@ use std::time::{Duration, Instant};
 
 use dewe_core::fault::FaultEvent;
 use dewe_core::realtime::{
-    spawn_master, spawn_worker, submit, ChaosLink, JobOutcome, JobRunner, MasterConfig,
-    MasterEvent, MasterHandle, MessageBus, Registry, RunContext, WorkerConfig, WorkerHandle,
+    spawn_master, spawn_worker, submit, ChaosLink, JobOutcome, JobRunner, JournalCommitPolicy,
+    MasterConfig, MasterEvent, MasterHandle, MessageBus, Registry, RunContext, WorkerConfig,
+    WorkerHandle,
 };
 use dewe_core::{EngineStats, RetryPolicy};
 use dewe_dag::{JobId, Workflow};
@@ -346,12 +347,29 @@ fn run_faulted(scenario: &Scenario) -> PathOutcome {
         ));
         p
     });
+    // Seeded structural fuzz, deterministic per scenario: roughly half
+    // the fault seeds group-commit the WAL, an independent half compact
+    // it aggressively mid-run, and sharded `parallel` scenarios run the
+    // free-running threaded master — so master kill/restart recovery is
+    // exercised against every journal mode and both serve loops, not
+    // just the per-record single-threaded default.
+    let mix = scenario.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let journal_commit = if mix & 1 == 0 {
+        JournalCommitPolicy::PerRecord
+    } else {
+        JournalCommitPolicy::GroupCommit { max_records: 2 + ((mix >> 1) % 6) as usize }
+    };
+    let journal_compact_threshold = ((mix >> 4) & 1 == 0).then(|| 4 + ((mix >> 5) % 8) as usize);
+    // Lossy fabric (fault+chaos class): dropped messages recover only
+    // via these deadlines, so they must be tight enough that a handful
+    // of serial losses still converges inside the watchdog. Non-lossy
+    // fabric: recovery credit belongs to the lease plane (worker death)
+    // and the checkout deadline (death between pull and Running ack),
+    // with the job timeout as a distant backstop.
+    let lossy = scenario.chaos.is_lossy();
     let master_config = MasterConfig {
-        // Non-lossy fabric: recovery credit belongs to the lease plane
-        // (worker death) and the checkout deadline (death between pull
-        // and Running ack), with the job timeout as a distant backstop.
-        default_timeout_secs: 5.0,
-        checkout_timeout_secs: Some(1.0),
+        default_timeout_secs: if lossy { 1.0 } else { 5.0 },
+        checkout_timeout_secs: Some(if lossy { 0.25 } else { 1.0 }),
         retry: RetryPolicy {
             max_attempts: None,
             backoff_base_secs: 0.0,
@@ -363,7 +381,10 @@ fn run_faulted(scenario: &Scenario) -> PathOutcome {
         timeout_scan_interval: Duration::from_millis(5),
         expected_workflows: Some(scenario.workflows.len()),
         shards: scenario.shards,
+        threads: if scenario.parallel && scenario.shards > 1 { scenario.shards } else { 0 },
         journal_path: journal_path.clone(),
+        journal_commit,
+        journal_compact_threshold,
         lease_secs: Some(FAULT_LEASE_SECS),
         ..MasterConfig::default()
     };

@@ -23,6 +23,18 @@
 //!   acknowledgments (a worker crash-report is authoritative), so a
 //!   duplicated Failed ack would burn the retry budget twice and the
 //!   analytic model would no longer match.
+//!
+//! Two further classes have their own generators:
+//! [`Scenario::generate_fault`] (seeded crash/revocation/stall/master-kill
+//! plans, delay-only chaos) and [`Scenario::generate_fault_chaos`] (the
+//! same fault plans composed with lossy drop/dup chaos, so message loss
+//! during a master outage is inside the fuzzed envelope).
+//!
+//! Workflow shapes are drawn from a weighted mix of **DAG families**
+//! ([`DagFamily`]): the classic inline random generator plus the
+//! calibrated `dewe-montage` gallery (Montage, CyberShake, Epigenomics,
+//! LIGO, SIPHT) and the adversarial shapes (wide fan-out, deep chains,
+//! diamond storms, fan-in cliffs).
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -30,6 +42,9 @@ use std::sync::Arc;
 
 use dewe_core::fault::FaultPlan;
 use dewe_dag::{Workflow, WorkflowBuilder};
+use dewe_montage::{
+    AdversarialConfig, CyberShakeConfig, EpigenomicsConfig, LigoConfig, MontageConfig, SiphtConfig,
+};
 
 /// Splitmix64 — the same tiny deterministic generator the chaos decider
 /// uses; good enough to decorrelate scenario dimensions from one seed.
@@ -73,11 +88,92 @@ pub struct JobSpec {
     pub parents: Vec<u32>,
 }
 
+/// The DAG family a generated workflow was sampled from. Purely
+/// descriptive — the oracle paths consume only the [`JobSpec`] list —
+/// but it labels repro reports and lets sweeps assert family coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DagFamily {
+    /// The classic inline random generator.
+    #[default]
+    Random,
+    /// Calibrated Montage mosaic (small degree).
+    Montage,
+    /// CyberShake seismic-hazard fan.
+    CyberShake,
+    /// Epigenomics data-parallel pipeline.
+    Epigenomics,
+    /// LIGO inspiral multi-group pipeline.
+    Ligo,
+    /// SIPHT heterogeneous diamond.
+    Sipht,
+    /// Adversarial shapes: wide fan-out, deep chains, diamond storms,
+    /// fan-in cliffs.
+    Adversarial,
+}
+
+impl DagFamily {
+    /// Every family, in a fixed order (for coverage sweeps).
+    pub const ALL: [DagFamily; 7] = [
+        DagFamily::Random,
+        DagFamily::Montage,
+        DagFamily::CyberShake,
+        DagFamily::Epigenomics,
+        DagFamily::Ligo,
+        DagFamily::Sipht,
+        DagFamily::Adversarial,
+    ];
+
+    /// Short lowercase label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DagFamily::Random => "random",
+            DagFamily::Montage => "montage",
+            DagFamily::CyberShake => "cybershake",
+            DagFamily::Epigenomics => "epigenomics",
+            DagFamily::Ligo => "ligo",
+            DagFamily::Sipht => "sipht",
+            DagFamily::Adversarial => "adversarial",
+        }
+    }
+}
+
 /// One generated workflow.
 #[derive(Debug, Clone)]
 pub struct WorkflowSpec {
+    /// Which generator produced this shape.
+    pub family: DagFamily,
     /// Jobs in topological (index) order.
     pub jobs: Vec<JobSpec>,
+}
+
+impl WorkflowSpec {
+    /// Convert a real [`Workflow`] DAG into an oracle spec: jobs are
+    /// re-indexed along the workflow's topological order (so every
+    /// parent index is smaller than its child's, which the analytic
+    /// expected-outcome model requires) and runtimes are normalized
+    /// into the oracle's sub-second band — the calibrated generators
+    /// emit hundreds of CPU-seconds per job, which the realtime path
+    /// would turn into minutes of wall-clock sleeping.
+    pub fn from_workflow(wf: &Workflow, family: DagFamily) -> Self {
+        let order = wf.topo_order();
+        let mut rank = vec![0u32; wf.job_count()];
+        for (i, &id) in order.iter().enumerate() {
+            rank[id.index()] = i as u32;
+        }
+        let max_cpu =
+            wf.jobs().iter().map(|j| j.cpu_seconds).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+        let jobs = order
+            .iter()
+            .map(|&id| {
+                let spec = wf.job(id);
+                let mut parents: Vec<u32> =
+                    wf.parents(id).iter().map(|p| rank[p.index()]).collect();
+                parents.sort_unstable();
+                JobSpec { cpu_secs: 0.05 + 0.6 * (spec.cpu_seconds / max_cpu), parents }
+            })
+            .collect();
+        Self { family, jobs }
+    }
 }
 
 /// Scripted failure: attempts `1..=failing_attempts` of this job return a
@@ -180,6 +276,79 @@ pub struct Expected {
     pub abandoned: BTreeSet<(u32, u32)>,
 }
 
+/// How the inline random branch of [`sample_workflow`] sizes its DAGs.
+#[derive(Clone, Copy)]
+struct RandomProfile {
+    /// Minimum job count.
+    min_jobs: usize,
+    /// Random extra jobs on top of the minimum.
+    extra_jobs: usize,
+    /// Per-pair edge probability.
+    parent_prob: f64,
+    /// Random runtime spread above the 0.05 s floor.
+    cpu_spread: f64,
+}
+
+/// Classic oracle sizing: tiny DAGs shrink well.
+const CLASSIC_PROFILE: RandomProfile =
+    RandomProfile { min_jobs: 1, extra_jobs: 12, parent_prob: 0.35, cpu_spread: 0.95 };
+
+/// Fault-class sizing: enough work that faults land mid-run.
+const FAULT_PROFILE: RandomProfile =
+    RandomProfile { min_jobs: 8, extra_jobs: 12, parent_prob: 0.25, cpu_spread: 0.55 };
+
+/// Sample one workflow: a weighted mix of the inline random generator
+/// (4 in 10 draws — it shrinks best, so it stays the workhorse) and one
+/// slot each for the calibrated families plus the adversarial shapes.
+/// Family configs are kept small (≲ 20 jobs) so scenarios stay
+/// shrinkable and the realtime path's wall-clock stays bounded.
+fn sample_workflow(rng: &mut Rng, profile: RandomProfile) -> WorkflowSpec {
+    let wf_seed = rng.next_u64();
+    match rng.below(10) {
+        0..=3 => {
+            let n_jobs = profile.min_jobs + rng.below(profile.extra_jobs);
+            let mut jobs = Vec::with_capacity(n_jobs);
+            for j in 0..n_jobs {
+                let cpu_secs = 0.05 + rng.unit() * profile.cpu_spread;
+                let mut parents = Vec::new();
+                for p in 0..j {
+                    if rng.unit() < profile.parent_prob {
+                        parents.push(p as u32);
+                    }
+                }
+                jobs.push(JobSpec { cpu_secs, parents });
+            }
+            WorkflowSpec { family: DagFamily::Random, jobs }
+        }
+        4 => WorkflowSpec::from_workflow(
+            // Degree 0.2 is the smallest calibrated mosaic: 20 jobs
+            // with the full project/diff/background/waist structure.
+            &MontageConfig::degree(0.2).with_seed(wf_seed).build(),
+            DagFamily::Montage,
+        ),
+        5 => WorkflowSpec::from_workflow(
+            &CyberShakeConfig::new(1 + rng.below(4)).with_seed(wf_seed).build(),
+            DagFamily::CyberShake,
+        ),
+        6 => WorkflowSpec::from_workflow(
+            &EpigenomicsConfig::new(1, 1 + rng.below(2)).with_seed(wf_seed).build(),
+            DagFamily::Epigenomics,
+        ),
+        7 => WorkflowSpec::from_workflow(
+            &LigoConfig::new(1, 1 + rng.below(2)).with_seed(wf_seed).build(),
+            DagFamily::Ligo,
+        ),
+        8 => WorkflowSpec::from_workflow(
+            &SiphtConfig::new(1 + rng.below(4)).with_seed(wf_seed).build(),
+            DagFamily::Sipht,
+        ),
+        _ => WorkflowSpec::from_workflow(
+            &AdversarialConfig::from_seed(wf_seed, 6).build(),
+            DagFamily::Adversarial,
+        ),
+    }
+}
+
 impl Scenario {
     /// Generate the scenario for `seed`.
     pub fn generate(seed: u64) -> Self {
@@ -189,19 +358,7 @@ impl Scenario {
         let n_wf = 1 + rng.below(3);
         let mut workflows = Vec::with_capacity(n_wf);
         for _ in 0..n_wf {
-            let n_jobs = 1 + rng.below(12);
-            let mut jobs = Vec::with_capacity(n_jobs);
-            for j in 0..n_jobs {
-                let cpu_secs = 0.05 + rng.unit() * 0.95;
-                let mut parents = Vec::new();
-                for p in 0..j {
-                    if rng.unit() < 0.35 {
-                        parents.push(p as u32);
-                    }
-                }
-                jobs.push(JobSpec { cpu_secs, parents });
-            }
-            workflows.push(WorkflowSpec { jobs });
+            workflows.push(sample_workflow(&mut rng, CLASSIC_PROFILE));
         }
 
         let submission_interval_secs = rng.unit() * 0.5;
@@ -287,19 +444,7 @@ impl Scenario {
         let n_wf = 1 + rng.below(2);
         let mut workflows = Vec::with_capacity(n_wf);
         for _ in 0..n_wf {
-            let n_jobs = 8 + rng.below(12);
-            let mut jobs = Vec::with_capacity(n_jobs);
-            for j in 0..n_jobs {
-                let cpu_secs = 0.05 + rng.unit() * 0.55;
-                let mut parents = Vec::new();
-                for p in 0..j {
-                    if rng.unit() < 0.25 {
-                        parents.push(p as u32);
-                    }
-                }
-                jobs.push(JobSpec { cpu_secs, parents });
-            }
-            workflows.push(WorkflowSpec { jobs });
+            workflows.push(sample_workflow(&mut rng, FAULT_PROFILE));
         }
 
         // Delay-only chaos for half the seeds: lost or duplicated
@@ -319,14 +464,20 @@ impl Scenario {
         };
 
         let workers = FAULT_WORKERS as usize;
+        // Half the fault seeds run sharded; of those, half drive the
+        // thread-parallel engines — the engine path's barrier driver and
+        // the realtime free-running threaded master — so fault recovery
+        // is fuzzed against the parallel serve loops too.
+        let shards = [1, 2][rng.below(2)];
+        let parallel = shards > 1 && rng.below(2) == 1;
         Self {
             seed,
             workflows,
             submission_interval_secs: rng.unit() * 0.3,
             workers,
             slots_per_worker: 1 + rng.below(2),
-            shards: [1, 2][rng.below(2)],
-            parallel: false,
+            shards,
+            parallel,
             max_attempts: None,
             backoff_base_secs: 0.0,
             chaos,
@@ -337,6 +488,29 @@ impl Scenario {
                 FAULT_HORIZON_SECS,
             ),
         }
+    }
+
+    /// Generate a **fault + lossy-chaos** scenario: exactly the fault
+    /// scenario [`Scenario::generate_fault`] produces for `seed` — same
+    /// ensemble, same fault plan — but with drop/dup/delay chaos layered
+    /// on the message streams. This is the composition the fault class
+    /// deliberately excludes (messages lost *during* a master outage,
+    /// duplicated acks racing lease expiry); retries stay unbounded, so
+    /// the analytic expectation is still "every job completes". Keeping
+    /// the underlying scenario identical means a divergence here either
+    /// reproduces under `--class fault` too, or names the lossy chaos as
+    /// the trigger.
+    pub fn generate_fault_chaos(seed: u64) -> Self {
+        let mut s = Self::generate_fault(seed);
+        let mut rng = Rng::new(seed ^ FAULT_CHAOS_SALT);
+        s.chaos = ChaosSpec {
+            seed: seed ^ FAULT_CHAOS_SALT,
+            drop_prob: rng.unit() * 0.10,
+            dup_prob: rng.unit() * 0.10,
+            delay_prob: rng.unit() * 0.3,
+            delay_secs: 0.2,
+        };
+        s
     }
 
     /// Total job count across the ensemble.
@@ -445,6 +619,7 @@ impl Scenario {
             self.chaos.delay_secs,
         );
         for (w, wf) in self.workflows.iter().enumerate() {
+            let _ = writeln!(s, "  wf{w}: family {}", wf.family.name());
             for (j, job) in wf.jobs.iter().enumerate() {
                 let _ =
                     writeln!(s, "  wf{w} j{j}: cpu {:.3}s parents {:?}", job.cpu_secs, job.parents);
@@ -471,6 +646,11 @@ const SCENARIO_SALT: u64 = 0xD1FF_E7E4_7E57_0001;
 /// Separate salt for the fault class, so `generate(n)` and
 /// `generate_fault(n)` are unrelated scenarios.
 const FAULT_SCENARIO_SALT: u64 = 0xFA17_7000_7E57_0002;
+
+/// Salt for the lossy-chaos overlay of the fault+chaos class. Only the
+/// chaos profile draws from it — the ensemble and fault plan stay those
+/// of `generate_fault(seed)`.
+const FAULT_CHAOS_SALT: u64 = 0xFA17_C4A0_7E57_0003;
 
 /// Worker pool size for fault scenarios: big enough that the generated
 /// plan can kill several workers and still leave a survivor.
@@ -522,6 +702,7 @@ mod tests {
         let s = Scenario {
             seed: 0,
             workflows: vec![WorkflowSpec {
+                family: DagFamily::Random,
                 jobs: vec![
                     JobSpec { cpu_secs: 0.1, parents: vec![] },
                     JobSpec { cpu_secs: 0.1, parents: vec![0] },
@@ -591,5 +772,90 @@ mod tests {
         let cp = s.critical_path_secs();
         let serial: f64 = s.workflows.iter().flat_map(|w| &w.jobs).map(|j| j.cpu_secs).sum();
         assert!(cp > 0.0 && cp <= serial + 1e-9);
+    }
+
+    #[test]
+    fn every_family_appears_in_a_modest_seed_range() {
+        let mut seen = BTreeSet::new();
+        for seed in 0..256 {
+            for wf in &Scenario::generate(seed).workflows {
+                seen.insert(wf.family.name());
+            }
+        }
+        for fam in DagFamily::ALL {
+            assert!(seen.contains(fam.name()), "family {} never sampled", fam.name());
+        }
+    }
+
+    #[test]
+    fn family_specs_are_topological_and_bounded() {
+        for seed in 0..256 {
+            for scenario in [Scenario::generate(seed), Scenario::generate_fault(seed)] {
+                for (w, wf) in scenario.workflows.iter().enumerate() {
+                    assert!(!wf.jobs.is_empty());
+                    assert!(wf.jobs.len() <= 24, "seed {seed} wf{w}: {} jobs", wf.jobs.len());
+                    for (j, job) in wf.jobs.iter().enumerate() {
+                        assert!(
+                            job.cpu_secs >= 0.05 - 1e-12 && job.cpu_secs <= 1.0 + 1e-12,
+                            "seed {seed} wf{w} j{j}: cpu {}",
+                            job.cpu_secs
+                        );
+                        for &p in &job.parents {
+                            assert!((p as usize) < j, "seed {seed} wf{w} j{j}: parent {p}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_workflow_preserves_edges_and_normalizes_runtimes() {
+        let wf = CyberShakeConfig::new(4).with_seed(9).build();
+        let spec = WorkflowSpec::from_workflow(&wf, DagFamily::CyberShake);
+        assert_eq!(spec.family, DagFamily::CyberShake);
+        assert_eq!(spec.jobs.len(), wf.job_count());
+        let edges: usize = spec.jobs.iter().map(|j| j.parents.len()).sum();
+        assert_eq!(edges, wf.edge_count());
+        // Rebuilding through build_workflows round-trips the edge count.
+        let s = Scenario {
+            seed: 0,
+            workflows: vec![spec],
+            submission_interval_secs: 0.0,
+            workers: 1,
+            slots_per_worker: 1,
+            shards: 1,
+            parallel: false,
+            max_attempts: None,
+            backoff_base_secs: 0.0,
+            chaos: ChaosSpec::none(),
+            failures: Vec::new(),
+            faults: FaultPlan::none(),
+        };
+        let rebuilt = s.build_workflows();
+        assert_eq!(rebuilt[0].edge_count(), wf.edge_count());
+    }
+
+    #[test]
+    fn fault_chaos_class_overlays_lossy_chaos_on_the_fault_scenario() {
+        let mut lossy = 0;
+        for seed in 0..32 {
+            let base = Scenario::generate_fault(seed);
+            let composed = Scenario::generate_fault_chaos(seed);
+            // Same ensemble, same fault plan — only the chaos differs.
+            assert_eq!(format!("{:?}", base.workflows), format!("{:?}", composed.workflows));
+            assert_eq!(base.faults, composed.faults, "seed {seed}");
+            assert!(composed.max_attempts.is_none() && composed.failures.is_empty());
+            if composed.chaos.is_lossy() {
+                lossy += 1;
+            }
+            // Unbounded retries: the expectation is still full completion.
+            let e = composed.expected_outcome();
+            assert_eq!(e.completed.len(), composed.total_jobs(), "seed {seed}");
+            // Deterministic.
+            let again = Scenario::generate_fault_chaos(seed);
+            assert_eq!(format!("{composed:?}"), format!("{again:?}"));
+        }
+        assert!(lossy >= 24, "the overlay should almost always be lossy: {lossy}/32");
     }
 }

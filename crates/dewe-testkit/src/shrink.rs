@@ -146,11 +146,12 @@ pub fn minimize(initial: &Scenario, diverges: &dyn Fn(&Scenario) -> bool) -> Sce
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{ChaosSpec, FailureSpec, JobSpec, WorkflowSpec};
+    use crate::scenario::{ChaosSpec, DagFamily, FailureSpec, JobSpec, WorkflowSpec};
     use dewe_core::fault::{FaultEvent, FaultPlan, TimedFault};
 
     fn big_scenario() -> Scenario {
         let wf = |n: usize| WorkflowSpec {
+            family: DagFamily::Random,
             jobs: (0..n)
                 .map(|j| JobSpec {
                     cpu_secs: 0.1,

@@ -1,14 +1,15 @@
-//! Differential smoke suite: seeded scenarios through all three
-//! execution paths, plus the oracle's own mutation self-test.
+//! Differential smoke suite: seeded scenarios through all four
+//! execution paths, plus the oracle's own mutation self-tests.
 
 use dewe_core::fault::{FaultEvent, FaultPlan, TimedFault};
-use dewe_testkit::scenario::{ChaosSpec, JobSpec, WorkflowSpec};
+use dewe_testkit::scenario::{ChaosSpec, DagFamily, JobSpec, WorkflowSpec};
 use dewe_testkit::{
-    minimize, run_fault_seed, run_scenario, run_seed, EngineDriverConfig, PathKind, Scenario,
+    minimize, run_fault_chaos_seed, run_fault_seed, run_scenario, run_seed, EngineDriverConfig,
+    PathKind, Scenario,
 };
 
-/// Every seed in the smoke set must conform across engine, baseline, and
-/// realtime. `DEWE_DIFF_SEEDS` widens the sweep (CI runs the release
+/// Every seed in the smoke set must conform across engine, baseline,
+/// realtime, and sim. `DEWE_DIFF_SEEDS` widens the sweep (CI runs the release
 /// binary for the big sweeps; this keeps the in-tree floor).
 #[test]
 fn differential_smoke_zero_divergence() {
@@ -29,7 +30,7 @@ fn differential_smoke_zero_divergence() {
 /// and confirm the shrinker reduces the repro to at most three jobs.
 #[test]
 fn injected_engine_bug_is_caught_and_shrunk() {
-    let cfg = EngineDriverConfig { drop_nth_dispatch: Some(0) };
+    let cfg = EngineDriverConfig { drop_nth_dispatch: Some(0), ..Default::default() };
     let scenario = Scenario::generate(0); // class 0: no chaos, no failures
     let run = run_scenario(&scenario, &[PathKind::Engine], &cfg);
     assert!(
@@ -75,6 +76,7 @@ fn fault_class_smoke_zero_divergence() {
 /// ~1.6 virtual seconds and the faults below land mid-run.
 fn two_worker_loss_scenario() -> Scenario {
     let chain = |_: usize| WorkflowSpec {
+        family: DagFamily::Random,
         jobs: vec![
             JobSpec { cpu_secs: 0.4, parents: vec![] },
             JobSpec { cpu_secs: 0.4, parents: vec![0] },
@@ -119,7 +121,7 @@ fn two_worker_loss_with_master_restart_completes_on_all_paths() {
     let scenario = two_worker_loss_scenario();
     let run = run_scenario(
         &scenario,
-        &[PathKind::Engine, PathKind::Baseline, PathKind::Realtime],
+        &[PathKind::Engine, PathKind::Baseline, PathKind::Realtime, PathKind::Sim],
         &EngineDriverConfig::default(),
     );
     assert!(run.conforms(), "{:#?}", run.violations);
@@ -146,8 +148,108 @@ fn mutation_diverges_from_clean_run() {
     let mutated = run_scenario(
         &scenario,
         &[PathKind::Engine],
-        &EngineDriverConfig { drop_nth_dispatch: Some(0) },
+        &EngineDriverConfig { drop_nth_dispatch: Some(0), ..Default::default() },
     );
     assert!(clean.conforms(), "{:?}", clean.violations);
     assert!(!mutated.conforms());
+}
+
+/// Fault+chaos smoke: the identical fault scenarios with lossy message
+/// chaos overlaid — dispatches and acks go missing while workers crash
+/// and the master restarts — must still converge on every path.
+/// `DEWE_FAULT_CHAOS_SEEDS` widens the sweep (CI runs 32+ via the
+/// binary).
+#[test]
+fn fault_chaos_class_smoke_zero_divergence() {
+    let seeds: u64 =
+        std::env::var("DEWE_FAULT_CHAOS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(6);
+    let mut diverged = Vec::new();
+    for seed in 0..seeds {
+        let run = run_fault_chaos_seed(seed);
+        if !run.conforms() {
+            diverged.push((seed, run.violations));
+        }
+    }
+    assert!(diverged.is_empty(), "diverging fault+chaos seeds: {diverged:#?}");
+}
+
+/// ISSUE acceptance: inject a sim-side bug (the observation layer drops
+/// the first completion event), confirm the oracle flags it, and confirm
+/// the shrinker reduces the repro to at most three jobs.
+#[test]
+fn injected_sim_bug_is_caught_and_shrunk() {
+    let cfg = EngineDriverConfig { sim_drop_nth_completion: Some(0), ..Default::default() };
+    let scenario = Scenario::generate(0); // class 0: no chaos, no failures
+    let run = run_scenario(&scenario, &[PathKind::Sim], &cfg);
+    assert!(
+        !run.conforms(),
+        "mutated sim run must diverge, got a clean pass on {} jobs",
+        scenario.total_jobs()
+    );
+
+    let repro = minimize(&run, &cfg);
+    assert!(!repro.minimized_violations.is_empty(), "minimized scenario must still diverge");
+    assert!(
+        repro.minimized.total_jobs() <= 3,
+        "repro not minimal ({} jobs):\n{}",
+        repro.minimized.total_jobs(),
+        repro.minimized.describe()
+    );
+    assert!(repro.report().contains("replay"), "{}", repro.report());
+}
+
+/// The sim mutation must also be visible purely differentially: the sim
+/// path's completion set disagrees with the clean engine path's, so the
+/// cross-path comparison flags both.
+#[test]
+fn sim_mutation_diverges_from_engine_path() {
+    let scenario = Scenario::generate(0);
+    let cfg = EngineDriverConfig { sim_drop_nth_completion: Some(0), ..Default::default() };
+    let run = run_scenario(&scenario, &[PathKind::Engine, PathKind::Sim], &cfg);
+    assert!(!run.conforms());
+    assert!(
+        run.violations.iter().any(|v| v.starts_with("[cross]")),
+        "expected a cross-path divergence: {:#?}",
+        run.violations
+    );
+}
+
+/// One representative seed per DAG family, run through the deterministic
+/// paths: the family matrix must conform everywhere, not just for the
+/// random shapes the classic classes lean on.
+#[test]
+fn every_dag_family_conforms_across_deterministic_paths() {
+    use dewe_testkit::scenario::DagFamily;
+    let mut pending: Vec<DagFamily> = DagFamily::ALL.to_vec();
+    let mut checked = 0u32;
+    for seed in 0..512u64 {
+        let scenario = Scenario::generate(seed);
+        let Some(pos) =
+            pending.iter().position(|f| scenario.workflows.iter().any(|w| w.family == *f))
+        else {
+            continue;
+        };
+        pending.remove(pos);
+        checked += 1;
+        let run = run_scenario(
+            &scenario,
+            &[PathKind::Engine, PathKind::Baseline, PathKind::Sim],
+            &EngineDriverConfig::default(),
+        );
+        assert!(
+            run.conforms(),
+            "seed {seed} ({:?}): {:#?}",
+            scenario_families(&scenario),
+            run.violations
+        );
+        if pending.is_empty() {
+            break;
+        }
+    }
+    assert!(pending.is_empty(), "families never sampled in 512 seeds: {pending:?}");
+    assert_eq!(checked, DagFamily::ALL.len() as u32);
+}
+
+fn scenario_families(s: &Scenario) -> Vec<&'static str> {
+    s.workflows.iter().map(|w| w.family.name()).collect()
 }
