@@ -256,7 +256,7 @@ fn fault_plane_exercise(rounds: usize) -> (u64, f64, MasterStats) {
         let t0 = r as f64 * 10.0;
         for w in 0..WORKERS {
             table.on_lifecycle(
-                &LifecycleMsg { worker: w, generation: r as u32, kind: LifecycleKind::Heartbeat },
+                &LifecycleMsg::new(w, r as u32, LifecycleKind::Heartbeat),
                 t0,
                 &mut tr,
                 &mut rq,
@@ -267,12 +267,16 @@ fn fault_plane_exercise(rounds: usize) -> (u64, f64, MasterStats) {
         // Every worker checks out a batch; the even ones complete it.
         for w in 0..WORKERS {
             for j in 0..JOBS_PER_WORKER {
-                let running =
-                    AckMsg { job: job(r, w, j), worker: w, kind: AckKind::Running, attempt: 1 };
+                let running = AckMsg::new(job(r, w, j), w, AckKind::Running, 1);
                 table.admit_ack(&running, t0 + 0.1, &mut tr);
                 ops += 1;
                 if w % 2 == 0 {
-                    let done = AckMsg { kind: AckKind::Completed, ..running };
+                    let done = AckMsg::new(
+                        running.job,
+                        running.worker,
+                        AckKind::Completed,
+                        running.attempt,
+                    );
                     table.admit_ack(&done, t0 + 0.2, &mut tr);
                     ops += 1;
                 }
@@ -280,14 +284,13 @@ fn fault_plane_exercise(rounds: usize) -> (u64, f64, MasterStats) {
         }
         // Worker 7 announces a drain and finishes its batch gracefully.
         table.on_lifecycle(
-            &LifecycleMsg { worker: 7, generation: r as u32, kind: LifecycleKind::Drain },
+            &LifecycleMsg::new(7, r as u32, LifecycleKind::Drain),
             t0 + 0.3,
             &mut tr,
             &mut rq,
         );
         for j in 0..JOBS_PER_WORKER {
-            let done =
-                AckMsg { job: job(r, 7, j), worker: 7, kind: AckKind::Completed, attempt: 1 };
+            let done = AckMsg::new(job(r, 7, j), 7, AckKind::Completed, 1);
             table.admit_ack(&done, t0 + 0.4, &mut tr);
             ops += 1;
         }
@@ -299,8 +302,7 @@ fn fault_plane_exercise(rounds: usize) -> (u64, f64, MasterStats) {
             ops += 1;
         }
         for w in (1..WORKERS).step_by(2) {
-            let late =
-                AckMsg { job: job(r, w, 0), worker: w, kind: AckKind::Completed, attempt: 1 };
+            let late = AckMsg::new(job(r, w, 0), w, AckKind::Completed, 1);
             table.admit_ack(&late, t0 + 2.1, &mut tr);
             ops += 1;
         }

@@ -55,6 +55,9 @@ pub mod realtime;
 pub mod sim;
 
 pub use engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
-pub use protocol::{AckKind, AckMsg, DispatchMsg, LifecycleKind, LifecycleMsg, SubmissionMsg};
+pub use protocol::{
+    AckKind, AckMsg, DispatchMsg, LifecycleKind, LifecycleMsg, SubmissionMsg, WireError, WireMsg,
+    WorkflowAnnounce, PROTOCOL_VERSION,
+};
 pub use sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
 pub use sharded::{HashRouter, LeastLoadedRouter, ShardLoad, ShardRouter, ShardedEngine};

@@ -1,10 +1,11 @@
 //! The message bus (typed topics) and the shared workflow registry.
 
-use crate::protocol::{AckMsg, DispatchMsg, LifecycleMsg, SubmissionMsg};
+use crate::protocol::{AckMsg, DispatchMsg, LifecycleMsg, SubmissionMsg, WorkflowAnnounce};
 use dewe_dag::{Workflow, WorkflowId};
-use dewe_mq::Topic;
+use dewe_mq::{Topic, Transport, WorkerTransport};
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The DEWE v2 topics as typed queues (the in-process RabbitMQ): the
 /// paper's three (submission/dispatch/ack) plus the worker lifecycle
@@ -57,6 +58,98 @@ impl MessageBus {
         }
         self.ack.close();
         self.lifecycle.close();
+    }
+}
+
+/// The in-process bus *is* a master transport: the serve loops drive it
+/// through the same trait surface the TCP runtime implements, so the
+/// oracle paths and a networked fleet share one master implementation.
+/// Announcements are dropped — in-process workers share the [`Registry`]
+/// object, so there is nothing to mirror.
+impl Transport for MessageBus {
+    type Submission = SubmissionMsg;
+    type Dispatch = DispatchMsg;
+    type Ack = AckMsg;
+    type Lifecycle = LifecycleMsg;
+    type Announce = WorkflowAnnounce;
+
+    fn try_pull_submission(&self) -> Option<SubmissionMsg> {
+        self.submission.try_pull()
+    }
+
+    fn pull_ack(&self, timeout: Duration) -> Option<AckMsg> {
+        self.ack.pull_timeout(timeout)
+    }
+
+    fn pull_ack_batch(&self, out: &mut Vec<AckMsg>, max: usize) -> usize {
+        self.ack.try_pull_batch(out, max)
+    }
+
+    fn try_pull_lifecycle(&self) -> Option<LifecycleMsg> {
+        self.lifecycle.try_pull()
+    }
+
+    fn publish_dispatch(&self, shard: usize, dispatch: DispatchMsg) {
+        self.dispatch_topic(shard).publish(dispatch);
+    }
+
+    fn announce(&self, _announce: WorkflowAnnounce) {}
+
+    fn ack_closed(&self) -> bool {
+        self.ack.is_closed()
+    }
+}
+
+/// One worker's view of the in-process bus: the [`WorkerTransport`] the
+/// thread-pool worker daemon drives, pinned (or not) to a shard topic.
+/// The TCP runtime's `TcpWorkerLink` implements the same trait, so the
+/// worker slot/heartbeat loops are written once.
+#[derive(Clone)]
+pub struct BusWorkerLink {
+    bus: MessageBus,
+    shard: Option<usize>,
+}
+
+impl BusWorkerLink {
+    /// A link over `bus`, pulling `shard`'s dispatch topic (`None` pulls
+    /// the shared topic — the only source of an un-sharded master).
+    pub fn new(bus: MessageBus, shard: Option<usize>) -> Self {
+        Self { bus, shard }
+    }
+
+    fn dispatch_topic(&self) -> &Topic<DispatchMsg> {
+        match self.shard {
+            Some(shard) => self.bus.dispatch_topic(shard),
+            None => &self.bus.dispatch,
+        }
+    }
+}
+
+impl WorkerTransport for BusWorkerLink {
+    type Dispatch = DispatchMsg;
+    type Ack = AckMsg;
+    type Lifecycle = LifecycleMsg;
+
+    fn pull_dispatch(&self, timeout: Duration) -> Option<DispatchMsg> {
+        self.dispatch_topic().pull_timeout(timeout)
+    }
+
+    fn dispatch_closed(&self) -> bool {
+        self.dispatch_topic().is_closed()
+    }
+
+    fn redeliver(&self, dispatch: DispatchMsg) {
+        // The broker redelivers the unacknowledged checkout (RabbitMQ
+        // semantics): back onto the same topic for another worker.
+        self.dispatch_topic().publish(dispatch);
+    }
+
+    fn publish_ack(&self, ack: AckMsg) {
+        self.bus.ack.publish(ack);
+    }
+
+    fn publish_lifecycle(&self, msg: LifecycleMsg) {
+        self.bus.lifecycle.publish(msg);
     }
 }
 

@@ -249,11 +249,10 @@ mod tests {
         let master = spawn_master(
             link.master_bus.clone(),
             registry.clone(),
-            MasterConfig {
-                timeout_scan_interval: Duration::from_millis(5),
-                expected_workflows: Some(1),
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .timeout_scan_interval(Duration::from_millis(5))
+                .expected_workflows(1)
+                .build(),
         );
         let worker = spawn_worker(
             link.worker_bus.clone(),

@@ -89,16 +89,13 @@ impl DeploymentBuilder {
     pub fn start(self, runner: Arc<dyn JobRunner>) -> Deployment {
         let bus = MessageBus::new();
         let registry = Registry::new();
-        let master = spawn_master(
-            bus.clone(),
-            registry.clone(),
-            MasterConfig {
-                default_timeout_secs: self.default_timeout_secs,
-                timeout_scan_interval: self.timeout_scan_interval,
-                expected_workflows: self.expected_workflows,
-                ..MasterConfig::default()
-            },
-        );
+        let mut cfg = MasterConfig::builder()
+            .default_timeout_secs(self.default_timeout_secs)
+            .timeout_scan_interval(self.timeout_scan_interval);
+        if let Some(n) = self.expected_workflows {
+            cfg = cfg.expected_workflows(n);
+        }
+        let master = spawn_master(bus.clone(), registry.clone(), cfg.build());
         let workers = (0..self.workers)
             .map(|id| {
                 spawn_worker(

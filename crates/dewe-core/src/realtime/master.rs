@@ -7,29 +7,78 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dewe_dag::WorkflowId;
+use dewe_mq::Transport;
 
 use super::bus::{MessageBus, Registry};
 use super::journal::{self, Journal, JournalCommitPolicy};
 use super::liveness::{LivenessTable, LivenessTransition, MasterStats, RequeueEntry, WorkerView};
 use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
-use crate::protocol::AckMsg;
+use crate::protocol::{AckMsg, DispatchMsg, LifecycleMsg, SubmissionMsg, WorkflowAnnounce};
 use crate::sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
 use crate::sharded::{HashRouter, ShardedEngine};
 
+/// Every fabric the master can serve: a [`Transport`] pinned to the
+/// realtime protocol types, cloneable so shard threads can publish
+/// dispatches directly. Blanket-implemented — the in-process
+/// [`MessageBus`] and the TCP runtime's
+/// [`TcpMaster`](super::net::TcpMaster) both qualify.
+pub trait MasterTransport:
+    Transport<
+        Submission = SubmissionMsg,
+        Dispatch = DispatchMsg,
+        Ack = AckMsg,
+        Lifecycle = LifecycleMsg,
+        Announce = WorkflowAnnounce,
+    > + Clone
+{
+}
+
+impl<T> MasterTransport for T where
+    T: Transport<
+            Submission = SubmissionMsg,
+            Dispatch = DispatchMsg,
+            Ack = AckMsg,
+            Lifecycle = LifecycleMsg,
+            Announce = WorkflowAnnounce,
+        > + Clone
+{
+}
+
 /// Master daemon configuration.
+///
+/// Construct with [`MasterConfig::builder`] — the accreted public fields
+/// are deprecated in favour of the builder's setters and kept one
+/// release for migration:
+///
+/// ```
+/// use dewe_core::realtime::MasterConfig;
+/// use std::time::Duration;
+///
+/// let config = MasterConfig::builder()
+///     .expected_workflows(20)
+///     .timeout_scan_interval(Duration::from_millis(10))
+///     .shards(4)
+///     .lease_secs(5.0)
+///     .build();
+/// ```
 #[derive(Debug, Clone)]
 pub struct MasterConfig {
     /// System-wide default job timeout, seconds (paper §III.B).
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().default_timeout_secs(..)")]
     pub default_timeout_secs: f64,
     /// Optional checkout deadline: resubmit a dispatch that is never
     /// acknowledged as Running within this many seconds.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().checkout_timeout_secs(..)")]
     pub checkout_timeout_secs: Option<f64>,
     /// Retry budget and backoff policy for failed/timed-out jobs.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().retry(..)")]
     pub retry: RetryPolicy,
     /// How often the master examines running jobs for timeouts.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().timeout_scan_interval(..)")]
     pub timeout_scan_interval: Duration,
     /// The master exits once this many workflows have settled —
     /// completed or abandoned (`None` = run until the bus is shut down).
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().expected_workflows(..)")]
     pub expected_workflows: Option<usize>,
     /// Maximum acknowledgments ingested per loop iteration: after the
     /// first (blocking) pull, up to `ack_burst - 1` further acks are
@@ -37,13 +86,16 @@ pub struct MasterConfig {
     /// completions costs one channel wakeup instead of one per ack. The
     /// cap bounds how long dispatching and timeout scans can be starved
     /// by a sustained ack flood.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().ack_burst(..)")]
     pub ack_burst: usize,
     /// Write-ahead journal path. When set, every engine input is
     /// journaled before it takes effect, so a replacement master can
     /// rebuild state after a crash.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().journal_path(..)")]
     pub journal_path: Option<PathBuf>,
     /// When true and the journal file exists, replay it on startup
     /// (master failover) instead of starting fresh.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().recover(..)")]
     pub recover: bool,
     /// Engine shard count. With more than one shard the master drives a
     /// [`ShardedEngine`] and publishes each dispatch to the workflow's
@@ -52,6 +104,7 @@ pub struct MasterConfig {
     /// ([`super::WorkerConfig::shard`]) to fan work out to per-shard
     /// worker pools. Routing decisions are journaled, so recovery
     /// replays into the identical placement.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().shards(..)")]
     pub shards: usize,
     /// Worker threads for the free-running parallel master. `0`
     /// (default) serves every shard on the master thread. With
@@ -61,17 +114,23 @@ pub struct MasterConfig {
     /// batched per shard onto bounded queues — while shard threads
     /// ack-and-dispatch independently, publishing straight onto their
     /// per-shard dispatch topics.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().threads(..)")]
     pub threads: usize,
     /// Journal compaction threshold: once more than this many records
     /// have been appended to the WAL since startup (or the previous
     /// compaction), the journal is rewritten as a synthetic prefix with
     /// completed workflows elided, keeping recovery replay O(live
     /// state). `None` (default) never compacts.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use MasterConfig::builder().journal_compact_threshold(..)"
+    )]
     pub journal_compact_threshold: Option<usize>,
     /// Journal durability policy. The default flushes per record; group
     /// commit batches ack/scan records and the master flushes the window
     /// once per poll cycle (submissions always commit immediately). See
     /// [`JournalCommitPolicy`] for what a crash can lose under each.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().journal_commit(..)")]
     pub journal_commit: JournalCommitPolicy,
     /// Worker lease duration, seconds. When set, the master runs the
     /// liveness plane: it pulls the lifecycle topic into a
@@ -80,10 +139,32 @@ pub struct MasterConfig {
     /// and fences acks from expired workers. `None` (default) disables
     /// all liveness tracking — the pre-lease behaviour, where only job
     /// timeouts recover from worker loss.
+    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().lease_secs(..)")]
     pub lease_secs: Option<f64>,
 }
 
-impl Default for MasterConfig {
+/// The non-deprecated internal mirror of [`MasterConfig`]: every read in
+/// the serve machinery goes through this, so the deprecation on the
+/// public fields bites external constructors without drowning this
+/// module in `allow` attributes.
+#[derive(Debug, Clone)]
+struct ResolvedConfig {
+    default_timeout_secs: f64,
+    checkout_timeout_secs: Option<f64>,
+    retry: RetryPolicy,
+    timeout_scan_interval: Duration,
+    expected_workflows: Option<usize>,
+    ack_burst: usize,
+    journal_path: Option<PathBuf>,
+    recover: bool,
+    shards: usize,
+    threads: usize,
+    journal_compact_threshold: Option<usize>,
+    journal_commit: JournalCommitPolicy,
+    lease_secs: Option<f64>,
+}
+
+impl Default for ResolvedConfig {
     fn default() -> Self {
         Self {
             default_timeout_secs: crate::engine::DEFAULT_TIMEOUT_SECS,
@@ -103,13 +184,162 @@ impl Default for MasterConfig {
     }
 }
 
-impl MasterConfig {
+impl ResolvedConfig {
     fn engine_config(&self) -> EngineConfig {
         EngineConfig {
             default_timeout_secs: self.default_timeout_secs,
             checkout_timeout_secs: self.checkout_timeout_secs,
             retry: self.retry,
         }
+    }
+
+    // The one sanctioned bridge back to the deprecated public fields.
+    #[allow(deprecated)]
+    fn into_config(self) -> MasterConfig {
+        MasterConfig {
+            default_timeout_secs: self.default_timeout_secs,
+            checkout_timeout_secs: self.checkout_timeout_secs,
+            retry: self.retry,
+            timeout_scan_interval: self.timeout_scan_interval,
+            expected_workflows: self.expected_workflows,
+            ack_burst: self.ack_burst,
+            journal_path: self.journal_path,
+            recover: self.recover,
+            shards: self.shards,
+            threads: self.threads,
+            journal_compact_threshold: self.journal_compact_threshold,
+            journal_commit: self.journal_commit,
+            lease_secs: self.lease_secs,
+        }
+    }
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        ResolvedConfig::default().into_config()
+    }
+}
+
+impl MasterConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> MasterConfigBuilder {
+        MasterConfigBuilder { cfg: ResolvedConfig::default() }
+    }
+
+    // The one sanctioned read of the deprecated public fields.
+    #[allow(deprecated)]
+    fn resolve(&self) -> ResolvedConfig {
+        ResolvedConfig {
+            default_timeout_secs: self.default_timeout_secs,
+            checkout_timeout_secs: self.checkout_timeout_secs,
+            retry: self.retry,
+            timeout_scan_interval: self.timeout_scan_interval,
+            expected_workflows: self.expected_workflows,
+            ack_burst: self.ack_burst,
+            journal_path: self.journal_path.clone(),
+            recover: self.recover,
+            shards: self.shards,
+            threads: self.threads,
+            journal_compact_threshold: self.journal_compact_threshold,
+            journal_commit: self.journal_commit,
+            lease_secs: self.lease_secs,
+        }
+    }
+}
+
+/// Builder for [`MasterConfig`], mirroring [`EngineConfig`]'s chained
+/// setters. Obtain via [`MasterConfig::builder`]; every setter has the
+/// semantics of the like-named (now deprecated) public field.
+#[derive(Debug, Clone)]
+#[must_use = "finish the configuration with .build()"]
+pub struct MasterConfigBuilder {
+    cfg: ResolvedConfig,
+}
+
+impl MasterConfigBuilder {
+    /// System-wide default job timeout, seconds (paper §III.B).
+    pub fn default_timeout_secs(mut self, secs: f64) -> Self {
+        self.cfg.default_timeout_secs = secs;
+        self
+    }
+
+    /// Checkout deadline: resubmit a dispatch never acknowledged as
+    /// Running within this many seconds.
+    pub fn checkout_timeout_secs(mut self, secs: f64) -> Self {
+        self.cfg.checkout_timeout_secs = Some(secs);
+        self
+    }
+
+    /// Retry budget and backoff policy for failed/timed-out jobs.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// How often the master examines running jobs for timeouts.
+    pub fn timeout_scan_interval(mut self, interval: Duration) -> Self {
+        self.cfg.timeout_scan_interval = interval;
+        self
+    }
+
+    /// Exit once this many workflows have settled. Without it the
+    /// master serves until the transport shuts down.
+    pub fn expected_workflows(mut self, count: usize) -> Self {
+        self.cfg.expected_workflows = Some(count);
+        self
+    }
+
+    /// Maximum acknowledgments ingested per loop iteration.
+    pub fn ack_burst(mut self, burst: usize) -> Self {
+        self.cfg.ack_burst = burst;
+        self
+    }
+
+    /// Write-ahead journal path.
+    pub fn journal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.journal_path = Some(path.into());
+        self
+    }
+
+    /// Replay an existing journal on startup (master failover).
+    pub fn recover(mut self, recover: bool) -> Self {
+        self.cfg.recover = recover;
+        self
+    }
+
+    /// Engine shard count (> 1 drives a [`ShardedEngine`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Worker threads for the free-running parallel master.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Compact the WAL after this many appended records.
+    pub fn journal_compact_threshold(mut self, records: usize) -> Self {
+        self.cfg.journal_compact_threshold = Some(records);
+        self
+    }
+
+    /// Journal durability policy.
+    pub fn journal_commit(mut self, policy: JournalCommitPolicy) -> Self {
+        self.cfg.journal_commit = policy;
+        self
+    }
+
+    /// Worker lease duration, seconds; enables the liveness plane.
+    pub fn lease_secs(mut self, secs: f64) -> Self {
+        self.cfg.lease_secs = Some(secs);
+        self
+    }
+
+    /// Finish: produce the configuration.
+    pub fn build(self) -> MasterConfig {
+        self.cfg.into_config()
     }
 }
 
@@ -193,23 +423,36 @@ impl MasterHandle {
     }
 }
 
-/// Spawn the master daemon.
+/// Spawn the master daemon over the in-process [`MessageBus`].
 ///
 /// It pulls the submission topic for new workflows, the ack topic for
 /// worker progress, publishes eligible jobs to the dispatch topic, and
 /// periodically resubmits timed-out jobs. With
-/// [`MasterConfig::journal_path`] set it write-ahead journals every
-/// input; with [`MasterConfig::recover`] it first replays that journal,
-/// rebuilding the pre-crash engine and republishing in-flight jobs.
+/// [`MasterConfigBuilder::journal_path`] set it write-ahead journals
+/// every input; with [`MasterConfigBuilder::recover`] it first replays
+/// that journal, rebuilding the pre-crash engine and republishing
+/// in-flight jobs.
 pub fn spawn_master(bus: MessageBus, registry: Registry, config: MasterConfig) -> MasterHandle {
+    spawn_master_on(bus, registry, config)
+}
+
+/// Spawn the master daemon over any [`MasterTransport`] — the same serve
+/// loop (engine, journal, liveness plane, retry machinery) behind the
+/// in-process bus or the TCP runtime.
+pub fn spawn_master_on<T: MasterTransport>(
+    transport: T,
+    registry: Registry,
+    config: MasterConfig,
+) -> MasterHandle {
     let (tx, rx): (Sender<MasterEvent>, Receiver<MasterEvent>) = unbounded();
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let shared = Arc::new(FaultPlaneShared::default());
     let shared2 = Arc::clone(&shared);
+    let resolved = config.resolve();
     let thread = std::thread::Builder::new()
         .name("dewe-master".into())
-        .spawn(move || master_loop(bus, registry, config, tx, stop2, shared2))
+        .spawn(move || master_loop(transport, registry, resolved, tx, stop2, shared2))
         .expect("spawn master thread");
     MasterHandle { thread: Some(thread), stop, shared, events: rx }
 }
@@ -221,7 +464,7 @@ trait RecoverableEngine: EngineCore + Sized {
     fn recover_from(
         records: &[journal::JournalRecord],
         registry: &Registry,
-        config: &MasterConfig,
+        config: &ResolvedConfig,
     ) -> std::io::Result<journal::Recovery<Self>>;
 }
 
@@ -229,7 +472,7 @@ impl RecoverableEngine for EnsembleEngine {
     fn recover_from(
         records: &[journal::JournalRecord],
         registry: &Registry,
-        config: &MasterConfig,
+        config: &ResolvedConfig,
     ) -> std::io::Result<journal::Recovery<Self>> {
         journal::recover(records, registry, config.engine_config())
     }
@@ -239,29 +482,29 @@ impl RecoverableEngine for ShardedEngine {
     fn recover_from(
         records: &[journal::JournalRecord],
         registry: &Registry,
-        config: &MasterConfig,
+        config: &ResolvedConfig,
     ) -> std::io::Result<journal::Recovery<Self>> {
         journal::recover_sharded(records, registry, config.engine_config(), config.shards)
     }
 }
 
-fn master_loop(
-    bus: MessageBus,
+fn master_loop<T: MasterTransport>(
+    transport: T,
     registry: Registry,
-    config: MasterConfig,
+    config: ResolvedConfig,
     events: Sender<MasterEvent>,
     stop: Arc<AtomicBool>,
     shared: Arc<FaultPlaneShared>,
 ) -> EngineStats {
     assert!(config.shards >= 1, "shard count must be at least 1");
     if config.shards > 1 && config.threads >= 1 {
-        serve_parallel(bus, registry, config, events, stop, shared)
+        serve_parallel(transport, registry, config, events, stop, shared)
     } else if config.shards > 1 {
         let engine = config.engine_config().build_sharded(config.shards);
-        serve(bus, registry, config, events, stop, shared, engine)
+        serve(transport, registry, config, events, stop, shared, engine)
     } else {
         let engine = config.engine_config().build();
-        serve(bus, registry, config, events, stop, shared, engine)
+        serve(transport, registry, config, events, stop, shared, engine)
     }
 }
 
@@ -287,14 +530,14 @@ impl LivenessPlane {
     /// Pull every queued lifecycle message and expire lapsed leases.
     /// Freed in-flight jobs are appended to `requeue_acks` as synthetic
     /// `Failed` acks for the caller to journal and feed to the engine.
-    fn poll(
+    fn poll<T: MasterTransport>(
         &mut self,
-        bus: &MessageBus,
+        transport: &T,
         wal: &mut Option<Journal>,
         now: f64,
         requeue_acks: &mut Vec<AckMsg>,
     ) {
-        while let Some(msg) = bus.lifecycle.try_pull() {
+        while let Some(msg) = transport.try_pull_lifecycle() {
             self.table.on_lifecycle(&msg, now, &mut self.transitions, &mut self.requeues);
         }
         self.table.expire_due(now, &mut self.transitions, &mut self.requeues);
@@ -349,7 +592,7 @@ impl LivenessPlane {
 /// still-live worker gets a grace lease from `resume_at` — workers that
 /// never make contact again are expired (and flagged) when it lapses.
 fn build_plane(
-    config: &MasterConfig,
+    config: &ResolvedConfig,
     shared: &Arc<FaultPlaneShared>,
     recovered: Option<(&[journal::JournalRecord], f64)>,
 ) -> Option<LivenessPlane> {
@@ -371,10 +614,10 @@ fn build_plane(
 /// enqueued — cross-shard inputs commute (shards share no state), so the
 /// single-writer WAL order replays into the same state the shard threads
 /// reach, and `recover_sharded` + promotion rebuilds a threaded master.
-fn serve_parallel(
-    bus: MessageBus,
+fn serve_parallel<T: MasterTransport>(
+    transport: T,
     registry: Registry,
-    config: MasterConfig,
+    config: ResolvedConfig,
     events: Sender<MasterEvent>,
     stop: Arc<AtomicBool>,
     shared: Arc<FaultPlaneShared>,
@@ -387,11 +630,11 @@ fn serve_parallel(
     let mut liveness: Option<LivenessPlane> = None;
 
     // Dispatches leave from the worker threads themselves: each shard
-    // thread publishes onto its own dispatch topic without crossing back
-    // through this loop.
-    let sink_bus = bus.clone();
+    // thread publishes through its own transport clone without crossing
+    // back through this loop.
+    let sink_transport = transport.clone();
     let sink: Arc<DispatchSink> =
-        Arc::new(move |shard, d| sink_bus.dispatch_topic(shard).publish(d));
+        Arc::new(move |shard, d| sink_transport.publish_dispatch(shard, d));
     let opts = ParallelOptions {
         threads: config.threads,
         dispatch_sink: Some(sink),
@@ -407,9 +650,13 @@ fn serve_parallel(
             if liveness.is_some() {
                 // Discard the pre-takeover lifecycle backlog (see the
                 // sequential loop's recovery path for why).
-                while bus.lifecycle.try_pull().is_some() {}
+                while transport.try_pull_lifecycle().is_some() {}
             }
             let recovered = rec.engine;
+            // Re-announce every recovered workflow before anything is
+            // redispatched: a networked transport starts with an empty
+            // mirror, and workers must know a workflow before its jobs.
+            announce_registry(&transport, &registry, recovered.workflow_count());
             // Same lease-aware republishing rule as the sequential loop:
             // attempts a grace-leased worker still holds are not
             // republished — lease lapse requeues them if it is gone.
@@ -418,7 +665,7 @@ fn serve_parallel(
                     |p| matches!(p.table.assignment(d.job), Some((_, a)) if a == d.attempt),
                 );
                 if !held {
-                    bus.dispatch_topic(recovered.shard_of(d.job.workflow)).publish(d);
+                    transport.publish_dispatch(recovered.shard_of(d.job.workflow), d);
                 }
             }
             let mut j =
@@ -465,12 +712,19 @@ fn serve_parallel(
 
         // 1. Ingest new submissions: route, journal, enqueue to the
         // owning shard thread. Same registry-before-journal discipline
-        // as the sequential loop.
-        while let Some(sub) = bus.submission.try_pull() {
+        // as the sequential loop; the announcement broadcast sits
+        // between them so a networked transport has durably mirrored
+        // the workflow before the journal promises it exists.
+        while let Some(sub) = transport.try_pull_submission() {
             let now = time_base + start.elapsed().as_secs_f64();
             let expected_id = WorkflowId::from_index(engine.workflow_count());
             let shard = engine.route_next(&sub.workflow);
             registry.insert(expected_id, Arc::clone(&sub.workflow));
+            transport.announce(WorkflowAnnounce {
+                id: expected_id,
+                name: sub.name.clone(),
+                workflow: Arc::clone(&sub.workflow),
+            });
             if let Some(w) = wal.as_mut() {
                 w.record_submit(expected_id, shard, now).expect("journal submit");
             }
@@ -495,7 +749,7 @@ fn serve_parallel(
         // traffic, lease expiry, and synthetic requeue acks, journaled
         // before they are enqueued like every other input.
         if let Some(plane) = liveness.as_mut() {
-            plane.poll(&bus, &mut wal, now, &mut requeue_acks);
+            plane.poll(&transport, &mut wal, now, &mut requeue_acks);
             for ack in requeue_acks.drain(..) {
                 if let Some(w) = wal.as_mut() {
                     w.record_ack(&ack, now).expect("journal ack");
@@ -506,7 +760,7 @@ fn serve_parallel(
 
         engine.flush();
         engine.poll_actions(&mut actions);
-        publish_actions(&bus, &engine, &events, &mut actions);
+        publish_actions(&transport, &engine, &events, &mut actions);
 
         // 3. Exit once the expected workload has settled. Stats cells
         // are only advanced by shard threads after the settling input is
@@ -516,8 +770,12 @@ fn serve_parallel(
             let stats = engine.stats();
             if stats.workflows_completed + stats.workflows_abandoned >= expected {
                 engine.quiesce(&mut actions);
-                publish_actions(&bus, &engine, &events, &mut actions);
+                publish_actions(&transport, &engine, &events, &mut actions);
                 let stats = engine.stats();
+                // Graceful exit: make the group-commit window durable
+                // before announcing completion — drop-flushing is for
+                // crashes, not clean returns.
+                commit_wal_on_exit(&mut wal);
                 let ev = if stats.workflows_abandoned == 0 {
                     MasterEvent::AllCompleted { stats }
                 } else {
@@ -531,11 +789,11 @@ fn serve_parallel(
         // 4. Pull worker acknowledgments, journal them in arrival order,
         // and batch them per shard onto the bounded queues — the
         // ack_burst pattern, applied cross-shard.
-        match bus.ack.pull_timeout(config.timeout_scan_interval) {
+        match transport.pull_ack(config.timeout_scan_interval) {
             Some(first) => {
                 ack_burst.push(first);
                 if config.ack_burst > 1 {
-                    bus.ack.try_pull_batch(&mut ack_burst, config.ack_burst - 1);
+                    transport.pull_ack_batch(&mut ack_burst, config.ack_burst - 1);
                 }
                 let now = time_base + start.elapsed().as_secs_f64();
                 for ack in ack_burst.drain(..) {
@@ -553,12 +811,15 @@ fn serve_parallel(
                 maybe_compact(&mut wal, &registry, &config);
                 engine.flush();
                 engine.poll_actions(&mut actions);
-                publish_actions(&bus, &engine, &events, &mut actions);
+                publish_actions(&transport, &engine, &events, &mut actions);
             }
             None => {
-                if bus.ack.is_closed() {
+                if transport.ack_closed() {
                     engine.quiesce(&mut actions);
-                    publish_actions(&bus, &engine, &events, &mut actions);
+                    publish_actions(&transport, &engine, &events, &mut actions);
+                    // Transport-shutdown exit is as graceful as settling:
+                    // commit the buffered window before returning.
+                    commit_wal_on_exit(&mut wal);
                     return engine.stats();
                 }
             }
@@ -566,10 +827,10 @@ fn serve_parallel(
     }
 }
 
-fn serve<E: RecoverableEngine>(
-    bus: MessageBus,
+fn serve<T: MasterTransport, E: RecoverableEngine>(
+    transport: T,
     registry: Registry,
-    config: MasterConfig,
+    config: ResolvedConfig,
     events: Sender<MasterEvent>,
     stop: Arc<AtomicBool>,
     shared: Arc<FaultPlaneShared>,
@@ -601,8 +862,12 @@ fn serve<E: RecoverableEngine>(
                 // the grace lease — and even a discarded one-shot
                 // Register heals, since any later heartbeat or ack
                 // grants an implicit lease.
-                while bus.lifecycle.try_pull().is_some() {}
+                while transport.try_pull_lifecycle().is_some() {}
             }
+            // Re-announce every recovered workflow before anything is
+            // redispatched: a networked transport starts with an empty
+            // mirror, and workers must know a workflow before its jobs.
+            announce_registry(&transport, &registry, engine.workflow_count());
             // Pre-crash queue state is unknown; republish everything the
             // rebuilt engine believes is in flight. Workers that already
             // ran these attempts produce duplicate-completion noise the
@@ -616,7 +881,7 @@ fn serve<E: RecoverableEngine>(
                     |p| matches!(p.table.assignment(d.job), Some((_, a)) if a == d.attempt),
                 );
                 if !held {
-                    bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
+                    transport.publish_dispatch(engine.shard_of(d.job.workflow), d);
                 }
             }
             let mut j =
@@ -648,22 +913,30 @@ fn serve<E: RecoverableEngine>(
         let now = time_base + start.elapsed().as_secs_f64();
 
         // 1. Ingest any newly submitted workflows.
-        while let Some(sub) = bus.submission.try_pull() {
+        while let Some(sub) = transport.try_pull_submission() {
             let now = time_base + start.elapsed().as_secs_f64();
             // Insert into the registry BEFORE journaling or publishing so
             // neither a worker nor a recovering master can observe a job
             // of an unknown workflow. The routing decision is previewed
             // and journaled before the submission takes effect, so a
-            // recovering master can force the identical placement.
+            // recovering master can force the identical placement. The
+            // announcement broadcast sits between registry and journal so
+            // a networked transport has durably mirrored the workflow
+            // before the journal promises it exists.
             let expected_id = WorkflowId::from_index(engine.workflow_count());
             let shard = engine.route_next(&sub.workflow);
             registry.insert(expected_id, Arc::clone(&sub.workflow));
+            transport.announce(WorkflowAnnounce {
+                id: expected_id,
+                name: sub.name.clone(),
+                workflow: Arc::clone(&sub.workflow),
+            });
             if let Some(w) = wal.as_mut() {
                 w.record_submit(expected_id, shard, now).expect("journal submit");
             }
             let id = engine.submit_workflow_to(shard, sub.workflow, now, &mut actions);
             debug_assert_eq!(id, expected_id);
-            publish_actions(&bus, &engine, &events, &mut actions);
+            publish_actions(&transport, &engine, &events, &mut actions);
         }
 
         // 2. Timeout scan at the configured cadence. Scans are journaled
@@ -680,7 +953,7 @@ fn serve<E: RecoverableEngine>(
                     w.record_scan(now).expect("journal scan");
                 }
             }
-            publish_actions(&bus, &engine, &events, &mut actions);
+            publish_actions(&transport, &engine, &events, &mut actions);
         }
 
         // 2b. Liveness plane: ingest lifecycle traffic, expire lapsed
@@ -688,14 +961,14 @@ fn serve<E: RecoverableEngine>(
         // machinery as synthetic Failed acks — journaled like any other
         // engine input, so replay reconstructs the identical requeues.
         if let Some(plane) = liveness.as_mut() {
-            plane.poll(&bus, &mut wal, now, &mut requeue_acks);
+            plane.poll(&transport, &mut wal, now, &mut requeue_acks);
             for ack in requeue_acks.drain(..) {
                 if let Some(w) = wal.as_mut() {
                     w.record_ack(&ack, now).expect("journal ack");
                 }
                 engine.on_ack(ack, now, &mut actions);
             }
-            publish_actions(&bus, &engine, &events, &mut actions);
+            publish_actions(&transport, &engine, &events, &mut actions);
         }
 
         // 3. Exit once the expected workload has settled. (The engine's
@@ -705,6 +978,10 @@ fn serve<E: RecoverableEngine>(
         if let Some(expected) = config.expected_workflows {
             let stats = engine.stats();
             if stats.workflows_completed + stats.workflows_abandoned >= expected {
+                // Graceful exit: make the group-commit window durable
+                // before announcing completion — drop-flushing is for
+                // crashes, not clean returns.
+                commit_wal_on_exit(&mut wal);
                 let ev = if stats.workflows_abandoned == 0 {
                     MasterEvent::AllCompleted { stats }
                 } else {
@@ -719,11 +996,11 @@ fn serve<E: RecoverableEngine>(
         // blocks up to the scan interval; once one ack arrives, the rest
         // of any burst is drained in a single batched grab so a flood of
         // completions costs one lock + one wakeup, not one per ack.
-        match bus.ack.pull_timeout(config.timeout_scan_interval) {
+        match transport.pull_ack(config.timeout_scan_interval) {
             Some(first) => {
                 ack_burst.push(first);
                 if config.ack_burst > 1 {
-                    bus.ack.try_pull_batch(&mut ack_burst, config.ack_burst - 1);
+                    transport.pull_ack_batch(&mut ack_burst, config.ack_burst - 1);
                 }
                 let now = time_base + start.elapsed().as_secs_f64();
                 for ack in ack_burst.drain(..) {
@@ -741,14 +1018,41 @@ fn serve<E: RecoverableEngine>(
                     engine.on_ack(ack, now, &mut actions);
                 }
                 maybe_compact(&mut wal, &registry, &config);
-                publish_actions(&bus, &engine, &events, &mut actions);
+                publish_actions(&transport, &engine, &events, &mut actions);
             }
             None => {
-                if bus.ack.is_closed() {
+                if transport.ack_closed() {
+                    // Transport-shutdown exit is as graceful as settling:
+                    // commit the buffered window before returning.
+                    commit_wal_on_exit(&mut wal);
                     return engine.stats();
                 }
             }
         }
+    }
+}
+
+/// Make the group-commit window durable on a graceful serve-loop exit.
+/// Before this hook, every non-crash return leaned on `Journal`'s drop
+/// flush — which swallows errors by necessity. A failed final commit on
+/// a clean exit is a real durability bug and must be loud.
+fn commit_wal_on_exit(wal: &mut Option<Journal>) {
+    if let Some(w) = wal.as_mut() {
+        w.commit().expect("final journal commit on serve-loop exit");
+    }
+}
+
+/// Broadcast the first `count` registry entries as workflow
+/// announcements — the recovery-path mirror rebuild for networked
+/// transports (the in-process bus drops announcements).
+fn announce_registry<T: MasterTransport>(transport: &T, registry: &Registry, count: usize) {
+    for idx in 0..count {
+        let id = WorkflowId::from_index(idx);
+        let Some(workflow) = registry.get(id) else {
+            continue;
+        };
+        let name = workflow.name().to_string();
+        transport.announce(WorkflowAnnounce { id, name, workflow });
     }
 }
 
@@ -757,7 +1061,7 @@ fn serve<E: RecoverableEngine>(
 /// stays proportional to live state, not ensemble lifetime. Compaction
 /// failure is non-fatal: the journal keeps growing and recovery still
 /// works, so log-and-continue beats taking the master down.
-fn maybe_compact(wal: &mut Option<Journal>, registry: &Registry, config: &MasterConfig) {
+fn maybe_compact(wal: &mut Option<Journal>, registry: &Registry, config: &ResolvedConfig) {
     let (Some(w), Some(threshold)) = (wal.as_mut(), config.journal_compact_threshold) else {
         return;
     };
@@ -768,9 +1072,10 @@ fn maybe_compact(wal: &mut Option<Journal>, registry: &Registry, config: &Master
 
 /// Publish dispatch actions and forward progress events, draining the
 /// caller's reusable buffer. Dispatches go to the owning workflow's shard
-/// topic; on an un-sharded bus that is the shared dispatch topic.
-fn publish_actions<E: EngineCore>(
-    bus: &MessageBus,
+/// through the transport; on an un-sharded bus that is the shared
+/// dispatch topic.
+fn publish_actions<T: MasterTransport, E: EngineCore>(
+    transport: &T,
     engine: &E,
     events: &Sender<MasterEvent>,
     actions: &mut Vec<Action>,
@@ -778,7 +1083,7 @@ fn publish_actions<E: EngineCore>(
     for action in actions.drain(..) {
         match action {
             Action::Dispatch(d) => {
-                bus.dispatch_topic(engine.shard_of(d.job.workflow)).publish(d);
+                transport.publish_dispatch(engine.shard_of(d.job.workflow), d);
             }
             Action::WorkflowCompleted { workflow, makespan_secs } => {
                 let _ = events.send(MasterEvent::WorkflowCompleted { workflow, makespan_secs });
@@ -805,11 +1110,10 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                timeout_scan_interval: Duration::from_millis(10),
-                expected_workflows: Some(1),
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(1)
+                .build(),
         );
 
         let mut b = WorkflowBuilder::new("chain");
@@ -858,12 +1162,11 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                timeout_scan_interval: Duration::from_millis(10),
-                expected_workflows: Some(1),
-                ack_burst: 5, // force several batches
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(1)
+                .ack_burst(5) // force several batches
+                .build(),
         );
         let mut b = WorkflowBuilder::new("wide");
         for i in 0..32 {
@@ -896,12 +1199,11 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                default_timeout_secs: 0.05,
-                timeout_scan_interval: Duration::from_millis(10),
-                expected_workflows: Some(1),
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .default_timeout_secs(0.05)
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(1)
+                .build(),
         );
         let mut b = WorkflowBuilder::new("one");
         b.job("a", "t", 1.0).build();
@@ -933,12 +1235,11 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                shards: 2,
-                timeout_scan_interval: Duration::from_millis(10),
-                expected_workflows: Some(6),
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .shards(2)
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(6)
+                .build(),
         );
         // One worker pool per shard, each pinned to its shard topic.
         let workers: Vec<_> = (0..2)
@@ -984,13 +1285,12 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                shards: 2,
-                threads: 2,
-                timeout_scan_interval: Duration::from_millis(10),
-                expected_workflows: Some(6),
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .shards(2)
+                .threads(2)
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(6)
+                .build(),
         );
         let workers: Vec<_> = (0..2)
             .map(|shard| {
@@ -1038,14 +1338,13 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                shards: 2,
-                threads: 1, // one worker thread owning both shards
-                timeout_scan_interval: Duration::from_millis(5),
-                expected_workflows: Some(1),
-                retry: RetryPolicy { max_attempts: Some(2), ..RetryPolicy::default() },
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .shards(2)
+                .threads(1) // one worker thread owning both shards
+                .timeout_scan_interval(Duration::from_millis(5))
+                .expected_workflows(1)
+                .retry(RetryPolicy { max_attempts: Some(2), ..RetryPolicy::default() })
+                .build(),
         );
         let mut b = WorkflowBuilder::new("poison");
         b.job("a", "t", 1.0).build();
@@ -1096,15 +1395,14 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                // Job timeout is deliberately long: recovery must come
-                // from the lease, not the timeout scan.
-                default_timeout_secs: 30.0,
-                timeout_scan_interval: Duration::from_millis(10),
-                expected_workflows: Some(1),
-                lease_secs: Some(0.15),
-                ..MasterConfig::default()
-            },
+            // Job timeout is deliberately long: recovery must come
+            // from the lease, not the timeout scan.
+            MasterConfig::builder()
+                .default_timeout_secs(30.0)
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(1)
+                .lease_secs(0.15)
+                .build(),
         );
         let mut b = WorkflowBuilder::new("one");
         b.job("a", "t", 1.0).build();
@@ -1158,12 +1456,11 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                timeout_scan_interval: Duration::from_millis(10),
-                expected_workflows: Some(4),
-                lease_secs: Some(2.0),
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(4)
+                .lease_secs(2.0)
+                .build(),
         );
         let mk_worker = |id: u32| {
             spawn_worker(
@@ -1227,12 +1524,11 @@ mod tests {
         let handle = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig {
-                timeout_scan_interval: Duration::from_millis(5),
-                expected_workflows: Some(1),
-                retry: RetryPolicy { max_attempts: Some(2), ..RetryPolicy::default() },
-                ..MasterConfig::default()
-            },
+            MasterConfig::builder()
+                .timeout_scan_interval(Duration::from_millis(5))
+                .expected_workflows(1)
+                .retry(RetryPolicy { max_attempts: Some(2), ..RetryPolicy::default() })
+                .build(),
         );
         let mut b = WorkflowBuilder::new("poison");
         b.job("a", "t", 1.0).build();

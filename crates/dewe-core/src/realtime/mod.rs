@@ -31,11 +31,12 @@ mod deployment;
 mod journal;
 mod liveness;
 mod master;
+mod net;
 mod observer;
 mod runner;
 mod worker;
 
-pub use bus::{MessageBus, Registry};
+pub use bus::{BusWorkerLink, MessageBus, Registry};
 pub use chaos::ChaosLink;
 pub use deployment::{Deployment, DeploymentBuilder};
 pub use journal::{
@@ -46,10 +47,17 @@ pub use liveness::{
     LivenessTable, LivenessTransition, MasterStats, RequeueEntry, WorkerPhase, WorkerView,
     REQUEUE_WORKER,
 };
-pub use master::{spawn_master, MasterConfig, MasterEvent, MasterHandle};
+pub use master::{
+    spawn_master, spawn_master_on, MasterConfig, MasterConfigBuilder, MasterEvent, MasterHandle,
+    MasterTransport,
+};
+pub use net::{
+    load_spool, spool_workflow, submit_over_tcp, TcpMaster, TcpMasterOptions, TcpWorkerLink,
+    TcpWorkerOptions,
+};
 pub use observer::{spawn_observer, BusSeries, ObserverHandle};
 pub use runner::{CpuRunner, FsRunner, JobOutcome, JobRunner, NoopRunner, RunContext, SleepRunner};
-pub use worker::{spawn_worker, WorkerConfig, WorkerHandle};
+pub use worker::{spawn_worker, spawn_worker_on, DynWorkerTransport, WorkerConfig, WorkerHandle};
 
 use crate::protocol::SubmissionMsg;
 use dewe_dag::Workflow;

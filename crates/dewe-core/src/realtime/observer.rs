@@ -137,7 +137,7 @@ mod tests {
         let master = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig { expected_workflows: Some(1), ..MasterConfig::default() },
+            MasterConfig::builder().expected_workflows(1).build(),
         );
         let worker = spawn_worker(
             bus.clone(),

@@ -4,9 +4,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use super::bus::{MessageBus, Registry};
+use dewe_mq::WorkerTransport;
+
+use super::bus::{BusWorkerLink, MessageBus, Registry};
 use super::runner::{JobOutcome, JobRunner, RunContext};
-use crate::protocol::{AckKind, AckMsg, LifecycleKind, LifecycleMsg};
+use crate::protocol::{AckKind, AckMsg, DispatchMsg, LifecycleKind, LifecycleMsg};
+
+/// The transport a worker daemon drives, with the wire types pinned to
+/// the DEWE protocol. Held as a trait object so [`WorkerHandle`] (and
+/// every test harness storing one) stays non-generic across the
+/// in-process and TCP transports.
+pub type DynWorkerTransport =
+    Arc<dyn WorkerTransport<Dispatch = DispatchMsg, Ack = AckMsg, Lifecycle = LifecycleMsg>>;
 
 /// Worker daemon configuration.
 #[derive(Debug, Clone)]
@@ -57,7 +66,7 @@ pub struct WorkerHandle {
     stop: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
     hb_pause: Arc<AtomicBool>,
-    lifecycle: dewe_mq::Topic<LifecycleMsg>,
+    transport: DynWorkerTransport,
     worker_id: u32,
     generation: u32,
 }
@@ -87,11 +96,11 @@ impl WorkerHandle {
     /// revocation notice — call this at the notice, [`kill`](Self::kill)
     /// at the revocation.
     pub fn announce_drain(&self) {
-        self.lifecycle.publish(LifecycleMsg {
-            worker: self.worker_id,
-            generation: self.generation,
-            kind: LifecycleKind::Drain,
-        });
+        self.transport.publish_lifecycle(LifecycleMsg::new(
+            self.worker_id,
+            self.generation,
+            LifecycleKind::Drain,
+        ));
     }
 
     /// Full graceful drain: announce on the lifecycle topic, then stop —
@@ -126,7 +135,8 @@ impl WorkerHandle {
     }
 }
 
-/// Spawn a worker daemon with `config.slots` pulling threads.
+/// Spawn a worker daemon with `config.slots` pulling threads over the
+/// in-process bus.
 ///
 /// The worker is stateless: its only knowledge of the system is the bus
 /// (the message-queue address) and the registry (the shared file system).
@@ -137,12 +147,26 @@ pub fn spawn_worker(
     runner: Arc<dyn JobRunner>,
     config: WorkerConfig,
 ) -> WorkerHandle {
+    let link = BusWorkerLink::new(bus, config.shard);
+    spawn_worker_on(Arc::new(link), registry, runner, config)
+}
+
+/// Spawn a worker daemon over any [`WorkerTransport`] — the in-process
+/// [`BusWorkerLink`] or a TCP link to a remote master. The slot and
+/// heartbeat loops are written once against the trait; the transport
+/// decides what "the dispatch topic" means.
+pub fn spawn_worker_on(
+    transport: DynWorkerTransport,
+    registry: Registry,
+    runner: Arc<dyn JobRunner>,
+    config: WorkerConfig,
+) -> WorkerHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let kill = Arc::new(AtomicBool::new(false));
     let hb_pause = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::with_capacity(config.slots);
     for slot in 0..config.slots {
-        let bus = bus.clone();
+        let transport = Arc::clone(&transport);
         let registry = registry.clone();
         let runner = Arc::clone(&runner);
         let stop = Arc::clone(&stop);
@@ -151,18 +175,18 @@ pub fn spawn_worker(
         threads.push(
             std::thread::Builder::new()
                 .name(format!("dewe-worker-{}-{slot}", config.worker_id))
-                .spawn(move || slot_loop(bus, registry, runner, stop, kill, cfg))
+                .spawn(move || slot_loop(transport, registry, runner, stop, kill, cfg))
                 .expect("spawn worker thread"),
         );
     }
     let heartbeat = config.heartbeat_interval.map(|interval| {
-        let lifecycle = bus.lifecycle.clone();
+        let transport = Arc::clone(&transport);
         let stop = Arc::clone(&stop);
         let pause = Arc::clone(&hb_pause);
         let (worker, generation) = (config.worker_id, config.generation);
         std::thread::Builder::new()
             .name(format!("dewe-worker-{worker}-hb"))
-            .spawn(move || heartbeat_loop(lifecycle, stop, pause, worker, generation, interval))
+            .spawn(move || heartbeat_loop(transport, stop, pause, worker, generation, interval))
             .expect("spawn heartbeat thread")
     });
     WorkerHandle {
@@ -171,7 +195,7 @@ pub fn spawn_worker(
         stop,
         kill,
         hb_pause,
-        lifecycle: bus.lifecycle.clone(),
+        transport,
         worker_id: config.worker_id,
         generation: config.generation,
     }
@@ -182,14 +206,14 @@ pub fn spawn_worker(
 /// effect promptly; a paused thread keeps ticking silently, which is
 /// exactly what a stalled-but-alive worker looks like on the wire.
 fn heartbeat_loop(
-    lifecycle: dewe_mq::Topic<LifecycleMsg>,
+    transport: DynWorkerTransport,
     stop: Arc<AtomicBool>,
     pause: Arc<AtomicBool>,
     worker: u32,
     generation: u32,
     interval: Duration,
 ) {
-    lifecycle.publish(LifecycleMsg { worker, generation, kind: LifecycleKind::Register });
+    transport.publish_lifecycle(LifecycleMsg::new(worker, generation, LifecycleKind::Register));
     let tick = (interval / 4).clamp(Duration::from_millis(1), Duration::from_millis(25));
     let mut since_beat = Duration::ZERO;
     while !stop.load(Ordering::Relaxed) {
@@ -198,18 +222,18 @@ fn heartbeat_loop(
         if since_beat >= interval {
             since_beat = Duration::ZERO;
             if !pause.load(Ordering::Relaxed) {
-                lifecycle.publish(LifecycleMsg {
+                transport.publish_lifecycle(LifecycleMsg::new(
                     worker,
                     generation,
-                    kind: LifecycleKind::Heartbeat,
-                });
+                    LifecycleKind::Heartbeat,
+                ));
             }
         }
     }
 }
 
 fn slot_loop(
-    bus: MessageBus,
+    transport: DynWorkerTransport,
     registry: Registry,
     runner: Arc<dyn JobRunner>,
     stop: Arc<AtomicBool>,
@@ -217,13 +241,9 @@ fn slot_loop(
     config: WorkerConfig,
 ) -> u64 {
     let mut executed = 0u64;
-    let dispatch_topic = match config.shard {
-        Some(shard) => bus.dispatch_topic(shard),
-        None => &bus.dispatch,
-    };
     while !stop.load(Ordering::Relaxed) {
-        let Some(dispatch) = dispatch_topic.pull_timeout(config.pull_timeout) else {
-            if dispatch_topic.is_closed() {
+        let Some(dispatch) = transport.pull_dispatch(config.pull_timeout) else {
+            if transport.dispatch_closed() {
                 break;
             }
             continue;
@@ -232,7 +252,7 @@ fn slot_loop(
         // redelivers the unacknowledged checkout (RabbitMQ semantics) so
         // the job is not lost while the master thinks it is still queued.
         if kill.load(Ordering::Relaxed) {
-            dispatch_topic.publish(dispatch);
+            transport.redeliver(dispatch);
             break;
         }
         let Some(workflow) = registry.get(dispatch.job.workflow) else {
@@ -240,12 +260,12 @@ fn slot_loop(
             // drop the message (it will be recovered by timeout).
             continue;
         };
-        bus.ack.publish(AckMsg {
-            job: dispatch.job,
-            worker: config.worker_id,
-            kind: AckKind::Running,
-            attempt: dispatch.attempt,
-        });
+        transport.publish_ack(AckMsg::new(
+            dispatch.job,
+            config.worker_id,
+            AckKind::Running,
+            dispatch.attempt,
+        ));
         let ctx = RunContext {
             cancelled: Arc::clone(&kill),
             worker: config.worker_id,
@@ -270,20 +290,20 @@ fn slot_loop(
         match outcome {
             JobOutcome::Success => {
                 executed += 1;
-                bus.ack.publish(AckMsg {
-                    job: dispatch.job,
-                    worker: config.worker_id,
-                    kind: AckKind::Completed,
-                    attempt: dispatch.attempt,
-                });
+                transport.publish_ack(AckMsg::new(
+                    dispatch.job,
+                    config.worker_id,
+                    AckKind::Completed,
+                    dispatch.attempt,
+                ));
             }
             JobOutcome::Failed(_reason) => {
-                bus.ack.publish(AckMsg {
-                    job: dispatch.job,
-                    worker: config.worker_id,
-                    kind: AckKind::Failed,
-                    attempt: dispatch.attempt,
-                });
+                transport.publish_ack(AckMsg::new(
+                    dispatch.job,
+                    config.worker_id,
+                    AckKind::Failed,
+                    dispatch.attempt,
+                ));
             }
             JobOutcome::Cancelled => {
                 // Crash semantics: no acknowledgment at all.

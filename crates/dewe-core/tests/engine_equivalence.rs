@@ -93,10 +93,7 @@ impl ReferenceEngine {
         for job in state.tracker.take_ready() {
             state.inflight.insert(job, (self.dispatch_deadline(now), 1, false));
             self.stats.dispatches += 1;
-            actions.push(Action::Dispatch(DispatchMsg {
-                job: EnsembleJobId::new(id, job),
-                attempt: 1,
-            }));
+            actions.push(Action::Dispatch(DispatchMsg::new(EnsembleJobId::new(id, job), 1)));
         }
         self.stats.workflows_submitted += 1;
         self.terminal_emitted = false;
@@ -152,10 +149,8 @@ impl ReferenceEngine {
                 for next in state.tracker.take_ready() {
                     state.inflight.insert(next, (dd, 1, false));
                     self.stats.dispatches += 1;
-                    actions.push(Action::Dispatch(DispatchMsg {
-                        job: EnsembleJobId::new(wf, next),
-                        attempt: 1,
-                    }));
+                    actions
+                        .push(Action::Dispatch(DispatchMsg::new(EnsembleJobId::new(wf, next), 1)));
                 }
                 if state.tracker.is_complete() && !state.done {
                     state.done = true;
@@ -249,10 +244,10 @@ impl ReferenceEngine {
             } else {
                 state.inflight.insert(job, (dd, next_attempt, false));
                 self.stats.dispatches += 1;
-                actions.push(Action::Dispatch(DispatchMsg {
-                    job: EnsembleJobId::new(wf, job),
-                    attempt: next_attempt,
-                }));
+                actions.push(Action::Dispatch(DispatchMsg::new(
+                    EnsembleJobId::new(wf, job),
+                    next_attempt,
+                )));
             }
         }
     }
@@ -286,10 +281,8 @@ impl ReferenceEngine {
                 let state = &mut self.workflows[wfi];
                 state.inflight.insert(job, (dd, attempt, false));
                 self.stats.dispatches += 1;
-                actions.push(Action::Dispatch(DispatchMsg {
-                    job: EnsembleJobId::new(wf, job),
-                    attempt,
-                }));
+                actions
+                    .push(Action::Dispatch(DispatchMsg::new(EnsembleJobId::new(wf, job), attempt)));
             } else {
                 self.attempt_failed(wf, job, attempt, now, &mut actions);
             }
@@ -489,44 +482,24 @@ proptest! {
                         } else {
                             d.attempt
                         };
-                        let ack = AckMsg {
-                            job: d.job,
-                            worker: (choice % 4) as u32,
-                            kind: AckKind::Running,
-                            attempt,
-                        };
+                        let ack = AckMsg::new(d.job, (choice % 4) as u32, AckKind::Running, attempt);
                         check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     40..=79 => {
                         let d = outstanding.swap_remove(pick);
                         finished.push(d);
-                        let ack = AckMsg {
-                            job: d.job,
-                            worker: 0,
-                            kind: AckKind::Completed,
-                            attempt: d.attempt,
-                        };
+                        let ack = AckMsg::new(d.job, 0, AckKind::Completed, d.attempt);
                         check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     80..=87 => {
                         let d = outstanding.swap_remove(pick);
-                        let ack = AckMsg {
-                            job: d.job,
-                            worker: 0,
-                            kind: AckKind::Failed,
-                            attempt: d.attempt,
-                        };
+                        let ack = AckMsg::new(d.job, 0, AckKind::Failed, d.attempt);
                         check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     88..=93 if !finished.is_empty() => {
                         // Duplicate completion (timeout-race replay).
                         let d = finished[(splitmix64(&mut rng) as usize) % finished.len()];
-                        let ack = AckMsg {
-                            job: d.job,
-                            worker: 1,
-                            kind: AckKind::Completed,
-                            attempt: d.attempt,
-                        };
+                        let ack = AckMsg::new(d.job, 1, AckKind::Completed, d.attempt);
                         check_step!(ack_step(&mut real, ack, now), reference.on_ack(ack, now));
                     }
                     _ => {
@@ -638,7 +611,7 @@ proptest! {
                     } else {
                         AckKind::Running
                     };
-                    let ack = AckMsg { job: d.job, worker: 0, kind, attempt: d.attempt };
+                    let ack = AckMsg::new(d.job, 0, kind, d.attempt);
                     journal.push(JournalRecord::Ack { ack, at: now });
                     let actions = ack_step(&mut real, ack, now);
                     if let Some(t) = twin.as_mut() {

@@ -178,7 +178,7 @@ proptest! {
                     let kind =
                         if next() % 4 == 0 { AckKind::Failed } else { AckKind::Completed };
                     engine.on_ack(
-                        AckMsg { job: d.job, worker: 0, kind, attempt: d.attempt },
+                        AckMsg::new(d.job, 0, kind, d.attempt),
                         now,
                         &mut actions,
                     );
@@ -187,7 +187,7 @@ proptest! {
                     // Checkout without completion: arms the job timeout.
                     let d = outstanding[next() as usize % outstanding.len()];
                     engine.on_ack(
-                        AckMsg { job: d.job, worker: 1, kind: AckKind::Running, attempt: d.attempt },
+                        AckMsg::new(d.job, 1, AckKind::Running, d.attempt),
                         now,
                         &mut actions,
                     );
@@ -202,7 +202,7 @@ proptest! {
                         _ => AckKind::Failed,
                     };
                     engine.on_ack(
-                        AckMsg { job: d.job, worker: 2, kind, attempt: d.attempt },
+                        AckMsg::new(d.job, 2, kind, d.attempt),
                         now,
                         &mut actions,
                     );
@@ -233,7 +233,7 @@ proptest! {
                     unreachable!()
                 };
                 engine.on_ack(
-                    AckMsg { job: d.job, worker: 0, kind: AckKind::Completed, attempt: d.attempt },
+                    AckMsg::new(d.job, 0, AckKind::Completed, d.attempt),
                     now,
                     &mut actions,
                 );

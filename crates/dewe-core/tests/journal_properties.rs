@@ -34,12 +34,12 @@ fn record() -> impl Strategy<Value = JournalRecord> {
         }),
         (0u32..64, 0u32..256, 0u32..16, ack_kind(), 1u32..10, at.clone()).prop_map(
             |(wf, job, worker, kind, attempt, at)| JournalRecord::Ack {
-                ack: AckMsg {
-                    job: EnsembleJobId::new(WorkflowId(wf), JobId(job)),
+                ack: AckMsg::new(
+                    EnsembleJobId::new(WorkflowId(wf), JobId(job)),
                     worker,
                     kind,
                     attempt,
-                },
+                ),
                 at,
             }
         ),

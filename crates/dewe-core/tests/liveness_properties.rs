@@ -30,7 +30,7 @@ fn independent_jobs(n: usize) -> Arc<Workflow> {
 }
 
 fn hb(worker: u32) -> LifecycleMsg {
-    LifecycleMsg { worker, generation: 0, kind: LifecycleKind::Heartbeat }
+    LifecycleMsg::new(worker, 0, LifecycleKind::Heartbeat)
 }
 
 /// Route one ack the way the master does: the liveness fence first, the
@@ -90,7 +90,7 @@ proptest! {
         actions.clear();
         for d in &first_wave {
             let ack =
-                AckMsg { job: d.job, worker: WORKER_A, kind: AckKind::Running, attempt: d.attempt };
+                AckMsg::new(d.job, WORKER_A, AckKind::Running, d.attempt);
             prop_assert!(feed(&mut table, &mut engine, ack, 0.1, &mut actions));
         }
         prop_assert_eq!(table.assignment_count(), n_jobs);
@@ -117,8 +117,8 @@ proptest! {
         table.on_lifecycle(&hb(WORKER_B), 2.1, &mut tr, &mut rq);
         for d in &second_wave {
             let run =
-                AckMsg { job: d.job, worker: WORKER_B, kind: AckKind::Running, attempt: d.attempt };
-            let done = AckMsg { kind: AckKind::Completed, ..run };
+                AckMsg::new(d.job, WORKER_B, AckKind::Running, d.attempt);
+            let done = AckMsg::new(run.job, run.worker, AckKind::Completed, run.attempt);
             prop_assert!(feed(&mut table, &mut engine, run, 2.2, &mut actions));
             prop_assert!(feed(&mut table, &mut engine, done, 2.3, &mut actions));
         }
@@ -141,7 +141,7 @@ proptest! {
                 _ => AckKind::Failed,
             };
             for _ in 0..*repeat {
-                let ack = AckMsg { job: d.job, worker: WORKER_A, kind, attempt: d.attempt };
+                let ack = AckMsg::new(d.job, WORKER_A, kind, d.attempt);
                 let admitted = feed(&mut table, &mut engine, ack, 3.1, &mut actions);
                 prop_assert_eq!(admitted, revive, "expired workers are fenced; revived flow");
                 sent += 1;

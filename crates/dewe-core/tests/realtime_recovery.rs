@@ -40,20 +40,22 @@ fn ensemble_finishes_after_master_failover() {
 
     let bus = MessageBus::new();
     let registry = Registry::new();
-    let config = MasterConfig {
-        timeout_scan_interval: Duration::from_millis(10),
-        expected_workflows: Some(3),
-        journal_path: Some(journal_path.clone()),
-        // Group commit exercises the batched durability path: records
-        // buffer across a poll cycle and must still survive the kill
-        // (the simulated crash drops the master loop, and the journal's
-        // drop flushes the open window — a torn tail would only appear
-        // on a hard power loss, which journal_properties covers).
-        journal_commit: JournalCommitPolicy::GroupCommit { max_records: 8 },
-        ..MasterConfig::default()
+    // Group commit exercises the batched durability path: records
+    // buffer across a poll cycle and must still survive the kill
+    // (the simulated crash drops the master loop, and the journal's
+    // drop flushes the open window — a torn tail would only appear
+    // on a hard power loss, which journal_properties covers).
+    let mk_config = |recover: bool| {
+        MasterConfig::builder()
+            .timeout_scan_interval(Duration::from_millis(10))
+            .expected_workflows(3)
+            .journal_path(journal_path.clone())
+            .journal_commit(JournalCommitPolicy::GroupCommit { max_records: 8 })
+            .recover(recover)
+            .build()
     };
 
-    let master = spawn_master(bus.clone(), registry.clone(), config.clone());
+    let master = spawn_master(bus.clone(), registry.clone(), mk_config(false));
     // 20 ms per job: slow enough that the kill lands mid-ensemble with
     // jobs genuinely in flight, fast enough to keep the test snappy.
     let worker = spawn_worker(
@@ -80,19 +82,19 @@ fn ensemble_finishes_after_master_failover() {
 
     // The journal alone must reconstruct the pre-crash engine.
     let records = read_journal(&journal_path).expect("journal readable");
-    let replay = recover(
-        &records,
-        &registry,
-        EngineConfig { default_timeout_secs: config.default_timeout_secs, ..Default::default() },
-    )
-    .expect("journal replays");
-    assert_eq!(replay.engine.stats().workflows_completed, 1, "pre-crash progress recovered");
+    let replay = recover(&records, &registry, EngineConfig::default()).expect("journal replays");
+    // At least the completion we just observed must be durable. The
+    // count is a bound, not an exact value: with two slots the second
+    // chain runs concurrently with the first and can complete in the
+    // gap between the event arriving and the kill landing. Fewer than
+    // all three proves the crash really hit mid-ensemble.
+    let pre_crash = replay.engine.stats().workflows_completed;
+    assert!((1..3).contains(&pre_crash), "pre-crash progress recovered: {pre_crash}");
 
     // Failover: a replacement master recovers from the journal and takes
     // over the same bus. In-flight jobs get republished; the worker may
     // run some twice, which the engine counts as duplicate noise.
-    let master2 =
-        spawn_master(bus.clone(), registry.clone(), MasterConfig { recover: true, ..config });
+    let master2 = spawn_master(bus.clone(), registry.clone(), mk_config(true));
     let stats = master2.join();
     worker.stop();
     bus.shutdown();
@@ -120,15 +122,17 @@ fn compacted_journal_still_recovers_the_ensemble() {
 
     let bus = MessageBus::new();
     let registry = Registry::new();
-    let config = MasterConfig {
-        timeout_scan_interval: Duration::from_millis(10),
-        expected_workflows: Some(4),
-        journal_path: Some(journal_path.clone()),
-        journal_compact_threshold: Some(8),
-        ..MasterConfig::default()
+    let mk_config = |recover: bool| {
+        MasterConfig::builder()
+            .timeout_scan_interval(Duration::from_millis(10))
+            .expected_workflows(4)
+            .journal_path(journal_path.clone())
+            .journal_compact_threshold(8)
+            .recover(recover)
+            .build()
     };
 
-    let master = spawn_master(bus.clone(), registry.clone(), config.clone());
+    let master = spawn_master(bus.clone(), registry.clone(), mk_config(false));
     let worker = spawn_worker(
         bus.clone(),
         registry.clone(),
@@ -160,20 +164,15 @@ fn compacted_journal_still_recovers_the_ensemble() {
     // count — and stays lean: 2 completed workflows are at most S + 4
     // effective completions each, plus the live workflows' history.
     let records = read_journal(&journal_path).expect("journal readable");
-    let replay = recover(
-        &records,
-        &registry,
-        EngineConfig { default_timeout_secs: config.default_timeout_secs, ..Default::default() },
-    )
-    .expect("compacted journal replays");
+    let replay =
+        recover(&records, &registry, EngineConfig::default()).expect("compacted journal replays");
     assert!(
         replay.engine.stats().workflows_completed >= 2,
         "pre-crash progress survives compaction: {:?}",
         replay.engine.stats()
     );
 
-    let master2 =
-        spawn_master(bus.clone(), registry.clone(), MasterConfig { recover: true, ..config });
+    let master2 = spawn_master(bus.clone(), registry.clone(), mk_config(true));
     let stats = master2.join();
     worker.stop();
     bus.shutdown();
@@ -202,16 +201,18 @@ fn compaction_racing_group_commit_survives_failover() {
 
     let bus = MessageBus::new();
     let registry = Registry::new();
-    let config = MasterConfig {
-        timeout_scan_interval: Duration::from_millis(10),
-        expected_workflows: Some(4),
-        journal_path: Some(journal_path.clone()),
-        journal_commit: JournalCommitPolicy::GroupCommit { max_records: 8 },
-        journal_compact_threshold: Some(8),
-        ..MasterConfig::default()
+    let mk_config = |recover: bool| {
+        MasterConfig::builder()
+            .timeout_scan_interval(Duration::from_millis(10))
+            .expected_workflows(4)
+            .journal_path(journal_path.clone())
+            .journal_commit(JournalCommitPolicy::GroupCommit { max_records: 8 })
+            .journal_compact_threshold(8)
+            .recover(recover)
+            .build()
     };
 
-    let master = spawn_master(bus.clone(), registry.clone(), config.clone());
+    let master = spawn_master(bus.clone(), registry.clone(), mk_config(false));
     let worker = spawn_worker(
         bus.clone(),
         registry.clone(),
@@ -246,8 +247,7 @@ fn compaction_racing_group_commit_survives_failover() {
     // submitted/completed/abandoned/jobs_completed counters survive; only
     // per-attempt diagnostics of *completed* workflows are synthesized.
     let records = read_journal(&journal_path).expect("journal readable");
-    let engine_cfg =
-        EngineConfig { default_timeout_secs: config.default_timeout_secs, ..Default::default() };
+    let engine_cfg = EngineConfig::default();
     let replay = recover(&records, &registry, engine_cfg).expect("journal replays");
     let recompacted =
         compact_records(&records, &registry, engine_cfg).expect("crash-point journal compacts");
@@ -266,8 +266,7 @@ fn compaction_racing_group_commit_survives_failover() {
 
     // And the replacement master must finish the ensemble from that
     // journal, group-commit window and all.
-    let master2 =
-        spawn_master(bus.clone(), registry.clone(), MasterConfig { recover: true, ..config });
+    let master2 = spawn_master(bus.clone(), registry.clone(), mk_config(true));
     let stats = master2.join();
     worker.stop();
     bus.shutdown();
@@ -295,14 +294,16 @@ fn restart_with_a_dead_worker_flags_it_and_still_finishes() {
 
     let bus = MessageBus::new();
     let registry = Registry::new();
-    let config = MasterConfig {
-        timeout_scan_interval: Duration::from_millis(10),
-        expected_workflows: Some(2),
-        journal_path: Some(journal_path.clone()),
-        lease_secs: Some(0.15),
-        ..MasterConfig::default()
+    let mk_config = |recover: bool| {
+        MasterConfig::builder()
+            .timeout_scan_interval(Duration::from_millis(10))
+            .expected_workflows(2)
+            .journal_path(journal_path.clone())
+            .lease_secs(0.15)
+            .recover(recover)
+            .build()
     };
-    let master = spawn_master(bus.clone(), registry.clone(), config.clone());
+    let master = spawn_master(bus.clone(), registry.clone(), mk_config(false));
     let mk_worker = |id: u32| {
         spawn_worker(
             bus.clone(),
@@ -332,8 +333,7 @@ fn restart_with_a_dead_worker_flags_it_and_still_finishes() {
     master.kill();
     w1.kill();
 
-    let master2 =
-        spawn_master(bus.clone(), registry.clone(), MasterConfig { recover: true, ..config });
+    let master2 = spawn_master(bus.clone(), registry.clone(), mk_config(true));
     loop {
         match master2.events.recv_timeout(Duration::from_secs(30)).expect("event") {
             MasterEvent::AllCompleted { .. } => break,
@@ -367,13 +367,12 @@ fn recovery_restarts_from_empty_journal_when_absent() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig {
-            timeout_scan_interval: Duration::from_millis(10),
-            expected_workflows: Some(1),
-            journal_path: Some(journal_path.clone()),
-            recover: true,
-            ..MasterConfig::default()
-        },
+        MasterConfig::builder()
+            .timeout_scan_interval(Duration::from_millis(10))
+            .expected_workflows(1)
+            .journal_path(journal_path.clone())
+            .recover(true)
+            .build(),
     );
     let worker = spawn_worker(
         bus.clone(),

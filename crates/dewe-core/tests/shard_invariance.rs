@@ -89,19 +89,11 @@ fn settle<E: EngineCore>(mut engine: E, wfs: &[Arc<Workflow>], seed: u64) -> Out
         assert!(steps < 200_000, "driver failed to converge");
         if let Some(d) = queue.pop_front() {
             actions.clear();
-            engine.on_ack(
-                AckMsg { job: d.job, worker: 0, kind: AckKind::Running, attempt: d.attempt },
-                now,
-                &mut actions,
-            );
+            engine.on_ack(AckMsg::new(d.job, 0, AckKind::Running, d.attempt), now, &mut actions);
             drain(&actions, &mut queue, &mut out);
             let kind = if attempt_fails(seed, &d) { AckKind::Failed } else { AckKind::Completed };
             actions.clear();
-            engine.on_ack(
-                AckMsg { job: d.job, worker: 0, kind, attempt: d.attempt },
-                now,
-                &mut actions,
-            );
+            engine.on_ack(AckMsg::new(d.job, 0, kind, d.attempt), now, &mut actions);
             drain(&actions, &mut queue, &mut out);
         } else if let Some(deadline) = engine.next_deadline() {
             // Only parked backoff retries remain: advance to them.

@@ -1,0 +1,107 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! The TCP runtime carries every message as a *frame*: a 4-byte
+//! big-endian length followed by that many payload bytes. The framing
+//! layer is payload-agnostic — versioning and message typing live in the
+//! payload's first bytes (see `dewe-core`'s `protocol::WireMsg`) — so the
+//! same reader/writer pair serves every connection role.
+//!
+//! ```text
+//!  ┌──────────────┬──────────────────────────────┐
+//!  │ len: u32 BE  │ payload (len bytes)          │
+//!  └──────────────┴──────────────────────────────┘
+//! ```
+//!
+//! A length cap guards both sides against a corrupt or hostile peer
+//! declaring a multi-gigabyte frame: oversized lengths are an
+//! [`std::io::ErrorKind::InvalidData`] error, not an allocation.
+
+use std::io::{self, Read, Write};
+
+/// Default frame-length cap: generous for workflow DAG text (the largest
+/// payload the runtime ships — a few MB at paper scale) while refusing
+/// absurd lengths from corrupt streams.
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Write one frame: length prefix, payload, flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean end of stream (the peer
+/// closed between frames); a stream that ends *inside* a frame is an
+/// [`std::io::ErrorKind::UnexpectedEof`] error. Frames longer than
+/// `max_frame` are rejected before any payload allocation.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max_frame}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_frames_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"beta").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"beta");
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn rejects_oversized_length_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        // Cut the stream inside the payload.
+        buf.truncate(7);
+        let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // And inside the length prefix.
+        let err = read_frame(&mut [0u8, 0u8].as_slice(), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

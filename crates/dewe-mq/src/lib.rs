@@ -29,15 +29,23 @@
 //! `dewe-simcloud` models queue transport latency separately.
 
 pub mod chaos;
+mod frame;
+mod listen;
 mod reliable;
 mod topic;
+mod transport;
+mod window;
 
 pub use chaos::{
     ChaosBus, ChaosConfig, ChaosDecider, ChaosEvent, ChaosSchedule, ChaosStats, ChaosTopic,
     ChaosTrace, Fault,
 };
+pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+pub use listen::bind_reuse;
 pub use reliable::{Delivery, LeaseId, ReliableTopic};
 pub use topic::{Topic, TopicStats};
+pub use transport::{Transport, WorkerTransport};
+pub use window::SendWindow;
 
 use parking_lot::Mutex;
 use std::collections::HashMap;

@@ -1,0 +1,93 @@
+//! Transport abstraction: the master/worker wiring, minus the wires.
+//!
+//! DEWE v2's daemons (paper §III.C) only ever touch the message-queue
+//! surface: the master pulls submissions/acks/lifecycle traffic and
+//! publishes dispatches; a worker pulls dispatches and publishes
+//! acks/lifecycle traffic. These two traits capture exactly that surface,
+//! so the serve loops in `dewe-core` are written once and run unchanged
+//! over the in-process `MessageBus` (the oracle paths) and over the TCP
+//! runtime (a real fleet) — the sans-IO engine refactor's payoff.
+//!
+//! The message types stay associated, not concrete: this crate knows
+//! queues, not workflows. `dewe-core` pins them to its protocol types
+//! when it implements the traits.
+
+use std::time::Duration;
+
+/// The master daemon's view of the fabric.
+///
+/// One extra hook beyond the paper's three topics: [`announce`]
+/// (master → workers) broadcasts each accepted workflow's definition so
+/// networked workers can mirror the registry ("the shared file system")
+/// without one. The in-process bus no-ops it — its workers share the
+/// registry object.
+///
+/// [`announce`]: Transport::announce
+pub trait Transport: Send + Sync + 'static {
+    /// Workflow submission payload (submission app → master).
+    type Submission: Send;
+    /// Job dispatch payload (master → workers).
+    type Dispatch: Send;
+    /// Job acknowledgment payload (workers → master).
+    type Ack: Send;
+    /// Worker lifecycle payload (workers → master).
+    type Lifecycle: Send;
+    /// Workflow announcement payload (master → workers).
+    type Announce: Send;
+
+    /// Non-blocking pull from the submission topic.
+    fn try_pull_submission(&self) -> Option<Self::Submission>;
+
+    /// Blocking pull from the ack topic, bounded by `timeout`.
+    fn pull_ack(&self, timeout: Duration) -> Option<Self::Ack>;
+
+    /// Drain up to `max` further acks without blocking, appending to
+    /// `out`; returns how many were taken (the ack-burst batch grab).
+    fn pull_ack_batch(&self, out: &mut Vec<Self::Ack>, max: usize) -> usize;
+
+    /// Non-blocking pull from the worker lifecycle topic.
+    fn try_pull_lifecycle(&self) -> Option<Self::Lifecycle>;
+
+    /// Publish a dispatch for `shard`. A transport with per-worker
+    /// backpressure may park it in a pending queue until a serving
+    /// worker has window credit — delivery order within a shard is
+    /// preserved, delivery time is not guaranteed.
+    fn publish_dispatch(&self, shard: usize, dispatch: Self::Dispatch);
+
+    /// Broadcast a workflow announcement to current and future workers.
+    /// Called by the master after registering the workflow, before any
+    /// of its jobs are dispatched.
+    fn announce(&self, announce: Self::Announce);
+
+    /// True once the ack side is shut down and drained — the master's
+    /// run-forever exit condition.
+    fn ack_closed(&self) -> bool;
+}
+
+/// A worker daemon's view of the fabric: the other end of [`Transport`].
+pub trait WorkerTransport: Send + Sync + 'static {
+    /// Job dispatch payload (master → this worker).
+    type Dispatch: Send;
+    /// Job acknowledgment payload (this worker → master).
+    type Ack: Send;
+    /// Worker lifecycle payload (this worker → master).
+    type Lifecycle: Send;
+
+    /// Blocking pull of the next dispatch, bounded by `timeout`.
+    fn pull_dispatch(&self, timeout: Duration) -> Option<Self::Dispatch>;
+
+    /// True once the dispatch side is shut down and drained — the
+    /// worker's exit condition.
+    fn dispatch_closed(&self) -> bool;
+
+    /// Hand back a pulled-but-unstarted dispatch (a worker dying between
+    /// checkout and execution), so the fabric can redeliver it to
+    /// another worker — RabbitMQ's unacknowledged-redelivery semantics.
+    fn redeliver(&self, dispatch: Self::Dispatch);
+
+    /// Publish a job acknowledgment.
+    fn publish_ack(&self, ack: Self::Ack);
+
+    /// Publish a lifecycle announcement (register/heartbeat/drain).
+    fn publish_lifecycle(&self, msg: Self::Lifecycle);
+}

@@ -199,10 +199,7 @@ impl<E: EngineCore, F: Fn() -> E> Driver<'_, E, F> {
         debug_assert!(self.workers[w].slots_free > 0);
         self.workers[w].slots_free -= 1;
         self.events.push(Event::Started { job: (d.job.workflow.0, d.job.job.0) });
-        self.send_ack(
-            AckMsg { job: d.job, worker: w as u32, kind: AckKind::Running, attempt: d.attempt },
-            now,
-        );
+        self.send_ack(AckMsg::new(d.job, w as u32, AckKind::Running, d.attempt), now);
         let spec = &self.scenario.workflows[d.job.workflow.index()].jobs[d.job.job.index()];
         // A stall freezes the worker: any job overlapping the window
         // finishes the whole stall later.
@@ -352,12 +349,7 @@ impl<E: EngineCore, F: Fn() -> E> Driver<'_, E, F> {
                     });
                 }
                 self.send_ack(
-                    AckMsg {
-                        job: dispatch.job,
-                        worker: worker as u32,
-                        kind,
-                        attempt: dispatch.attempt,
-                    },
+                    AckMsg::new(dispatch.job, worker as u32, kind, dispatch.attempt),
                     now,
                 );
             }

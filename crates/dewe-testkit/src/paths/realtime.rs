@@ -127,30 +127,31 @@ impl Fabric {
 
 fn master_config(scenario: &Scenario) -> MasterConfig {
     let lossy = scenario.chaos.is_lossy();
-    MasterConfig {
-        // Jobs execute instantly, so a timeout only ever fires when a
-        // message was actually lost; lossy scenarios get tight deadlines
-        // so recovery converges within the watchdog, loss-free ones get
-        // deadlines no healthy run can hit.
-        default_timeout_secs: if lossy { 0.3 } else { 30.0 },
-        checkout_timeout_secs: lossy.then_some(0.25),
-        retry: RetryPolicy {
+    // Jobs execute instantly, so a timeout only ever fires when a
+    // message was actually lost; lossy scenarios get tight deadlines
+    // so recovery converges within the watchdog, loss-free ones get
+    // deadlines no healthy run can hit.
+    let mut cfg = MasterConfig::builder()
+        .default_timeout_secs(if lossy { 0.3 } else { 30.0 })
+        .retry(RetryPolicy {
             max_attempts: scenario.max_attempts,
             backoff_base_secs: if scenario.backoff_base_secs > 0.0 { 0.002 } else { 0.0 },
             backoff_factor: 2.0,
             backoff_max_secs: 0.05,
             jitter_frac: 0.0,
             seed: scenario.seed,
-        },
-        timeout_scan_interval: Duration::from_millis(5),
-        expected_workflows: Some(scenario.workflows.len()),
+        })
+        .timeout_scan_interval(Duration::from_millis(5))
+        .expected_workflows(scenario.workflows.len())
         // Sharded scenarios run a sharded master over the *un-sharded*
         // bus: every shard's dispatches fall back to the shared topic, so
         // the same worker pool serves all shards (see
         // `MessageBus::dispatch_topic`).
-        shards: scenario.shards,
-        ..MasterConfig::default()
+        .shards(scenario.shards);
+    if lossy {
+        cfg = cfg.checkout_timeout_secs(0.25);
     }
+    cfg.build()
 }
 
 /// Execute the scenario through the threaded realtime stack.
@@ -367,30 +368,43 @@ fn run_faulted(scenario: &Scenario) -> PathOutcome {
     // and the checkout deadline (death between pull and Running ack),
     // with the job timeout as a distant backstop.
     let lossy = scenario.chaos.is_lossy();
-    let master_config = MasterConfig {
-        default_timeout_secs: if lossy { 1.0 } else { 5.0 },
-        checkout_timeout_secs: Some(if lossy { 0.25 } else { 1.0 }),
-        retry: RetryPolicy {
-            max_attempts: None,
-            backoff_base_secs: 0.0,
-            backoff_factor: 2.0,
-            backoff_max_secs: 0.05,
-            jitter_frac: 0.0,
-            seed: scenario.seed,
-        },
-        timeout_scan_interval: Duration::from_millis(5),
-        expected_workflows: Some(scenario.workflows.len()),
-        shards: scenario.shards,
-        threads: if scenario.parallel && scenario.shards > 1 { scenario.shards } else { 0 },
-        journal_path: journal_path.clone(),
-        journal_commit,
-        journal_compact_threshold,
-        lease_secs: Some(FAULT_LEASE_SECS),
-        ..MasterConfig::default()
+    let mk_master_config = {
+        let journal_path = journal_path.clone();
+        let n_workflows = scenario.workflows.len();
+        let shards = scenario.shards;
+        let threads = if scenario.parallel && scenario.shards > 1 { scenario.shards } else { 0 };
+        let seed = scenario.seed;
+        move |recover: bool| {
+            let mut cfg = MasterConfig::builder()
+                .default_timeout_secs(if lossy { 1.0 } else { 5.0 })
+                .checkout_timeout_secs(if lossy { 0.25 } else { 1.0 })
+                .retry(RetryPolicy {
+                    max_attempts: None,
+                    backoff_base_secs: 0.0,
+                    backoff_factor: 2.0,
+                    backoff_max_secs: 0.05,
+                    jitter_frac: 0.0,
+                    seed,
+                })
+                .timeout_scan_interval(Duration::from_millis(5))
+                .expected_workflows(n_workflows)
+                .shards(shards)
+                .threads(threads)
+                .journal_commit(journal_commit)
+                .lease_secs(FAULT_LEASE_SECS)
+                .recover(recover);
+            if let Some(p) = journal_path.clone() {
+                cfg = cfg.journal_path(p);
+            }
+            if let Some(t) = journal_compact_threshold {
+                cfg = cfg.journal_compact_threshold(t);
+            }
+            cfg.build()
+        }
     };
 
     let mut master: Option<MasterHandle> =
-        Some(spawn_master(fabric.master_bus().clone(), registry.clone(), master_config.clone()));
+        Some(spawn_master(fabric.master_bus().clone(), registry.clone(), mk_master_config(false)));
     let mut workers: Vec<Option<WorkerHandle>> = (0..scenario.workers)
         .map(|w| {
             Some(spawn_worker(
@@ -455,7 +469,7 @@ fn run_faulted(scenario: &Scenario) -> PathOutcome {
                         master = Some(spawn_master(
                             fabric.master_bus().clone(),
                             registry.clone(),
-                            MasterConfig { recover: true, ..master_config.clone() },
+                            mk_master_config(true),
                         ));
                     }
                 }

@@ -33,12 +33,11 @@ fn main() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig {
-            default_timeout_secs: 1.0, // aggressive, to keep the demo short
-            timeout_scan_interval: Duration::from_millis(25),
-            expected_workflows: Some(1),
-            ..MasterConfig::default()
-        },
+        MasterConfig::builder()
+            .default_timeout_secs(1.0) // aggressive, to keep the demo short
+            .timeout_scan_interval(Duration::from_millis(25))
+            .expected_workflows(1)
+            .build(),
     );
     let runner = Arc::new(SleepRunner::new(0.001)); // 100 cpu-sec -> 100 ms
 

@@ -34,7 +34,7 @@ fn main() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig { expected_workflows: Some(2), ..MasterConfig::default() },
+        MasterConfig::builder().expected_workflows(2).build(),
     );
     let runner = Arc::new(SleepRunner::new(0.001)); // 1 ms per CPU-second
     let workers: Vec<_> = (0..2)

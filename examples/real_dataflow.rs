@@ -36,7 +36,7 @@ fn main() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig { expected_workflows: Some(1), ..MasterConfig::default() },
+        MasterConfig::builder().expected_workflows(1).build(),
     );
     let workers: Vec<_> = (0..4)
         .map(|id| {

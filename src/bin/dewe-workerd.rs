@@ -1,0 +1,169 @@
+//! `dewe-workerd` — the networked worker daemon.
+//!
+//! Connects to a `dewe-masterd`, mirrors announced workflows into a
+//! local registry, and runs the same slot/heartbeat loops the in-process
+//! worker uses. Jobs execute through a pluggable runner selected on the
+//! command line. The daemon exits when the master says the ensemble is
+//! done (Bye); if the master crashes, the link keeps reconnecting and
+//! rides out the restart.
+//!
+//! ```text
+//! dewe-workerd --master <addr> [--id N] [--generation N] [--slots N]
+//!              [--window N] [--shard N] [--heartbeat S]
+//!              [--runner noop|sleep:<scale>|cpu:<scale>]
+//! ```
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dewe::core::realtime::{
+    spawn_worker_on, CpuRunner, JobRunner, NoopRunner, Registry, SleepRunner, TcpWorkerLink,
+    TcpWorkerOptions, WorkerConfig,
+};
+
+struct Args {
+    master: String,
+    id: u32,
+    generation: u32,
+    slots: usize,
+    window: Option<u32>,
+    shard: Option<u32>,
+    heartbeat: Option<f64>,
+    runner: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        master: String::new(),
+        id: 0,
+        generation: 0,
+        slots: 4,
+        window: None,
+        shard: None,
+        heartbeat: None,
+        runner: "sleep:1.0".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 2;
+        argv.get(*i - 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--master" => args.master = value(&mut i, "--master")?,
+            "--id" => args.id = value(&mut i, "--id")?.parse().map_err(|_| "bad --id")?,
+            "--generation" => {
+                args.generation =
+                    value(&mut i, "--generation")?.parse().map_err(|_| "bad --generation")?
+            }
+            "--slots" => {
+                args.slots = value(&mut i, "--slots")?.parse().map_err(|_| "bad --slots")?
+            }
+            "--window" => {
+                args.window = Some(value(&mut i, "--window")?.parse().map_err(|_| "bad --window")?)
+            }
+            "--shard" => {
+                args.shard = Some(value(&mut i, "--shard")?.parse().map_err(|_| "bad --shard")?)
+            }
+            "--heartbeat" => {
+                args.heartbeat =
+                    Some(value(&mut i, "--heartbeat")?.parse().map_err(|_| "bad --heartbeat")?)
+            }
+            "--runner" => args.runner = value(&mut i, "--runner")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.master.is_empty() {
+        return Err("--master <addr> is required".into());
+    }
+    Ok(args)
+}
+
+fn make_runner(spec: &str) -> Result<Arc<dyn JobRunner>, String> {
+    if spec == "noop" {
+        return Ok(Arc::new(NoopRunner));
+    }
+    if let Some(scale) = spec.strip_prefix("sleep:") {
+        let scale: f64 = scale.parse().map_err(|_| format!("bad sleep scale in {spec}"))?;
+        return Ok(Arc::new(SleepRunner::new(scale)));
+    }
+    if let Some(scale) = spec.strip_prefix("cpu:") {
+        let scale: f64 = scale.parse().map_err(|_| format!("bad cpu scale in {spec}"))?;
+        return Ok(Arc::new(CpuRunner::new(scale)));
+    }
+    Err(format!("unknown runner {spec} (expected noop, sleep:<scale>, cpu:<scale>)"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("dewe-workerd: {msg}");
+            eprintln!(
+                "usage: dewe-workerd --master <addr> [--id N] [--generation N] [--slots N] \
+                 [--window N] [--shard N] [--heartbeat S] [--runner noop|sleep:S|cpu:S]"
+            );
+            exit(2);
+        }
+    };
+    let runner = match make_runner(&args.runner) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("dewe-workerd: {msg}");
+            exit(2);
+        }
+    };
+
+    let registry = Registry::new();
+    // Window default: enough credit to keep every slot busy with one
+    // dispatch queued behind it.
+    let window = args.window.unwrap_or((args.slots as u32).saturating_mul(2).max(1));
+    let link = match TcpWorkerLink::connect(
+        &args.master,
+        registry.clone(),
+        TcpWorkerOptions {
+            worker_id: args.id,
+            generation: args.generation,
+            shard: args.shard,
+            window,
+            ..TcpWorkerOptions::default()
+        },
+    ) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dewe-workerd: connect {}: {e}", args.master);
+            exit(1);
+        }
+    };
+    println!("dewe-workerd: worker {} (gen {}) serving {}", args.id, args.generation, args.master);
+
+    let handle = spawn_worker_on(
+        Arc::new(link.clone()),
+        registry,
+        runner,
+        WorkerConfig {
+            worker_id: args.id,
+            generation: args.generation,
+            slots: args.slots,
+            shard: args.shard.map(|s| s as usize),
+            heartbeat_interval: args.heartbeat.map(Duration::from_secs_f64),
+            ..WorkerConfig::default()
+        },
+    );
+
+    // Run until the master announces completion; slot loops then see the
+    // closed dispatch topic and exit on their own.
+    while !link.master_said_bye() && !link_closed(&link) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let executed = handle.stop();
+    link.close();
+    println!("dewe-workerd: worker {} done — {executed} jobs executed", args.id);
+}
+
+fn link_closed(link: &TcpWorkerLink) -> bool {
+    use dewe::mq::WorkerTransport;
+    link.dispatch_closed()
+}

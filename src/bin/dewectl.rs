@@ -12,6 +12,7 @@
 //! dewectl simulate <file> [--nodes N] [--type c3.8xlarge] [--workflows W]
 //!                         [--interval S] [--trace out.json]
 //! dewectl ensemble <manifest>                run a whole campaign manifest
+//! dewectl submit   <host:port> <file> [--count N]   submit to a dewe-masterd
 //! ```
 //!
 //! Workflow files use the DAGMan-style text format (`.dag`) or Pegasus DAX
@@ -38,9 +39,10 @@ fn main() {
         Some("gen") => generate(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("ensemble") => ensemble(&args[1..]),
+        Some("submit") => submit(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dewectl <inspect|convert|dot|gen|simulate|ensemble> ... (see crate docs)"
+                "usage: dewectl <inspect|convert|dot|gen|simulate|ensemble|submit> ... (see crate docs)"
             );
             exit(2);
         }
@@ -188,6 +190,30 @@ fn generate(args: &[String]) -> Result<(), String> {
         }
         _ => return Err("gen <montage|ligo|cybershake|epigenomics|sipht> ...".into()),
     }
+    Ok(())
+}
+
+fn submit(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("submit needs <host:port> <file> [--count N]")?;
+    let path = args.get(1).ok_or("submit needs <host:port> <file> [--count N]")?;
+    let mut count = 1usize;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--count" => {
+                count = args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--count N")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let wf = load(path)?;
+    for n in 0..count {
+        let name = if count == 1 { wf.name().to_string() } else { format!("{}-{n}", wf.name()) };
+        dewe::core::realtime::submit_over_tcp(addr.as_str(), name, &wf)
+            .map_err(|e| format!("submit to {addr}: {e}"))?;
+    }
+    println!("submitted {count} x {} ({} jobs each) to {addr}", wf.name(), wf.job_count());
     Ok(())
 }
 

@@ -38,7 +38,7 @@
 //! let bus = MessageBus::new();
 //! let registry = Registry::new();
 //! let master = spawn_master(bus.clone(), registry.clone(),
-//!     MasterConfig { expected_workflows: Some(1), ..Default::default() });
+//!     MasterConfig::builder().expected_workflows(1).build());
 //! let worker = spawn_worker(bus.clone(), registry, Arc::new(NoopRunner),
 //!     WorkerConfig::default());
 //! submit(&bus, "demo", Arc::new(MontageConfig::degree(0.5).build()));

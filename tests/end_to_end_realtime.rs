@@ -29,7 +29,7 @@ fn montage_ensemble_runs_to_completion() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig { expected_workflows: Some(3), ..MasterConfig::default() },
+        MasterConfig::builder().expected_workflows(3).build(),
     );
     let workers: Vec<_> = (0..3)
         .map(|id| {
@@ -65,7 +65,7 @@ fn mixed_application_ensemble() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig { expected_workflows: Some(5), ..MasterConfig::default() },
+        MasterConfig::builder().expected_workflows(5).build(),
     );
     let worker = spawn_worker(
         bus.clone(),
@@ -103,12 +103,11 @@ fn worker_crash_recovery_end_to_end() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig {
-            default_timeout_secs: 0.3,
-            timeout_scan_interval: Duration::from_millis(20),
-            expected_workflows: Some(1),
-            ..MasterConfig::default()
-        },
+        MasterConfig::builder()
+            .default_timeout_secs(0.3)
+            .timeout_scan_interval(Duration::from_millis(20))
+            .expected_workflows(1)
+            .build(),
     );
     let w1 = spawn_worker(
         bus.clone(),
@@ -147,7 +146,7 @@ fn real_file_dataflow_produces_final_output() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig { expected_workflows: Some(1), ..MasterConfig::default() },
+        MasterConfig::builder().expected_workflows(1).build(),
     );
     let worker = spawn_worker(
         bus.clone(),
@@ -185,7 +184,7 @@ fn results_identical_across_cluster_configurations() {
         let master = spawn_master(
             bus.clone(),
             registry.clone(),
-            MasterConfig { expected_workflows: Some(1), ..MasterConfig::default() },
+            MasterConfig::builder().expected_workflows(1).build(),
         );
         let handles: Vec<_> = (0..workers)
             .map(|id| {
@@ -220,7 +219,7 @@ fn late_submission_is_served() {
     let master = spawn_master(
         bus.clone(),
         registry.clone(),
-        MasterConfig { expected_workflows: Some(2), ..MasterConfig::default() },
+        MasterConfig::builder().expected_workflows(2).build(),
     );
     let worker = spawn_worker(
         bus.clone(),

@@ -547,7 +547,7 @@ mod tests {
 
         #[test]
         fn oneof_covers_alternatives(v in prop::collection::vec(
-            prop_oneof![Just(0u8), Just(1u8), (2u8..4)], 64)
+            prop_oneof![Just(0u8), Just(1u8), 2u8..4], 64)
         ) {
             prop_assert!(v.iter().all(|&x| x < 4u8));
         }
