@@ -10,6 +10,7 @@
 //! hotpath [--quick] [--shards <n>] [--threads <n>] [--out <path>]
 //!         [--check <baseline.json>] [--paper-ensemble]
 //!         [--paper-workflows <n>] [--max-paper-rss-mb <mb>]
+//!         [--timer-backend <heap|wheel>] [--dispatch-batch <on|off>]
 //! ```
 //!
 //! `--quick` shrinks the run (5 workflows, 3 reps) for smoke testing;
@@ -33,6 +34,22 @@
 //! in the report's `shard_sweep` array plus the shards=4 parallel/
 //! sequential ratio as `parallel_speedup_shards_4`.
 //!
+//! `--timer-backend <heap|wheel>` selects the engine's deadline-timer
+//! backend for the headline runs (wheel, the engine default, unless
+//! overridden). Every run additionally measures the tracked workload
+//! under *both* backends and records the A/B in a `timer_backend`
+//! report section; with `--check` (or `--paper-ensemble`) the wheel
+//! falling more than 5% below the heap on the same machine in the same
+//! process fails the run — the wheel only stays the default while it
+//! earns it.
+//!
+//! `--dispatch-batch <on|off>` (default on) gates the wire-pipeline
+//! exercise: dispatches published over loopback TCP through the real
+//! `TcpMaster`/`TcpWorkerLink` pair, once per-frame and once coalesced
+//! into `DispatchBatch` frames, recorded in a `dispatch_batch` section
+//! with the batched/single throughput ratio. `off` skips the batched
+//! half (the section then records the per-frame path only).
+//!
 //! `--check <baseline.json>` turns the run into a regression gate: after
 //! measuring, compare against the `jobs_per_sec` recorded in the baseline
 //! file and exit non-zero if throughput fell more than 20% below it. The
@@ -44,11 +61,15 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dewe_core::realtime::{LivenessTable, MasterStats};
+use dewe_core::realtime::{
+    LivenessTable, MasterStats, Registry, TcpMaster, TcpMasterOptions, TcpWorkerLink,
+    TcpWorkerOptions,
+};
 use dewe_core::sim::{run_ensemble, run_ensemble_sharded, SimRunConfig};
-use dewe_core::{AckKind, AckMsg, LifecycleKind, LifecycleMsg};
+use dewe_core::{AckKind, AckMsg, DispatchMsg, LifecycleKind, LifecycleMsg, TimerBackend};
 use dewe_dag::{EnsembleJobId, JobId, Workflow, WorkflowId};
 use dewe_montage::MontageConfig;
+use dewe_mq::{Transport, WorkerTransport};
 use dewe_simcloud::{ClusterConfig, StorageConfig, C3_8XLARGE};
 
 struct Config {
@@ -64,6 +85,8 @@ struct Config {
     paper: bool,
     paper_workflows: usize,
     max_paper_rss_mb: Option<f64>,
+    timer_backend: TimerBackend,
+    dispatch_batch: bool,
 }
 
 fn parse_args() -> Config {
@@ -75,6 +98,8 @@ fn parse_args() -> Config {
     let mut paper = false;
     let mut paper_workflows = 200usize;
     let mut max_paper_rss_mb = None;
+    let mut timer_backend = TimerBackend::default();
+    let mut dispatch_batch = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -107,6 +132,26 @@ fn parse_args() -> Config {
                 }))
             }
             "--paper-ensemble" => paper = true,
+            "--timer-backend" => {
+                timer_backend = match args.next().as_deref() {
+                    Some("heap") => TimerBackend::Heap,
+                    Some("wheel") => TimerBackend::Wheel,
+                    _ => {
+                        eprintln!("--timer-backend requires `heap` or `wheel`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--dispatch-batch" => {
+                dispatch_batch = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => {
+                        eprintln!("--dispatch-batch requires `on` or `off`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--paper-workflows" => {
                 paper_workflows =
                     args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
@@ -132,7 +177,8 @@ fn parse_args() -> Config {
                     "unknown argument `{other}`\n\
                      usage: hotpath [--quick] [--shards <n>] [--threads <n>] [--out <path>] \
                      [--check <baseline.json>] [--paper-ensemble] [--paper-workflows <n>] \
-                     [--max-paper-rss-mb <mb>]"
+                     [--max-paper-rss-mb <mb>] [--timer-backend <heap|wheel>] \
+                     [--dispatch-batch <on|off>]"
                 );
                 std::process::exit(2);
             }
@@ -163,6 +209,8 @@ fn parse_args() -> Config {
         paper,
         paper_workflows,
         max_paper_rss_mb,
+        timer_backend,
+        dispatch_batch,
     }
 }
 
@@ -233,6 +281,32 @@ fn best_jobs_per_sec(
         best = best.min(secs);
     }
     (best, total_jobs as f64 / best)
+}
+
+/// Interleaved heap/wheel A/B: alternate single reps of each backend and
+/// take each side's best, so a CPU-frequency window shift on a shared
+/// runner biases both measurements equally. Running all of one backend's
+/// reps before the other's lets a mid-A/B window change fake a >5% gap
+/// and flake the wheel gate. Returns `(heap_jps, wheel_jps)`.
+fn ab_timer_backends(
+    ensemble: &[Arc<Workflow>],
+    total_jobs: usize,
+    sim: &SimRunConfig,
+    sharded: bool,
+    reps: usize,
+) -> (f64, f64) {
+    let mut heap_cfg = sim.clone();
+    heap_cfg.timer_backend = TimerBackend::Heap;
+    let mut wheel_cfg = sim.clone();
+    wheel_cfg.timer_backend = TimerBackend::Wheel;
+    let (mut heap_jps, mut wheel_jps) = (0.0f64, 0.0f64);
+    for _ in 0..reps {
+        let (_, h) = best_jobs_per_sec(ensemble, total_jobs, &heap_cfg, sharded, 1);
+        let (_, w) = best_jobs_per_sec(ensemble, total_jobs, &wheel_cfg, sharded, 1);
+        heap_jps = heap_jps.max(h);
+        wheel_jps = wheel_jps.max(w);
+    }
+    (heap_jps, wheel_jps)
 }
 
 /// Exercise the master's fault plane at volume: the [`LivenessTable`]
@@ -312,6 +386,73 @@ fn fault_plane_exercise(rounds: usize) -> (u64, f64, MasterStats) {
     (ops, ops as f64 / secs, table.stats())
 }
 
+/// End-to-end wire dispatch throughput over loopback TCP: the real
+/// `TcpMaster`/`TcpWorkerLink` pair, `jobs` unique dispatches published
+/// in runs of `run_len` (1 = the per-frame path, > 1 the coalesced
+/// `DispatchBatch` path), a worker thread acknowledging each as
+/// completed, and the master draining the acks. The send-window credit
+/// machinery paces everything — runs longer than the free window park
+/// in the pending queue and flow per refund, exactly the production
+/// pipeline. Returns round-trip jobs per second.
+fn wire_dispatch_exercise(jobs: usize, run_len: usize) -> f64 {
+    let master =
+        TcpMaster::bind("127.0.0.1:0", TcpMasterOptions::default()).expect("bind loopback master");
+    let link = TcpWorkerLink::connect(
+        master.local_addr(),
+        Registry::new(),
+        TcpWorkerOptions { worker_id: 0, window: 256, ..TcpWorkerOptions::default() },
+    )
+    .expect("connect loopback worker");
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while master.worker_conns() == 0 {
+        assert!(Instant::now() < deadline, "worker link never registered");
+        std::thread::yield_now();
+    }
+    let worker = std::thread::spawn(move || {
+        let mut seen = 0usize;
+        while seen < jobs {
+            if let Some(d) = link.pull_dispatch(std::time::Duration::from_secs(10)) {
+                link.publish_ack(AckMsg::new(d.job, 0, AckKind::Completed, d.attempt));
+                seen += 1;
+            }
+        }
+        link
+    });
+    let job =
+        |i: usize| EnsembleJobId::new(WorkflowId((i >> 20) as u32), JobId(i as u32 & 0xFFFFF));
+    let start = Instant::now();
+    let mut run: Vec<DispatchMsg> = Vec::with_capacity(run_len);
+    let mut sent = 0usize;
+    while sent < jobs {
+        let n = run_len.min(jobs - sent);
+        if n == 1 {
+            master.publish_dispatch(0, DispatchMsg::new(job(sent), 1));
+        } else {
+            run.extend((sent..sent + n).map(|i| DispatchMsg::new(job(i), 1)));
+            master.publish_dispatch_batch(0, &mut run);
+        }
+        sent += n;
+    }
+    let mut acked = 0usize;
+    while acked < jobs {
+        assert!(
+            master.pull_ack(std::time::Duration::from_secs(10)).is_some(),
+            "wire exercise stalled at {acked}/{jobs} acks"
+        );
+        acked += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let link = worker.join().expect("worker thread");
+    link.close();
+    master.shutdown();
+    jobs as f64 / secs
+}
+
+/// Maximum tolerated wheel-vs-heap shortfall measured A/B in the same
+/// process: the wheel is the default backend and must stay within 5% of
+/// the heap (it is expected to *beat* it; the margin absorbs noise).
+const WHEEL_REGRESSION_TOLERANCE: f64 = 0.05;
+
 fn main() {
     let cfg = parse_args();
     let montage = MontageConfig::degree(cfg.degree);
@@ -334,6 +475,7 @@ fn main() {
     let mut sim = SimRunConfig::new(cluster);
     sim.shards = cfg.shards;
     sim.threads = cfg.threads;
+    sim.timer_backend = cfg.timer_backend;
     let measure = |sim: &SimRunConfig| {
         if sim.shards > 1 {
             run_ensemble_sharded(&ensemble, sim)
@@ -439,6 +581,68 @@ fn main() {
         );
     }
 
+    // Timer-backend A/B: the tracked workload under both deadline-timer
+    // backends, same process, same machine. The wheel is the default and
+    // is gated (with --check or --paper-ensemble) to stay within
+    // WHEEL_REGRESSION_TOLERANCE of the heap.
+    let ab_reps = if cfg.quick { 3 } else { 5 };
+    let (heap_jps, wheel_jps) =
+        ab_timer_backends(&ensemble, total_jobs, &sim, sim.shards > 1, ab_reps);
+    eprintln!(
+        "timer backends: heap {heap_jps:.0} jobs/s, wheel {wheel_jps:.0} jobs/s \
+         (wheel/heap {:.3})",
+        wheel_jps / heap_jps
+    );
+    let timer_json = format!(
+        ",\n  \"timer_backend\": {{\n    \"selected\": \"{}\",\n    \
+         \"ab_reps\": {ab_reps},\n    \
+         \"heap_jobs_per_sec\": {heap_jps:.1},\n    \
+         \"wheel_jobs_per_sec\": {wheel_jps:.1},\n    \
+         \"wheel_over_heap\": {:.4}\n  }}",
+        match cfg.timer_backend {
+            TimerBackend::Heap => "heap",
+            TimerBackend::Wheel => "wheel",
+        },
+        wheel_jps / heap_jps,
+    );
+    let mut wheel_failure = None;
+    if (cfg.check.is_some() || cfg.paper)
+        && wheel_jps < heap_jps * (1.0 - WHEEL_REGRESSION_TOLERANCE)
+    {
+        wheel_failure = Some((wheel_jps, heap_jps));
+    }
+
+    // Wire-pipeline exercise: the same dispatch volume through the real
+    // loopback TCP runtime, per-frame vs coalesced DispatchBatch runs.
+    let wire_jobs = if cfg.quick { 20_000 } else { 50_000 };
+    const WIRE_RUN_LEN: usize = 64;
+    let single_wire_jps = wire_dispatch_exercise(wire_jobs, 1);
+    let batched_wire_jps = if cfg.dispatch_batch {
+        Some(wire_dispatch_exercise(wire_jobs, WIRE_RUN_LEN))
+    } else {
+        None
+    };
+    match batched_wire_jps {
+        Some(batched) => eprintln!(
+            "wire dispatch: single {single_wire_jps:.0} jobs/s, batched(x{WIRE_RUN_LEN}) \
+             {batched:.0} jobs/s ({:.2}x)",
+            batched / single_wire_jps
+        ),
+        None => {
+            eprintln!("wire dispatch: single {single_wire_jps:.0} jobs/s (batched path disabled)")
+        }
+    }
+    let wire_json = format!(
+        ",\n  \"dispatch_batch\": {{\n    \"enabled\": {},\n    \
+         \"wire_jobs\": {wire_jobs},\n    \"run_len\": {WIRE_RUN_LEN},\n    \
+         \"single_jobs_per_sec\": {single_wire_jps:.1},\n    \
+         \"batched_jobs_per_sec\": {},\n    \"batched_over_single\": {}\n  }}",
+        cfg.dispatch_batch,
+        batched_wire_jps.map_or_else(|| String::from("null"), |v| format!("{v:.1}")),
+        batched_wire_jps
+            .map_or_else(|| String::from("null"), |v| format!("{:.4}", v / single_wire_jps)),
+    );
+
     // The paper's headline scale: 200 x Montage 6.0deg = 1,717,200 jobs on
     // forty c3.8xlarge nodes (1,280 vCPUs), measured sequentially and
     // through the parallel shards=4 runner, with the process's peak RSS
@@ -477,9 +681,29 @@ fn main() {
         let mut s = SimRunConfig::new(paper_cluster);
         s.shards = 1;
         s.threads = 1;
+        s.timer_backend = cfg.timer_backend;
         let (seq_wall, seq_jps) =
             best_jobs_per_sec(&paper_ensemble, paper_jobs, &s, false, PAPER_REPS);
         eprintln!("  sequential shards=1: {seq_wall:.3}s ({seq_jps:.0} jobs/s)");
+        // Paper-scale timer A/B: the wheel's headline claim is made at
+        // this job volume, so it is also gated here, against a heap run
+        // from the same process. Reps interleave per backend; the
+        // headline run above folds in as one more rep of its backend.
+        let (mut heap_seq_jps, mut wheel_seq_jps) =
+            ab_timer_backends(&paper_ensemble, paper_jobs, &s, false, PAPER_REPS);
+        match cfg.timer_backend {
+            TimerBackend::Heap => heap_seq_jps = heap_seq_jps.max(seq_jps),
+            TimerBackend::Wheel => wheel_seq_jps = wheel_seq_jps.max(seq_jps),
+        }
+        eprintln!(
+            "  sequential timer A/B: heap {heap_seq_jps:.0} jobs/s, wheel {wheel_seq_jps:.0} \
+             jobs/s (wheel/heap {:.3})",
+            wheel_seq_jps / heap_seq_jps
+        );
+        if wheel_seq_jps < heap_seq_jps * (1.0 - WHEEL_REGRESSION_TOLERANCE) {
+            wheel_failure = Some((wheel_seq_jps, heap_seq_jps));
+        }
+        s.timer_backend = cfg.timer_backend;
         s.shards = 4;
         s.threads = 0;
         let (par_wall, par_jps) =
@@ -497,6 +721,8 @@ fn main() {
              \"vcpus_total\": {vcpus},\n    \"reps\": {PAPER_REPS},\n    \
              \"sequential_best_wall_secs\": {seq_wall:.6},\n    \
              \"jobs_per_sec\": {seq_jps:.1},\n    \
+             \"sequential_heap_jobs_per_sec\": {heap_seq_jps:.1},\n    \
+             \"sequential_wheel_jobs_per_sec\": {wheel_seq_jps:.1},\n    \
              \"parallel_shards_4_jobs_per_sec\": {par_jps:.1},\n    \
              \"peak_rss_mb\": {rss_str}\n  }}",
             workflows = cfg.paper_workflows,
@@ -574,10 +800,12 @@ fn main() {
     "jobs_completed": {completed},
     "resubmissions": {resub},
     "duplicate_completions": {dups}
-  }}{fault}{sweep}{paper}
+  }}{fault}{timer}{wire}{sweep}{paper}
 }}
 "#,
         fault = fault_json,
+        timer = timer_json,
+        wire = wire_json,
         mode = if cfg.quick { "quick" } else { "full" },
         shards = cfg.shards,
         eff_shards = last.effective_shards,
@@ -610,6 +838,15 @@ fn main() {
 
     if let Some((mb, ceiling)) = rss_failure {
         eprintln!("FAIL: peak RSS {mb:.1} MiB exceeds ceiling {ceiling:.1} MiB");
+        std::process::exit(1);
+    }
+
+    if let Some((wheel, heap)) = wheel_failure {
+        eprintln!(
+            "FAIL: wheel backend {wheel:.0} jobs/s fell more than {:.0}% below the heap's \
+             {heap:.0} jobs/s measured in the same process",
+            WHEEL_REGRESSION_TOLERANCE * 100.0
+        );
         std::process::exit(1);
     }
 

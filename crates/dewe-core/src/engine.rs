@@ -29,6 +29,7 @@ use std::sync::Arc;
 use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, JobState, Workflow, WorkflowId};
 
 use crate::protocol::{AckKind, AckMsg, DispatchMsg};
+use crate::wheel::DeadlineWheel;
 
 /// Default system-wide job timeout in seconds (paper §III.B: jobs have a
 /// user-defined or system-wide default timeout).
@@ -76,6 +77,27 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Which data structure tracks candidate deadlines (checkout timeouts and
+/// deferred-retry fire times).
+///
+/// Both backends share the same lazy-currency contract — entries are
+/// validated against the in-flight slab only when they surface — and
+/// produce **identical action streams** (the wheel sorts each scan's
+/// expired batch into the heap's pop order; proven by the heap-vs-wheel
+/// equivalence properties and the differential oracle). They differ only
+/// in cost: the heap pays `O(log n)` per push for ordering the engine
+/// rarely needs, the wheel files in `O(1)` and orders only what expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimerBackend {
+    /// `BinaryHeap<Reverse<DeadlineEntry>>` — the original backend, kept
+    /// selectable as the equivalence baseline.
+    Heap,
+    /// Hierarchical flat-array deadline wheel (see `wheel.rs` for the
+    /// layout and cascade math). The default.
+    #[default]
+    Wheel,
+}
+
 /// Engine-wide configuration and the one way to construct engines.
 ///
 /// `EngineConfig` doubles as a builder: chain setters off
@@ -103,6 +125,8 @@ pub struct EngineConfig {
     pub checkout_timeout_secs: Option<f64>,
     /// Retry budget and backoff schedule.
     pub retry: RetryPolicy,
+    /// Deadline-tracking data structure (default: the wheel).
+    pub timer_backend: TimerBackend,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +135,7 @@ impl Default for EngineConfig {
             default_timeout_secs: DEFAULT_TIMEOUT_SECS,
             checkout_timeout_secs: None,
             retry: RetryPolicy::default(),
+            timer_backend: TimerBackend::default(),
         }
     }
 }
@@ -137,6 +162,13 @@ impl EngineConfig {
         self
     }
 
+    /// Select the deadline-tracking backend (heap or wheel).
+    #[must_use]
+    pub fn timer_backend(mut self, backend: TimerBackend) -> Self {
+        self.timer_backend = backend;
+        self
+    }
+
     /// Validate the configuration and construct a single-threaded engine.
     ///
     /// # Panics
@@ -150,11 +182,15 @@ impl EngineConfig {
         EnsembleEngine {
             workflows: Vec::new(),
             lanes: InflightLanes::default(),
-            config: self,
             stats: EngineStats::default(),
             terminal_emitted: false,
-            deadlines: BinaryHeap::new(),
+            deadlines: match self.timer_backend {
+                TimerBackend::Heap => DeadlineTimer::Heap(BinaryHeap::new()),
+                TimerBackend::Wheel => DeadlineTimer::Wheel(DeadlineWheel::default()),
+            },
             scratch_ready: Vec::new(),
+            scratch_expired: Vec::new(),
+            config: self,
         }
     }
 
@@ -368,6 +404,12 @@ pub trait EngineCore {
     /// Append the current in-flight attempts (for recovery republishing).
     fn inflight_dispatches(&self, out: &mut Vec<DispatchMsg>);
 
+    /// Deadline-wheel cascade count summed across shards (0 under the
+    /// heap backend) — observability, not part of engine semantics.
+    fn timer_cascades(&self) -> u64 {
+        0
+    }
+
     /// Number of shards (1 for a single engine).
     fn shard_count(&self) -> usize {
         1
@@ -480,21 +522,23 @@ impl InflightLanes {
     }
 }
 
-/// A candidate deadline in the engine-wide min-heap: either a timeout for
-/// a checked-out job or the fire time of a backoff-deferred retry.
+/// A candidate deadline in the engine-wide timer (heap or wheel): either
+/// a timeout for a checked-out job or the fire time of a backoff-deferred
+/// retry.
 ///
 /// Entries are never removed eagerly: a Running re-ack, resubmission or
 /// completion simply leaves the old entry behind, and it is discarded at
 /// pop time when it no longer matches the in-flight slab (lazy
 /// invalidation). Ordering is ascending deadline with (workflow, job,
-/// attempt) tie-breaks so timeout scans emit in a deterministic order.
+/// attempt) tie-breaks so timeout scans emit in a deterministic order —
+/// both backends fire expired entries in exactly this order.
 #[derive(Debug, Clone, Copy)]
-struct DeadlineEntry {
-    deadline: f64,
-    job: EnsembleJobId,
-    attempt: u32,
-    /// Mirrors [`Inflight::deferred`]; part of the currency check.
-    deferred: bool,
+pub(crate) struct DeadlineEntry {
+    pub(crate) deadline: f64,
+    pub(crate) job: EnsembleJobId,
+    pub(crate) attempt: u32,
+    /// Mirrors the slab's `SLOT_DEFERRED` tag; part of the currency check.
+    pub(crate) deferred: bool,
 }
 
 impl PartialEq for DeadlineEntry {
@@ -522,6 +566,30 @@ impl Ord for DeadlineEntry {
     }
 }
 
+/// The engine-wide deadline tracker behind [`TimerBackend`]: same push /
+/// expire / earliest surface over either structure.
+enum DeadlineTimer {
+    Heap(BinaryHeap<Reverse<DeadlineEntry>>),
+    Wheel(DeadlineWheel),
+}
+
+impl DeadlineTimer {
+    #[inline]
+    fn push(&mut self, entry: DeadlineEntry) {
+        match self {
+            DeadlineTimer::Heap(heap) => heap.push(Reverse(entry)),
+            DeadlineTimer::Wheel(wheel) => wheel.push(entry),
+        }
+    }
+
+    fn cascades(&self) -> u64 {
+        match self {
+            DeadlineTimer::Heap(_) => 0,
+            DeadlineTimer::Wheel(wheel) => wheel.cascades(),
+        }
+    }
+}
+
 /// The DEWE v2 master daemon's DAG-management state machine.
 ///
 /// Constructed through the [`EngineConfig`] builder:
@@ -533,14 +601,17 @@ pub struct EnsembleEngine {
     config: EngineConfig,
     stats: EngineStats,
     terminal_emitted: bool,
-    /// Engine-wide min-heap of candidate deadlines, validated lazily
-    /// against the in-flight slab. Pushed on checkout (Running ack),
-    /// backoff deferral, and — when a checkout timeout is configured —
-    /// dispatch, so its size is bounded by recent protocol events, not by
-    /// total in-flight jobs.
-    deadlines: BinaryHeap<Reverse<DeadlineEntry>>,
+    /// Engine-wide tracker of candidate deadlines (heap or wheel per
+    /// [`EngineConfig::timer_backend`]), validated lazily against the
+    /// in-flight slab. Pushed on checkout (Running ack), backoff
+    /// deferral, and — when a checkout timeout is configured — dispatch,
+    /// so its size is bounded by recent protocol events, not by total
+    /// in-flight jobs.
+    deadlines: DeadlineTimer,
     /// Reusable buffer for draining tracker ready queues.
     scratch_ready: Vec<JobId>,
+    /// Reusable buffer for the wheel's per-scan expired batch.
+    scratch_expired: Vec<DeadlineEntry>,
 }
 
 /// splitmix64-style hash of (seed, workflow, job, attempt) mapped to
@@ -634,12 +705,12 @@ impl EnsembleEngine {
                     self.lanes.deadline[i] = deadline;
                     // Any earlier entry for this job is now stale and
                     // will be discarded lazily at pop time.
-                    self.deadlines.push(Reverse(DeadlineEntry {
+                    self.deadlines.push(DeadlineEntry {
                         deadline,
                         job: ack.job,
                         attempt: ack.attempt,
                         deferred: false,
-                    }));
+                    });
                 }
                 state.tracker.mark_running(job);
             }
@@ -726,12 +797,7 @@ impl EnsembleEngine {
         self.lanes.set(wf.index(), job.index(), deadline, attempt, false);
         let ens = EnsembleJobId::new(wf, job);
         if deadline.is_finite() {
-            self.deadlines.push(Reverse(DeadlineEntry {
-                deadline,
-                job: ens,
-                attempt,
-                deferred: false,
-            }));
+            self.deadlines.push(DeadlineEntry { deadline, job: ens, attempt, deferred: false });
         }
         self.stats.dispatches += 1;
         Action::Dispatch(DispatchMsg { job: ens, attempt })
@@ -801,12 +867,12 @@ impl EnsembleEngine {
                 // dispatch when it comes due.
                 let due = now + delay;
                 self.lanes.set(wf.index(), job.index(), due, next_attempt, true);
-                self.deadlines.push(Reverse(DeadlineEntry {
+                self.deadlines.push(DeadlineEntry {
                     deadline: due,
                     job: ens,
                     attempt: next_attempt,
                     deferred: true,
-                }));
+                });
                 self.stats.deferred_retries += 1;
             } else {
                 let action = self.dispatch_indexed(wf, job, next_attempt, now);
@@ -837,41 +903,103 @@ impl EnsembleEngine {
     /// deadline passed is republished so another worker can run it, and
     /// any backoff-deferred retry that came due is dispatched.
     ///
-    /// Pops the deadline heap only while the top entry has expired, so a
-    /// scan costs O(expired · log heap) — it never visits jobs whose
-    /// deadlines lie in the future, no matter how many are in flight.
+    /// Only entries whose deadline has expired are visited, no matter how
+    /// many are in flight: the heap pops while its top has expired
+    /// (O(expired · log heap)), the wheel drains the crossed slots and
+    /// sorts just the expired batch into the heap's pop order — the two
+    /// backends emit identical action streams.
     pub fn check_timeouts(&mut self, now: f64, actions: &mut Vec<Action>) {
-        while let Some(&Reverse(top)) = self.deadlines.peek() {
-            if top.deadline > now {
-                break;
-            }
-            self.deadlines.pop();
+        if matches!(self.deadlines, DeadlineTimer::Heap(_)) {
+            self.check_timeouts_heap(now, actions);
+        } else {
+            self.check_timeouts_wheel(now, actions);
+        }
+    }
+
+    fn check_timeouts_heap(&mut self, now: f64, actions: &mut Vec<Action>) {
+        loop {
+            let top = {
+                let DeadlineTimer::Heap(heap) = &mut self.deadlines else { unreachable!() };
+                match heap.peek() {
+                    Some(&Reverse(top)) if top.deadline <= now => {
+                        heap.pop();
+                        top
+                    }
+                    _ => break,
+                }
+            };
             if !self.lanes.entry_is_current(&top) {
                 continue; // superseded checkout, resubmission or completion
             }
-            let wf = top.job.workflow;
-            let job = top.job.job;
-            if top.deferred {
-                // A backoff-deferred retry came due: dispatch it now.
-                let action = self.dispatch_indexed(wf, job, top.attempt, now);
-                actions.push(action);
-            } else {
-                self.handle_attempt_failure(wf, job, top.attempt, now, actions);
+            self.fire_entry(&top, now, actions);
+        }
+    }
+
+    fn check_timeouts_wheel(&mut self, now: f64, actions: &mut Vec<Action>) {
+        let mut expired = std::mem::take(&mut self.scratch_expired);
+        // Processing an expired entry can file new deadlines (checkout
+        // timeouts, deferred retries); re-drain until quiescent so any
+        // that land at or before `now` fire in this scan, exactly as the
+        // heap's peek-pop loop would process them.
+        loop {
+            expired.clear();
+            {
+                let DeadlineTimer::Wheel(wheel) = &mut self.deadlines else { unreachable!() };
+                wheel.drain_expired(now, &mut expired);
             }
+            if expired.is_empty() {
+                break;
+            }
+            // The heap pops expired entries in full DeadlineEntry order;
+            // restore it over the wheel's slot-order batch.
+            expired.sort_unstable();
+            for entry in &expired {
+                if !self.lanes.entry_is_current(entry) {
+                    continue; // superseded checkout, resubmission or completion
+                }
+                self.fire_entry(entry, now, actions);
+            }
+        }
+        self.scratch_expired = expired;
+    }
+
+    /// Process one expired, still-current deadline entry.
+    fn fire_entry(&mut self, entry: &DeadlineEntry, now: f64, actions: &mut Vec<Action>) {
+        let wf = entry.job.workflow;
+        let job = entry.job.job;
+        if entry.deferred {
+            // A backoff-deferred retry came due: dispatch it now.
+            let action = self.dispatch_indexed(wf, job, entry.attempt, now);
+            actions.push(action);
+        } else {
+            self.handle_attempt_failure(wf, job, entry.attempt, now, actions);
         }
     }
 
     /// Earliest pending deadline — job timeout or deferred-retry fire
     /// time — if any (lets drivers sleep precisely instead of polling).
-    /// Amortized O(1): stale heap entries are pruned as they surface.
+    /// Amortized O(1): stale entries are pruned as they surface (heap
+    /// top, wheel minimum-slot scan).
     pub fn next_deadline(&mut self) -> Option<f64> {
-        while let Some(&Reverse(top)) = self.deadlines.peek() {
-            if self.lanes.entry_is_current(&top) {
-                return Some(top.deadline);
+        let lanes = &self.lanes;
+        match &mut self.deadlines {
+            DeadlineTimer::Heap(heap) => {
+                while let Some(&Reverse(top)) = heap.peek() {
+                    if lanes.entry_is_current(&top) {
+                        return Some(top.deadline);
+                    }
+                    heap.pop();
+                }
+                None
             }
-            self.deadlines.pop();
+            DeadlineTimer::Wheel(wheel) => wheel.next_deadline(|e| lanes.entry_is_current(e)),
         }
-        None
+    }
+
+    /// Entries the deadline wheel re-filed coarse-to-fine while advancing
+    /// (0 under the heap backend) — cheap observability for dashboards.
+    pub fn timer_cascades(&self) -> u64 {
+        self.deadlines.cascades()
     }
 
     /// True once every submitted workflow has fully completed.
@@ -999,6 +1127,10 @@ impl EngineCore for EnsembleEngine {
 
     fn inflight_dispatches(&self, out: &mut Vec<DispatchMsg>) {
         EnsembleEngine::inflight_dispatches(self, out);
+    }
+
+    fn timer_cascades(&self) -> u64 {
+        EnsembleEngine::timer_cascades(self)
     }
 }
 

@@ -49,12 +49,15 @@
 mod engine;
 mod protocol;
 mod sharded;
+mod wheel;
 
 pub mod fault;
 pub mod realtime;
 pub mod sim;
 
-pub use engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
+pub use engine::{
+    Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy, TimerBackend,
+};
 pub use protocol::{
     AckKind, AckMsg, DispatchMsg, LifecycleKind, LifecycleMsg, SubmissionMsg, WireError, WireMsg,
     WorkflowAnnounce, PROTOCOL_VERSION,

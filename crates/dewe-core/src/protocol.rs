@@ -18,7 +18,10 @@ use std::sync::Arc;
 
 /// Wire protocol revision. Bump on any change to frame layouts; peers
 /// reject frames whose leading version byte differs from their own.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Revision 2 added the coalesced [`WireMsg::DispatchBatch`] frame — a
+/// v1 worker cannot parse it, so mixed fleets must fail the handshake,
+/// not mid-stream.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Workflow submission topic payload.
 ///
@@ -248,6 +251,7 @@ const T_RETURN: u8 = 0x06;
 const T_WORKFLOW: u8 = 0x81;
 const T_DISPATCH: u8 = 0x82;
 const T_BYE: u8 = 0x83;
+const T_DISPATCH_BATCH: u8 = 0x84;
 
 /// Every message the TCP runtime carries, in both directions. DAGs
 /// travel as their text format (`dewe_dag::write_workflow`), which the
@@ -295,6 +299,12 @@ pub enum WireMsg {
     },
     /// Job dispatch (master → worker).
     Dispatch(DispatchMsg),
+    /// A run of job dispatches that became eligible in the same master
+    /// poll cycle, coalesced into one frame (master → worker). The
+    /// worker executes them exactly as if they had arrived as that many
+    /// [`WireMsg::Dispatch`] frames in order; the batch spends one
+    /// window credit per contained dispatch.
+    DispatchBatch(Vec<DispatchMsg>),
     /// The master is done and will close the connection; the worker may
     /// exit instead of reconnecting.
     Bye,
@@ -353,6 +363,14 @@ impl WireMsg {
                 out.push(T_DISPATCH);
                 put_dispatch(&mut out, d);
             }
+            WireMsg::DispatchBatch(batch) => {
+                out.push(T_DISPATCH_BATCH);
+                out.reserve(4 + batch.len() * 12);
+                put_u32(&mut out, u32::try_from(batch.len()).expect("batch exceeds u32 length"));
+                for d in batch {
+                    put_dispatch(&mut out, d);
+                }
+            }
             WireMsg::Bye => out.push(T_BYE),
         }
         out
@@ -408,6 +426,17 @@ impl WireMsg {
                 WireMsg::Workflow { id, name, dag }
             }
             T_DISPATCH => WireMsg::Dispatch(r.dispatch()?),
+            T_DISPATCH_BATCH => {
+                let count = r.u32()? as usize;
+                // Cap the pre-allocation by what the frame could actually
+                // hold (12 bytes per dispatch), so a corrupt count fails
+                // as Truncated instead of allocating gigabytes.
+                let mut batch = Vec::with_capacity(count.min(r.remaining() / 12 + 1));
+                for _ in 0..count {
+                    batch.push(r.dispatch()?);
+                }
+                WireMsg::DispatchBatch(batch)
+            }
             T_BYE => WireMsg::Bye,
             other => return Err(WireError::UnknownType(other)),
         };
@@ -436,6 +465,10 @@ struct Reader<'a> {
 }
 
 impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
         let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
@@ -515,6 +548,11 @@ mod tests {
             WireMsg::Return(DispatchMsg::new(job, 4)),
             WireMsg::Workflow { id: WorkflowId(9), name: "m".into(), dag: "# dag".into() },
             WireMsg::Dispatch(DispatchMsg::new(job, 1)),
+            WireMsg::DispatchBatch(vec![
+                DispatchMsg::new(job, 1),
+                DispatchMsg::new(EnsembleJobId::new(WorkflowId(7), JobId(12)), 3),
+            ]),
+            WireMsg::DispatchBatch(Vec::new()),
             WireMsg::Bye,
         ];
         for msg in msgs {
@@ -559,6 +597,18 @@ mod tests {
         let kind_at = ack.len() - 5; // kind byte sits before the trailing attempt u32
         ack[kind_at] = 9;
         assert_eq!(WireMsg::decode(&ack), Err(WireError::BadPayload("ack kind")));
+    }
+
+    #[test]
+    fn dispatch_batch_with_corrupt_count_fails_without_allocating() {
+        // A frame claiming u32::MAX dispatches but carrying two must be
+        // rejected as Truncated — and must not pre-allocate for the lie.
+        let job = EnsembleJobId::new(WorkflowId(1), JobId(2));
+        let mut bytes =
+            WireMsg::DispatchBatch(vec![DispatchMsg::new(job, 1), DispatchMsg::new(job, 2)])
+                .encode();
+        bytes[2..6].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(WireMsg::decode(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The master daemon thread.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -12,7 +12,9 @@ use dewe_mq::Transport;
 use super::bus::{MessageBus, Registry};
 use super::journal::{self, Journal, JournalCommitPolicy};
 use super::liveness::{LivenessTable, LivenessTransition, MasterStats, RequeueEntry, WorkerView};
-use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy};
+use crate::engine::{
+    Action, EngineConfig, EngineCore, EngineStats, EnsembleEngine, RetryPolicy, TimerBackend,
+};
 use crate::protocol::{AckMsg, DispatchMsg, LifecycleMsg, SubmissionMsg, WorkflowAnnounce};
 use crate::sharded::parallel::{DispatchSink, ParallelOptions, ParallelShardedEngine};
 use crate::sharded::{HashRouter, ShardedEngine};
@@ -46,9 +48,9 @@ impl<T> MasterTransport for T where
 
 /// Master daemon configuration.
 ///
-/// Construct with [`MasterConfig::builder`] — the accreted public fields
-/// are deprecated in favour of the builder's setters and kept one
-/// release for migration:
+/// Opaque: construct with [`MasterConfig::builder`] and the chained
+/// setters (the 0.10 deprecated public field aliases are gone as of
+/// 0.11.0).
 ///
 /// ```
 /// use dewe_core::realtime::MasterConfig;
@@ -61,92 +63,14 @@ impl<T> MasterTransport for T where
 ///     .lease_secs(5.0)
 ///     .build();
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MasterConfig {
-    /// System-wide default job timeout, seconds (paper §III.B).
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().default_timeout_secs(..)")]
-    pub default_timeout_secs: f64,
-    /// Optional checkout deadline: resubmit a dispatch that is never
-    /// acknowledged as Running within this many seconds.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().checkout_timeout_secs(..)")]
-    pub checkout_timeout_secs: Option<f64>,
-    /// Retry budget and backoff policy for failed/timed-out jobs.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().retry(..)")]
-    pub retry: RetryPolicy,
-    /// How often the master examines running jobs for timeouts.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().timeout_scan_interval(..)")]
-    pub timeout_scan_interval: Duration,
-    /// The master exits once this many workflows have settled —
-    /// completed or abandoned (`None` = run until the bus is shut down).
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().expected_workflows(..)")]
-    pub expected_workflows: Option<usize>,
-    /// Maximum acknowledgments ingested per loop iteration: after the
-    /// first (blocking) pull, up to `ack_burst - 1` further acks are
-    /// drained non-blocking in one batch, so a burst of worker
-    /// completions costs one channel wakeup instead of one per ack. The
-    /// cap bounds how long dispatching and timeout scans can be starved
-    /// by a sustained ack flood.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().ack_burst(..)")]
-    pub ack_burst: usize,
-    /// Write-ahead journal path. When set, every engine input is
-    /// journaled before it takes effect, so a replacement master can
-    /// rebuild state after a crash.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().journal_path(..)")]
-    pub journal_path: Option<PathBuf>,
-    /// When true and the journal file exists, replay it on startup
-    /// (master failover) instead of starting fresh.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().recover(..)")]
-    pub recover: bool,
-    /// Engine shard count. With more than one shard the master drives a
-    /// [`ShardedEngine`] and publishes each dispatch to the workflow's
-    /// shard topic ([`MessageBus::dispatch_topic`]); pair it with
-    /// [`MessageBus::sharded`] and shard-pinned workers
-    /// ([`super::WorkerConfig::shard`]) to fan work out to per-shard
-    /// worker pools. Routing decisions are journaled, so recovery
-    /// replays into the identical placement.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().shards(..)")]
-    pub shards: usize,
-    /// Worker threads for the free-running parallel master. `0`
-    /// (default) serves every shard on the master thread. With
-    /// `threads ≥ 1` and `shards > 1`, each shard is owned by a
-    /// dedicated worker thread (capped at `threads`, striped beyond it):
-    /// the master thread only routes — submissions and ack bursts are
-    /// batched per shard onto bounded queues — while shard threads
-    /// ack-and-dispatch independently, publishing straight onto their
-    /// per-shard dispatch topics.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().threads(..)")]
-    pub threads: usize,
-    /// Journal compaction threshold: once more than this many records
-    /// have been appended to the WAL since startup (or the previous
-    /// compaction), the journal is rewritten as a synthetic prefix with
-    /// completed workflows elided, keeping recovery replay O(live
-    /// state). `None` (default) never compacts.
-    #[deprecated(
-        since = "0.10.0",
-        note = "use MasterConfig::builder().journal_compact_threshold(..)"
-    )]
-    pub journal_compact_threshold: Option<usize>,
-    /// Journal durability policy. The default flushes per record; group
-    /// commit batches ack/scan records and the master flushes the window
-    /// once per poll cycle (submissions always commit immediately). See
-    /// [`JournalCommitPolicy`] for what a crash can lose under each.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().journal_commit(..)")]
-    pub journal_commit: JournalCommitPolicy,
-    /// Worker lease duration, seconds. When set, the master runs the
-    /// liveness plane: it pulls the lifecycle topic into a
-    /// [`LivenessTable`], expires workers silent past the lease
-    /// (requeueing their in-flight jobs through the retry machinery),
-    /// and fences acks from expired workers. `None` (default) disables
-    /// all liveness tracking — the pre-lease behaviour, where only job
-    /// timeouts recover from worker loss.
-    #[deprecated(since = "0.10.0", note = "use MasterConfig::builder().lease_secs(..)")]
-    pub lease_secs: Option<f64>,
+    cfg: ResolvedConfig,
 }
 
-/// The non-deprecated internal mirror of [`MasterConfig`]: every read in
-/// the serve machinery goes through this, so the deprecation on the
-/// public fields bites external constructors without drowning this
-/// module in `allow` attributes.
+/// The internal mirror of [`MasterConfig`]: every read in the serve
+/// machinery goes through this flat struct rather than the opaque
+/// public wrapper.
 #[derive(Debug, Clone)]
 struct ResolvedConfig {
     default_timeout_secs: f64,
@@ -162,6 +86,8 @@ struct ResolvedConfig {
     journal_compact_threshold: Option<usize>,
     journal_commit: JournalCommitPolicy,
     lease_secs: Option<f64>,
+    timer_backend: TimerBackend,
+    dispatch_batch: bool,
 }
 
 impl Default for ResolvedConfig {
@@ -180,6 +106,8 @@ impl Default for ResolvedConfig {
             journal_compact_threshold: None,
             journal_commit: JournalCommitPolicy::default(),
             lease_secs: None,
+            timer_backend: TimerBackend::default(),
+            dispatch_batch: true,
         }
     }
 }
@@ -190,33 +118,8 @@ impl ResolvedConfig {
             default_timeout_secs: self.default_timeout_secs,
             checkout_timeout_secs: self.checkout_timeout_secs,
             retry: self.retry,
+            timer_backend: self.timer_backend,
         }
-    }
-
-    // The one sanctioned bridge back to the deprecated public fields.
-    #[allow(deprecated)]
-    fn into_config(self) -> MasterConfig {
-        MasterConfig {
-            default_timeout_secs: self.default_timeout_secs,
-            checkout_timeout_secs: self.checkout_timeout_secs,
-            retry: self.retry,
-            timeout_scan_interval: self.timeout_scan_interval,
-            expected_workflows: self.expected_workflows,
-            ack_burst: self.ack_burst,
-            journal_path: self.journal_path,
-            recover: self.recover,
-            shards: self.shards,
-            threads: self.threads,
-            journal_compact_threshold: self.journal_compact_threshold,
-            journal_commit: self.journal_commit,
-            lease_secs: self.lease_secs,
-        }
-    }
-}
-
-impl Default for MasterConfig {
-    fn default() -> Self {
-        ResolvedConfig::default().into_config()
     }
 }
 
@@ -226,30 +129,13 @@ impl MasterConfig {
         MasterConfigBuilder { cfg: ResolvedConfig::default() }
     }
 
-    // The one sanctioned read of the deprecated public fields.
-    #[allow(deprecated)]
     fn resolve(&self) -> ResolvedConfig {
-        ResolvedConfig {
-            default_timeout_secs: self.default_timeout_secs,
-            checkout_timeout_secs: self.checkout_timeout_secs,
-            retry: self.retry,
-            timeout_scan_interval: self.timeout_scan_interval,
-            expected_workflows: self.expected_workflows,
-            ack_burst: self.ack_burst,
-            journal_path: self.journal_path.clone(),
-            recover: self.recover,
-            shards: self.shards,
-            threads: self.threads,
-            journal_compact_threshold: self.journal_compact_threshold,
-            journal_commit: self.journal_commit,
-            lease_secs: self.lease_secs,
-        }
+        self.cfg.clone()
     }
 }
 
 /// Builder for [`MasterConfig`], mirroring [`EngineConfig`]'s chained
-/// setters. Obtain via [`MasterConfig::builder`]; every setter has the
-/// semantics of the like-named (now deprecated) public field.
+/// setters. Obtain via [`MasterConfig::builder`].
 #[derive(Debug, Clone)]
 #[must_use = "finish the configuration with .build()"]
 pub struct MasterConfigBuilder {
@@ -337,9 +223,26 @@ impl MasterConfigBuilder {
         self
     }
 
+    /// Deadline-timer backend for the engines the master drives (the
+    /// hierarchical [`TimerBackend::Wheel`] by default; see
+    /// [`EngineConfig`]). The two backends are behaviourally identical —
+    /// this knob exists for A/B benchmarking and differential testing.
+    pub fn timer_backend(mut self, backend: TimerBackend) -> Self {
+        self.cfg.timer_backend = backend;
+        self
+    }
+
+    /// Coalesce same-poll-cycle dispatches into batch publishes
+    /// (`Transport::publish_dispatch_batch`). On by default; disable to
+    /// A/B the per-job publish path.
+    pub fn dispatch_batch(mut self, enabled: bool) -> Self {
+        self.cfg.dispatch_batch = enabled;
+        self
+    }
+
     /// Finish: produce the configuration.
     pub fn build(self) -> MasterConfig {
-        self.cfg.into_config()
+        MasterConfig { cfg: self.cfg }
     }
 }
 
@@ -381,6 +284,14 @@ pub enum MasterEvent {
 struct FaultPlaneShared {
     stats: parking_lot::Mutex<MasterStats>,
     snapshot: parking_lot::Mutex<Vec<WorkerView>>,
+    /// Dispatch-pipeline counters, owned by the serve loop (and its
+    /// shard threads) rather than the liveness table — the table
+    /// overwrites `stats` wholesale on every publish, so these live
+    /// beside it and are merged into [`MasterHandle::master_stats`]
+    /// reads.
+    dispatch_batches: AtomicU64,
+    batched_dispatches: AtomicU64,
+    timer_cascades: AtomicU64,
 }
 
 /// Handle to a running master daemon.
@@ -398,12 +309,18 @@ impl MasterHandle {
         self.thread.take().expect("join called once").join().expect("master panicked")
     }
 
-    /// Fault-plane counters ([`MasterConfig::lease_secs`] enabled;
-    /// all-zero otherwise). Readable while the master runs and after it
-    /// exits (read before [`join`](Self::join)/[`kill`](Self::kill),
-    /// which consume the handle).
+    /// Master-side counters: the fault plane (lease-tracking fields are
+    /// all-zero unless `lease_secs` is configured) plus the dispatch
+    /// pipeline (batch sizes, timer cascades). Readable while the
+    /// master runs and after it exits (read before
+    /// [`join`](Self::join)/[`kill`](Self::kill), which consume the
+    /// handle).
     pub fn master_stats(&self) -> MasterStats {
-        *self.shared.stats.lock()
+        let mut stats = *self.shared.stats.lock();
+        stats.dispatch_batches = self.shared.dispatch_batches.load(Ordering::Relaxed);
+        stats.batched_dispatches = self.shared.batched_dispatches.load(Ordering::Relaxed);
+        stats.timer_cascades = self.shared.timer_cascades.load(Ordering::Relaxed);
+        stats
     }
 
     /// Current liveness table rows, ordered by worker id. Empty when
@@ -628,13 +545,26 @@ fn serve_parallel<T: MasterTransport>(
     let mut ack_burst: Vec<crate::protocol::AckMsg> = Vec::with_capacity(config.ack_burst.max(1));
     let mut requeue_acks: Vec<AckMsg> = Vec::new();
     let mut liveness: Option<LivenessPlane> = None;
+    let mut batcher = DispatchBatcher::new(config.dispatch_batch, Arc::clone(&shared));
 
     // Dispatches leave from the worker threads themselves: each shard
     // thread publishes through its own transport clone without crossing
-    // back through this loop.
+    // back through this loop. The seat hands over the whole run its
+    // input batch produced; batching coalesces it into one frame.
     let sink_transport = transport.clone();
-    let sink: Arc<DispatchSink> =
-        Arc::new(move |shard, d| sink_transport.publish_dispatch(shard, d));
+    let sink_shared = Arc::clone(&shared);
+    let sink_batch = config.dispatch_batch;
+    let sink: Arc<DispatchSink> = Arc::new(move |shard, run: &mut Vec<DispatchMsg>| {
+        if sink_batch && run.len() > 1 {
+            sink_shared.dispatch_batches.fetch_add(1, Ordering::Relaxed);
+            sink_shared.batched_dispatches.fetch_add(run.len() as u64, Ordering::Relaxed);
+            sink_transport.publish_dispatch_batch(shard, run);
+        } else {
+            for d in run.drain(..) {
+                sink_transport.publish_dispatch(shard, d);
+            }
+        }
+    });
     let opts = ParallelOptions {
         threads: config.threads,
         dispatch_sink: Some(sink),
@@ -703,6 +633,7 @@ fn serve_parallel<T: MasterTransport>(
             // Simulated crash: drop everything on the floor.
             return engine.stats();
         }
+        mirror_cascades(&shared, &engine);
         // Group-commit point: whatever the previous poll cycle buffered
         // becomes durable before this cycle ingests more input.
         if let Some(w) = wal.as_mut() {
@@ -760,7 +691,7 @@ fn serve_parallel<T: MasterTransport>(
 
         engine.flush();
         engine.poll_actions(&mut actions);
-        publish_actions(&transport, &engine, &events, &mut actions);
+        publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
 
         // 3. Exit once the expected workload has settled. Stats cells
         // are only advanced by shard threads after the settling input is
@@ -770,7 +701,7 @@ fn serve_parallel<T: MasterTransport>(
             let stats = engine.stats();
             if stats.workflows_completed + stats.workflows_abandoned >= expected {
                 engine.quiesce(&mut actions);
-                publish_actions(&transport, &engine, &events, &mut actions);
+                publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
                 let stats = engine.stats();
                 // Graceful exit: make the group-commit window durable
                 // before announcing completion — drop-flushing is for
@@ -782,6 +713,7 @@ fn serve_parallel<T: MasterTransport>(
                     MasterEvent::AllSettled { stats }
                 };
                 let _ = events.send(ev);
+                mirror_cascades(&shared, &engine);
                 return stats;
             }
         }
@@ -811,15 +743,16 @@ fn serve_parallel<T: MasterTransport>(
                 maybe_compact(&mut wal, &registry, &config);
                 engine.flush();
                 engine.poll_actions(&mut actions);
-                publish_actions(&transport, &engine, &events, &mut actions);
+                publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
             }
             None => {
                 if transport.ack_closed() {
                     engine.quiesce(&mut actions);
-                    publish_actions(&transport, &engine, &events, &mut actions);
+                    publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
                     // Transport-shutdown exit is as graceful as settling:
                     // commit the buffered window before returning.
                     commit_wal_on_exit(&mut wal);
+                    mirror_cascades(&shared, &engine);
                     return engine.stats();
                 }
             }
@@ -845,6 +778,7 @@ fn serve<T: MasterTransport, E: RecoverableEngine>(
     let mut ack_burst: Vec<crate::protocol::AckMsg> = Vec::with_capacity(config.ack_burst.max(1));
     let mut requeue_acks: Vec<AckMsg> = Vec::new();
     let mut liveness: Option<LivenessPlane> = None;
+    let mut batcher = DispatchBatcher::new(config.dispatch_batch, Arc::clone(&shared));
 
     if let Some(path) = &config.journal_path {
         if config.recover && path.exists() {
@@ -905,6 +839,7 @@ fn serve<T: MasterTransport, E: RecoverableEngine>(
             // Simulated crash: drop everything on the floor.
             return engine.stats();
         }
+        mirror_cascades(&shared, &engine);
         // Group-commit point: whatever the previous poll cycle buffered
         // becomes durable before this cycle ingests more input.
         if let Some(w) = wal.as_mut() {
@@ -936,7 +871,7 @@ fn serve<T: MasterTransport, E: RecoverableEngine>(
             }
             let id = engine.submit_workflow_to(shard, sub.workflow, now, &mut actions);
             debug_assert_eq!(id, expected_id);
-            publish_actions(&transport, &engine, &events, &mut actions);
+            publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
         }
 
         // 2. Timeout scan at the configured cadence. Scans are journaled
@@ -953,7 +888,7 @@ fn serve<T: MasterTransport, E: RecoverableEngine>(
                     w.record_scan(now).expect("journal scan");
                 }
             }
-            publish_actions(&transport, &engine, &events, &mut actions);
+            publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
         }
 
         // 2b. Liveness plane: ingest lifecycle traffic, expire lapsed
@@ -968,7 +903,7 @@ fn serve<T: MasterTransport, E: RecoverableEngine>(
                 }
                 engine.on_ack(ack, now, &mut actions);
             }
-            publish_actions(&transport, &engine, &events, &mut actions);
+            publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
         }
 
         // 3. Exit once the expected workload has settled. (The engine's
@@ -988,6 +923,7 @@ fn serve<T: MasterTransport, E: RecoverableEngine>(
                     MasterEvent::AllSettled { stats }
                 };
                 let _ = events.send(ev);
+                mirror_cascades(&shared, &engine);
                 return stats;
             }
         }
@@ -1018,13 +954,14 @@ fn serve<T: MasterTransport, E: RecoverableEngine>(
                     engine.on_ack(ack, now, &mut actions);
                 }
                 maybe_compact(&mut wal, &registry, &config);
-                publish_actions(&transport, &engine, &events, &mut actions);
+                publish_actions(&transport, &engine, &events, &mut actions, &mut batcher);
             }
             None => {
                 if transport.ack_closed() {
                     // Transport-shutdown exit is as graceful as settling:
                     // commit the buffered window before returning.
                     commit_wal_on_exit(&mut wal);
+                    mirror_cascades(&shared, &engine);
                     return engine.stats();
                 }
             }
@@ -1070,20 +1007,81 @@ fn maybe_compact(wal: &mut Option<Journal>, registry: &Registry, config: &Resolv
     }
 }
 
+/// Mirror the engine's cumulative deadline-wheel cascade count into the
+/// shared stats cell — a cheap atomic store, refreshed once per poll
+/// cycle and at every graceful serve-loop exit so the final
+/// [`MasterHandle::master_stats`] read is exact.
+fn mirror_cascades<E: EngineCore>(shared: &FaultPlaneShared, engine: &E) {
+    shared.timer_cascades.store(engine.timer_cascades(), Ordering::Relaxed);
+}
+
+/// Coalesces the consecutive same-shard dispatch runs one poll cycle
+/// emits into single [`Transport::publish_dispatch_batch`] calls (one
+/// wire frame, one window debit), counting runs of length ≥ 2 into the
+/// shared [`MasterStats`] counters. With batching disabled every
+/// dispatch goes out through the per-job path unchanged. The run buffer
+/// is reused for the serve loop's lifetime.
+struct DispatchBatcher {
+    enabled: bool,
+    run: Vec<DispatchMsg>,
+    run_shard: usize,
+    shared: Arc<FaultPlaneShared>,
+}
+
+impl DispatchBatcher {
+    fn new(enabled: bool, shared: Arc<FaultPlaneShared>) -> Self {
+        Self { enabled, run: Vec::new(), run_shard: 0, shared }
+    }
+
+    /// Queue `d` for `shard`, flushing the open run first when the
+    /// shard changes (dispatch order within a shard is preserved; order
+    /// across shards is meaningless — they share no workers).
+    fn push<T: MasterTransport>(&mut self, transport: &T, shard: usize, d: DispatchMsg) {
+        if !self.enabled {
+            transport.publish_dispatch(shard, d);
+            return;
+        }
+        if shard != self.run_shard {
+            self.flush(transport);
+            self.run_shard = shard;
+        }
+        self.run.push(d);
+    }
+
+    /// Publish the open run: singletons take the per-job path (no frame
+    /// overhead to amortize), longer runs go out as one batch.
+    fn flush<T: MasterTransport>(&mut self, transport: &T) {
+        match self.run.len() {
+            0 => {}
+            1 => {
+                let d = self.run.pop().expect("run length checked");
+                transport.publish_dispatch(self.run_shard, d);
+            }
+            n => {
+                self.shared.dispatch_batches.fetch_add(1, Ordering::Relaxed);
+                self.shared.batched_dispatches.fetch_add(n as u64, Ordering::Relaxed);
+                transport.publish_dispatch_batch(self.run_shard, &mut self.run);
+            }
+        }
+    }
+}
+
 /// Publish dispatch actions and forward progress events, draining the
 /// caller's reusable buffer. Dispatches go to the owning workflow's shard
-/// through the transport; on an un-sharded bus that is the shared
-/// dispatch topic.
+/// through the transport — coalesced per consecutive-shard run by the
+/// batcher — and the run open at the end of the drain is flushed, so
+/// every call publishes everything it was handed.
 fn publish_actions<T: MasterTransport, E: EngineCore>(
     transport: &T,
     engine: &E,
     events: &Sender<MasterEvent>,
     actions: &mut Vec<Action>,
+    batcher: &mut DispatchBatcher,
 ) {
     for action in actions.drain(..) {
         match action {
             Action::Dispatch(d) => {
-                transport.publish_dispatch(engine.shard_of(d.job.workflow), d);
+                batcher.push(transport, engine.shard_of(d.job.workflow), d);
             }
             Action::WorkflowCompleted { workflow, makespan_secs } => {
                 let _ = events.send(MasterEvent::WorkflowCompleted { workflow, makespan_secs });
@@ -1094,6 +1092,7 @@ fn publish_actions<T: MasterTransport, E: EngineCore>(
             Action::JobDeadLettered { .. } | Action::AllCompleted | Action::AllSettled => {}
         }
     }
+    batcher.flush(transport);
 }
 
 #[cfg(test)]
@@ -1150,6 +1149,54 @@ mod tests {
         let stats = handle.join();
         assert_eq!(stats.jobs_completed, 2);
         assert_eq!(stats.workflows_completed, 1);
+    }
+
+    #[test]
+    fn master_counts_coalesced_dispatch_runs() {
+        // A 1 → 16 fan-out: the root's completion releases 16 jobs in
+        // one poll cycle, so with batching on (the default) the serve
+        // loop must publish at least one coalesced run and account for
+        // it in the shared counters.
+        let bus = MessageBus::new();
+        let registry = Registry::new();
+        let handle = spawn_master(
+            bus.clone(),
+            registry.clone(),
+            MasterConfig::builder()
+                .timeout_scan_interval(Duration::from_millis(10))
+                .expected_workflows(1)
+                .build(),
+        );
+
+        let mut b = WorkflowBuilder::new("fan");
+        let root = b.job("root", "t", 1.0).build();
+        for i in 0..16 {
+            let child = b.job(format!("c{i}"), "t", 1.0).build();
+            b.edge(root, child);
+        }
+        let wf = Arc::new(b.finish().unwrap());
+        super::super::submit(&bus, "fan", wf);
+
+        for _ in 0..17 {
+            let d = bus.dispatch.pull_timeout(Duration::from_secs(5)).expect("dispatch");
+            bus.ack.publish(AckMsg {
+                job: d.job,
+                worker: 0,
+                kind: AckKind::Completed,
+                attempt: d.attempt,
+            });
+        }
+        let ev = handle.events.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(ev, MasterEvent::WorkflowCompleted { .. }));
+        let stats = handle.master_stats();
+        assert!(stats.dispatch_batches >= 1, "fan-out run was coalesced");
+        assert!(
+            stats.batched_dispatches >= 2 * stats.dispatch_batches,
+            "every counted batch holds at least two dispatches"
+        );
+        assert_eq!(stats.timer_cascades, 0, "nothing timed out, nothing cascaded");
+        bus.shutdown();
+        handle.join();
     }
 
     #[test]

@@ -252,6 +252,18 @@ impl Transport for TcpMaster {
         }
     }
 
+    fn publish_dispatch_batch(&self, shard: usize, batch: &mut Vec<DispatchMsg>) {
+        self.inner.try_send_batch(shard, batch);
+        if !batch.is_empty() {
+            let mut pending = self.inner.pending.lock();
+            for d in batch.drain(..) {
+                pending.push_back((shard, d));
+            }
+            drop(pending);
+            self.inner.drain_pending();
+        }
+    }
+
     fn announce(&self, announce: WorkflowAnnounce) {
         if let Some(dir) = &self.inner.state_dir {
             if let Err(e) = spool_workflow(dir, &announce) {
@@ -297,25 +309,97 @@ impl MasterInner {
         false
     }
 
-    /// Retry queued dispatches against current credit. Called whenever
-    /// credit is refunded or a new worker connects.
+    /// Place a run of dispatches for `shard`, spending window credit in
+    /// batch debits and splitting across connections as credit allows.
+    /// Sent dispatches are drained from the front of `batch` (delivery
+    /// order preserved); whatever found no credit stays behind. Returns
+    /// how many were sent. Runs of one travel as plain [`WireMsg::
+    /// Dispatch`] frames; longer runs coalesce into one
+    /// [`WireMsg::DispatchBatch`] frame per granted connection.
+    fn try_send_batch(&self, shard: usize, batch: &mut Vec<DispatchMsg>) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let mut sent = 0;
+        {
+            let conns = self.conns.lock();
+            for conn in conns.values() {
+                if sent == batch.len() {
+                    break;
+                }
+                if !conn.serves(shard) {
+                    continue;
+                }
+                let want = (batch.len() - sent) as u32;
+                let granted = conn.window.try_acquire_n(want) as usize;
+                if granted == 0 {
+                    continue;
+                }
+                let run = &batch[sent..sent + granted];
+                if granted == 1 {
+                    conn.send(&WireMsg::Dispatch(run[0]));
+                } else {
+                    conn.send(&WireMsg::DispatchBatch(run.to_vec()));
+                }
+                sent += granted;
+            }
+        }
+        batch.drain(..sent);
+        sent
+    }
+
+    /// Retry queued dispatches against current credit, coalescing each
+    /// contiguous same-shard run into one batch placement. Called
+    /// whenever credit is refunded or a new worker connects.
     fn drain_pending(&self) {
         let mut pending = self.pending.lock();
         let mut i = 0;
+        let mut batch = Vec::new();
         while i < pending.len() {
-            let (shard, d) = pending[i];
-            if self.try_send_dispatch(shard, d) {
-                pending.remove(i);
-            } else {
-                i += 1;
+            let shard = pending[i].0;
+            let mut j = i + 1;
+            while j < pending.len() && pending[j].0 == shard {
+                j += 1;
             }
+            // Collect no more of the run than the shard's total free
+            // credit: a deep backlog drains one refund at a time, and
+            // copying the whole run to have try_send_batch grant one
+            // dispatch would turn each refund into an O(queue) scan.
+            // The estimate is racy only in the safe direction — a
+            // concurrent release adds credit the next drain will use.
+            let free: usize = {
+                let conns = self.conns.lock();
+                conns
+                    .values()
+                    .filter(|c| c.serves(shard))
+                    .map(|c| c.window.limit().saturating_sub(c.window.in_flight()) as usize)
+                    .sum()
+            };
+            if free == 0 {
+                i = j;
+                continue;
+            }
+            let take = (j - i).min(free);
+            batch.clear();
+            batch.extend(pending.range(i..i + take).map(|&(_, d)| d));
+            let sent = self.try_send_batch(shard, &mut batch);
+            for _ in 0..sent {
+                pending.remove(i);
+            }
+            // Unsent leftovers mean this shard's connections are out of
+            // credit; skip past the run and try the next shard's.
+            i += (j - i) - sent;
         }
     }
 
+    /// Drop a connection from the routing map and close its out topic.
+    /// Deliberately does NOT shut the socket down: a graceful stop parks
+    /// the Bye frame on the out topic, and the writer thread must drain
+    /// it onto the wire first. The conn loop joins the writer and then
+    /// hard-closes the socket itself.
     fn remove_conn(&self, id: u64) {
         if let Some(conn) = self.conns.lock().remove(&id) {
             conn.out.close();
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
@@ -413,6 +497,12 @@ fn worker_conn_loop(
     }
     inner.drain_pending();
 
+    // Credits refunded since the last pending-queue drain. Refunds are
+    // coalesced per read burst: a flood of terminal acks sitting in the
+    // read buffer releases all its credit *before* the drain runs, so a
+    // deep dispatch backlog leaves as one DispatchBatch frame instead
+    // of one frame per ack.
+    let mut refunds = 0u32;
     while !inner.stop.load(Ordering::Relaxed) {
         let frame = match read_frame(&mut reader, inner.max_frame) {
             Ok(Some(f)) => f,
@@ -424,7 +514,7 @@ fn worker_conn_loop(
                 // before the serve loop even sees the ack.
                 if matches!(ack.kind, AckKind::Completed | AckKind::Failed) {
                     conn.window.release();
-                    inner.drain_pending();
+                    refunds += 1;
                 }
                 inner.ack.publish(ack);
             }
@@ -433,11 +523,11 @@ fn worker_conn_loop(
                 // A stopping worker hands back an unstarted checkout:
                 // refund and redeliver to whoever has credit.
                 conn.window.release();
+                refunds += 1;
                 let shard = conn.shard.unwrap_or(0) as usize;
                 if !inner.try_send_dispatch(shard, d) {
                     inner.pending.lock().push_back((shard, d));
                 }
-                inner.drain_pending();
             }
             Ok(other) => {
                 eprintln!("dewe-master: unexpected worker frame {other:?}; dropping connection");
@@ -448,9 +538,29 @@ fn worker_conn_loop(
                 break;
             }
         }
+        // Drain once the read buffer empties (the burst is over and the
+        // next read would block) — or every 64 refunds, so a sustained
+        // ack flood cannot starve the pending queue indefinitely.
+        if refunds > 0 && (refunds >= 64 || reader.buffer().is_empty()) {
+            inner.drain_pending();
+            refunds = 0;
+        }
     }
     inner.remove_conn(id);
+    if refunds > 0 {
+        // The socket closed mid-burst (a stopping worker sends its
+        // Returns and hangs up): redeliver what it handed back now that
+        // its connection no longer competes for the credit.
+        inner.drain_pending();
+    }
+    // Let the writer flush whatever is still queued — on a graceful stop
+    // that includes the Bye telling the worker's link not to reconnect —
+    // before hard-closing the socket. The writer cannot hang: the out
+    // topic is closed (remove_conn above, or the stop path), so `pull`
+    // returns None once the queue drains, and a dead peer fails the
+    // write immediately.
     let _ = writer.join();
+    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn submitter_conn_loop(inner: Arc<MasterInner>, mut reader: BufReader<TcpStream>) {
@@ -716,6 +826,13 @@ fn run_connection(inner: &Arc<WorkerInner>, stream: TcpStream) {
                 Err(e) => eprintln!("dewe-worker: bad workflow {id:?} from master: {e}"),
             },
             Ok(WireMsg::Dispatch(d)) => inner.dispatch_in.publish(d),
+            Ok(WireMsg::DispatchBatch(batch)) => {
+                // Explode in order: the slot loops pull per-job exactly
+                // as if the run had arrived as individual frames.
+                for d in batch {
+                    inner.dispatch_in.publish(d);
+                }
+            }
             Ok(WireMsg::Bye) => {
                 inner.bye.store(true, Ordering::Relaxed);
                 break;
@@ -933,6 +1050,69 @@ mod tests {
         let d1 = link.pull_dispatch(Duration::from_secs(10)).expect("second after refund");
         assert_eq!(d1.job, job(1));
 
+        master.shutdown();
+        link.close();
+    }
+
+    #[test]
+    fn dispatch_batch_round_trips_in_order() {
+        // publish_dispatch_batch with credit available for the whole run
+        // sends one DispatchBatch frame; the worker explodes it back
+        // into per-job dispatches in emission order.
+        let master = TcpMaster::bind("127.0.0.1:0", TcpMasterOptions::default()).unwrap();
+        let link = TcpWorkerLink::connect(
+            master.local_addr(),
+            Registry::new(),
+            TcpWorkerOptions { worker_id: 7, window: 8, ..TcpWorkerOptions::default() },
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while master.worker_conns() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let job = |j: u32| dewe_dag::EnsembleJobId::new(WorkflowId(0), dewe_dag::JobId(j));
+        let mut batch: Vec<DispatchMsg> = (0..5).map(|j| DispatchMsg::new(job(j), 1)).collect();
+        master.publish_dispatch_batch(0, &mut batch);
+        assert!(batch.is_empty(), "batch publish drains its buffer");
+        for j in 0..5 {
+            let d = link.pull_dispatch(Duration::from_secs(10)).expect("batched dispatch");
+            assert_eq!(d.job, job(j), "in-shard order preserved");
+        }
+        master.shutdown();
+        link.close();
+    }
+
+    #[test]
+    fn dispatch_batch_splits_at_the_window_and_resumes_on_refund() {
+        // A run longer than the worker's window is debited atomically up
+        // to the free credit; the overflow parks in pending and flows as
+        // terminal acks refund — same semantics as per-job publishes.
+        let master = TcpMaster::bind("127.0.0.1:0", TcpMasterOptions::default()).unwrap();
+        let link = TcpWorkerLink::connect(
+            master.local_addr(),
+            Registry::new(),
+            TcpWorkerOptions { worker_id: 1, window: 2, ..TcpWorkerOptions::default() },
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while master.worker_conns() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let job = |j: u32| dewe_dag::EnsembleJobId::new(WorkflowId(0), dewe_dag::JobId(j));
+        let mut batch: Vec<DispatchMsg> = (0..4).map(|j| DispatchMsg::new(job(j), 1)).collect();
+        master.publish_dispatch_batch(0, &mut batch);
+        let d0 = link.pull_dispatch(Duration::from_secs(10)).expect("first of split batch");
+        let d1 = link.pull_dispatch(Duration::from_secs(10)).expect("second of split batch");
+        assert_eq!((d0.job, d1.job), (job(0), job(1)));
+        assert!(
+            link.pull_dispatch(Duration::from_millis(200)).is_none(),
+            "window of 2 holds the rest back"
+        );
+        link.publish_ack(AckMsg::new(job(0), 1, AckKind::Completed, 1));
+        link.publish_ack(AckMsg::new(job(1), 1, AckKind::Failed, 1));
+        let d2 = link.pull_dispatch(Duration::from_secs(10)).expect("third after refund");
+        let d3 = link.pull_dispatch(Duration::from_secs(10)).expect("fourth after refund");
+        assert_eq!((d2.job, d3.job), (job(2), job(3)));
         master.shutdown();
         link.close();
     }

@@ -320,6 +320,10 @@ impl EngineCore for ShardedEngine {
         merged
     }
 
+    fn timer_cascades(&self) -> u64 {
+        self.shards.iter().map(EnsembleEngine::timer_cascades).sum()
+    }
+
     fn job_state(&self, job: EnsembleJobId) -> Option<JobState> {
         let &(shard, local) = self.assignment.get(job.workflow.index())?;
         self.shards[shard as usize].job_state(EnsembleJobId::new(local, job.job))

@@ -55,11 +55,15 @@ const INPUT_QUEUE_DEPTH: usize = 256;
 /// Sentinel for "no pending deadline" in [`ShardCell::deadline_bits`].
 const NO_DEADLINE: u64 = u64::MAX;
 
-/// Callback a worker invokes for every dispatch its shard emits, instead
-/// of routing the dispatch back through the facade. Installed by the
-/// free-running realtime master to publish straight onto the per-shard
-/// dispatch topic from the owning worker thread.
-pub type DispatchSink = dyn Fn(usize, DispatchMsg) + Send + Sync;
+/// Callback a worker invokes with each *run* of dispatches its shard
+/// emitted while applying one input batch, instead of routing them back
+/// through the facade. Installed by the free-running realtime master to
+/// publish straight onto the per-shard dispatch topic from the owning
+/// worker thread. The callee drains the vector (same contract as
+/// `Transport::publish_dispatch_batch`), so the seat reuses one run
+/// buffer for its lifetime; dispatch order within the shard is the
+/// engine's emission order.
+pub type DispatchSink = dyn Fn(usize, &mut Vec<DispatchMsg>) + Send + Sync;
 
 /// Construction knobs for [`ParallelShardedEngine`].
 #[derive(Clone)]
@@ -133,6 +137,8 @@ struct ShardCell {
     workflow_count: AtomicU64,
     /// 1 once every workflow on the shard is settled (0 while empty).
     settled: AtomicU64,
+    /// Deadline-wheel cascades on the shard (0 under the heap backend).
+    timer_cascades: AtomicU64,
 }
 
 impl ShardCell {
@@ -142,6 +148,7 @@ impl ShardCell {
             deadline_bits: AtomicU64::new(NO_DEADLINE),
             workflow_count: AtomicU64::new(0),
             settled: AtomicU64::new(0),
+            timer_cascades: AtomicU64::new(0),
         }
     }
 
@@ -166,6 +173,7 @@ impl ShardCell {
         let bits = engine.next_deadline().map_or(NO_DEADLINE, f64::to_bits);
         self.deadline_bits.store(bits, Ordering::Relaxed);
         self.workflow_count.store(engine.workflow_count() as u64, Ordering::Relaxed);
+        self.timer_cascades.store(engine.timer_cascades(), Ordering::Relaxed);
         self.settled.store(u64::from(engine.all_settled()), Ordering::Release);
     }
 
@@ -195,16 +203,13 @@ struct ShardSeat {
     cell: Arc<ShardCell>,
     /// Reusable buffer for shard-local actions awaiting translation.
     scratch: Vec<Action>,
+    /// Dispatches accumulated across one input batch, handed to the
+    /// dispatch sink as a single run.
+    run: Vec<DispatchMsg>,
 }
 
 impl ShardSeat {
-    fn apply(
-        &mut self,
-        shard: usize,
-        input: ShardInput,
-        sink: &mut Vec<Action>,
-        dispatch_sink: Option<&Arc<DispatchSink>>,
-    ) {
+    fn apply(&mut self, input: ShardInput, sink: &mut Vec<Action>, batch_dispatches: bool) {
         match input {
             ShardInput::Submit { global, workflow, now } => {
                 let local = self.engine.submit_workflow(workflow, now, &mut self.scratch);
@@ -216,9 +221,7 @@ impl ShardSeat {
         }
         for a in self.scratch.drain(..) {
             match globalize_action(&self.globals, a) {
-                Some(Action::Dispatch(d)) if dispatch_sink.is_some() => {
-                    (dispatch_sink.unwrap())(shard, d);
-                }
+                Some(Action::Dispatch(d)) if batch_dispatches => self.run.push(d),
                 Some(g) => sink.push(g),
                 None => {}
             }
@@ -237,7 +240,13 @@ fn worker_loop(
             ThreadMsg::Batch(mut batch) => {
                 let seat = seats[batch.shard].as_mut().expect("batch for unowned shard");
                 for input in batch.inputs.drain(..) {
-                    seat.apply(batch.shard, input, &mut batch.sink, dispatch_sink.as_ref());
+                    seat.apply(input, &mut batch.sink, dispatch_sink.is_some());
+                }
+                if let Some(sink) = dispatch_sink.as_ref() {
+                    if !seat.run.is_empty() {
+                        sink(batch.shard, &mut seat.run);
+                        debug_assert!(seat.run.is_empty(), "dispatch sink must drain its run");
+                    }
                 }
                 seat.cell.publish(&mut seat.engine);
                 // A send failure means the facade is gone (dropped while
@@ -387,7 +396,7 @@ impl ParallelShardedEngine {
             let cell = Arc::clone(&cells[shard]);
             cell.publish(&mut engine);
             seat_rows[shard % threads][shard] =
-                Some(ShardSeat { engine, globals, cell, scratch: Vec::new() });
+                Some(ShardSeat { engine, globals, cell, scratch: Vec::new(), run: Vec::new() });
         }
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let pinned = Arc::new(AtomicUsize::new(0));
@@ -692,6 +701,10 @@ impl EngineCore for ParallelShardedEngine {
         merged
     }
 
+    fn timer_cascades(&self) -> u64 {
+        self.cells.iter().map(|c| c.timer_cascades.load(Ordering::Relaxed)).sum()
+    }
+
     fn job_state(&self, job: EnsembleJobId) -> Option<JobState> {
         let &(shard, local) = self.assignment.get(job.workflow.index())?;
         let (tx, rx) = sync_channel(1);
@@ -851,8 +864,8 @@ mod tests {
         let seen: Arc<Mutex<Vec<(usize, DispatchMsg)>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = {
             let seen = Arc::clone(&seen);
-            Arc::new(move |shard: usize, d: DispatchMsg| {
-                seen.lock().unwrap().push((shard, d));
+            Arc::new(move |shard: usize, run: &mut Vec<DispatchMsg>| {
+                seen.lock().unwrap().extend(run.drain(..).map(|d| (shard, d)));
             }) as Arc<DispatchSink>
         };
         let opts = ParallelOptions { dispatch_sink: Some(sink), ..ParallelOptions::default() };

@@ -21,7 +21,7 @@ use dewe_metrics::{ClusterSampler, Gantt, SAMPLE_INTERVAL_SECS};
 use dewe_mq::chaos::{self, ChaosConfig, ChaosDecider};
 use dewe_simcloud::{ClusterConfig, ExecSim, JobProfile, NodeId, SimEvent};
 
-use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, RetryPolicy};
+use crate::engine::{Action, EngineConfig, EngineCore, EngineStats, RetryPolicy, TimerBackend};
 use crate::protocol::{AckKind, AckMsg, DispatchMsg};
 use crate::sharded::{HashRouter, ShardLoad, ShardRouter};
 
@@ -125,6 +125,10 @@ pub struct SimRunConfig {
     /// this so an engine bug that strands a job surfaces as a bounded,
     /// reportable stall instead of an endless timeout-scan spin.
     pub horizon_secs: Option<f64>,
+    /// Deadline-tracking backend for the engine(s) driving the run
+    /// (default: the wheel). The differential oracle samples both per
+    /// seed; the hotpath bench A/Bs them via `--timer-backend`.
+    pub timer_backend: TimerBackend,
     /// Worker threads driving the shards. `0` (default) keeps the
     /// historical behavior of each entry point: [`run_ensemble`] stays
     /// single-threaded and [`run_ensemble_sharded`] runs one thread per
@@ -158,6 +162,7 @@ impl SimRunConfig {
             chaos: None,
             horizon_secs: None,
             shards: 1,
+            timer_backend: TimerBackend::default(),
             threads: 0,
         }
     }
@@ -199,6 +204,9 @@ pub struct SimReport {
     /// `SimRunConfig::shards` — a structured record of the clamp rather
     /// than a warning on stderr.
     pub effective_shards: usize,
+    /// Deadline-wheel cascade count summed across shards (0 under the
+    /// heap backend) — timer-churn observability for dashboards.
+    pub wheel_cascades: u64,
 }
 
 // Wake-token tags (high byte). Job tokens are dense ensemble-wide indices
@@ -503,6 +511,7 @@ fn engine_config_for(config: &SimRunConfig) -> EngineConfig {
         default_timeout_secs: config.default_timeout_secs,
         checkout_timeout_secs,
         retry: config.retry,
+        timer_backend: config.timer_backend,
     }
 }
 
@@ -762,6 +771,7 @@ fn drive_ensemble<E: EngineCore>(
         trace,
         cost_usd: cost,
         effective_shards: engine.shard_count(),
+        wheel_cascades: engine.timer_cascades(),
     }
 }
 
@@ -895,6 +905,7 @@ pub fn run_ensemble_sharded(workflows: &[Arc<Workflow>], config: &SimRunConfig) 
         trace: None,
         cost_usd: 0.0,
         effective_shards: shards,
+        wheel_cascades: 0,
     };
     for (part, r) in reports {
         merged.makespan_secs = merged.makespan_secs.max(r.makespan_secs);
@@ -907,6 +918,7 @@ pub fn run_ensemble_sharded(workflows: &[Arc<Workflow>], config: &SimRunConfig) 
         merged.total_bytes_written += r.total_bytes_written;
         merged.cache_hit_rate += r.cache_hit_rate / shard_count;
         merged.engine.merge(&r.engine);
+        merged.wheel_cascades += r.wheel_cascades;
         merged.cost_usd += r.cost_usd;
     }
     merged

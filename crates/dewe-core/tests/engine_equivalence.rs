@@ -20,7 +20,7 @@ use std::sync::Arc;
 use dewe_core::realtime::{recover, JournalRecord, Registry};
 use dewe_core::{
     AckKind, AckMsg, Action, DispatchMsg, EngineConfig, EngineCore, EngineStats, EnsembleEngine,
-    RetryPolicy,
+    RetryPolicy, TimerBackend,
 };
 use dewe_dag::{DependencyTracker, EnsembleJobId, JobId, JobState, Workflow, WorkflowId};
 use dewe_montage::{random_layered, RandomDagConfig};
@@ -386,19 +386,26 @@ fn config_strategy() -> impl Strategy<Value = EngineConfig> {
             1.0f64..3.0,                            // backoff factor
             prop_oneof![Just(0.0f64), 0.1f64..0.9], // jitter fraction
             any::<u64>(),                           // jitter seed
+            // Half the cases run the binary heap, half the hierarchical
+            // wheel — every step-equality assertion below then doubles
+            // as a heap-vs-wheel differential against the reference.
+            prop_oneof![Just(TimerBackend::Heap), Just(TimerBackend::Wheel)],
         ),
     )
-        .prop_map(|((timeout, checkout, cap), (base, factor, jitter, seed))| EngineConfig {
-            default_timeout_secs: timeout,
-            checkout_timeout_secs: checkout,
-            retry: RetryPolicy {
-                max_attempts: cap,
-                backoff_base_secs: base,
-                backoff_factor: factor,
-                backoff_max_secs: 8.0,
-                jitter_frac: jitter,
-                seed,
-            },
+        .prop_map(|((timeout, checkout, cap), (base, factor, jitter, seed, backend))| {
+            EngineConfig {
+                default_timeout_secs: timeout,
+                checkout_timeout_secs: checkout,
+                retry: RetryPolicy {
+                    max_attempts: cap,
+                    backoff_base_secs: base,
+                    backoff_factor: factor,
+                    backoff_max_secs: 8.0,
+                    jitter_frac: jitter,
+                    seed,
+                },
+                timer_backend: backend,
+            }
         })
 }
 

@@ -54,6 +54,20 @@ pub trait Transport: Send + Sync + 'static {
     /// preserved, delivery time is not guaranteed.
     fn publish_dispatch(&self, shard: usize, dispatch: Self::Dispatch);
 
+    /// Publish a run of dispatches for `shard` that became eligible in
+    /// the same poll cycle, draining `batch`. Semantically identical to
+    /// publishing each in order via
+    /// [`publish_dispatch`](Transport::publish_dispatch) — the default
+    /// does exactly that — but a wire transport may coalesce the run
+    /// into one frame and debit its backpressure window once for the
+    /// whole batch. Takes `&mut Vec` so hot serve loops can reuse one
+    /// run buffer across poll cycles.
+    fn publish_dispatch_batch(&self, shard: usize, batch: &mut Vec<Self::Dispatch>) {
+        for dispatch in batch.drain(..) {
+            self.publish_dispatch(shard, dispatch);
+        }
+    }
+
     /// Broadcast a workflow announcement to current and future workers.
     /// Called by the master after registering the workflow, before any
     /// of its jobs are dispatched.

@@ -47,6 +47,34 @@ impl SendWindow {
         }
     }
 
+    /// Spend up to `want` credits atomically, returning how many were
+    /// granted (0 when the window is full). One CAS settles the whole
+    /// batch, so a coalesced dispatch run debits the window in a single
+    /// step instead of `want` contended acquires — and concurrent
+    /// batchers can never jointly overshoot the limit.
+    pub fn try_acquire_n(&self, want: u32) -> u32 {
+        if want == 0 {
+            return 0;
+        }
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            let free = self.limit.saturating_sub(cur);
+            if free == 0 {
+                return 0;
+            }
+            let take = want.min(free);
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Return one credit. Saturates at zero: a terminal ack for a
     /// dispatch sent on a *previous* connection of the same worker (or a
     /// duplicate completion after recovery) must not underflow the new
@@ -112,6 +140,42 @@ mod tests {
         assert_eq!(w.limit(), 1);
         assert!(w.try_acquire());
         assert!(!w.try_acquire());
+    }
+
+    #[test]
+    fn batch_acquire_grants_partial_and_zero() {
+        let w = SendWindow::new(4);
+        assert_eq!(w.try_acquire_n(3), 3);
+        assert_eq!(w.try_acquire_n(3), 1, "partial grant up to the limit");
+        assert_eq!(w.try_acquire_n(3), 0, "full window grants nothing");
+        assert_eq!(w.try_acquire_n(0), 0);
+        assert_eq!(w.in_flight(), 4);
+        w.release();
+        assert_eq!(w.try_acquire_n(9), 1);
+    }
+
+    #[test]
+    fn concurrent_batch_acquirers_never_exceed_limit() {
+        use std::sync::Arc;
+        let w = Arc::new(SendWindow::new(16));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let got = w.try_acquire_n(5);
+                        assert!(w.in_flight() <= w.limit());
+                        for _ in 0..got {
+                            w.release();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(w.in_flight(), 0);
     }
 
     #[test]

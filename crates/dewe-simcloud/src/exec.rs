@@ -144,6 +144,9 @@ pub struct ExecSim {
     read_events: Vec<Option<EventId>>,
     /// Reusable buffer for harvesting completed read flows.
     read_done_scratch: Vec<u64>,
+    /// Recycled `(key, bytes)` buffers for jobs' miss/write lists, so the
+    /// steady state allocates nothing per job.
+    buf_pool: Vec<Vec<(u64, f64)>>,
     out: std::collections::VecDeque<SimEvent>,
     finished_jobs: u64,
 }
@@ -167,6 +170,7 @@ impl ExecSim {
             wakes: TokenMap::default(),
             read_events,
             read_done_scratch: Vec::new(),
+            buf_pool: Vec::new(),
             out: std::collections::VecDeque::new(),
             finished_jobs: 0,
         }
@@ -262,18 +266,10 @@ impl ExecSim {
 
         self.cluster.thread_started(node);
 
-        // Read phase: classify hits and misses.
-        let mut hit_bytes = 0.0;
-        let mut miss_bytes = 0.0;
-        let mut missed = Vec::new();
-        for &(key, bytes) in &profile.reads {
-            if self.cluster.storage_mut().cache_lookup(node, key, bytes) {
-                hit_bytes += bytes;
-            } else {
-                miss_bytes += bytes;
-                missed.push((key, bytes));
-            }
-        }
+        // Read phase: classify hits and misses in one cache pass.
+        let mut missed = self.buf_pool.pop().unwrap_or_default();
+        let (hit_bytes, miss_bytes) =
+            self.cluster.storage_mut().classify_reads(node, &profile.reads, &mut missed);
         let hit_secs = Storage::hit_secs(hit_bytes);
         let cores_used = profile.cores.clamp(1, self.cluster.vcpus());
         // Heterogeneity: a slow node stretches compute time (speed 1.0 on
@@ -295,6 +291,8 @@ impl ExecSim {
             Phase::Computing { event, cores: cores_used }
         };
         let reading = matches!(phase, Phase::Reading { .. });
+        let mut writes = self.buf_pool.pop().unwrap_or_default();
+        writes.extend_from_slice(&profile.writes);
         let assigned = self.alloc_job(RunningJob {
             token,
             node,
@@ -304,7 +302,7 @@ impl ExecSim {
             hit_secs,
             cpu_wall_secs,
             cores_used,
-            writes: profile.writes.clone(),
+            writes,
             timings,
         });
         debug_assert_eq!(assigned, jid, "flow tag and job id must agree");
@@ -345,7 +343,9 @@ impl ExecSim {
         let mut tokens = Vec::with_capacity(victims.len());
         let mut backends_touched = Vec::new();
         for jid in victims {
-            let job = self.remove_job(jid).expect("victim exists");
+            let mut job = self.remove_job(jid).expect("victim exists");
+            self.recycle(std::mem::take(&mut job.missed));
+            self.recycle(std::mem::take(&mut job.writes));
             match job.phase {
                 Phase::Reading { flow, backend } => {
                     self.cluster.storage_mut().cancel_read(backend, now, flow);
@@ -417,9 +417,8 @@ impl ExecSim {
             let dur = job.hit_secs + job.cpu_wall_secs;
             let missed = std::mem::take(&mut job.missed);
             // Read-allocate: the data just fetched is now resident.
-            for &(key, bytes) in &missed {
-                self.cluster.storage_mut().cache_insert(node, key, bytes);
-            }
+            self.cluster.storage_mut().cache_insert_batch(node, &missed);
+            self.recycle(missed);
             self.cluster.add_read_bytes(node, miss_bytes);
             self.cluster.start_compute(node, cores, now);
             let event = self.queue.schedule_in(dur, Ev::ComputeDone(jid));
@@ -456,9 +455,8 @@ impl ExecSim {
         // The job is removed in `finish_job` below; no need to restore.
         let writes = std::mem::take(&mut job.writes);
         let total: f64 = writes.iter().map(|&(_, b)| b).sum();
-        for &(key, bytes) in &writes {
-            self.cluster.storage_mut().cache_insert(node, key, bytes);
-        }
+        self.cluster.storage_mut().cache_insert_batch(node, &writes);
+        self.recycle(writes);
         self.cluster.add_write_bytes(node, total);
         self.finish_job(jid);
     }
@@ -469,11 +467,21 @@ impl ExecSim {
         job.timings.finished = now;
         self.cluster.thread_finished(job.node);
         self.finished_jobs += 1;
+        self.recycle(std::mem::take(&mut job.missed));
+        self.recycle(std::mem::take(&mut job.writes));
         self.out.push_back(SimEvent::JobFinished {
             token: job.token,
             node: job.node,
             timings: job.timings,
         });
+    }
+
+    /// Return a job buffer to the pool (no-op for never-allocated vectors).
+    fn recycle(&mut self, mut buf: Vec<(u64, f64)>) {
+        if buf.capacity() > 0 {
+            buf.clear();
+            self.buf_pool.push(buf);
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 //! (the dominant Montage files are a few MB, small against cache budgets).
 
 use crate::hash::TokenMap;
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 
 /// FIFO cache over opaque file keys.
@@ -65,32 +66,69 @@ impl ReadCache {
             }
             return;
         }
-        if let Some((old_bytes, _)) = self.entries.remove(&key) {
-            self.used -= old_bytes;
-        }
         let gen = self.next_gen;
         self.next_gen += 1;
-        self.entries.insert(key, (bytes, gen));
+        // Single hash probe: refresh in place on re-insert, the old order
+        // entry goes stale and is skipped at eviction time.
+        match self.entries.entry(key) {
+            Entry::Occupied(mut o) => {
+                let old_bytes = o.get().0;
+                *o.get_mut() = (bytes, gen);
+                self.used += bytes - old_bytes;
+            }
+            Entry::Vacant(v) => {
+                v.insert((bytes, gen));
+                self.used += bytes;
+            }
+        }
         self.order.push_back((key, gen));
-        self.used += bytes;
-        self.evict_to_fit();
+        if self.used > self.capacity {
+            self.evict_to_fit();
+        }
     }
 
     /// Check residency for a read of `key` (of `bytes`), updating hit/miss
     /// counters. A hit refreshes the entry's FIFO position ("recently read"
     /// data survives longer, as in a real page cache under re-reference).
     pub fn lookup(&mut self, key: u64, bytes: f64) -> bool {
-        let hit = self.entries.contains_key(&key);
-        if hit {
+        if bytes > self.capacity {
+            // Matches insert's oversize rule: the file can never be
+            // resident going forward, so drop any stale residency.
+            let hit = if let Some((b, _)) = self.entries.remove(&key) {
+                self.used -= b;
+                true
+            } else {
+                false
+            };
+            if hit {
+                self.hits += 1;
+                self.hit_bytes += bytes;
+            } else {
+                self.misses += 1;
+                self.miss_bytes += bytes;
+            }
+            return hit;
+        }
+        if let Some(e) = self.entries.get_mut(&key) {
             self.hits += 1;
             self.hit_bytes += bytes;
-            // Refresh recency.
-            self.insert(key, bytes);
+            // Refresh recency in place (one hash probe, no remove/insert
+            // churn): bump the generation and append a fresh order entry;
+            // the old one is skipped as stale at eviction time.
+            let gen = self.next_gen;
+            self.next_gen += 1;
+            self.used += bytes - e.0;
+            *e = (bytes, gen);
+            self.order.push_back((key, gen));
+            if self.used > self.capacity {
+                self.evict_to_fit();
+            }
+            true
         } else {
             self.misses += 1;
             self.miss_bytes += bytes;
+            false
         }
-        hit
     }
 
     /// Drop a specific entry (file deleted / node departed with its cache).
@@ -111,9 +149,9 @@ impl ReadCache {
         while self.used > self.capacity {
             match self.order.pop_front() {
                 Some((key, gen)) => {
-                    if let Some(&(bytes, cur_gen)) = self.entries.get(&key) {
-                        if cur_gen == gen {
-                            self.entries.remove(&key);
+                    if let Entry::Occupied(o) = self.entries.entry(key) {
+                        if o.get().1 == gen {
+                            let (bytes, _) = o.remove();
                             self.used -= bytes;
                         }
                         // else: stale order entry for a refreshed key; skip.

@@ -172,6 +172,38 @@ impl Storage {
         self.backends[self.node_backend[node]].cache.insert(key, bytes);
     }
 
+    /// Classify a job's input files against `node`'s cache in one pass:
+    /// hits are counted (and refreshed), misses appended to `missed`.
+    /// Returns `(hit_bytes, miss_bytes)`. Resolves the node's backend once
+    /// for the whole set instead of once per file.
+    pub fn classify_reads(
+        &mut self,
+        node: usize,
+        reads: &[(u64, f64)],
+        missed: &mut Vec<(u64, f64)>,
+    ) -> (f64, f64) {
+        let cache = &mut self.backends[self.node_backend[node]].cache;
+        let (mut hit, mut miss) = (0.0, 0.0);
+        for &(key, bytes) in reads {
+            if cache.lookup(key, bytes) {
+                hit += bytes;
+            } else {
+                miss += bytes;
+                missed.push((key, bytes));
+            }
+        }
+        (hit, miss)
+    }
+
+    /// Mark a batch of `(key, bytes)` files resident on `node`'s backend
+    /// (one backend resolution for the whole set).
+    pub fn cache_insert_batch(&mut self, node: usize, files: &[(u64, f64)]) {
+        let cache = &mut self.backends[self.node_backend[node]].cache;
+        for &(key, bytes) in files {
+            cache.insert(key, bytes);
+        }
+    }
+
     /// In-memory service time for `bytes` of cache-hit reads.
     pub fn hit_secs(bytes: f64) -> f64 {
         bytes / MEM_RATE

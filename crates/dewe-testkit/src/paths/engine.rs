@@ -412,6 +412,7 @@ fn engine_config(scenario: &Scenario) -> EngineConfig {
             jitter_frac: 0.0,
             seed: scenario.seed,
         },
+        timer_backend: scenario.timer_backend,
     }
 }
 

@@ -147,7 +147,9 @@ fn master_config(scenario: &Scenario) -> MasterConfig {
         // bus: every shard's dispatches fall back to the shared topic, so
         // the same worker pool serves all shards (see
         // `MessageBus::dispatch_topic`).
-        .shards(scenario.shards);
+        .shards(scenario.shards)
+        .timer_backend(scenario.timer_backend)
+        .dispatch_batch(scenario.dispatch_batch);
     if lossy {
         cfg = cfg.checkout_timeout_secs(0.25);
     }
@@ -374,6 +376,8 @@ fn run_faulted(scenario: &Scenario) -> PathOutcome {
         let shards = scenario.shards;
         let threads = if scenario.parallel && scenario.shards > 1 { scenario.shards } else { 0 };
         let seed = scenario.seed;
+        let timer_backend = scenario.timer_backend;
+        let dispatch_batch = scenario.dispatch_batch;
         move |recover: bool| {
             let mut cfg = MasterConfig::builder()
                 .default_timeout_secs(if lossy { 1.0 } else { 5.0 })
@@ -392,6 +396,8 @@ fn run_faulted(scenario: &Scenario) -> PathOutcome {
                 .threads(threads)
                 .journal_commit(journal_commit)
                 .lease_secs(FAULT_LEASE_SECS)
+                .timer_backend(timer_backend)
+                .dispatch_batch(dispatch_batch)
                 .recover(recover);
             if let Some(p) = journal_path.clone() {
                 cfg = cfg.journal_path(p);

@@ -93,6 +93,7 @@ fn sim_config(scenario: &Scenario) -> SimRunConfig {
     // against the I/O-modeling runtime.
     cfg.shards = scenario.shards;
     cfg.threads = if scenario.parallel { scenario.shards } else { 0 };
+    cfg.timer_backend = scenario.timer_backend;
     cfg
 }
 

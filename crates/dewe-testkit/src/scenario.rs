@@ -41,6 +41,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use dewe_core::fault::FaultPlan;
+use dewe_core::TimerBackend;
 use dewe_dag::{Workflow, WorkflowBuilder};
 use dewe_montage::{
     AdversarialConfig, CyberShakeConfig, EpigenomicsConfig, LigoConfig, MontageConfig, SiphtConfig,
@@ -260,6 +261,18 @@ pub struct Scenario {
     /// engine path injects them in virtual time, the realtime path
     /// scales them to wall-clock milliseconds.
     pub faults: FaultPlan,
+    /// Deadline-timer backend for every engine the scenario builds.
+    /// Sampled half-and-half across seeds (independently of the other
+    /// knobs), so the differential sweep continuously proves the
+    /// hierarchical wheel and the binary heap produce identical action
+    /// streams, stats, and terminal verdicts.
+    pub timer_backend: TimerBackend,
+    /// Drive the realtime path's master with batched dispatch publishes
+    /// (`publish_dispatch_batch` + `DispatchBatch` wire frames) instead
+    /// of per-job sends. Sampled half-and-half across seeds; the engine
+    /// and sim paths ignore it (batching is a transport concern), so any
+    /// divergence pins the blame on the batching layer.
+    pub dispatch_batch: bool,
 }
 
 /// The analytically computed terminal verdict of a scenario: which jobs
@@ -413,6 +426,7 @@ impl Scenario {
             }
         };
 
+        let (timer_backend, dispatch_batch) = sample_knobs(seed);
         Self {
             seed,
             workflows,
@@ -426,6 +440,8 @@ impl Scenario {
             chaos,
             failures,
             faults: FaultPlan::none(),
+            timer_backend,
+            dispatch_batch,
         }
     }
 
@@ -470,6 +486,7 @@ impl Scenario {
         // is fuzzed against the parallel serve loops too.
         let shards = [1, 2][rng.below(2)];
         let parallel = shards > 1 && rng.below(2) == 1;
+        let (timer_backend, dispatch_batch) = sample_knobs(seed ^ FAULT_SCENARIO_SALT);
         Self {
             seed,
             workflows,
@@ -487,6 +504,8 @@ impl Scenario {
                 FAULT_WORKERS,
                 FAULT_HORIZON_SECS,
             ),
+            timer_backend,
+            dispatch_batch,
         }
     }
 
@@ -643,6 +662,20 @@ impl Scenario {
 /// the chaos decider and backoff jitter).
 const SCENARIO_SALT: u64 = 0xD1FF_E7E4_7E57_0001;
 
+/// Salt for the timer-backend / dispatch-batch knobs. A dedicated stream
+/// keeps the knob draws from perturbing the scenario content (DAGs,
+/// chaos, failures), so every seed reproduces the exact ensembles it
+/// generated before the knobs existed.
+const KNOB_SALT: u64 = 0x71E4_BACE_7E57_0004;
+
+/// Draw the timer-backend and dispatch-batch knobs for `seed` from their
+/// own stream (see [`KNOB_SALT`]).
+fn sample_knobs(seed: u64) -> (TimerBackend, bool) {
+    let mut rng = Rng::new(seed ^ KNOB_SALT);
+    let backend = if rng.below(2) == 1 { TimerBackend::Wheel } else { TimerBackend::Heap };
+    (backend, rng.below(2) == 1)
+}
+
 /// Separate salt for the fault class, so `generate(n)` and
 /// `generate_fault(n)` are unrelated scenarios.
 const FAULT_SCENARIO_SALT: u64 = 0xFA17_7000_7E57_0002;
@@ -719,6 +752,8 @@ mod tests {
             chaos: ChaosSpec::none(),
             failures: vec![FailureSpec { workflow: 0, job: 0, failing_attempts: 2 }],
             faults: FaultPlan::none(),
+            timer_backend: TimerBackend::default(),
+            dispatch_batch: false,
         };
         let e = s.expected_outcome();
         assert_eq!(e.dead_lettered.iter().collect::<Vec<_>>(), vec![&(0, 0)]);
@@ -831,6 +866,8 @@ mod tests {
             chaos: ChaosSpec::none(),
             failures: Vec::new(),
             faults: FaultPlan::none(),
+            timer_backend: TimerBackend::default(),
+            dispatch_batch: false,
         };
         let rebuilt = s.build_workflows();
         assert_eq!(rebuilt[0].edge_count(), wf.edge_count());

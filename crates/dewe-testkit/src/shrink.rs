@@ -186,6 +186,8 @@ mod tests {
                     },
                 ],
             },
+            timer_backend: dewe_core::TimerBackend::default(),
+            dispatch_batch: false,
         }
     }
 

@@ -109,6 +109,8 @@ fn two_worker_loss_scenario() -> Scenario {
                 },
             ],
         },
+        timer_backend: dewe_core::TimerBackend::default(),
+        dispatch_batch: false,
     }
 }
 
